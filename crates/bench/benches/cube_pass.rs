@@ -1,0 +1,39 @@
+//! The CUBE pass kernel (§4.2): all `(region, item)` aggregates in one
+//! sweep over the fact data of a small retail dataset.
+
+use bellwether_bench::prepare_retail;
+use bellwether_core::build_cube_input;
+use bellwether_cube::cube_pass;
+use bellwether_datagen::{generate_retail, RetailConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_cube_pass(c: &mut Criterion) {
+    let mut cfg = RetailConfig::mail_order(150, 99);
+    cfg.months = 8;
+    cfg.converge_month = 6;
+    cfg.states = Some(vec![
+        "MD", "WI", "CA", "TX", "NY", "IL", "FL", "OH", "PA", "GA",
+    ]);
+    let data = generate_retail(&cfg);
+    let input = build_cube_input(&data.db, &data.space, &data.feature_queries).unwrap();
+    eprintln!("fact rows: {}", data.db.fact.num_rows());
+
+    c.bench_function("cube_pass_retail_150x8x10", |b| {
+        b.iter(|| cube_pass(&data.space, &input))
+    });
+
+    c.bench_function("prepare_retail_end_to_end", |b| {
+        let mut small = cfg.clone();
+        small.n_items = 60;
+        small.months = 5;
+        small.converge_month = 4;
+        b.iter(|| prepare_retail(&small))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cube_pass
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Iceberg-pruning ablation: bottom-up BUC-style enumeration of the
+//! feasible regions versus testing every region directly.
+
+use bellwether_cube::{
+    feasible_regions, feasible_regions_naive, Constraints, Dimension, Hierarchy, RegionId,
+    RegionSpace, UniformCellCost,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+
+/// A deep space: 52 weeks × a 3-level location tree of ~60 nodes.
+fn space() -> RegionSpace {
+    let mut loc = Hierarchy::new("Loc", "All");
+    for r in 0..4 {
+        let rid = loc.add_child(0, format!("region{r}"));
+        for d in 0..3 {
+            let did = loc.add_child(rid, format!("r{r}d{d}"));
+            for s in 0..4 {
+                loc.add_child(did, format!("r{r}d{d}s{s}"));
+            }
+        }
+    }
+    RegionSpace::new(vec![
+        Dimension::Interval {
+            name: "Week".into(),
+            max_t: 52,
+        },
+        Dimension::Hierarchy(loc),
+    ])
+}
+
+fn bench_iceberg(c: &mut Criterion) {
+    let s = space();
+    let cost = UniformCellCost { rate: 1.0 };
+    let coverage: HashMap<RegionId, usize> =
+        s.all_regions().into_iter().map(|r| (r, 100)).collect();
+    // A tight budget: only small regions pass, so pruning pays off.
+    let cons = Constraints {
+        budget: 8.0,
+        min_coverage: 0.5,
+        total_items: 100,
+    };
+
+    c.bench_function("iceberg_pruned", |b| {
+        b.iter(|| feasible_regions(&s, &cost, &cons, &coverage))
+    });
+    c.bench_function("iceberg_naive", |b| {
+        b.iter(|| feasible_regions_naive(&s, &cost, &cons, &coverage))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_iceberg
+}
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! End-to-end algorithm kernels on a small scale workload: basic
+//! search, naive vs RF tree, and the three cube construction
+//! algorithms.
+
+use bellwether_core::{
+    basic_search, build_naive_cube, build_naive_tree, build_optimized_cube,
+    build_optimized_cube_cv, build_rainforest, build_single_scan_cube, BellwetherConfig,
+    CubeConfig, ErrorMeasure, TreeConfig,
+};
+use bellwether_cube::UniformCellCost;
+use bellwether_datagen::{build_scale_workload, ScaleConfig, ScaleWorkload};
+use bellwether_storage::MemorySource;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn workload() -> (ScaleWorkload, MemorySource) {
+    let cfg = ScaleConfig {
+        n_items: 300,
+        fact_dim_leaves: [4, 4],
+        item_hierarchy_leaves: [3, 3, 3],
+        n_numeric_attrs: 3,
+        regional_features: 4,
+        bellwether_noise: 0.05,
+        seed: 31,
+    };
+    let w = build_scale_workload(&cfg);
+    let src = w.memory_source();
+    (w, src)
+}
+
+fn problem() -> BellwetherConfig {
+    BellwetherConfig::new(f64::INFINITY)
+        .with_min_coverage(0.0)
+        .with_min_examples(10)
+        .with_error_measure(ErrorMeasure::TrainingSet)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let (w, src) = workload();
+    let pr = problem();
+    let cost = UniformCellCost { rate: 0.0 };
+    let tc = TreeConfig {
+        max_depth: 2,
+        min_node_items: 60,
+        max_numeric_splits: 4,
+        ..TreeConfig::default()
+    };
+    let cc = CubeConfig {
+        min_subset_size: 20,
+    };
+
+    c.bench_function("basic_search_25regions", |b| {
+        b.iter(|| basic_search(&src, &w.region_space, &cost, &pr, 300).unwrap())
+    });
+
+    c.bench_function("tree_naive", |b| {
+        b.iter(|| build_naive_tree(&src, &w.region_space, &w.items, None, &pr, &tc).unwrap())
+    });
+    c.bench_function("tree_rainforest", |b| {
+        b.iter(|| build_rainforest(&src, &w.region_space, &w.items, None, &pr, &tc).unwrap())
+    });
+
+    c.bench_function("cube_naive", |b| {
+        b.iter(|| {
+            build_naive_cube(&src, &w.region_space, &w.item_space, &w.item_coords, &pr, &cc)
+                .unwrap()
+        })
+    });
+    c.bench_function("cube_single_scan", |b| {
+        b.iter(|| {
+            build_single_scan_cube(
+                &src,
+                &w.region_space,
+                &w.item_space,
+                &w.item_coords,
+                &pr,
+                &cc,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("cube_optimized", |b| {
+        b.iter(|| {
+            build_optimized_cube(
+                &src,
+                &w.region_space,
+                &w.item_space,
+                &w.item_coords,
+                &pr,
+                &cc,
+            )
+            .unwrap()
+        })
+    });
+    // Extension ablation: cross-validated errors via the algebraic
+    // fold statistics (vs the single-scan building CV from raw rows).
+    c.bench_function("cube_optimized_cv10", |b| {
+        b.iter(|| {
+            build_optimized_cube_cv(
+                &src,
+                &w.region_space,
+                &w.item_space,
+                &w.item_coords,
+                &pr,
+                &cc,
+                10,
+                42,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("cube_single_scan_cv10", |b| {
+        let cv = BellwetherConfig::new(f64::INFINITY)
+            .with_min_coverage(0.0)
+            .with_min_examples(10)
+            .with_error_measure(ErrorMeasure::CrossValidation {
+                folds: 10,
+                seed: 42,
+            });
+        b.iter(|| {
+            build_single_scan_cube(
+                &src,
+                &w.region_space,
+                &w.item_space,
+                &w.item_coords,
+                &cv,
+                &cc,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_search
+}
+criterion_main!(benches);

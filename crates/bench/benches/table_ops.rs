@@ -1,0 +1,74 @@
+//! Relational-operator throughput: σ, ⋈ and α on a synthetic orders
+//! table — the kernels under every feature/target query.
+
+use bellwether_table::ops::{aggregate, filter, natural_join, AggExpr, AggFunc};
+use bellwether_table::{CmpOp, Column, DataType, Predicate, Schema, Table};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn orders(n: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("item", DataType::Int),
+        ("state", DataType::Str),
+        ("profit", DataType::Float),
+        ("ad", DataType::Int),
+    ])
+    .unwrap();
+    let states = ["WI", "MD", "CA", "TX", "NY"];
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints((0..n as i64).map(|i| i % 500).collect()),
+            Column::from_strs(&(0..n).map(|i| states[i % 5]).collect::<Vec<_>>()),
+            Column::from_floats((0..n).map(|i| (i % 97) as f64).collect()),
+            Column::from_ints((0..n as i64).map(|i| i % 50).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+fn ads() -> Table {
+    let schema =
+        Schema::from_pairs(&[("ad", DataType::Int), ("size", DataType::Float)]).unwrap();
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints((0..50).collect()),
+            Column::from_floats((0..50).map(|i| i as f64).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_table_ops(c: &mut Criterion) {
+    let t = orders(100_000);
+    let reference = ads();
+
+    c.bench_function("filter_100k", |b| {
+        let p = Predicate::eq("state", "WI").and(Predicate::cmp("profit", CmpOp::Gt, 50.0));
+        b.iter(|| filter(&t, &p).unwrap())
+    });
+
+    c.bench_function("join_100k_x_50", |b| {
+        b.iter(|| natural_join(&t, &reference, "ad").unwrap())
+    });
+
+    c.bench_function("aggregate_100k_by_item", |b| {
+        let aggs = [
+            AggExpr::new(AggFunc::Sum, "profit"),
+            AggExpr::new(AggFunc::CountDistinct, "ad"),
+        ];
+        b.iter(|| aggregate(&t, &["item"], &aggs).unwrap())
+    });
+
+    c.bench_function("table_take_gather", |b| {
+        let idx: Vec<usize> = (0..t.num_rows()).step_by(3).collect();
+        b.iter_batched(|| idx.clone(), |idx| t.take(&idx), BatchSize::SmallInput)
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table_ops
+}
+criterion_main!(benches);

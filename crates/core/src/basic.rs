@@ -1,0 +1,405 @@
+//! Basic bellwether search (§3.2, §4): among the feasible regions, find
+//! the one whose training set yields the minimum-error model.
+//!
+//! The search runs over an already-materialised [`TrainingSource`] (the
+//! entire training data), so a *budget sweep* — the x-axis of Figures 7
+//! and 9 — re-filters the same stored regions by cost instead of
+//! rebuilding training sets. Regions are evaluated in parallel with
+//! crossbeam scoped threads; results are deterministic because the
+//! minimum is resolved by (error, region index).
+
+use crate::error::Result;
+use crate::problem::BellwetherConfig;
+use crate::training::block_to_data;
+use bellwether_cube::{CostModel, RegionId, RegionSpace};
+use bellwether_linreg::{fit_wls, ErrorEstimate, LinearModel};
+use bellwether_storage::TrainingSource;
+use serde::{Deserialize, Serialize};
+
+/// The evaluation of one feasible region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionReport {
+    /// Index of the region in the training source's scan order.
+    pub source_index: usize,
+    /// The region.
+    pub region: RegionId,
+    /// Display label, e.g. `[1-8, MD]`.
+    pub label: String,
+    /// Acquisition cost κ(r).
+    pub cost: f64,
+    /// Number of training examples (= items with data and targets).
+    pub n_examples: usize,
+    /// Estimated model error.
+    pub error: ErrorEstimate,
+    /// The bellwether model candidate, fit on the full region data.
+    pub model: LinearModel,
+}
+
+/// Result of a basic bellwether search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BasicSearchResult {
+    /// Reports for every region that passed all constraints and fit a
+    /// model, in source order.
+    pub reports: Vec<RegionReport>,
+    /// Index into `reports` of the bellwether (minimum error), if any.
+    pub best: Option<usize>,
+}
+
+impl BasicSearchResult {
+    /// The bellwether region's report.
+    pub fn bellwether(&self) -> Option<&RegionReport> {
+        self.best.map(|i| &self.reports[i])
+    }
+
+    /// Mean error over all feasible regions — the "Avg Err" baseline of
+    /// Figure 7(a).
+    pub fn average_error(&self) -> Option<f64> {
+        if self.reports.is_empty() {
+            return None;
+        }
+        Some(self.reports.iter().map(|r| r.error.value).sum::<f64>() / self.reports.len() as f64)
+    }
+
+    /// Fraction of *other* feasible regions whose error lies within the
+    /// bellwether's `confidence` interval — Figure 7(b). Low = the
+    /// bellwether is nearly unique; high = indistinguishable from many.
+    pub fn indistinguishable_fraction(&self, confidence: f64) -> Option<f64> {
+        let best = self.bellwether()?;
+        let others = self.reports.len().saturating_sub(1);
+        if others == 0 {
+            return Some(0.0);
+        }
+        let n = self
+            .reports
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                Some(*i) != self.best && best.error.contains(r.error.value, confidence)
+            })
+            .count();
+        Some(n as f64 / others as f64)
+    }
+}
+
+/// Run the basic bellwether search under `config`'s budget/coverage over
+/// the stored regions. `total_items` is |I|, the coverage denominator.
+pub fn basic_search(
+    source: &dyn TrainingSource,
+    space: &RegionSpace,
+    cost_model: &dyn CostModel,
+    config: &BellwetherConfig,
+    total_items: usize,
+) -> Result<BasicSearchResult> {
+    let n = source.num_regions();
+    let min_cov_items = (config.min_coverage * total_items as f64).ceil() as usize;
+
+    // Evaluate candidate regions in parallel chunks.
+    let evaluate = |idx: usize| -> Result<Option<RegionReport>> {
+        let region = RegionId(source.region_coords(idx).to_vec());
+        let cost = cost_model.cost(space, &region);
+        if cost > config.budget {
+            return Ok(None);
+        }
+        let block = source.read_region(idx)?;
+        if block.n() < config.min_examples || block.n() < min_cov_items {
+            return Ok(None);
+        }
+        let data = block_to_data(&block);
+        let Some(error) = config.error_measure.estimate(&data) else {
+            return Ok(None);
+        };
+        let Some(model) = fit_wls(&data) else {
+            return Ok(None);
+        };
+        Ok(Some(RegionReport {
+            source_index: idx,
+            region: region.clone(),
+            label: space.label(&region),
+            cost,
+            n_examples: block.n(),
+            error,
+            model,
+        }))
+    };
+
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get().min(8));
+    let mut slots: Vec<Result<Option<RegionReport>>> = Vec::with_capacity(n);
+    if threads <= 1 || n < 16 {
+        for idx in 0..n {
+            slots.push(evaluate(idx));
+        }
+    } else {
+        slots = crossbeam::thread::scope(|s| {
+            let chunk = n.div_ceil(threads);
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                let evaluate = &evaluate;
+                handles.push(s.spawn(move |_| (lo..hi).map(evaluate).collect::<Vec<_>>()));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        })
+        .expect("search scope panicked");
+    }
+
+    let mut reports = Vec::new();
+    for slot in slots {
+        if let Some(report) = slot? {
+            reports.push(report);
+        }
+    }
+    // Bellwether = min error; ties broken by source order for determinism.
+    let best = reports
+        .iter()
+        .enumerate()
+        .min_by(|(ai, a), (bi, b)| {
+            a.error
+                .value
+                .total_cmp(&b.error.value)
+                .then(ai.cmp(bi))
+        })
+        .map(|(i, _)| i);
+    Ok(BasicSearchResult { reports, best })
+}
+
+/// The *linear optimization criterion* of Definition 1: instead of hard
+/// constraints, minimise `Error(h_r) + w₁·κ(r) − w₂·Coverage(r)`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinearCriterion {
+    /// Weight w₁ on the region cost.
+    pub cost_weight: f64,
+    /// Weight w₂ on the coverage fraction.
+    pub coverage_weight: f64,
+}
+
+/// Result of a linear-criterion search: every modelled region with its
+/// combined score, plus the minimiser.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearSearchResult {
+    /// Region reports (no budget/coverage filtering — the criterion
+    /// trades those off instead).
+    pub reports: Vec<RegionReport>,
+    /// `Error + w₁·cost − w₂·coverage` per report.
+    pub scores: Vec<f64>,
+    /// Index of the minimising report.
+    pub best: Option<usize>,
+}
+
+impl LinearSearchResult {
+    /// The winning report and its score.
+    pub fn bellwether(&self) -> Option<(&RegionReport, f64)> {
+        self.best.map(|i| (&self.reports[i], self.scores[i]))
+    }
+}
+
+/// Run the basic search under the linear optimization criterion. Every
+/// region that can fit a model participates; the score trades error
+/// against cost and coverage with the user's weights.
+pub fn basic_search_linear(
+    source: &dyn TrainingSource,
+    space: &RegionSpace,
+    cost_model: &dyn CostModel,
+    config: &BellwetherConfig,
+    total_items: usize,
+    criterion: LinearCriterion,
+) -> Result<LinearSearchResult> {
+    // Reuse the constrained machinery with the constraints disarmed.
+    let mut unconstrained = config.clone();
+    unconstrained.budget = f64::INFINITY;
+    unconstrained.min_coverage = 0.0;
+    let base = basic_search(source, space, cost_model, &unconstrained, total_items)?;
+    let scores: Vec<f64> = base
+        .reports
+        .iter()
+        .map(|r| {
+            let coverage = if total_items == 0 {
+                0.0
+            } else {
+                r.n_examples as f64 / total_items as f64
+            };
+            r.error.value + criterion.cost_weight * r.cost
+                - criterion.coverage_weight * coverage
+        })
+        .collect();
+    let best = scores
+        .iter()
+        .enumerate()
+        .min_by(|(ai, a), (bi, b)| a.total_cmp(b).then(ai.cmp(bi)))
+        .map(|(i, _)| i);
+    Ok(LinearSearchResult {
+        reports: base.reports,
+        scores,
+        best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ErrorMeasure;
+    use bellwether_cube::{Dimension, Hierarchy, UniformCellCost};
+    use bellwether_linreg::SplitMix64;
+    use bellwether_storage::{MemorySource, RegionBlock};
+
+    /// Three regions: one clean linear signal, one noisy, one tiny.
+    fn fixture() -> (MemorySource, RegionSpace) {
+        let space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "L",
+            "All",
+            &["good", "noisy"],
+        ))]);
+        let mut rng = SplitMix64::new(9);
+        let mut noise = |amp: f64| (rng.next_u64() as f64 / u64::MAX as f64 - 0.5) * amp;
+
+        // region "good" (node 1): y = 3 + 2x exactly
+        let mut good = RegionBlock::new(vec![1], 2);
+        for i in 0..40 {
+            let x = i as f64;
+            good.push(i, &[1.0, x], 3.0 + 2.0 * x);
+        }
+        // region "noisy" (node 2): heavy noise
+        let mut noisy = RegionBlock::new(vec![2], 2);
+        for i in 0..40 {
+            let x = i as f64;
+            noisy.push(i, &[1.0, x], 3.0 + 2.0 * x + noise(60.0));
+        }
+        // region "All" (node 0): tiny — below min_examples
+        let mut all = RegionBlock::new(vec![0], 2);
+        for i in 0..3 {
+            all.push(i, &[1.0, i as f64], i as f64);
+        }
+        (MemorySource::new(vec![good, noisy, all]), space)
+    }
+
+    fn config() -> BellwetherConfig {
+        BellwetherConfig::new(1e9)
+            .with_min_coverage(0.0)
+            .with_min_examples(10)
+            .with_error_measure(ErrorMeasure::cv10())
+    }
+
+    #[test]
+    fn finds_the_clean_region() {
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 };
+        let result = basic_search(&src, &space, &cost, &config(), 40).unwrap();
+        assert_eq!(result.reports.len(), 2); // tiny region filtered out
+        let best = result.bellwether().unwrap();
+        assert_eq!(best.label, "[good]");
+        assert!(best.error.value < 1e-6);
+        assert!(result.average_error().unwrap() > best.error.value);
+    }
+
+    #[test]
+    fn budget_filters_regions() {
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 }; // leaf = 1, All = 2
+        let mut cfg = config();
+        cfg.budget = 0.0;
+        let result = basic_search(&src, &space, &cost, &cfg, 40).unwrap();
+        assert!(result.reports.is_empty());
+        assert!(result.bellwether().is_none());
+        assert!(result.average_error().is_none());
+        assert!(result.indistinguishable_fraction(0.95).is_none());
+    }
+
+    #[test]
+    fn coverage_filters_regions() {
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 };
+        let mut cfg = config();
+        cfg.min_coverage = 0.9; // requires 45 of 50 items
+        let result = basic_search(&src, &space, &cost, &cfg, 50).unwrap();
+        assert!(result.reports.is_empty());
+    }
+
+    #[test]
+    fn indistinguishability_low_for_clear_bellwether() {
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 };
+        let result = basic_search(&src, &space, &cost, &config(), 40).unwrap();
+        // The noisy region is far outside the clean region's tiny CI.
+        assert_eq!(result.indistinguishable_fraction(0.95), Some(0.0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 };
+        let a = basic_search(&src, &space, &cost, &config(), 40).unwrap();
+        let b = basic_search(&src, &space, &cost, &config(), 40).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.reports.len(), b.reports.len());
+        for (x, y) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(x.error.value, y.error.value);
+        }
+    }
+
+    #[test]
+    fn linear_criterion_trades_error_for_cost() {
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 }; // leaves cost 1, All costs 2
+        let cfg = config().with_error_measure(ErrorMeasure::TrainingSet);
+        // With no cost weight the clean region wins outright.
+        let free = basic_search_linear(
+            &src,
+            &space,
+            &cost,
+            &cfg,
+            40,
+            LinearCriterion {
+                cost_weight: 0.0,
+                coverage_weight: 0.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(free.bellwether().unwrap().0.label, "[good]");
+        // With an enormous cost weight, differences in cost dominate; the
+        // two leaf regions cost the same, so [good] still wins, but the
+        // score now reflects the cost term.
+        let costly = basic_search_linear(
+            &src,
+            &space,
+            &cost,
+            &cfg,
+            40,
+            LinearCriterion {
+                cost_weight: 1e6,
+                coverage_weight: 0.0,
+            },
+        )
+        .unwrap();
+        let (best, score) = costly.bellwether().unwrap();
+        assert_eq!(best.label, "[good]");
+        assert!(score > 1e6 * 0.9, "cost term must dominate the score");
+        // Coverage weight rewards larger regions.
+        let covered = basic_search_linear(
+            &src,
+            &space,
+            &cost,
+            &cfg,
+            40,
+            LinearCriterion {
+                cost_weight: 0.0,
+                coverage_weight: 1e9,
+            },
+        )
+        .unwrap();
+        // Both leaf regions cover all 40 items, so coverage can't
+        // distinguish them; the clean region still wins on error.
+        assert_eq!(covered.bellwether().unwrap().0.label, "[good]");
+    }
+
+    #[test]
+    fn training_set_measure_also_works() {
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 };
+        let cfg = config().with_error_measure(ErrorMeasure::TrainingSet);
+        let result = basic_search(&src, &space, &cost, &cfg, 40).unwrap();
+        assert_eq!(result.bellwether().unwrap().label, "[good]");
+    }
+}

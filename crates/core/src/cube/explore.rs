@@ -1,0 +1,231 @@
+//! Rollup/drilldown exploration of a bellwether cube (§6.2).
+//!
+//! A bellwether cube supports the familiar cross-tab interface of a data
+//! cube: pick one level (tree depth) per item hierarchy and view, for
+//! every subset combination at those levels, the bellwether region and
+//! its error. Rollup = move a hierarchy to a shallower depth; drilldown
+//! = deeper.
+
+use super::BellwetherCube;
+use bellwether_cube::{Dimension, RegionId};
+
+/// One row of a cross-tab view.
+#[derive(Debug, Clone)]
+pub struct CrossTabCell {
+    /// The subset's coordinates.
+    pub subset: RegionId,
+    /// Per-hierarchy value labels, e.g. `["Hardware", "Low"]`.
+    pub values: Vec<String>,
+    /// The subset's bellwether region label, if modelled.
+    pub region_label: Option<String>,
+    /// The bellwether model error, if modelled.
+    pub error: Option<f64>,
+    /// Subset size, if modelled.
+    pub size: Option<usize>,
+}
+
+/// Nodes of a hierarchy at a given depth.
+fn nodes_at_depth(dim: &Dimension, depth: u32) -> Vec<u32> {
+    match dim {
+        Dimension::Hierarchy(h) => (0..h.num_nodes())
+            .filter(|&n| h.node(n).depth == depth)
+            .collect(),
+        Dimension::Interval { .. } => unreachable!("item spaces are hierarchies"),
+    }
+}
+
+/// Materialise the cross-tab at one depth per hierarchy (the "level" of
+/// Fig. 6). Cells whose subset is not significant (or unmodelled) come
+/// back with empty region/error so the UI can render them as gaps.
+pub fn cross_tab(cube: &BellwetherCube, depths: &[u32]) -> Vec<CrossTabCell> {
+    assert_eq!(
+        depths.len(),
+        cube.item_space.arity(),
+        "one depth per item hierarchy"
+    );
+    let per_dim: Vec<Vec<u32>> = cube
+        .item_space
+        .dims()
+        .iter()
+        .zip(depths)
+        .map(|(d, &depth)| nodes_at_depth(d, depth))
+        .collect();
+
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; per_dim.len()];
+    if per_dim.iter().any(Vec::is_empty) {
+        return out;
+    }
+    loop {
+        let coords: Vec<u32> = idx.iter().zip(&per_dim).map(|(&i, v)| v[i]).collect();
+        let subset = RegionId(coords);
+        let values = cube
+            .item_space
+            .dims()
+            .iter()
+            .zip(&subset.0)
+            .map(|(d, &v)| d.label(v))
+            .collect();
+        let cell = cube.cells.get(&subset);
+        out.push(CrossTabCell {
+            values,
+            region_label: cell.map(|c| c.region_label.clone()),
+            error: cell.map(|c| c.error.value),
+            size: cell.map(|c| c.size),
+            subset,
+        });
+        let mut d = per_dim.len();
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < per_dim[d].len() {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+/// Materialise a cross-tab as a relational [`Table`] (one row per
+/// subset: value labels, bellwether region, error, size), so explore
+/// results can be exported through the table crate's CSV writer or
+/// post-processed with the relational operators.
+pub fn cross_tab_table(
+    cube: &BellwetherCube,
+    depths: &[u32],
+) -> bellwether_table::Result<bellwether_table::Table> {
+    use bellwether_table::{DataType, Schema, TableBuilder, Value};
+    let cells = cross_tab(cube, depths);
+    let mut fields: Vec<(String, DataType)> = cube
+        .item_space
+        .dims()
+        .iter()
+        .map(|d| (d.name().to_string(), DataType::Str))
+        .collect();
+    fields.push(("bellwether_region".into(), DataType::Str));
+    fields.push(("error".into(), DataType::Float));
+    fields.push(("items".into(), DataType::Int));
+    let schema = Schema::new(
+        fields
+            .into_iter()
+            .map(|(n, t)| bellwether_table::Field::new(n, t))
+            .collect(),
+    )?;
+    let mut builder = TableBuilder::new(schema);
+    for c in &cells {
+        let mut row: Vec<Value> = c.values.iter().map(|v| Value::from(v.as_str())).collect();
+        row.push(match &c.region_label {
+            Some(l) => Value::from(l.as_str()),
+            None => Value::Null,
+        });
+        row.push(c.error.map(Value::Float).unwrap_or(Value::Null));
+        row.push(
+            c.size
+                .map(|s| Value::Int(s as i64))
+                .unwrap_or(Value::Null),
+        );
+        builder.push_row(row)?;
+    }
+    builder.finish()
+}
+
+/// Render a cross-tab as an aligned text table (for examples/CLI).
+pub fn render_cross_tab(cube: &BellwetherCube, depths: &[u32]) -> String {
+    let cells = cross_tab(cube, depths);
+    let mut out = String::new();
+    out.push_str("subset | bellwether region | error | items\n");
+    for c in &cells {
+        let region = c.region_label.as_deref().unwrap_or("-");
+        let error = c
+            .error
+            .map(|e| format!("{e:.4}"))
+            .unwrap_or_else(|| "-".into());
+        let size = c.size.map(|s| s.to_string()).unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "[{}] | {region} | {error} | {size}\n",
+            c.values.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::naive::build_naive_cube;
+    use crate::cube::tests_support::cube_fixture;
+    use crate::cube::CubeConfig;
+    use crate::problem::{BellwetherConfig, ErrorMeasure};
+
+    fn cube() -> BellwetherCube {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        build_naive_cube(
+            &src,
+            &region_space,
+            &item_space,
+            &coords,
+            &BellwetherConfig::new(1e9)
+                .with_min_coverage(0.0)
+                .with_min_examples(4)
+                .with_error_measure(ErrorMeasure::TrainingSet),
+            &CubeConfig {
+                min_subset_size: 5,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rollup_level_shows_root() {
+        let c = cube();
+        let cells = cross_tab(&c, &[0]);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].values, vec!["Any"]);
+        assert!(cells[0].error.is_some());
+        assert_eq!(cells[0].size, Some(24));
+    }
+
+    #[test]
+    fn drilldown_level_shows_leaves() {
+        let c = cube();
+        let cells = cross_tab(&c, &[1]);
+        assert_eq!(cells.len(), 2);
+        let labels: Vec<&str> = cells.iter().map(|c| c.values[0].as_str()).collect();
+        assert_eq!(labels, vec!["ga", "gb"]);
+        // Leaf errors much lower than root error (the drilldown insight).
+        let root = cross_tab(&c, &[0])[0].error.unwrap();
+        for cell in &cells {
+            assert!(cell.error.unwrap() < root);
+        }
+    }
+
+    #[test]
+    fn cross_tab_exports_as_relational_table() {
+        let c = cube();
+        let t = cross_tab_table(&c, &[1]).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(
+            t.schema().names(),
+            vec!["G", "bellwether_region", "error", "items"]
+        );
+        // And it survives a CSV round trip.
+        let mut buf = Vec::new();
+        bellwether_table::csv::write_csv(&t, &mut buf).unwrap();
+        let back =
+            bellwether_table::csv::read_csv(t.schema().clone(), std::io::Cursor::new(buf))
+                .unwrap();
+        assert_eq!(back.num_rows(), 2);
+    }
+
+    #[test]
+    fn unmodelled_cells_render_as_gaps() {
+        let mut c = cube();
+        c.cells.remove(&RegionId(vec![1]));
+        let rendered = render_cross_tab(&c, &[1]);
+        assert!(rendered.contains("[ga] | - | - | -"));
+        assert!(rendered.contains("[gb] | [rb]"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Bellwether cubes (§6): a bellwether region (and model) for **every**
+//! significant cube subset of items induced by the item hierarchies.
+//!
+//! Three construction algorithms, in increasing sophistication:
+//!
+//! * [`naive::build_naive_cube`] — solve a basic bellwether problem per
+//!   subset (re-scans the entire training data per subset);
+//! * [`single_scan::build_single_scan_cube`] — one scan over the entire
+//!   training data, keeping a `MinError` entry per subset (Lemma 2);
+//! * [`optimized::build_optimized_cube`] — the single scan, but per
+//!   region the per-subset models come from rolling the Theorem-1
+//!   sufficient statistic up the item-hierarchy lattice instead of
+//!   refitting each subset from raw rows.
+//!
+//! All three produce the same cube; the integration tests assert it.
+
+pub mod explore;
+pub mod naive;
+pub mod optimized;
+pub mod predict;
+pub mod single_scan;
+
+use crate::error::{BellwetherError, Result};
+use bellwether_cube::{rollup_lattice, RegionId, RegionSpace};
+use bellwether_linreg::{ErrorEstimate, LinearModel};
+use std::collections::{HashMap, HashSet};
+
+/// Construction parameters specific to cubes.
+#[derive(Debug, Clone)]
+pub struct CubeConfig {
+    /// Size threshold K: only subsets with at least this many items get
+    /// a cell (§6.2, "significant subsets").
+    pub min_subset_size: usize,
+}
+
+impl Default for CubeConfig {
+    fn default() -> Self {
+        CubeConfig {
+            min_subset_size: 30,
+        }
+    }
+}
+
+/// One cube cell: the bellwether for one item subset.
+#[derive(Debug, Clone)]
+pub struct SubsetCell {
+    /// The cube subset (item-space coordinates).
+    pub subset: RegionId,
+    /// Subset display label, e.g. `[Hardware, Low]`.
+    pub label: String,
+    /// Number of items in the subset.
+    pub size: usize,
+    /// Scan index of the bellwether region.
+    pub region_index: usize,
+    /// The bellwether region for this subset.
+    pub region: RegionId,
+    /// Region display label.
+    pub region_label: String,
+    /// Error estimate of the bellwether model.
+    pub error: ErrorEstimate,
+    /// The bellwether model (trained on the subset's items in the
+    /// region).
+    pub model: LinearModel,
+    /// Training examples behind the model.
+    pub n_examples: usize,
+}
+
+/// A fitted bellwether cube.
+#[derive(Debug, Clone)]
+pub struct BellwetherCube {
+    /// The item-hierarchy product space.
+    pub item_space: RegionSpace,
+    /// Leaf coordinates of every item (for prediction routing).
+    pub item_coords: HashMap<i64, Vec<u32>>,
+    /// One cell per significant subset that could be modelled.
+    pub cells: HashMap<RegionId, SubsetCell>,
+}
+
+impl BellwetherCube {
+    /// The cell of a subset, if present.
+    pub fn cell(&self, subset: &RegionId) -> Option<&SubsetCell> {
+        self.cells.get(subset)
+    }
+
+    /// The cube's cell for the full item set `[Any, …, Any]` (all roots).
+    pub fn root_cell(&self) -> Option<&SubsetCell> {
+        self.cells.get(&RegionId(vec![0; self.item_space.arity()]))
+    }
+}
+
+/// Membership structures shared by all three construction algorithms.
+#[derive(Debug)]
+pub struct SubsetIndex {
+    /// Item ids per significant subset.
+    pub members: HashMap<RegionId, HashSet<i64>>,
+    /// Significant subsets in deterministic order.
+    pub order: Vec<RegionId>,
+}
+
+/// Select the significant subsets (|S| ≥ K) and their member sets from
+/// the items' leaf coordinates — the iceberg-query step of Figure 7 in
+/// the paper, computed here by a count rollup over the lattice.
+pub fn significant_subsets(
+    item_space: &RegionSpace,
+    item_coords: &HashMap<i64, Vec<u32>>,
+    config: &CubeConfig,
+) -> Result<SubsetIndex> {
+    if item_coords.is_empty() {
+        return Err(BellwetherError::Config("no items with coordinates".into()));
+    }
+    // Base subsets: group items by their leaf coordinate combination.
+    let mut base: HashMap<RegionId, HashSet<i64>> = HashMap::new();
+    for (&id, coords) in item_coords {
+        base.entry(RegionId(coords.clone()))
+            .or_default()
+            .insert(id);
+    }
+    // Roll member sets up the lattice (set union is trivially
+    // distributive over the disjoint base subsets).
+    let members = rollup_lattice(item_space, base, |a, b| {
+        a.extend(b.iter().copied());
+    });
+    let mut order: Vec<RegionId> = members
+        .iter()
+        .filter(|(_, s)| s.len() >= config.min_subset_size)
+        .map(|(k, _)| k.clone())
+        .collect();
+    order.sort();
+    let members = members
+        .into_iter()
+        .filter(|(k, _)| order.binary_search(k).is_ok())
+        .collect();
+    Ok(SubsetIndex { members, order })
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use crate::items::ItemTable;
+    use bellwether_cube::{Dimension, Hierarchy};
+    use bellwether_storage::{MemorySource, RegionBlock};
+    use bellwether_table::{Column, DataType, Schema, Table};
+
+    /// Item space: one hierarchy Any → {ga, gb}; 24 items, half per
+    /// leaf. Region space: All/{ra, rb}. Group ga is perfectly
+    /// predictable in ra, gb in rb, the union in neither.
+    pub fn cube_fixture() -> (
+        MemorySource,
+        RegionSpace,
+        ItemTable,
+        RegionSpace,
+        HashMap<i64, Vec<u32>>,
+    ) {
+        let region_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "L",
+            "All",
+            &["ra", "rb"],
+        ))]);
+        let item_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "G",
+            "Any",
+            &["ga", "gb"],
+        ))]);
+
+        let n = 24i64;
+        let is_a = |i: i64| i < 12;
+        let fa = |i: i64| (3 * i + 1) as f64;
+        let fb = |i: i64| (i + 7) as f64;
+        let junk = |i: i64, s: i64| ((i * 29 + s * 17) % 13) as f64;
+        let target = |i: i64| if is_a(i) { 2.0 * fa(i) } else { -4.0 * fb(i) };
+
+        let mut all = RegionBlock::new(vec![0], 2);
+        let mut ra = RegionBlock::new(vec![1], 2);
+        let mut rb = RegionBlock::new(vec![2], 2);
+        for i in 0..n {
+            let f_ra = if is_a(i) { fa(i) } else { junk(i, 1) };
+            let f_rb = if is_a(i) { junk(i, 2) } else { fb(i) };
+            ra.push(i, &[1.0, f_ra], target(i));
+            rb.push(i, &[1.0, f_rb], target(i));
+            all.push(i, &[1.0, junk(i, 3)], target(i));
+        }
+        let source = MemorySource::new(vec![all, ra, rb]);
+
+        let table = Table::new(
+            Schema::from_pairs(&[("id", DataType::Int), ("g", DataType::Str)]).unwrap(),
+            vec![
+                Column::from_ints((0..n).collect()),
+                Column::from_strs(
+                    &(0..n)
+                        .map(|i| if is_a(i) { "ga" } else { "gb" })
+                        .collect::<Vec<_>>(),
+                ),
+            ],
+        )
+        .unwrap();
+        let items = ItemTable::from_table(&table, "id", &[], &["g"]).unwrap();
+        let item_coords = items
+            .leaf_coords(
+                &[match &item_space.dims()[0] {
+                    Dimension::Hierarchy(h) => h.clone(),
+                    _ => unreachable!(),
+                }],
+                &["g"],
+            )
+            .unwrap();
+        (source, region_space, items, item_space, item_coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::cube_fixture;
+    use super::*;
+
+    #[test]
+    fn significant_subsets_respect_threshold() {
+        let (_, _, _, item_space, coords) = cube_fixture();
+        // 24 items: Any = 24, ga = gb = 12.
+        let all = significant_subsets(&item_space, &coords, &CubeConfig { min_subset_size: 1 })
+            .unwrap();
+        assert_eq!(all.order.len(), 3);
+        let k13 = significant_subsets(
+            &item_space,
+            &coords,
+            &CubeConfig {
+                min_subset_size: 13,
+            },
+        )
+        .unwrap();
+        assert_eq!(k13.order.len(), 1); // only [Any]
+        assert_eq!(k13.members[&RegionId(vec![0])].len(), 24);
+    }
+
+    #[test]
+    fn member_sets_are_correct() {
+        let (_, _, _, item_space, coords) = cube_fixture();
+        let idx = significant_subsets(&item_space, &coords, &CubeConfig { min_subset_size: 1 })
+            .unwrap();
+        let ga = &idx.members[&RegionId(vec![1])];
+        assert_eq!(ga.len(), 12);
+        assert!(ga.contains(&0) && !ga.contains(&12));
+    }
+
+    #[test]
+    fn empty_items_rejected() {
+        let (_, _, _, item_space, _) = cube_fixture();
+        let empty = HashMap::new();
+        assert!(significant_subsets(&item_space, &empty, &CubeConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Naive bellwether cube construction (§6.2): one basic bellwether
+//! search per significant subset — each re-scans the entire training
+//! data, so IO grows with the number of subsets.
+
+use super::{BellwetherCube, CubeConfig, SubsetCell};
+use crate::error::Result;
+use crate::problem::BellwetherConfig;
+use crate::training::block_subset_data;
+use bellwether_cube::{RegionId, RegionSpace};
+use bellwether_linreg::fit_wls;
+use bellwether_storage::TrainingSource;
+use std::collections::{HashMap, HashSet};
+
+/// Build a bellwether cube naively.
+pub fn build_naive_cube(
+    source: &dyn TrainingSource,
+    region_space: &RegionSpace,
+    item_space: &RegionSpace,
+    item_coords: &HashMap<i64, Vec<u32>>,
+    problem: &BellwetherConfig,
+    cube_cfg: &CubeConfig,
+) -> Result<BellwetherCube> {
+    let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
+    let mut cells = HashMap::new();
+    for subset in &index.order {
+        let ids = &index.members[subset];
+        if let Some(cell) =
+            subset_cell(source, region_space, item_space, subset, ids, problem)?
+        {
+            cells.insert(subset.clone(), cell);
+        }
+    }
+    Ok(BellwetherCube {
+        item_space: item_space.clone(),
+        item_coords: item_coords.clone(),
+        cells,
+    })
+}
+
+/// Solve the basic bellwether problem for one subset: scan every region,
+/// track the minimum error, then fit the winning model with a targeted
+/// read. Shared by the naive algorithm and by all finalisation passes.
+pub fn subset_cell(
+    source: &dyn TrainingSource,
+    region_space: &RegionSpace,
+    item_space: &RegionSpace,
+    subset: &RegionId,
+    ids: &HashSet<i64>,
+    problem: &BellwetherConfig,
+) -> Result<Option<SubsetCell>> {
+    let mut best: Option<(usize, f64)> = None;
+    for idx in 0..source.num_regions() {
+        let block = source.read_region(idx)?;
+        let data = block_subset_data(&block, ids);
+        if data.n() < problem.min_examples.max(1) {
+            continue;
+        }
+        if let Some(e) = problem.error_measure.estimate(&data) {
+            if best.is_none_or(|(_, b)| e.value < b) {
+                best = Some((idx, e.value));
+            }
+        }
+    }
+    finalize_cell(source, region_space, item_space, subset, ids, problem, best)
+}
+
+/// Turn a winning `(region index, error value)` into a full cell with a
+/// fitted model and complete error estimate (one targeted read).
+pub fn finalize_cell(
+    source: &dyn TrainingSource,
+    region_space: &RegionSpace,
+    item_space: &RegionSpace,
+    subset: &RegionId,
+    ids: &HashSet<i64>,
+    problem: &BellwetherConfig,
+    best: Option<(usize, f64)>,
+) -> Result<Option<SubsetCell>> {
+    let Some((region_index, _)) = best else {
+        return Ok(None);
+    };
+    let block = source.read_region(region_index)?;
+    let data = block_subset_data(&block, ids);
+    let (Some(error), Some(model)) =
+        (problem.error_measure.estimate(&data), fit_wls(&data))
+    else {
+        return Ok(None);
+    };
+    let region = RegionId(source.region_coords(region_index).to_vec());
+    Ok(Some(SubsetCell {
+        label: item_space.label(subset),
+        subset: subset.clone(),
+        size: ids.len(),
+        region_index,
+        region_label: region_space.label(&region),
+        region,
+        error,
+        model,
+        n_examples: data.n(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::tests_support::cube_fixture;
+    use crate::problem::ErrorMeasure;
+
+    fn problem() -> BellwetherConfig {
+        BellwetherConfig::new(1e9)
+            .with_min_coverage(0.0)
+            .with_min_examples(4)
+            .with_error_measure(ErrorMeasure::TrainingSet)
+    }
+
+    #[test]
+    fn per_group_bellwethers_found() {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        let cube = build_naive_cube(
+            &src,
+            &region_space,
+            &item_space,
+            &coords,
+            &problem(),
+            &CubeConfig {
+                min_subset_size: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(cube.cells.len(), 3);
+        let ga = cube.cell(&RegionId(vec![1])).unwrap();
+        assert_eq!(ga.region_label, "[ra]");
+        assert!(ga.error.value < 1e-6);
+        let gb = cube.cell(&RegionId(vec![2])).unwrap();
+        assert_eq!(gb.region_label, "[rb]");
+        assert!(gb.error.value < 1e-6);
+        // The union subset exists but its error is much worse.
+        let any = cube.root_cell().unwrap();
+        assert!(any.error.value > 1.0);
+        assert_eq!(any.size, 24);
+        assert_eq!(any.label, "[Any]");
+    }
+
+    #[test]
+    fn threshold_drops_small_subsets() {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        let cube = build_naive_cube(
+            &src,
+            &region_space,
+            &item_space,
+            &coords,
+            &problem(),
+            &CubeConfig {
+                min_subset_size: 13,
+            },
+        )
+        .unwrap();
+        assert_eq!(cube.cells.len(), 1);
+        assert!(cube.root_cell().is_some());
+    }
+}

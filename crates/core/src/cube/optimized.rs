@@ -1,0 +1,393 @@
+//! Optimized bellwether cube construction (§6.4): the single scan where
+//! per-region, per-subset model construction is replaced by data-cube
+//! computation of the Theorem-1 sufficient statistic.
+//!
+//! For each region block we accumulate `g(S) = ⟨Y'WY, X'WX, X'WY, n⟩`
+//! once per **base** subset (each example belongs to exactly one base
+//! subset), then roll the statistics up the item-hierarchy lattice with
+//! `merge` — `O(#base · Σ depth)` merges — and read every subset's
+//! training-set SSE straight from the merged statistic. The per-block
+//! cost no longer multiplies by the number of nested subsets, which is
+//! what Figures 11(b) and 12(a) measure.
+//!
+//! The training-set error is what Theorem 1 makes algebraic, so this
+//! algorithm requires [`ErrorMeasure::TrainingSet`]; constructing with a
+//! cross-validation measure is a configuration error.
+
+use super::naive::finalize_cell;
+use super::{BellwetherCube, CubeConfig};
+use crate::error::{BellwetherError, Result};
+use crate::problem::{BellwetherConfig, ErrorMeasure};
+use bellwether_cube::{rollup_lattice, RegionId, RegionSpace};
+use bellwether_linreg::RegSuffStats;
+use bellwether_storage::TrainingSource;
+use std::collections::HashMap;
+
+/// Build a bellwether cube with the algebraic-rollup optimization.
+pub fn build_optimized_cube(
+    source: &dyn TrainingSource,
+    region_space: &RegionSpace,
+    item_space: &RegionSpace,
+    item_coords: &HashMap<i64, Vec<u32>>,
+    problem: &BellwetherConfig,
+    cube_cfg: &CubeConfig,
+) -> Result<BellwetherCube> {
+    if problem.error_measure != ErrorMeasure::TrainingSet {
+        return Err(BellwetherError::Config(
+            "the optimized cube requires ErrorMeasure::TrainingSet (Theorem 1 \
+             decomposes training-set SSE, not cross-validation error)"
+                .into(),
+        ));
+    }
+    let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
+    let p = source.feature_arity();
+
+    let mut best: HashMap<RegionId, (usize, f64)> = HashMap::new();
+    for idx in 0..source.num_regions() {
+        let block = source.read_region(idx)?;
+
+        // Base aggregation: one suffstats update per example.
+        let mut base: HashMap<RegionId, RegSuffStats> = HashMap::new();
+        for (id, x, y) in block.iter() {
+            let Some(coords) = item_coords.get(&id) else { continue };
+            base.entry(RegionId(coords.clone()))
+                .or_insert_with(|| RegSuffStats::new(p))
+                .add(x, y, 1.0);
+        }
+
+        // Lattice rollup: merge statistics upward (Observation 1).
+        let rolled = rollup_lattice(item_space, base, |a, b| a.merge(b));
+
+        // Read each significant subset's error from its statistic.
+        for subset in &index.order {
+            let Some(stats) = rolled.get(subset) else { continue };
+            if stats.n() < problem.min_examples.max(1) {
+                continue;
+            }
+            let Some(err) = stats.rmse() else { continue };
+            let slot = best.entry(subset.clone()).or_insert((idx, f64::INFINITY));
+            if err < slot.1 {
+                *slot = (idx, err);
+            }
+        }
+    }
+
+    let mut cells = HashMap::new();
+    for subset in &index.order {
+        if let Some(cell) = finalize_cell(
+            source,
+            region_space,
+            item_space,
+            subset,
+            &index.members[subset],
+            problem,
+            best.get(subset).copied(),
+        )? {
+            cells.insert(subset.clone(), cell);
+        }
+    }
+    Ok(BellwetherCube {
+        item_space: item_space.clone(),
+        item_coords: item_coords.clone(),
+        cells,
+    })
+}
+
+/// Deterministic fold of an item: a SplitMix64 hash of the id, so the
+/// assignment is stable across regions, subsets and machines.
+fn item_fold(item: i64, folds: usize, seed: u64) -> usize {
+    let mut h = bellwether_linreg::SplitMix64::new((item as u64) ^ seed);
+    (h.next_u64() % folds as u64) as usize
+}
+
+/// **Extension beyond the paper**: a *cross-validated* optimized cube.
+///
+/// Theorem 1 decomposes training-set SSE. The same statistic also
+/// yields k-fold cross-validation error without revisiting examples:
+/// keep one statistic per (base subset, fold); the model of fold `f` is
+/// fit from the merged complement, and its test SSE on fold `f` is
+/// `Y'Y − 2β'X'Y + β'X'Xβ` — entirely from fold `f`'s statistic
+/// ([`bellwether_linreg::RegSuffStats::sse_of_model`]). The per-block
+/// cost gains a factor `k` in statistics but still avoids per-subset
+/// refits from raw rows.
+///
+/// The resulting cell errors are genuine CV estimates (mean fold RMSE ±
+/// spread), so confidence-bound prediction works unchanged.
+#[allow(clippy::too_many_arguments)] // mirrors the other builders + CV knobs
+pub fn build_optimized_cube_cv(
+    source: &dyn TrainingSource,
+    region_space: &RegionSpace,
+    item_space: &RegionSpace,
+    item_coords: &HashMap<i64, Vec<u32>>,
+    problem: &BellwetherConfig,
+    cube_cfg: &CubeConfig,
+    folds: usize,
+    seed: u64,
+) -> Result<BellwetherCube> {
+    use bellwether_linreg::ErrorEstimate;
+    if folds < 2 {
+        return Err(BellwetherError::Config("cv cube needs at least 2 folds".into()));
+    }
+    let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
+    let p = source.feature_arity();
+
+    // best[subset] = (region idx, cv error, fold rmses)
+    let mut best: HashMap<RegionId, (usize, f64, Vec<f64>)> = HashMap::new();
+    for idx in 0..source.num_regions() {
+        let block = source.read_region(idx)?;
+
+        // Base aggregation, one statistic per (base subset, fold).
+        let mut base: HashMap<RegionId, Vec<RegSuffStats>> = HashMap::new();
+        for (id, x, y) in block.iter() {
+            let Some(coords) = item_coords.get(&id) else { continue };
+            let fold = item_fold(id, folds, seed);
+            let stats = base
+                .entry(RegionId(coords.clone()))
+                .or_insert_with(|| (0..folds).map(|_| RegSuffStats::new(p)).collect());
+            stats[fold].add(x, y, 1.0);
+        }
+
+        // Rollup: merge fold vectors elementwise.
+        let rolled = rollup_lattice(item_space, base, |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                x.merge(y);
+            }
+        });
+
+        for subset in &index.order {
+            let Some(fold_stats) = rolled.get(subset) else { continue };
+            let total_n: usize = fold_stats.iter().map(RegSuffStats::n).sum();
+            if total_n < problem.min_examples.max(1) {
+                continue;
+            }
+            // Algebraic k-fold CV.
+            let mut fold_rmses = Vec::with_capacity(folds);
+            for f in 0..folds {
+                if fold_stats[f].n() == 0 {
+                    continue;
+                }
+                let mut train = RegSuffStats::new(p);
+                for (g, s) in fold_stats.iter().enumerate() {
+                    if g != f {
+                        train.merge(s);
+                    }
+                }
+                let Some(model) = train.fit() else { continue };
+                let sse = fold_stats[f].sse_of_model(&model);
+                fold_rmses.push((sse / fold_stats[f].n() as f64).sqrt());
+            }
+            if fold_rmses.is_empty() {
+                continue;
+            }
+            let est = ErrorEstimate::from_folds(&fold_rmses);
+            let slot = best
+                .entry(subset.clone())
+                .or_insert((idx, f64::INFINITY, Vec::new()));
+            if est.value < slot.1 {
+                *slot = (idx, est.value, fold_rmses);
+            }
+        }
+    }
+
+    // Finalize: fit the winning models; the error estimate is the
+    // algebraic CV estimate gathered during the scan.
+    let mut cells = HashMap::new();
+    for subset in &index.order {
+        let Some((region_index, _, fold_rmses)) = best.get(subset) else { continue };
+        let ids = &index.members[subset];
+        let block = source.read_region(*region_index)?;
+        let data = crate::training::block_subset_data(&block, ids);
+        let Some(model) = bellwether_linreg::fit_wls(&data) else { continue };
+        let region = RegionId(source.region_coords(*region_index).to_vec());
+        cells.insert(
+            subset.clone(),
+            super::SubsetCell {
+                label: item_space.label(subset),
+                subset: subset.clone(),
+                size: ids.len(),
+                region_index: *region_index,
+                region_label: region_space.label(&region),
+                region,
+                error: ErrorEstimate::from_folds(fold_rmses),
+                model,
+                n_examples: data.n(),
+            },
+        );
+    }
+    Ok(BellwetherCube {
+        item_space: item_space.clone(),
+        item_coords: item_coords.clone(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::single_scan::build_single_scan_cube;
+    use crate::cube::tests_support::cube_fixture;
+
+    fn problem() -> BellwetherConfig {
+        BellwetherConfig::new(1e9)
+            .with_min_coverage(0.0)
+            .with_min_examples(4)
+            .with_error_measure(ErrorMeasure::TrainingSet)
+    }
+
+    fn cfg() -> CubeConfig {
+        CubeConfig {
+            min_subset_size: 5,
+        }
+    }
+
+    #[test]
+    fn optimized_matches_single_scan() {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        let single =
+            build_single_scan_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
+                .unwrap();
+        let optimized =
+            build_optimized_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
+                .unwrap();
+        assert_eq!(single.cells.len(), optimized.cells.len());
+        for (subset, scell) in &single.cells {
+            let ocell = optimized.cell(subset).expect("subset present");
+            assert_eq!(scell.region, ocell.region, "subset {subset:?}");
+            assert!(
+                (scell.error.value - ocell.error.value).abs() < 1e-6,
+                "errors diverge for {subset:?}: {} vs {}",
+                scell.error.value,
+                ocell.error.value
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_scan_count_matches_single_scan() {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        src.stats().reset();
+        let cube =
+            build_optimized_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
+                .unwrap();
+        assert_eq!(
+            src.stats().regions_read(),
+            src.num_regions() as u64 + cube.cells.len() as u64
+        );
+    }
+
+    #[test]
+    fn cv_measure_rejected() {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        let bad = BellwetherConfig::new(1e9); // defaults to CV
+        let err =
+            build_optimized_cube(&src, &region_space, &item_space, &coords, &bad, &cfg());
+        assert!(matches!(err, Err(BellwetherError::Config(_))));
+    }
+
+    #[test]
+    fn cv_cube_matches_direct_fold_computation() {
+        use crate::training::block_subset_data;
+        use bellwether_linreg::RegSuffStats;
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        let folds = 3;
+        let seed = 99;
+        let cube = build_optimized_cube_cv(
+            &src,
+            &region_space,
+            &item_space,
+            &coords,
+            &problem(),
+            &cfg(),
+            folds,
+            seed,
+        )
+        .unwrap();
+        assert!(!cube.cells.is_empty());
+
+        // Reference: for the [ga] subset (node 1) and its winning
+        // region, recompute the fold errors from raw rows with the same
+        // fold assignment.
+        let cell = cube.cell(&RegionId(vec![1])).expect("ga cell");
+        let block = src.read_region(cell.region_index).unwrap();
+        let ids: std::collections::HashSet<i64> = (0..12).collect();
+        let data = block_subset_data(&block, &ids);
+        // Recompute per-fold: gather rows per fold by item id.
+        let fold_of = |id: i64| super::item_fold(id, folds, seed);
+        let mut fold_rmses = Vec::new();
+        for f in 0..folds {
+            let mut train = bellwether_linreg::RegressionData::new(2);
+            let mut test = bellwether_linreg::RegressionData::new(2);
+            for (row, (id, x, y)) in block.iter().enumerate() {
+                let _ = row;
+                if !ids.contains(&id) {
+                    continue;
+                }
+                if fold_of(id) == f {
+                    test.push(x, y);
+                } else {
+                    train.push(x, y);
+                }
+            }
+            if test.n() == 0 {
+                continue;
+            }
+            let model = RegSuffStats::from_dataset(&train).fit().unwrap();
+            fold_rmses.push(model.rmse_on(&test));
+        }
+        let expect = bellwether_linreg::ErrorEstimate::from_folds(&fold_rmses);
+        assert!(
+            (cell.error.value - expect.value).abs() < 1e-6,
+            "algebraic CV {} vs direct {}",
+            cell.error.value,
+            expect.value
+        );
+        let _ = data;
+    }
+
+    #[test]
+    fn cv_cube_picks_the_planted_regions() {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        let cube = build_optimized_cube_cv(
+            &src,
+            &region_space,
+            &item_space,
+            &coords,
+            &problem(),
+            &cfg(),
+            4,
+            7,
+        )
+        .unwrap();
+        assert_eq!(cube.cell(&RegionId(vec![1])).unwrap().region_label, "[ra]");
+        assert_eq!(cube.cell(&RegionId(vec![2])).unwrap().region_label, "[rb]");
+        // CV errors carry spread information for confidence selection.
+        assert!(cube.root_cell().unwrap().error.std_err >= 0.0);
+    }
+
+    #[test]
+    fn cv_cube_rejects_single_fold() {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        let err = build_optimized_cube_cv(
+            &src,
+            &region_space,
+            &item_space,
+            &coords,
+            &problem(),
+            &cfg(),
+            1,
+            0,
+        );
+        assert!(matches!(err, Err(BellwetherError::Config(_))));
+    }
+
+    #[test]
+    fn items_without_coords_are_skipped() {
+        let (src, region_space, _items, item_space, mut coords) = cube_fixture();
+        // Remove one item's coordinates: it simply drops out of the cube.
+        coords.remove(&0);
+        let cube =
+            build_optimized_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
+                .unwrap();
+        assert_eq!(cube.root_cell().unwrap().size, 23);
+    }
+}

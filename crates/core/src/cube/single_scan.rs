@@ -1,0 +1,133 @@
+//! Single-scan bellwether cube construction (Figure 7 in the paper;
+//! §6.3): keep a `MinError[S]` entry per significant subset in memory
+//! and find every subset's bellwether region in **one** scan over the
+//! entire training data (Lemma 2), plus one targeted read per cell to
+//! fit the final model.
+
+use super::naive::finalize_cell;
+use super::{BellwetherCube, CubeConfig};
+use crate::error::Result;
+use crate::problem::BellwetherConfig;
+use crate::tree::partition::PartitionSpec;
+use bellwether_cube::RegionSpace;
+use bellwether_storage::TrainingSource;
+use std::collections::HashMap;
+
+/// Build a bellwether cube in a single scan.
+pub fn build_single_scan_cube(
+    source: &dyn TrainingSource,
+    region_space: &RegionSpace,
+    item_space: &RegionSpace,
+    item_coords: &HashMap<i64, Vec<u32>>,
+    problem: &BellwetherConfig,
+    cube_cfg: &CubeConfig,
+) -> Result<BellwetherCube> {
+    let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
+    // Cube subsets overlap (they are nested), so each subset gets its
+    // own single-set routing table, built once for the whole scan.
+    let subset_specs: Vec<PartitionSpec> = index
+        .order
+        .iter()
+        .map(|s| PartitionSpec::new(std::slice::from_ref(&index.members[s])))
+        .collect();
+
+    // MinError[S] / BellwetherRegion[S], updated region by region.
+    let mut best: Vec<Option<(usize, f64)>> = vec![None; index.order.len()];
+    for idx in 0..source.num_regions() {
+        let block = source.read_region(idx)?;
+        // Build a model h_r for every significant subset from this block
+        // — the per-subset refits the optimized variant eliminates.
+        for (slot, spec) in subset_specs.iter().enumerate() {
+            if let Some(err) = spec.errors(&block, problem)[0] {
+                if best[slot].is_none_or(|(_, b)| err < b) {
+                    best[slot] = Some((idx, err));
+                }
+            }
+        }
+    }
+
+    let mut cells = HashMap::new();
+    for (slot, subset) in index.order.iter().enumerate() {
+        if let Some(cell) = finalize_cell(
+            source,
+            region_space,
+            item_space,
+            subset,
+            &index.members[subset],
+            problem,
+            best[slot],
+        )? {
+            cells.insert(subset.clone(), cell);
+        }
+    }
+    Ok(BellwetherCube {
+        item_space: item_space.clone(),
+        item_coords: item_coords.clone(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::naive::build_naive_cube;
+    use crate::cube::tests_support::cube_fixture;
+    use crate::problem::ErrorMeasure;
+
+    fn problem() -> BellwetherConfig {
+        BellwetherConfig::new(1e9)
+            .with_min_coverage(0.0)
+            .with_min_examples(4)
+            .with_error_measure(ErrorMeasure::TrainingSet)
+    }
+
+    fn cfg() -> CubeConfig {
+        CubeConfig {
+            min_subset_size: 5,
+        }
+    }
+
+    #[test]
+    fn lemma_2_same_cube_as_naive() {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        let naive =
+            build_naive_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
+                .unwrap();
+        let single =
+            build_single_scan_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
+                .unwrap();
+        assert_eq!(naive.cells.len(), single.cells.len());
+        for (subset, ncell) in &naive.cells {
+            let scell = single.cell(subset).expect("subset present in both");
+            assert_eq!(ncell.region, scell.region, "subset {subset:?}");
+            assert!((ncell.error.value - scell.error.value).abs() < 1e-9);
+            assert_eq!(ncell.size, scell.size);
+        }
+    }
+
+    #[test]
+    fn lemma_2_scan_counts() {
+        let (src, region_space, _items, item_space, coords) = cube_fixture();
+        let num_regions = src.num_regions() as u64;
+
+        src.stats().reset();
+        let single =
+            build_single_scan_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
+                .unwrap();
+        let single_reads = src.stats().regions_read();
+        // One full scan + one targeted read per produced cell.
+        assert_eq!(single_reads, num_regions + single.cells.len() as u64);
+
+        src.stats().reset();
+        let naive =
+            build_naive_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
+                .unwrap();
+        let naive_reads = src.stats().regions_read();
+        // One full scan per subset + one targeted read per cell.
+        assert_eq!(
+            naive_reads,
+            num_regions * 3 + naive.cells.len() as u64
+        );
+        assert!(naive_reads > single_reads);
+    }
+}

@@ -1,0 +1,73 @@
+//! Unified error type for bellwether analysis.
+
+use std::fmt;
+
+/// Errors surfaced by bellwether search, trees and cubes.
+#[derive(Debug)]
+pub enum BellwetherError {
+    /// Relational substrate error.
+    Table(bellwether_table::TableError),
+    /// Storage IO error.
+    Io(std::io::Error),
+    /// Problem configuration is invalid.
+    Config(String),
+    /// A referenced item, region or attribute does not exist.
+    NotFound(String),
+    /// No feasible region satisfied the constraints.
+    NoFeasibleRegion,
+}
+
+impl fmt::Display for BellwetherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BellwetherError::Table(e) => write!(f, "table error: {e}"),
+            BellwetherError::Io(e) => write!(f, "io error: {e}"),
+            BellwetherError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            BellwetherError::NotFound(what) => write!(f, "not found: {what}"),
+            BellwetherError::NoFeasibleRegion => {
+                write!(f, "no feasible region satisfies the constraints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BellwetherError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BellwetherError::Table(e) => Some(e),
+            BellwetherError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bellwether_table::TableError> for BellwetherError {
+    fn from(e: bellwether_table::TableError) -> Self {
+        BellwetherError::Table(e)
+    }
+}
+
+impl From<std::io::Error> for BellwetherError {
+    fn from(e: std::io::Error) -> Self {
+        BellwetherError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BellwetherError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = BellwetherError::Config("budget must be positive".into());
+        assert!(e.to_string().contains("budget"));
+        let e = BellwetherError::NoFeasibleRegion;
+        assert!(e.to_string().contains("feasible"));
+        let e: BellwetherError =
+            bellwether_table::TableError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("unknown column"));
+    }
+}

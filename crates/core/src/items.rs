@@ -1,0 +1,291 @@
+//! The item table `I` (§5): per-item attributes that are always known —
+//! before any regional data is bought — and therefore usable for tree
+//! splits, item hierarchies and static model features.
+
+use crate::error::{BellwetherError, Result};
+use bellwether_cube::Hierarchy;
+use bellwether_table::{DataType, Table};
+use std::collections::HashMap;
+
+/// A numeric item attribute.
+#[derive(Debug, Clone)]
+pub struct NumericAttr {
+    /// Attribute name.
+    pub name: String,
+    /// One value per item, in item order.
+    pub values: Vec<f64>,
+}
+
+/// A categorical item attribute, dictionary-encoded.
+#[derive(Debug, Clone)]
+pub struct CategoricalAttr {
+    /// Attribute name.
+    pub name: String,
+    /// Dictionary code per item.
+    pub codes: Vec<u32>,
+    /// Code → label.
+    pub labels: Vec<String>,
+}
+
+impl CategoricalAttr {
+    /// Label of one item's value.
+    pub fn label_of(&self, item_idx: usize) -> &str {
+        &self.labels[self.codes[item_idx] as usize]
+    }
+}
+
+/// The item table: ids plus typed attributes with O(1) id lookup.
+#[derive(Debug, Clone, Default)]
+pub struct ItemTable {
+    ids: Vec<i64>,
+    index: HashMap<i64, usize>,
+    numeric: Vec<NumericAttr>,
+    categorical: Vec<CategoricalAttr>,
+}
+
+impl ItemTable {
+    /// Build from a relational table: `id_col` must be Int and unique;
+    /// `numeric_cols` become numeric attributes (NULL → error) and
+    /// `categorical_cols` become dictionary-encoded attributes.
+    pub fn from_table(
+        table: &Table,
+        id_col: &str,
+        numeric_cols: &[&str],
+        categorical_cols: &[&str],
+    ) -> Result<Self> {
+        let n = table.num_rows();
+        let id_data = table.column_by_name(id_col)?.as_int(id_col)?;
+        let mut ids = Vec::with_capacity(n);
+        let mut index = HashMap::with_capacity(n);
+        for row in 0..n {
+            if !id_data.is_valid(row) {
+                return Err(BellwetherError::Config(format!(
+                    "NULL item id at row {row}"
+                )));
+            }
+            let id = id_data.values[row];
+            if index.insert(id, row).is_some() {
+                return Err(BellwetherError::Config(format!("duplicate item id {id}")));
+            }
+            ids.push(id);
+        }
+
+        let mut numeric = Vec::with_capacity(numeric_cols.len());
+        for &name in numeric_cols {
+            let col = table.column_by_name(name)?;
+            let mut values = Vec::with_capacity(n);
+            for row in 0..n {
+                match col.float_at(row) {
+                    Some(v) => values.push(v),
+                    None => {
+                        return Err(BellwetherError::Config(format!(
+                            "NULL or non-numeric value in item attribute {name} at row {row}"
+                        )))
+                    }
+                }
+            }
+            numeric.push(NumericAttr {
+                name: name.to_string(),
+                values,
+            });
+        }
+
+        let mut categorical = Vec::with_capacity(categorical_cols.len());
+        for &name in categorical_cols {
+            let col = table.column_by_name(name)?;
+            if col.dtype() != DataType::Str {
+                return Err(BellwetherError::Config(format!(
+                    "categorical item attribute {name} must be a string column"
+                )));
+            }
+            let data = col.as_str(name)?;
+            let mut labels: Vec<String> = Vec::new();
+            let mut dict: HashMap<&str, u32> = HashMap::new();
+            let mut codes = Vec::with_capacity(n);
+            for row in 0..n {
+                if !data.is_valid(row) {
+                    return Err(BellwetherError::Config(format!(
+                        "NULL value in item attribute {name} at row {row}"
+                    )));
+                }
+                let label: &str = &data.values[row];
+                let code = *dict.entry(label).or_insert_with(|| {
+                    labels.push(label.to_string());
+                    (labels.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            categorical.push(CategoricalAttr {
+                name: name.to_string(),
+                codes,
+                labels,
+            });
+        }
+
+        Ok(ItemTable {
+            ids,
+            index,
+            numeric,
+            categorical,
+        })
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// All item ids, in table order.
+    pub fn ids(&self) -> &[i64] {
+        &self.ids
+    }
+
+    /// Row index of an item id.
+    pub fn row_of(&self, id: i64) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// Numeric attributes.
+    pub fn numeric_attrs(&self) -> &[NumericAttr] {
+        &self.numeric
+    }
+
+    /// Categorical attributes.
+    pub fn categorical_attrs(&self) -> &[CategoricalAttr] {
+        &self.categorical
+    }
+
+    /// The static numeric feature vector of an item (used as model input
+    /// features alongside the query-generated regional features).
+    pub fn static_features(&self, id: i64) -> Option<Vec<f64>> {
+        let row = self.row_of(id)?;
+        Some(self.numeric.iter().map(|a| a.values[row]).collect())
+    }
+
+    /// Map each item to its leaf coordinates in the given item
+    /// hierarchies, matching categorical attribute values to hierarchy
+    /// leaf labels. `attr_for_hierarchy[k]` names the categorical
+    /// attribute feeding hierarchy `k`.
+    pub fn leaf_coords(
+        &self,
+        hierarchies: &[Hierarchy],
+        attr_for_hierarchy: &[&str],
+    ) -> Result<HashMap<i64, Vec<u32>>> {
+        assert_eq!(hierarchies.len(), attr_for_hierarchy.len());
+        let attrs: Vec<&CategoricalAttr> = attr_for_hierarchy
+            .iter()
+            .map(|name| {
+                self.categorical
+                    .iter()
+                    .find(|a| a.name == *name)
+                    .ok_or_else(|| BellwetherError::NotFound(format!("item attribute {name}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        let mut out = HashMap::with_capacity(self.len());
+        for (row, &id) in self.ids.iter().enumerate() {
+            let mut coords = Vec::with_capacity(hierarchies.len());
+            for (h, attr) in hierarchies.iter().zip(&attrs) {
+                let label = attr.label_of(row);
+                let node = h.id_of(label).ok_or_else(|| {
+                    BellwetherError::NotFound(format!(
+                        "hierarchy {} has no leaf {label:?}",
+                        h.name()
+                    ))
+                })?;
+                if !h.is_leaf(node) {
+                    return Err(BellwetherError::Config(format!(
+                        "item {id} maps to non-leaf node {label:?} of {}",
+                        h.name()
+                    )));
+                }
+                coords.push(node);
+            }
+            out.insert(id, coords);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bellwether_table::{Column, Schema};
+
+    fn item_table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("category", DataType::Str),
+            ("rd_expense", DataType::Float),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 2, 3]),
+                Column::from_strs(&["laptop", "desktop", "laptop"]),
+                Column::from_floats(vec![10.0, 20.0, 30.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_looks_up() {
+        let it =
+            ItemTable::from_table(&item_table(), "id", &["rd_expense"], &["category"]).unwrap();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.row_of(2), Some(1));
+        assert_eq!(it.static_features(3), Some(vec![30.0]));
+        assert_eq!(it.categorical_attrs()[0].label_of(1), "desktop");
+        assert_eq!(it.categorical_attrs()[0].labels.len(), 2);
+        assert!(it.static_features(99).is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]).unwrap();
+        let t = Table::new(schema, vec![Column::from_ints(vec![1, 1])]).unwrap();
+        assert!(ItemTable::from_table(&t, "id", &[], &[]).is_err());
+    }
+
+    #[test]
+    fn leaf_coords_map_through_hierarchy() {
+        let it = ItemTable::from_table(&item_table(), "id", &[], &["category"]).unwrap();
+        let mut h = Hierarchy::new("Category", "Any");
+        let hw = h.add_child(0, "hardware");
+        let laptop = h.add_child(hw, "laptop");
+        let desktop = h.add_child(hw, "desktop");
+        let coords = it.leaf_coords(&[h], &["category"]).unwrap();
+        assert_eq!(coords[&1], vec![laptop]);
+        assert_eq!(coords[&2], vec![desktop]);
+    }
+
+    #[test]
+    fn leaf_coords_reject_unknown_labels() {
+        let it = ItemTable::from_table(&item_table(), "id", &[], &["category"]).unwrap();
+        let h = Hierarchy::flat("Category", "Any", &["laptop"]); // no desktop
+        assert!(it.leaf_coords(&[h], &["category"]).is_err());
+    }
+
+    #[test]
+    fn leaf_coords_reject_internal_nodes() {
+        let schema =
+            Schema::from_pairs(&[("id", DataType::Int), ("cat", DataType::Str)]).unwrap();
+        let t = Table::new(
+            schema,
+            vec![Column::from_ints(vec![1]), Column::from_strs(&["hardware"])],
+        )
+        .unwrap();
+        let it = ItemTable::from_table(&t, "id", &[], &["cat"]).unwrap();
+        let mut h = Hierarchy::new("Category", "Any");
+        let hw = h.add_child(0, "hardware");
+        h.add_child(hw, "laptop");
+        assert!(it.leaf_coords(&[h], &["cat"]).is_err());
+    }
+}

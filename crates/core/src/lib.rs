@@ -1,0 +1,72 @@
+//! # bellwether-core
+//!
+//! A faithful reproduction of **"Bellwether Analysis: Predicting Global
+//! Aggregates from Local Regions"** (Chen, Ramakrishnan, Shavlik, Tamma
+//! — VLDB 2006).
+//!
+//! Bellwether analysis finds a *cost-bounded region* of an OLAP
+//! dimension space (e.g. `[first 2 weeks, Wisconsin]`) whose
+//! query-generated features best predict a global, query-generated
+//! target (e.g. first-year worldwide profit) — turning unlabeled
+//! historical data into supervised training sets with no human
+//! labelling.
+//!
+//! The crate provides:
+//!
+//! * [`problem`] — Definitions 1 and 2 (constrained-optimization
+//!   criterion, error measures);
+//! * [`features`] — the stylized feature/target generation queries over
+//!   a star schema and their CUBE rewrite (§4.2);
+//! * [`training`] — materialisation of the entire training data;
+//! * [`basic`] — basic bellwether search, plus the Avg-Err baseline and
+//!   the Figure 7(b) indistinguishability analysis;
+//! * [`sampling`] — the random-collection baseline (Smp Err);
+//! * [`tree`] — bellwether trees: naive and RainForest-style (Lemma 1);
+//! * [`cube`] — bellwether cubes: naive, single-scan (Lemma 2) and the
+//!   Theorem-1 optimized algorithm, with prediction and rollup/
+//!   drilldown exploration;
+//! * [`predict`] — the item-centric evaluation harness comparing the
+//!   basic/tree/cube methods.
+//!
+//! See the workspace README for an end-to-end example.
+
+#![warn(missing_docs)]
+
+pub mod basic;
+pub mod combinatorial;
+pub mod cube;
+pub mod error;
+pub mod features;
+pub mod items;
+pub mod predict;
+pub mod problem;
+pub mod sampling;
+pub mod training;
+pub mod tree;
+
+pub use basic::{
+    basic_search, basic_search_linear, BasicSearchResult, LinearCriterion,
+    LinearSearchResult, RegionReport,
+};
+pub use combinatorial::{greedy_combinatorial_search, CombinatorialResult};
+pub use cube::explore::{cross_tab, render_cross_tab, CrossTabCell};
+pub use cube::naive::build_naive_cube;
+pub use cube::optimized::{build_optimized_cube, build_optimized_cube_cv};
+pub use cube::predict::{candidate_cells, select_cell, select_cell_for_item};
+pub use cube::single_scan::build_single_scan_cube;
+pub use cube::{BellwetherCube, CubeConfig, SubsetCell};
+pub use error::{BellwetherError, Result};
+pub use features::{
+    auto_generate_queries, build_cube_input, global_target, FeatureQuery, StarDatabase,
+};
+pub use items::ItemTable;
+pub use predict::{evaluate_method, EvalContext, ItemCentricEval, Method};
+pub use problem::{BellwetherConfig, ErrorMeasure};
+pub use sampling::sampling_baseline_error;
+pub use training::{
+    build_memory_source, region_block, write_disk_source,
+};
+pub use tree::naive::build_naive as build_naive_tree;
+pub use tree::prune::prune_tree;
+pub use tree::rainforest::build_rainforest;
+pub use tree::{BellwetherTree, NodeInfo, SplitCriterion, TreeConfig};

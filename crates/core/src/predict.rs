@@ -1,0 +1,438 @@
+//! Item-centric bellwether-based prediction and its evaluation (§3.3,
+//! §7.1 Figure 8, §7.2 Figure 9(c), §7.3 Figure 10).
+//!
+//! Three methods predict a new item's target value:
+//!
+//! * **Basic** — one bellwether region and model for every item;
+//! * **Tree** — route the item down a bellwether tree by its item-table
+//!   features, use the leaf's region/model;
+//! * **Cube** — among the item's ancestor cube subsets, use the cell
+//!   with the lowest upper confidence bound of error.
+//!
+//! Evaluation is k-fold cross-validation over *items*: train the method
+//! on the training fold's items, then for each held-out item simulate
+//! data acquisition from the chosen region (look up its query-generated
+//! features there — zero if the item genuinely has no data, matching
+//! the training-time NULL → 0 policy) and score the squared error of
+//! the prediction. Reported is the pooled RMSE.
+
+use crate::cube::optimized::build_optimized_cube;
+use crate::cube::predict::select_cell;
+use crate::cube::single_scan::build_single_scan_cube;
+use crate::cube::{BellwetherCube, CubeConfig};
+use crate::error::Result;
+use crate::items::ItemTable;
+use crate::problem::BellwetherConfig;
+use crate::tree::rainforest::build_rainforest;
+use crate::tree::{subset_bellwether, BellwetherTree, TreeConfig};
+use bellwether_cube::RegionSpace;
+use bellwether_linreg::{fold_assignment, LinearModel};
+use bellwether_storage::TrainingSource;
+use std::collections::{HashMap, HashSet};
+
+/// The item-centric prediction method under evaluation.
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// Single bellwether region from basic search.
+    Basic,
+    /// Bellwether tree (built with the RF algorithm).
+    Tree(TreeConfig),
+    /// Bellwether cube with confidence level P for cell selection.
+    Cube(CubeConfig, f64),
+}
+
+impl Method {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Basic => "basic",
+            Method::Tree(_) => "tree",
+            Method::Cube(..) => "cube",
+        }
+    }
+}
+
+/// Cross-validation harness parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ItemCentricEval {
+    /// Folds over items (the paper uses 10).
+    pub folds: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for ItemCentricEval {
+    fn default() -> Self {
+        ItemCentricEval {
+            folds: 10,
+            seed: 0x17EB,
+        }
+    }
+}
+
+/// A trained item-centric predictor for one fold.
+enum FoldPredictor {
+    Basic {
+        region_index: usize,
+        model: LinearModel,
+    },
+    Tree(BellwetherTree),
+    Cube { cube: BellwetherCube, confidence: f64 },
+}
+
+/// Per-fold cache: region index → (item id → feature vector).
+struct FeatureCache<'s> {
+    source: &'s dyn TrainingSource,
+    cached: HashMap<usize, HashMap<i64, Vec<f64>>>,
+}
+
+impl<'s> FeatureCache<'s> {
+    fn new(source: &'s dyn TrainingSource) -> Self {
+        FeatureCache {
+            source,
+            cached: HashMap::new(),
+        }
+    }
+
+    /// The stored feature vector of `item` in region `idx`, or the
+    /// zero-filled regional vector when the item has no data there.
+    fn features(
+        &mut self,
+        idx: usize,
+        item: i64,
+        items: &ItemTable,
+    ) -> Result<Option<Vec<f64>>> {
+        if !self.cached.contains_key(&idx) {
+            let block = self.source.read_region(idx)?;
+            let map = block
+                .iter()
+                .map(|(id, x, _)| (id, x.to_vec()))
+                .collect::<HashMap<_, _>>();
+            self.cached.insert(idx, map);
+        }
+        if let Some(x) = self.cached[&idx].get(&item) {
+            return Ok(Some(x.clone()));
+        }
+        // No data in the region: intercept + statics + zero regional
+        // features, the same convention training uses for NULLs.
+        let Some(statics) = items.static_features(item) else {
+            return Ok(None);
+        };
+        let p = self.source.feature_arity();
+        let mut x = Vec::with_capacity(p);
+        x.push(1.0);
+        x.extend_from_slice(&statics);
+        x.resize(p, 0.0);
+        Ok(Some(x))
+    }
+}
+
+/// Inputs to [`evaluate_method`] that describe the dataset (as opposed
+/// to the method/CV knobs).
+pub struct EvalContext<'a> {
+    /// Entire training data over the feasible (under-budget) regions.
+    pub source: &'a dyn TrainingSource,
+    /// The candidate-region space.
+    pub region_space: &'a RegionSpace,
+    /// The item table.
+    pub items: &'a ItemTable,
+    /// Per-item target values.
+    pub targets: &'a HashMap<i64, f64>,
+    /// Item-hierarchy space (required by the cube method).
+    pub item_space: Option<&'a RegionSpace>,
+    /// Per-item leaf coordinates in the item space (cube method).
+    pub item_coords: Option<&'a HashMap<i64, Vec<u32>>>,
+}
+
+/// Evaluate one item-centric method by k-fold CV over items: pooled
+/// RMSE of its predictions. `None` when no fold produced a usable
+/// predictor (e.g. no region is affordable).
+pub fn evaluate_method(
+    ctx: &EvalContext<'_>,
+    problem: &BellwetherConfig,
+    method: &Method,
+    eval: &ItemCentricEval,
+) -> Result<Option<f64>> {
+    // Items that can be scored: present in the item table with targets.
+    let mut eval_ids: Vec<i64> = ctx
+        .items
+        .ids()
+        .iter()
+        .copied()
+        .filter(|id| ctx.targets.contains_key(id))
+        .collect();
+    eval_ids.sort_unstable();
+    if eval_ids.len() < 2 {
+        return Ok(None);
+    }
+
+    let assignment = fold_assignment(eval_ids.len(), eval.folds, eval.seed);
+    let k = assignment.iter().copied().max().map_or(1, |m| m + 1);
+
+    let mut sse = 0.0;
+    let mut count = 0usize;
+    for fold in 0..k {
+        let train_ids: Vec<i64> = eval_ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| assignment[*i] != fold)
+            .map(|(_, &id)| id)
+            .collect();
+        let test_ids: Vec<i64> = eval_ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| assignment[*i] == fold)
+            .map(|(_, &id)| id)
+            .collect();
+
+        let Some(predictor) = train_fold(ctx, problem, method, &train_ids)? else {
+            continue;
+        };
+        let mut cache = FeatureCache::new(ctx.source);
+        for &id in &test_ids {
+            let Some((region_index, model)) = choose_model(&predictor, ctx, id) else {
+                continue;
+            };
+            let Some(x) = cache.features(region_index, id, ctx.items)? else {
+                continue;
+            };
+            let pred = model.predict(&x);
+            let err = pred - ctx.targets[&id];
+            sse += err * err;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return Ok(None);
+    }
+    Ok(Some((sse / count as f64).sqrt()))
+}
+
+/// Train one fold's predictor on the training items.
+fn train_fold(
+    ctx: &EvalContext<'_>,
+    problem: &BellwetherConfig,
+    method: &Method,
+    train_ids: &[i64],
+) -> Result<Option<FoldPredictor>> {
+    match method {
+        Method::Basic => {
+            let ids: HashSet<i64> = train_ids.iter().copied().collect();
+            let info = subset_bellwether(ctx.source, ctx.region_space, &ids, problem)?;
+            Ok(info.map(|i| FoldPredictor::Basic {
+                region_index: i.region_index,
+                model: i.model,
+            }))
+        }
+        Method::Tree(tree_cfg) => {
+            let rows: Vec<usize> = train_ids
+                .iter()
+                .filter_map(|&id| ctx.items.row_of(id))
+                .collect();
+            let mut tree = build_rainforest(
+                ctx.source,
+                ctx.region_space,
+                ctx.items,
+                Some(rows),
+                problem,
+                tree_cfg,
+            )?;
+            let Some(root_info) = tree.root().info.as_ref() else {
+                return Ok(None);
+            };
+            if tree_cfg.prune_frac > 0.0 {
+                let penalty = tree_cfg.prune_frac
+                    * root_info.error
+                    * tree.root().item_rows.len() as f64;
+                crate::tree::prune::prune_tree(&mut tree, penalty);
+            }
+            Ok(Some(FoldPredictor::Tree(tree)))
+        }
+        Method::Cube(cube_cfg, confidence) => {
+            let (Some(item_space), Some(item_coords)) = (ctx.item_space, ctx.item_coords)
+            else {
+                return Err(crate::error::BellwetherError::Config(
+                    "cube method requires item_space and item_coords".into(),
+                ));
+            };
+            let train_set: HashSet<i64> = train_ids.iter().copied().collect();
+            let train_coords: HashMap<i64, Vec<u32>> = item_coords
+                .iter()
+                .filter(|(id, _)| train_set.contains(id))
+                .map(|(id, c)| (*id, c.clone()))
+                .collect();
+            if train_coords.is_empty() {
+                return Ok(None);
+            }
+            // Theorem 1 makes the optimized construction available (and
+            // much faster on many subsets) whenever the error measure is
+            // training-set; otherwise fall back to the single scan.
+            let cube = if problem.error_measure == crate::problem::ErrorMeasure::TrainingSet {
+                build_optimized_cube(
+                    ctx.source,
+                    ctx.region_space,
+                    item_space,
+                    &train_coords,
+                    problem,
+                    cube_cfg,
+                )?
+            } else {
+                build_single_scan_cube(
+                    ctx.source,
+                    ctx.region_space,
+                    item_space,
+                    &train_coords,
+                    problem,
+                    cube_cfg,
+                )?
+            };
+            if cube.cells.is_empty() {
+                return Ok(None);
+            }
+            Ok(Some(FoldPredictor::Cube {
+                cube,
+                confidence: *confidence,
+            }))
+        }
+    }
+}
+
+/// Resolve the (region, model) the predictor uses for one test item.
+fn choose_model<'p>(
+    predictor: &'p FoldPredictor,
+    ctx: &EvalContext<'_>,
+    id: i64,
+) -> Option<(usize, &'p LinearModel)> {
+    match predictor {
+        FoldPredictor::Basic {
+            region_index,
+            model,
+        } => Some((*region_index, model)),
+        FoldPredictor::Tree(tree) => {
+            let info = tree.predicting_info(ctx.items, id)?;
+            Some((info.region_index, &info.model))
+        }
+        FoldPredictor::Cube { cube, confidence } => {
+            let coords = ctx.item_coords?.get(&id)?;
+            let cell = select_cell(cube, coords, *confidence)?;
+            Some((cell.region_index, &cell.model))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::tests_support::cube_fixture;
+    use crate::problem::ErrorMeasure;
+
+    fn problem() -> BellwetherConfig {
+        BellwetherConfig::new(1e9)
+            .with_min_coverage(0.0)
+            .with_min_examples(4)
+            .with_error_measure(ErrorMeasure::TrainingSet)
+    }
+
+    #[test]
+    fn cube_and_tree_beat_basic_on_heterogeneous_items() {
+        let (src, region_space, items, item_space, coords) = cube_fixture();
+        let ctx = EvalContext {
+            source: &src,
+            region_space: &region_space,
+            items: &items,
+            targets: &(0..24)
+                .map(|i| {
+                    let is_a = i < 12;
+                    let t = if is_a {
+                        2.0 * (3 * i + 1) as f64
+                    } else {
+                        -4.0 * (i + 7) as f64
+                    };
+                    (i, t)
+                })
+                .collect(),
+            item_space: Some(&item_space),
+            item_coords: Some(&coords),
+        };
+        let eval = ItemCentricEval {
+            folds: 4,
+            seed: 3,
+        };
+        let basic = evaluate_method(&ctx, &problem(), &Method::Basic, &eval)
+            .unwrap()
+            .unwrap();
+        let cube = evaluate_method(
+            &ctx,
+            &problem(),
+            &Method::Cube(CubeConfig { min_subset_size: 5 }, 0.95),
+            &eval,
+        )
+        .unwrap()
+        .unwrap();
+        let tree = evaluate_method(
+            &ctx,
+            &problem(),
+            &Method::Tree(TreeConfig {
+                min_node_items: 8,
+                ..TreeConfig::default()
+            }),
+            &eval,
+        )
+        .unwrap()
+        .unwrap();
+        // The fixture's two groups need different regions: item-centric
+        // methods must clearly beat the single-region basic method.
+        assert!(cube < basic, "cube {cube} vs basic {basic}");
+        assert!(tree < basic, "tree {tree} vs basic {basic}");
+    }
+
+    #[test]
+    fn cube_method_requires_item_space() {
+        let (src, region_space, items, _item_space, _coords) = cube_fixture();
+        let targets = (0..24).map(|i| (i, i as f64)).collect();
+        let ctx = EvalContext {
+            source: &src,
+            region_space: &region_space,
+            items: &items,
+            targets: &targets,
+            item_space: None,
+            item_coords: None,
+        };
+        let err = evaluate_method(
+            &ctx,
+            &problem(),
+            &Method::Cube(CubeConfig::default(), 0.95),
+            &ItemCentricEval::default(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn too_few_items_yields_none() {
+        let (src, region_space, items, _is, _c) = cube_fixture();
+        let targets: HashMap<i64, f64> = [(0, 1.0)].into_iter().collect();
+        let ctx = EvalContext {
+            source: &src,
+            region_space: &region_space,
+            items: &items,
+            targets: &targets,
+            item_space: None,
+            item_coords: None,
+        };
+        let out = evaluate_method(
+            &ctx,
+            &problem(),
+            &Method::Basic,
+            &ItemCentricEval::default(),
+        )
+        .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(Method::Basic.name(), "basic");
+        assert_eq!(Method::Tree(TreeConfig::default()).name(), "tree");
+        assert_eq!(Method::Cube(CubeConfig::default(), 0.9).name(), "cube");
+    }
+}

@@ -1,0 +1,126 @@
+//! The bellwether problem definition (Definitions 1 and 2).
+
+use bellwether_linreg::{cross_val_estimate, training_set_estimate, ErrorEstimate, RegressionData};
+use serde::{Deserialize, Serialize};
+
+/// How model error is estimated (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ErrorMeasure {
+    /// k-fold cross-validation RMSE (the paper uses k = 10).
+    CrossValidation {
+        /// Number of folds.
+        folds: usize,
+        /// Shuffle seed, fixed for reproducibility.
+        seed: u64,
+    },
+    /// Training-set RMSE with `n − p` degrees of freedom. For linear
+    /// models this closely tracks cross-validation (Fig. 7c) and is what
+    /// makes the optimized cube's algebraic rollup possible.
+    TrainingSet,
+}
+
+impl ErrorMeasure {
+    /// The paper's default: 10-fold cross-validation.
+    pub fn cv10() -> Self {
+        ErrorMeasure::CrossValidation { folds: 10, seed: 0xBE11 }
+    }
+
+    /// Estimate the error of a WLS linear model on `data`. `None` when
+    /// the data cannot support a model (too few examples).
+    pub fn estimate(&self, data: &RegressionData) -> Option<ErrorEstimate> {
+        match *self {
+            ErrorMeasure::CrossValidation { folds, seed } => {
+                cross_val_estimate(data, folds, seed)
+            }
+            ErrorMeasure::TrainingSet => training_set_estimate(data),
+        }
+    }
+}
+
+/// Full configuration of a bellwether analysis run: the constrained
+/// optimization criterion of Definition 1 plus estimation knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BellwetherConfig {
+    /// Budget B: maximum acquisition cost of the chosen region.
+    pub budget: f64,
+    /// Coverage threshold C ∈ [0, 1]: minimum fraction of training items
+    /// with data in the region.
+    pub min_coverage: f64,
+    /// Error measure.
+    pub error_measure: ErrorMeasure,
+    /// Minimum number of training examples a region must supply before a
+    /// model is considered (guards meaningless fits; the cube's size
+    /// threshold K plays the same role for item subsets).
+    pub min_examples: usize,
+}
+
+impl BellwetherConfig {
+    /// Defaults: coverage ≥ 0.5, 10-fold CV, at least 10 examples.
+    pub fn new(budget: f64) -> Self {
+        BellwetherConfig {
+            budget,
+            min_coverage: 0.5,
+            error_measure: ErrorMeasure::cv10(),
+            min_examples: 10,
+        }
+    }
+
+    /// Builder-style coverage threshold.
+    pub fn with_min_coverage(mut self, c: f64) -> Self {
+        self.min_coverage = c;
+        self
+    }
+
+    /// Builder-style error measure.
+    pub fn with_error_measure(mut self, m: ErrorMeasure) -> Self {
+        self.error_measure = m;
+        self
+    }
+
+    /// Builder-style minimum example count.
+    pub fn with_min_examples(mut self, n: usize) -> Self {
+        self.min_examples = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> RegressionData {
+        let mut d = RegressionData::new(2);
+        for i in 0..n {
+            d.push(&[1.0, i as f64], 5.0 + 2.0 * i as f64);
+        }
+        d
+    }
+
+    #[test]
+    fn both_measures_agree_on_exact_data() {
+        let d = line(100);
+        let cv = ErrorMeasure::cv10().estimate(&d).unwrap();
+        let tr = ErrorMeasure::TrainingSet.estimate(&d).unwrap();
+        assert!(cv.value < 1e-6);
+        assert!(tr.value < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_data_yields_none() {
+        let d = line(1);
+        assert!(ErrorMeasure::cv10().estimate(&d).is_none());
+        assert!(ErrorMeasure::TrainingSet.estimate(&d).is_none());
+    }
+
+    #[test]
+    fn config_builder() {
+        let c = BellwetherConfig::new(50.0)
+            .with_min_coverage(0.8)
+            .with_error_measure(ErrorMeasure::TrainingSet)
+            .with_min_examples(5);
+        assert_eq!(c.budget, 50.0);
+        assert_eq!(c.min_coverage, 0.8);
+        assert_eq!(c.error_measure, ErrorMeasure::TrainingSet);
+        assert_eq!(c.min_examples, 5);
+    }
+}

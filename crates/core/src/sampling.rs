@@ -1,0 +1,177 @@
+//! The random-sampling baseline of Figure 7(a) ("Smp Err").
+//!
+//! Instead of one OLAP-style region, buy a *random collection* of
+//! candidate regions whose total cost fits the budget, aggregate the
+//! feature queries over the union of their cells (which "may not
+//! correspond to any OLAP-style region"), and measure the model error.
+//! Averaged over several trials, this shows what budget-matched
+//! unstructured acquisition achieves versus the bellwether.
+
+use crate::error::Result;
+use crate::items::ItemTable;
+use crate::problem::BellwetherConfig;
+use bellwether_cube::{aggregate_filtered, CostModel, CubeInput, RegionId, RegionSpace};
+use bellwether_linreg::{RegressionData, SplitMix64};
+use std::collections::HashMap;
+
+/// Mean error of the random-collection baseline over `trials` draws.
+/// Returns `None` if no trial could afford data and fit a model.
+#[allow(clippy::too_many_arguments)]
+pub fn sampling_baseline_error(
+    space: &RegionSpace,
+    cube_input: &CubeInput,
+    items: &ItemTable,
+    targets: &HashMap<i64, f64>,
+    cost_model: &dyn CostModel,
+    config: &BellwetherConfig,
+    trials: usize,
+    seed: u64,
+) -> Result<Option<f64>> {
+    let all_regions = space.all_regions();
+    let mut rng = SplitMix64::new(seed);
+    let mut errors = Vec::new();
+
+    for _ in 0..trials {
+        // Draw a random affordable collection of regions.
+        let mut order: Vec<usize> = (0..all_regions.len()).collect();
+        rng.shuffle(&mut order);
+        let mut chosen: Vec<&RegionId> = Vec::new();
+        let mut spent = 0.0;
+        for idx in order {
+            let r = &all_regions[idx];
+            let c = cost_model.cost(space, r);
+            if spent + c <= config.budget {
+                spent += c;
+                chosen.push(r);
+            }
+        }
+        if chosen.is_empty() {
+            continue;
+        }
+
+        // Aggregate features over the union of the collection's cells.
+        let features = aggregate_filtered(cube_input, space.arity(), |cell| {
+            let cell = RegionId(cell.to_vec());
+            chosen.iter().any(|r| space.contains(r, &cell))
+        });
+
+        // Assemble a training set with the standard layout.
+        let n_static = items.numeric_attrs().len();
+        let p = 1 + n_static + cube_input.measures.len();
+        let mut data = RegressionData::with_capacity(p, features.len());
+        let mut ids: Vec<i64> = features.keys().copied().collect();
+        ids.sort_unstable();
+        let mut x = Vec::with_capacity(p);
+        for id in ids {
+            let (Some(&y), Some(statics)) = (targets.get(&id), items.static_features(id)) else {
+                continue;
+            };
+            x.clear();
+            x.push(1.0);
+            x.extend_from_slice(&statics);
+            x.extend(features[&id].iter().map(|v| v.unwrap_or(0.0)));
+            data.push(&x, y);
+        }
+        if data.n() < config.min_examples {
+            continue;
+        }
+        if let Some(e) = config.error_measure.estimate(&data) {
+            errors.push(e.value);
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(None)
+    } else {
+        Ok(Some(errors.iter().sum::<f64>() / errors.len() as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ErrorMeasure;
+    use bellwether_cube::{Dimension, Hierarchy, Measure, UniformCellCost};
+    use bellwether_table::ops::AggFunc;
+    use bellwether_table::{Column, DataType, Schema, Table};
+
+    fn fixture() -> (RegionSpace, CubeInput, ItemTable, HashMap<i64, f64>) {
+        let space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "L",
+            "All",
+            &["a", "b"],
+        ))]);
+        // 20 items, each with one row in 'a' and one zero-profit row in
+        // 'b'; the target is 10 × (total profit), so any sampled union
+        // that includes the 'a' cells predicts perfectly.
+        let n = 20;
+        let mut item_ids = Vec::new();
+        let mut coords = Vec::new();
+        let mut profits = Vec::new();
+        for i in 0..n {
+            item_ids.push(i);
+            coords.push(1); // leaf a
+            profits.push(Some(i as f64));
+            item_ids.push(i);
+            coords.push(2); // leaf b
+            profits.push(Some(0.0));
+        }
+        let input = CubeInput {
+            item_ids,
+            coords,
+            measures: vec![Measure::Numeric {
+                name: "profit".into(),
+                func: AggFunc::Sum,
+                values: profits,
+            }],
+        };
+        let table = Table::new(
+            Schema::from_pairs(&[("id", DataType::Int)]).unwrap(),
+            vec![Column::from_ints((0..n).collect())],
+        )
+        .unwrap();
+        let items = ItemTable::from_table(&table, "id", &[], &[]).unwrap();
+        let targets: HashMap<i64, f64> = (0..n).map(|i| (i, 10.0 * i as f64)).collect();
+        (space, input, items, targets)
+    }
+
+    #[test]
+    fn generous_budget_gets_low_error() {
+        let (space, input, items, targets) = fixture();
+        let cfg = BellwetherConfig::new(100.0)
+            .with_min_examples(5)
+            .with_error_measure(ErrorMeasure::TrainingSet);
+        let cost = UniformCellCost { rate: 1.0 };
+        let err =
+            sampling_baseline_error(&space, &input, &items, &targets, &cost, &cfg, 5, 42)
+                .unwrap()
+                .unwrap();
+        // With everything affordable the union covers 'a', whose profit
+        // linearly determines the target (up to numerical noise).
+        assert!(err < 1e-3, "err = {err}");
+    }
+
+    #[test]
+    fn zero_budget_returns_none() {
+        let (space, input, items, targets) = fixture();
+        let cfg = BellwetherConfig::new(0.0).with_min_examples(5);
+        let cost = UniformCellCost { rate: 1.0 };
+        let err = sampling_baseline_error(&space, &input, &items, &targets, &cost, &cfg, 3, 1)
+            .unwrap();
+        assert!(err.is_none());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (space, input, items, targets) = fixture();
+        let cfg = BellwetherConfig::new(3.0)
+            .with_min_examples(5)
+            .with_error_measure(ErrorMeasure::TrainingSet);
+        let cost = UniformCellCost { rate: 1.0 };
+        let a = sampling_baseline_error(&space, &input, &items, &targets, &cost, &cfg, 4, 7)
+            .unwrap();
+        let b = sampling_baseline_error(&space, &input, &items, &targets, &cost, &cfg, 4, 7)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

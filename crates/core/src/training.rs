@@ -1,0 +1,247 @@
+//! Construction of the *entire training data* (§4.2, §5.2): the training
+//! sets of all feasible regions, materialised once via the CUBE pass and
+//! stored behind a [`TrainingSource`].
+//!
+//! Each example's feature vector is laid out as
+//! `[1 (intercept), item-table numeric features…, regional features…]`,
+//! so every region's training set shares one design-matrix shape and the
+//! scan algorithms can mix blocks freely. NULL regional aggregates
+//! become 0 — an item with no sales in a region genuinely had zero
+//! profit/orders there — a policy documented here once and applied
+//! uniformly.
+
+use crate::error::Result;
+use crate::items::ItemTable;
+use crate::problem::ErrorMeasure;
+use bellwether_cube::{CubeResult, RegionId, RegionSpace};
+use bellwether_linreg::{ErrorEstimate, RegressionData};
+use bellwether_storage::{MemorySource, RegionBlock, TrainingSource, TrainingWriter};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+/// Assemble one region's training block from the cube result.
+///
+/// Items included are those with data in the region *and* a known target
+/// (the paper's `I_r`, intersected with τ's domain).
+pub fn region_block(
+    cube: &CubeResult,
+    region: &RegionId,
+    items: &ItemTable,
+    targets: &HashMap<i64, f64>,
+) -> RegionBlock {
+    let n_static = items.numeric_attrs().len();
+    let n_regional = cube.measure_names.len();
+    let p = (1 + n_static + n_regional) as u32;
+    let mut block = RegionBlock::new(region.0.clone(), p);
+
+    let Some(region_items) = cube.regions.get(region) else {
+        return block;
+    };
+    // Deterministic example order: sort by item id.
+    let mut ids: Vec<i64> = region_items.keys().copied().collect();
+    ids.sort_unstable();
+
+    let mut x = Vec::with_capacity(p as usize);
+    for id in ids {
+        let Some(&target) = targets.get(&id) else { continue };
+        let Some(statics) = items.static_features(id) else { continue };
+        let regional = &region_items[&id];
+        x.clear();
+        x.push(1.0);
+        x.extend_from_slice(&statics);
+        x.extend(regional.iter().map(|v| v.unwrap_or(0.0)));
+        block.push(id, &x, target);
+    }
+    block
+}
+
+/// Build an in-memory entire-training-data source over `regions`
+/// (typically the feasible regions, in a fixed scan order).
+pub fn build_memory_source(
+    cube: &CubeResult,
+    regions: &[RegionId],
+    items: &ItemTable,
+    targets: &HashMap<i64, f64>,
+) -> MemorySource {
+    let blocks = regions
+        .iter()
+        .map(|r| region_block(cube, r, items, targets))
+        .collect();
+    MemorySource::new(blocks)
+}
+
+/// Write the entire training data to disk (for the efficiency
+/// experiments, where every region request must hit the file).
+pub fn write_disk_source(
+    path: &Path,
+    cube: &CubeResult,
+    regions: &[RegionId],
+    space: &RegionSpace,
+    items: &ItemTable,
+    targets: &HashMap<i64, f64>,
+) -> Result<()> {
+    let n_static = items.numeric_attrs().len();
+    let p = (1 + n_static + cube.measure_names.len()) as u32;
+    let mut writer = TrainingWriter::create(path, p, space.arity() as u32)?;
+    for r in regions {
+        writer.write_region(&region_block(cube, r, items, targets))?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+/// View a block as a regression dataset (weights 1).
+pub fn block_to_data(block: &RegionBlock) -> RegressionData {
+    let mut d = RegressionData::with_capacity(block.p as usize, block.n());
+    for (_, x, y) in block.iter() {
+        d.push(x, y);
+    }
+    d
+}
+
+/// View the subset of a block whose items are in `keep` as a dataset.
+pub fn block_subset_data(block: &RegionBlock, keep: &HashSet<i64>) -> RegressionData {
+    let mut d = RegressionData::new(block.p as usize);
+    for (id, x, y) in block.iter() {
+        if keep.contains(&id) {
+            d.push(x, y);
+        }
+    }
+    d
+}
+
+/// Estimate the error of the model a region induces for an item subset:
+/// `Error(h_r | S)` — the quantity minimised everywhere in the paper.
+/// `None` if the subset has too few examples in the region.
+pub fn region_subset_error(
+    source: &dyn TrainingSource,
+    region_idx: usize,
+    keep: Option<&HashSet<i64>>,
+    measure: ErrorMeasure,
+    min_examples: usize,
+) -> Result<Option<ErrorEstimate>> {
+    let block = source.read_region(region_idx)?;
+    let data = match keep {
+        Some(keep) => block_subset_data(&block, keep),
+        None => block_to_data(&block),
+    };
+    if data.n() < min_examples {
+        return Ok(None);
+    }
+    Ok(measure.estimate(&data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bellwether_cube::{cube_pass, CubeInput, Dimension, Hierarchy, Measure};
+    use bellwether_table::ops::AggFunc;
+    use bellwether_table::{Column, DataType, Schema, Table};
+
+    fn items() -> ItemTable {
+        let t = Table::new(
+            Schema::from_pairs(&[("id", DataType::Int), ("rd", DataType::Float)]).unwrap(),
+            vec![
+                Column::from_ints(vec![1, 2, 3]),
+                Column::from_floats(vec![0.5, 1.5, 2.5]),
+            ],
+        )
+        .unwrap();
+        ItemTable::from_table(&t, "id", &["rd"], &[]).unwrap()
+    }
+
+    fn space() -> RegionSpace {
+        RegionSpace::new(vec![
+            Dimension::Interval {
+                name: "T".into(),
+                max_t: 2,
+            },
+            Dimension::Hierarchy(Hierarchy::flat("L", "All", &["a", "b"])),
+        ])
+    }
+
+    fn cube() -> CubeResult {
+        // items 1 and 2 have rows; item 3 has none.
+        let input = CubeInput {
+            item_ids: vec![1, 1, 2],
+            coords: vec![0, 1, 1, 1, 0, 2],
+            measures: vec![Measure::Numeric {
+                name: "profit".into(),
+                func: AggFunc::Sum,
+                values: vec![Some(4.0), Some(6.0), Some(8.0)],
+            }],
+        };
+        cube_pass(&space(), &input)
+    }
+
+    fn targets() -> HashMap<i64, f64> {
+        [(1, 100.0), (2, 200.0)].into_iter().collect()
+    }
+
+    #[test]
+    fn block_layout_and_membership() {
+        let c = cube();
+        let it = items();
+        let t = targets();
+        // [1-2, All] (coords [1, 0]) covers both items.
+        let b = region_block(&c, &RegionId(vec![1, 0]), &it, &t);
+        assert_eq!(b.p, 3); // intercept + rd + profit
+        assert_eq!(b.n(), 2);
+        assert_eq!(b.item_ids, vec![1, 2]); // sorted
+        assert_eq!(b.x(0), &[1.0, 0.5, 10.0]); // item 1: profit 4+6
+        assert_eq!(b.x(1), &[1.0, 1.5, 8.0]);
+        assert_eq!(b.y(1), 200.0);
+        // [1-1, a] covers only item 1.
+        let b = region_block(&c, &RegionId(vec![0, 1]), &it, &t);
+        assert_eq!(b.n(), 1);
+        assert_eq!(b.x(0), &[1.0, 0.5, 4.0]);
+    }
+
+    #[test]
+    fn items_without_targets_are_skipped() {
+        let c = cube();
+        let it = items();
+        let mut t = targets();
+        t.remove(&2);
+        let b = region_block(&c, &RegionId(vec![1, 0]), &it, &t);
+        assert_eq!(b.item_ids, vec![1]);
+    }
+
+    #[test]
+    fn memory_source_preserves_region_order() {
+        let c = cube();
+        let regions = vec![RegionId(vec![0, 1]), RegionId(vec![1, 0])];
+        let src = build_memory_source(&c, &regions, &items(), &targets());
+        assert_eq!(src.num_regions(), 2);
+        assert_eq!(src.region_coords(0), &[0, 1]);
+        assert_eq!(src.region_coords(1), &[1, 0]);
+    }
+
+    #[test]
+    fn disk_round_trip_matches_memory() {
+        let c = cube();
+        let regions = vec![RegionId(vec![0, 1]), RegionId(vec![1, 0])];
+        let it = items();
+        let t = targets();
+        let mem = build_memory_source(&c, &regions, &it, &t);
+        let path = std::env::temp_dir().join("bw_training_rt.bwtd");
+        write_disk_source(&path, &c, &regions, &space(), &it, &t).unwrap();
+        let disk = bellwether_storage::DiskSource::open(&path).unwrap();
+        for i in 0..2 {
+            assert_eq!(disk.read_region(i).unwrap(), mem.read_region(i).unwrap());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn subset_filtering() {
+        let c = cube();
+        let b = region_block(&c, &RegionId(vec![1, 0]), &items(), &targets());
+        let keep: HashSet<i64> = [2].into_iter().collect();
+        let d = block_subset_data(&b, &keep);
+        assert_eq!(d.n(), 1);
+        assert_eq!(d.y(0), 200.0);
+        let full = block_to_data(&b);
+        assert_eq!(full.n(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Post-construction pruning of bellwether trees.
+//!
+//! The paper prunes with MDL after building (§5.1, citing [16, 12]); we
+//! implement the equivalent *cost-complexity* rule on the stored node
+//! errors: a split survives only if the weighted error of its leaves
+//! undercuts the node's own error by more than `penalty` per extra
+//! leaf. `penalty = 0` keeps every strictly-improving split; larger
+//! penalties progressively collapse marginal structure, which combats
+//! the over-fitting the item-centric problem definition warns about.
+
+use super::BellwetherTree;
+
+/// Result of pruning one subtree: its weighted leaf error and leaves.
+#[derive(Debug, Clone, Copy)]
+struct SubtreeCost {
+    weighted_error: f64,
+    leaves: usize,
+}
+
+/// Prune `tree` in place with the given per-leaf penalty. Returns the
+/// number of splits removed. Nodes without error info are left alone.
+pub fn prune_tree(tree: &mut BellwetherTree, penalty: f64) -> usize {
+    let mut removed = 0;
+    prune_node(tree, 0, penalty, &mut removed);
+    removed
+}
+
+fn prune_node(
+    tree: &mut BellwetherTree,
+    node_id: usize,
+    penalty: f64,
+    removed: &mut usize,
+) -> SubtreeCost {
+    let node_error = |tree: &BellwetherTree, id: usize| -> Option<f64> {
+        tree.nodes[id]
+            .info
+            .as_ref()
+            .map(|i| i.error * tree.nodes[id].item_rows.len() as f64)
+    };
+
+    let children = match &tree.nodes[node_id].split {
+        Some((_, children)) => children.clone(),
+        None => {
+            return SubtreeCost {
+                weighted_error: node_error(tree, node_id).unwrap_or(f64::INFINITY),
+                leaves: 1,
+            }
+        }
+    };
+
+    // Bottom-up: prune the children first.
+    let mut subtree = SubtreeCost {
+        weighted_error: 0.0,
+        leaves: 0,
+    };
+    for &c in &children {
+        let cost = prune_node(tree, c, penalty, removed);
+        subtree.weighted_error += cost.weighted_error;
+        subtree.leaves += cost.leaves;
+    }
+
+    let own = node_error(tree, node_id);
+    if let Some(own) = own {
+        let allowance = penalty * (subtree.leaves.saturating_sub(1)) as f64;
+        if own <= subtree.weighted_error + allowance {
+            // Collapse: this node predicts at least as well as its
+            // subtree once the complexity penalty is charged.
+            tree.nodes[node_id].split = None;
+            *removed += 1;
+            return SubtreeCost {
+                weighted_error: own,
+                leaves: 1,
+            };
+        }
+    }
+    subtree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{BellwetherConfig, ErrorMeasure};
+    use crate::tree::rainforest::build_rainforest;
+    use crate::tree::tests_support::two_group_fixture;
+    use crate::tree::TreeConfig;
+
+    fn built() -> (BellwetherTree, crate::items::ItemTable) {
+        let (src, space, items) = two_group_fixture();
+        let problem = BellwetherConfig::new(1e9)
+            .with_min_coverage(0.0)
+            .with_min_examples(4)
+            .with_error_measure(ErrorMeasure::TrainingSet);
+        let cfg = TreeConfig {
+            min_node_items: 8,
+            ..TreeConfig::default()
+        };
+        let tree = build_rainforest(&src, &space, &items, None, &problem, &cfg).unwrap();
+        (tree, items)
+    }
+
+    #[test]
+    fn zero_penalty_keeps_genuine_splits() {
+        let (mut tree, _) = built();
+        let leaves_before = tree.num_leaves();
+        let removed = prune_tree(&mut tree, 0.0);
+        assert_eq!(removed, 0, "strictly improving splits survive");
+        assert_eq!(tree.num_leaves(), leaves_before);
+    }
+
+    #[test]
+    fn huge_penalty_collapses_to_root() {
+        let (mut tree, _) = built();
+        assert!(tree.num_leaves() > 1);
+        let removed = prune_tree(&mut tree, f64::INFINITY);
+        assert!(removed >= 1);
+        assert_eq!(tree.num_leaves(), 1);
+        assert!(tree.root().split.is_none());
+        assert!(tree.root().info.is_some(), "root keeps its bellwether");
+    }
+
+    #[test]
+    fn pruned_tree_still_routes() {
+        let (mut tree, items) = built();
+        prune_tree(&mut tree, f64::INFINITY);
+        for &id in items.ids() {
+            assert!(tree.predicting_info(&items, id).is_some());
+        }
+    }
+
+    #[test]
+    fn pruning_is_idempotent() {
+        let (mut tree, _) = built();
+        prune_tree(&mut tree, 1.0);
+        let leaves = tree.num_leaves();
+        let removed_again = prune_tree(&mut tree, 1.0);
+        assert_eq!(removed_again, 0);
+        assert_eq!(tree.num_leaves(), leaves);
+    }
+}

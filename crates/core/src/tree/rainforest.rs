@@ -1,0 +1,286 @@
+//! The RF (RainForest-style) bellwether tree algorithm (Figure 4,
+//! bottom; §5.2).
+//!
+//! Instead of re-reading the entire training data for every
+//! (node, criterion), the RF algorithm works level by level: one scan
+//! over all feasible regions collects, for every active node `v`,
+//! criterion `c` and child partition `p`, the sufficient statistic
+//! `MinError[v, c, p] = min_r Error(h_r | S_p)` (together with `|S_p|`),
+//! which is all the goodness computation needs. By Lemma 1 the resulting
+//! tree is identical to the naive one while scanning the data once per
+//! level (plus one targeted region read per node to fit its final
+//! model).
+
+use super::{
+    candidate_splits, BellwetherTree, CandidateSplit, Node, TreeConfig,
+};
+use crate::error::Result;
+use crate::items::ItemTable;
+use crate::problem::BellwetherConfig;
+use crate::tree::naive::goodness_of;
+use crate::tree::partition::{child_id_sets, fit_node_model, PartitionSpec};
+use bellwether_cube::{RegionId, RegionSpace};
+use bellwether_storage::TrainingSource;
+use std::collections::HashSet;
+
+/// Per-level bookkeeping for one node.
+struct LevelEntry {
+    node_id: usize,
+    ids: HashSet<i64>,
+    /// Candidates and their routing tables (empty when inactive).
+    candidates: Vec<CandidateSplit>,
+    specs: Vec<PartitionSpec>,
+    /// MinError[c][p].
+    min_err: Vec<Vec<f64>>,
+    /// Best (region index, error) for the node's own item set.
+    node_best: Option<(usize, f64)>,
+    active: bool,
+}
+
+/// Build a bellwether tree with the RF algorithm.
+pub fn build_rainforest(
+    source: &dyn TrainingSource,
+    space: &RegionSpace,
+    items: &ItemTable,
+    root_rows: Option<Vec<usize>>,
+    problem: &BellwetherConfig,
+    tree_cfg: &TreeConfig,
+) -> Result<BellwetherTree> {
+    let rows = root_rows.unwrap_or_else(|| (0..items.len()).collect());
+    let mut tree = BellwetherTree { nodes: Vec::new() };
+    tree.nodes.push(Node {
+        depth: 0,
+        item_rows: rows,
+        info: None,
+        split: None,
+    });
+
+    let mut level: Vec<usize> = vec![0];
+    while !level.is_empty() {
+        // Prepare the level: termination decides which nodes are active,
+        // active nodes enumerate their candidate criteria.
+        let mut entries: Vec<LevelEntry> = level
+            .iter()
+            .map(|&node_id| {
+                let node = &tree.nodes[node_id];
+                let active = node.depth < tree_cfg.max_depth
+                    && node.item_rows.len() >= tree_cfg.min_node_items;
+                let candidates = if active {
+                    candidate_splits(items, &node.item_rows, tree_cfg)
+                } else {
+                    Vec::new()
+                };
+                let specs: Vec<PartitionSpec> = candidates
+                    .iter()
+                    .map(|c| PartitionSpec::new(&child_id_sets(items, &c.partition)))
+                    .collect();
+                let min_err = candidates
+                    .iter()
+                    .map(|c| vec![f64::INFINITY; c.partition.len()])
+                    .collect();
+                let ids: HashSet<i64> =
+                    node.item_rows.iter().map(|&r| items.ids()[r]).collect();
+                LevelEntry {
+                    node_id,
+                    ids,
+                    candidates,
+                    specs,
+                    min_err,
+                    node_best: None,
+                    active,
+                }
+            })
+            .collect();
+
+        // The level's single scan over the entire training data. For
+        // each block, gather each node's rows once, then evaluate the
+        // node's own error and all its candidates over just those rows
+        // — deep levels must not re-route the full block per criterion.
+        let p = source.feature_arity();
+        for idx in 0..source.num_regions() {
+            let block = source.read_region(idx)?;
+            for e in &mut entries {
+                let mut ids: Vec<i64> = Vec::new();
+                let mut data = bellwether_linreg::RegressionData::new(p);
+                for (id, x, y) in block.iter() {
+                    if e.ids.contains(&id) {
+                        ids.push(id);
+                        data.push(x, y);
+                    }
+                }
+                // Track the node's own bellwether in the same pass.
+                if data.n() >= problem.min_examples.max(1) {
+                    if let Some(est) = problem.error_measure.estimate(&data) {
+                        if e.node_best.is_none_or(|(_, b)| est.value < b) {
+                            e.node_best = Some((idx, est.value));
+                        }
+                    }
+                }
+                if !e.active {
+                    continue;
+                }
+                let rows = || {
+                    ids.iter()
+                        .enumerate()
+                        .map(|(i, &id)| (id, data.x(i), data.y(i)))
+                };
+                for (c, spec) in e.specs.iter().enumerate() {
+                    let errs = spec.errors_rows(p, rows(), problem);
+                    for (p_idx, err) in errs.into_iter().enumerate() {
+                        if let Some(err) = err {
+                            if err < e.min_err[c][p_idx] {
+                                e.min_err[c][p_idx] = err;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Finalize the level: fit node models (targeted reads), pick
+        // splits, spawn the next level.
+        let mut next_level = Vec::new();
+        for e in entries.iter_mut() {
+            if let Some((ridx, err)) = e.node_best {
+                let block = source.read_region(ridx)?;
+                let region = RegionId(source.region_coords(ridx).to_vec());
+                let label = space.label(&region);
+                tree.nodes[e.node_id].info =
+                    fit_node_model(&block, &e.ids, ridx, region, label, err);
+            }
+            let Some((_, node_err)) = e.node_best else { continue };
+            if !e.active
+                || tree.nodes[e.node_id].info.is_none()
+                || node_err <= tree_cfg.perfect_error_tol
+            {
+                continue;
+            }
+
+            let rows = tree.nodes[e.node_id].item_rows.clone();
+            let mut best: Option<(usize, f64)> = None;
+            for (ci, cand) in e.candidates.iter().enumerate() {
+                if e.min_err[ci].iter().any(|v| !v.is_finite()) {
+                    continue;
+                }
+                let g = goodness_of(&rows, node_err, cand, &e.min_err[ci]);
+                if best.is_none_or(|(_, bg)| g > bg) {
+                    best = Some((ci, g));
+                }
+            }
+            let Some((ci, goodness)) = best else { continue };
+            if tree_cfg.require_positive_goodness && goodness <= 0.0 {
+                continue;
+            }
+
+            let cand = e.candidates[ci].clone();
+            let depth = tree.nodes[e.node_id].depth;
+            let mut children = Vec::with_capacity(cand.partition.len());
+            for part in &cand.partition {
+                let child_id = tree.nodes.len();
+                tree.nodes.push(Node {
+                    depth: depth + 1,
+                    item_rows: part.clone(),
+                    info: None,
+                    split: None,
+                });
+                children.push(child_id);
+                next_level.push(child_id);
+            }
+            tree.nodes[e.node_id].split = Some((cand.criterion, children));
+        }
+        level = next_level;
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ErrorMeasure;
+    use crate::tree::naive::build_naive;
+    use crate::tree::tests_support::{canonical_form, two_group_fixture};
+    use bellwether_storage::TrainingSource;
+
+    fn problem() -> BellwetherConfig {
+        BellwetherConfig::new(1e9)
+            .with_min_coverage(0.0)
+            .with_min_examples(4)
+            .with_error_measure(ErrorMeasure::TrainingSet)
+    }
+
+    fn tree_cfg() -> TreeConfig {
+        TreeConfig {
+            min_node_items: 8,
+            ..TreeConfig::default()
+        }
+    }
+
+    #[test]
+    fn lemma_1_same_tree_as_naive() {
+        let (src, space, items) = two_group_fixture();
+        let naive = build_naive(&src, &space, &items, None, &problem(), &tree_cfg()).unwrap();
+        let rf =
+            build_rainforest(&src, &space, &items, None, &problem(), &tree_cfg()).unwrap();
+        assert_eq!(
+            canonical_form(&naive, &items),
+            canonical_form(&rf, &items),
+            "Lemma 1: RF and naive must build the same tree"
+        );
+    }
+
+    #[test]
+    fn lemma_1_scan_counts() {
+        let (src, space, items) = two_group_fixture();
+        let num_regions = src.num_regions() as u64;
+
+        src.stats().reset();
+        let rf =
+            build_rainforest(&src, &space, &items, None, &problem(), &tree_cfg()).unwrap();
+        let rf_reads = src.stats().regions_read();
+
+        src.stats().reset();
+        let _naive =
+            build_naive(&src, &space, &items, None, &problem(), &tree_cfg()).unwrap();
+        let naive_reads = src.stats().regions_read();
+
+        // RF: one full scan per level plus one targeted read per node.
+        let levels = rf.depth() as u64 + 1;
+        let nodes = rf.nodes.len() as u64;
+        assert_eq!(rf_reads, levels * num_regions + nodes);
+        // Naive re-scans per (node, criterion) and per node: strictly more.
+        assert!(
+            naive_reads > rf_reads,
+            "naive {naive_reads} should exceed RF {rf_reads}"
+        );
+    }
+
+    #[test]
+    fn stump_when_nothing_active() {
+        let (src, space, items) = two_group_fixture();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..tree_cfg()
+        };
+        let tree = build_rainforest(&src, &space, &items, None, &problem(), &cfg).unwrap();
+        assert_eq!(tree.nodes.len(), 1);
+        assert!(tree.root().info.is_some());
+    }
+
+    #[test]
+    fn root_rows_subset_restricts_training() {
+        let (src, space, items) = two_group_fixture();
+        // Only group-a items (rows 0..10): no useful split remains.
+        let tree = build_rainforest(
+            &src,
+            &space,
+            &items,
+            Some((0..10).collect()),
+            &problem(),
+            &tree_cfg(),
+        )
+        .unwrap();
+        let info = tree.root().info.as_ref().unwrap();
+        assert_eq!(info.label, "[ra]");
+        assert!(info.error < 1e-6);
+    }
+}

@@ -1,0 +1,101 @@
+//! Shared fixtures for tree tests: a tiny dataset with *planted*
+//! group-dependent bellwethers, plus a canonical tree serialisation used
+//! to assert Lemma 1 (naive ≡ RF) structurally.
+
+use super::BellwetherTree;
+use crate::items::ItemTable;
+use bellwether_cube::{Dimension, Hierarchy, RegionSpace};
+use bellwether_storage::{MemorySource, RegionBlock};
+use bellwether_table::{Column, DataType, Schema, Table};
+
+/// 20 items in two categories. Category "a" items are perfectly
+/// predictable from region `ra`, category "b" items from region `rb`;
+/// every other (region, group) pairing carries junk. A bellwether tree
+/// must split on the category and give each leaf its own region.
+pub fn two_group_fixture() -> (MemorySource, RegionSpace, ItemTable) {
+    let space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+        "L",
+        "All",
+        &["ra", "rb"],
+    ))]);
+
+    let n = 20i64;
+    let is_a = |i: i64| i < 10;
+    let fa = |i: i64| (i + 1) as f64;
+    let fb = |i: i64| (2 * i + 3) as f64;
+    let junk = |i: i64, salt: i64| ((i * 37 + salt * 13) % 11) as f64;
+    let target = |i: i64| {
+        if is_a(i) {
+            5.0 * fa(i)
+        } else {
+            7.0 * fb(i)
+        }
+    };
+
+    // p = 2: [intercept, regional feature]
+    let mut ra = RegionBlock::new(vec![1], 2);
+    let mut rb = RegionBlock::new(vec![2], 2);
+    let mut all = RegionBlock::new(vec![0], 2);
+    for i in 0..n {
+        let f_ra = if is_a(i) { fa(i) } else { junk(i, 1) };
+        let f_rb = if is_a(i) { junk(i, 2) } else { fb(i) };
+        ra.push(i, &[1.0, f_ra], target(i));
+        rb.push(i, &[1.0, f_rb], target(i));
+        all.push(i, &[1.0, f_ra + f_rb], target(i));
+    }
+    let source = MemorySource::new(vec![all, ra, rb]);
+
+    let table = Table::new(
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("cat", DataType::Str),
+            ("idx", DataType::Float),
+        ])
+        .unwrap(),
+        vec![
+            Column::from_ints((0..n).collect()),
+            Column::from_strs(
+                &(0..n)
+                    .map(|i| if is_a(i) { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            ),
+            Column::from_floats((0..n).map(|i| i as f64).collect()),
+        ],
+    )
+    .unwrap();
+    let items = ItemTable::from_table(&table, "id", &["idx"], &["cat"]).unwrap();
+    (source, space, items)
+}
+
+/// Canonical structural form of a tree: split descriptions and leaf
+/// (region, item multiset) pairs, recursively. Independent of node
+/// numbering, so naive and RF outputs compare directly.
+pub fn canonical_form(tree: &BellwetherTree, items: &ItemTable) -> String {
+    fn rec(tree: &BellwetherTree, items: &ItemTable, id: usize, out: &mut String) {
+        let node = &tree.nodes[id];
+        match &node.split {
+            Some((criterion, children)) => {
+                out.push_str(&format!("({}", criterion.describe(items)));
+                for &c in children {
+                    out.push(' ');
+                    rec(tree, items, c, out);
+                }
+                out.push(')');
+            }
+            None => {
+                let mut ids: Vec<i64> =
+                    node.item_rows.iter().map(|&r| items.ids()[r]).collect();
+                ids.sort_unstable();
+                let label = node
+                    .info
+                    .as_ref()
+                    .map(|i| i.label.clone())
+                    .unwrap_or_else(|| "<none>".into());
+                out.push_str(&format!("[{label}:{ids:?}]"));
+            }
+        }
+    }
+    let mut out = String::new();
+    rec(tree, items, 0, &mut out);
+    out
+}

@@ -1,0 +1,218 @@
+//! Cost models for data acquisition (the κ query of Definition 1).
+//!
+//! The paper assumes a cost table `C(Z, Cost)` over finest-grained
+//! regions, with a larger region costing an aggregate (e.g. the sum) of
+//! its cells; the mail-order experiment uses the product form
+//! `months × zip_areas/100`. Both are *monotone*: a region containing
+//! another never costs less. Monotonicity is what lets iceberg pruning
+//! cut the search space, so the trait documents and tests it.
+
+use crate::region::{RegionId, RegionSpace};
+use std::collections::HashMap;
+
+/// A cost model over candidate regions. Implementations must be monotone
+/// w.r.t. region containment: `a ⊇ b ⇒ cost(a) ≥ cost(b)`.
+///
+/// `Send + Sync` so searches can evaluate regions from worker threads.
+pub trait CostModel: Send + Sync {
+    /// Cost of collecting data for a new item from region `r`.
+    fn cost(&self, space: &RegionSpace, r: &RegionId) -> f64;
+}
+
+/// Uniform per-cell cost: `cost(r) = rate × (#finest cells in r)`.
+#[derive(Debug, Clone)]
+pub struct UniformCellCost {
+    /// Cost of one finest-grained cell.
+    pub rate: f64,
+}
+
+impl CostModel for UniformCellCost {
+    fn cost(&self, space: &RegionSpace, r: &RegionId) -> f64 {
+        self.rate * space.finest_cell_count(r) as f64
+    }
+}
+
+/// Per-dimension-value weights multiplied together, the mail-order form:
+/// `cost([1-m, loc]) = m × weight(loc)` with `weight` supplied per value
+/// (e.g. zip-code areas / 100). Missing weights default to the number of
+/// finest cells of the value.
+#[derive(Debug, Clone, Default)]
+pub struct ProductCost {
+    /// `weights[d]` maps dimension `d`'s value id to its factor.
+    pub weights: Vec<HashMap<u32, f64>>,
+}
+
+impl ProductCost {
+    /// Product cost with explicit per-dimension weight tables.
+    pub fn new(weights: Vec<HashMap<u32, f64>>) -> Self {
+        ProductCost { weights }
+    }
+}
+
+impl CostModel for ProductCost {
+    fn cost(&self, space: &RegionSpace, r: &RegionId) -> f64 {
+        space
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(d, dim)| {
+                let v = r.coord(d);
+                self.weights
+                    .get(d)
+                    .and_then(|w| w.get(&v))
+                    .copied()
+                    .unwrap_or_else(|| dim.finest_cell_count(v) as f64)
+            })
+            .product()
+    }
+}
+
+/// Cell-sum cost from an explicit table over finest cells (the paper's
+/// `α_sum(Cost) σ_{Z∈r} C`). Cells absent from the table cost `default`.
+#[derive(Debug, Clone)]
+pub struct CellTableCost {
+    /// Cost per finest-grained cell, keyed by leaf coordinates.
+    pub cells: HashMap<RegionId, f64>,
+    /// Cost of unlisted cells.
+    pub default: f64,
+}
+
+impl CostModel for CellTableCost {
+    fn cost(&self, space: &RegionSpace, r: &RegionId) -> f64 {
+        // Sum costs of the finest cells inside r by enumerating the
+        // per-dimension leaf sets. Fine for the spaces we use (≤ 1e4 cells).
+        let per_dim: Vec<Vec<u32>> = space
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(d, dim)| leaf_values_under(dim, r.coord(d)))
+            .collect();
+        let mut total = 0.0;
+        let mut idx = vec![0usize; space.arity()];
+        loop {
+            let cell = RegionId(
+                idx.iter()
+                    .zip(&per_dim)
+                    .map(|(&i, vals)| vals[i])
+                    .collect(),
+            );
+            total += self.cells.get(&cell).copied().unwrap_or(self.default);
+            let mut d = space.arity();
+            loop {
+                if d == 0 {
+                    return total;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < per_dim[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
+/// Finest-cell coordinates covered by one dimension value.
+fn leaf_values_under(dim: &crate::dimension::Dimension, value: u32) -> Vec<u32> {
+    use crate::dimension::Dimension;
+    match dim {
+        Dimension::Interval { .. } => (0..=value).collect(),
+        Dimension::Hierarchy(h) => {
+            let mut out = Vec::new();
+            let mut stack = vec![value];
+            while let Some(n) = stack.pop() {
+                if h.is_leaf(n) {
+                    out.push(n);
+                } else {
+                    stack.extend_from_slice(h.children(n));
+                }
+            }
+            out.sort_unstable();
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::{Dimension, Hierarchy};
+
+    fn space() -> RegionSpace {
+        let mut loc = Hierarchy::new("Loc", "All");
+        let us = loc.add_child(0, "US");
+        loc.add_child(us, "WI");
+        loc.add_child(us, "MD");
+        loc.add_child(0, "KR");
+        RegionSpace::new(vec![
+            Dimension::Interval {
+                name: "Time".into(),
+                max_t: 3,
+            },
+            Dimension::Hierarchy(loc),
+        ])
+    }
+
+    #[test]
+    fn uniform_cost_counts_cells() {
+        let s = space();
+        let c = UniformCellCost { rate: 2.0 };
+        // [1-2, US]: 2 points × 2 leaves = 4 cells → cost 8
+        assert_eq!(c.cost(&s, &RegionId(vec![1, 1])), 8.0);
+        assert_eq!(c.cost(&s, &RegionId(vec![0, 4])), 2.0);
+    }
+
+    #[test]
+    fn product_cost_uses_weights_with_fallback() {
+        let s = space();
+        let mut loc_w = HashMap::new();
+        loc_w.insert(2u32, 5.0); // WI weighs 5
+        let c = ProductCost::new(vec![HashMap::new(), loc_w]);
+        // time falls back to cell count (=2 for [1-2]); WI weight 5
+        assert_eq!(c.cost(&s, &RegionId(vec![1, 2])), 10.0);
+        // MD falls back to leaf count 1
+        assert_eq!(c.cost(&s, &RegionId(vec![1, 3])), 2.0);
+    }
+
+    #[test]
+    fn cell_table_cost_sums_cells() {
+        let s = space();
+        let mut cells = HashMap::new();
+        cells.insert(RegionId(vec![0, 2]), 10.0); // (t=1, WI)
+        cells.insert(RegionId(vec![1, 3]), 1.0); // (t=2, MD)
+        let c = CellTableCost {
+            cells,
+            default: 0.5,
+        };
+        // [1-2, US] covers (t1,WI)(t1,MD)(t2,WI)(t2,MD) = 10 + .5 + .5 + 1
+        assert_eq!(c.cost(&s, &RegionId(vec![1, 1])), 12.0);
+    }
+
+    #[test]
+    fn costs_are_monotone_in_containment() {
+        let s = space();
+        let models: Vec<Box<dyn CostModel>> = vec![
+            Box::new(UniformCellCost { rate: 1.0 }),
+            Box::new(CellTableCost {
+                cells: HashMap::new(),
+                default: 1.0,
+            }),
+        ];
+        let all = s.all_regions();
+        for m in &models {
+            for a in &all {
+                for b in &all {
+                    if s.contains(a, b) {
+                        assert!(
+                            m.cost(&s, a) >= m.cost(&s, b),
+                            "cost not monotone: {:?} vs {:?}",
+                            a,
+                            b
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

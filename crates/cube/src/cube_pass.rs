@@ -1,0 +1,529 @@
+//! The CUBE pass (§4.2): compute every `(region, item)` aggregate in one
+//! sweep over the fact data.
+//!
+//! The paper rewrites each feature query `α_f σ_{ID=i, Z∈r} F` into a
+//! single grouped aggregation `α_{Z, ID, f} F` whose aggregate operator
+//! "performs the CUBE operation on the dimension attributes". We realise
+//! it in two phases:
+//!
+//! 1. **Base aggregation** — fact rows collapse into *base cells* keyed
+//!    by (finest dimension coordinates, item). This is an ordinary
+//!    group-by and shrinks the data from `#rows` to at most
+//!    `#items × #finest-cells`.
+//! 2. **Rollup expansion** — each base cell is merged into every region
+//!    that contains it (the cartesian product of per-dimension
+//!    ancestors). All numeric aggregates here are distributive; the
+//!    distinct-FK form keeps the key→value map so set-union dedups
+//!    exactly as `π_FK` requires.
+//!
+//! The result maps every region to its per-item feature vectors, plus
+//! coverage counts — everything basic bellwether search needs.
+
+use crate::region::{RegionId, RegionSpace};
+use bellwether_table::ops::AggFunc;
+use std::collections::HashMap;
+
+/// One measure (feature column) to compute per `(region, item)`.
+#[derive(Debug, Clone)]
+pub enum Measure {
+    /// `α_f(column)` over the fact rows of the cell: the paper's first
+    /// two query forms (`f(F.A)` and `f(T.A)` after a fact-side join,
+    /// which the caller performs by materialising the joined column).
+    /// `func` must be Sum, Min, Max, Avg or Count.
+    Numeric {
+        /// Output feature name.
+        name: String,
+        /// Aggregate function.
+        func: AggFunc,
+        /// Per-fact-row input; `None` = SQL NULL (skipped).
+        values: Vec<Option<f64>>,
+    },
+    /// `α_f(T.A)((π_FK F) ⋈ T)`: aggregate over *distinct* foreign keys,
+    /// each key contributing its (functional) reference-table value once.
+    /// `func` may be Sum, Min, Max, Avg or CountDistinct.
+    DistinctKeyed {
+        /// Output feature name.
+        name: String,
+        /// Aggregate function over the distinct keys' values.
+        func: AggFunc,
+        /// Per-fact-row foreign key; `None` never joins.
+        keys: Vec<Option<i64>>,
+        /// Per-fact-row joined value `T.A` (ignored for CountDistinct).
+        values: Vec<f64>,
+    },
+}
+
+impl Measure {
+    /// Output feature name.
+    pub fn name(&self) -> &str {
+        match self {
+            Measure::Numeric { name, .. } | Measure::DistinctKeyed { name, .. } => name,
+        }
+    }
+
+    fn check_len(&self, n: usize) {
+        let len = match self {
+            Measure::Numeric { values, .. } => values.len(),
+            Measure::DistinctKeyed { keys, .. } => keys.len(),
+        };
+        assert_eq!(len, n, "measure {} length mismatch", self.name());
+    }
+}
+
+/// Fact-side input to the CUBE pass.
+#[derive(Debug, Clone)]
+pub struct CubeInput {
+    /// Item id per fact row.
+    pub item_ids: Vec<i64>,
+    /// Flattened `n × arity` finest-grained coordinates per fact row
+    /// (time points 0-based, hierarchy leaf node ids).
+    pub coords: Vec<u32>,
+    /// The measures to aggregate.
+    pub measures: Vec<Measure>,
+}
+
+/// Mergeable per-cell state of one measure.
+#[derive(Debug, Clone)]
+enum CellState {
+    Sum { total: f64, seen: bool },
+    Count(u64),
+    Avg { total: f64, count: u64 },
+    Min(Option<f64>),
+    Max(Option<f64>),
+    Distinct { func: AggFunc, keys: HashMap<i64, f64> },
+}
+
+impl CellState {
+    fn new(measure: &Measure) -> CellState {
+        match measure {
+            Measure::Numeric { func, .. } => match func {
+                AggFunc::Sum => CellState::Sum {
+                    total: 0.0,
+                    seen: false,
+                },
+                AggFunc::Count => CellState::Count(0),
+                AggFunc::Avg => CellState::Avg {
+                    total: 0.0,
+                    count: 0,
+                },
+                AggFunc::Min => CellState::Min(None),
+                AggFunc::Max => CellState::Max(None),
+                AggFunc::CountDistinct => {
+                    panic!("CountDistinct requires Measure::DistinctKeyed")
+                }
+            },
+            Measure::DistinctKeyed { func, .. } => CellState::Distinct {
+                func: *func,
+                keys: HashMap::new(),
+            },
+        }
+    }
+
+    fn update(&mut self, measure: &Measure, row: usize) {
+        match (self, measure) {
+            (CellState::Sum { total, seen }, Measure::Numeric { values, .. }) => {
+                if let Some(v) = values[row] {
+                    *total += v;
+                    *seen = true;
+                }
+            }
+            (CellState::Count(c), Measure::Numeric { values, .. }) => {
+                if values[row].is_some() {
+                    *c += 1;
+                }
+            }
+            (CellState::Avg { total, count }, Measure::Numeric { values, .. }) => {
+                if let Some(v) = values[row] {
+                    *total += v;
+                    *count += 1;
+                }
+            }
+            (CellState::Min(best), Measure::Numeric { values, .. }) => {
+                if let Some(v) = values[row] {
+                    *best = Some(best.map_or(v, |b| b.min(v)));
+                }
+            }
+            (CellState::Max(best), Measure::Numeric { values, .. }) => {
+                if let Some(v) = values[row] {
+                    *best = Some(best.map_or(v, |b| b.max(v)));
+                }
+            }
+            (CellState::Distinct { keys, .. }, Measure::DistinctKeyed { keys: ks, values, .. }) => {
+                if let Some(k) = ks[row] {
+                    keys.insert(k, values[row]);
+                }
+            }
+            _ => unreachable!("state/measure kind mismatch"),
+        }
+    }
+
+    fn merge(&mut self, other: &CellState) {
+        match (self, other) {
+            (CellState::Sum { total, seen }, CellState::Sum { total: t2, seen: s2 }) => {
+                *total += t2;
+                *seen |= s2;
+            }
+            (CellState::Count(a), CellState::Count(b)) => *a += b,
+            (
+                CellState::Avg { total, count },
+                CellState::Avg {
+                    total: t2,
+                    count: c2,
+                },
+            ) => {
+                *total += t2;
+                *count += c2;
+            }
+            (CellState::Min(a), CellState::Min(b)) => {
+                if let Some(bv) = b {
+                    *a = Some(a.map_or(*bv, |av| av.min(*bv)));
+                }
+            }
+            (CellState::Max(a), CellState::Max(b)) => {
+                if let Some(bv) = b {
+                    *a = Some(a.map_or(*bv, |av| av.max(*bv)));
+                }
+            }
+            (CellState::Distinct { keys, .. }, CellState::Distinct { keys: k2, .. }) => {
+                for (k, v) in k2 {
+                    keys.insert(*k, *v);
+                }
+            }
+            _ => unreachable!("merging mismatched states"),
+        }
+    }
+
+    fn finish(&self) -> Option<f64> {
+        match self {
+            CellState::Sum { total, seen } => seen.then_some(*total),
+            CellState::Count(c) => Some(*c as f64),
+            CellState::Avg { total, count } => (*count > 0).then(|| total / *count as f64),
+            CellState::Min(v) | CellState::Max(v) => *v,
+            CellState::Distinct { func, keys } => {
+                if *func == AggFunc::CountDistinct {
+                    return Some(keys.len() as f64);
+                }
+                if keys.is_empty() {
+                    return None;
+                }
+                let vals = keys.values();
+                Some(match func {
+                    AggFunc::Sum => vals.sum(),
+                    AggFunc::Avg => vals.sum::<f64>() / keys.len() as f64,
+                    AggFunc::Min => vals.fold(f64::INFINITY, |a, &b| a.min(b)),
+                    AggFunc::Max => vals.fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+                    AggFunc::Count | AggFunc::CountDistinct => unreachable!(),
+                })
+            }
+        }
+    }
+}
+
+/// Per-region, per-item aggregate vectors produced by [`cube_pass`].
+#[derive(Debug, Clone)]
+pub struct CubeResult {
+    /// Feature names, in measure order.
+    pub measure_names: Vec<String>,
+    /// `region → item → feature values` (`None` = NULL aggregate).
+    pub regions: HashMap<RegionId, HashMap<i64, Vec<Option<f64>>>>,
+}
+
+impl CubeResult {
+    /// Number of distinct items with data in `r` (the coverage
+    /// numerator `|I_r|`).
+    pub fn coverage_count(&self, r: &RegionId) -> usize {
+        self.regions.get(r).map_or(0, HashMap::len)
+    }
+
+    /// The feature vector of `item` in region `r`, if the item has data.
+    pub fn features(&self, r: &RegionId, item: i64) -> Option<&Vec<Option<f64>>> {
+        self.regions.get(r)?.get(&item)
+    }
+
+    /// Coverage counts for every region (input to iceberg pruning).
+    pub fn coverage_counts(&self) -> HashMap<RegionId, usize> {
+        self.regions
+            .iter()
+            .map(|(r, items)| (r.clone(), items.len()))
+            .collect()
+    }
+}
+
+/// Run the CUBE pass over fact data.
+pub fn cube_pass(space: &RegionSpace, input: &CubeInput) -> CubeResult {
+    let n = input.item_ids.len();
+    let arity = space.arity();
+    assert_eq!(input.coords.len(), n * arity, "coords length mismatch");
+    for m in &input.measures {
+        m.check_len(n);
+    }
+
+    // Phase 1: base-cell aggregation keyed by (finest coords, item).
+    let mut base: HashMap<(Vec<u32>, i64), Vec<CellState>> = HashMap::new();
+    for row in 0..n {
+        let coords = input.coords[row * arity..(row + 1) * arity].to_vec();
+        let key = (coords, input.item_ids[row]);
+        let states = base
+            .entry(key)
+            .or_insert_with(|| input.measures.iter().map(CellState::new).collect());
+        for (state, measure) in states.iter_mut().zip(&input.measures) {
+            state.update(measure, row);
+        }
+    }
+
+    // Phase 2: expand base cells into all containing regions.
+    let mut regions: HashMap<RegionId, HashMap<i64, Vec<CellState>>> = HashMap::new();
+    for ((coords, item), states) in &base {
+        for region in space.containing_regions(coords) {
+            let items = regions.entry(region).or_default();
+            match items.get_mut(item) {
+                Some(existing) => {
+                    for (a, b) in existing.iter_mut().zip(states) {
+                        a.merge(b);
+                    }
+                }
+                None => {
+                    items.insert(*item, states.clone());
+                }
+            }
+        }
+    }
+
+    // Finalize.
+    let measure_names = input.measures.iter().map(|m| m.name().to_string()).collect();
+    let regions = regions
+        .into_iter()
+        .map(|(r, items)| {
+            let items = items
+                .into_iter()
+                .map(|(i, states)| (i, states.iter().map(CellState::finish).collect()))
+                .collect();
+            (r, items)
+        })
+        .collect();
+    CubeResult {
+        measure_names,
+        regions,
+    }
+}
+
+/// Aggregate the measures per item over the fact rows whose finest-cell
+/// coordinates pass `row_filter`, with no cube expansion.
+///
+/// This evaluates the same feature queries over an *arbitrary* union of
+/// cells — the shape the random-sampling baseline of Figure 7(a) buys,
+/// which "may not correspond to any OLAP-style region".
+pub fn aggregate_filtered(
+    input: &CubeInput,
+    arity: usize,
+    mut row_filter: impl FnMut(&[u32]) -> bool,
+) -> HashMap<i64, Vec<Option<f64>>> {
+    let n = input.item_ids.len();
+    assert_eq!(input.coords.len(), n * arity, "coords length mismatch");
+    for m in &input.measures {
+        m.check_len(n);
+    }
+    let mut items: HashMap<i64, Vec<CellState>> = HashMap::new();
+    for row in 0..n {
+        let coords = &input.coords[row * arity..(row + 1) * arity];
+        if !row_filter(coords) {
+            continue;
+        }
+        let states = items
+            .entry(input.item_ids[row])
+            .or_insert_with(|| input.measures.iter().map(CellState::new).collect());
+        for (state, measure) in states.iter_mut().zip(&input.measures) {
+            state.update(measure, row);
+        }
+    }
+    items
+        .into_iter()
+        .map(|(i, states)| (i, states.iter().map(CellState::finish).collect()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::{Dimension, Hierarchy};
+
+    fn space() -> RegionSpace {
+        let mut loc = Hierarchy::new("Loc", "All");
+        let us = loc.add_child(0, "US");
+        loc.add_child(us, "WI"); // id 2
+        loc.add_child(us, "MD"); // id 3
+        RegionSpace::new(vec![
+            Dimension::Interval {
+                name: "Time".into(),
+                max_t: 2,
+            },
+            Dimension::Hierarchy(loc),
+        ])
+    }
+
+    /// Four fact rows:
+    ///   (item 1, t1, WI, profit 10, ad 7→size 3.0)
+    ///   (item 1, t2, WI, profit 20, ad 7→size 3.0)   -- same ad twice
+    ///   (item 1, t1, MD, profit  5, ad 8→size 9.0)
+    ///   (item 2, t2, MD, profit  1, no ad)
+    fn input() -> CubeInput {
+        CubeInput {
+            item_ids: vec![1, 1, 1, 2],
+            coords: vec![0, 2, 1, 2, 0, 3, 1, 3],
+            measures: vec![
+                Measure::Numeric {
+                    name: "profit".into(),
+                    func: AggFunc::Sum,
+                    values: vec![Some(10.0), Some(20.0), Some(5.0), Some(1.0)],
+                },
+                Measure::Numeric {
+                    name: "orders".into(),
+                    func: AggFunc::Count,
+                    values: vec![Some(1.0), Some(1.0), Some(1.0), Some(1.0)],
+                },
+                Measure::DistinctKeyed {
+                    name: "ad_size_total".into(),
+                    func: AggFunc::Sum,
+                    keys: vec![Some(7), Some(7), Some(8), None],
+                    values: vec![3.0, 3.0, 9.0, 0.0],
+                },
+            ],
+        }
+    }
+
+    fn get(result: &CubeResult, r: Vec<u32>, item: i64) -> Vec<Option<f64>> {
+        result
+            .features(&RegionId(r), item)
+            .cloned()
+            .unwrap_or_else(|| panic!("missing cell"))
+    }
+
+    #[test]
+    fn sums_roll_up_over_time_and_space() {
+        let r = cube_pass(&space(), &input());
+        // [1-1, WI] item 1: only the first row
+        assert_eq!(get(&r, vec![0, 2], 1)[0], Some(10.0));
+        // [1-2, WI] item 1: rows 1+2
+        assert_eq!(get(&r, vec![1, 2], 1)[0], Some(30.0));
+        // [1-2, US] item 1: all three rows
+        assert_eq!(get(&r, vec![1, 1], 1)[0], Some(35.0));
+        // [1-2, All] item 2
+        assert_eq!(get(&r, vec![1, 0], 2)[0], Some(1.0));
+        // counts
+        assert_eq!(get(&r, vec![1, 1], 1)[1], Some(3.0));
+    }
+
+    #[test]
+    fn distinct_fk_deduplicates_across_cells() {
+        let r = cube_pass(&space(), &input());
+        // [1-2, WI] item 1: ad 7 appears twice but counts once → 3.0
+        assert_eq!(get(&r, vec![1, 2], 1)[2], Some(3.0));
+        // [1-2, US] item 1: ads {7, 8} → 3 + 9 = 12
+        assert_eq!(get(&r, vec![1, 1], 1)[2], Some(12.0));
+        // item 2 has no ads → NULL
+        assert_eq!(get(&r, vec![1, 0], 2)[2], None);
+    }
+
+    #[test]
+    fn coverage_counts() {
+        let r = cube_pass(&space(), &input());
+        assert_eq!(r.coverage_count(&RegionId(vec![1, 0])), 2); // both items
+        assert_eq!(r.coverage_count(&RegionId(vec![0, 2])), 1); // only item 1
+    }
+
+    #[test]
+    fn coverage_t1_excludes_late_items() {
+        let r = cube_pass(&space(), &input());
+        // [1-1, All]: item 2's only row is at t2
+        assert_eq!(r.coverage_count(&RegionId(vec![0, 0])), 1);
+    }
+
+    #[test]
+    fn absent_cells_are_none() {
+        let r = cube_pass(&space(), &input());
+        assert!(r.features(&RegionId(vec![0, 3]), 2).is_none()); // item 2 not in [1-1, MD]
+        assert_eq!(r.coverage_count(&RegionId(vec![99, 99])), 0);
+    }
+
+    #[test]
+    fn min_max_avg_states() {
+        let s = space();
+        let inp = CubeInput {
+            item_ids: vec![1, 1, 1],
+            coords: vec![0, 2, 1, 2, 1, 3],
+            measures: vec![
+                Measure::Numeric {
+                    name: "mn".into(),
+                    func: AggFunc::Min,
+                    values: vec![Some(5.0), Some(2.0), None],
+                },
+                Measure::Numeric {
+                    name: "mx".into(),
+                    func: AggFunc::Max,
+                    values: vec![Some(5.0), Some(2.0), None],
+                },
+                Measure::Numeric {
+                    name: "av".into(),
+                    func: AggFunc::Avg,
+                    values: vec![Some(5.0), Some(2.0), None],
+                },
+            ],
+        };
+        let r = cube_pass(&s, &inp);
+        let v = get(&r, vec![1, 0], 1); // [1-2, All]
+        assert_eq!(v[0], Some(2.0));
+        assert_eq!(v[1], Some(5.0));
+        assert_eq!(v[2], Some(3.5));
+        // the all-NULL cell [1-2, MD] row only: min/max/avg = NULL
+        let v2 = get(&r, vec![1, 3], 1);
+        assert_eq!(v2[0], None);
+        assert_eq!(v2[2], None);
+    }
+
+    #[test]
+    fn count_distinct_counts_keys() {
+        let s = space();
+        let inp = CubeInput {
+            item_ids: vec![1, 1],
+            coords: vec![0, 2, 0, 3],
+            measures: vec![Measure::DistinctKeyed {
+                name: "n_ads".into(),
+                func: AggFunc::CountDistinct,
+                keys: vec![Some(4), Some(4)],
+                values: vec![0.0, 0.0],
+            }],
+        };
+        let r = cube_pass(&s, &inp);
+        assert_eq!(get(&r, vec![0, 1], 1)[0], Some(1.0)); // US: same ad in both states
+    }
+
+    #[test]
+    fn filtered_aggregation_matches_cube_cell() {
+        let s = space();
+        let inp = input();
+        // Filter = the region [1-2, US]: time ≤ 1 (always true here) and
+        // location under US (nodes 2 or 3).
+        let filtered = aggregate_filtered(&inp, 2, |c| c[0] <= 1 && (c[1] == 2 || c[1] == 3));
+        let cube = cube_pass(&s, &inp);
+        let want = cube.features(&RegionId(vec![1, 1]), 1).unwrap();
+        assert_eq!(filtered.get(&1).unwrap(), want);
+    }
+
+    #[test]
+    fn filtered_aggregation_empty_filter() {
+        let filtered = aggregate_filtered(&input(), 2, |_| false);
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn shape_mismatch_panics() {
+        let s = space();
+        let inp = CubeInput {
+            item_ids: vec![1],
+            coords: vec![0], // should be 2 coords
+            measures: vec![],
+        };
+        cube_pass(&s, &inp);
+    }
+}

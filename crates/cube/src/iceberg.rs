@@ -1,0 +1,215 @@
+//! Iceberg pruning of the candidate-region lattice (§4.2).
+//!
+//! Feasible regions satisfy `cost(r) ≤ B` and `coverage(r) ≥ C`. Cost is
+//! monotone in region containment (a bigger region never costs less), so
+//! the cost-feasible set is *downward closed*: we explore the lattice
+//! bottom-up from the finest regions, never expanding past a region whose
+//! cost already exceeds the budget — the BUC-style pruning of the iceberg
+//! cube literature the paper cites [1, 9]. Coverage (monotone the other
+//! way) is then applied as a filter on the survivors.
+
+use crate::cost::CostModel;
+use crate::dimension::Dimension;
+use crate::region::{RegionId, RegionSpace};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The feasibility constraints of the constrained-optimization criterion.
+#[derive(Debug, Clone, Copy)]
+pub struct Constraints {
+    /// Budget B: maximum region cost.
+    pub budget: f64,
+    /// Coverage threshold C ∈ [0, 1]: minimum fraction of training items
+    /// with data in the region.
+    pub min_coverage: f64,
+    /// Total number of training items |I| (the coverage denominator).
+    pub total_items: usize,
+}
+
+impl Constraints {
+    /// Minimum item count a region must cover: `⌈C·|I|⌉`.
+    pub fn min_items(&self) -> usize {
+        (self.min_coverage * self.total_items as f64).ceil() as usize
+    }
+}
+
+/// The coarsening neighbours of `r`: one dimension stepped to its parent
+/// (hierarchy) or extended by one period (interval). Every region is
+/// reachable from a base region through these steps.
+pub fn coarser_neighbours(space: &RegionSpace, r: &RegionId) -> Vec<RegionId> {
+    let mut out = Vec::new();
+    for (d, dim) in space.dims().iter().enumerate() {
+        let v = r.coord(d);
+        let up = match dim {
+            Dimension::Interval { max_t, .. } => (v + 1 < *max_t).then_some(v + 1),
+            Dimension::Hierarchy(h) => h.node(v).parent,
+        };
+        if let Some(nv) = up {
+            let mut coords = r.0.clone();
+            coords[d] = nv;
+            out.push(RegionId(coords));
+        }
+    }
+    out
+}
+
+/// Bottom-up enumeration of all regions with `cost ≤ budget`, pruning the
+/// upward cone of any region that exceeds it. Requires the cost model's
+/// documented monotonicity.
+pub fn cost_feasible_regions(
+    space: &RegionSpace,
+    cost: &dyn CostModel,
+    budget: f64,
+) -> Vec<RegionId> {
+    let mut feasible = Vec::new();
+    let mut seen: HashSet<RegionId> = HashSet::new();
+    let mut queue: VecDeque<RegionId> = VecDeque::new();
+    for base in space.base_regions() {
+        if seen.insert(base.clone()) {
+            queue.push_back(base);
+        }
+    }
+    while let Some(r) = queue.pop_front() {
+        if cost.cost(space, &r) > budget {
+            continue; // prune: everything coarser is at least as costly
+        }
+        for up in coarser_neighbours(space, &r) {
+            if seen.insert(up.clone()) {
+                queue.push_back(up);
+            }
+        }
+        feasible.push(r);
+    }
+    feasible.sort();
+    feasible
+}
+
+/// All regions satisfying both constraints. `coverage_counts` maps each
+/// region to `|I_r|` (regions with no data may be absent = zero).
+pub fn feasible_regions(
+    space: &RegionSpace,
+    cost: &dyn CostModel,
+    constraints: &Constraints,
+    coverage_counts: &HashMap<RegionId, usize>,
+) -> Vec<RegionId> {
+    let min_items = constraints.min_items();
+    cost_feasible_regions(space, cost, constraints.budget)
+        .into_iter()
+        .filter(|r| coverage_counts.get(r).copied().unwrap_or(0) >= min_items)
+        .collect()
+}
+
+/// Reference implementation: test every region directly. Used by tests
+/// and the pruning ablation bench to validate [`feasible_regions`].
+pub fn feasible_regions_naive(
+    space: &RegionSpace,
+    cost: &dyn CostModel,
+    constraints: &Constraints,
+    coverage_counts: &HashMap<RegionId, usize>,
+) -> Vec<RegionId> {
+    let min_items = constraints.min_items();
+    space
+        .all_regions()
+        .into_iter()
+        .filter(|r| {
+            cost.cost(space, r) <= constraints.budget
+                && coverage_counts.get(r).copied().unwrap_or(0) >= min_items
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UniformCellCost;
+    use crate::dimension::Hierarchy;
+
+    fn space() -> RegionSpace {
+        let mut loc = Hierarchy::new("Loc", "All");
+        let us = loc.add_child(0, "US");
+        loc.add_child(us, "WI");
+        loc.add_child(us, "MD");
+        loc.add_child(0, "KR");
+        RegionSpace::new(vec![
+            Dimension::Interval {
+                name: "Time".into(),
+                max_t: 5,
+            },
+            Dimension::Hierarchy(loc),
+        ])
+    }
+
+    fn full_coverage(space: &RegionSpace, n: usize) -> HashMap<RegionId, usize> {
+        space.all_regions().into_iter().map(|r| (r, n)).collect()
+    }
+
+    #[test]
+    fn pruned_matches_naive() {
+        let s = space();
+        let cost = UniformCellCost { rate: 1.0 };
+        let cov = full_coverage(&s, 10);
+        for budget in [0.5, 1.0, 3.0, 7.0, 100.0] {
+            let cons = Constraints {
+                budget,
+                min_coverage: 0.0,
+                total_items: 10,
+            };
+            let mut pruned = feasible_regions(&s, &cost, &cons, &cov);
+            let mut naive = feasible_regions_naive(&s, &cost, &cons, &cov);
+            pruned.sort();
+            naive.sort();
+            assert_eq!(pruned, naive, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn budget_zero_prunes_everything() {
+        let s = space();
+        let cost = UniformCellCost { rate: 1.0 };
+        let cons = Constraints {
+            budget: 0.5,
+            min_coverage: 0.0,
+            total_items: 1,
+        };
+        assert!(feasible_regions(&s, &cost, &cons, &full_coverage(&s, 1)).is_empty());
+    }
+
+    #[test]
+    fn coverage_filters_survivors() {
+        let s = space();
+        let cost = UniformCellCost { rate: 1.0 };
+        let mut cov = HashMap::new();
+        // Only [1-1, WI] (coords [0, 2]) covers enough items.
+        cov.insert(RegionId(vec![0, 2]), 8);
+        cov.insert(RegionId(vec![0, 3]), 3);
+        let cons = Constraints {
+            budget: 100.0,
+            min_coverage: 0.5,
+            total_items: 10,
+        };
+        let feas = feasible_regions(&s, &cost, &cons, &cov);
+        assert_eq!(feas, vec![RegionId(vec![0, 2])]);
+        assert_eq!(cons.min_items(), 5);
+    }
+
+    #[test]
+    fn coarser_neighbours_step_one_dim() {
+        let s = space();
+        // [1-2, WI]: coarsen time → [1-3, WI]; coarsen loc → [1-2, US]
+        let ups = coarser_neighbours(&s, &RegionId(vec![1, 2]));
+        assert_eq!(ups.len(), 2);
+        assert!(ups.contains(&RegionId(vec![2, 2])));
+        assert!(ups.contains(&RegionId(vec![1, 1])));
+        // root/max coords have no ups
+        let top = coarser_neighbours(&s, &RegionId(vec![4, 0]));
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn every_region_reachable_from_base() {
+        // With an infinite budget the BFS must enumerate the full space.
+        let s = space();
+        let cost = UniformCellCost { rate: 0.0 };
+        let all = cost_feasible_regions(&s, &cost, 1.0);
+        assert_eq!(all.len() as u64, s.num_regions());
+    }
+}

@@ -1,0 +1,48 @@
+//! # bellwether-cube
+//!
+//! The OLAP substrate of the bellwether reproduction:
+//!
+//! * [`dimension`] — interval and hierarchical dimensions (§4.1), also
+//!   used as item hierarchies (§6.1);
+//! * [`region`] — the product space of candidate regions / cube subsets,
+//!   with containment, enumeration and CUBE expansion;
+//! * [`cost`] — monotone cost models (the κ query);
+//! * [`mod@cube_pass`] — one-pass computation of every `(region, item)`
+//!   aggregate, the §4.2 query rewrite;
+//! * [`iceberg`] — BUC-style bottom-up pruning to the feasible regions
+//!   (cost ≤ B, coverage ≥ C);
+//! * [`rollup`] — generic algebraic-aggregate rollup over the item
+//!   hierarchy lattice (Observation 1 / §6.4).
+//!
+//! ```
+//! use bellwether_cube::{Dimension, Hierarchy, RegionSpace, RegionId};
+//!
+//! let mut loc = Hierarchy::new("Location", "All");
+//! let us = loc.add_child(0, "US");
+//! loc.add_child(us, "WI");
+//! let space = RegionSpace::new(vec![
+//!     Dimension::Interval { name: "Time".into(), max_t: 52 },
+//!     Dimension::Hierarchy(loc),
+//! ]);
+//! assert_eq!(space.num_regions(), 52 * 3);
+//! assert_eq!(space.label(&RegionId(vec![0, 2])), "[1-1, WI]");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cube_pass;
+pub mod dimension;
+pub mod iceberg;
+pub mod region;
+pub mod rollup;
+
+pub use cost::{CellTableCost, CostModel, ProductCost, UniformCellCost};
+pub use cube_pass::{aggregate_filtered, cube_pass, CubeInput, CubeResult, Measure};
+pub use dimension::{Dimension, HierNode, Hierarchy};
+pub use iceberg::{
+    coarser_neighbours, cost_feasible_regions, feasible_regions, feasible_regions_naive,
+    Constraints,
+};
+pub use region::{RegionId, RegionSpace};
+pub use rollup::{rollup_lattice, rollup_naive};

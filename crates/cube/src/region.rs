@@ -1,0 +1,268 @@
+//! Candidate regions: points of the product space of dimension values.
+//!
+//! A region (or, on the item side, a *cube subset* of items) is one value
+//! per dimension, e.g. `[1-8, MD]`. `RegionSpace` owns the dimensions and
+//! provides enumeration, containment, labels, and the containing-region
+//! expansion used by the CUBE pass.
+
+use crate::dimension::Dimension;
+use serde::{Deserialize, Serialize};
+
+/// One value per dimension. Doubles as a *subset id* for item
+/// hierarchies (§6.1) — the machinery is identical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub Vec<u32>);
+
+impl RegionId {
+    /// The coordinate along dimension `d`.
+    pub fn coord(&self, d: usize) -> u32 {
+        self.0[d]
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl From<Vec<u32>> for RegionId {
+    fn from(v: Vec<u32>) -> Self {
+        RegionId(v)
+    }
+}
+
+/// The product space of all candidate regions over a set of dimensions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionSpace {
+    dims: Vec<Dimension>,
+}
+
+impl RegionSpace {
+    /// Build a space over the given dimensions (at least one).
+    pub fn new(dims: Vec<Dimension>) -> Self {
+        assert!(!dims.is_empty(), "a region space needs at least one dimension");
+        RegionSpace { dims }
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of candidate regions (product of per-dim value counts).
+    pub fn num_regions(&self) -> u64 {
+        self.dims.iter().map(|d| d.num_values() as u64).product()
+    }
+
+    /// Human-readable region label, e.g. `[1-8, MD]`.
+    pub fn label(&self, r: &RegionId) -> String {
+        let parts: Vec<String> = self
+            .dims
+            .iter()
+            .zip(&r.0)
+            .map(|(d, &v)| d.label(v))
+            .collect();
+        format!("[{}]", parts.join(", "))
+    }
+
+    /// Enumerate every region, in lexicographic coordinate order.
+    pub fn all_regions(&self) -> Vec<RegionId> {
+        let mut out = Vec::with_capacity(self.num_regions() as usize);
+        let mut coords = vec![0u32; self.arity()];
+        loop {
+            out.push(RegionId(coords.clone()));
+            // odometer increment
+            let mut d = self.arity();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                coords[d] += 1;
+                if coords[d] < self.dims[d].num_values() {
+                    break;
+                }
+                coords[d] = 0;
+            }
+        }
+    }
+
+    /// True if region `a` spatially contains region `b` on every dimension.
+    pub fn contains(&self, a: &RegionId, b: &RegionId) -> bool {
+        self.dims
+            .iter()
+            .zip(a.0.iter().zip(&b.0))
+            .all(|(d, (&av, &bv))| d.value_contains(av, bv))
+    }
+
+    /// All regions containing the fact-level cell `leaf_coords` (one leaf
+    /// coordinate per dimension): the cartesian product of each
+    /// dimension's containing values. This is the CUBE expansion set of
+    /// one fact row.
+    pub fn containing_regions(&self, leaf_coords: &[u32]) -> Vec<RegionId> {
+        assert_eq!(leaf_coords.len(), self.arity(), "coordinate arity mismatch");
+        let per_dim: Vec<Vec<u32>> = self
+            .dims
+            .iter()
+            .zip(leaf_coords)
+            .map(|(d, &leaf)| d.containing_values(leaf))
+            .collect();
+        let mut out = Vec::with_capacity(per_dim.iter().map(Vec::len).product());
+        let mut idx = vec![0usize; self.arity()];
+        loop {
+            out.push(RegionId(
+                idx.iter()
+                    .zip(&per_dim)
+                    .map(|(&i, vals)| vals[i])
+                    .collect(),
+            ));
+            let mut d = self.arity();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < per_dim[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// Number of finest-grained cells inside a region (product across
+    /// dimensions) — the denominator of cell-sum cost models.
+    pub fn finest_cell_count(&self, r: &RegionId) -> u64 {
+        self.dims
+            .iter()
+            .zip(&r.0)
+            .map(|(d, &v)| d.finest_cell_count(v) as u64)
+            .product()
+    }
+
+    /// The base (finest) regions: leaf/shortest-prefix coordinates only.
+    /// For item-subset spaces these are the *base subsets* of §6.1.
+    pub fn base_regions(&self) -> Vec<RegionId> {
+        let per_dim: Vec<Vec<u32>> = self
+            .dims
+            .iter()
+            .map(|d| match d {
+                Dimension::Interval { .. } => vec![0], // only [1..1] is "base"
+                Dimension::Hierarchy(h) => h.leaves(),
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut idx = vec![0usize; self.arity()];
+        loop {
+            out.push(RegionId(
+                idx.iter()
+                    .zip(&per_dim)
+                    .map(|(&i, vals)| vals[i])
+                    .collect(),
+            ));
+            let mut d = self.arity();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < per_dim[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Hierarchy;
+
+    fn space() -> RegionSpace {
+        let mut loc = Hierarchy::new("Location", "All");
+        let us = loc.add_child(0, "US");
+        loc.add_child(us, "WI");
+        loc.add_child(us, "MD");
+        RegionSpace::new(vec![
+            Dimension::Interval {
+                name: "Time".into(),
+                max_t: 3,
+            },
+            Dimension::Hierarchy(loc),
+        ])
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        let s = space();
+        assert_eq!(s.num_regions(), 3 * 4);
+        let all = s.all_regions();
+        assert_eq!(all.len(), 12);
+        assert_eq!(all[0], RegionId(vec![0, 0]));
+        assert_eq!(all[11], RegionId(vec![2, 3]));
+        // all distinct
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn labels() {
+        let s = space();
+        assert_eq!(s.label(&RegionId(vec![1, 2])), "[1-2, WI]");
+        assert_eq!(s.label(&RegionId(vec![2, 0])), "[1-3, All]");
+    }
+
+    #[test]
+    fn containment_is_componentwise() {
+        let s = space();
+        let big = RegionId(vec![2, 0]); // [1-3, All]
+        let small = RegionId(vec![0, 2]); // [1-1, WI]
+        assert!(s.contains(&big, &small));
+        assert!(!s.contains(&small, &big));
+        let other = RegionId(vec![2, 3]); // [1-3, MD]
+        assert!(!s.contains(&other, &small));
+    }
+
+    #[test]
+    fn containing_regions_of_a_fact_cell() {
+        let s = space();
+        // fact at time point 2 (coord 1), leaf WI (node 2)
+        let regions = s.containing_regions(&[1, 2]);
+        // times {1-2, 1-3} × locations {WI, US, All} = 6 regions
+        assert_eq!(regions.len(), 6);
+        assert!(regions.contains(&RegionId(vec![1, 2])));
+        assert!(regions.contains(&RegionId(vec![2, 0])));
+        assert!(!regions.contains(&RegionId(vec![0, 2])));
+        // every returned region indeed contains the base cell
+        for r in &regions {
+            assert!(s.contains(r, &RegionId(vec![1, 2])));
+        }
+    }
+
+    #[test]
+    fn finest_cell_counts_multiply() {
+        let s = space();
+        // [1-2, US] = 2 time points × 2 states = 4 cells
+        assert_eq!(s.finest_cell_count(&RegionId(vec![1, 1])), 4);
+        assert_eq!(s.finest_cell_count(&RegionId(vec![0, 2])), 1);
+    }
+
+    #[test]
+    fn base_regions_are_finest() {
+        let s = space();
+        let base = s.base_regions();
+        // interval contributes [1-1]; hierarchy leaves WI, MD
+        assert_eq!(base.len(), 2);
+        assert!(base.contains(&RegionId(vec![0, 2])));
+        assert!(base.contains(&RegionId(vec![0, 3])));
+    }
+}

@@ -1,0 +1,183 @@
+//! Cholesky factorisation and solves for the symmetric positive
+//! (semi-)definite Gram matrices `X'WX` arising in least squares.
+//!
+//! Tiny regions can yield rank-deficient Gram matrices (constant or
+//! collinear features). [`solve_spd_ridged`] retries with a small ridge
+//! proportional to the matrix trace, which is the standard regularised
+//! fallback and keeps bellwether search total — a region never aborts the
+//! search, it just gets an honest (usually poor) model.
+
+// Triangular-solve loops index neighbouring rows; indexed form is the
+// clearest here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::matrix::Matrix;
+
+/// Error from a failed factorisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index where factorisation broke down.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite at pivot {}", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor `L` with `L·L' = A`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive definite matrix.
+    pub fn factor(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        assert_eq!(a.rows(), a.cols(), "cholesky of non-square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solve `A x = b` using the factorisation.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward substitution: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution: L' x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+/// Relative ridge magnitude used by [`solve_spd_ridged`].
+pub const RIDGE_EPS: f64 = 1e-9;
+
+/// Solve `A x = b` for symmetric positive semi-definite `A`, adding an
+/// escalating ridge `λ·(trace(A)/n)·I` (λ = 1e-9, 1e-6, 1e-3) when plain
+/// Cholesky fails. Returns `None` only for hopeless inputs (e.g. all-zero
+/// or non-finite matrices).
+pub fn solve_spd_ridged(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    if let Ok(f) = Cholesky::factor(a) {
+        return Some(f.solve(b));
+    }
+    let n = a.rows();
+    let mean_diag = a.trace() / n.max(1) as f64;
+    let base = if mean_diag.abs() > 0.0 && mean_diag.is_finite() {
+        mean_diag.abs()
+    } else {
+        1.0
+    };
+    for lambda in [RIDGE_EPS, 1e-6, 1e-3] {
+        let mut ridged = a.clone();
+        for i in 0..n {
+            ridged[(i, i)] += lambda * base;
+        }
+        if let Ok(f) = Cholesky::factor(&ridged) {
+            return Some(f.solve(b));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = M'M + I for a random-ish M, guaranteed SPD.
+        Matrix::from_rows(
+            3,
+            3,
+            vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let f = Cholesky::factor(&a).unwrap();
+        let back = f.l().matmul(&f.l().transpose());
+        assert!(a.max_abs_diff(&back) < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_direct_check() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = Cholesky::factor(&a).unwrap().solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn ridge_rescues_singular() {
+        // Rank-1 matrix: plain Cholesky fails, ridge succeeds.
+        let a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let x = solve_spd_ridged(&a, &[2.0, 2.0]).unwrap();
+        // Ridged solution of a consistent system stays close to a valid
+        // least-norm solution: x0 + x1 ≈ 2.
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ridge_gives_up_on_garbage() {
+        let a = Matrix::from_rows(1, 1, vec![f64::NAN]);
+        assert!(solve_spd_ridged(&a, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(1, 1, vec![4.0]);
+        let x = Cholesky::factor(&a).unwrap().solve(&[8.0]);
+        assert_eq!(x, vec![2.0]);
+    }
+}

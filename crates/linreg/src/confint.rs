@@ -1,0 +1,110 @@
+//! Error estimates with confidence intervals.
+//!
+//! The paper uses P% confidence intervals twice: Figures 7(b)/9(b) count
+//! regions whose error falls inside the bellwether's interval
+//! ("indistinguishable" regions), and bellwether-cube prediction picks
+//! the ancestor subset whose model has the lowest *upper* confidence
+//! bound. Both reduce to an estimate `mean ± z·stderr` where the spread
+//! comes from the variance of the per-fold cross-validation errors (§2).
+
+use crate::stats::{mean, normal_quantile, sample_std};
+use serde::{Deserialize, Serialize};
+
+/// An error estimate: a point value plus a standard error of that value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorEstimate {
+    /// Point estimate of the error (e.g. mean fold RMSE).
+    pub value: f64,
+    /// Standard error of the point estimate (0 when unknowable).
+    pub std_err: f64,
+}
+
+impl ErrorEstimate {
+    /// An estimate with no spread information (training-set error on a
+    /// single fit).
+    pub fn point(value: f64) -> Self {
+        ErrorEstimate {
+            value,
+            std_err: 0.0,
+        }
+    }
+
+    /// Estimate from per-fold error values: mean ± sd/√k.
+    pub fn from_folds(fold_errors: &[f64]) -> Self {
+        let value = mean(fold_errors);
+        let std_err = if fold_errors.len() > 1 {
+            sample_std(fold_errors) / (fold_errors.len() as f64).sqrt()
+        } else {
+            0.0
+        };
+        ErrorEstimate { value, std_err }
+    }
+
+    /// Two-sided confidence interval `(lo, hi)` at `confidence` ∈ (0,1),
+    /// e.g. 0.95. Lower bound clamped at 0 (errors are non-negative).
+    pub fn interval(&self, confidence: f64) -> (f64, f64) {
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        let half = z * self.std_err;
+        ((self.value - half).max(0.0), self.value + half)
+    }
+
+    /// Upper bound of the two-sided interval — the cube-prediction
+    /// selection score (§6.2: "lowest upper confidence bound of error").
+    pub fn upper_bound(&self, confidence: f64) -> f64 {
+        self.interval(confidence).1
+    }
+
+    /// True if `other`'s point error lies within this estimate's
+    /// `confidence` interval — the Figure 7(b) indistinguishability test.
+    pub fn contains(&self, other_value: f64, confidence: f64) -> bool {
+        let (lo, hi) = self.interval(confidence);
+        other_value >= lo && other_value <= hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate_has_degenerate_interval() {
+        let e = ErrorEstimate::point(5.0);
+        assert_eq!(e.interval(0.95), (5.0, 5.0));
+        assert!(e.contains(5.0, 0.95));
+        assert!(!e.contains(5.0001, 0.95));
+    }
+
+    #[test]
+    fn folds_produce_spread() {
+        let e = ErrorEstimate::from_folds(&[1.0, 2.0, 3.0, 2.0]);
+        assert!((e.value - 2.0).abs() < 1e-12);
+        assert!(e.std_err > 0.0);
+        let (lo, hi) = e.interval(0.95);
+        assert!(lo < 2.0 && hi > 2.0);
+        assert!(e.upper_bound(0.99) > e.upper_bound(0.95));
+    }
+
+    #[test]
+    fn wider_confidence_widens_interval() {
+        let e = ErrorEstimate::from_folds(&[1.0, 3.0]);
+        let (lo95, hi95) = e.interval(0.95);
+        let (lo99, hi99) = e.interval(0.99);
+        assert!(lo99 <= lo95 && hi99 >= hi95);
+    }
+
+    #[test]
+    fn lower_bound_clamped_at_zero() {
+        let e = ErrorEstimate {
+            value: 0.1,
+            std_err: 10.0,
+        };
+        assert_eq!(e.interval(0.95).0, 0.0);
+    }
+
+    #[test]
+    fn single_fold_collapses() {
+        let e = ErrorEstimate::from_folds(&[4.0]);
+        assert_eq!(e.std_err, 0.0);
+        assert_eq!(e.value, 4.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Flat row-major regression datasets: the `(X, Y, W)` triples that
+//! region training sets reduce to once features are generated.
+
+use serde::{Deserialize, Serialize};
+
+/// A regression training set: `n` examples of `p` features each, with
+/// targets and per-example weights (all 1.0 for ordinary least squares).
+///
+/// Rows are stored row-major in one flat buffer for cache-friendly scans;
+/// `p` includes the intercept column if the caller added one (see
+/// [`RegressionData::push_with_intercept`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionData {
+    p: usize,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ws: Vec<f64>,
+}
+
+impl RegressionData {
+    /// Empty dataset with `p` feature columns.
+    pub fn new(p: usize) -> Self {
+        RegressionData {
+            p,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            ws: Vec::new(),
+        }
+    }
+
+    /// Empty dataset with capacity hints.
+    pub fn with_capacity(p: usize, n: usize) -> Self {
+        RegressionData {
+            p,
+            xs: Vec::with_capacity(p * n),
+            ys: Vec::with_capacity(n),
+            ws: Vec::with_capacity(n),
+        }
+    }
+
+    /// Features per example.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of examples.
+    pub fn n(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// True if no examples.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// Append an example with explicit weight. Panics if `x.len() != p`.
+    pub fn push_weighted(&mut self, x: &[f64], y: f64, w: f64) {
+        assert_eq!(x.len(), self.p, "feature vector length mismatch");
+        debug_assert!(w > 0.0, "weights must be positive");
+        self.xs.extend_from_slice(x);
+        self.ys.push(y);
+        self.ws.push(w);
+    }
+
+    /// Append an example with weight 1.
+    pub fn push(&mut self, x: &[f64], y: f64) {
+        self.push_weighted(x, y, 1.0);
+    }
+
+    /// Append an example prefixing the constant intercept feature, so the
+    /// stored row is `[1, x...]`. The dataset must have `p = x.len() + 1`.
+    pub fn push_with_intercept(&mut self, x: &[f64], y: f64) {
+        assert_eq!(x.len() + 1, self.p, "feature vector length mismatch");
+        self.xs.push(1.0);
+        self.xs.extend_from_slice(x);
+        self.ys.push(y);
+        self.ws.push(1.0);
+    }
+
+    /// Feature row `i`.
+    pub fn x(&self, i: usize) -> &[f64] {
+        &self.xs[i * self.p..(i + 1) * self.p]
+    }
+
+    /// Target `i`.
+    pub fn y(&self, i: usize) -> f64 {
+        self.ys[i]
+    }
+
+    /// Weight `i`.
+    pub fn w(&self, i: usize) -> f64 {
+        self.ws[i]
+    }
+
+    /// All targets.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// New dataset with the rows at `indices` (duplicates allowed).
+    pub fn subset(&self, indices: &[usize]) -> RegressionData {
+        let mut out = RegressionData::with_capacity(self.p, indices.len());
+        for &i in indices {
+            out.push_weighted(self.x(i), self.y(i), self.w(i));
+        }
+        out
+    }
+
+    /// Iterate `(x, y, w)` rows.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64, f64)> + '_ {
+        (0..self.n()).map(move |i| (self.x(i), self.y(i), self.w(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut d = RegressionData::new(2);
+        d.push(&[1.0, 2.0], 3.0);
+        d.push_weighted(&[4.0, 5.0], 6.0, 2.0);
+        assert_eq!(d.n(), 2);
+        assert_eq!(d.x(1), &[4.0, 5.0]);
+        assert_eq!(d.y(0), 3.0);
+        assert_eq!(d.w(1), 2.0);
+        assert_eq!(d.ys(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn intercept_prefix() {
+        let mut d = RegressionData::new(3);
+        d.push_with_intercept(&[7.0, 8.0], 9.0);
+        assert_eq!(d.x(0), &[1.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn subset_gathers() {
+        let mut d = RegressionData::new(1);
+        for i in 0..5 {
+            d.push(&[i as f64], i as f64 * 10.0);
+        }
+        let s = d.subset(&[4, 0, 4]);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.y(0), 40.0);
+        assert_eq!(s.y(1), 0.0);
+        assert_eq!(s.y(2), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_width_panics() {
+        let mut d = RegressionData::new(2);
+        d.push(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn iter_yields_rows() {
+        let mut d = RegressionData::new(1);
+        d.push(&[1.0], 2.0);
+        let rows: Vec<_> = d.iter().collect();
+        assert_eq!(rows, vec![(&[1.0][..], 2.0, 1.0)]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # bellwether-linreg
+//!
+//! The regression substrate of the bellwether reproduction: dense linear
+//! algebra sized for small feature counts, ordinary and weighted least
+//! squares, the Theorem-1 sufficient statistic (`⟨Y'WY, X'WX, X'WY⟩`)
+//! with exact merge/subtract, k-fold cross-validation, and error
+//! estimates with confidence intervals.
+//!
+//! Everything downstream — basic bellwether search, bellwether trees and
+//! cubes — measures model quality through [`ErrorEstimate`]s produced
+//! here, and the optimized cube algorithm rolls [`RegSuffStats`] up the
+//! item-hierarchy lattice instead of refitting models.
+//!
+//! ```
+//! use bellwether_linreg::{RegressionData, RegSuffStats, cross_val_estimate};
+//!
+//! let mut data = RegressionData::new(2);
+//! for i in 0..50 {
+//!     let x = i as f64;
+//!     data.push(&[1.0, x], 3.0 + 2.0 * x);
+//! }
+//! let model = RegSuffStats::from_dataset(&data).fit().unwrap();
+//! assert!((model.predict(&[1.0, 10.0]) - 23.0).abs() < 1e-6);
+//! let err = cross_val_estimate(&data, 10, 42).unwrap();
+//! assert!(err.value < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod confint;
+pub mod crossval;
+pub mod dataset;
+pub mod matrix;
+pub mod model;
+pub mod stats;
+pub mod suffstats;
+
+pub use cholesky::{solve_spd_ridged, Cholesky};
+pub use confint::ErrorEstimate;
+pub use crossval::{
+    cross_val_estimate, cross_validate, fold_assignment, training_set_estimate, CvResult,
+};
+pub use dataset::RegressionData;
+pub use matrix::Matrix;
+pub use model::{fit_ols, fit_wls, LinearModel};
+pub use stats::{mean, normal_quantile, sample_std, sample_variance, SplitMix64};
+pub use suffstats::RegSuffStats;

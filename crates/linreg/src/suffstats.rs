@@ -1,0 +1,347 @@
+//! The Theorem-1 sufficient statistic for weighted least squares.
+//!
+//! For an item subset `S` with design matrix `X`, targets `Y` and diagonal
+//! weights `W`, the tuple
+//!
+//! ```text
+//! g(S) = ⟨ Y'WY,  X'WX,  X'WY,  n ⟩
+//! ```
+//!
+//! is *mergeable*: `g(S1 ∪ S2) = g(S1) + g(S2)` componentwise for disjoint
+//! subsets. From the merged tuple we recover both the WLS coefficients
+//! `β = (X'WX)⁻¹ X'WY` and the weighted sum of squared errors
+//! `SSE = Y'WY − (X'WY)'(X'WX)⁻¹(X'WY)` without revisiting examples. This
+//! is exactly what makes SSE an *algebraic* aggregate (Theorem 1), the key
+//! to the optimized bellwether-cube algorithm: compute `g` once per base
+//! subset, then roll up the item-hierarchy lattice by merging.
+
+use crate::cholesky::solve_spd_ridged;
+use crate::dataset::RegressionData;
+use crate::matrix::Matrix;
+use crate::model::LinearModel;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated `⟨Y'WY, X'WX, X'WY, n, Σw⟩` for one example subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegSuffStats {
+    p: usize,
+    n: usize,
+    sum_w: f64,
+    ytwy: f64,
+    xtwx: Matrix,
+    xtwy: Vec<f64>,
+}
+
+impl RegSuffStats {
+    /// Empty statistic for `p` features.
+    pub fn new(p: usize) -> Self {
+        RegSuffStats {
+            p,
+            n: 0,
+            sum_w: 0.0,
+            ytwy: 0.0,
+            xtwx: Matrix::zeros(p, p),
+            xtwy: vec![0.0; p],
+        }
+    }
+
+    /// Number of features.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of accumulated examples.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total weight.
+    pub fn sum_w(&self) -> f64 {
+        self.sum_w
+    }
+
+    /// Fold in one weighted example.
+    #[allow(clippy::needless_range_loop)] // symmetric i/j indexing
+    pub fn add(&mut self, x: &[f64], y: f64, w: f64) {
+        assert_eq!(x.len(), self.p, "feature vector length mismatch");
+        debug_assert!(w > 0.0, "weights must be positive");
+        self.n += 1;
+        self.sum_w += w;
+        self.ytwy += w * y * y;
+        for i in 0..self.p {
+            let wxi = w * x[i];
+            self.xtwy[i] += wxi * y;
+            // X'WX is symmetric; fill the full matrix to keep solves simple.
+            for j in 0..self.p {
+                self.xtwx[(i, j)] += wxi * x[j];
+            }
+        }
+    }
+
+    /// Accumulate an entire dataset.
+    pub fn add_dataset(&mut self, data: &RegressionData) {
+        for (x, y, w) in data.iter() {
+            self.add(x, y, w);
+        }
+    }
+
+    /// Build the statistic for a dataset in one pass.
+    pub fn from_dataset(data: &RegressionData) -> Self {
+        let mut s = RegSuffStats::new(data.p());
+        s.add_dataset(data);
+        s
+    }
+
+    /// Merge a disjoint subset's statistic (the `q` of Theorem 1 sums the
+    /// components; both operands must describe the same feature space).
+    pub fn merge(&mut self, other: &RegSuffStats) {
+        assert_eq!(self.p, other.p, "merging stats of different widths");
+        self.n += other.n;
+        self.sum_w += other.sum_w;
+        self.ytwy += other.ytwy;
+        self.xtwx += &other.xtwx;
+        for (a, b) in self.xtwy.iter_mut().zip(&other.xtwy) {
+            *a += *b;
+        }
+    }
+
+    /// Merged copy (non-destructive convenience for rollups).
+    pub fn merged(&self, other: &RegSuffStats) -> RegSuffStats {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Remove a previously merged subset's statistic (exact, because the
+    /// statistic is a sum of per-example terms). Used to train each
+    /// cross-validation fold's complement in O(1) after one full pass.
+    /// Panics if `other` contains more examples than `self`.
+    pub fn subtract(&mut self, other: &RegSuffStats) {
+        assert_eq!(self.p, other.p, "subtracting stats of different widths");
+        assert!(self.n >= other.n, "subtracting more examples than present");
+        self.n -= other.n;
+        self.sum_w -= other.sum_w;
+        self.ytwy -= other.ytwy;
+        self.xtwx -= &other.xtwx;
+        for (a, b) in self.xtwy.iter_mut().zip(&other.xtwy) {
+            *a -= *b;
+        }
+    }
+
+    /// Fit the WLS model `β = (X'WX)⁻¹(X'WY)`. `None` if fewer examples
+    /// than features or the Gram matrix is irreparably singular.
+    pub fn fit(&self) -> Option<LinearModel> {
+        if self.n < self.p {
+            return None;
+        }
+        let beta = solve_spd_ridged(&self.xtwx, &self.xtwy)?;
+        if beta.iter().any(|b| !b.is_finite()) {
+            return None;
+        }
+        Some(LinearModel::new(beta))
+    }
+
+    /// Weighted sum of squared errors of the fitted model on the
+    /// accumulated examples: `Y'WY − (X'WY)'β`. Clamped at 0 to absorb
+    /// floating-point cancellation. `None` when no model can be fit.
+    pub fn sse(&self) -> Option<f64> {
+        let beta = self.fit()?;
+        let explained: f64 = self
+            .xtwy
+            .iter()
+            .zip(beta.coefficients())
+            .map(|(a, b)| a * b)
+            .sum();
+        Some((self.ytwy - explained).max(0.0))
+    }
+
+    /// Weighted SSE of an *arbitrary* model β on the accumulated
+    /// examples, from the statistic alone:
+    ///
+    /// ```text
+    /// Σ w (y − x'β)² = Y'WY − 2 β'(X'WY) + β'(X'WX)β
+    /// ```
+    ///
+    /// This extends Theorem 1 to *cross-validation*: a fold's test error
+    /// under the complement's model needs only the fold's statistic —
+    /// no examples are revisited. Clamped at 0 against cancellation.
+    pub fn sse_of_model(&self, model: &LinearModel) -> f64 {
+        assert_eq!(model.p(), self.p, "model width mismatch");
+        let beta = model.coefficients();
+        let cross: f64 = self
+            .xtwy
+            .iter()
+            .zip(beta)
+            .map(|(a, b)| a * b)
+            .sum();
+        let quad: f64 = {
+            let xb = self.xtwx.matvec(beta);
+            xb.iter().zip(beta).map(|(a, b)| a * b).sum()
+        };
+        (self.ytwy - 2.0 * cross + quad).max(0.0)
+    }
+
+    /// Weighted mean squared error with `n − p` degrees of freedom, the
+    /// paper's training-set error for WLS models. `None` when `n ≤ p`.
+    pub fn mse(&self) -> Option<f64> {
+        if self.n <= self.p {
+            return None;
+        }
+        Some(self.sse()? / (self.n - self.p) as f64)
+    }
+
+    /// Root of [`RegSuffStats::mse`].
+    pub fn rmse(&self) -> Option<f64> {
+        self.mse().map(f64::sqrt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 2 + 3x exactly, with intercept column.
+    fn exact_line() -> RegressionData {
+        let mut d = RegressionData::new(2);
+        for i in 0..10 {
+            let x = i as f64;
+            d.push(&[1.0, x], 2.0 + 3.0 * x);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_exact_line() {
+        let s = RegSuffStats::from_dataset(&exact_line());
+        let m = s.fit().unwrap();
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-9);
+        assert!((m.coefficients()[1] - 3.0).abs() < 1e-9);
+        assert!(s.sse().unwrap() < 1e-9);
+        assert!(s.rmse().unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn merge_equals_bulk() {
+        let d = exact_line();
+        let first = d.subset(&[0, 1, 2, 3]);
+        let second = d.subset(&[4, 5, 6, 7, 8, 9]);
+        let mut merged = RegSuffStats::from_dataset(&first);
+        merged.merge(&RegSuffStats::from_dataset(&second));
+        let bulk = RegSuffStats::from_dataset(&d);
+        assert_eq!(merged.n(), bulk.n());
+        assert!((merged.sse().unwrap() - bulk.sse().unwrap()).abs() < 1e-9);
+        let mb = merged.fit().unwrap();
+        let bb = bulk.fit().unwrap();
+        for (a, b) in mb.coefficients().iter().zip(bb.coefficients()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sse_matches_residual_sum() {
+        // Noisy data: check SSE against the definition Σ w(y - x'β)².
+        let mut d = RegressionData::new(2);
+        let ys = [1.0, 2.0, 2.5, 4.2, 4.9];
+        for (i, &y) in ys.iter().enumerate() {
+            d.push_weighted(&[1.0, i as f64], y, 1.0 + i as f64 * 0.1);
+        }
+        let s = RegSuffStats::from_dataset(&d);
+        let m = s.fit().unwrap();
+        let direct: f64 = d
+            .iter()
+            .map(|(x, y, w)| {
+                let r = y - m.predict(x);
+                w * r * r
+            })
+            .sum();
+        assert!((s.sse().unwrap() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        let mut d = RegressionData::new(3);
+        d.push(&[1.0, 2.0, 3.0], 1.0);
+        let s = RegSuffStats::from_dataset(&d);
+        assert!(s.fit().is_none());
+        assert!(s.mse().is_none());
+    }
+
+    #[test]
+    fn n_equals_p_fits_but_has_no_mse() {
+        let mut d = RegressionData::new(2);
+        d.push(&[1.0, 0.0], 1.0);
+        d.push(&[1.0, 1.0], 2.0);
+        let s = RegSuffStats::from_dataset(&d);
+        assert!(s.fit().is_some());
+        assert!(s.mse().is_none(), "zero degrees of freedom");
+    }
+
+    #[test]
+    fn weights_shift_the_fit() {
+        // Two inconsistent points; weights pull the constant fit around.
+        let mut d = RegressionData::new(1);
+        d.push_weighted(&[1.0], 0.0, 1.0);
+        d.push_weighted(&[1.0], 10.0, 3.0);
+        let m = RegSuffStats::from_dataset(&d).fit().unwrap();
+        assert!((m.coefficients()[0] - 7.5).abs() < 1e-9); // (0·1+10·3)/4
+    }
+
+    #[test]
+    fn sse_of_model_matches_direct_evaluation() {
+        let mut d = RegressionData::new(2);
+        let ys = [1.0, 2.5, 2.0, 4.8, 5.1, 7.0];
+        for (i, &y) in ys.iter().enumerate() {
+            d.push_weighted(&[1.0, i as f64], y, 1.0 + 0.2 * i as f64);
+        }
+        let stats = RegSuffStats::from_dataset(&d);
+        // An arbitrary (not fitted) model.
+        let model = LinearModel::new(vec![0.3, 1.1]);
+        let direct: f64 = d
+            .iter()
+            .map(|(x, y, w)| {
+                let r = y - model.predict(x);
+                w * r * r
+            })
+            .sum();
+        assert!((stats.sse_of_model(&model) - direct).abs() < 1e-9);
+        // For the fitted model it coincides with sse().
+        let fitted = stats.fit().unwrap();
+        assert!((stats.sse_of_model(&fitted) - stats.sse().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sse_of_model_supports_fold_complement_cv() {
+        // Train on folds 1..k, evaluate fold 0 purely algebraically.
+        let mut all = RegressionData::new(2);
+        for i in 0..30 {
+            let x = i as f64;
+            all.push(&[1.0, x], 2.0 + 0.5 * x + if i % 3 == 0 { 0.3 } else { -0.1 });
+        }
+        let fold: Vec<usize> = (0..30).filter(|i| i % 5 == 0).collect();
+        let rest: Vec<usize> = (0..30).filter(|i| i % 5 != 0).collect();
+        let fold_stats = RegSuffStats::from_dataset(&all.subset(&fold));
+        let rest_stats = RegSuffStats::from_dataset(&all.subset(&rest));
+        let model = rest_stats.fit().unwrap();
+        let direct: f64 = fold
+            .iter()
+            .map(|&i| {
+                let r = all.y(i) - model.predict(all.x(i));
+                r * r
+            })
+            .sum();
+        assert!((fold_stats.sse_of_model(&model) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_features_survive_via_ridge() {
+        let mut d = RegressionData::new(2);
+        for i in 0..5 {
+            let x = i as f64;
+            d.push(&[x, x], 2.0 * x); // perfectly collinear
+        }
+        let s = RegSuffStats::from_dataset(&d);
+        let m = s.fit().expect("ridge fallback should fit");
+        // Predictions are still right even though β is not unique.
+        assert!((m.predict(&[3.0, 3.0]) - 6.0).abs() < 1e-3);
+    }
+}

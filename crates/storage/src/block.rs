@@ -1,0 +1,113 @@
+//! The unit of training-data storage: one region's training set.
+
+use serde::{Deserialize, Serialize};
+
+/// The training set of one feasible region: for each item with data in
+/// the region, its query-generated feature vector and target value.
+///
+/// All regions of one entire-training-data store share the feature arity
+/// `p` (the same feature queries are issued per region). Coordinates are
+/// the region's dimension-value ids, opaque to this crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionBlock {
+    /// Region coordinates (one dimension-value id per dimension).
+    pub region: Vec<u32>,
+    /// Item ids, one per example.
+    pub item_ids: Vec<i64>,
+    /// Row-major `n × p` feature values.
+    pub features: Vec<f64>,
+    /// Targets, one per example.
+    pub targets: Vec<f64>,
+    /// Feature arity `p`.
+    pub p: u32,
+}
+
+impl RegionBlock {
+    /// Empty block for a region.
+    pub fn new(region: Vec<u32>, p: u32) -> Self {
+        RegionBlock {
+            region,
+            item_ids: Vec::new(),
+            features: Vec::new(),
+            targets: Vec::new(),
+            p,
+        }
+    }
+
+    /// Number of examples.
+    pub fn n(&self) -> usize {
+        self.item_ids.len()
+    }
+
+    /// True if the block holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.item_ids.is_empty()
+    }
+
+    /// Append one example. Panics if `x.len() != p`.
+    pub fn push(&mut self, item: i64, x: &[f64], y: f64) {
+        assert_eq!(x.len(), self.p as usize, "feature arity mismatch");
+        self.item_ids.push(item);
+        self.features.extend_from_slice(x);
+        self.targets.push(y);
+    }
+
+    /// Feature row of example `i`.
+    pub fn x(&self, i: usize) -> &[f64] {
+        let p = self.p as usize;
+        &self.features[i * p..(i + 1) * p]
+    }
+
+    /// Target of example `i`.
+    pub fn y(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// Serialized size in bytes (used for IO accounting).
+    pub fn encoded_len(&self) -> usize {
+        // header: region-arity u32 + coords + n u64 + p u32, then payload
+        4 + self.region.len() * 4
+            + 8
+            + 4
+            + self.item_ids.len() * 8
+            + self.features.len() * 8
+            + self.targets.len() * 8
+    }
+
+    /// Iterate `(item, x, y)` examples.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &[f64], f64)> + '_ {
+        (0..self.n()).map(move |i| (self.item_ids[i], self.x(i), self.y(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut b = RegionBlock::new(vec![1, 2], 2);
+        b.push(7, &[1.0, 2.0], 3.0);
+        b.push(8, &[4.0, 5.0], 6.0);
+        assert_eq!(b.n(), 2);
+        assert_eq!(b.x(1), &[4.0, 5.0]);
+        assert_eq!(b.y(0), 3.0);
+        let rows: Vec<_> = b.iter().collect();
+        assert_eq!(rows[0], (7, &[1.0, 2.0][..], 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut b = RegionBlock::new(vec![0], 3);
+        b.push(1, &[1.0], 0.0);
+    }
+
+    #[test]
+    fn encoded_len_counts_payload() {
+        let mut b = RegionBlock::new(vec![0, 1], 1);
+        let empty = b.encoded_len();
+        b.push(1, &[2.0], 3.0);
+        assert_eq!(b.encoded_len(), empty + 8 + 8 + 8);
+    }
+}

@@ -1,0 +1,260 @@
+//! Binary on-disk format for the entire training data.
+//!
+//! Layout:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────┐
+//! │ header: magic "BWTD" | version u32 | p u32 | arity u32   │
+//! │ region block 0 … region block R-1 (see encode_block)     │
+//! │ index: R × (offset u64, len u64, coords arity×u32)       │
+//! │ footer: index_offset u64 | region_count u64 | magic      │
+//! └──────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers little-endian. The index lives at the end so the writer
+//! can stream blocks without knowing their sizes in advance; the reader
+//! loads the index once and then reads regions randomly or sequentially.
+
+use crate::block::RegionBlock;
+use bytes::{Buf, BufMut};
+use std::io;
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"BWTD";
+/// Format version.
+pub const VERSION: u32 = 1;
+
+/// Fixed-size file header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Feature arity shared by all blocks.
+    pub p: u32,
+    /// Number of region coordinates per block.
+    pub arity: u32,
+}
+
+/// One index entry: where a region block lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Byte offset of the block.
+    pub offset: u64,
+    /// Encoded length in bytes.
+    pub len: u64,
+    /// Region coordinates (so the index alone answers "which regions").
+    pub coords: Vec<u32>,
+}
+
+/// Encode the header.
+pub fn encode_header(h: &Header, out: &mut Vec<u8>) {
+    out.put_slice(MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_u32_le(h.p);
+    out.put_u32_le(h.arity);
+}
+
+/// Header byte length.
+pub const HEADER_LEN: usize = 4 + 4 + 4 + 4;
+
+/// Decode and validate the header.
+pub fn decode_header(mut buf: &[u8]) -> io::Result<Header> {
+    if buf.len() < HEADER_LEN {
+        return Err(bad("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    Ok(Header {
+        p: buf.get_u32_le(),
+        arity: buf.get_u32_le(),
+    })
+}
+
+/// Encode one region block.
+pub fn encode_block(block: &RegionBlock, out: &mut Vec<u8>) {
+    out.put_u32_le(block.region.len() as u32);
+    for &c in &block.region {
+        out.put_u32_le(c);
+    }
+    out.put_u64_le(block.n() as u64);
+    out.put_u32_le(block.p);
+    for &id in &block.item_ids {
+        out.put_i64_le(id);
+    }
+    for &f in &block.features {
+        out.put_f64_le(f);
+    }
+    for &t in &block.targets {
+        out.put_f64_le(t);
+    }
+}
+
+/// Decode one region block from its exact byte span.
+pub fn decode_block(mut buf: &[u8]) -> io::Result<RegionBlock> {
+    if buf.remaining() < 4 {
+        return Err(bad("truncated block"));
+    }
+    let arity = buf.get_u32_le() as usize;
+    if buf.remaining() < arity * 4 + 12 {
+        return Err(bad("truncated block header"));
+    }
+    let region: Vec<u32> = (0..arity).map(|_| buf.get_u32_le()).collect();
+    let n = buf.get_u64_le() as usize;
+    let p = buf.get_u32_le();
+    let need = n * 8 + n * (p as usize) * 8 + n * 8;
+    if buf.remaining() < need {
+        return Err(bad("truncated block payload"));
+    }
+    let item_ids: Vec<i64> = (0..n).map(|_| buf.get_i64_le()).collect();
+    let features: Vec<f64> = (0..n * p as usize).map(|_| buf.get_f64_le()).collect();
+    let targets: Vec<f64> = (0..n).map(|_| buf.get_f64_le()).collect();
+    Ok(RegionBlock {
+        region,
+        item_ids,
+        features,
+        targets,
+        p,
+    })
+}
+
+/// Encode the index + footer.
+pub fn encode_index(entries: &[IndexEntry], arity: u32, index_offset: u64, out: &mut Vec<u8>) {
+    for e in entries {
+        out.put_u64_le(e.offset);
+        out.put_u64_le(e.len);
+        debug_assert_eq!(e.coords.len() as u32, arity);
+        for &c in &e.coords {
+            out.put_u32_le(c);
+        }
+    }
+    out.put_u64_le(index_offset);
+    out.put_u64_le(entries.len() as u64);
+    out.put_slice(MAGIC);
+}
+
+/// Footer byte length.
+pub const FOOTER_LEN: usize = 8 + 8 + 4;
+
+/// Decode the footer: `(index_offset, region_count)`.
+pub fn decode_footer(mut buf: &[u8]) -> io::Result<(u64, u64)> {
+    if buf.len() < FOOTER_LEN {
+        return Err(bad("truncated footer"));
+    }
+    let index_offset = buf.get_u64_le();
+    let count = buf.get_u64_le();
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad footer magic"));
+    }
+    Ok((index_offset, count))
+}
+
+/// Decode `count` index entries of the given arity.
+pub fn decode_index(mut buf: &[u8], count: u64, arity: u32) -> io::Result<Vec<IndexEntry>> {
+    let entry_len = 16 + arity as usize * 4;
+    if buf.len() < count as usize * entry_len {
+        return Err(bad("truncated index"));
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let offset = buf.get_u64_le();
+        let len = buf.get_u64_le();
+        let coords = (0..arity).map(|_| buf.get_u32_le()).collect();
+        out.push(IndexEntry {
+            offset,
+            len,
+            coords,
+        });
+    }
+    Ok(out)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> RegionBlock {
+        let mut b = RegionBlock::new(vec![3, 1], 2);
+        b.push(10, &[1.5, -2.0], 7.0);
+        b.push(11, &[0.0, 4.0], -1.0);
+        b
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = Header { p: 5, arity: 2 };
+        let mut buf = Vec::new();
+        encode_header(&h, &mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(decode_header(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_garbage() {
+        assert!(decode_header(b"nope").is_err());
+        let mut buf = Vec::new();
+        encode_header(&Header { p: 1, arity: 1 }, &mut buf);
+        buf[0] = b'X';
+        assert!(decode_header(&buf).is_err());
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let b = block();
+        let mut buf = Vec::new();
+        encode_block(&b, &mut buf);
+        assert_eq!(buf.len(), b.encoded_len());
+        let back = decode_block(&buf).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let b = block();
+        let mut buf = Vec::new();
+        encode_block(&b, &mut buf);
+        assert!(decode_block(&buf[..buf.len() - 1]).is_err());
+        assert!(decode_block(&buf[..3]).is_err());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let entries = vec![
+            IndexEntry {
+                offset: 16,
+                len: 100,
+                coords: vec![0, 5],
+            },
+            IndexEntry {
+                offset: 116,
+                len: 64,
+                coords: vec![1, 2],
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_index(&entries, 2, 999, &mut buf);
+        let footer_start = buf.len() - FOOTER_LEN;
+        let (index_offset, count) = decode_footer(&buf[footer_start..]).unwrap();
+        assert_eq!((index_offset, count), (999, 2));
+        let back = decode_index(&buf[..footer_start], count, 2).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn empty_block_round_trip() {
+        let b = RegionBlock::new(vec![7], 3);
+        let mut buf = Vec::new();
+        encode_block(&b, &mut buf);
+        assert_eq!(decode_block(&buf).unwrap(), b);
+    }
+}

@@ -1,0 +1,44 @@
+//! # bellwether-storage
+//!
+//! Region-partitioned storage for the *entire training data* — the
+//! training sets of all feasible regions that every scan-based algorithm
+//! in the paper (RF bellwether tree, single-scan/optimized bellwether
+//! cube) iterates over.
+//!
+//! Two [`TrainingSource`] implementations share one trait and one IO
+//! accounting scheme:
+//!
+//! * [`MemorySource`] — in-memory blocks, for the quality experiments;
+//! * [`DiskSource`] — a positioned-read binary file with a trailing
+//!   index, written by [`TrainingWriter`], for the efficiency
+//!   experiments where every region request must hit disk.
+//!
+//! The [`IoStats`] counters record region reads, bytes and examples, so
+//! tests can assert the paper's scan-count lemmas (naive tree ≈ `l·m`
+//! scans, RF tree = `l`, single-scan cube = 1) exactly.
+//!
+//! ```
+//! use bellwether_storage::{MemorySource, RegionBlock, TrainingSource};
+//!
+//! let mut block = RegionBlock::new(vec![0, 0], 2);
+//! block.push(1, &[1.0, 2.0], 3.0);
+//! let src = MemorySource::new(vec![block]);
+//! let read = src.read_region(0).unwrap();
+//! assert_eq!(read.n(), 1);
+//! assert_eq!(src.stats().regions_read(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod format;
+pub mod metrics;
+pub mod reader;
+pub mod source;
+pub mod writer;
+
+pub use block::RegionBlock;
+pub use metrics::IoStats;
+pub use reader::DiskSource;
+pub use source::{MemorySource, TrainingSource};
+pub use writer::TrainingWriter;

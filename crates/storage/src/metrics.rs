@@ -1,0 +1,99 @@
+//! IO accounting shared by all training-data sources.
+//!
+//! The paper's efficiency claims are stated in *scans over the entire
+//! training data* (naive tree ≈ `l·m` scans, RF tree = `l`, single-scan
+//! cube = 1). These counters let integration tests assert the claims
+//! exactly, independent of wall-clock noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe IO counters.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    regions_read: AtomicU64,
+    bytes_read: AtomicU64,
+    examples_read: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh counters behind an `Arc` for sharing with sources.
+    pub fn shared() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    /// Record one region read of `bytes` bytes and `examples` examples.
+    pub fn record_region_read(&self, bytes: u64, examples: u64) {
+        self.regions_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.examples_read.fetch_add(examples, Ordering::Relaxed);
+    }
+
+    /// Total region reads.
+    pub fn regions_read(&self) -> u64 {
+        self.regions_read.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total examples read.
+    pub fn examples_read(&self) -> u64 {
+        self.examples_read.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters (between experiment phases).
+    pub fn reset(&self) {
+        self.regions_read.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.examples_read.store(0, Ordering::Relaxed);
+    }
+
+    /// Equivalent number of full scans given the total region count —
+    /// `regions_read / num_regions` as a float.
+    pub fn scan_equivalents(&self, num_regions: usize) -> f64 {
+        if num_regions == 0 {
+            return 0.0;
+        }
+        self.regions_read() as f64 / num_regions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_and_reset() {
+        let s = IoStats::shared();
+        s.record_region_read(100, 10);
+        s.record_region_read(50, 5);
+        assert_eq!(s.regions_read(), 2);
+        assert_eq!(s.bytes_read(), 150);
+        assert_eq!(s.examples_read(), 15);
+        assert!((s.scan_equivalents(4) - 0.5).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.regions_read(), 0);
+        assert_eq!(s.scan_equivalents(0), 0.0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = IoStats::shared();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_region_read(1, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.regions_read(), 4000);
+    }
+}

@@ -1,0 +1,192 @@
+//! On-disk training source: index-loaded random and sequential reads.
+//!
+//! Every `read_region` performs a positioned read from the file — no
+//! caching layer — so the efficiency experiments of Figure 11(a), where
+//! "each time [an algorithm] needs the training data from a region, it
+//! always reads the data from disk", are honest: the naive algorithms'
+//! `l·m` region requests translate into `l·m` actual file reads.
+
+use crate::block::RegionBlock;
+use crate::format::{
+    decode_block, decode_footer, decode_header, decode_index, Header, IndexEntry, FOOTER_LEN,
+    HEADER_LEN,
+};
+use crate::metrics::IoStats;
+use crate::source::TrainingSource;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Reader over a file produced by [`crate::writer::TrainingWriter`].
+pub struct DiskSource {
+    file: File,
+    header: Header,
+    index: Vec<IndexEntry>,
+    by_coords: HashMap<Vec<u32>, usize>,
+    stats: Arc<IoStats>,
+}
+
+impl DiskSource {
+    /// Open and validate `path`, loading the region index.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < (HEADER_LEN + FOOTER_LEN) as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too small",
+            ));
+        }
+
+        let mut header_buf = vec![0u8; HEADER_LEN];
+        file.read_exact_at(&mut header_buf, 0)?;
+        let header = decode_header(&header_buf)?;
+
+        let mut footer_buf = vec![0u8; FOOTER_LEN];
+        file.read_exact_at(&mut footer_buf, file_len - FOOTER_LEN as u64)?;
+        let (index_offset, count) = decode_footer(&footer_buf)?;
+
+        let index_len = file_len - FOOTER_LEN as u64 - index_offset;
+        let mut index_buf = vec![0u8; index_len as usize];
+        file.read_exact_at(&mut index_buf, index_offset)?;
+        let index = decode_index(&index_buf, count, header.arity)?;
+
+        let by_coords = index
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.coords.clone(), i))
+            .collect();
+        Ok(DiskSource {
+            file,
+            header,
+            index,
+            by_coords,
+            stats: IoStats::shared(),
+        })
+    }
+
+    /// Size of the stored data region in bytes (excluding index/footer).
+    pub fn data_bytes(&self) -> u64 {
+        self.index.iter().map(|e| e.len).sum()
+    }
+}
+
+impl TrainingSource for DiskSource {
+    fn num_regions(&self) -> usize {
+        self.index.len()
+    }
+
+    fn feature_arity(&self) -> usize {
+        self.header.p as usize
+    }
+
+    fn region_coords(&self, idx: usize) -> &[u32] {
+        &self.index[idx].coords
+    }
+
+    fn read_region(&self, idx: usize) -> io::Result<RegionBlock> {
+        let entry = &self.index[idx];
+        let mut buf = vec![0u8; entry.len as usize];
+        self.file.read_exact_at(&mut buf, entry.offset)?;
+        let block = decode_block(&buf)?;
+        self.stats
+            .record_region_read(entry.len, block.n() as u64);
+        Ok(block)
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    fn find_region(&self, coords: &[u32]) -> Option<usize> {
+        self.by_coords.get(coords).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TrainingWriter;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("bw_reader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_blocks() -> Vec<RegionBlock> {
+        (0..5u32)
+            .map(|r| {
+                let mut b = RegionBlock::new(vec![r, r + 10], 3);
+                for i in 0..(r as i64 + 1) {
+                    b.push(i, &[r as f64, i as f64, 0.5], (r as i64 + i) as f64);
+                }
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let path = tmpfile("rt.bwtd");
+        let blocks = sample_blocks();
+        let mut w = TrainingWriter::create(&path, 3, 2).unwrap();
+        for b in &blocks {
+            w.write_region(b).unwrap();
+        }
+        w.finish().unwrap();
+
+        let src = DiskSource::open(&path).unwrap();
+        assert_eq!(src.num_regions(), 5);
+        assert_eq!(src.feature_arity(), 3);
+        for (i, expect) in blocks.iter().enumerate() {
+            assert_eq!(src.region_coords(i), expect.region.as_slice());
+            let got = src.read_region(i).unwrap();
+            assert_eq!(&got, expect);
+        }
+        assert_eq!(src.stats().regions_read(), 5);
+        assert_eq!(src.total_examples().unwrap(), 1 + 2 + 3 + 4 + 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn random_access_out_of_order() {
+        let path = tmpfile("rand.bwtd");
+        let blocks = sample_blocks();
+        let mut w = TrainingWriter::create(&path, 3, 2).unwrap();
+        for b in &blocks {
+            w.write_region(b).unwrap();
+        }
+        w.finish().unwrap();
+        let src = DiskSource::open(&path).unwrap();
+        assert_eq!(src.read_region(3).unwrap(), blocks[3]);
+        assert_eq!(src.read_region(0).unwrap(), blocks[0]);
+        assert_eq!(src.find_region(&[2, 12]), Some(2));
+        assert_eq!(src.find_region(&[9, 9]), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let path = tmpfile("corrupt.bwtd");
+        std::fs::write(&path, b"this is not a training file at all....").unwrap();
+        assert!(DiskSource::open(&path).is_err());
+        std::fs::write(&path, b"x").unwrap();
+        assert!(DiskSource::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_with_zero_regions() {
+        let path = tmpfile("empty.bwtd");
+        let w = TrainingWriter::create(&path, 4, 1).unwrap();
+        w.finish().unwrap();
+        let src = DiskSource::open(&path).unwrap();
+        assert_eq!(src.num_regions(), 0);
+        assert_eq!(src.data_bytes(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

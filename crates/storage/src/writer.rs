@@ -1,0 +1,101 @@
+//! Streaming writer for the on-disk entire-training-data file.
+
+use crate::block::RegionBlock;
+use crate::format::{
+    encode_block, encode_header, encode_index, Header, IndexEntry, HEADER_LEN,
+};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Writes region blocks sequentially and finishes with the index+footer.
+pub struct TrainingWriter {
+    out: BufWriter<File>,
+    entries: Vec<IndexEntry>,
+    offset: u64,
+    p: u32,
+    arity: u32,
+    buf: Vec<u8>,
+}
+
+impl TrainingWriter {
+    /// Create (truncate) `path` for an entire-training-data file with
+    /// feature arity `p` and `arity` region coordinates.
+    pub fn create(path: &Path, p: u32, arity: u32) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        let mut buf = Vec::with_capacity(HEADER_LEN);
+        encode_header(&Header { p, arity }, &mut buf);
+        out.write_all(&buf)?;
+        Ok(TrainingWriter {
+            out,
+            entries: Vec::new(),
+            offset: HEADER_LEN as u64,
+            p,
+            arity,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Append one region's training set. Blocks must be written in the
+    /// region order scans should observe.
+    pub fn write_region(&mut self, block: &RegionBlock) -> io::Result<()> {
+        if block.p != self.p {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "feature arity mismatch",
+            ));
+        }
+        if block.region.len() as u32 != self.arity {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "region arity mismatch",
+            ));
+        }
+        self.buf.clear();
+        encode_block(block, &mut self.buf);
+        self.out.write_all(&self.buf)?;
+        self.entries.push(IndexEntry {
+            offset: self.offset,
+            len: self.buf.len() as u64,
+            coords: block.region.clone(),
+        });
+        self.offset += self.buf.len() as u64;
+        Ok(())
+    }
+
+    /// Number of regions written so far.
+    pub fn regions_written(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Write the index and footer, flush, and close.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.buf.clear();
+        encode_index(&self.entries, self.arity, self.offset, &mut self.buf);
+        self.out.write_all(&self.buf)?;
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_mismatched_blocks() {
+        let dir = std::env::temp_dir().join("bw_writer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bwtd");
+        let mut w = TrainingWriter::create(&path, 2, 2).unwrap();
+        let wrong_p = RegionBlock::new(vec![0, 0], 3);
+        assert!(w.write_region(&wrong_p).is_err());
+        let wrong_arity = RegionBlock::new(vec![0], 2);
+        assert!(w.write_region(&wrong_arity).is_err());
+        let ok = RegionBlock::new(vec![0, 0], 2);
+        assert!(w.write_region(&ok).is_ok());
+        assert_eq!(w.regions_written(), 1);
+        w.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,220 @@
+//! Compact validity / selection bitmaps.
+//!
+//! Used both as NULL masks inside columns and as selection vectors produced
+//! by predicate evaluation, so filters can be composed without materialising
+//! intermediate tables.
+
+/// A fixed-length bitmap backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-ones bitmap of length `len`.
+    pub fn ones(len: usize) -> Self {
+        let mut bm = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Build from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut bm = Bitmap::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bm.set(i, true);
+            }
+        }
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Write bit `i`. Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if v {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Append a bit, growing the bitmap.
+    pub fn push(&mut self, v: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        let last = self.len - 1;
+        self.set(last, v);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place AND with another bitmap of the same length.
+    pub fn and_inplace(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place OR with another bitmap of the same length.
+    pub fn or_inplace(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place NOT.
+    pub fn not_inplace(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Clear bits past `len` in the last word so `count_ones` stays exact.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set-bit positions of a [`Bitmap`].
+pub struct OnesIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmap::zeros(70);
+        assert_eq!(z.count_ones(), 0);
+        let o = Bitmap::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!(o.get(69));
+    }
+
+    #[test]
+    fn set_get_push() {
+        let mut bm = Bitmap::zeros(3);
+        bm.set(1, true);
+        assert!(!bm.get(0) && bm.get(1) && !bm.get(2));
+        bm.push(true);
+        assert_eq!(bm.len(), 4);
+        assert!(bm.get(3));
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Bitmap::from_bools(&[true, true, false, false]);
+        let b = Bitmap::from_bools(&[true, false, true, false]);
+        let mut and = a.clone();
+        and.and_inplace(&b);
+        assert_eq!(and, Bitmap::from_bools(&[true, false, false, false]));
+        let mut or = a.clone();
+        or.or_inplace(&b);
+        assert_eq!(or, Bitmap::from_bools(&[true, true, true, false]));
+        let mut not = a.clone();
+        not.not_inplace();
+        assert_eq!(not, Bitmap::from_bools(&[false, false, true, true]));
+        assert_eq!(not.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_spans_words() {
+        let mut bm = Bitmap::zeros(130);
+        for i in [0usize, 63, 64, 127, 129] {
+            bm.set(i, true);
+        }
+        let got: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 129]);
+    }
+
+    #[test]
+    fn not_respects_tail() {
+        let mut bm = Bitmap::ones(65);
+        bm.not_inplace();
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::zeros(4).get(4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimal CSV import/export so examples can inspect and exchange data.
+//!
+//! Values containing commas, quotes or newlines are quoted on write and
+//! unquoted on read; NULL round-trips as the empty field.
+
+use crate::error::{Result, TableError};
+use crate::schema::Schema;
+use crate::table::{Table, TableBuilder};
+use crate::value::{DataType, Value};
+use std::io::{BufRead, Write};
+
+/// Write `table` as CSV with a header row.
+pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> Result<()> {
+    let header: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|n| escape(n))
+        .collect();
+    writeln!(out, "{}", header.join(","))?;
+    for row in 0..table.num_rows() {
+        let cells: Vec<String> = table
+            .row(row)
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Str(s) => escape(s),
+                other => other.to_string(),
+            })
+            .collect();
+        writeln!(out, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Read CSV with a header row into a table with the given schema.
+/// The header must match the schema's column names exactly, in order.
+pub fn read_csv<R: BufRead>(schema: Schema, input: R) -> Result<Table> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TableError::Csv("missing header".into()))?
+        .map_err(TableError::from)?;
+    let names = parse_line(&header)?;
+    let expected = schema.names();
+    if names.len() != expected.len()
+        || names.iter().zip(&expected).any(|(a, b)| a != *b)
+    {
+        return Err(TableError::Csv(format!(
+            "header {names:?} does not match schema {expected:?}"
+        )));
+    }
+
+    let mut builder = TableBuilder::new(schema.clone());
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(TableError::from)?;
+        if line.is_empty() {
+            continue;
+        }
+        let cells = parse_line(&line)?;
+        if cells.len() != schema.len() {
+            return Err(TableError::Csv(format!(
+                "line {}: expected {} fields, got {}",
+                lineno + 2,
+                schema.len(),
+                cells.len()
+            )));
+        }
+        let row: Vec<Value> = cells
+            .into_iter()
+            .zip(schema.fields())
+            .map(|(cell, field)| parse_cell(&cell, field.dtype, lineno + 2))
+            .collect::<Result<Vec<_>>>()?;
+        builder.push_row(row)?;
+    }
+    builder.finish()
+}
+
+fn parse_cell(cell: &str, dtype: DataType, lineno: usize) -> Result<Value> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    match dtype {
+        DataType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| TableError::Csv(format!("line {lineno}: bad int {cell:?}: {e}"))),
+        DataType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| TableError::Csv(format!("line {lineno}: bad float {cell:?}: {e}"))),
+        DataType::Str => Ok(Value::from(cell)),
+    }
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split one CSV line into unescaped cells.
+fn parse_line(line: &str) -> Result<Vec<String>> {
+    let mut cells = Vec::new();
+    let mut cell = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cell.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => cells.push(std::mem::take(&mut cell)),
+                other => cell.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv(format!("unterminated quote in {line:?}")));
+    }
+    cells.push(cell);
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use std::io::Cursor;
+
+    fn sample() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("profit", DataType::Float),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 2]),
+                Column::from_strs(&["plain", "with,comma \"q\""]),
+                Column::from_floats(vec![1.5, -2.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(t.schema().clone(), Cursor::new(buf)).unwrap();
+        assert_eq!(back.num_rows(), 2);
+        assert_eq!(back.value(1, "name").unwrap(), Value::str("with,comma \"q\""));
+        assert_eq!(back.value(1, "profit").unwrap(), Value::Float(-2.0));
+    }
+
+    #[test]
+    fn null_round_trips_as_empty() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let csv = "x\n\n1\n"; // blank line skipped? No: blank line IS skipped
+        let t = read_csv(schema.clone(), Cursor::new(csv)).unwrap();
+        assert_eq!(t.num_rows(), 1); // empty lines skipped entirely
+        let csv2 = "x\n1\n";
+        let t2 = read_csv(schema, Cursor::new(csv2)).unwrap();
+        assert_eq!(t2.value(0, "x").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        assert!(read_csv(schema, Cursor::new("y\n1\n")).is_err());
+    }
+
+    #[test]
+    fn bad_values_rejected_with_line_numbers() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let err = read_csv(schema, Cursor::new("x\nnope\n")).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let schema = Schema::from_pairs(&[("x", DataType::Str)]).unwrap();
+        assert!(read_csv(schema, Cursor::new("x\n\"abc\n")).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Predicate expressions evaluated to selection bitmaps.
+//!
+//! Covers the selection forms the paper's queries need (σ_{ID=i, Z∈r}):
+//! column-vs-literal comparisons, set membership, range (`Between`), and
+//! boolean combinations. NULLs follow SQL three-valued logic collapsed to
+//! "NULL never matches" (selection keeps only rows known true).
+
+use crate::bitmap::Bitmap;
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Comparison operators for [`Predicate::Compare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A boolean predicate over one table's rows.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// `column <op> literal`.
+    Compare {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal right-hand side.
+        value: Value,
+    },
+    /// `column IN (values)`.
+    InSet {
+        /// Column name.
+        column: String,
+        /// Allowed values.
+        values: Vec<Value>,
+    },
+    /// `low <= column <= high` (both inclusive), the interval-dimension
+    /// selection `Time BETWEEN 1 AND t`.
+    Between {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        low: Value,
+        /// Inclusive upper bound.
+        high: Value,
+    },
+    /// Conjunction; empty = TRUE.
+    And(Vec<Predicate>),
+    /// Disjunction; empty = FALSE.
+    Or(Vec<Predicate>),
+    /// Negation (of the "matches" bitmap; NULL rows stay excluded).
+    Not(Box<Predicate>),
+    /// Matches every row.
+    True,
+}
+
+impl Predicate {
+    /// `column = value`.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `column <op> value`.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// `column IN values`.
+    pub fn in_set(column: impl Into<String>, values: Vec<Value>) -> Self {
+        Predicate::InSet {
+            column: column.into(),
+            values,
+        }
+    }
+
+    /// `low <= column <= high`.
+    pub fn between(
+        column: impl Into<String>,
+        low: impl Into<Value>,
+        high: impl Into<Value>,
+    ) -> Self {
+        Predicate::Between {
+            column: column.into(),
+            low: low.into(),
+            high: high.into(),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Self {
+        match self {
+            Predicate::And(mut preds) => {
+                preds.push(other);
+                Predicate::And(preds)
+            }
+            p => Predicate::And(vec![p, other]),
+        }
+    }
+
+    /// Evaluate to a selection bitmap over `table`.
+    pub fn eval(&self, table: &Table) -> Result<Bitmap> {
+        let n = table.num_rows();
+        match self {
+            Predicate::True => Ok(Bitmap::ones(n)),
+            Predicate::Compare { column, op, value } => {
+                let col = table.column_by_name(column)?;
+                let mut bm = Bitmap::zeros(n);
+                for i in 0..n {
+                    let v = col.value(i);
+                    if !v.is_null() && !value.is_null() && op.eval(v.total_cmp(value)) {
+                        bm.set(i, true);
+                    }
+                }
+                Ok(bm)
+            }
+            Predicate::InSet { column, values } => {
+                let col = table.column_by_name(column)?;
+                let set: std::collections::HashSet<&Value> =
+                    values.iter().filter(|v| !v.is_null()).collect();
+                let mut bm = Bitmap::zeros(n);
+                for i in 0..n {
+                    let v = col.value(i);
+                    if !v.is_null() && set.contains(&v) {
+                        bm.set(i, true);
+                    }
+                }
+                Ok(bm)
+            }
+            Predicate::Between { column, low, high } => {
+                let col = table.column_by_name(column)?;
+                let mut bm = Bitmap::zeros(n);
+                for i in 0..n {
+                    let v = col.value(i);
+                    if !v.is_null() && v >= *low && v <= *high {
+                        bm.set(i, true);
+                    }
+                }
+                Ok(bm)
+            }
+            Predicate::And(preds) => {
+                let mut bm = Bitmap::ones(n);
+                for p in preds {
+                    bm.and_inplace(&p.eval(table)?);
+                }
+                Ok(bm)
+            }
+            Predicate::Or(preds) => {
+                let mut bm = Bitmap::zeros(n);
+                for p in preds {
+                    bm.or_inplace(&p.eval(table)?);
+                }
+                Ok(bm)
+            }
+            Predicate::Not(p) => {
+                let mut bm = p.eval(table)?;
+                bm.not_inplace();
+                Ok(bm)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, ColumnBuilder};
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn sample() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("t", DataType::Int),
+            ("loc", DataType::Str),
+            ("x", DataType::Float),
+        ])
+        .unwrap();
+        let mut xb = ColumnBuilder::new(DataType::Float);
+        for v in [Some(1.0), None, Some(3.0), Some(4.0)] {
+            match v {
+                Some(f) => xb.push_float(f).unwrap(),
+                None => xb.push_null(),
+            }
+        }
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 2, 3, 4]),
+                Column::from_strs(&["wi", "md", "wi", "ny"]),
+                xb.finish(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compare_and_between() {
+        let t = sample();
+        let sel = Predicate::cmp("t", CmpOp::Le, 2i64).eval(&t).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+        let sel = Predicate::between("t", 2i64, 3i64).eval(&t).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn in_set_on_strings() {
+        let t = sample();
+        let sel = Predicate::in_set("loc", vec![Value::str("wi"), Value::str("ny")])
+            .eval(&t)
+            .unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let t = sample();
+        let sel = Predicate::cmp("x", CmpOp::Ge, 0.0).eval(&t).unwrap();
+        // row 1 (NULL x) excluded even though "NULL >= 0" would be unknown
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+        let ne = Predicate::cmp("x", CmpOp::Ne, 1.0).eval(&t).unwrap();
+        assert_eq!(ne.iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let t = sample();
+        let p = Predicate::eq("loc", "wi").and(Predicate::cmp("t", CmpOp::Ge, 2i64));
+        assert_eq!(p.eval(&t).unwrap().iter_ones().collect::<Vec<_>>(), vec![2]);
+
+        let o = Predicate::Or(vec![Predicate::eq("t", 1i64), Predicate::eq("t", 4i64)]);
+        assert_eq!(
+            o.eval(&t).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+
+        let n = Predicate::Not(Box::new(Predicate::eq("loc", "wi")));
+        assert_eq!(
+            n.eval(&t).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn true_and_empty_combinators() {
+        let t = sample();
+        assert_eq!(Predicate::True.eval(&t).unwrap().count_ones(), 4);
+        assert_eq!(Predicate::And(vec![]).eval(&t).unwrap().count_ones(), 4);
+        assert_eq!(Predicate::Or(vec![]).eval(&t).unwrap().count_ones(), 0);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = sample();
+        assert!(Predicate::eq("nope", 1i64).eval(&t).is_err());
+    }
+}

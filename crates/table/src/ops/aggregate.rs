@@ -1,0 +1,405 @@
+//! Group-by aggregation (α).
+//!
+//! `α_{G, f(A)} F`: group `F` by the columns `G` and compute one or more
+//! aggregate functions per group. With `G` empty, the whole table is one
+//! group. Supports SUM, MIN, MAX, AVG, COUNT and COUNT(DISTINCT), the set
+//! used by the paper's feature/cost/coverage queries. NULL inputs are
+//! skipped (SQL semantics); a group with only NULLs yields NULL (except
+//! COUNT variants, which yield 0).
+
+use crate::column::ColumnBuilder;
+use crate::error::{Result, TableError};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of a numeric column.
+    Sum,
+    /// Minimum (any orderable type).
+    Min,
+    /// Maximum (any orderable type).
+    Max,
+    /// Arithmetic mean of a numeric column.
+    Avg,
+    /// Count of non-NULL values.
+    Count,
+    /// Count of distinct non-NULL values.
+    CountDistinct,
+}
+
+impl AggFunc {
+    /// Name used in generated output columns and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+            AggFunc::Count => "count",
+            AggFunc::CountDistinct => "count_distinct",
+        }
+    }
+
+    /// Output type given the input column type.
+    pub fn output_type(self, input: DataType) -> Result<DataType> {
+        match self {
+            AggFunc::Sum | AggFunc::Avg => match input {
+                DataType::Int | DataType::Float => Ok(DataType::Float),
+                DataType::Str => Err(TableError::UnsupportedAggregate {
+                    func: self.name(),
+                    dtype: input.name(),
+                }),
+            },
+            AggFunc::Min | AggFunc::Max => Ok(input),
+            AggFunc::Count | AggFunc::CountDistinct => Ok(DataType::Int),
+        }
+    }
+}
+
+/// One aggregate expression: `func(column) AS alias`.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    /// Function to apply.
+    pub func: AggFunc,
+    /// Input column name.
+    pub column: String,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// `func(column)` with the default alias `func_column`.
+    pub fn new(func: AggFunc, column: impl Into<String>) -> Self {
+        let column = column.into();
+        let alias = format!("{}_{}", func.name(), column);
+        AggExpr {
+            func,
+            column,
+            alias,
+        }
+    }
+
+    /// Override the output column name.
+    pub fn with_alias(mut self, alias: impl Into<String>) -> Self {
+        self.alias = alias.into();
+        self
+    }
+}
+
+/// Accumulator for one (group, aggregate-expression) pair.
+#[derive(Debug)]
+enum Accumulator {
+    Sum { total: f64, seen: bool },
+    MinMax { best: Option<Value>, is_min: bool },
+    Avg { total: f64, count: u64 },
+    Count { count: u64 },
+    CountDistinct { seen: HashSet<Value> },
+}
+
+impl Accumulator {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Sum => Accumulator::Sum {
+                total: 0.0,
+                seen: false,
+            },
+            AggFunc::Min => Accumulator::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => Accumulator::MinMax {
+                best: None,
+                is_min: false,
+            },
+            AggFunc::Avg => Accumulator::Avg {
+                total: 0.0,
+                count: 0,
+            },
+            AggFunc::Count => Accumulator::Count { count: 0 },
+            AggFunc::CountDistinct => Accumulator::CountDistinct {
+                seen: HashSet::new(),
+            },
+        }
+    }
+
+    fn update(&mut self, v: Value) {
+        if v.is_null() {
+            return;
+        }
+        match self {
+            Accumulator::Sum { total, seen } => {
+                // output_type() restricts Sum to numeric columns
+                *total += v.as_float().expect("numeric input for sum");
+                *seen = true;
+            }
+            Accumulator::MinMax { best, is_min } => {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        if *is_min {
+                            v < *b
+                        } else {
+                            v > *b
+                        }
+                    }
+                };
+                if better {
+                    *best = Some(v);
+                }
+            }
+            Accumulator::Avg { total, count } => {
+                *total += v.as_float().expect("numeric input for avg");
+                *count += 1;
+            }
+            Accumulator::Count { count } => *count += 1,
+            Accumulator::CountDistinct { seen } => {
+                seen.insert(v);
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Accumulator::Sum { total, seen } => {
+                if seen {
+                    Value::Float(total)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            Accumulator::Avg { total, count } => {
+                if count > 0 {
+                    Value::Float(total / count as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::Count { count } => Value::Int(count as i64),
+            Accumulator::CountDistinct { seen } => Value::Int(seen.len() as i64),
+        }
+    }
+}
+
+/// α_{group_by, aggs}(table).
+///
+/// Output columns: the group-by columns (in the given order) followed by
+/// one column per aggregate expression. Group order is first-appearance
+/// order, making results deterministic for a given input order.
+pub fn aggregate(table: &Table, group_by: &[&str], aggs: &[AggExpr]) -> Result<Table> {
+    // Resolve inputs up front so errors surface before any work.
+    let group_cols: Vec<usize> = group_by
+        .iter()
+        .map(|n| table.schema().index_of(n))
+        .collect::<Result<Vec<_>>>()?;
+    let agg_inputs: Vec<usize> = aggs
+        .iter()
+        .map(|a| table.schema().index_of(&a.column))
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut out_fields: Vec<Field> = Vec::with_capacity(group_by.len() + aggs.len());
+    for &gi in &group_cols {
+        out_fields.push(table.schema().fields()[gi].clone());
+    }
+    for (a, &ci) in aggs.iter().zip(&agg_inputs) {
+        let input_type = table.schema().fields()[ci].dtype;
+        out_fields.push(Field::new(a.alias.clone(), a.func.output_type(input_type)?));
+    }
+    let out_schema = Schema::new(out_fields)?;
+
+    // Group rows. Keys are value tuples; groups remember insertion order.
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut group_keys: Vec<Vec<Value>> = Vec::new();
+    let mut accs: Vec<Vec<Accumulator>> = Vec::new();
+
+    for row in 0..table.num_rows() {
+        let key: Vec<Value> = group_cols
+            .iter()
+            .map(|&c| table.column(c).value(row))
+            .collect();
+        let gid = *groups.entry(key.clone()).or_insert_with(|| {
+            group_keys.push(key);
+            accs.push(aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+            accs.len() - 1
+        });
+        for (slot, &ci) in accs[gid].iter_mut().zip(&agg_inputs) {
+            slot.update(table.column(ci).value(row));
+        }
+    }
+
+    // Materialise output columns.
+    let mut builders: Vec<ColumnBuilder> = out_schema
+        .fields()
+        .iter()
+        .map(|f| ColumnBuilder::new(f.dtype))
+        .collect();
+    for (key, group_accs) in group_keys.into_iter().zip(accs) {
+        for (b, v) in builders.iter_mut().zip(
+            key.into_iter()
+                .chain(group_accs.into_iter().map(Accumulator::finish)),
+        ) {
+            b.push_value(v)?;
+        }
+    }
+    let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
+    Table::new(out_schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, ColumnBuilder};
+    use crate::schema::Schema;
+
+    fn orders() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("item", DataType::Int),
+            ("st", DataType::Str),
+            ("profit", DataType::Float),
+            ("ad", DataType::Int),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 1, 2, 2, 2]),
+                Column::from_strs(&["wi", "md", "wi", "wi", "md"]),
+                Column::from_floats(vec![10.0, 20.0, 5.0, 7.0, 3.0]),
+                Column::from_ints(vec![7, 7, 8, 9, 8]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn group_by_sum_avg() {
+        let out = aggregate(
+            &orders(),
+            &["item"],
+            &[
+                AggExpr::new(AggFunc::Sum, "profit"),
+                AggExpr::new(AggFunc::Avg, "profit"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "sum_profit").unwrap(), Value::Float(30.0));
+        assert_eq!(out.value(1, "sum_profit").unwrap(), Value::Float(15.0));
+        assert_eq!(out.value(1, "avg_profit").unwrap(), Value::Float(5.0));
+    }
+
+    #[test]
+    fn multi_column_groups() {
+        let out = aggregate(
+            &orders(),
+            &["item", "st"],
+            &[AggExpr::new(AggFunc::Count, "profit")],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 4); // (1,wi) (1,md) (2,wi) (2,md)
+        assert_eq!(out.value(2, "count_profit").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_when_no_group_columns() {
+        let out = aggregate(&orders(), &[], &[AggExpr::new(AggFunc::Max, "profit")]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "max_profit").unwrap(), Value::Float(20.0));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let out = aggregate(
+            &orders(),
+            &["item"],
+            &[AggExpr::new(AggFunc::CountDistinct, "ad")],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "count_distinct_ad").unwrap(), Value::Int(1));
+        assert_eq!(out.value(1, "count_distinct_ad").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let out = aggregate(
+            &orders(),
+            &["item"],
+            &[
+                AggExpr::new(AggFunc::Min, "st"),
+                AggExpr::new(AggFunc::Max, "st"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "min_st").unwrap(), Value::str("md"));
+        assert_eq!(out.value(0, "max_st").unwrap(), Value::str("wi"));
+    }
+
+    #[test]
+    fn sum_of_strings_rejected() {
+        let err = aggregate(&orders(), &[], &[AggExpr::new(AggFunc::Sum, "st")]);
+        assert!(matches!(
+            err,
+            Err(TableError::UnsupportedAggregate { .. })
+        ));
+    }
+
+    #[test]
+    fn nulls_skipped_and_all_null_group_is_null() {
+        let schema =
+            Schema::from_pairs(&[("g", DataType::Int), ("x", DataType::Float)]).unwrap();
+        let mut xb = ColumnBuilder::new(DataType::Float);
+        xb.push_float(1.0).unwrap();
+        xb.push_null();
+        xb.push_null();
+        let t = Table::new(
+            schema,
+            vec![Column::from_ints(vec![1, 1, 2]), xb.finish()],
+        )
+        .unwrap();
+        let out = aggregate(
+            &t,
+            &["g"],
+            &[
+                AggExpr::new(AggFunc::Sum, "x"),
+                AggExpr::new(AggFunc::Count, "x"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "sum_x").unwrap(), Value::Float(1.0));
+        assert_eq!(out.value(1, "sum_x").unwrap(), Value::Null);
+        assert_eq!(out.value(1, "count_x").unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn alias_override() {
+        let out = aggregate(
+            &orders(),
+            &[],
+            &[AggExpr::new(AggFunc::Sum, "profit").with_alias("total")],
+        )
+        .unwrap();
+        assert!(out.schema().contains("total"));
+    }
+
+    #[test]
+    fn null_group_keys_form_one_group() {
+        let schema =
+            Schema::from_pairs(&[("g", DataType::Int), ("x", DataType::Int)]).unwrap();
+        let mut gb = ColumnBuilder::new(DataType::Int);
+        gb.push_null();
+        gb.push_null();
+        gb.push_int(1).unwrap();
+        let t = Table::new(
+            schema,
+            vec![gb.finish(), Column::from_ints(vec![1, 2, 3])],
+        )
+        .unwrap();
+        let out = aggregate(&t, &["g"], &[AggExpr::new(AggFunc::Sum, "x")]).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "sum_x").unwrap(), Value::Float(3.0));
+    }
+}

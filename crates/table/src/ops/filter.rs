@@ -1,0 +1,45 @@
+//! Selection (σ): keep the rows matching a predicate.
+
+use crate::error::Result;
+use crate::expr::Predicate;
+use crate::table::Table;
+
+/// σ_predicate(table): materialise the matching rows.
+pub fn filter(table: &Table, predicate: &Predicate) -> Result<Table> {
+    let selection = predicate.eval(table)?;
+    Ok(table.filter(&selection))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::Schema;
+    use crate::value::{DataType, Value};
+
+    #[test]
+    fn filters_rows() {
+        let schema =
+            Schema::from_pairs(&[("id", DataType::Int), ("st", DataType::Str)]).unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 2, 3]),
+                Column::from_strs(&["wi", "md", "wi"]),
+            ],
+        )
+        .unwrap();
+        let out = filter(&t, &Predicate::eq("st", "wi")).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(1, "id").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn empty_result_keeps_schema() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]).unwrap();
+        let t = Table::new(schema, vec![Column::from_ints(vec![1])]).unwrap();
+        let out = filter(&t, &Predicate::eq("id", 99i64)).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.schema().names(), vec!["id"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Key/foreign-key natural join (⋈).
+//!
+//! The paper only needs star-schema joins: the fact table carries a foreign
+//! key into a reference table whose join column is a primary key. We build a
+//! hash index on the reference side (unique keys enforced) and probe with
+//! the left side, so the cost is O(|left| + |right|). Left rows with no
+//! match are dropped (inner-join semantics), matching the relational ⋈.
+
+use crate::error::{Result, TableError};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// left ⋈ right on the shared column `key`.
+///
+/// `right[key]` must be unique (primary key); duplicate keys are a
+/// [`TableError::KeyViolation`]. The output schema is the left schema
+/// followed by the right schema minus its key column.
+pub fn natural_join(left: &Table, right: &Table, key: &str) -> Result<Table> {
+    let left_key = left.column_by_name(key)?;
+    let right_key = right.column_by_name(key)?;
+    if left_key.dtype() != right_key.dtype() {
+        return Err(TableError::TypeMismatch {
+            context: format!("join key {key}"),
+            expected: left_key.dtype().name(),
+            found: right_key.dtype().name(),
+        });
+    }
+
+    // Build: primary-key index over the right side.
+    let mut index: HashMap<Value, usize> = HashMap::with_capacity(right.num_rows());
+    for row in 0..right.num_rows() {
+        let k = right_key.value(row);
+        if k.is_null() {
+            continue; // NULL keys never join
+        }
+        if index.insert(k, row).is_some() {
+            return Err(TableError::KeyViolation(format!(
+                "duplicate primary key in right table on column {key}"
+            )));
+        }
+    }
+
+    // Probe: record matching row pairs.
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<usize> = Vec::new();
+    for row in 0..left.num_rows() {
+        let k = left_key.value(row);
+        if k.is_null() {
+            continue;
+        }
+        if let Some(&r) = index.get(&k) {
+            left_rows.push(row);
+            right_rows.push(r);
+        }
+    }
+
+    // Materialise: left columns, then right columns minus the key.
+    let schema = left.schema().join(right.schema())?;
+    let mut columns = Vec::with_capacity(schema.len());
+    for c in left.columns() {
+        columns.push(c.take(&left_rows));
+    }
+    for (field, c) in right.schema().fields().iter().zip(right.columns()) {
+        if field.name != key && !left.schema().contains(&field.name) {
+            columns.push(c.take(&right_rows));
+        }
+    }
+    Table::new(schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, ColumnBuilder};
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn orders() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("oid", DataType::Int),
+            ("item", DataType::Int),
+            ("profit", DataType::Float),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(vec![100, 101, 102, 103]),
+                Column::from_ints(vec![1, 2, 1, 9]),
+                Column::from_floats(vec![5.0, 6.0, 7.0, 8.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn items() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("item", DataType::Int),
+            ("category", DataType::Str),
+        ])
+        .unwrap()
+;
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 2, 3]),
+                Column::from_strs(&["laptop", "desktop", "tablet"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn joins_matching_rows() {
+        let out = natural_join(&orders(), &items(), "item").unwrap();
+        // item 9 has no match; items 1,2,1 match
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.schema().names(), vec!["oid", "item", "profit", "category"]);
+        assert_eq!(out.value(0, "category").unwrap(), Value::str("laptop"));
+        assert_eq!(out.value(1, "category").unwrap(), Value::str("desktop"));
+        assert_eq!(out.value(2, "category").unwrap(), Value::str("laptop"));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let schema = Schema::from_pairs(&[("item", DataType::Int)]).unwrap();
+        let dup = Table::new(schema, vec![Column::from_ints(vec![1, 1])]).unwrap();
+        let err = natural_join(&orders(), &dup, "item").unwrap_err();
+        assert!(matches!(err, TableError::KeyViolation(_)));
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let schema = Schema::from_pairs(&[("item", DataType::Int)]).unwrap();
+        let mut b = ColumnBuilder::new(DataType::Int);
+        b.push_int(1).unwrap();
+        b.push_null();
+        let left = Table::new(schema, vec![b.finish()]).unwrap();
+        let out = natural_join(&left, &items(), "item").unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_on_key() {
+        let schema = Schema::from_pairs(&[("item", DataType::Str)]).unwrap();
+        let bad = Table::new(schema, vec![Column::from_strs(&["1"])]).unwrap();
+        assert!(natural_join(&orders(), &bad, "item").is_err());
+    }
+
+    #[test]
+    fn join_preserves_left_multiplicity() {
+        // FK join must keep one output row per fact row, never more.
+        let out = natural_join(&orders(), &items(), "item").unwrap();
+        let matched_left = 3; // oid 100,101,102
+        assert_eq!(out.num_rows(), matched_left);
+    }
+}

@@ -1,0 +1,22 @@
+//! The extended relational algebra of Table 1 in the paper:
+//!
+//! | operator | module |
+//! |---|---|
+//! | σ (selection)                  | [`mod@filter`] |
+//! | π (duplicate-free projection)  | [`project`] |
+//! | ⋈ (key/foreign-key natural join) | [`join`] |
+//! | α (group-by aggregation)       | [`mod@aggregate`] |
+//!
+//! plus deterministic sorting ([`sort`]) used by tests and displays.
+
+pub mod aggregate;
+pub mod filter;
+pub mod join;
+pub mod project;
+pub mod sort;
+
+pub use aggregate::{aggregate, AggExpr, AggFunc};
+pub use filter::filter;
+pub use join::natural_join;
+pub use project::project_distinct;
+pub use sort::sort_by;

@@ -1,0 +1,79 @@
+//! Duplicate-free projection (π).
+//!
+//! `π_FK F` in the paper's third feature-query form needs *distinct*
+//! foreign-key values so each referenced row is aggregated once. Rows are
+//! deduplicated by hashing their value tuples; the first occurrence wins,
+//! so output order is first-appearance order (deterministic).
+
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// π_columns(table) with duplicate elimination.
+pub fn project_distinct(table: &Table, columns: &[&str]) -> Result<Table> {
+    let projected = table.select(columns)?;
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut keep: Vec<usize> = Vec::new();
+    for row in 0..projected.num_rows() {
+        let key = projected.row(row);
+        if seen.insert(key) {
+            keep.push(row);
+        }
+    }
+    Ok(projected.take(&keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn orders() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("item", DataType::Int),
+            ("ad", DataType::Int),
+            ("qty", DataType::Int),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_ints(vec![1, 1, 2, 1]),
+                Column::from_ints(vec![10, 10, 11, 12]),
+                Column::from_ints(vec![5, 6, 7, 8]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dedup_single_column() {
+        let out = project_distinct(&orders(), &["ad"]).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        let ads: Vec<i64> = (0..3)
+            .map(|r| out.value(r, "ad").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(ads, vec![10, 11, 12]); // first-appearance order
+    }
+
+    #[test]
+    fn dedup_multi_column() {
+        let out = project_distinct(&orders(), &["item", "ad"]).unwrap();
+        assert_eq!(out.num_rows(), 3); // (1,10) appears twice
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        assert!(project_distinct(&orders(), &["nope"]).is_err());
+    }
+
+    #[test]
+    fn distinct_of_distinct_is_identity() {
+        let once = project_distinct(&orders(), &["item"]).unwrap();
+        let twice = project_distinct(&once, &["item"]).unwrap();
+        assert_eq!(once.num_rows(), twice.num_rows());
+    }
+}

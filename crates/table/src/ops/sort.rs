@@ -1,0 +1,87 @@
+//! Deterministic multi-key sorting, used for stable test assertions and
+//! human-readable experiment output.
+
+use crate::error::Result;
+use crate::table::Table;
+
+/// Sort direction per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (NULL first, per `Value::total_cmp`).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Sort `table` by the given `(column, order)` keys; stable.
+pub fn sort_by(table: &Table, keys: &[(&str, SortOrder)]) -> Result<Table> {
+    let cols: Vec<(usize, SortOrder)> = keys
+        .iter()
+        .map(|(name, ord)| Ok((table.schema().index_of(name)?, *ord)))
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+    indices.sort_by(|&a, &b| {
+        for &(c, ord) in &cols {
+            let col = table.column(c);
+            let cmp = col.value(a).total_cmp(&col.value(b));
+            let cmp = match ord {
+                SortOrder::Asc => cmp,
+                SortOrder::Desc => cmp.reverse(),
+            };
+            if cmp != std::cmp::Ordering::Equal {
+                return cmp;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(table.take(&indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::Schema;
+    use crate::value::{DataType, Value};
+
+    fn sample() -> Table {
+        let schema =
+            Schema::from_pairs(&[("k", DataType::Str), ("v", DataType::Int)]).unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_strs(&["b", "a", "b", "a"]),
+                Column::from_ints(vec![2, 9, 1, 3]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_asc() {
+        let out = sort_by(&sample(), &[("v", SortOrder::Asc)]).unwrap();
+        let vs: Vec<i64> = (0..4)
+            .map(|r| out.value(r, "v").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(vs, vec![1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn multi_key_mixed_order() {
+        let out = sort_by(
+            &sample(),
+            &[("k", SortOrder::Asc), ("v", SortOrder::Desc)],
+        )
+        .unwrap();
+        assert_eq!(out.row(0), vec![Value::str("a"), Value::Int(9)]);
+        assert_eq!(out.row(1), vec![Value::str("a"), Value::Int(3)]);
+        assert_eq!(out.row(2), vec![Value::str("b"), Value::Int(2)]);
+        assert_eq!(out.row(3), vec![Value::str("b"), Value::Int(1)]);
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(sort_by(&sample(), &[("zz", SortOrder::Asc)]).is_err());
+    }
+}

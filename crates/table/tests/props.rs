@@ -1,0 +1,181 @@
+//! Property-based tests of the relational operators.
+
+use bellwether_table::ops::{
+    aggregate, filter, natural_join, project_distinct, sort_by, AggExpr, AggFunc,
+};
+use bellwether_table::ops::sort::SortOrder;
+use bellwether_table::{
+    CmpOp, Column, DataType, Predicate, Schema, Table, Value,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn orders_strategy() -> impl Strategy<Value = Vec<(i64, String, f64)>> {
+    prop::collection::vec(
+        (
+            0i64..20,
+            prop_oneof![Just("wi"), Just("md"), Just("ca")].prop_map(String::from),
+            -1000.0..1000.0f64,
+        ),
+        0..80,
+    )
+}
+
+fn build_orders(rows: &[(i64, String, f64)]) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("item", DataType::Int),
+        ("state", DataType::Str),
+        ("profit", DataType::Float),
+    ])
+    .unwrap();
+    Table::new(
+        schema,
+        vec![
+            Column::from_ints(rows.iter().map(|r| r.0).collect()),
+            Column::from_strs(&rows.iter().map(|r| r.1.as_str()).collect::<Vec<_>>()),
+            Column::from_floats(rows.iter().map(|r| r.2).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aggregate_sum_matches_manual(rows in orders_strategy()) {
+        let t = build_orders(&rows);
+        let out = aggregate(&t, &["item"], &[AggExpr::new(AggFunc::Sum, "profit")]).unwrap();
+        let mut manual: HashMap<i64, f64> = HashMap::new();
+        for (item, _, profit) in &rows {
+            *manual.entry(*item).or_insert(0.0) += profit;
+        }
+        prop_assert_eq!(out.num_rows(), manual.len());
+        for row in 0..out.num_rows() {
+            let item = out.value(row, "item").unwrap().as_int().unwrap();
+            let sum = out.value(row, "sum_profit").unwrap().as_float().unwrap();
+            prop_assert!((sum - manual[&item]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn filter_partitions_rows(rows in orders_strategy(), threshold in -1000.0..1000.0f64) {
+        let t = build_orders(&rows);
+        let p = Predicate::cmp("profit", CmpOp::Ge, threshold);
+        let yes = filter(&t, &p).unwrap();
+        let no = filter(&t, &Predicate::Not(Box::new(p))).unwrap();
+        prop_assert_eq!(yes.num_rows() + no.num_rows(), t.num_rows());
+        for row in 0..yes.num_rows() {
+            prop_assert!(yes.value(row, "profit").unwrap().as_float().unwrap() >= threshold);
+        }
+        for row in 0..no.num_rows() {
+            prop_assert!(no.value(row, "profit").unwrap().as_float().unwrap() < threshold);
+        }
+    }
+
+    #[test]
+    fn distinct_projection_is_exactly_the_value_set(rows in orders_strategy()) {
+        let t = build_orders(&rows);
+        let out = project_distinct(&t, &["state"]).unwrap();
+        let expect: HashSet<&str> = rows.iter().map(|r| r.1.as_str()).collect();
+        prop_assert_eq!(out.num_rows(), expect.len());
+        let got: HashSet<String> = (0..out.num_rows())
+            .map(|r| out.value(r, "state").unwrap().as_str().unwrap().to_string())
+            .collect();
+        prop_assert_eq!(got, expect.into_iter().map(String::from).collect());
+    }
+
+    #[test]
+    fn join_respects_fk_semantics(rows in orders_strategy()) {
+        let t = build_orders(&rows);
+        // Reference table covering items 0..10 only.
+        let items = Table::new(
+            Schema::from_pairs(&[("item", DataType::Int), ("weight", DataType::Float)]).unwrap(),
+            vec![
+                Column::from_ints((0..10).collect()),
+                Column::from_floats((0..10).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let joined = natural_join(&t, &items, "item").unwrap();
+        let expect = rows.iter().filter(|r| r.0 < 10).count();
+        prop_assert_eq!(joined.num_rows(), expect);
+        for row in 0..joined.num_rows() {
+            let item = joined.value(row, "item").unwrap().as_int().unwrap();
+            let w = joined.value(row, "weight").unwrap().as_float().unwrap();
+            prop_assert_eq!(w, item as f64);
+        }
+    }
+
+    #[test]
+    fn sort_produces_ordered_permutation(rows in orders_strategy()) {
+        let t = build_orders(&rows);
+        let out = sort_by(&t, &[("profit", SortOrder::Asc), ("item", SortOrder::Desc)]).unwrap();
+        prop_assert_eq!(out.num_rows(), t.num_rows());
+        for row in 1..out.num_rows() {
+            let a = out.value(row - 1, "profit").unwrap();
+            let b = out.value(row, "profit").unwrap();
+            prop_assert!(a <= b);
+            if a == b {
+                let ia = out.value(row - 1, "item").unwrap();
+                let ib = out.value(row, "item").unwrap();
+                prop_assert!(ia >= ib);
+            }
+        }
+        // Same multiset of rows.
+        let mut before: Vec<String> = (0..t.num_rows())
+            .map(|r| format!("{:?}", t.row(r)))
+            .collect();
+        let mut after: Vec<String> = (0..out.num_rows())
+            .map(|r| format!("{:?}", out.row(r)))
+            .collect();
+        before.sort();
+        after.sort();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn csv_round_trip(rows in orders_strategy()) {
+        let t = build_orders(&rows);
+        let mut buf = Vec::new();
+        bellwether_table::csv::write_csv(&t, &mut buf).unwrap();
+        let back = bellwether_table::csv::read_csv(t.schema().clone(), std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.num_rows(), t.num_rows());
+        for row in 0..t.num_rows() {
+            prop_assert_eq!(back.value(row, "item").unwrap(), t.value(row, "item").unwrap());
+            prop_assert_eq!(back.value(row, "state").unwrap(), t.value(row, "state").unwrap());
+            let a = back.value(row, "profit").unwrap().as_float().unwrap();
+            let b = t.value(row, "profit").unwrap().as_float().unwrap();
+            prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn take_concat_identity(rows in orders_strategy()) {
+        let t = build_orders(&rows);
+        if t.num_rows() == 0 {
+            return Ok(());
+        }
+        let half = t.num_rows() / 2;
+        let first: Vec<usize> = (0..half).collect();
+        let second: Vec<usize> = (half..t.num_rows()).collect();
+        let a = t.take(&first);
+        let b = t.take(&second);
+        let back = Table::concat(&[&a, &b]).unwrap();
+        prop_assert_eq!(back.num_rows(), t.num_rows());
+        for row in 0..t.num_rows() {
+            prop_assert_eq!(back.row(row), t.row(row));
+        }
+    }
+
+    #[test]
+    fn value_ordering_total(xs in prop::collection::vec(-1e6..1e6f64, 3)) {
+        let a = Value::Float(xs[0]);
+        let b = Value::Float(xs[1]);
+        let c = Value::Float(xs[2]);
+        // transitivity spot check
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! A tour of the §3.4 extensions implemented beyond the paper's core
+//! algorithms: automatic feature generation, the linear optimization
+//! criterion, greedy combinatorial region selection, tree pruning, and
+//! the algebraic cross-validated cube.
+//!
+//! Run with: `cargo run --release --example extensions_tour`
+
+use bellwether::prelude::*;
+use bellwether_core::{
+    auto_generate_queries, basic_search_linear, build_cube_input, build_optimized_cube_cv,
+    build_rainforest, greedy_combinatorial_search, prune_tree, LinearCriterion,
+};
+use std::collections::HashMap;
+
+fn main() {
+    // Heterogeneous variant: electronics' bellwether is MD, apparel's is
+    // WI — so trees/cubes have real structure to find (and to prune).
+    let mut cfg = RetailConfig::mail_order_heterogeneous(160, 5);
+    cfg.months = 6;
+    cfg.converge_month = 4;
+    cfg.states = Some(vec!["MD", "WI", "CA", "TX", "NY", "IL", "FL", "OH"]);
+    let data = generate_retail(&cfg);
+    let targets: HashMap<i64, f64> =
+        global_target(&data.db, "profit", AggFunc::Sum).unwrap();
+
+    // ---- 1. automatic feature generation straight from the schema.
+    let fk_of: HashMap<String, String> =
+        [("catalogs".to_string(), "catalog".to_string())].into();
+    let queries = auto_generate_queries(&data.db, &fk_of).unwrap();
+    println!("auto-generated {} feature queries:", queries.len());
+    for q in &queries {
+        println!("  {}", q.name());
+    }
+
+    let cube_input = build_cube_input(&data.db, &data.space, &queries).unwrap();
+    let cube = cube_pass(&data.space, &cube_input);
+    let problem = BellwetherConfig::new(25.0)
+        .with_min_coverage(0.5)
+        .with_min_examples(20)
+        .with_error_measure(ErrorMeasure::TrainingSet);
+    // The linear-criterion sweep trades cost off explicitly, so it sees
+    // every region; the tree/cube sections get only affordable regions
+    // (the whole-period/whole-area region contains the target itself and
+    // would win vacuously).
+    let all_regions = data.space.all_regions();
+    let source = build_memory_source(&cube, &all_regions, &data.items, &targets);
+    let affordable: Vec<RegionId> = all_regions
+        .iter()
+        .filter(|r| {
+            bellwether_cube::CostModel::cost(&data.cost, &data.space, r) <= problem.budget
+        })
+        .cloned()
+        .collect();
+    let budget_source = build_memory_source(&cube, &affordable, &data.items, &targets);
+
+    // ---- 2. linear optimization criterion: error + w1·cost − w2·coverage.
+    println!("\nlinear criterion sweep (cost weight ↑ → cheaper regions):");
+    for w1 in [0.0, 5.0, 50.0] {
+        let found = basic_search_linear(
+            &source,
+            &data.space,
+            &data.cost,
+            &problem,
+            data.items.len(),
+            LinearCriterion {
+                cost_weight: w1,
+                coverage_weight: 100.0,
+            },
+        )
+        .unwrap();
+        if let Some((report, score)) = found.bellwether() {
+            println!(
+                "  w1={w1:<4} → {:<14} cost {:>5.1} err {:>8.1} score {score:.1}",
+                report.label, report.cost, report.error.value
+            );
+        }
+    }
+
+    // ---- 3. combinatorial bellwether: a *set* of regions under budget.
+    let combo = greedy_combinatorial_search(
+        &data.space,
+        &cube_input,
+        &data.items,
+        &targets,
+        &data.cost,
+        &problem,
+        3,
+    )
+    .unwrap();
+    if let Some(c) = combo {
+        println!(
+            "\ncombinatorial pick (budget {}): {:?} — cost {:.1}, err {:.1}",
+            problem.budget, c.labels, c.total_cost, c.error.value
+        );
+        println!("  error after each greedy addition: {:?}", c.error_trace);
+    }
+
+    // ---- 4. tree pruning.
+    let tree_cfg = TreeConfig {
+        min_node_items: 20,
+        max_numeric_splits: 8,
+        ..TreeConfig::default()
+    };
+    let mut tree = build_rainforest(
+        &budget_source,
+        &data.space,
+        &data.items,
+        None,
+        &problem,
+        &tree_cfg,
+    )
+    .unwrap();
+    let before = tree.num_leaves();
+    let root_info = tree.root().info.clone().unwrap();
+    let penalty = 0.05 * root_info.error * tree.root().item_rows.len() as f64;
+    let removed = prune_tree(&mut tree, penalty);
+    println!(
+        "\ntree pruning: {before} leaves → {} (removed {removed} splits at 5% penalty)",
+        tree.num_leaves()
+    );
+
+    // ---- 5. algebraic cross-validated cube (Theorem 1 extended to CV).
+    let cv_cube = build_optimized_cube_cv(
+        &budget_source,
+        &data.space,
+        &data.item_space,
+        &data.item_coords,
+        &problem,
+        &CubeConfig {
+            min_subset_size: 30,
+        },
+        5,
+        42,
+    )
+    .unwrap();
+    println!("\ncross-validated cube cells (errors are CV estimates ± spread):");
+    for cell in cv_cube.cells.values() {
+        let (lo, hi) = cell.error.interval(0.95);
+        println!(
+            "  {:<14} → {:<12} err {:>8.1} [{:.1}, {:.1}]",
+            cell.label, cell.region_label, cell.error.value, lo, hi
+        );
+    }
+}

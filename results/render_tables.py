@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Render results/*.json figure artifacts as Markdown tables.
+
+Usage: python3 results/render_tables.py fig11b fig11c fig12a fig12b
+"""
+import json
+import sys
+from pathlib import Path
+
+
+def render(fig_id: str) -> str:
+    path = Path(__file__).parent / f"{fig_id}.json"
+    fig = json.loads(path.read_text())
+    header = [fig["x_label"]] + [s["name"] for s in fig["series"]]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    xs = [p[0] for p in fig["series"][0]["points"]]
+    for i, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for s in fig["series"]:
+            y = s["points"][i][1]
+            row.append("-" if y is None else f"{y:.3f}")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    for fig_id in sys.argv[1:]:
+        print(f"### {fig_id}\n")
+        print(render(fig_id))
+        print()

@@ -1,0 +1,72 @@
+//! # bellwether
+//!
+//! Umbrella crate for the reproduction of *"Bellwether Analysis:
+//! Predicting Global Aggregates from Local Regions"* (Chen,
+//! Ramakrishnan, Shavlik, Tamma — VLDB 2006).
+//!
+//! Re-exports the workspace crates under stable paths:
+//!
+//! * [`table`] — typed columnar tables + extended relational algebra;
+//! * [`linreg`] — OLS/WLS regression, Theorem-1 sufficient statistics,
+//!   cross-validation, confidence intervals;
+//! * [`cube`] — dimensions, regions, CUBE pass, iceberg pruning,
+//!   lattice rollup;
+//! * [`storage`] — region-partitioned entire-training-data storage;
+//! * [`datagen`] — deterministic synthetic workloads;
+//! * [`core`] — the paper's algorithms: basic search, bellwether trees
+//!   and bellwether cubes, plus item-centric prediction.
+//!
+//! ```
+//! use bellwether::prelude::*;
+//!
+//! // Generate a small planted mail-order-style dataset …
+//! let mut cfg = RetailConfig::mail_order(60, 42);
+//! cfg.months = 6;
+//! cfg.converge_month = 4;
+//! cfg.states = Some(vec!["MD", "WI", "CA", "TX", "NY", "IL"]);
+//! let data = generate_retail(&cfg);
+//!
+//! // … label items with an aggregate query, build every region's
+//! // training set in one CUBE pass …
+//! let targets = global_target(&data.db, "profit", AggFunc::Sum).unwrap();
+//! let cube_input = build_cube_input(&data.db, &data.space, &data.feature_queries).unwrap();
+//! let result = cube_pass(&data.space, &cube_input);
+//! let regions = data.space.all_regions();
+//! let source = build_memory_source(&result, &regions, &data.items, &targets);
+//!
+//! // … and find the bellwether under a budget.
+//! let config = BellwetherConfig::new(40.0).with_min_coverage(0.5);
+//! let search = basic_search(&source, &data.space, &data.cost, &config, data.items.len()).unwrap();
+//! assert!(search.bellwether().is_some());
+//! ```
+
+pub use bellwether_core as core;
+pub use bellwether_cube as cube;
+pub use bellwether_datagen as datagen;
+pub use bellwether_linreg as linreg;
+pub use bellwether_storage as storage;
+pub use bellwether_table as table;
+
+/// Common imports for end-to-end use of the library.
+pub mod prelude {
+    pub use bellwether_core::{
+        basic_search, build_cube_input, build_memory_source, build_naive_cube,
+        build_naive_tree, build_optimized_cube, build_rainforest, build_single_scan_cube,
+        evaluate_method, global_target, render_cross_tab, sampling_baseline_error,
+        select_cell_for_item, BasicSearchResult, BellwetherConfig, BellwetherCube,
+        BellwetherTree, CubeConfig, ErrorMeasure, EvalContext, FeatureQuery, ItemCentricEval,
+        ItemTable, Method, StarDatabase, TreeConfig,
+    };
+    pub use bellwether_cube::{
+        cube_pass, feasible_regions, Constraints, CostModel, CubeInput, Dimension, Hierarchy,
+        ProductCost, RegionId, RegionSpace, UniformCellCost,
+    };
+    pub use bellwether_datagen::{
+        build_scale_workload, generate_retail, generate_simulation, RetailConfig, ScaleConfig,
+        SimulationConfig,
+    };
+    pub use bellwether_linreg::{ErrorEstimate, LinearModel, RegSuffStats, RegressionData};
+    pub use bellwether_storage::{DiskSource, MemorySource, RegionBlock, TrainingSource};
+    pub use bellwether_table::ops::{AggExpr, AggFunc};
+    pub use bellwether_table::{Column, DataType, Predicate, Schema, Table, Value};
+}

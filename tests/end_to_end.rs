@@ -1,0 +1,170 @@
+//! End-to-end integration: generate → label with a query → CUBE pass →
+//! entire training data → basic bellwether search, asserting the
+//! planted structure is recovered and the quality baselines order as
+//! the paper's Figure 7 requires.
+
+use bellwether::prelude::*;
+use bellwether_core::build_cube_input;
+use std::collections::HashMap;
+
+struct Pipeline {
+    data: bellwether_datagen::RetailDataset,
+    targets: HashMap<i64, f64>,
+    cube_input: CubeInput,
+    source: MemorySource,
+}
+
+fn pipeline(n_items: usize, seed: u64) -> Pipeline {
+    let mut cfg = RetailConfig::mail_order(n_items, seed);
+    cfg.months = 8;
+    cfg.converge_month = 6;
+    cfg.states = Some(vec![
+        "MD", "WI", "CA", "TX", "NY", "IL", "FL", "OH", "PA", "GA", "VA", "NC",
+    ]);
+    let data = generate_retail(&cfg);
+    let targets = global_target(&data.db, "profit", AggFunc::Sum).unwrap();
+    let cube_input = build_cube_input(&data.db, &data.space, &data.feature_queries).unwrap();
+    let cube = cube_pass(&data.space, &cube_input);
+    let regions = data.space.all_regions();
+    let source = build_memory_source(&cube, &regions, &data.items, &targets);
+    Pipeline {
+        data,
+        targets,
+        cube_input,
+        source,
+    }
+}
+
+#[test]
+fn planted_bellwether_is_recovered() {
+    let p = pipeline(150, 11);
+    let config = BellwetherConfig::new(30.0)
+        .with_min_coverage(0.5)
+        .with_min_examples(20);
+    let result = basic_search(&p.source, &p.data.space, &p.data.cost, &config, 150).unwrap();
+    let best = result.bellwether().expect("bellwether exists");
+    assert!(
+        best.label.contains("MD"),
+        "expected an MD region, got {}",
+        best.label
+    );
+    // The planted signal converges at month 6; longer affordable
+    // intervals should include it.
+    assert!(best.cost <= 30.0);
+}
+
+#[test]
+fn bellwether_beats_average_and_sampling() {
+    let p = pipeline(150, 12);
+    let config = BellwetherConfig::new(30.0)
+        .with_min_coverage(0.5)
+        .with_min_examples(20);
+    let result =
+        basic_search(&p.source, &p.data.space, &p.data.cost, &config, 150).unwrap();
+    let bel = result.bellwether().unwrap().error.value;
+    let avg = result.average_error().unwrap();
+    let smp = sampling_baseline_error(
+        &p.data.space,
+        &p.cube_input,
+        &p.data.items,
+        &p.targets,
+        &p.data.cost,
+        &config,
+        3,
+        77,
+    )
+    .unwrap()
+    .unwrap();
+    assert!(bel < avg, "Bel {bel} < Avg {avg}");
+    assert!(bel < smp, "Bel {bel} < Smp {smp}");
+}
+
+#[test]
+fn error_decreases_with_budget_until_convergence() {
+    let p = pipeline(150, 13);
+    let mut errors = Vec::new();
+    for budget in [10.0, 20.0, 40.0, 80.0] {
+        let config = BellwetherConfig::new(budget)
+            .with_min_coverage(0.5)
+            .with_min_examples(20);
+        let result =
+            basic_search(&p.source, &p.data.space, &p.data.cost, &config, 150).unwrap();
+        errors.push(result.bellwether().map(|b| b.error.value));
+    }
+    let errs: Vec<f64> = errors.into_iter().flatten().collect();
+    assert!(errs.len() >= 3, "most budgets feasible");
+    // Non-strictly decreasing overall: later budgets can only widen the
+    // feasible set, so the minimum cannot increase.
+    for w in errs.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-9,
+            "error must not increase with budget: {errs:?}"
+        );
+    }
+}
+
+#[test]
+fn indistinguishability_drops_once_signal_converges() {
+    let p = pipeline(150, 14);
+    let frac_at = |budget: f64| {
+        let config = BellwetherConfig::new(budget)
+            .with_min_coverage(0.5)
+            .with_min_examples(20);
+        basic_search(&p.source, &p.data.space, &p.data.cost, &config, 150)
+            .unwrap()
+            .indistinguishable_fraction(0.95)
+            .unwrap_or(1.0)
+    };
+    // Once [1-6, MD] is affordable the bellwether is nearly unique.
+    assert!(frac_at(60.0) < 0.15, "converged bellwether should be near-unique");
+}
+
+#[test]
+fn training_set_error_tracks_cv_error() {
+    // The Fig. 7(a)-vs-(c) claim at pipeline level.
+    let p = pipeline(150, 15);
+    let cv_cfg = BellwetherConfig::new(40.0)
+        .with_min_coverage(0.5)
+        .with_min_examples(20)
+        .with_error_measure(ErrorMeasure::cv10());
+    let tr_cfg = cv_cfg
+        .clone()
+        .with_error_measure(ErrorMeasure::TrainingSet);
+    let cv = basic_search(&p.source, &p.data.space, &p.data.cost, &cv_cfg, 150).unwrap();
+    let tr = basic_search(&p.source, &p.data.space, &p.data.cost, &tr_cfg, 150).unwrap();
+    let (cb, tb) = (cv.bellwether().unwrap(), tr.bellwether().unwrap());
+    // Same (or equally good) region and similar error magnitude.
+    let rel = (cb.error.value - tb.error.value).abs() / cb.error.value.max(1e-9);
+    assert!(rel < 0.25, "cv {} vs training {}", cb.error.value, tb.error.value);
+}
+
+#[test]
+fn disk_backed_pipeline_matches_memory() {
+    use bellwether_core::write_disk_source;
+    let mut cfg = RetailConfig::mail_order(60, 16);
+    cfg.months = 5;
+    cfg.converge_month = 4;
+    cfg.states = Some(vec!["MD", "WI", "CA", "TX"]);
+    let data = generate_retail(&cfg);
+    let targets = global_target(&data.db, "profit", AggFunc::Sum).unwrap();
+    let cube_input = build_cube_input(&data.db, &data.space, &data.feature_queries).unwrap();
+    let cube = cube_pass(&data.space, &cube_input);
+    let regions = data.space.all_regions();
+    let mem = build_memory_source(&cube, &regions, &data.items, &targets);
+
+    let path = std::env::temp_dir().join("bw_e2e_disk.bwtd");
+    write_disk_source(&path, &cube, &regions, &data.space, &data.items, &targets).unwrap();
+    let disk = DiskSource::open(&path).unwrap();
+
+    let config = BellwetherConfig::new(25.0)
+        .with_min_coverage(0.5)
+        .with_min_examples(10);
+    let a = basic_search(&mem, &data.space, &data.cost, &config, 60).unwrap();
+    let b = basic_search(&disk, &data.space, &data.cost, &config, 60).unwrap();
+    assert_eq!(
+        a.bellwether().map(|r| r.region.clone()),
+        b.bellwether().map(|r| r.region.clone())
+    );
+    assert_eq!(a.reports.len(), b.reports.len());
+    std::fs::remove_file(&path).ok();
+}

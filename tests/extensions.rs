@@ -1,0 +1,203 @@
+//! Integration tests for the §3.4 extension features on generated
+//! retail data: automatic feature generation, the linear optimization
+//! criterion, greedy combinatorial search, tree pruning, and the
+//! algebraic cross-validated cube.
+
+use bellwether::prelude::*;
+use bellwether_core::{
+    basic_search_linear, build_cube_input, build_optimized_cube_cv, build_rainforest,
+    build_single_scan_cube, greedy_combinatorial_search, prune_tree, LinearCriterion,
+};
+use std::collections::HashMap;
+
+fn dataset() -> (
+    bellwether_datagen::RetailDataset,
+    HashMap<i64, f64>,
+    CubeInput,
+    MemorySource,
+) {
+    let mut cfg = RetailConfig::mail_order(120, 77);
+    cfg.months = 6;
+    cfg.converge_month = 4;
+    cfg.states = Some(vec!["MD", "WI", "CA", "TX", "NY", "IL", "FL", "OH"]);
+    let data = generate_retail(&cfg);
+    let targets = global_target(&data.db, "profit", AggFunc::Sum).unwrap();
+    let cube_input = build_cube_input(&data.db, &data.space, &data.feature_queries).unwrap();
+    let cube = cube_pass(&data.space, &cube_input);
+    let regions = data.space.all_regions();
+    let source = build_memory_source(&cube, &regions, &data.items, &targets);
+    (data, targets, cube_input, source)
+}
+
+#[test]
+fn auto_generated_queries_run_end_to_end() {
+    let (data, targets, _, _) = dataset();
+    let fk_of: HashMap<String, String> =
+        [("catalogs".to_string(), "catalog".to_string())].into();
+    let queries = bellwether_core::auto_generate_queries(&data.db, &fk_of).unwrap();
+    assert!(queries.len() >= 8, "schema yields a rich feature set");
+    let input = build_cube_input(&data.db, &data.space, &queries).unwrap();
+    let cube = cube_pass(&data.space, &input);
+    let regions = data.space.all_regions();
+    let source = build_memory_source(&cube, &regions, &data.items, &targets);
+    let config = BellwetherConfig::new(20.0)
+        .with_min_coverage(0.5)
+        .with_min_examples(20)
+        .with_error_measure(ErrorMeasure::TrainingSet);
+    let found =
+        basic_search(&source, &data.space, &data.cost, &config, data.items.len()).unwrap();
+    assert!(found.bellwether().is_some());
+}
+
+#[test]
+fn linear_criterion_prefers_cheap_regions_as_weight_grows() {
+    let (data, _targets, _, source) = dataset();
+    let config = BellwetherConfig::new(f64::INFINITY)
+        .with_min_coverage(0.0)
+        .with_min_examples(20)
+        .with_error_measure(ErrorMeasure::TrainingSet);
+    let free = basic_search_linear(
+        &source,
+        &data.space,
+        &data.cost,
+        &config,
+        data.items.len(),
+        LinearCriterion {
+            cost_weight: 0.0,
+            coverage_weight: 0.0,
+        },
+    )
+    .unwrap();
+    let heavy = basic_search_linear(
+        &source,
+        &data.space,
+        &data.cost,
+        &config,
+        data.items.len(),
+        LinearCriterion {
+            cost_weight: 50.0,
+            coverage_weight: 0.0,
+        },
+    )
+    .unwrap();
+    let (free_best, _) = free.bellwether().unwrap();
+    let (heavy_best, _) = heavy.bellwether().unwrap();
+    assert!(
+        heavy_best.cost <= free_best.cost,
+        "a higher cost weight must not pick a costlier region \
+         ({} vs {})",
+        heavy_best.cost,
+        free_best.cost
+    );
+}
+
+#[test]
+fn combinatorial_search_never_loses_to_single_region_choice() {
+    let (data, targets, cube_input, source) = dataset();
+    let config = BellwetherConfig::new(12.0)
+        .with_min_coverage(0.0)
+        .with_min_examples(20)
+        .with_error_measure(ErrorMeasure::TrainingSet);
+    // Single-region bellwether under the same budget.
+    let single =
+        basic_search(&source, &data.space, &data.cost, &config, data.items.len()).unwrap();
+    let combo = greedy_combinatorial_search(
+        &data.space,
+        &cube_input,
+        &data.items,
+        &targets,
+        &data.cost,
+        &config,
+        4,
+    )
+    .unwrap();
+    let (Some(single), Some(combo)) = (single.bellwether(), combo) else {
+        panic!("both searches should find something at this budget");
+    };
+    // The greedy's first step considers every affordable single region,
+    // so its final error can't exceed the single-region optimum (both
+    // use the same training-set measure over the same features).
+    assert!(
+        combo.error.value <= single.error.value + 1e-9,
+        "combo {} vs single {}",
+        combo.error.value,
+        single.error.value
+    );
+    assert!(combo.total_cost <= 12.0);
+}
+
+#[test]
+fn pruning_reduces_or_keeps_leaves_and_preserves_routing() {
+    let (data, _targets, _, source) = dataset();
+    let problem = BellwetherConfig::new(f64::INFINITY)
+        .with_min_coverage(0.0)
+        .with_min_examples(15)
+        .with_error_measure(ErrorMeasure::TrainingSet);
+    let tree_cfg = TreeConfig {
+        min_node_items: 20,
+        max_numeric_splits: 8,
+        ..TreeConfig::default()
+    };
+    let mut tree = build_rainforest(
+        &source,
+        &data.space,
+        &data.items,
+        None,
+        &problem,
+        &tree_cfg,
+    )
+    .unwrap();
+    let before = tree.num_leaves();
+    prune_tree(&mut tree, 1e12);
+    assert!(tree.num_leaves() <= before);
+    assert_eq!(tree.num_leaves(), 1, "infinite penalty collapses the tree");
+    for &id in data.items.ids() {
+        assert!(tree.predicting_info(&data.items, id).is_some());
+    }
+}
+
+#[test]
+fn cv_cube_agrees_with_single_scan_on_winning_regions() {
+    let (data, _targets, _, source) = dataset();
+    let cube_cfg = CubeConfig {
+        min_subset_size: 20,
+    };
+    // The CV cube's fold assignment differs from the CV measure's
+    // shuffle, so compare *regions*, which are robust, not errors.
+    let ts_problem = BellwetherConfig::new(f64::INFINITY)
+        .with_min_coverage(0.0)
+        .with_min_examples(20)
+        .with_error_measure(ErrorMeasure::TrainingSet);
+    let single = build_single_scan_cube(
+        &source,
+        &data.space,
+        &data.item_space,
+        &data.item_coords,
+        &ts_problem,
+        &cube_cfg,
+    )
+    .unwrap();
+    let cv = build_optimized_cube_cv(
+        &source,
+        &data.space,
+        &data.item_space,
+        &data.item_coords,
+        &ts_problem,
+        &cube_cfg,
+        5,
+        42,
+    )
+    .unwrap();
+    assert_eq!(single.cells.len(), cv.cells.len());
+    for (subset, cell) in &cv.cells {
+        // CV errors are genuine estimates with spread.
+        assert!(cell.error.value.is_finite());
+        // Winning regions should be strongly planted → usually agree.
+        let ts_cell = &single.cells[subset];
+        assert_eq!(
+            cell.region.0[1], ts_cell.region.0[1],
+            "CV and training-set cubes should agree on the planted state \
+             for subset {subset:?}"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Cross-crate verification of the paper's formal claims on realistic
+//! (generated) data, larger than the unit-test fixtures:
+//!
+//! * Lemma 1 — RF bellwether tree ≡ naive bellwether tree, at `l` scans;
+//! * Lemma 2 — single-scan cube ≡ naive cube, at 1 scan;
+//! * Theorem 1 — the optimized cube (suffstats rollup) ≡ single-scan.
+
+use bellwether::prelude::*;
+use bellwether_core::{
+    build_naive_cube, build_naive_tree, build_optimized_cube, build_rainforest,
+    build_single_scan_cube, CubeConfig, ErrorMeasure, TreeConfig,
+};
+
+fn workload() -> (bellwether_datagen::ScaleWorkload, MemorySource) {
+    let cfg = ScaleConfig {
+        n_items: 400,
+        fact_dim_leaves: [3, 3],
+        item_hierarchy_leaves: [3, 2, 2],
+        n_numeric_attrs: 3,
+        regional_features: 4,
+        bellwether_noise: 0.5,
+        seed: 1234,
+    };
+    let w = build_scale_workload(&cfg);
+    let src = w.memory_source();
+    (w, src)
+}
+
+fn problem() -> BellwetherConfig {
+    BellwetherConfig::new(f64::INFINITY)
+        .with_min_coverage(0.0)
+        .with_min_examples(10)
+        .with_error_measure(ErrorMeasure::TrainingSet)
+}
+
+fn tree_cfg() -> TreeConfig {
+    TreeConfig {
+        max_depth: 3,
+        min_node_items: 60,
+        max_numeric_splits: 5,
+        ..TreeConfig::default()
+    }
+}
+
+#[test]
+fn lemma_1_rf_equals_naive_tree() {
+    let (w, src) = workload();
+    let naive =
+        build_naive_tree(&src, &w.region_space, &w.items, None, &problem(), &tree_cfg())
+            .unwrap();
+    let rf =
+        build_rainforest(&src, &w.region_space, &w.items, None, &problem(), &tree_cfg())
+            .unwrap();
+
+    // Structural equality: same node count, same leaf regions and item
+    // partitions level by level.
+    assert_eq!(naive.nodes.len(), rf.nodes.len());
+    assert_eq!(naive.num_leaves(), rf.num_leaves());
+    for id in w.items.ids() {
+        let a = naive.predicting_info(&w.items, *id).unwrap();
+        let b = rf.predicting_info(&w.items, *id).unwrap();
+        assert_eq!(a.region, b.region, "item {id} routed differently");
+        assert!((a.error - b.error).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn lemma_1_rf_scan_budget() {
+    let (w, src) = workload();
+    src.stats().reset();
+    let rf =
+        build_rainforest(&src, &w.region_space, &w.items, None, &problem(), &tree_cfg())
+            .unwrap();
+    let levels = rf.depth() as u64 + 1;
+    let nodes = rf.nodes.len() as u64;
+    let regions = src.num_regions() as u64;
+    assert_eq!(
+        src.stats().regions_read(),
+        levels * regions + nodes,
+        "RF must scan once per level plus one fit-read per node"
+    );
+}
+
+#[test]
+fn lemma_2_single_scan_equals_naive_cube() {
+    let (w, src) = workload();
+    let cc = CubeConfig {
+        min_subset_size: 25,
+    };
+    let naive = build_naive_cube(
+        &src,
+        &w.region_space,
+        &w.item_space,
+        &w.item_coords,
+        &problem(),
+        &cc,
+    )
+    .unwrap();
+    let single = build_single_scan_cube(
+        &src,
+        &w.region_space,
+        &w.item_space,
+        &w.item_coords,
+        &problem(),
+        &cc,
+    )
+    .unwrap();
+    assert_eq!(naive.cells.len(), single.cells.len());
+    assert!(!naive.cells.is_empty());
+    for (subset, a) in &naive.cells {
+        let b = &single.cells[subset];
+        assert_eq!(a.region, b.region, "subset {subset:?}");
+        assert!((a.error.value - b.error.value).abs() < 1e-9);
+        assert_eq!(a.size, b.size);
+    }
+}
+
+#[test]
+fn theorem_1_optimized_equals_single_scan() {
+    let (w, src) = workload();
+    let cc = CubeConfig {
+        min_subset_size: 25,
+    };
+    let single = build_single_scan_cube(
+        &src,
+        &w.region_space,
+        &w.item_space,
+        &w.item_coords,
+        &problem(),
+        &cc,
+    )
+    .unwrap();
+    let optimized = build_optimized_cube(
+        &src,
+        &w.region_space,
+        &w.item_space,
+        &w.item_coords,
+        &problem(),
+        &cc,
+    )
+    .unwrap();
+    assert_eq!(single.cells.len(), optimized.cells.len());
+    for (subset, a) in &single.cells {
+        let b = &optimized.cells[subset];
+        assert_eq!(a.region, b.region, "subset {subset:?}");
+        assert!(
+            (a.error.value - b.error.value).abs() < 1e-6,
+            "{subset:?}: {} vs {}",
+            a.error.value,
+            b.error.value
+        );
+    }
+}
+
+#[test]
+fn scan_count_ordering_naive_vs_scan_based() {
+    let (w, src) = workload();
+    let cc = CubeConfig {
+        min_subset_size: 25,
+    };
+
+    src.stats().reset();
+    build_single_scan_cube(
+        &src,
+        &w.region_space,
+        &w.item_space,
+        &w.item_coords,
+        &problem(),
+        &cc,
+    )
+    .unwrap();
+    let single_reads = src.stats().regions_read();
+
+    src.stats().reset();
+    build_naive_cube(
+        &src,
+        &w.region_space,
+        &w.item_space,
+        &w.item_coords,
+        &problem(),
+        &cc,
+    )
+    .unwrap();
+    let naive_reads = src.stats().regions_read();
+    assert!(
+        naive_reads > 3 * single_reads,
+        "naive {naive_reads} vs single {single_reads}"
+    );
+}

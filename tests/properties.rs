@@ -1,0 +1,209 @@
+//! Property-based tests of the core invariants, spanning crates:
+//!
+//! * the CUBE pass agrees with direct filtered aggregation on every
+//!   region, for arbitrary fact data;
+//! * lattice rollup of counts agrees with the naive per-cell definition;
+//! * iceberg pruning returns exactly the brute-force feasible set;
+//! * the Theorem-1 statistic is merge-order invariant and subtraction
+//!   inverts merge;
+//! * region containment is a partial order consistent with coverage.
+
+use bellwether::prelude::*;
+use bellwether_cube::{
+    aggregate_filtered, feasible_regions, feasible_regions_naive, rollup_lattice,
+    rollup_naive, Constraints, Measure,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A small two-dimensional space: 3 time points × a 2-level hierarchy.
+fn space() -> RegionSpace {
+    let mut loc = Hierarchy::new("L", "All");
+    let a = loc.add_child(0, "A");
+    loc.add_child(a, "a1");
+    loc.add_child(a, "a2");
+    let b = loc.add_child(0, "B");
+    loc.add_child(b, "b1");
+    RegionSpace::new(vec![
+        Dimension::Interval {
+            name: "T".into(),
+            max_t: 3,
+        },
+        Dimension::Hierarchy(loc),
+    ])
+}
+
+/// Leaf coordinates usable in the space above.
+fn leaf_strategy() -> impl Strategy<Value = (u32, u32)> {
+    (0u32..3, prop_oneof![Just(2u32), Just(3u32), Just(5u32)])
+}
+
+fn fact_strategy() -> impl Strategy<Value = Vec<(i64, (u32, u32), f64)>> {
+    prop::collection::vec(
+        ((0i64..6), leaf_strategy(), -100.0..100.0f64),
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cube_pass_matches_filtered_aggregation(rows in fact_strategy()) {
+        let s = space();
+        let input = CubeInput {
+            item_ids: rows.iter().map(|(i, _, _)| *i).collect(),
+            coords: rows.iter().flat_map(|(_, (t, l), _)| [*t, *l]).collect(),
+            measures: vec![Measure::Numeric {
+                name: "v".into(),
+                func: AggFunc::Sum,
+                values: rows.iter().map(|(_, _, v)| Some(*v)).collect(),
+            }],
+        };
+        let cube = cube_pass(&s, &input);
+        for region in s.all_regions() {
+            let direct = aggregate_filtered(&input, 2, |cell| {
+                s.contains(&region, &RegionId(cell.to_vec()))
+            });
+            // Same covered items.
+            prop_assert_eq!(cube.coverage_count(&region), direct.len());
+            for (item, vals) in &direct {
+                let got = cube.features(&region, *item).unwrap();
+                match (got[0], vals[0]) {
+                    (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                    (a, b) => prop_assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rollup_matches_naive_for_random_bases(
+        entries in prop::collection::vec(((0u32..3), (0u32..3), 1u64..100), 1..20)
+    ) {
+        // item space: two flat hierarchies with 3 leaves each.
+        let h1 = Hierarchy::flat("H1", "any1", &["x", "y", "z"]);
+        let h2 = Hierarchy::flat("H2", "any2", &["p", "q", "r"]);
+        let s = RegionSpace::new(vec![
+            Dimension::Hierarchy(h1),
+            Dimension::Hierarchy(h2),
+        ]);
+        let mut base: HashMap<RegionId, u64> = HashMap::new();
+        for (l1, l2, v) in entries {
+            // leaves are node ids 1..=3
+            *base.entry(RegionId(vec![l1 + 1, l2 + 1])).or_insert(0) += v;
+        }
+        let fast = rollup_lattice(&s, base.clone(), |a, b| *a += *b);
+        let slow = rollup_naive(&s, &base, |a, b| *a += *b);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn iceberg_pruning_is_exact(
+        budget in 0.0..30.0f64,
+        min_cov in 0.0..1.0f64,
+        covs in prop::collection::vec(0usize..10, 12)
+    ) {
+        let s = space();
+        let cost = UniformCellCost { rate: 1.0 };
+        let all = s.all_regions();
+        let coverage: HashMap<RegionId, usize> = all
+            .iter()
+            .cloned()
+            .zip(covs.into_iter().cycle())
+            .collect();
+        // Make coverage monotone (supersets cover at least as much), as
+        // real coverage always is.
+        let coverage: HashMap<RegionId, usize> = all
+            .iter()
+            .map(|r| {
+                let c = all
+                    .iter()
+                    .filter(|r2| s.contains(r, r2))
+                    .map(|r2| coverage[r2])
+                    .max()
+                    .unwrap_or(0);
+                (r.clone(), c)
+            })
+            .collect();
+        let cons = Constraints {
+            budget,
+            min_coverage: min_cov,
+            total_items: 10,
+        };
+        let mut pruned = feasible_regions(&s, &cost, &cons, &coverage);
+        let mut naive = feasible_regions_naive(&s, &cost, &cons, &coverage);
+        pruned.sort();
+        naive.sort();
+        prop_assert_eq!(pruned, naive);
+    }
+
+    #[test]
+    fn suffstats_merge_is_order_invariant(
+        rows in prop::collection::vec((0.1..10.0f64, -10.0..10.0f64), 6..40),
+        splits in 1usize..5
+    ) {
+        let p = 2;
+        let chunk = (rows.len() / (splits + 1)).max(1);
+        let mut forward = RegSuffStats::new(p);
+        let mut chunks: Vec<RegSuffStats> = Vec::new();
+        for group in rows.chunks(chunk) {
+            let mut s = RegSuffStats::new(p);
+            for (x, y) in group {
+                s.add(&[1.0, *x], *y, 1.0);
+                forward.add(&[1.0, *x], *y, 1.0);
+            }
+            chunks.push(s);
+        }
+        // Merge in reverse order.
+        let mut backward = RegSuffStats::new(p);
+        for s in chunks.iter().rev() {
+            backward.merge(s);
+        }
+        prop_assert_eq!(forward.n(), backward.n());
+        match (forward.sse(), backward.sse()) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs())),
+            (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+        }
+    }
+
+    #[test]
+    fn suffstats_subtract_inverts_merge(
+        rows in prop::collection::vec((0.1..10.0f64, -10.0..10.0f64), 8..40)
+    ) {
+        let p = 2;
+        let half = rows.len() / 2;
+        let mut a = RegSuffStats::new(p);
+        for (x, y) in &rows[..half] {
+            a.add(&[1.0, *x], *y, 1.0);
+        }
+        let mut b = RegSuffStats::new(p);
+        for (x, y) in &rows[half..] {
+            b.add(&[1.0, *x], *y, 1.0);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        merged.subtract(&b);
+        prop_assert_eq!(merged.n(), a.n());
+        if let (Some(x), Some(y)) = (merged.sse(), a.sse()) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn containment_is_a_partial_order(t1 in 0u32..3, l1 in 0u32..6, t2 in 0u32..3, l2 in 0u32..6) {
+        let s = space();
+        let a = RegionId(vec![t1, l1]);
+        let b = RegionId(vec![t2, l2]);
+        // reflexive
+        prop_assert!(s.contains(&a, &a));
+        // antisymmetric
+        if s.contains(&a, &b) && s.contains(&b, &a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // finest-cell counts are monotone
+        if s.contains(&a, &b) {
+            prop_assert!(s.finest_cell_count(&a) >= s.finest_cell_count(&b));
+        }
+    }
+}
