@@ -1,11 +1,11 @@
 //! Iceberg-pruning ablation: bottom-up BUC-style enumeration of the
 //! feasible regions versus testing every region directly.
 
+use bellwether_bench::{results_dir, Harness};
 use bellwether_cube::{
     feasible_regions, feasible_regions_naive, Constraints, Dimension, Hierarchy, RegionId,
     RegionSpace, UniformCellCost,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
 
 /// A deep space: 52 weeks × a 3-level location tree of ~60 nodes.
@@ -29,7 +29,7 @@ fn space() -> RegionSpace {
     ])
 }
 
-fn bench_iceberg(c: &mut Criterion) {
+fn main() {
     let s = space();
     let cost = UniformCellCost { rate: 1.0 };
     let coverage: HashMap<RegionId, usize> =
@@ -41,17 +41,12 @@ fn bench_iceberg(c: &mut Criterion) {
         total_items: 100,
     };
 
-    c.bench_function("iceberg_pruned", |b| {
-        b.iter(|| feasible_regions(&s, &cost, &cons, &coverage))
+    let mut h = Harness::new();
+    h.bench("iceberg_pruned", || {
+        feasible_regions(&s, &cost, &cons, &coverage)
     });
-    c.bench_function("iceberg_naive", |b| {
-        b.iter(|| feasible_regions_naive(&s, &cost, &cons, &coverage))
+    h.bench("iceberg_naive", || {
+        feasible_regions_naive(&s, &cost, &cons, &coverage)
     });
+    h.emit_json(&results_dir().join("BENCH_iceberg.json"));
 }
-
-criterion_group!{
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_iceberg
-}
-criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! search, naive vs RF tree, and the three cube construction
 //! algorithms.
 
+use bellwether_bench::{results_dir, Harness};
 use bellwether_core::{
     basic_search, build_naive_cube, build_naive_tree, build_optimized_cube,
     build_optimized_cube_cv, build_rainforest, build_single_scan_cube, BellwetherConfig,
@@ -10,7 +11,6 @@ use bellwether_core::{
 use bellwether_cube::UniformCellCost;
 use bellwether_datagen::{build_scale_workload, ScaleConfig, ScaleWorkload};
 use bellwether_storage::MemorySource;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn workload() -> (ScaleWorkload, MemorySource) {
     let cfg = ScaleConfig {
@@ -34,7 +34,7 @@ fn problem() -> BellwetherConfig {
         .with_error_measure(ErrorMeasure::TrainingSet)
 }
 
-fn bench_search(c: &mut Criterion) {
+fn main() {
     let (w, src) = workload();
     let pr = problem();
     let cost = UniformCellCost { rate: 0.0 };
@@ -48,91 +48,78 @@ fn bench_search(c: &mut Criterion) {
         min_subset_size: 20,
     };
 
-    c.bench_function("basic_search_25regions", |b| {
-        b.iter(|| basic_search(&src, &w.region_space, &cost, &pr, 300).unwrap())
+    let mut h = Harness::new();
+
+    h.bench("basic_search_25regions", || {
+        basic_search(&src, &w.region_space, &cost, &pr, 300).unwrap()
     });
 
-    c.bench_function("tree_naive", |b| {
-        b.iter(|| build_naive_tree(&src, &w.region_space, &w.items, None, &pr, &tc).unwrap())
+    h.bench("tree_naive", || {
+        build_naive_tree(&src, &w.region_space, &w.items, None, &pr, &tc).unwrap()
     });
-    c.bench_function("tree_rainforest", |b| {
-        b.iter(|| build_rainforest(&src, &w.region_space, &w.items, None, &pr, &tc).unwrap())
+    h.bench("tree_rainforest", || {
+        build_rainforest(&src, &w.region_space, &w.items, None, &pr, &tc).unwrap()
     });
 
-    c.bench_function("cube_naive", |b| {
-        b.iter(|| {
-            build_naive_cube(&src, &w.region_space, &w.item_space, &w.item_coords, &pr, &cc)
-                .unwrap()
-        })
-    });
-    c.bench_function("cube_single_scan", |b| {
-        b.iter(|| {
-            build_single_scan_cube(
-                &src,
-                &w.region_space,
-                &w.item_space,
-                &w.item_coords,
-                &pr,
-                &cc,
-            )
+    h.bench("cube_naive", || {
+        build_naive_cube(&src, &w.region_space, &w.item_space, &w.item_coords, &pr, &cc)
             .unwrap()
-        })
     });
-    c.bench_function("cube_optimized", |b| {
-        b.iter(|| {
-            build_optimized_cube(
-                &src,
-                &w.region_space,
-                &w.item_space,
-                &w.item_coords,
-                &pr,
-                &cc,
-            )
-            .unwrap()
-        })
+    h.bench("cube_single_scan", || {
+        build_single_scan_cube(
+            &src,
+            &w.region_space,
+            &w.item_space,
+            &w.item_coords,
+            &pr,
+            &cc,
+        )
+        .unwrap()
+    });
+    h.bench("cube_optimized", || {
+        build_optimized_cube(
+            &src,
+            &w.region_space,
+            &w.item_space,
+            &w.item_coords,
+            &pr,
+            &cc,
+        )
+        .unwrap()
     });
     // Extension ablation: cross-validated errors via the algebraic
     // fold statistics (vs the single-scan building CV from raw rows).
-    c.bench_function("cube_optimized_cv10", |b| {
-        b.iter(|| {
-            build_optimized_cube_cv(
-                &src,
-                &w.region_space,
-                &w.item_space,
-                &w.item_coords,
-                &pr,
-                &cc,
-                10,
-                42,
-            )
-            .unwrap()
-        })
+    h.bench("cube_optimized_cv10", || {
+        build_optimized_cube_cv(
+            &src,
+            &w.region_space,
+            &w.item_space,
+            &w.item_coords,
+            &pr,
+            &cc,
+            10,
+            42,
+        )
+        .unwrap()
     });
-    c.bench_function("cube_single_scan_cv10", |b| {
-        let cv = BellwetherConfig::new(f64::INFINITY)
-            .with_min_coverage(0.0)
-            .with_min_examples(10)
-            .with_error_measure(ErrorMeasure::CrossValidation {
-                folds: 10,
-                seed: 42,
-            });
-        b.iter(|| {
-            build_single_scan_cube(
-                &src,
-                &w.region_space,
-                &w.item_space,
-                &w.item_coords,
-                &cv,
-                &cc,
-            )
-            .unwrap()
-        })
+    let cv = BellwetherConfig::new(f64::INFINITY)
+        .with_min_coverage(0.0)
+        .with_min_examples(10)
+        .with_error_measure(ErrorMeasure::CrossValidation {
+            folds: 10,
+            seed: 42,
+        });
+    h.bench("cube_single_scan_cv10", || {
+        build_single_scan_cube(
+            &src,
+            &w.region_space,
+            &w.item_space,
+            &w.item_coords,
+            &cv,
+            &cc,
+        )
+        .unwrap()
     });
-}
 
-criterion_group!{
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_search
+    h.emit_json(&results_dir().join("BENCH_search.json"));
 }
-criterion_main!(benches);

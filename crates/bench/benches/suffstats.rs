@@ -2,8 +2,8 @@
 //! (the optimized cube's inner loop) versus refitting each nested
 //! subset from raw examples (the single-scan cube's inner loop).
 
+use bellwether_bench::{results_dir, Harness};
 use bellwether_linreg::{RegSuffStats, RegressionData, SplitMix64};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 const P: usize = 5;
 const BASE_SUBSETS: usize = 64;
@@ -26,50 +26,41 @@ fn base_data() -> Vec<RegressionData> {
         .collect()
 }
 
-fn bench_suffstats(c: &mut Criterion) {
+fn main() {
     let data = base_data();
     let base_stats: Vec<RegSuffStats> =
         data.iter().map(RegSuffStats::from_dataset).collect();
 
+    let mut h = Harness::new();
+
     // Optimized path: merge 64 base statistics into one and read SSE.
-    c.bench_function("theorem1_merge_64_subsets", |b| {
-        b.iter(|| {
-            let mut acc = RegSuffStats::new(P);
-            for s in &base_stats {
-                acc.merge(s);
-            }
-            acc.sse().unwrap()
-        })
+    h.bench("theorem1_merge_64_subsets", || {
+        let mut acc = RegSuffStats::new(P);
+        for s in &base_stats {
+            acc.merge(s);
+        }
+        acc.sse().unwrap()
     });
 
     // Naive path: rebuild the union's statistic from raw examples.
-    c.bench_function("refit_from_raw_64_subsets", |b| {
-        b.iter(|| {
-            let mut acc = RegSuffStats::new(P);
-            for d in &data {
-                acc.add_dataset(d);
-            }
-            acc.sse().unwrap()
-        })
+    h.bench("refit_from_raw_64_subsets", || {
+        let mut acc = RegSuffStats::new(P);
+        for d in &data {
+            acc.add_dataset(d);
+        }
+        acc.sse().unwrap()
     });
 
     // Fold-complement trick used by cross-validation.
-    c.bench_function("suffstats_subtract_fold", |b| {
-        let mut full = RegSuffStats::new(P);
-        for s in &base_stats {
-            full.merge(s);
-        }
-        b.iter(|| {
-            let mut train = full.clone();
-            train.subtract(&base_stats[0]);
-            train.fit().unwrap()
-        })
+    let mut full = RegSuffStats::new(P);
+    for s in &base_stats {
+        full.merge(s);
+    }
+    h.bench("suffstats_subtract_fold", || {
+        let mut train = full.clone();
+        train.subtract(&base_stats[0]);
+        train.fit().unwrap()
     });
-}
 
-criterion_group!{
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_suffstats
+    h.emit_json(&results_dir().join("BENCH_suffstats.json"));
 }
-criterion_main!(benches);

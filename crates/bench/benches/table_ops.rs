@@ -1,9 +1,9 @@
 //! Relational-operator throughput: σ, ⋈ and α on a synthetic orders
 //! table — the kernels under every feature/target query.
 
+use bellwether_bench::{results_dir, Harness};
 use bellwether_table::ops::{aggregate, filter, natural_join, AggExpr, AggFunc};
 use bellwether_table::{CmpOp, Column, DataType, Predicate, Schema, Table};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn orders(n: usize) -> Table {
     let schema = Schema::from_pairs(&[
@@ -39,36 +39,29 @@ fn ads() -> Table {
     .unwrap()
 }
 
-fn bench_table_ops(c: &mut Criterion) {
+fn main() {
     let t = orders(100_000);
     let reference = ads();
 
-    c.bench_function("filter_100k", |b| {
-        let p = Predicate::eq("state", "WI").and(Predicate::cmp("profit", CmpOp::Gt, 50.0));
-        b.iter(|| filter(&t, &p).unwrap())
+    let mut h = Harness::new();
+
+    let p = Predicate::eq("state", "WI").and(Predicate::cmp("profit", CmpOp::Gt, 50.0));
+    h.bench("filter_100k", || filter(&t, &p).unwrap());
+
+    h.bench("join_100k_x_50", || {
+        natural_join(&t, &reference, "ad").unwrap()
     });
 
-    c.bench_function("join_100k_x_50", |b| {
-        b.iter(|| natural_join(&t, &reference, "ad").unwrap())
+    let aggs = [
+        AggExpr::new(AggFunc::Sum, "profit"),
+        AggExpr::new(AggFunc::CountDistinct, "ad"),
+    ];
+    h.bench("aggregate_100k_by_item", || {
+        aggregate(&t, &["item"], &aggs).unwrap()
     });
 
-    c.bench_function("aggregate_100k_by_item", |b| {
-        let aggs = [
-            AggExpr::new(AggFunc::Sum, "profit"),
-            AggExpr::new(AggFunc::CountDistinct, "ad"),
-        ];
-        b.iter(|| aggregate(&t, &["item"], &aggs).unwrap())
-    });
+    let idx: Vec<usize> = (0..t.num_rows()).step_by(3).collect();
+    h.bench("table_take_gather", || t.take(&idx));
 
-    c.bench_function("table_take_gather", |b| {
-        let idx: Vec<usize> = (0..t.num_rows()).step_by(3).collect();
-        b.iter_batched(|| idx.clone(), |idx| t.take(&idx), BatchSize::SmallInput)
-    });
+    h.emit_json(&results_dir().join("BENCH_table_ops.json"));
 }
-
-criterion_group!{
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_table_ops
-}
-criterion_main!(benches);

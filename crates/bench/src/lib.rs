@@ -1,16 +1,19 @@
 //! # bellwether-bench
 //!
 //! Shared harness code for the figure-reproduction binaries
-//! (`fig07` … `fig12`) and the Criterion micro-benchmarks. Each binary
+//! (`fig07` … `fig12`) and the micro-benchmarks. Each binary
 //! regenerates one figure of the paper's evaluation section, printing
 //! the same series the paper plots and dumping machine-readable JSON
-//! under `results/`.
+//! under `results/`. The micro-benchmarks use the local wall-clock
+//! [`harness`] (the build is offline and self-contained).
 
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod report;
 pub mod setup;
 
+pub use harness::{BenchResult, Harness};
 pub use report::{results_dir, FigureReport, Series};
 pub use setup::{budget_filtered_source, prepare_retail, PreparedRetail};
 

@@ -1,12 +1,48 @@
 //! Figure reports: aligned text tables plus JSON artifacts.
+//!
+//! JSON is emitted by a small hand-rolled writer (the build is fully
+//! self-contained, so no serde): the output is stable, pretty-printed,
+//! and shaped exactly like the derive would have produced.
 
-use serde::Serialize;
 use std::fs;
 use std::path::Path;
 
+/// Escape a string for a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (JSON has no NaN/Inf: they become
+/// `null`).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `{}` prints integral floats without a decimal point; keep one
+        // so consumers parse the field as a float.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
 /// One plotted series: `(x, y)` points (missing y = the method produced
 /// no result at that x, e.g. nothing affordable).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend name (e.g. "Bel Err").
     pub name: String,
@@ -27,10 +63,42 @@ impl Series {
     pub fn push(&mut self, x: f64, y: Option<f64>) {
         self.points.push((x, y));
     }
+
+    fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let mut out = String::new();
+        out.push_str(&format!("{pad}{{\n"));
+        out.push_str(&format!(
+            "{inner}\"name\": \"{}\",\n",
+            json_escape(&self.name)
+        ));
+        if self.points.is_empty() {
+            out.push_str(&format!("{inner}\"points\": []\n"));
+        } else {
+            out.push_str(&format!("{inner}\"points\": [\n"));
+            let point_pad = " ".repeat(indent + 4);
+            for (i, (x, y)) in self.points.iter().enumerate() {
+                let y_str = match y {
+                    Some(v) => json_f64(*v),
+                    None => "null".to_string(),
+                };
+                let comma = if i + 1 < self.points.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "{point_pad}[{}, {}]{comma}\n",
+                    json_f64(*x),
+                    y_str
+                ));
+            }
+            out.push_str(&format!("{inner}]\n"));
+        }
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
 }
 
 /// A reproduced figure: id, axis labels, and its series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Figure id, e.g. "fig07a".
     pub id: String,
@@ -93,6 +161,34 @@ impl FigureReport {
         out
     }
 
+    /// Serialize as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": \"{}\",\n", json_escape(&self.id)));
+        out.push_str(&format!("  \"title\": \"{}\",\n", json_escape(&self.title)));
+        out.push_str(&format!(
+            "  \"x_label\": \"{}\",\n",
+            json_escape(&self.x_label)
+        ));
+        out.push_str(&format!(
+            "  \"y_label\": \"{}\",\n",
+            json_escape(&self.y_label)
+        ));
+        if self.series.is_empty() {
+            out.push_str("  \"series\": []\n");
+        } else {
+            out.push_str("  \"series\": [\n");
+            for (i, s) in self.series.iter().enumerate() {
+                out.push_str(&s.to_json(4));
+                out.push_str(if i + 1 < self.series.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("  ]\n");
+        }
+        out.push('}');
+        out
+    }
+
     /// Print the table and write `results/<id>.json`.
     pub fn emit(&self, results_dir: &Path) {
         println!("{}", self.render());
@@ -101,26 +197,24 @@ impl FigureReport {
             return;
         }
         let path = results_dir.join(format!("{}.json", self.id));
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&path, json) {
-                    eprintln!("warning: cannot write {path:?}: {e}");
-                } else {
-                    println!("(wrote {})\n", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: cannot serialize {}: {e}", self.id),
+        if let Err(e) = fs::write(&path, self.to_json()) {
+            eprintln!("warning: cannot write {path:?}: {e}");
+        } else {
+            println!("(wrote {})\n", path.display());
         }
     }
 }
 
-/// Default results directory: `results/` at the workspace root (or the
-/// current directory when run elsewhere).
+/// Default results directory: `results/` at the workspace root.
+/// Anchored at this crate's manifest so binaries (run from the root)
+/// and benches (run from the package dir) agree on the location.
 pub fn results_dir() -> std::path::PathBuf {
-    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
-    // When run via `cargo run -p bellwether-bench`, cwd is the workspace
-    // root already.
-    cwd.join("results")
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest)
+        .join("results")
 }
 
 #[cfg(test)]
@@ -142,6 +236,20 @@ mod tests {
         assert!(s.contains("budget\tA\tB"));
         assert!(s.contains("5\t1.2500\t2.0000"));
         assert!(s.contains("10\t-\t3.0000"));
+    }
+
+    #[test]
+    fn json_shape_round_trips_fields() {
+        let mut fig = FigureReport::new("t3", "q\"uote", "x", "y");
+        let mut a = Series::new("A");
+        a.push(1.0, Some(2.5));
+        a.push(2.0, None);
+        fig.add_series(a);
+        let j = fig.to_json();
+        assert!(j.contains("\"id\": \"t3\""));
+        assert!(j.contains("\\\"uote"));
+        assert!(j.contains("[1.0, 2.5]"));
+        assert!(j.contains("[2.0, null]"));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! entire training data), so a *budget sweep* — the x-axis of Figures 7
 //! and 9 — re-filters the same stored regions by cost instead of
 //! rebuilding training sets. Regions are evaluated in parallel with
-//! crossbeam scoped threads; results are deterministic because the
+//! scoped threads under the config's [`Parallelism`] budget; each worker
+//! owns a contiguous slice of region indices and writes its own result
+//! slots, so the output is identical for every thread count and the
 //! minimum is resolved by (error, region index).
 
 use crate::error::Result;
@@ -14,10 +16,9 @@ use crate::training::block_to_data;
 use bellwether_cube::{CostModel, RegionId, RegionSpace};
 use bellwether_linreg::{fit_wls, ErrorEstimate, LinearModel};
 use bellwether_storage::TrainingSource;
-use serde::{Deserialize, Serialize};
 
 /// The evaluation of one feasible region.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RegionReport {
     /// Index of the region in the training source's scan order.
     pub source_index: usize,
@@ -36,7 +37,7 @@ pub struct RegionReport {
 }
 
 /// Result of a basic bellwether search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BasicSearchResult {
     /// Reports for every region that passed all constraints and fit a
     /// model, in source order.
@@ -122,28 +123,27 @@ pub fn basic_search(
         }))
     };
 
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get().min(8));
+    let threads = config.parallelism.threads_for(n);
     let mut slots: Vec<Result<Option<RegionReport>>> = Vec::with_capacity(n);
-    if threads <= 1 || n < 16 {
+    if threads <= 1 {
         for idx in 0..n {
             slots.push(evaluate(idx));
         }
     } else {
-        slots = crossbeam::thread::scope(|s| {
+        slots = std::thread::scope(|s| {
             let chunk = n.div_ceil(threads);
             let mut handles = Vec::new();
             for t in 0..threads {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
                 let evaluate = &evaluate;
-                handles.push(s.spawn(move |_| (lo..hi).map(evaluate).collect::<Vec<_>>()));
+                handles.push(s.spawn(move || (lo..hi).map(evaluate).collect::<Vec<_>>()));
             }
             handles
                 .into_iter()
                 .flat_map(|h| h.join().expect("search worker panicked"))
                 .collect()
-        })
-        .expect("search scope panicked");
+        });
     }
 
     let mut reports = Vec::new();
@@ -168,7 +168,7 @@ pub fn basic_search(
 
 /// The *linear optimization criterion* of Definition 1: instead of hard
 /// constraints, minimise `Error(h_r) + w₁·κ(r) − w₂·Coverage(r)`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LinearCriterion {
     /// Weight w₁ on the region cost.
     pub cost_weight: f64,
@@ -178,7 +178,7 @@ pub struct LinearCriterion {
 
 /// Result of a linear-criterion search: every modelled region with its
 /// combined score, plus the minimiser.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinearSearchResult {
     /// Region reports (no budget/coverage filtering — the criterion
     /// trades those off instead).
@@ -241,7 +241,7 @@ pub fn basic_search_linear(
 mod tests {
     use super::*;
     use crate::problem::ErrorMeasure;
-    use bellwether_cube::{Dimension, Hierarchy, UniformCellCost};
+    use bellwether_cube::{Dimension, Hierarchy, Parallelism, UniformCellCost};
     use bellwether_linreg::SplitMix64;
     use bellwether_storage::{MemorySource, RegionBlock};
 
@@ -392,6 +392,36 @@ mod tests {
         // Both leaf regions cover all 40 items, so coverage can't
         // distinguish them; the clean region still wins on error.
         assert_eq!(covered.bellwether().unwrap().0.label, "[good]");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 };
+        let seq = basic_search(
+            &src,
+            &space,
+            &cost,
+            &config().with_parallelism(Parallelism::sequential()),
+            40,
+        )
+        .unwrap();
+        for t in [2, 4, 8] {
+            let par = basic_search(
+                &src,
+                &space,
+                &cost,
+                &config().with_parallelism(Parallelism::fixed(t)),
+                40,
+            )
+            .unwrap();
+            assert_eq!(seq.best, par.best);
+            assert_eq!(seq.reports.len(), par.reports.len());
+            for (a, b) in seq.reports.iter().zip(&par.reports) {
+                assert_eq!(a.source_index, b.source_index);
+                assert_eq!(a.error.value.to_bits(), b.error.value.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! per-item selections into inputs for one CUBE pass.
 
 use crate::error::{BellwetherError, Result};
-use bellwether_cube::{CubeInput, Dimension, Measure, RegionSpace};
+use bellwether_cube::{CubeInput, Dimension, Measure, Parallelism, RegionSpace};
 use bellwether_table::ops::AggFunc;
 use bellwether_table::{Table, Value};
 use std::collections::HashMap;
@@ -240,17 +240,29 @@ impl StarDatabase {
     }
 }
 
-/// Apply the §4.2 rewrite: compile feature queries into one CUBE input.
+/// Apply the §4.2 rewrite: compile feature queries into one CUBE input,
+/// with default [`Parallelism`].
 pub fn build_cube_input(
     db: &StarDatabase,
     space: &RegionSpace,
     queries: &[FeatureQuery],
 ) -> Result<CubeInput> {
+    build_cube_input_with(db, space, queries, Parallelism::default())
+}
+
+/// [`build_cube_input`] with an explicit thread budget: measure columns
+/// are materialised query-by-query, so independent queries shard across
+/// workers. Output order is query order regardless of thread count.
+pub fn build_cube_input_with(
+    db: &StarDatabase,
+    space: &RegionSpace,
+    queries: &[FeatureQuery],
+    par: Parallelism,
+) -> Result<CubeInput> {
     let item_ids = db.fact_item_ids()?;
     let coords = db.fact_coords(space)?;
-    let mut measures = Vec::with_capacity(queries.len());
-    for q in queries {
-        let m = match q {
+    let build_measure = |q: &FeatureQuery| -> Result<Measure> {
+        Ok(match q {
             FeatureQuery::FactAgg { name, column, func } => Measure::Numeric {
                 name: name.clone(),
                 func: *func,
@@ -295,9 +307,29 @@ pub fn build_cube_input(
                     values,
                 }
             }
-        };
-        measures.push(m);
-    }
+        })
+    };
+
+    let threads = par.threads_for(queries.len());
+    let results: Vec<Result<Measure>> = if threads <= 1 {
+        queries.iter().map(build_measure).collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = queries.len() * w / threads;
+                    let hi = queries.len() * (w + 1) / threads;
+                    let build_measure = &build_measure;
+                    s.spawn(move || queries[lo..hi].iter().map(build_measure).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("measure worker panicked"))
+                .collect()
+        })
+    };
+    let measures = results.into_iter().collect::<Result<Vec<Measure>>>()?;
     Ok(CubeInput {
         item_ids,
         coords,

@@ -52,19 +52,23 @@ pub use combinatorial::{greedy_combinatorial_search, CombinatorialResult};
 pub use cube::explore::{cross_tab, render_cross_tab, CrossTabCell};
 pub use cube::naive::build_naive_cube;
 pub use cube::optimized::{build_optimized_cube, build_optimized_cube_cv};
-pub use cube::predict::{candidate_cells, select_cell, select_cell_for_item};
+pub use cube::predict::{
+    candidate_cells, select_cell, select_cell_for_item, select_cells_for_items,
+};
 pub use cube::single_scan::build_single_scan_cube;
 pub use cube::{BellwetherCube, CubeConfig, SubsetCell};
 pub use error::{BellwetherError, Result};
+pub use bellwether_cube::Parallelism;
 pub use features::{
-    auto_generate_queries, build_cube_input, global_target, FeatureQuery, StarDatabase,
+    auto_generate_queries, build_cube_input, build_cube_input_with, global_target, FeatureQuery,
+    StarDatabase,
 };
 pub use items::ItemTable;
 pub use predict::{evaluate_method, EvalContext, ItemCentricEval, Method};
 pub use problem::{BellwetherConfig, ErrorMeasure};
 pub use sampling::sampling_baseline_error;
 pub use training::{
-    build_memory_source, region_block, write_disk_source,
+    build_memory_source, build_memory_source_with, region_block, write_disk_source,
 };
 pub use tree::naive::build_naive as build_naive_tree;
 pub use tree::prune::prune_tree;

@@ -1,10 +1,10 @@
 //! The bellwether problem definition (Definitions 1 and 2).
 
+use bellwether_cube::Parallelism;
 use bellwether_linreg::{cross_val_estimate, training_set_estimate, ErrorEstimate, RegressionData};
-use serde::{Deserialize, Serialize};
 
 /// How model error is estimated (§2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ErrorMeasure {
     /// k-fold cross-validation RMSE (the paper uses k = 10).
     CrossValidation {
@@ -39,7 +39,7 @@ impl ErrorMeasure {
 
 /// Full configuration of a bellwether analysis run: the constrained
 /// optimization criterion of Definition 1 plus estimation knobs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BellwetherConfig {
     /// Budget B: maximum acquisition cost of the chosen region.
     pub budget: f64,
@@ -52,16 +52,23 @@ pub struct BellwetherConfig {
     /// model is considered (guards meaningless fits; the cube's size
     /// threshold K plays the same role for item subsets).
     pub min_examples: usize,
+    /// Thread budget shared by every parallel code path driven from this
+    /// config (region evaluation, CUBE kernels). Results never depend on
+    /// the chosen value — see the determinism policy in
+    /// `bellwether_cube::parallel`.
+    pub parallelism: Parallelism,
 }
 
 impl BellwetherConfig {
-    /// Defaults: coverage ≥ 0.5, 10-fold CV, at least 10 examples.
+    /// Defaults: coverage ≥ 0.5, 10-fold CV, at least 10 examples,
+    /// hardware parallelism (`BW_THREADS` overridable).
     pub fn new(budget: f64) -> Self {
         BellwetherConfig {
             budget,
             min_coverage: 0.5,
             error_measure: ErrorMeasure::cv10(),
             min_examples: 10,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -80,6 +87,12 @@ impl BellwetherConfig {
     /// Builder-style minimum example count.
     pub fn with_min_examples(mut self, n: usize) -> Self {
         self.min_examples = n;
+        self
+    }
+
+    /// Builder-style thread budget.
+    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
         self
     }
 }
@@ -117,10 +130,12 @@ mod tests {
         let c = BellwetherConfig::new(50.0)
             .with_min_coverage(0.8)
             .with_error_measure(ErrorMeasure::TrainingSet)
-            .with_min_examples(5);
+            .with_min_examples(5)
+            .with_parallelism(Parallelism::fixed(3));
         assert_eq!(c.budget, 50.0);
         assert_eq!(c.min_coverage, 0.8);
         assert_eq!(c.error_measure, ErrorMeasure::TrainingSet);
         assert_eq!(c.min_examples, 5);
+        assert_eq!(c.parallelism, Parallelism::fixed(3));
     }
 }

@@ -13,7 +13,7 @@
 use crate::error::Result;
 use crate::items::ItemTable;
 use crate::problem::ErrorMeasure;
-use bellwether_cube::{CubeResult, RegionId, RegionSpace};
+use bellwether_cube::{CubeResult, Parallelism, RegionId, RegionSpace};
 use bellwether_linreg::{ErrorEstimate, RegressionData};
 use bellwether_storage::{MemorySource, RegionBlock, TrainingSource, TrainingWriter};
 use std::collections::{HashMap, HashSet};
@@ -56,17 +56,53 @@ pub fn region_block(
 }
 
 /// Build an in-memory entire-training-data source over `regions`
-/// (typically the feasible regions, in a fixed scan order).
+/// (typically the feasible regions, in a fixed scan order), with default
+/// [`Parallelism`].
 pub fn build_memory_source(
     cube: &CubeResult,
     regions: &[RegionId],
     items: &ItemTable,
     targets: &HashMap<i64, f64>,
 ) -> MemorySource {
-    let blocks = regions
-        .iter()
-        .map(|r| region_block(cube, r, items, targets))
-        .collect();
+    build_memory_source_with(cube, regions, items, targets, Parallelism::default())
+}
+
+/// [`build_memory_source`] with an explicit thread budget: region blocks
+/// are independent, so they shard across workers. Block order is always
+/// `regions` order — the scan order every algorithm depends on.
+pub fn build_memory_source_with(
+    cube: &CubeResult,
+    regions: &[RegionId],
+    items: &ItemTable,
+    targets: &HashMap<i64, f64>,
+    par: Parallelism,
+) -> MemorySource {
+    let threads = par.threads_for(regions.len());
+    let blocks = if threads <= 1 {
+        regions
+            .iter()
+            .map(|r| region_block(cube, r, items, targets))
+            .collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = regions.len() * w / threads;
+                    let hi = regions.len() * (w + 1) / threads;
+                    s.spawn(move || {
+                        regions[lo..hi]
+                            .iter()
+                            .map(|r| region_block(cube, r, items, targets))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("block worker panicked"))
+                .collect()
+        })
+    };
     MemorySource::new(blocks)
 }
 

@@ -16,12 +16,56 @@
 //!    distinct-FK form keeps the key→value map so set-union dedups
 //!    exactly as `π_FK` requires.
 //!
+//! # Kernel layout
+//!
+//! The hot path is allocation-lean and parallel:
+//!
+//! * Coordinates and item id encode into one dense `u64` **cell key**
+//!   (per-dimension strides over `Dimension::num_values`, times a dense
+//!   item index), so phase 1 groups by a machine word instead of a
+//!   `(Vec<u32>, i64)` tuple.
+//! * Fact rows are cut into fixed [`ROW_CHUNK`]-row chunks. Workers fold
+//!   chunks into small sorted tables (phase 1a), then own disjoint
+//!   contiguous key ranges and merge every chunk's slice of their range
+//!   **in chunk order** (phase 1b) — into a flat dense table when the
+//!   key space is small, a hash table otherwise.
+//! * Phase 2 rolls base cells up with precomputed per-dimension ancestor
+//!   key tables; workers own disjoint region-key ranges, so no locks and
+//!   no duplicated work, and each output cell accumulates contributions
+//!   in ascending base-key order.
+//!
+//! Because chunk boundaries and merge order are fixed properties of the
+//! *input* — never of the worker count — the result is **bit-identical
+//! for every thread count**, floating-point and all. (The retained
+//! [`cube_pass_reference`] kernel predates this guarantee: it merges in
+//! hash-iteration order, which is stable only for exactly-representable
+//! arithmetic.)
+//!
 //! The result maps every region to its per-item feature vectors, plus
 //! coverage counts — everything basic bellwether search needs.
 
+use crate::fxhash::FxMap;
+use crate::parallel::Parallelism;
 use crate::region::{RegionId, RegionSpace};
+use bellwether_storage::CubeStats;
 use bellwether_table::ops::AggFunc;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::ops::Range;
+
+/// Fixed scan granularity: fact rows are folded in chunks of this many
+/// rows regardless of thread count, which is what makes the parallel
+/// merge order (and hence every floating-point sum) reproducible.
+pub const ROW_CHUNK: usize = 4096;
+
+/// Largest combined key space for which phase-1b merging uses a flat
+/// dense table (per-worker slice of a `Vec`) instead of a hash table.
+const DENSE_SLOTS_MAX: u64 = 1 << 20;
+
+/// Largest item domain for which phase-2 rollup keeps one dense
+/// item-indexed table per region (memory `O(regions × items)`); above
+/// this it falls back to a `(region, item)`-keyed hash table.
+const DENSE_ITEMS_MAX: u64 = 1 << 16;
 
 /// One measure (feature column) to compute per `(region, item)`.
 #[derive(Debug, Clone)]
@@ -90,7 +134,7 @@ enum CellState {
     Avg { total: f64, count: u64 },
     Min(Option<f64>),
     Max(Option<f64>),
-    Distinct { func: AggFunc, keys: HashMap<i64, f64> },
+    Distinct { func: AggFunc, keys: FxMap<i64, f64> },
 }
 
 impl CellState {
@@ -114,7 +158,7 @@ impl CellState {
             },
             Measure::DistinctKeyed { func, .. } => CellState::Distinct {
                 func: *func,
-                keys: HashMap::new(),
+                keys: FxMap::default(),
             },
         }
     }
@@ -206,12 +250,16 @@ impl CellState {
                 if keys.is_empty() {
                     return None;
                 }
-                let vals = keys.values();
+                // Reduce in key order so the float result does not depend
+                // on hash-map iteration (part of the determinism policy).
+                let mut pairs: Vec<(i64, f64)> = keys.iter().map(|(&k, &v)| (k, v)).collect();
+                pairs.sort_unstable_by_key(|&(k, _)| k);
+                let vals = pairs.iter().map(|&(_, v)| v);
                 Some(match func {
                     AggFunc::Sum => vals.sum(),
-                    AggFunc::Avg => vals.sum::<f64>() / keys.len() as f64,
-                    AggFunc::Min => vals.fold(f64::INFINITY, |a, &b| a.min(b)),
-                    AggFunc::Max => vals.fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+                    AggFunc::Avg => vals.sum::<f64>() / pairs.len() as f64,
+                    AggFunc::Min => vals.fold(f64::INFINITY, f64::min),
+                    AggFunc::Max => vals.fold(f64::NEG_INFINITY, f64::max),
                     AggFunc::Count | AggFunc::CountDistinct => unreachable!(),
                 })
             }
@@ -249,8 +297,536 @@ impl CubeResult {
     }
 }
 
-/// Run the CUBE pass over fact data.
+/// Dense `u64` encoding of `(finest coords, item)` keys.
+///
+/// Cell coordinates use per-dimension strides over `num_values` (so the
+/// *same* encoding covers both finest cells and region coordinates);
+/// the item id maps through a dense index over the distinct ids. `build`
+/// returns `None` when the combined key space cannot fit a `u64` with
+/// headroom — callers then fall back to [`cube_pass_reference`].
+struct KeySpace {
+    strides: Vec<u64>,
+    num_values: Vec<u64>,
+    cell_space: u64,
+    /// Dense item index → item id, sorted ascending.
+    items: Vec<i64>,
+    item_index: FxMap<i64, u32>,
+    n_items: u64,
+}
+
+impl KeySpace {
+    fn build(space: &RegionSpace, item_ids: &[i64]) -> Option<KeySpace> {
+        let num_values: Vec<u64> = space
+            .dims()
+            .iter()
+            .map(|d| d.num_values() as u64)
+            .collect();
+        if num_values.contains(&0) {
+            return None;
+        }
+        let mut strides = vec![1u64; num_values.len()];
+        let mut acc: u128 = 1;
+        for d in (0..num_values.len()).rev() {
+            strides[d] = u64::try_from(acc).ok()?;
+            acc *= num_values[d] as u128;
+        }
+        let cell_space = u64::try_from(acc).ok()?;
+        let mut items: Vec<i64> = item_ids.to_vec();
+        items.sort_unstable();
+        items.dedup();
+        if items.len() > u32::MAX as usize {
+            return None;
+        }
+        let n_items = items.len() as u64;
+        if (cell_space as u128) * (n_items as u128) > (1u128 << 62) {
+            return None;
+        }
+        let item_index = items.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        Some(KeySpace {
+            strides,
+            num_values,
+            cell_space,
+            items,
+            item_index,
+            n_items,
+        })
+    }
+
+    #[inline]
+    fn cell_key(&self, coords: &[u32]) -> u64 {
+        coords
+            .iter()
+            .zip(&self.strides)
+            .map(|(&c, &s)| c as u64 * s)
+            .sum()
+    }
+
+    fn decode_region(&self, key: u64) -> Vec<u32> {
+        let mut rem = key;
+        self.strides
+            .iter()
+            .map(|&s| {
+                let v = rem / s;
+                rem %= s;
+                v as u32
+            })
+            .collect()
+    }
+}
+
+/// Base cells of one row chunk, sorted by key.
+type ChunkTable = Vec<(u64, Vec<CellState>)>;
+
+/// Per-item feature vectors of one region.
+type ItemFeatures = HashMap<i64, Vec<Option<f64>>>;
+
+fn chunk_range(chunk: usize, n: usize) -> Range<usize> {
+    chunk * ROW_CHUNK..((chunk + 1) * ROW_CHUNK).min(n)
+}
+
+/// Even split point `w` of `space` into `t` contiguous ranges.
+fn split_point(space: u64, w: usize, t: usize) -> u64 {
+    ((space as u128 * w as u128) / t as u128) as u64
+}
+
+/// Phase 1a for one chunk: fold its rows into a key-sorted table.
+fn fold_chunk<K>(input: &CubeInput, arity: usize, rows: Range<usize>, key_of: &K) -> ChunkTable
+where
+    K: Fn(usize, &[u32]) -> Option<u64>,
+{
+    let mut index: FxMap<u64, u32> = FxMap::default();
+    let mut table: ChunkTable = Vec::new();
+    for row in rows {
+        let coords = &input.coords[row * arity..(row + 1) * arity];
+        let Some(key) = key_of(row, coords) else {
+            continue;
+        };
+        let slot = *index.entry(key).or_insert_with(|| {
+            table.push((key, input.measures.iter().map(CellState::new).collect()));
+            (table.len() - 1) as u32
+        });
+        let (_, states) = &mut table[slot as usize];
+        for (state, measure) in states.iter_mut().zip(&input.measures) {
+            state.update(measure, row);
+        }
+    }
+    table.sort_unstable_by_key(|&(k, _)| k);
+    table
+}
+
+/// Phase 1a: fold all rows chunk by chunk, sharding chunks over
+/// `threads` workers. The returned tables are in chunk order — the
+/// partition of chunks onto workers never shows in the output.
+fn scan_chunks<K>(input: &CubeInput, arity: usize, threads: usize, key_of: &K) -> Vec<ChunkTable>
+where
+    K: Fn(usize, &[u32]) -> Option<u64> + Sync,
+{
+    let n = input.item_ids.len();
+    let n_chunks = n.div_ceil(ROW_CHUNK);
+    if threads <= 1 {
+        return (0..n_chunks)
+            .map(|c| fold_chunk(input, arity, chunk_range(c, n), key_of))
+            .collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let lo = n_chunks * w / threads;
+                let hi = n_chunks * (w + 1) / threads;
+                s.spawn(move || {
+                    (lo..hi)
+                        .map(|c| fold_chunk(input, arity, chunk_range(c, n), key_of))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("cube scan worker panicked"))
+            .collect()
+    })
+}
+
+/// Phase 1b for one key range: merge every chunk's slice of `[lo, hi)`
+/// in chunk order. Returns the range's base cells sorted by key.
+fn merge_range(
+    tables: &[ChunkTable],
+    lo: u64,
+    hi: u64,
+    dense: bool,
+    merges: &mut u64,
+) -> Vec<(u64, Vec<CellState>)> {
+    if dense {
+        let mut slots: Vec<Option<Vec<CellState>>> = vec![None; (hi - lo) as usize];
+        for t in tables {
+            let a = t.partition_point(|&(k, _)| k < lo);
+            let b = t.partition_point(|&(k, _)| k < hi);
+            for (k, states) in &t[a..b] {
+                match &mut slots[(k - lo) as usize] {
+                    Some(existing) => {
+                        for (x, y) in existing.iter_mut().zip(states) {
+                            x.merge(y);
+                        }
+                        *merges += 1;
+                    }
+                    slot @ None => *slot = Some(states.clone()),
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|st| (lo + i as u64, st)))
+            .collect()
+    } else {
+        let mut map: FxMap<u64, Vec<CellState>> = FxMap::default();
+        for t in tables {
+            let a = t.partition_point(|&(k, _)| k < lo);
+            let b = t.partition_point(|&(k, _)| k < hi);
+            for (k, states) in &t[a..b] {
+                match map.entry(*k) {
+                    Entry::Occupied(mut e) => {
+                        for (x, y) in e.get_mut().iter_mut().zip(states) {
+                            x.merge(y);
+                        }
+                        *merges += 1;
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(states.clone());
+                    }
+                }
+            }
+        }
+        let mut out: Vec<_> = map.into_iter().collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+}
+
+/// Phase 1b: merge chunk tables into per-worker shards of contiguous
+/// key ranges. Concatenating the shards in order yields all base cells
+/// sorted by key — for every worker count.
+fn merge_chunks(
+    tables: &[ChunkTable],
+    key_space: u64,
+    threads: usize,
+) -> (Vec<ChunkTable>, u64) {
+    let dense = key_space <= DENSE_SLOTS_MAX;
+    if threads <= 1 {
+        let mut merges = 0;
+        let shard = merge_range(tables, 0, key_space, dense, &mut merges);
+        return (vec![shard], merges);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let lo = split_point(key_space, w, threads);
+                let hi = split_point(key_space, w + 1, threads);
+                s.spawn(move || {
+                    let mut merges = 0;
+                    let shard = merge_range(tables, lo, hi, dense, &mut merges);
+                    (shard, merges)
+                })
+            })
+            .collect();
+        let mut shards = Vec::with_capacity(threads);
+        let mut merges = 0;
+        for h in handles {
+            let (shard, m) = h.join().expect("cube merge worker panicked");
+            shards.push(shard);
+            merges += m;
+        }
+        (shards, merges)
+    })
+}
+
+/// The region keys containing `cell_key` that fall in `[lo, hi)`,
+/// written into `out`: an odometer over the per-dimension ancestor key
+/// contributions, maintaining the key sum incrementally.
+fn expansion_keys(
+    cell_key: u64,
+    ks: &KeySpace,
+    anc_keys: &[Vec<Vec<u64>>],
+    lo: u64,
+    hi: u64,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    let arity = ks.strides.len();
+    let mut lists: Vec<&[u64]> = Vec::with_capacity(arity);
+    let mut rem = cell_key;
+    for (&stride, anc_d) in ks.strides.iter().zip(anc_keys) {
+        let v = (rem / stride) as usize;
+        rem %= stride;
+        lists.push(&anc_d[v]);
+    }
+    let mut idx = vec![0usize; arity];
+    let mut sum: u64 = lists.iter().map(|l| l[0]).sum();
+    loop {
+        if (lo..hi).contains(&sum) {
+            out.push(sum);
+        }
+        let mut d = arity;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            sum -= lists[d][idx[d]];
+            idx[d] += 1;
+            if idx[d] < lists[d].len() {
+                sum += lists[d][idx[d]];
+                break;
+            }
+            idx[d] = 0;
+            sum += lists[d][0];
+        }
+    }
+}
+
+/// Merge one cell's run of `(item index, states)` contributions into
+/// the dense per-region item tables of every key in `expansion`. Runs
+/// arrive in ascending cell-key order, so each `(region, item)` output
+/// accumulates its contributions in the same order for any sharding.
+fn flush_run(
+    expansion: &[u64],
+    run: &[(usize, &[CellState])],
+    n_items: usize,
+    out: &mut FxMap<u64, Vec<Option<Vec<CellState>>>>,
+    merges: &mut u64,
+) {
+    for &rk in expansion {
+        let table = out.entry(rk).or_insert_with(|| vec![None; n_items]);
+        for &(item, states) in run {
+            match &mut table[item] {
+                Some(existing) => {
+                    for (a, b) in existing.iter_mut().zip(states) {
+                        a.merge(b);
+                    }
+                    *merges += 1;
+                }
+                slot @ None => *slot = Some(states.to_vec()),
+            }
+        }
+    }
+}
+
+/// Phase 2: roll base cells up into every containing region. Workers own
+/// disjoint region-key ranges; every worker walks all base cells in key
+/// order, so each output cell accumulates its contributions in a fixed
+/// order and no two workers ever touch the same output cell.
+fn expand_rollup(
+    space: &RegionSpace,
+    ks: &KeySpace,
+    shards: &[ChunkTable],
+    threads: usize,
+) -> (HashMap<RegionId, ItemFeatures>, u64) {
+    // Per-dimension ancestor tables: anc_keys[d][v] lists the key
+    // contribution (ancestor value × stride) of every value containing
+    // v, replacing the per-cell `containing_regions` materialisation.
+    let anc_keys: Vec<Vec<Vec<u64>>> = space
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(d, dim)| {
+            (0..dim.num_values())
+                .map(|v| {
+                    dim.containing_values(v)
+                        .into_iter()
+                        .map(|a| a as u64 * ks.strides[d])
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let worker = |lo: u64, hi: u64| -> (Vec<(RegionId, ItemFeatures)>, u64) {
+        // Base cells with the same coordinates are adjacent in key
+        // order, so the expansion list is memoised per distinct cell
+        // and the cell's items are batched into one run, hashing each
+        // region key once per run instead of once per (region, item).
+        if ks.n_items <= DENSE_ITEMS_MAX {
+            let n_items = ks.n_items as usize;
+            let mut out: FxMap<u64, Vec<Option<Vec<CellState>>>> = FxMap::default();
+            let mut merges = 0u64;
+            let mut cur_cell = u64::MAX;
+            let mut run: Vec<(usize, &[CellState])> = Vec::new();
+            let mut expansion: Vec<u64> = Vec::new();
+            for shard in shards {
+                for (key, states) in shard {
+                    let cell_key = key / ks.n_items;
+                    if cell_key != cur_cell {
+                        flush_run(&expansion, &run, n_items, &mut out, &mut merges);
+                        run.clear();
+                        cur_cell = cell_key;
+                        expansion_keys(cell_key, ks, &anc_keys, lo, hi, &mut expansion);
+                    }
+                    run.push(((key % ks.n_items) as usize, states.as_slice()));
+                }
+            }
+            flush_run(&expansion, &run, n_items, &mut out, &mut merges);
+            let finished = out
+                .into_iter()
+                .map(|(rk, table)| {
+                    let items: ItemFeatures = table
+                        .into_iter()
+                        .enumerate()
+                        .filter_map(|(i, slot)| {
+                            slot.map(|states| {
+                                (ks.items[i], states.iter().map(CellState::finish).collect())
+                            })
+                        })
+                        .collect();
+                    (RegionId(ks.decode_region(rk)), items)
+                })
+                .collect();
+            return (finished, merges);
+        }
+
+        // Huge item domains: dense per-region item tables would cost
+        // O(regions × items) memory, so key the map by (region, item).
+        let mut out: FxMap<u64, Vec<CellState>> = FxMap::default();
+        let mut merges = 0u64;
+        let mut cur_cell = u64::MAX;
+        let mut expansion: Vec<u64> = Vec::new();
+        for shard in shards {
+            for (key, states) in shard {
+                let cell_key = key / ks.n_items;
+                let item_part = key % ks.n_items;
+                if cell_key != cur_cell {
+                    cur_cell = cell_key;
+                    expansion_keys(cell_key, ks, &anc_keys, lo, hi, &mut expansion);
+                }
+                for &rk in &expansion {
+                    match out.entry(rk * ks.n_items + item_part) {
+                        Entry::Occupied(mut e) => {
+                            for (a, b) in e.get_mut().iter_mut().zip(states) {
+                                a.merge(b);
+                            }
+                            merges += 1;
+                        }
+                        Entry::Vacant(e) => {
+                            e.insert(states.clone());
+                        }
+                    }
+                }
+            }
+        }
+        let mut per_region: FxMap<u64, HashMap<i64, Vec<Option<f64>>>> = FxMap::default();
+        for (combined, states) in out {
+            let region_key = combined / ks.n_items;
+            let item = ks.items[(combined % ks.n_items) as usize];
+            per_region
+                .entry(region_key)
+                .or_default()
+                .insert(item, states.iter().map(CellState::finish).collect());
+        }
+        let finished = per_region
+            .into_iter()
+            .map(|(rk, items)| (RegionId(ks.decode_region(rk)), items))
+            .collect();
+        (finished, merges)
+    };
+
+    let mut regions = HashMap::new();
+    let mut merges = 0;
+    if threads <= 1 {
+        let (finished, m) = worker(0, ks.cell_space);
+        regions.extend(finished);
+        merges += m;
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = split_point(ks.cell_space, w, threads);
+                    let hi = split_point(ks.cell_space, w + 1, threads);
+                    let worker = &worker;
+                    s.spawn(move || worker(lo, hi))
+                })
+                .collect();
+            for h in handles {
+                let (finished, m) = h.join().expect("cube rollup worker panicked");
+                regions.extend(finished);
+                merges += m;
+            }
+        });
+    }
+    (regions, merges)
+}
+
+/// Run the CUBE pass over fact data with default [`Parallelism`].
 pub fn cube_pass(space: &RegionSpace, input: &CubeInput) -> CubeResult {
+    cube_pass_with(space, input, Parallelism::default(), None)
+}
+
+/// Run the CUBE pass with an explicit thread budget and optional
+/// counters. The result is bit-identical for every `Parallelism`.
+pub fn cube_pass_with(
+    space: &RegionSpace,
+    input: &CubeInput,
+    par: Parallelism,
+    stats: Option<&CubeStats>,
+) -> CubeResult {
+    let n = input.item_ids.len();
+    let arity = space.arity();
+    assert_eq!(input.coords.len(), n * arity, "coords length mismatch");
+    for m in &input.measures {
+        m.check_len(n);
+    }
+
+    let measure_names: Vec<String> = input.measures.iter().map(|m| m.name().to_string()).collect();
+    if n == 0 {
+        return CubeResult {
+            measure_names,
+            regions: HashMap::new(),
+        };
+    }
+    let Some(ks) = KeySpace::build(space, &input.item_ids) else {
+        // Key space too large for dense u64 encoding — use the
+        // tuple-keyed reference kernel.
+        return cube_pass_reference(space, input);
+    };
+
+    let threads = par.threads_for(n.div_ceil(ROW_CHUNK));
+
+    // Phase 1a: chunked base-cell aggregation.
+    let key_of = |row: usize, coords: &[u32]| -> Option<u64> {
+        for (d, (&c, &nv)) in coords.iter().zip(&ks.num_values).enumerate() {
+            assert!((c as u64) < nv, "coordinate {c} out of range on dimension {d}");
+        }
+        let item_idx = ks.item_index[&input.item_ids[row]];
+        Some(ks.cell_key(coords) * ks.n_items + item_idx as u64)
+    };
+    let tables = scan_chunks(input, arity, threads, &key_of);
+
+    // Phase 1b: merge chunks into key-range shards.
+    let (shards, merges_1b) = merge_chunks(&tables, ks.cell_space * ks.n_items, threads);
+    drop(tables);
+    let base_cells: u64 = shards.iter().map(|s| s.len() as u64).sum();
+
+    // Phase 2: rollup expansion.
+    let (regions, merges_2) = expand_rollup(space, &ks, &shards, threads);
+
+    if let Some(st) = stats {
+        st.record_rows_scanned(n as u64);
+        st.record_base_cells(base_cells);
+        st.record_cell_merges(merges_1b + merges_2);
+        st.record_regions_emitted(regions.len() as u64);
+    }
+    CubeResult {
+        measure_names,
+        regions,
+    }
+}
+
+/// The original tuple-keyed, single-threaded CUBE pass, retained as the
+/// differential-testing reference and as the fallback when the dense
+/// key encoding would overflow a `u64`.
+///
+/// Unlike [`cube_pass`], its phase-2 merge order follows hash-map
+/// iteration, so floating-point aggregates are only reproducible when
+/// the arithmetic is exact (e.g. integer-valued sums).
+pub fn cube_pass_reference(space: &RegionSpace, input: &CubeInput) -> CubeResult {
     let n = input.item_ids.len();
     let arity = space.arity();
     assert_eq!(input.coords.len(), n * arity, "coords length mismatch");
@@ -308,7 +884,8 @@ pub fn cube_pass(space: &RegionSpace, input: &CubeInput) -> CubeResult {
 }
 
 /// Aggregate the measures per item over the fact rows whose finest-cell
-/// coordinates pass `row_filter`, with no cube expansion.
+/// coordinates pass `row_filter`, with no cube expansion, using default
+/// [`Parallelism`].
 ///
 /// This evaluates the same feature queries over an *arbitrary* union of
 /// cells — the shape the random-sampling baseline of Figure 7(a) buys,
@@ -316,29 +893,61 @@ pub fn cube_pass(space: &RegionSpace, input: &CubeInput) -> CubeResult {
 pub fn aggregate_filtered(
     input: &CubeInput,
     arity: usize,
-    mut row_filter: impl FnMut(&[u32]) -> bool,
+    row_filter: impl Fn(&[u32]) -> bool + Sync,
+) -> HashMap<i64, Vec<Option<f64>>> {
+    aggregate_filtered_with(input, arity, row_filter, Parallelism::default(), None)
+}
+
+/// [`aggregate_filtered`] with an explicit thread budget and optional
+/// counters. Runs on the same chunked phase-1 kernel as [`cube_pass`]
+/// (keyed by dense item index alone), so it inherits the bit-identical
+/// determinism guarantee.
+pub fn aggregate_filtered_with(
+    input: &CubeInput,
+    arity: usize,
+    row_filter: impl Fn(&[u32]) -> bool + Sync,
+    par: Parallelism,
+    stats: Option<&CubeStats>,
 ) -> HashMap<i64, Vec<Option<f64>>> {
     let n = input.item_ids.len();
     assert_eq!(input.coords.len(), n * arity, "coords length mismatch");
     for m in &input.measures {
         m.check_len(n);
     }
-    let mut items: HashMap<i64, Vec<CellState>> = HashMap::new();
-    for row in 0..n {
-        let coords = &input.coords[row * arity..(row + 1) * arity];
-        if !row_filter(coords) {
-            continue;
-        }
-        let states = items
-            .entry(input.item_ids[row])
-            .or_insert_with(|| input.measures.iter().map(CellState::new).collect());
-        for (state, measure) in states.iter_mut().zip(&input.measures) {
-            state.update(measure, row);
-        }
+    if n == 0 {
+        return HashMap::new();
     }
-    items
+
+    let mut items: Vec<i64> = input.item_ids.clone();
+    items.sort_unstable();
+    items.dedup();
+    let item_index: FxMap<i64, u64> = items
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i as u64))
+        .collect();
+
+    let threads = par.threads_for(n.div_ceil(ROW_CHUNK));
+    let key_of = |row: usize, coords: &[u32]| -> Option<u64> {
+        row_filter(coords).then(|| item_index[&input.item_ids[row]])
+    };
+    let tables = scan_chunks(input, arity, threads, &key_of);
+    let (shards, merges) = merge_chunks(&tables, items.len() as u64, threads);
+    let base_cells: u64 = shards.iter().map(|s| s.len() as u64).sum();
+    if let Some(st) = stats {
+        st.record_rows_scanned(n as u64);
+        st.record_base_cells(base_cells);
+        st.record_cell_merges(merges);
+    }
+    shards
         .into_iter()
-        .map(|(i, states)| (i, states.iter().map(CellState::finish).collect()))
+        .flatten()
+        .map(|(k, states)| {
+            (
+                items[k as usize],
+                states.iter().map(CellState::finish).collect(),
+            )
+        })
         .collect()
 }
 
@@ -525,5 +1134,104 @@ mod tests {
             measures: vec![],
         };
         cube_pass(&s, &inp);
+    }
+
+    fn assert_results_identical(a: &CubeResult, b: &CubeResult) {
+        assert_eq!(a.measure_names, b.measure_names);
+        assert_eq!(a.regions.len(), b.regions.len());
+        for (region, items) in &a.regions {
+            let other = b.regions.get(region).expect("region missing");
+            assert_eq!(items.len(), other.len(), "item count in {region:?}");
+            for (item, values) in items {
+                let ov = other.get(item).expect("item missing");
+                assert_eq!(values.len(), ov.len());
+                for (x, y) in values.iter().zip(ov) {
+                    match (x, y) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.to_bits(), b.to_bits(), "bits differ in {region:?}")
+                        }
+                        _ => panic!("NULL mismatch in {region:?} item {item}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_bits() {
+        let s = space();
+        let inp = input();
+        let base = cube_pass_with(&s, &inp, Parallelism::sequential(), None);
+        for t in 2..=8 {
+            let par = cube_pass_with(&s, &inp, Parallelism::fixed(t), None);
+            assert_results_identical(&base, &par);
+        }
+    }
+
+    #[test]
+    fn matches_reference_kernel() {
+        let s = space();
+        let inp = input(); // integer-valued, so the reference is exact
+        let fast = cube_pass(&s, &inp);
+        let reference = cube_pass_reference(&s, &inp);
+        assert_results_identical(&fast, &reference);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let s = space();
+        let inp = CubeInput {
+            item_ids: vec![],
+            coords: vec![],
+            measures: vec![Measure::Numeric {
+                name: "m".into(),
+                func: AggFunc::Sum,
+                values: vec![],
+            }],
+        };
+        let r = cube_pass(&s, &inp);
+        assert_eq!(r.measure_names, vec!["m".to_string()]);
+        assert!(r.regions.is_empty());
+    }
+
+    #[test]
+    fn stats_counters_are_recorded() {
+        let s = space();
+        let inp = input();
+        let stats = CubeStats::shared();
+        let r = cube_pass_with(&s, &inp, Parallelism::fixed(2), Some(&stats));
+        assert_eq!(stats.rows_scanned(), 4);
+        // 4 rows in 4 distinct (cell, item) combinations → no phase-1
+        // merges, 4 base cells.
+        assert_eq!(stats.base_cells(), 4);
+        assert_eq!(stats.regions_emitted(), r.regions.len() as u64);
+        assert!(stats.cell_merges() > 0); // rollup merges cells
+    }
+
+    #[test]
+    fn filtered_aggregation_stats_and_threads() {
+        let inp = input();
+        let stats = CubeStats::shared();
+        let seq = aggregate_filtered_with(
+            &inp,
+            2,
+            |c| c[1] == 2 || c[1] == 3,
+            Parallelism::sequential(),
+            None,
+        );
+        let par = aggregate_filtered_with(
+            &inp,
+            2,
+            |c| c[1] == 2 || c[1] == 3,
+            Parallelism::fixed(4),
+            Some(&stats),
+        );
+        assert_eq!(seq.len(), par.len());
+        for (item, values) in &seq {
+            assert_eq!(par.get(item), Some(values));
+        }
+        assert_eq!(stats.rows_scanned(), 4);
+        assert_eq!(stats.base_cells(), 2); // two items survive the filter
     }
 }

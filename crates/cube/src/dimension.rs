@@ -12,11 +12,10 @@
 //! The same `Hierarchy` type doubles as an *item hierarchy* (§6.1): item
 //! subsets are regions of the item-attribute space.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One node of a hierarchy tree.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HierNode {
     /// Display label, unique within the hierarchy.
     pub label: String,
@@ -27,7 +26,7 @@ pub struct HierNode {
 }
 
 /// A rooted tree of values; fact/item rows carry leaf labels.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Hierarchy {
     name: String,
     nodes: Vec<HierNode>,
@@ -180,7 +179,7 @@ impl Hierarchy {
 }
 
 /// A dimension of the region space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Dimension {
     /// Incremental intervals `[1..t]`, `t ∈ 1..=max_t`. Value id `v`
     /// denotes the interval `[1 ..= v+1]`.

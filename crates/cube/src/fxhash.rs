@@ -1,0 +1,87 @@
+//! Deterministic multiply-xor hasher for the kernel's internal maps.
+//!
+//! The default `RandomState` SipHash is both slower than needed for
+//! small integer keys and — more importantly — randomly seeded, which
+//! makes `HashMap` iteration order vary run to run. The CUBE kernel's
+//! determinism guarantee requires every internal map to iterate in a
+//! reproducible order, so its maps use this fixed-seed FxHash-style
+//! hasher instead. (Public result maps keep `RandomState`; callers only
+//! ever look keys up in those.)
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-word multiply-xor hasher (the rustc-internal "Fx" construction).
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `HashMap` with the deterministic hasher.
+pub(crate) type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: FxMap<u64, u64> = FxMap::default();
+            for k in [9u64, 2, 55, 13, 1, 40, 7] {
+                m.insert(k, k * 10);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let mut m: FxMap<i64, ()> = FxMap::default();
+        for k in -1000i64..1000 {
+            m.insert(k, ());
+        }
+        assert_eq!(m.len(), 2000);
+    }
+}

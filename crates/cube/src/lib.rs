@@ -8,7 +8,10 @@
 //!   with containment, enumeration and CUBE expansion;
 //! * [`cost`] — monotone cost models (the κ query);
 //! * [`mod@cube_pass`] — one-pass computation of every `(region, item)`
-//!   aggregate, the §4.2 query rewrite;
+//!   aggregate, the §4.2 query rewrite, as a parallel allocation-lean
+//!   kernel with a bit-identical-for-any-thread-count guarantee;
+//! * [`parallel`] — the shared [`Parallelism`] thread-budget knob
+//!   consumed by every multi-threaded code path in the workspace;
 //! * [`iceberg`] — BUC-style bottom-up pruning to the feasible regions
 //!   (cost ≤ B, coverage ≥ C);
 //! * [`rollup`] — generic algebraic-aggregate rollup over the item
@@ -33,12 +36,19 @@
 pub mod cost;
 pub mod cube_pass;
 pub mod dimension;
+mod fxhash;
 pub mod iceberg;
+pub mod parallel;
 pub mod region;
 pub mod rollup;
 
+pub use bellwether_storage::CubeStats;
 pub use cost::{CellTableCost, CostModel, ProductCost, UniformCellCost};
-pub use cube_pass::{aggregate_filtered, cube_pass, CubeInput, CubeResult, Measure};
+pub use cube_pass::{
+    aggregate_filtered, aggregate_filtered_with, cube_pass, cube_pass_reference, cube_pass_with,
+    CubeInput, CubeResult, Measure,
+};
+pub use parallel::Parallelism;
 pub use dimension::{Dimension, HierNode, Hierarchy};
 pub use iceberg::{
     coarser_neighbours, cost_feasible_regions, feasible_regions, feasible_regions_naive,

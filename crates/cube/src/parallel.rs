@@ -1,0 +1,102 @@
+//! Shared parallelism configuration.
+//!
+//! One small knob consumed by every multi-threaded code path in the
+//! workspace — the CUBE-pass kernel, the basic bellwether search, and
+//! training-data materialisation — so thread budgets are decided in one
+//! place instead of per-call-site hardcoded caps.
+//!
+//! **Determinism policy:** no algorithm in this workspace may let the
+//! thread count influence its output. Work is split into fixed-size
+//! chunks whose partial results are combined in a fixed order, so any
+//! `Parallelism` produces bit-identical results (see `cube_pass`).
+
+/// Thread-budget configuration for parallel kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Upper bound on worker threads; `None` uses the hardware
+    /// parallelism reported by the OS.
+    pub max_threads: Option<usize>,
+    /// Minimum number of work items (rows-chunks, regions, …) each
+    /// worker must receive before an extra thread is worth spawning.
+    pub min_work_per_thread: usize,
+}
+
+impl Default for Parallelism {
+    /// Hardware parallelism, honouring a `BW_THREADS` environment
+    /// override (useful for benchmarking thread-scaling matrices).
+    fn default() -> Self {
+        let max_threads = std::env::var("BW_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        Parallelism {
+            max_threads,
+            min_work_per_thread: 1,
+        }
+    }
+}
+
+impl Parallelism {
+    /// Force single-threaded execution.
+    pub fn sequential() -> Self {
+        Parallelism {
+            max_threads: Some(1),
+            min_work_per_thread: 1,
+        }
+    }
+
+    /// Exactly `n` worker threads (clamped to ≥ 1), regardless of the
+    /// hardware count. Used by the thread-scaling benches.
+    pub fn fixed(n: usize) -> Self {
+        Parallelism {
+            max_threads: Some(n.max(1)),
+            min_work_per_thread: 1,
+        }
+    }
+
+    /// Builder-style minimum work per thread.
+    pub fn with_min_work_per_thread(mut self, n: usize) -> Self {
+        self.min_work_per_thread = n.max(1);
+        self
+    }
+
+    /// The number of worker threads to use for `work_items` independent
+    /// pieces of work: capped by hardware, by `max_threads`, and by the
+    /// work available. Always at least 1.
+    pub fn threads_for(&self, work_items: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let cap = self.max_threads.map_or(hw, |m| m.max(1));
+        let by_work = work_items / self.min_work_per_thread.max(1);
+        cap.min(by_work).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_one_thread() {
+        assert_eq!(Parallelism::sequential().threads_for(1_000_000), 1);
+    }
+
+    #[test]
+    fn fixed_overrides_hardware() {
+        assert_eq!(Parallelism::fixed(4).threads_for(1_000_000), 4);
+        assert_eq!(Parallelism::fixed(0).threads_for(10), 1);
+    }
+
+    #[test]
+    fn work_bounds_threads() {
+        let p = Parallelism::fixed(8);
+        assert_eq!(p.threads_for(3), 3);
+        assert_eq!(p.threads_for(0), 1);
+    }
+
+    #[test]
+    fn min_work_per_thread_throttles() {
+        let p = Parallelism::fixed(8).with_min_work_per_thread(100);
+        assert_eq!(p.threads_for(250), 2);
+        assert_eq!(p.threads_for(99), 1);
+    }
+}

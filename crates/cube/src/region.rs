@@ -6,11 +6,10 @@
 //! expansion used by the CUBE pass.
 
 use crate::dimension::Dimension;
-use serde::{Deserialize, Serialize};
 
 /// One value per dimension. Doubles as a *subset id* for item
 /// hierarchies (§6.1) — the machinery is identical.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub Vec<u32>);
 
 impl RegionId {
@@ -32,7 +31,7 @@ impl From<Vec<u32>> for RegionId {
 }
 
 /// The product space of all candidate regions over a set of dimensions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RegionSpace {
     dims: Vec<Dimension>,
 }

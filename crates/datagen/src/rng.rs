@@ -1,15 +1,14 @@
 //! Seeded random helpers shared by all generators.
 //!
-//! Everything is driven by a `StdRng` with an explicit seed so each
+//! Everything is driven by an explicit-seeded SplitMix64 stream so each
 //! experiment in EXPERIMENTS.md regenerates byte-identical datasets.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! (The generator is self-contained: the build environment has no
+//! crates.io access, so `rand` cannot be a dependency.)
 
 /// Deterministic random source with the distributions the generators
 /// need (uniform, normal via Box–Muller, log-normal).
 pub struct Gen {
-    rng: StdRng,
+    state: u64,
     spare_normal: Option<f64>,
 }
 
@@ -17,24 +16,40 @@ impl Gen {
     /// Seeded generator.
     pub fn new(seed: u64) -> Self {
         Gen {
-            rng: StdRng::seed_from_u64(seed),
+            state: seed,
             spare_normal: None,
         }
     }
 
+    /// Next raw 64-bit value (SplitMix64).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 random mantissa bits.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
     /// Uniform in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.gen_range(lo..hi)
+        assert!(lo < hi, "empty uniform range");
+        lo + (hi - lo) * self.unit()
     }
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: usize) -> usize {
-        self.rng.gen_range(0..n)
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Bernoulli with probability `p`.
     pub fn flip(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// Standard normal via Box–Muller (cached pair).
@@ -42,8 +57,8 @@ impl Gen {
         if let Some(z) = self.spare_normal.take() {
             return z;
         }
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let u1: f64 = self.unit().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.unit();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare_normal = Some(r * theta.sin());
@@ -63,7 +78,7 @@ impl Gen {
     /// Shuffle a slice in place.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.below(i + 1);
             xs.swap(i, j);
         }
     }

@@ -8,10 +8,9 @@
 //! comes from the variance of the per-fold cross-validation errors (§2).
 
 use crate::stats::{mean, normal_quantile, sample_std};
-use serde::{Deserialize, Serialize};
 
 /// An error estimate: a point value plus a standard error of that value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorEstimate {
     /// Point estimate of the error (e.g. mean fold RMSE).
     pub value: f64,

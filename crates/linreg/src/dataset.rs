@@ -1,7 +1,6 @@
 //! Flat row-major regression datasets: the `(X, Y, W)` triples that
 //! region training sets reduce to once features are generated.
 
-use serde::{Deserialize, Serialize};
 
 /// A regression training set: `n` examples of `p` features each, with
 /// targets and per-example weights (all 1.0 for ordinary least squares).
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Rows are stored row-major in one flat buffer for cache-friendly scans;
 /// `p` includes the intercept column if the caller added one (see
 /// [`RegressionData::push_with_intercept`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionData {
     p: usize,
     xs: Vec<f64>,

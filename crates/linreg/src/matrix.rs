@@ -2,12 +2,11 @@
 //! weighted least squares over the handful of features bellwether
 //! models use (p is typically < 20, while n may be large).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
 /// Dense row-major `rows × cols` matrix of `f64`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

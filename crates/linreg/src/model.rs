@@ -2,11 +2,10 @@
 
 use crate::dataset::RegressionData;
 use crate::suffstats::RegSuffStats;
-use serde::{Deserialize, Serialize};
 
 /// A fitted linear model `ŷ = x'β`. The intercept, if any, is the
 /// coefficient of a constant-1 feature column supplied by the caller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearModel {
     beta: Vec<f64>,
 }

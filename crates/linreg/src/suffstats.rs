@@ -19,10 +19,9 @@ use crate::cholesky::solve_spd_ridged;
 use crate::dataset::RegressionData;
 use crate::matrix::Matrix;
 use crate::model::LinearModel;
-use serde::{Deserialize, Serialize};
 
 /// Accumulated `⟨Y'WY, X'WX, X'WY, n, Σw⟩` for one example subset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegSuffStats {
     p: usize,
     n: usize,

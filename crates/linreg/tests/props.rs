@@ -5,47 +5,47 @@ use bellwether_linreg::{
     cross_validate, fit_ols, normal_quantile, solve_spd_ridged, Cholesky, Matrix,
     RegSuffStats, RegressionData,
 };
-use proptest::prelude::*;
+use bellwether_prop::{check, Rng};
 
 /// A random SPD matrix A = M'M + I.
-fn spd_strategy(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-3.0..3.0f64, n * n).prop_map(move |data| {
-        let m = Matrix::from_rows(n, n, data);
-        let mut a = m.transpose().matmul(&m);
-        for i in 0..n {
-            a[(i, i)] += 1.0;
-        }
-        a
-    })
+fn spd(rng: &mut Rng, n: usize) -> Matrix {
+    let data: Vec<f64> = (0..n * n).map(|_| rng.f64_in(-3.0, 3.0)).collect();
+    let m = Matrix::from_rows(n, n, data);
+    let mut a = m.transpose().matmul(&m);
+    for i in 0..n {
+        a[(i, i)] += 1.0;
+    }
+    a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cholesky_solves_spd_systems(a in spd_strategy(4), x in prop::collection::vec(-10.0..10.0f64, 4)) {
+#[test]
+fn cholesky_solves_spd_systems() {
+    check("cholesky_solves_spd_systems", 64, |rng| {
+        let a = spd(rng, 4);
+        let x: Vec<f64> = (0..4).map(|_| rng.f64_in(-10.0, 10.0)).collect();
         let b = a.matvec(&x);
         let solved = Cholesky::factor(&a).unwrap().solve(&b);
         for (s, t) in solved.iter().zip(&x) {
-            prop_assert!((s - t).abs() < 1e-6, "{s} vs {t}");
+            assert!((s - t).abs() < 1e-6, "{s} vs {t}");
         }
         // Ridged solve agrees on well-conditioned systems.
         let ridged = solve_spd_ridged(&a, &b).unwrap();
         for (s, t) in ridged.iter().zip(&x) {
-            prop_assert!((s - t).abs() < 1e-4);
+            assert!((s - t).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    #[test]
-    fn ols_residuals_are_orthogonal_to_features(
-        rows in prop::collection::vec((-5.0..5.0f64, -100.0..100.0f64), 8..60)
-    ) {
+#[test]
+fn ols_residuals_are_orthogonal_to_features() {
+    check("ols_residuals_are_orthogonal_to_features", 64, |rng| {
+        let rows = rng.vec_of(8, 60, |r| (r.f64_in(-5.0, 5.0), r.f64_in(-100.0, 100.0)));
         // Least-squares optimality: X'(y − Xβ) ≈ 0.
         let mut d = RegressionData::new(2);
         for (x, y) in &rows {
             d.push(&[1.0, *x], *y);
         }
-        let Some(model) = fit_ols(&d) else { return Ok(()); };
+        let Some(model) = fit_ols(&d) else { return };
         let mut g0 = 0.0;
         let mut g1 = 0.0;
         for (x, y, _) in d.iter() {
@@ -54,55 +54,61 @@ proptest! {
             g1 += r * x[1];
         }
         let scale = rows.len() as f64 * 100.0;
-        prop_assert!(g0.abs() < 1e-6 * scale, "intercept gradient {g0}");
-        prop_assert!(g1.abs() < 1e-6 * scale, "slope gradient {g1}");
-    }
+        assert!(g0.abs() < 1e-6 * scale, "intercept gradient {g0}");
+        assert!(g1.abs() < 1e-6 * scale, "slope gradient {g1}");
+    });
+}
 
-    #[test]
-    fn suffstats_sse_is_minimal_at_fit(
-        rows in prop::collection::vec((-5.0..5.0f64, -50.0..50.0f64), 6..40),
-        db0 in -1.0..1.0f64,
-        db1 in -1.0..1.0f64,
-    ) {
+#[test]
+fn suffstats_sse_is_minimal_at_fit() {
+    check("suffstats_sse_is_minimal_at_fit", 64, |rng| {
+        let rows = rng.vec_of(6, 40, |r| (r.f64_in(-5.0, 5.0), r.f64_in(-50.0, 50.0)));
+        let db0 = rng.f64_in(-1.0, 1.0);
+        let db1 = rng.f64_in(-1.0, 1.0);
         let mut d = RegressionData::new(2);
         for (x, y) in &rows {
             d.push(&[1.0, *x], *y);
         }
         let stats = RegSuffStats::from_dataset(&d);
-        let Some(model) = stats.fit() else { return Ok(()); };
+        let Some(model) = stats.fit() else { return };
         let fitted_sse = stats.sse_of_model(&model);
         // Any perturbed model can't do better.
         let perturbed = bellwether_linreg::LinearModel::new(vec![
             model.coefficients()[0] + db0,
             model.coefficients()[1] + db1,
         ]);
-        prop_assert!(stats.sse_of_model(&perturbed) >= fitted_sse - 1e-6);
-    }
+        assert!(stats.sse_of_model(&perturbed) >= fitted_sse - 1e-6);
+    });
+}
 
-    #[test]
-    fn cv_error_nonnegative_and_finite(
-        rows in prop::collection::vec((-5.0..5.0f64, -50.0..50.0f64), 12..80),
-        k in 2usize..10,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn cv_error_nonnegative_and_finite() {
+    check("cv_error_nonnegative_and_finite", 64, |rng| {
+        let rows = rng.vec_of(12, 80, |r| (r.f64_in(-5.0, 5.0), r.f64_in(-50.0, 50.0)));
+        let k = rng.usize_in(2, 10);
+        let seed = rng.next_u64() % 100;
         let mut d = RegressionData::new(2);
         for (x, y) in &rows {
             d.push(&[1.0, *x], *y);
         }
         if let Some(result) = cross_validate(&d, k, seed) {
             for e in &result.fold_rmses {
-                prop_assert!(e.is_finite() && *e >= 0.0);
+                assert!(e.is_finite() && *e >= 0.0);
             }
             let est = result.estimate();
-            prop_assert!(est.value >= 0.0);
-            prop_assert!(est.std_err >= 0.0);
+            assert!(est.value >= 0.0);
+            assert!(est.std_err >= 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn normal_quantile_is_monotone(a in 0.001..0.999f64, b in 0.001..0.999f64) {
+#[test]
+fn normal_quantile_is_monotone() {
+    check("normal_quantile_is_monotone", 128, |rng| {
+        let a = rng.f64_in(0.001, 0.999);
+        let b = rng.f64_in(0.001, 0.999);
         if a < b {
-            prop_assert!(normal_quantile(a) <= normal_quantile(b));
+            assert!(normal_quantile(a) <= normal_quantile(b));
         }
-    }
+    });
 }

@@ -1,6 +1,5 @@
 //! The unit of training-data storage: one region's training set.
 
-use serde::{Deserialize, Serialize};
 
 /// The training set of one feasible region: for each item with data in
 /// the region, its query-generated feature vector and target value.
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// All regions of one entire-training-data store share the feature arity
 /// `p` (the same feature queries are issued per region). Coordinates are
 /// the region's dimension-value ids, opaque to this crate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionBlock {
     /// Region coordinates (one dimension-value id per dimension).
     pub region: Vec<u32>,

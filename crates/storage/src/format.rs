@@ -16,8 +16,84 @@
 //! loads the index once and then reads regions randomly or sequentially.
 
 use crate::block::RegionBlock;
-use bytes::{Buf, BufMut};
 use std::io;
+
+/// Minimal little-endian cursor over a byte slice (stand-in for the
+/// `bytes` crate, which the offline build environment cannot fetch).
+/// Length checks are the callers' job — exactly as with `bytes::Buf`,
+/// reads past the end panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.buf.split_at(N);
+        self.buf = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+
+    fn copy_to_slice(&mut self, out: &mut [u8]) {
+        let (head, tail) = self.buf.split_at(out.len());
+        out.copy_from_slice(head);
+        self.buf = tail;
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take())
+    }
+}
+
+/// Little-endian append helpers mirroring `bytes::BufMut`.
+trait PutLe {
+    fn put_slice(&mut self, s: &[u8]);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
 
 /// File magic.
 pub const MAGIC: &[u8; 4] = b"BWTD";
@@ -56,10 +132,11 @@ pub fn encode_header(h: &Header, out: &mut Vec<u8>) {
 pub const HEADER_LEN: usize = 4 + 4 + 4 + 4;
 
 /// Decode and validate the header.
-pub fn decode_header(mut buf: &[u8]) -> io::Result<Header> {
+pub fn decode_header(buf: &[u8]) -> io::Result<Header> {
     if buf.len() < HEADER_LEN {
         return Err(bad("truncated header"));
     }
+    let mut buf = Cursor::new(buf);
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
@@ -95,7 +172,8 @@ pub fn encode_block(block: &RegionBlock, out: &mut Vec<u8>) {
 }
 
 /// Decode one region block from its exact byte span.
-pub fn decode_block(mut buf: &[u8]) -> io::Result<RegionBlock> {
+pub fn decode_block(buf: &[u8]) -> io::Result<RegionBlock> {
+    let mut buf = Cursor::new(buf);
     if buf.remaining() < 4 {
         return Err(bad("truncated block"));
     }
@@ -141,10 +219,11 @@ pub fn encode_index(entries: &[IndexEntry], arity: u32, index_offset: u64, out: 
 pub const FOOTER_LEN: usize = 8 + 8 + 4;
 
 /// Decode the footer: `(index_offset, region_count)`.
-pub fn decode_footer(mut buf: &[u8]) -> io::Result<(u64, u64)> {
+pub fn decode_footer(buf: &[u8]) -> io::Result<(u64, u64)> {
     if buf.len() < FOOTER_LEN {
         return Err(bad("truncated footer"));
     }
+    let mut buf = Cursor::new(buf);
     let index_offset = buf.get_u64_le();
     let count = buf.get_u64_le();
     let mut magic = [0u8; 4];
@@ -156,11 +235,12 @@ pub fn decode_footer(mut buf: &[u8]) -> io::Result<(u64, u64)> {
 }
 
 /// Decode `count` index entries of the given arity.
-pub fn decode_index(mut buf: &[u8], count: u64, arity: u32) -> io::Result<Vec<IndexEntry>> {
+pub fn decode_index(buf: &[u8], count: u64, arity: u32) -> io::Result<Vec<IndexEntry>> {
     let entry_len = 16 + arity as usize * 4;
     if buf.len() < count as usize * entry_len {
         return Err(bad("truncated index"));
     }
+    let mut buf = Cursor::new(buf);
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let offset = buf.get_u64_le();

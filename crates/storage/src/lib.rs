@@ -38,7 +38,7 @@ pub mod source;
 pub mod writer;
 
 pub use block::RegionBlock;
-pub use metrics::IoStats;
+pub use metrics::{CubeStats, IoStats};
 pub use reader::DiskSource;
 pub use source::{MemorySource, TrainingSource};
 pub use writer::TrainingWriter;

@@ -61,9 +61,95 @@ impl IoStats {
     }
 }
 
+/// Shared, thread-safe counters for the CUBE-pass kernel.
+///
+/// Same pattern as [`IoStats`]: relaxed atomics behind an `Arc`, cheap
+/// enough to leave enabled. Workers accumulate locally and publish once
+/// per phase, so the counters cost nothing in the per-row hot loop.
+#[derive(Debug, Default)]
+pub struct CubeStats {
+    rows_scanned: AtomicU64,
+    base_cells: AtomicU64,
+    cell_merges: AtomicU64,
+    regions_emitted: AtomicU64,
+}
+
+impl CubeStats {
+    /// Fresh counters behind an `Arc` for sharing with kernels.
+    pub fn shared() -> Arc<CubeStats> {
+        Arc::new(CubeStats::default())
+    }
+
+    /// Record `n` fact rows scanned in phase 1.
+    pub fn record_rows_scanned(&self, n: u64) {
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` distinct base cells after phase-1 merging.
+    pub fn record_base_cells(&self, n: u64) {
+        self.base_cells.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` cell-state merge operations (phase-1 chunk merging
+    /// plus phase-2 rollup expansion).
+    pub fn record_cell_merges(&self, n: u64) {
+        self.cell_merges.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` non-empty regions emitted by the rollup.
+    pub fn record_regions_emitted(&self, n: u64) {
+        self.regions_emitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total fact rows scanned.
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Total distinct base cells produced by phase 1.
+    pub fn base_cells(&self) -> u64 {
+        self.base_cells.load(Ordering::Relaxed)
+    }
+
+    /// Total cell-state merge operations.
+    pub fn cell_merges(&self) -> u64 {
+        self.cell_merges.load(Ordering::Relaxed)
+    }
+
+    /// Total non-empty regions emitted.
+    pub fn regions_emitted(&self) -> u64 {
+        self.regions_emitted.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters (between experiment phases).
+    pub fn reset(&self) {
+        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.base_cells.store(0, Ordering::Relaxed);
+        self.cell_merges.store(0, Ordering::Relaxed);
+        self.regions_emitted.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cube_stats_accumulate_and_reset() {
+        let s = CubeStats::shared();
+        s.record_rows_scanned(100);
+        s.record_base_cells(10);
+        s.record_cell_merges(25);
+        s.record_regions_emitted(4);
+        s.record_rows_scanned(50);
+        assert_eq!(s.rows_scanned(), 150);
+        assert_eq!(s.base_cells(), 10);
+        assert_eq!(s.cell_merges(), 25);
+        assert_eq!(s.regions_emitted(), 4);
+        s.reset();
+        assert_eq!(s.rows_scanned(), 0);
+        assert_eq!(s.cell_merges(), 0);
+    }
 
     #[test]
     fn records_accumulate_and_reset() {

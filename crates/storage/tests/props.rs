@@ -1,27 +1,28 @@
 //! Property tests: the binary format round-trips arbitrary blocks, and
 //! the disk source agrees with the memory source byte for byte.
 
+use bellwether_prop::{check, Rng};
 use bellwether_storage::{
     DiskSource, MemorySource, RegionBlock, TrainingSource, TrainingWriter,
 };
-use proptest::prelude::*;
 
-fn block_strategy(p: usize, arity: usize) -> impl Strategy<Value = RegionBlock> {
-    let row = (any::<i64>(), prop::collection::vec(-1e12..1e12f64, p + 1));
-    prop::collection::vec(row, 0..25).prop_map(move |rows| {
-        let mut b = RegionBlock::new(vec![1; arity], p as u32);
-        for (id, vals) in rows {
-            b.push(id, &vals[..p], vals[p]);
-        }
-        b
-    })
+fn block(rng: &mut Rng, p: usize, arity: usize) -> RegionBlock {
+    let rows = rng.vec_of(0, 25, |r| {
+        let id = r.next_u64() as i64;
+        let vals: Vec<f64> = (0..p + 1).map(|_| r.f64_in(-1e12, 1e12)).collect();
+        (id, vals)
+    });
+    let mut b = RegionBlock::new(vec![1; arity], p as u32);
+    for (id, vals) in rows {
+        b.push(id, &vals[..p], vals[p]);
+    }
+    b
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn format_round_trips(blocks in prop::collection::vec(block_strategy(3, 2), 1..8)) {
+#[test]
+fn format_round_trips() {
+    check("format_round_trips", 32, |rng| {
+        let blocks = rng.vec_of(1, 8, |r| block(r, 3, 2));
         let dir = std::env::temp_dir().join("bw_storage_props");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("rt_{}.bwtd", std::process::id()));
@@ -34,35 +35,38 @@ proptest! {
         }
         let disk = DiskSource::open(&path).unwrap();
         let mem = MemorySource::new(blocks.clone());
-        prop_assert_eq!(disk.num_regions(), mem.num_regions());
-        prop_assert_eq!(disk.feature_arity(), mem.feature_arity());
+        assert_eq!(disk.num_regions(), mem.num_regions());
+        assert_eq!(disk.feature_arity(), mem.feature_arity());
         for i in 0..blocks.len() {
             let d = disk.read_region(i).unwrap();
             let m = mem.read_region(i).unwrap();
-            prop_assert_eq!(d, m);
+            assert_eq!(d, m);
         }
-        prop_assert_eq!(
+        assert_eq!(
             disk.total_examples().unwrap(),
             blocks.iter().map(|b| b.n() as u64).sum::<u64>()
         );
         std::fs::remove_file(&path).ok();
-    }
+    });
+}
 
-    #[test]
-    fn io_accounting_is_exact(blocks in prop::collection::vec(block_strategy(2, 1), 1..6)) {
+#[test]
+fn io_accounting_is_exact() {
+    check("io_accounting_is_exact", 32, |rng| {
+        let blocks = rng.vec_of(1, 6, |r| block(r, 2, 1));
         let mem = MemorySource::new(blocks.clone());
         for (i, b) in blocks.iter().enumerate() {
             mem.read_region(i).unwrap();
             let _ = b;
         }
-        prop_assert_eq!(mem.stats().regions_read(), blocks.len() as u64);
-        prop_assert_eq!(
+        assert_eq!(mem.stats().regions_read(), blocks.len() as u64);
+        assert_eq!(
             mem.stats().examples_read(),
             blocks.iter().map(|b| b.n() as u64).sum::<u64>()
         );
-        prop_assert_eq!(
+        assert_eq!(
             mem.stats().bytes_read(),
             blocks.iter().map(|b| b.encoded_len() as u64).sum::<u64>()
         );
-    }
+    });
 }

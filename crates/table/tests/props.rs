@@ -1,24 +1,21 @@
 //! Property-based tests of the relational operators.
 
+use bellwether_prop::{check, Rng};
+use bellwether_table::ops::sort::SortOrder;
 use bellwether_table::ops::{
     aggregate, filter, natural_join, project_distinct, sort_by, AggExpr, AggFunc,
 };
-use bellwether_table::ops::sort::SortOrder;
-use bellwether_table::{
-    CmpOp, Column, DataType, Predicate, Schema, Table, Value,
-};
-use proptest::prelude::*;
+use bellwether_table::{CmpOp, Column, DataType, Predicate, Schema, Table, Value};
 use std::collections::{HashMap, HashSet};
 
-fn orders_strategy() -> impl Strategy<Value = Vec<(i64, String, f64)>> {
-    prop::collection::vec(
+fn orders(rng: &mut Rng) -> Vec<(i64, String, f64)> {
+    rng.vec_of(0, 80, |r| {
         (
-            0i64..20,
-            prop_oneof![Just("wi"), Just("md"), Just("ca")].prop_map(String::from),
-            -1000.0..1000.0f64,
-        ),
-        0..80,
-    )
+            r.i64_in(0, 20),
+            r.choice(&["wi", "md", "ca"]).to_string(),
+            r.f64_in(-1000.0, 1000.0),
+        )
+    })
 }
 
 fn build_orders(rows: &[(i64, String, f64)]) -> Table {
@@ -39,58 +36,71 @@ fn build_orders(rows: &[(i64, String, f64)]) -> Table {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn aggregate_sum_matches_manual(rows in orders_strategy()) {
+#[test]
+fn aggregate_sum_matches_manual() {
+    check("aggregate_sum_matches_manual", 64, |rng| {
+        let rows = orders(rng);
         let t = build_orders(&rows);
         let out = aggregate(&t, &["item"], &[AggExpr::new(AggFunc::Sum, "profit")]).unwrap();
         let mut manual: HashMap<i64, f64> = HashMap::new();
         for (item, _, profit) in &rows {
             *manual.entry(*item).or_insert(0.0) += profit;
         }
-        prop_assert_eq!(out.num_rows(), manual.len());
+        assert_eq!(out.num_rows(), manual.len());
         for row in 0..out.num_rows() {
             let item = out.value(row, "item").unwrap().as_int().unwrap();
             let sum = out.value(row, "sum_profit").unwrap().as_float().unwrap();
-            prop_assert!((sum - manual[&item]).abs() < 1e-6);
+            assert!((sum - manual[&item]).abs() < 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn filter_partitions_rows(rows in orders_strategy(), threshold in -1000.0..1000.0f64) {
+#[test]
+fn filter_partitions_rows() {
+    check("filter_partitions_rows", 64, |rng| {
+        let rows = orders(rng);
+        let threshold = rng.f64_in(-1000.0, 1000.0);
         let t = build_orders(&rows);
         let p = Predicate::cmp("profit", CmpOp::Ge, threshold);
         let yes = filter(&t, &p).unwrap();
         let no = filter(&t, &Predicate::Not(Box::new(p))).unwrap();
-        prop_assert_eq!(yes.num_rows() + no.num_rows(), t.num_rows());
+        assert_eq!(yes.num_rows() + no.num_rows(), t.num_rows());
         for row in 0..yes.num_rows() {
-            prop_assert!(yes.value(row, "profit").unwrap().as_float().unwrap() >= threshold);
+            assert!(yes.value(row, "profit").unwrap().as_float().unwrap() >= threshold);
         }
         for row in 0..no.num_rows() {
-            prop_assert!(no.value(row, "profit").unwrap().as_float().unwrap() < threshold);
+            assert!(no.value(row, "profit").unwrap().as_float().unwrap() < threshold);
         }
-    }
+    });
+}
 
-    #[test]
-    fn distinct_projection_is_exactly_the_value_set(rows in orders_strategy()) {
+#[test]
+fn distinct_projection_is_exactly_the_value_set() {
+    check("distinct_projection_is_exactly_the_value_set", 64, |rng| {
+        let rows = orders(rng);
         let t = build_orders(&rows);
         let out = project_distinct(&t, &["state"]).unwrap();
         let expect: HashSet<&str> = rows.iter().map(|r| r.1.as_str()).collect();
-        prop_assert_eq!(out.num_rows(), expect.len());
+        assert_eq!(out.num_rows(), expect.len());
         let got: HashSet<String> = (0..out.num_rows())
             .map(|r| out.value(r, "state").unwrap().as_str().unwrap().to_string())
             .collect();
-        prop_assert_eq!(got, expect.into_iter().map(String::from).collect());
-    }
+        assert_eq!(
+            got,
+            expect.into_iter().map(String::from).collect::<HashSet<_>>()
+        );
+    });
+}
 
-    #[test]
-    fn join_respects_fk_semantics(rows in orders_strategy()) {
+#[test]
+fn join_respects_fk_semantics() {
+    check("join_respects_fk_semantics", 64, |rng| {
+        let rows = orders(rng);
         let t = build_orders(&rows);
         // Reference table covering items 0..10 only.
         let items = Table::new(
-            Schema::from_pairs(&[("item", DataType::Int), ("weight", DataType::Float)]).unwrap(),
+            Schema::from_pairs(&[("item", DataType::Int), ("weight", DataType::Float)])
+                .unwrap(),
             vec![
                 Column::from_ints((0..10).collect()),
                 Column::from_floats((0..10).map(|i| i as f64).collect()),
@@ -99,27 +109,31 @@ proptest! {
         .unwrap();
         let joined = natural_join(&t, &items, "item").unwrap();
         let expect = rows.iter().filter(|r| r.0 < 10).count();
-        prop_assert_eq!(joined.num_rows(), expect);
+        assert_eq!(joined.num_rows(), expect);
         for row in 0..joined.num_rows() {
             let item = joined.value(row, "item").unwrap().as_int().unwrap();
             let w = joined.value(row, "weight").unwrap().as_float().unwrap();
-            prop_assert_eq!(w, item as f64);
+            assert_eq!(w, item as f64);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sort_produces_ordered_permutation(rows in orders_strategy()) {
+#[test]
+fn sort_produces_ordered_permutation() {
+    check("sort_produces_ordered_permutation", 64, |rng| {
+        let rows = orders(rng);
         let t = build_orders(&rows);
-        let out = sort_by(&t, &[("profit", SortOrder::Asc), ("item", SortOrder::Desc)]).unwrap();
-        prop_assert_eq!(out.num_rows(), t.num_rows());
+        let out =
+            sort_by(&t, &[("profit", SortOrder::Asc), ("item", SortOrder::Desc)]).unwrap();
+        assert_eq!(out.num_rows(), t.num_rows());
         for row in 1..out.num_rows() {
             let a = out.value(row - 1, "profit").unwrap();
             let b = out.value(row, "profit").unwrap();
-            prop_assert!(a <= b);
+            assert!(a <= b);
             if a == b {
                 let ia = out.value(row - 1, "item").unwrap();
                 let ib = out.value(row, "item").unwrap();
-                prop_assert!(ia >= ib);
+                assert!(ia >= ib);
             }
         }
         // Same multiset of rows.
@@ -131,30 +145,41 @@ proptest! {
             .collect();
         before.sort();
         after.sort();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after);
+    });
+}
 
-    #[test]
-    fn csv_round_trip(rows in orders_strategy()) {
+#[test]
+fn csv_round_trip() {
+    check("csv_round_trip", 64, |rng| {
+        let rows = orders(rng);
         let t = build_orders(&rows);
         let mut buf = Vec::new();
         bellwether_table::csv::write_csv(&t, &mut buf).unwrap();
-        let back = bellwether_table::csv::read_csv(t.schema().clone(), std::io::Cursor::new(buf)).unwrap();
-        prop_assert_eq!(back.num_rows(), t.num_rows());
+        let back =
+            bellwether_table::csv::read_csv(t.schema().clone(), std::io::Cursor::new(buf))
+                .unwrap();
+        assert_eq!(back.num_rows(), t.num_rows());
         for row in 0..t.num_rows() {
-            prop_assert_eq!(back.value(row, "item").unwrap(), t.value(row, "item").unwrap());
-            prop_assert_eq!(back.value(row, "state").unwrap(), t.value(row, "state").unwrap());
+            assert_eq!(back.value(row, "item").unwrap(), t.value(row, "item").unwrap());
+            assert_eq!(
+                back.value(row, "state").unwrap(),
+                t.value(row, "state").unwrap()
+            );
             let a = back.value(row, "profit").unwrap().as_float().unwrap();
             let b = t.value(row, "profit").unwrap().as_float().unwrap();
-            prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
         }
-    }
+    });
+}
 
-    #[test]
-    fn take_concat_identity(rows in orders_strategy()) {
+#[test]
+fn take_concat_identity() {
+    check("take_concat_identity", 64, |rng| {
+        let rows = orders(rng);
         let t = build_orders(&rows);
         if t.num_rows() == 0 {
-            return Ok(());
+            return;
         }
         let half = t.num_rows() / 2;
         let first: Vec<usize> = (0..half).collect();
@@ -162,20 +187,22 @@ proptest! {
         let a = t.take(&first);
         let b = t.take(&second);
         let back = Table::concat(&[&a, &b]).unwrap();
-        prop_assert_eq!(back.num_rows(), t.num_rows());
+        assert_eq!(back.num_rows(), t.num_rows());
         for row in 0..t.num_rows() {
-            prop_assert_eq!(back.row(row), t.row(row));
+            assert_eq!(back.row(row), t.row(row));
         }
-    }
+    });
+}
 
-    #[test]
-    fn value_ordering_total(xs in prop::collection::vec(-1e6..1e6f64, 3)) {
-        let a = Value::Float(xs[0]);
-        let b = Value::Float(xs[1]);
-        let c = Value::Float(xs[2]);
+#[test]
+fn value_ordering_total() {
+    check("value_ordering_total", 128, |rng| {
+        let a = Value::Float(rng.f64_in(-1e6, 1e6));
+        let b = Value::Float(rng.f64_in(-1e6, 1e6));
+        let c = Value::Float(rng.f64_in(-1e6, 1e6));
         // transitivity spot check
         if a <= b && b <= c {
-            prop_assert!(a <= c);
+            assert!(a <= c);
         }
-    }
+    });
 }

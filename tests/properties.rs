@@ -2,6 +2,8 @@
 //!
 //! * the CUBE pass agrees with direct filtered aggregation on every
 //!   region, for arbitrary fact data;
+//! * the parallel CUBE kernel is bit-identical to the sequential one
+//!   for every tested thread count, space shape and measure mix;
 //! * lattice rollup of counts agrees with the naive per-cell definition;
 //! * iceberg pruning returns exactly the brute-force feasible set;
 //! * the Theorem-1 statistic is merge-order invariant and subtraction
@@ -10,10 +12,10 @@
 
 use bellwether::prelude::*;
 use bellwether_cube::{
-    aggregate_filtered, feasible_regions, feasible_regions_naive, rollup_lattice,
-    rollup_naive, Constraints, Measure,
+    aggregate_filtered, cube_pass_with, feasible_regions, feasible_regions_naive,
+    rollup_lattice, rollup_naive, Constraints, CubeResult, Measure, Parallelism,
 };
-use proptest::prelude::*;
+use bellwether_prop::{check, Rng};
 use std::collections::HashMap;
 
 /// A small two-dimensional space: 3 time points × a 2-level hierarchy.
@@ -33,23 +35,22 @@ fn space() -> RegionSpace {
     ])
 }
 
-/// Leaf coordinates usable in the space above.
-fn leaf_strategy() -> impl Strategy<Value = (u32, u32)> {
-    (0u32..3, prop_oneof![Just(2u32), Just(3u32), Just(5u32)])
+/// Leaf coordinates usable in the space above: a time point and a
+/// hierarchy leaf (node ids 2, 3 and 5).
+fn leaf(rng: &mut Rng) -> (u32, u32) {
+    (rng.u32_in(0, 3), *rng.choice(&[2u32, 3, 5]))
 }
 
-fn fact_strategy() -> impl Strategy<Value = Vec<(i64, (u32, u32), f64)>> {
-    prop::collection::vec(
-        ((0i64..6), leaf_strategy(), -100.0..100.0f64),
-        1..120,
-    )
+fn facts(rng: &mut Rng) -> Vec<(i64, (u32, u32), f64)> {
+    rng.vec_of(1, 120, |r| {
+        (r.i64_in(0, 6), leaf(r), r.f64_in(-100.0, 100.0))
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cube_pass_matches_filtered_aggregation(rows in fact_strategy()) {
+#[test]
+fn cube_pass_matches_filtered_aggregation() {
+    check("cube_pass_matches_filtered_aggregation", 64, |rng| {
+        let rows = facts(rng);
         let s = space();
         let input = CubeInput {
             item_ids: rows.iter().map(|(i, _, _)| *i).collect(),
@@ -66,21 +67,161 @@ proptest! {
                 s.contains(&region, &RegionId(cell.to_vec()))
             });
             // Same covered items.
-            prop_assert_eq!(cube.coverage_count(&region), direct.len());
+            assert_eq!(cube.coverage_count(&region), direct.len());
             for (item, vals) in &direct {
                 let got = cube.features(&region, *item).unwrap();
                 match (got[0], vals[0]) {
-                    (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
-                    (a, b) => prop_assert_eq!(a, b),
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+                    (a, b) => assert_eq!(a, b),
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn rollup_matches_naive_for_random_bases(
-        entries in prop::collection::vec(((0u32..3), (0u32..3), 1u64..100), 1..20)
-    ) {
+/// A random region space: 1–3 dimensions, each an interval or a (flat or
+/// two-level) hierarchy. Returns the space plus, per dimension, the
+/// fact-level coordinates rows may use.
+fn random_space(rng: &mut Rng) -> (RegionSpace, Vec<Vec<u32>>) {
+    let arity = rng.usize_in(1, 4);
+    let mut dims = Vec::new();
+    let mut leaf_pools = Vec::new();
+    for d in 0..arity {
+        if rng.flip(0.4) {
+            let max_t = rng.u32_in(2, 6);
+            dims.push(Dimension::Interval {
+                name: format!("T{d}"),
+                max_t,
+            });
+            leaf_pools.push((0..max_t).collect());
+        } else {
+            let mut h = Hierarchy::new(format!("H{d}"), "All");
+            for c in 0..rng.u32_in(2, 5) {
+                let cid = h.add_child(0, format!("c{c}"));
+                // Sometimes grow a second level under this child.
+                if rng.flip(0.5) {
+                    for g in 0..rng.u32_in(1, 4) {
+                        h.add_child(cid, format!("c{c}g{g}"));
+                    }
+                }
+            }
+            let leaves = h.leaves();
+            dims.push(Dimension::Hierarchy(h));
+            leaf_pools.push(leaves);
+        }
+    }
+    (RegionSpace::new(dims), leaf_pools)
+}
+
+/// A random measure over `n` fact rows: numeric (with NULLs) or
+/// distinct-keyed (with NULL keys).
+fn random_measure(rng: &mut Rng, idx: usize, n: usize) -> Measure {
+    if rng.flip(0.6) {
+        let func = *rng.choice(&[
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::Count,
+        ]);
+        Measure::Numeric {
+            name: format!("m{idx}"),
+            func,
+            values: (0..n)
+                .map(|_| {
+                    if rng.flip(0.15) {
+                        None
+                    } else {
+                        Some(rng.f64_in(-50.0, 50.0))
+                    }
+                })
+                .collect(),
+        }
+    } else {
+        let func = *rng.choice(&[
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::CountDistinct,
+        ]);
+        Measure::DistinctKeyed {
+            name: format!("m{idx}"),
+            func,
+            keys: (0..n)
+                .map(|_| {
+                    if rng.flip(0.15) {
+                        None
+                    } else {
+                        Some(rng.i64_in(0, 12))
+                    }
+                })
+                .collect(),
+            values: (0..n).map(|_| rng.f64_in(-20.0, 20.0)).collect(),
+        }
+    }
+}
+
+/// Bitwise equality of two cube results (float payloads compared via
+/// `to_bits`, so "close" is not good enough).
+fn assert_bit_identical(a: &CubeResult, b: &CubeResult) {
+    assert_eq!(a.measure_names, b.measure_names);
+    assert_eq!(a.regions.len(), b.regions.len());
+    for (region, items) in &a.regions {
+        let other = b.regions.get(region).expect("region missing");
+        assert_eq!(items.len(), other.len(), "item count differs in {region:?}");
+        for (item, vals) in items {
+            let ovals = other.get(item).expect("item missing");
+            assert_eq!(vals.len(), ovals.len());
+            for (x, y) in vals.iter().zip(ovals) {
+                assert_eq!(
+                    x.map(f64::to_bits),
+                    y.map(f64::to_bits),
+                    "value bits differ for item {item} in {region:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_cube_pass_is_bit_identical_to_sequential() {
+    check("parallel_cube_pass_is_bit_identical", 12, |rng| {
+        let (s, leaf_pools) = random_space(rng);
+        // Up to ~10k rows: most cases span several 4096-row chunks, so
+        // the scan sharding genuinely engages for higher thread counts.
+        let n = rng.usize_in(1, 10_000);
+        let item_ids: Vec<i64> = (0..n).map(|_| rng.i64_in(0, 8)).collect();
+        let coords: Vec<u32> = (0..n)
+            .flat_map(|_| {
+                leaf_pools
+                    .iter()
+                    .map(|pool| *rng.choice(pool))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let measures = (0..rng.usize_in(1, 4))
+            .map(|i| random_measure(rng, i, n))
+            .collect();
+        let input = CubeInput {
+            item_ids,
+            coords,
+            measures,
+        };
+        let seq = cube_pass_with(&s, &input, Parallelism::sequential(), None);
+        for threads in 2..=8 {
+            let par = cube_pass_with(&s, &input, Parallelism::fixed(threads), None);
+            assert_bit_identical(&seq, &par);
+        }
+    });
+}
+
+#[test]
+fn rollup_matches_naive_for_random_bases() {
+    check("rollup_matches_naive_for_random_bases", 64, |rng| {
+        let entries = rng.vec_of(1, 20, |r| {
+            (r.u32_in(0, 3), r.u32_in(0, 3), r.next_u64() % 99 + 1)
+        });
         // item space: two flat hierarchies with 3 leaves each.
         let h1 = Hierarchy::flat("H1", "any1", &["x", "y", "z"]);
         let h2 = Hierarchy::flat("H2", "any2", &["p", "q", "r"]);
@@ -95,15 +236,16 @@ proptest! {
         }
         let fast = rollup_lattice(&s, base.clone(), |a, b| *a += *b);
         let slow = rollup_naive(&s, &base, |a, b| *a += *b);
-        prop_assert_eq!(fast, slow);
-    }
+        assert_eq!(fast, slow);
+    });
+}
 
-    #[test]
-    fn iceberg_pruning_is_exact(
-        budget in 0.0..30.0f64,
-        min_cov in 0.0..1.0f64,
-        covs in prop::collection::vec(0usize..10, 12)
-    ) {
+#[test]
+fn iceberg_pruning_is_exact() {
+    check("iceberg_pruning_is_exact", 64, |rng| {
+        let budget = rng.f64_in(0.0, 30.0);
+        let min_cov = rng.f64();
+        let covs: Vec<usize> = (0..12).map(|_| rng.below(10)).collect();
         let s = space();
         let cost = UniformCellCost { rate: 1.0 };
         let all = s.all_regions();
@@ -135,14 +277,15 @@ proptest! {
         let mut naive = feasible_regions_naive(&s, &cost, &cons, &coverage);
         pruned.sort();
         naive.sort();
-        prop_assert_eq!(pruned, naive);
-    }
+        assert_eq!(pruned, naive);
+    });
+}
 
-    #[test]
-    fn suffstats_merge_is_order_invariant(
-        rows in prop::collection::vec((0.1..10.0f64, -10.0..10.0f64), 6..40),
-        splits in 1usize..5
-    ) {
+#[test]
+fn suffstats_merge_is_order_invariant() {
+    check("suffstats_merge_is_order_invariant", 64, |rng| {
+        let rows = rng.vec_of(6, 40, |r| (r.f64_in(0.1, 10.0), r.f64_in(-10.0, 10.0)));
+        let splits = rng.usize_in(1, 5);
         let p = 2;
         let chunk = (rows.len() / (splits + 1)).max(1);
         let mut forward = RegSuffStats::new(p);
@@ -160,17 +303,18 @@ proptest! {
         for s in chunks.iter().rev() {
             backward.merge(s);
         }
-        prop_assert_eq!(forward.n(), backward.n());
+        assert_eq!(forward.n(), backward.n());
         match (forward.sse(), backward.sse()) {
-            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs())),
-            (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6 * (1.0 + a.abs())),
+            (a, b) => assert_eq!(a.is_some(), b.is_some()),
         }
-    }
+    });
+}
 
-    #[test]
-    fn suffstats_subtract_inverts_merge(
-        rows in prop::collection::vec((0.1..10.0f64, -10.0..10.0f64), 8..40)
-    ) {
+#[test]
+fn suffstats_subtract_inverts_merge() {
+    check("suffstats_subtract_inverts_merge", 64, |rng| {
+        let rows = rng.vec_of(8, 40, |r| (r.f64_in(0.1, 10.0), r.f64_in(-10.0, 10.0)));
         let p = 2;
         let half = rows.len() / 2;
         let mut a = RegSuffStats::new(p);
@@ -184,26 +328,28 @@ proptest! {
         let mut merged = a.clone();
         merged.merge(&b);
         merged.subtract(&b);
-        prop_assert_eq!(merged.n(), a.n());
+        assert_eq!(merged.n(), a.n());
         if let (Some(x), Some(y)) = (merged.sse(), a.sse()) {
-            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
+            assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn containment_is_a_partial_order(t1 in 0u32..3, l1 in 0u32..6, t2 in 0u32..3, l2 in 0u32..6) {
+#[test]
+fn containment_is_a_partial_order() {
+    check("containment_is_a_partial_order", 128, |rng| {
         let s = space();
-        let a = RegionId(vec![t1, l1]);
-        let b = RegionId(vec![t2, l2]);
+        let a = RegionId(vec![rng.u32_in(0, 3), rng.u32_in(0, 6)]);
+        let b = RegionId(vec![rng.u32_in(0, 3), rng.u32_in(0, 6)]);
         // reflexive
-        prop_assert!(s.contains(&a, &a));
+        assert!(s.contains(&a, &a));
         // antisymmetric
         if s.contains(&a, &b) && s.contains(&b, &a) {
-            prop_assert_eq!(&a, &b);
+            assert_eq!(&a, &b);
         }
         // finest-cell counts are monotone
         if s.contains(&a, &b) {
-            prop_assert!(s.finest_cell_count(&a) >= s.finest_cell_count(&b));
+            assert!(s.finest_cell_count(&a) >= s.finest_cell_count(&b));
         }
-    }
+    });
 }
