@@ -7,10 +7,11 @@
 //! threads, plus the end-to-end retail preparation. Results land in
 //! `results/BENCH_cube_pass.json`.
 
-use bellwether_bench::{prepare_retail, results_dir, Harness};
+use bellwether_bench::{emit_metrics_json, prepare_retail, results_dir, Harness};
 use bellwether_core::build_cube_input;
-use bellwether_cube::{cube_pass_reference, cube_pass_with, Parallelism};
+use bellwether_cube::{cube_pass_reference, cube_pass_traced, cube_pass_with, Parallelism};
 use bellwether_datagen::{generate_retail, RetailConfig};
+use bellwether_obs::Registry;
 
 fn main() {
     let mut cfg = RetailConfig::mail_order(150, 99);
@@ -47,6 +48,21 @@ fn main() {
         small.converge_month = 4;
         prepare_retail(&small)
     });
+
+    // The same kernel with a live recorder: the timing above measures
+    // the disabled-recorder (one branch per phase) path; this bench
+    // measures the enabled path, and the snapshot records the work
+    // profile of one pass.
+    let registry = Registry::shared();
+    h.bench("cube_pass_retail_150x8x10/recorder=on", || {
+        cube_pass_traced(&data.space, &input, Parallelism::fixed(1), registry.as_ref())
+    });
+    registry.reset();
+    cube_pass_traced(&data.space, &input, Parallelism::fixed(1), registry.as_ref());
+    emit_metrics_json(
+        &registry.snapshot(),
+        &results_dir().join("BENCH_cube_pass_metrics.json"),
+    );
 
     let speedup = match (
         h.result("cube_pass_reference_retail_150x8x10"),

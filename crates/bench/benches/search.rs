@@ -28,10 +28,12 @@ fn workload() -> (ScaleWorkload, MemorySource) {
 }
 
 fn problem() -> BellwetherConfig {
-    BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(10)
-        .with_error_measure(ErrorMeasure::TrainingSet)
+    BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap()
 }
 
 fn main() {
@@ -102,13 +104,15 @@ fn main() {
         )
         .unwrap()
     });
-    let cv = BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(10)
-        .with_error_measure(ErrorMeasure::CrossValidation {
+    let cv = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::CrossValidation {
             folds: 10,
             seed: 42,
-        });
+        })
+        .build()
+        .unwrap();
     h.bench("cube_single_scan_cv10", || {
         build_single_scan_cube(
             &src,

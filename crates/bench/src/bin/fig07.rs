@@ -49,10 +49,12 @@ fn main() {
         let mut best_labels: Vec<(f64, String)> = Vec::new();
 
         for &budget in &budgets {
-            let config = BellwetherConfig::new(budget)
-                .with_min_coverage(0.5)
-                .with_min_examples(20)
-                .with_error_measure(measure);
+            let config = BellwetherConfig::builder(budget)
+                .min_coverage(0.5)
+                .min_examples(20)
+                .error_measure(measure)
+                .build()
+                .unwrap();
             let result = basic_search(
                 &prep.source,
                 &prep.data.space,

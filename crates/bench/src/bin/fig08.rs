@@ -21,10 +21,12 @@ fn main() {
     // Trees/cubes fit many small models per region: training-set error
     // keeps that tractable and, per Fig. 7(c), tracks CV for linear
     // models.
-    let problem = BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(20)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     let tree_cfg = TreeConfig {
         min_node_items: (n_items / 8).max(20),
         max_numeric_splits: 16,

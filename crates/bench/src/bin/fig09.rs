@@ -30,10 +30,12 @@ fn main() {
     let mut frac95 = Series::new("95%");
     let mut frac99 = Series::new("99%");
     for &budget in &budgets {
-        let config = BellwetherConfig::new(budget)
-            .with_min_coverage(0.5)
-            .with_min_examples(20)
-            .with_error_measure(ErrorMeasure::cv10());
+        let config = BellwetherConfig::builder(budget)
+            .min_coverage(0.5)
+            .min_examples(20)
+            .error_measure(ErrorMeasure::cv10())
+            .build()
+            .unwrap();
         let result = basic_search(
             &prep.source,
             &prep.data.space,
@@ -83,10 +85,12 @@ fn main() {
     fb.emit(&dir);
 
     // (c): item-centric methods.
-    let problem = BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(20)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     let tree_cfg = TreeConfig {
         min_node_items: (n_items / 8).max(20),
         max_numeric_splits: 16,

@@ -14,10 +14,12 @@ use bellwether_datagen::{generate_simulation, SimulationConfig};
 /// Evaluate the three methods on one generated dataset.
 fn run_once(cfg: &SimulationConfig, folds: usize) -> (Option<f64>, Option<f64>, Option<f64>) {
     let sim = generate_simulation(cfg);
-    let problem = BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(10)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     let tree_cfg = TreeConfig {
         min_node_items: 30,
         max_numeric_splits: 4,

@@ -15,10 +15,12 @@ use bellwether_datagen::{build_scale_workload, ScaleConfig};
 use bellwether_storage::DiskSource;
 
 fn problem() -> BellwetherConfig {
-    BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(10)
-        .with_error_measure(ErrorMeasure::TrainingSet)
+    BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap()
 }
 
 fn main() {

@@ -163,6 +163,24 @@ impl Harness {
     }
 }
 
+/// Write a [`bellwether_obs::MetricsSnapshot`] as JSON under `results/`
+/// next to the timing output, creating parent dirs. Benches run the
+/// workload once more with a live [`bellwether_obs::Registry`] and dump
+/// the counters/spans here so a run leaves both a timing and a work
+/// profile behind.
+pub fn emit_metrics_json(snap: &bellwether_obs::MetricsSnapshot, path: &Path) {
+    if let Some(dir) = path.parent() {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {dir:?}: {e}");
+            return;
+        }
+    }
+    match fs::write(path, snap.to_json()) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write {path:?}: {e}"),
+    }
+}
+
 impl Default for Harness {
     fn default() -> Self {
         Harness::new()

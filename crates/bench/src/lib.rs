@@ -13,7 +13,7 @@ pub mod harness;
 pub mod report;
 pub mod setup;
 
-pub use harness::{BenchResult, Harness};
+pub use harness::{emit_metrics_json, BenchResult, Harness};
 pub use report::{results_dir, FigureReport, Series};
 pub use setup::{budget_filtered_source, prepare_retail, PreparedRetail};
 

@@ -15,6 +15,7 @@ use crate::problem::BellwetherConfig;
 use crate::training::block_to_data;
 use bellwether_cube::{CostModel, RegionId, RegionSpace};
 use bellwether_linreg::{fit_wls, ErrorEstimate, LinearModel};
+use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
 
 /// The evaluation of one feasible region.
@@ -91,6 +92,7 @@ pub fn basic_search(
     config: &BellwetherConfig,
     total_items: usize,
 ) -> Result<BasicSearchResult> {
+    let _timer = span!(config.recorder, "search/basic");
     let n = source.num_regions();
     let min_cov_items = (config.min_coverage * total_items as f64).ceil() as usize;
 
@@ -163,6 +165,8 @@ pub fn basic_search(
                 .then(ai.cmp(bi))
         })
         .map(|(i, _)| i);
+    config.recorder.add(names::SEARCH_REGIONS_EVALUATED, n as u64);
+    config.recorder.add(names::SEARCH_REPORTS, reports.len() as u64);
     Ok(BasicSearchResult { reports, best })
 }
 
@@ -276,10 +280,12 @@ mod tests {
     }
 
     fn config() -> BellwetherConfig {
-        BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(10)
-            .with_error_measure(ErrorMeasure::cv10())
+        BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(10)
+            .error_measure(ErrorMeasure::cv10())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -343,7 +349,8 @@ mod tests {
     fn linear_criterion_trades_error_for_cost() {
         let (src, space) = fixture();
         let cost = UniformCellCost { rate: 1.0 }; // leaves cost 1, All costs 2
-        let cfg = config().with_error_measure(ErrorMeasure::TrainingSet);
+        let mut cfg = config();
+        cfg.error_measure = ErrorMeasure::TrainingSet;
         // With no cost weight the clean region wins outright.
         let free = basic_search_linear(
             &src,
@@ -398,23 +405,13 @@ mod tests {
     fn thread_count_does_not_change_results() {
         let (src, space) = fixture();
         let cost = UniformCellCost { rate: 1.0 };
-        let seq = basic_search(
-            &src,
-            &space,
-            &cost,
-            &config().with_parallelism(Parallelism::sequential()),
-            40,
-        )
-        .unwrap();
+        let mut seq_cfg = config();
+        seq_cfg.parallelism = Parallelism::sequential();
+        let seq = basic_search(&src, &space, &cost, &seq_cfg, 40).unwrap();
         for t in [2, 4, 8] {
-            let par = basic_search(
-                &src,
-                &space,
-                &cost,
-                &config().with_parallelism(Parallelism::fixed(t)),
-                40,
-            )
-            .unwrap();
+            let mut par_cfg = config();
+            par_cfg.parallelism = Parallelism::fixed(t);
+            let par = basic_search(&src, &space, &cost, &par_cfg, 40).unwrap();
             assert_eq!(seq.best, par.best);
             assert_eq!(seq.reports.len(), par.reports.len());
             for (a, b) in seq.reports.iter().zip(&par.reports) {
@@ -428,8 +425,34 @@ mod tests {
     fn training_set_measure_also_works() {
         let (src, space) = fixture();
         let cost = UniformCellCost { rate: 1.0 };
-        let cfg = config().with_error_measure(ErrorMeasure::TrainingSet);
+        let mut cfg = config();
+        cfg.error_measure = ErrorMeasure::TrainingSet;
         let result = basic_search(&src, &space, &cost, &cfg, 40).unwrap();
         assert_eq!(result.bellwether().unwrap().label, "[good]");
+    }
+
+    #[test]
+    fn search_reports_into_recorder() {
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 };
+        let reg = bellwether_obs::Registry::shared();
+        let cfg = BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(10)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .recorder(reg.clone())
+            .build()
+            .unwrap();
+        let result = basic_search(&src, &space, &cost, &cfg, 40).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter(bellwether_obs::names::SEARCH_REGIONS_EVALUATED),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter(bellwether_obs::names::SEARCH_REPORTS),
+            Some(result.reports.len() as u64)
+        );
+        assert_eq!(snap.span("search/basic").unwrap().calls, 1);
     }
 }

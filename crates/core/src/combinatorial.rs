@@ -191,9 +191,11 @@ mod tests {
     }
 
     fn config(budget: f64) -> BellwetherConfig {
-        BellwetherConfig::new(budget)
-            .with_min_examples(5)
-            .with_error_measure(ErrorMeasure::TrainingSet)
+        BellwetherConfig::builder(budget)
+            .min_examples(5)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -244,13 +246,17 @@ mod tests {
     fn zero_budget_returns_none() {
         let (space, input, items, targets) = fixture();
         let cost = UniformCellCost { rate: 1.0 };
+        // The builder rejects a non-positive budget, which is exactly
+        // what this test exercises — set the field directly.
+        let mut cfg = config(1.0);
+        cfg.budget = 0.0;
         let result = greedy_combinatorial_search(
             &space,
             &input,
             &items,
             &targets,
             &cost,
-            &config(0.0),
+            &cfg,
             4,
         )
         .unwrap();

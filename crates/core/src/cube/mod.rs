@@ -41,6 +41,38 @@ impl Default for CubeConfig {
     }
 }
 
+impl CubeConfig {
+    /// Start building from the defaults, with validation at
+    /// [`CubeConfigBuilder::build`] time.
+    pub fn builder() -> CubeConfigBuilder {
+        CubeConfigBuilder(CubeConfig::default())
+    }
+}
+
+/// Builder for [`CubeConfig`] with typed validation, matching
+/// `BellwetherConfig::builder` in style.
+#[derive(Debug, Clone, Default)]
+pub struct CubeConfigBuilder(CubeConfig);
+
+impl CubeConfigBuilder {
+    /// Size threshold K (≥ 1): only subsets with at least this many
+    /// items get a cell.
+    pub fn min_subset_size(mut self, k: usize) -> Self {
+        self.0.min_subset_size = k;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<CubeConfig> {
+        if self.0.min_subset_size == 0 {
+            return Err(BellwetherError::Config(
+                "min_subset_size must be at least 1".to_string(),
+            ));
+        }
+        Ok(self.0)
+    }
+}
+
 /// One cube cell: the bellwether for one item subset.
 #[derive(Debug, Clone)]
 pub struct SubsetCell {

@@ -8,6 +8,7 @@ use crate::problem::BellwetherConfig;
 use crate::training::block_subset_data;
 use bellwether_cube::{RegionId, RegionSpace};
 use bellwether_linreg::fit_wls;
+use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
 use std::collections::{HashMap, HashSet};
 
@@ -20,6 +21,7 @@ pub fn build_naive_cube(
     problem: &BellwetherConfig,
     cube_cfg: &CubeConfig,
 ) -> Result<BellwetherCube> {
+    let _timer = span!(problem.recorder, "cube/naive");
     let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
     let mut cells = HashMap::new();
     for subset in &index.order {
@@ -30,6 +32,7 @@ pub fn build_naive_cube(
             cells.insert(subset.clone(), cell);
         }
     }
+    problem.recorder.add(names::CUBE_CELLS, cells.len() as u64);
     Ok(BellwetherCube {
         item_space: item_space.clone(),
         item_coords: item_coords.clone(),
@@ -106,10 +109,12 @@ mod tests {
     use crate::problem::ErrorMeasure;
 
     fn problem() -> BellwetherConfig {
-        BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet)
+        BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap()
     }
 
     #[test]

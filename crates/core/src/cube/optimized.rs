@@ -20,6 +20,7 @@ use crate::error::{BellwetherError, Result};
 use crate::problem::{BellwetherConfig, ErrorMeasure};
 use bellwether_cube::{rollup_lattice, RegionId, RegionSpace};
 use bellwether_linreg::RegSuffStats;
+use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
 use std::collections::HashMap;
 
@@ -39,6 +40,7 @@ pub fn build_optimized_cube(
                 .into(),
         ));
     }
+    let _timer = span!(problem.recorder, "cube/optimized");
     let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
     let p = source.feature_arity();
 
@@ -86,6 +88,7 @@ pub fn build_optimized_cube(
             cells.insert(subset.clone(), cell);
         }
     }
+    problem.recorder.add(names::CUBE_CELLS, cells.len() as u64);
     Ok(BellwetherCube {
         item_space: item_space.clone(),
         item_coords: item_coords.clone(),
@@ -128,6 +131,7 @@ pub fn build_optimized_cube_cv(
     if folds < 2 {
         return Err(BellwetherError::Config("cv cube needs at least 2 folds".into()));
     }
+    let _timer = span!(problem.recorder, "cube/optimized_cv");
     let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
     let p = source.feature_arity();
 
@@ -214,6 +218,7 @@ pub fn build_optimized_cube_cv(
             },
         );
     }
+    problem.recorder.add(names::CUBE_CELLS, cells.len() as u64);
     Ok(BellwetherCube {
         item_space: item_space.clone(),
         item_coords: item_coords.clone(),
@@ -228,10 +233,12 @@ mod tests {
     use crate::cube::tests_support::cube_fixture;
 
     fn problem() -> BellwetherConfig {
-        BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet)
+        BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap()
     }
 
     fn cfg() -> CubeConfig {
@@ -270,7 +277,7 @@ mod tests {
             build_optimized_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
                 .unwrap();
         assert_eq!(
-            src.stats().regions_read(),
+            src.snapshot().regions_read(),
             src.num_regions() as u64 + cube.cells.len() as u64
         );
     }
@@ -278,7 +285,7 @@ mod tests {
     #[test]
     fn cv_measure_rejected() {
         let (src, region_space, _items, item_space, coords) = cube_fixture();
-        let bad = BellwetherConfig::new(1e9); // defaults to CV
+        let bad = BellwetherConfig::builder(1e9).build().unwrap(); // defaults to CV
         let err =
             build_optimized_cube(&src, &region_space, &item_space, &coords, &bad, &cfg());
         assert!(matches!(err, Err(BellwetherError::Config(_))));

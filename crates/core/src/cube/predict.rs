@@ -110,10 +110,12 @@ mod tests {
             &region_space,
             &item_space,
             &coords,
-            &BellwetherConfig::new(1e9)
-                .with_min_coverage(0.0)
-                .with_min_examples(4)
-                .with_error_measure(ErrorMeasure::TrainingSet),
+            &BellwetherConfig::builder(1e9)
+                .min_coverage(0.0)
+                .min_examples(4)
+                .error_measure(ErrorMeasure::TrainingSet)
+                .build()
+                .unwrap(),
             &CubeConfig {
                 min_subset_size: 5,
             },

@@ -10,6 +10,7 @@ use crate::error::Result;
 use crate::problem::BellwetherConfig;
 use crate::tree::partition::PartitionSpec;
 use bellwether_cube::RegionSpace;
+use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
 use std::collections::HashMap;
 
@@ -22,6 +23,7 @@ pub fn build_single_scan_cube(
     problem: &BellwetherConfig,
     cube_cfg: &CubeConfig,
 ) -> Result<BellwetherCube> {
+    let _timer = span!(problem.recorder, "cube/single_scan");
     let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
     // Cube subsets overlap (they are nested), so each subset gets its
     // own single-set routing table, built once for the whole scan.
@@ -60,6 +62,7 @@ pub fn build_single_scan_cube(
             cells.insert(subset.clone(), cell);
         }
     }
+    problem.recorder.add(names::CUBE_CELLS, cells.len() as u64);
     Ok(BellwetherCube {
         item_space: item_space.clone(),
         item_coords: item_coords.clone(),
@@ -75,10 +78,12 @@ mod tests {
     use crate::problem::ErrorMeasure;
 
     fn problem() -> BellwetherConfig {
-        BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet)
+        BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap()
     }
 
     fn cfg() -> CubeConfig {
@@ -114,7 +119,7 @@ mod tests {
         let single =
             build_single_scan_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
                 .unwrap();
-        let single_reads = src.stats().regions_read();
+        let single_reads = src.snapshot().regions_read();
         // One full scan + one targeted read per produced cell.
         assert_eq!(single_reads, num_regions + single.cells.len() as u64);
 
@@ -122,7 +127,7 @@ mod tests {
         let naive =
             build_naive_cube(&src, &region_space, &item_space, &coords, &problem(), &cfg())
                 .unwrap();
-        let naive_reads = src.stats().regions_read();
+        let naive_reads = src.snapshot().regions_read();
         // One full scan per subset + one targeted read per cell.
         assert_eq!(
             naive_reads,

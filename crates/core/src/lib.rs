@@ -56,21 +56,25 @@ pub use cube::predict::{
     candidate_cells, select_cell, select_cell_for_item, select_cells_for_items,
 };
 pub use cube::single_scan::build_single_scan_cube;
-pub use cube::{BellwetherCube, CubeConfig, SubsetCell};
+pub use cube::{BellwetherCube, CubeConfig, CubeConfigBuilder, SubsetCell};
 pub use error::{BellwetherError, Result};
 pub use bellwether_cube::Parallelism;
+pub use bellwether_obs::{
+    MetricsSnapshot, NoopRecorder, Recorder, Registry,
+};
 pub use features::{
     auto_generate_queries, build_cube_input, build_cube_input_with, global_target, FeatureQuery,
     StarDatabase,
 };
 pub use items::ItemTable;
 pub use predict::{evaluate_method, EvalContext, ItemCentricEval, Method};
-pub use problem::{BellwetherConfig, ErrorMeasure};
+pub use problem::{BellwetherConfig, BellwetherConfigBuilder, ErrorMeasure};
 pub use sampling::sampling_baseline_error;
 pub use training::{
     build_memory_source, build_memory_source_with, region_block, write_disk_source,
+    write_disk_source_in_registry,
 };
 pub use tree::naive::build_naive as build_naive_tree;
 pub use tree::prune::prune_tree;
 pub use tree::rainforest::build_rainforest;
-pub use tree::{BellwetherTree, NodeInfo, SplitCriterion, TreeConfig};
+pub use tree::{BellwetherTree, NodeInfo, SplitCriterion, TreeConfig, TreeConfigBuilder};

@@ -27,6 +27,7 @@ use crate::tree::rainforest::build_rainforest;
 use crate::tree::{subset_bellwether, BellwetherTree, TreeConfig};
 use bellwether_cube::RegionSpace;
 use bellwether_linreg::{fold_assignment, LinearModel};
+use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
 use std::collections::{HashMap, HashSet};
 
@@ -166,6 +167,7 @@ pub fn evaluate_method(
         return Ok(None);
     }
 
+    let _timer = span!(problem.recorder, "predict/evaluate/{}", method.name());
     let assignment = fold_assignment(eval_ids.len(), eval.folds, eval.seed);
     let k = assignment.iter().copied().max().map_or(1, |m| m + 1);
 
@@ -202,6 +204,8 @@ pub fn evaluate_method(
             count += 1;
         }
     }
+    problem.recorder.add(names::PREDICT_FOLDS, k as u64);
+    problem.recorder.add(names::PREDICT_PREDICTIONS, count as u64);
     if count == 0 {
         return Ok(None);
     }
@@ -327,10 +331,12 @@ mod tests {
     use crate::problem::ErrorMeasure;
 
     fn problem() -> BellwetherConfig {
-        BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet)
+        BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap()
     }
 
     #[test]

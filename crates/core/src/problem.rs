@@ -1,7 +1,10 @@
 //! The bellwether problem definition (Definitions 1 and 2).
 
+use crate::error::{BellwetherError, Result};
 use bellwether_cube::Parallelism;
 use bellwether_linreg::{cross_val_estimate, training_set_estimate, ErrorEstimate, RegressionData};
+use bellwether_obs::{NoopRecorder, Recorder};
+use std::sync::Arc;
 
 /// How model error is estimated (§2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,11 +60,31 @@ pub struct BellwetherConfig {
     /// the chosen value — see the determinism policy in
     /// `bellwether_cube::parallel`.
     pub parallelism: Parallelism,
+    /// Metrics sink every algorithm driven from this config reports into
+    /// (search spans, per-level tree scans, cube-build counters). The
+    /// default [`NoopRecorder`] costs one branch per phase; results are
+    /// bit-identical whether or not recording is enabled.
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl BellwetherConfig {
+    /// Start building a config with budget `B` and the paper defaults:
+    /// coverage ≥ 0.5, 10-fold CV, at least 10 examples, hardware
+    /// parallelism (`BW_THREADS` overridable), no recorder.
+    pub fn builder(budget: f64) -> BellwetherConfigBuilder {
+        BellwetherConfigBuilder {
+            budget,
+            min_coverage: 0.5,
+            error_measure: ErrorMeasure::cv10(),
+            min_examples: 10,
+            parallelism: Parallelism::default(),
+            recorder: Arc::new(NoopRecorder),
+        }
+    }
+
     /// Defaults: coverage ≥ 0.5, 10-fold CV, at least 10 examples,
     /// hardware parallelism (`BW_THREADS` overridable).
+    #[deprecated(since = "0.1.0", note = "use BellwetherConfig::builder(budget)")]
     pub fn new(budget: f64) -> Self {
         BellwetherConfig {
             budget,
@@ -69,31 +92,132 @@ impl BellwetherConfig {
             error_measure: ErrorMeasure::cv10(),
             min_examples: 10,
             parallelism: Parallelism::default(),
+            recorder: Arc::new(NoopRecorder),
         }
     }
 
     /// Builder-style coverage threshold.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BellwetherConfig::builder(..).min_coverage(..)"
+    )]
     pub fn with_min_coverage(mut self, c: f64) -> Self {
         self.min_coverage = c;
         self
     }
 
     /// Builder-style error measure.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BellwetherConfig::builder(..).error_measure(..)"
+    )]
     pub fn with_error_measure(mut self, m: ErrorMeasure) -> Self {
         self.error_measure = m;
         self
     }
 
     /// Builder-style minimum example count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BellwetherConfig::builder(..).min_examples(..)"
+    )]
     pub fn with_min_examples(mut self, n: usize) -> Self {
         self.min_examples = n;
         self
     }
 
     /// Builder-style thread budget.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BellwetherConfig::builder(..).parallelism(..)"
+    )]
     pub fn with_parallelism(mut self, p: Parallelism) -> Self {
         self.parallelism = p;
         self
+    }
+}
+
+/// Builder for [`BellwetherConfig`] with typed validation: invalid knob
+/// combinations are rejected at [`BellwetherConfigBuilder::build`] time
+/// with a `BellwetherError::Config` instead of surfacing as a confusing
+/// empty search result later.
+#[derive(Debug, Clone)]
+pub struct BellwetherConfigBuilder {
+    budget: f64,
+    min_coverage: f64,
+    error_measure: ErrorMeasure,
+    min_examples: usize,
+    parallelism: Parallelism,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl BellwetherConfigBuilder {
+    /// Coverage threshold C ∈ [0, 1].
+    pub fn min_coverage(mut self, c: f64) -> Self {
+        self.min_coverage = c;
+        self
+    }
+
+    /// Error measure (§2).
+    pub fn error_measure(mut self, m: ErrorMeasure) -> Self {
+        self.error_measure = m;
+        self
+    }
+
+    /// Minimum example count before a region can fit a model (≥ 1).
+    pub fn min_examples(mut self, n: usize) -> Self {
+        self.min_examples = n;
+        self
+    }
+
+    /// Thread budget for every parallel code path driven from the config.
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// Metrics sink (e.g. a shared `bellwether_obs::Registry`).
+    pub fn recorder(mut self, r: Arc<dyn Recorder>) -> Self {
+        self.recorder = r;
+        self
+    }
+
+    /// Validate and produce the config. Rejects non-positive or NaN
+    /// budgets (`+inf` = unconstrained is fine), coverage outside
+    /// `[0, 1]`, and `min_examples == 0`.
+    pub fn build(self) -> Result<BellwetherConfig> {
+        if self.budget.is_nan() || self.budget <= 0.0 {
+            return Err(BellwetherError::Config(format!(
+                "budget must be positive (or +inf for unconstrained), got {}",
+                self.budget
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.min_coverage) {
+            return Err(BellwetherError::Config(format!(
+                "min_coverage must be in [0, 1], got {}",
+                self.min_coverage
+            )));
+        }
+        if self.min_examples == 0 {
+            return Err(BellwetherError::Config(
+                "min_examples must be at least 1".to_string(),
+            ));
+        }
+        if let ErrorMeasure::CrossValidation { folds, .. } = self.error_measure {
+            if folds < 2 {
+                return Err(BellwetherError::Config(format!(
+                    "cross-validation needs at least 2 folds, got {folds}"
+                )));
+            }
+        }
+        Ok(BellwetherConfig {
+            budget: self.budget,
+            min_coverage: self.min_coverage,
+            error_measure: self.error_measure,
+            min_examples: self.min_examples,
+            parallelism: self.parallelism,
+            recorder: self.recorder,
+        })
     }
 }
 
@@ -126,6 +250,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn config_builder() {
         let c = BellwetherConfig::new(50.0)
             .with_min_coverage(0.8)
@@ -137,5 +262,61 @@ mod tests {
         assert_eq!(c.error_measure, ErrorMeasure::TrainingSet);
         assert_eq!(c.min_examples, 5);
         assert_eq!(c.parallelism, Parallelism::fixed(3));
+    }
+
+    #[test]
+    fn typed_builder_validates_and_builds() {
+        let c = BellwetherConfig::builder(50.0)
+            .min_coverage(0.8)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .min_examples(5)
+            .parallelism(Parallelism::fixed(3))
+            .build()
+            .unwrap();
+        assert_eq!(c.budget, 50.0);
+        assert_eq!(c.min_coverage, 0.8);
+        assert_eq!(c.error_measure, ErrorMeasure::TrainingSet);
+        assert_eq!(c.min_examples, 5);
+        assert_eq!(c.parallelism, Parallelism::fixed(3));
+        assert!(!c.recorder.enabled()); // default is the no-op recorder
+
+        // Unconstrained budget is legal; matches the deprecated shim.
+        #[allow(deprecated)]
+        let legacy = BellwetherConfig::new(f64::INFINITY);
+        let built = BellwetherConfig::builder(f64::INFINITY).build().unwrap();
+        assert_eq!(built.budget, legacy.budget);
+        assert_eq!(built.min_coverage, legacy.min_coverage);
+        assert_eq!(built.error_measure, legacy.error_measure);
+        assert_eq!(built.min_examples, legacy.min_examples);
+    }
+
+    #[test]
+    fn typed_builder_rejects_bad_knobs() {
+        assert!(BellwetherConfig::builder(0.0).build().is_err());
+        assert!(BellwetherConfig::builder(-1.0).build().is_err());
+        assert!(BellwetherConfig::builder(f64::NAN).build().is_err());
+        assert!(BellwetherConfig::builder(1.0).min_coverage(1.5).build().is_err());
+        assert!(BellwetherConfig::builder(1.0).min_coverage(-0.1).build().is_err());
+        assert!(BellwetherConfig::builder(1.0)
+            .min_coverage(f64::NAN)
+            .build()
+            .is_err());
+        assert!(BellwetherConfig::builder(1.0).min_examples(0).build().is_err());
+        assert!(BellwetherConfig::builder(1.0)
+            .error_measure(ErrorMeasure::CrossValidation { folds: 1, seed: 0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_attaches_recorder() {
+        let reg = bellwether_obs::Registry::shared();
+        let c = BellwetherConfig::builder(1.0)
+            .recorder(reg.clone())
+            .build()
+            .unwrap();
+        assert!(c.recorder.enabled());
+        c.recorder.add("probe", 2);
+        assert_eq!(reg.snapshot().counter("probe"), Some(2));
     }
 }

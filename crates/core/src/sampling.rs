@@ -138,9 +138,11 @@ mod tests {
     #[test]
     fn generous_budget_gets_low_error() {
         let (space, input, items, targets) = fixture();
-        let cfg = BellwetherConfig::new(100.0)
-            .with_min_examples(5)
-            .with_error_measure(ErrorMeasure::TrainingSet);
+        let cfg = BellwetherConfig::builder(100.0)
+            .min_examples(5)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap();
         let cost = UniformCellCost { rate: 1.0 };
         let err =
             sampling_baseline_error(&space, &input, &items, &targets, &cost, &cfg, 5, 42)
@@ -154,7 +156,10 @@ mod tests {
     #[test]
     fn zero_budget_returns_none() {
         let (space, input, items, targets) = fixture();
-        let cfg = BellwetherConfig::new(0.0).with_min_examples(5);
+        // The builder rejects a non-positive budget, which is exactly
+        // what this test needs — set the field directly.
+        let mut cfg = BellwetherConfig::builder(1.0).min_examples(5).build().unwrap();
+        cfg.budget = 0.0;
         let cost = UniformCellCost { rate: 1.0 };
         let err = sampling_baseline_error(&space, &input, &items, &targets, &cost, &cfg, 3, 1)
             .unwrap();
@@ -164,9 +169,11 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let (space, input, items, targets) = fixture();
-        let cfg = BellwetherConfig::new(3.0)
-            .with_min_examples(5)
-            .with_error_measure(ErrorMeasure::TrainingSet);
+        let cfg = BellwetherConfig::builder(3.0)
+            .min_examples(5)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap();
         let cost = UniformCellCost { rate: 1.0 };
         let a = sampling_baseline_error(&space, &input, &items, &targets, &cost, &cfg, 4, 7)
             .unwrap();

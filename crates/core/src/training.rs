@@ -126,6 +126,29 @@ pub fn write_disk_source(
     Ok(())
 }
 
+/// Like [`write_disk_source`], but the writer reports
+/// `storage/regions_written` and `storage/bytes_written` into
+/// `registry`.
+pub fn write_disk_source_in_registry(
+    path: &Path,
+    cube: &CubeResult,
+    regions: &[RegionId],
+    space: &RegionSpace,
+    items: &ItemTable,
+    targets: &HashMap<i64, f64>,
+    registry: &bellwether_obs::Registry,
+) -> Result<()> {
+    let n_static = items.numeric_attrs().len();
+    let p = (1 + n_static + cube.measure_names.len()) as u32;
+    let mut writer =
+        TrainingWriter::create_with_registry(path, p, space.arity() as u32, registry)?;
+    for r in regions {
+        writer.write_region(&region_block(cube, r, items, targets))?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
 /// View a block as a regression dataset (weights 1).
 pub fn block_to_data(block: &RegionBlock) -> RegressionData {
     let mut d = RegressionData::with_capacity(block.p as usize, block.n());

@@ -67,6 +67,85 @@ impl Default for TreeConfig {
     }
 }
 
+impl TreeConfig {
+    /// Start building from the defaults, with validation at
+    /// [`TreeConfigBuilder::build`] time.
+    pub fn builder() -> TreeConfigBuilder {
+        TreeConfigBuilder(TreeConfig::default())
+    }
+}
+
+/// Builder for [`TreeConfig`] with typed validation, matching
+/// `BellwetherConfig::builder` in style.
+#[derive(Debug, Clone, Default)]
+pub struct TreeConfigBuilder(TreeConfig);
+
+impl TreeConfigBuilder {
+    /// Maximum tree depth (root = 0).
+    pub fn max_depth(mut self, d: usize) -> Self {
+        self.0.max_depth = d;
+        self
+    }
+
+    /// Termination threshold: do not split nodes with fewer items (≥ 1).
+    pub fn min_node_items(mut self, n: usize) -> Self {
+        self.0.min_node_items = n;
+        self
+    }
+
+    /// Cap on numeric thresholds per attribute (≥ 1).
+    pub fn max_numeric_splits(mut self, n: usize) -> Self {
+        self.0.max_numeric_splits = n;
+        self
+    }
+
+    /// Only split when the best criterion strictly reduces error.
+    pub fn require_positive_goodness(mut self, b: bool) -> Self {
+        self.0.require_positive_goodness = b;
+        self
+    }
+
+    /// RMSE below which a node counts as perfect (finite, ≥ 0).
+    pub fn perfect_error_tol(mut self, tol: f64) -> Self {
+        self.0.perfect_error_tol = tol;
+        self
+    }
+
+    /// Cost-complexity pruning strength ∈ [0, 1]; 0 = no pruning.
+    pub fn prune_frac(mut self, f: f64) -> Self {
+        self.0.prune_frac = f;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<TreeConfig> {
+        let c = self.0;
+        if c.min_node_items == 0 {
+            return Err(BellwetherError::Config(
+                "min_node_items must be at least 1".to_string(),
+            ));
+        }
+        if c.max_numeric_splits == 0 {
+            return Err(BellwetherError::Config(
+                "max_numeric_splits must be at least 1".to_string(),
+            ));
+        }
+        if !c.perfect_error_tol.is_finite() || c.perfect_error_tol < 0.0 {
+            return Err(BellwetherError::Config(format!(
+                "perfect_error_tol must be finite and non-negative, got {}",
+                c.perfect_error_tol
+            )));
+        }
+        if !(0.0..=1.0).contains(&c.prune_frac) {
+            return Err(BellwetherError::Config(format!(
+                "prune_frac must be in [0, 1], got {}",
+                c.prune_frac
+            )));
+        }
+        Ok(c)
+    }
+}
+
 /// A splitting criterion over item-table features.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SplitCriterion {

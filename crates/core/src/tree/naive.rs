@@ -9,6 +9,7 @@ use crate::problem::BellwetherConfig;
 use crate::tree::partition::{child_id_sets, PartitionSpec};
 use crate::tree::subset_bellwether;
 use bellwether_cube::RegionSpace;
+use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
 
 /// Build a bellwether tree with the naive algorithm. `root_rows`
@@ -21,6 +22,7 @@ pub fn build_naive(
     problem: &BellwetherConfig,
     tree_cfg: &TreeConfig,
 ) -> Result<BellwetherTree> {
+    let _timer = span!(problem.recorder, "tree/naive");
     let rows = root_rows.unwrap_or_else(|| (0..items.len()).collect());
     let mut tree = BellwetherTree { nodes: Vec::new() };
     tree.nodes.push(Node {
@@ -30,6 +32,7 @@ pub fn build_naive(
         split: None,
     });
     split_node(0, source, space, items, problem, tree_cfg, &mut tree)?;
+    problem.recorder.add(names::TREE_NODES, tree.nodes.len() as u64);
     Ok(tree)
 }
 
@@ -142,10 +145,12 @@ mod tests {
     #[test]
     fn splits_items_with_different_bellwethers() {
         let (src, space, items) = two_group_fixture();
-        let problem = BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet);
+        let problem = BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap();
         let tree_cfg = TreeConfig {
             min_node_items: 8,
             ..TreeConfig::default()
@@ -169,10 +174,12 @@ mod tests {
     #[test]
     fn small_nodes_do_not_split() {
         let (src, space, items) = two_group_fixture();
-        let problem = BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet);
+        let problem = BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap();
         let tree_cfg = TreeConfig {
             min_node_items: 10_000,
             ..TreeConfig::default()
@@ -185,10 +192,12 @@ mod tests {
     #[test]
     fn max_depth_zero_gives_stump() {
         let (src, space, items) = two_group_fixture();
-        let problem = BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet);
+        let problem = BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap();
         let tree_cfg = TreeConfig {
             max_depth: 0,
             min_node_items: 2,
@@ -201,10 +210,12 @@ mod tests {
     #[test]
     fn routing_reaches_leaves() {
         let (src, space, items) = two_group_fixture();
-        let problem = BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet);
+        let problem = BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap();
         let tree_cfg = TreeConfig {
             min_node_items: 8,
             ..TreeConfig::default()

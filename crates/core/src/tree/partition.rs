@@ -138,9 +138,11 @@ mod tests {
     }
 
     fn config() -> BellwetherConfig {
-        BellwetherConfig::new(1.0)
-            .with_min_examples(3)
-            .with_error_measure(ErrorMeasure::TrainingSet)
+        BellwetherConfig::builder(1.0)
+            .min_examples(3)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -86,10 +86,12 @@ mod tests {
 
     fn built() -> (BellwetherTree, crate::items::ItemTable) {
         let (src, space, items) = two_group_fixture();
-        let problem = BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet);
+        let problem = BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap();
         let cfg = TreeConfig {
             min_node_items: 8,
             ..TreeConfig::default()

@@ -20,6 +20,7 @@ use crate::problem::BellwetherConfig;
 use crate::tree::naive::goodness_of;
 use crate::tree::partition::{child_id_sets, fit_node_model, PartitionSpec};
 use bellwether_cube::{RegionId, RegionSpace};
+use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
 use std::collections::HashSet;
 
@@ -46,6 +47,7 @@ pub fn build_rainforest(
     problem: &BellwetherConfig,
     tree_cfg: &TreeConfig,
 ) -> Result<BellwetherTree> {
+    let _timer = span!(problem.recorder, "tree/rainforest");
     let rows = root_rows.unwrap_or_else(|| (0..items.len()).collect());
     let mut tree = BellwetherTree { nodes: Vec::new() };
     tree.nodes.push(Node {
@@ -56,6 +58,7 @@ pub fn build_rainforest(
     });
 
     let mut level: Vec<usize> = vec![0];
+    let mut depth = 0usize;
     while !level.is_empty() {
         // Prepare the level: termination decides which nodes are active,
         // active nodes enumerate their candidate criteria.
@@ -96,6 +99,9 @@ pub fn build_rainforest(
         // each block, gather each node's rows once, then evaluate the
         // node's own error and all its candidates over just those rows
         // — deep levels must not re-route the full block per criterion.
+        // One span per level scan — the empirical witness of Lemma 1's
+        // "`l` scans over the entire training data" claim.
+        let level_timer = span!(problem.recorder, "tree/rainforest/level{depth}");
         let p = source.feature_arity();
         for idx in 0..source.num_regions() {
             let block = source.read_region(idx)?;
@@ -136,6 +142,8 @@ pub fn build_rainforest(
                 }
             }
         }
+
+        drop(level_timer); // the level span covers the scan loop only
 
         // Finalize the level: fit node models (targeted reads), pick
         // splits, spawn the next level.
@@ -189,7 +197,9 @@ pub fn build_rainforest(
             tree.nodes[e.node_id].split = Some((cand.criterion, children));
         }
         level = next_level;
+        depth += 1;
     }
+    problem.recorder.add(names::TREE_NODES, tree.nodes.len() as u64);
     Ok(tree)
 }
 
@@ -202,10 +212,12 @@ mod tests {
     use bellwether_storage::TrainingSource;
 
     fn problem() -> BellwetherConfig {
-        BellwetherConfig::new(1e9)
-            .with_min_coverage(0.0)
-            .with_min_examples(4)
-            .with_error_measure(ErrorMeasure::TrainingSet)
+        BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(4)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap()
     }
 
     fn tree_cfg() -> TreeConfig {
@@ -236,12 +248,12 @@ mod tests {
         src.stats().reset();
         let rf =
             build_rainforest(&src, &space, &items, None, &problem(), &tree_cfg()).unwrap();
-        let rf_reads = src.stats().regions_read();
+        let rf_reads = src.snapshot().regions_read();
 
         src.stats().reset();
         let _naive =
             build_naive(&src, &space, &items, None, &problem(), &tree_cfg()).unwrap();
-        let naive_reads = src.stats().regions_read();
+        let naive_reads = src.snapshot().regions_read();
 
         // RF: one full scan per level plus one targeted read per node.
         let levels = rf.depth() as u64 + 1;
@@ -251,6 +263,31 @@ mod tests {
         assert!(
             naive_reads > rf_reads,
             "naive {naive_reads} should exceed RF {rf_reads}"
+        );
+    }
+
+    #[test]
+    fn one_level_span_per_scan() {
+        let (src, space, items) = two_group_fixture();
+        let reg = bellwether_obs::Registry::shared();
+        let mut problem = problem();
+        problem.recorder = reg.clone();
+        let rf =
+            build_rainforest(&src, &space, &items, None, &problem, &tree_cfg()).unwrap();
+        let snap = reg.snapshot();
+        // Exactly one `tree/rainforest/level{d}` span per level, each
+        // called once — the Lemma 1 `l`-scan claim, observed.
+        let levels = rf.depth() + 1;
+        for d in 0..levels {
+            let s = snap
+                .span(&format!("tree/rainforest/level{d}"))
+                .unwrap_or_else(|| panic!("missing level {d} span"));
+            assert_eq!(s.calls, 1);
+        }
+        assert!(snap.span(&format!("tree/rainforest/level{levels}")).is_none());
+        assert_eq!(
+            snap.counter(bellwether_obs::names::TREE_NODES),
+            Some(rf.nodes.len() as u64)
         );
     }
 

@@ -47,6 +47,7 @@
 use crate::fxhash::FxMap;
 use crate::parallel::Parallelism;
 use crate::region::{RegionId, RegionSpace};
+use bellwether_obs::{names, span, NoopRecorder, Recorder};
 use bellwether_storage::CubeStats;
 use bellwether_table::ops::AggFunc;
 use std::collections::hash_map::Entry;
@@ -761,11 +762,32 @@ pub fn cube_pass(space: &RegionSpace, input: &CubeInput) -> CubeResult {
 
 /// Run the CUBE pass with an explicit thread budget and optional
 /// counters. The result is bit-identical for every `Parallelism`.
+///
+/// `CubeStats` implements `Recorder` (counters only), so this is a thin
+/// shim over [`cube_pass_traced`] — both entry points share one
+/// instrumentation path.
 pub fn cube_pass_with(
     space: &RegionSpace,
     input: &CubeInput,
     par: Parallelism,
     stats: Option<&CubeStats>,
+) -> CubeResult {
+    match stats {
+        Some(st) => cube_pass_traced(space, input, par, st),
+        None => cube_pass_traced(space, input, par, &NoopRecorder),
+    }
+}
+
+/// Run the CUBE pass reporting into a [`Recorder`]: phase counters under
+/// the canonical `cube_pass/*` names plus one span per phase
+/// (`phase1_scan`, `phase1_merge`, `phase2_rollup`). With a disabled
+/// recorder (e.g. [`NoopRecorder`]) the kernel pays one branch per phase
+/// and nothing per row; the result is bit-identical either way.
+pub fn cube_pass_traced(
+    space: &RegionSpace,
+    input: &CubeInput,
+    par: Parallelism,
+    rec: &dyn Recorder,
 ) -> CubeResult {
     let n = input.item_ids.len();
     let arity = space.arity();
@@ -797,22 +819,29 @@ pub fn cube_pass_with(
         let item_idx = ks.item_index[&input.item_ids[row]];
         Some(ks.cell_key(coords) * ks.n_items + item_idx as u64)
     };
-    let tables = scan_chunks(input, arity, threads, &key_of);
+    let tables = {
+        let _t = span!(rec, "cube_pass/phase1_scan");
+        scan_chunks(input, arity, threads, &key_of)
+    };
 
     // Phase 1b: merge chunks into key-range shards.
-    let (shards, merges_1b) = merge_chunks(&tables, ks.cell_space * ks.n_items, threads);
+    let (shards, merges_1b) = {
+        let _t = span!(rec, "cube_pass/phase1_merge");
+        merge_chunks(&tables, ks.cell_space * ks.n_items, threads)
+    };
     drop(tables);
     let base_cells: u64 = shards.iter().map(|s| s.len() as u64).sum();
 
     // Phase 2: rollup expansion.
-    let (regions, merges_2) = expand_rollup(space, &ks, &shards, threads);
+    let (regions, merges_2) = {
+        let _t = span!(rec, "cube_pass/phase2_rollup");
+        expand_rollup(space, &ks, &shards, threads)
+    };
 
-    if let Some(st) = stats {
-        st.record_rows_scanned(n as u64);
-        st.record_base_cells(base_cells);
-        st.record_cell_merges(merges_1b + merges_2);
-        st.record_regions_emitted(regions.len() as u64);
-    }
+    rec.add(names::CUBE_PASS_ROWS_SCANNED, n as u64);
+    rec.add(names::CUBE_PASS_BASE_CELLS, base_cells);
+    rec.add(names::CUBE_PASS_CELL_MERGES, merges_1b + merges_2);
+    rec.add(names::CUBE_PASS_REGIONS_EMITTED, regions.len() as u64);
     CubeResult {
         measure_names,
         regions,
@@ -909,6 +938,22 @@ pub fn aggregate_filtered_with(
     par: Parallelism,
     stats: Option<&CubeStats>,
 ) -> HashMap<i64, Vec<Option<f64>>> {
+    match stats {
+        Some(st) => aggregate_filtered_traced(input, arity, row_filter, par, st),
+        None => aggregate_filtered_traced(input, arity, row_filter, par, &NoopRecorder),
+    }
+}
+
+/// [`aggregate_filtered_with`] reporting into a [`Recorder`] (same
+/// `cube_pass/*` counter names; the scan+merge is timed under the
+/// `cube_pass/phase1_scan` and `cube_pass/phase1_merge` spans).
+pub fn aggregate_filtered_traced(
+    input: &CubeInput,
+    arity: usize,
+    row_filter: impl Fn(&[u32]) -> bool + Sync,
+    par: Parallelism,
+    rec: &dyn Recorder,
+) -> HashMap<i64, Vec<Option<f64>>> {
     let n = input.item_ids.len();
     assert_eq!(input.coords.len(), n * arity, "coords length mismatch");
     for m in &input.measures {
@@ -931,14 +976,18 @@ pub fn aggregate_filtered_with(
     let key_of = |row: usize, coords: &[u32]| -> Option<u64> {
         row_filter(coords).then(|| item_index[&input.item_ids[row]])
     };
-    let tables = scan_chunks(input, arity, threads, &key_of);
-    let (shards, merges) = merge_chunks(&tables, items.len() as u64, threads);
+    let tables = {
+        let _t = span!(rec, "cube_pass/phase1_scan");
+        scan_chunks(input, arity, threads, &key_of)
+    };
+    let (shards, merges) = {
+        let _t = span!(rec, "cube_pass/phase1_merge");
+        merge_chunks(&tables, items.len() as u64, threads)
+    };
     let base_cells: u64 = shards.iter().map(|s| s.len() as u64).sum();
-    if let Some(st) = stats {
-        st.record_rows_scanned(n as u64);
-        st.record_base_cells(base_cells);
-        st.record_cell_merges(merges);
-    }
+    rec.add(names::CUBE_PASS_ROWS_SCANNED, n as u64);
+    rec.add(names::CUBE_PASS_BASE_CELLS, base_cells);
+    rec.add(names::CUBE_PASS_CELL_MERGES, merges);
     shards
         .into_iter()
         .flatten()
@@ -1201,12 +1250,36 @@ mod tests {
         let inp = input();
         let stats = CubeStats::shared();
         let r = cube_pass_with(&s, &inp, Parallelism::fixed(2), Some(&stats));
-        assert_eq!(stats.rows_scanned(), 4);
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows_scanned(), 4);
         // 4 rows in 4 distinct (cell, item) combinations → no phase-1
         // merges, 4 base cells.
-        assert_eq!(stats.base_cells(), 4);
-        assert_eq!(stats.regions_emitted(), r.regions.len() as u64);
-        assert!(stats.cell_merges() > 0); // rollup merges cells
+        assert_eq!(snap.base_cells(), 4);
+        assert_eq!(snap.regions_emitted(), r.regions.len() as u64);
+        assert!(snap.cell_merges() > 0); // rollup merges cells
+    }
+
+    #[test]
+    fn traced_records_spans_and_matches_cube_stats() {
+        let s = space();
+        let inp = input();
+        let reg = bellwether_obs::Registry::shared();
+        let r = cube_pass_traced(&s, &inp, Parallelism::fixed(2), reg.as_ref());
+        let stats = CubeStats::shared();
+        let legacy = cube_pass_with(&s, &inp, Parallelism::fixed(2), Some(&stats));
+        assert_results_identical(&r, &legacy);
+        let snap = reg.snapshot();
+        let legacy_snap = stats.snapshot();
+        assert_eq!(snap.rows_scanned(), legacy_snap.rows_scanned());
+        assert_eq!(snap.base_cells(), legacy_snap.base_cells());
+        assert_eq!(snap.cell_merges(), legacy_snap.cell_merges());
+        assert_eq!(snap.regions_emitted(), legacy_snap.regions_emitted());
+        for phase in ["phase1_scan", "phase1_merge", "phase2_rollup"] {
+            let span = snap
+                .span(&format!("cube_pass/{phase}"))
+                .unwrap_or_else(|| panic!("missing span {phase}"));
+            assert_eq!(span.calls, 1);
+        }
     }
 
     #[test]
@@ -1231,7 +1304,8 @@ mod tests {
         for (item, values) in &seq {
             assert_eq!(par.get(item), Some(values));
         }
-        assert_eq!(stats.rows_scanned(), 4);
-        assert_eq!(stats.base_cells(), 2); // two items survive the filter
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows_scanned(), 4);
+        assert_eq!(snap.base_cells(), 2); // two items survive the filter
     }
 }

@@ -364,9 +364,11 @@ mod tests {
         // Split items by the concept root feature's value — approximate
         // the two concept leaves by item feature 0..n splits and check
         // at least one side is perfectly modelled somewhere.
-        let cfg = BellwetherConfig::new(1.0)
-            .with_min_examples(5)
-            .with_error_measure(ErrorMeasure::TrainingSet);
+        let cfg = BellwetherConfig::builder(1.0)
+            .min_examples(5)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap();
         let ids: std::collections::HashSet<i64> = (0..200).collect();
         let info = subset_bellwether(&s.source, &s.region_space, &ids, &cfg)
             .unwrap()

@@ -1,0 +1,40 @@
+//! Canonical metric names shared across the workspace.
+//!
+//! Counters and spans are addressed by string name; these constants keep
+//! the storage readers, the CUBE kernel and the search/tree/cube
+//! builders pointing at the same entries so a single [`crate::Registry`]
+//! sees the whole pipeline.
+
+/// Region reads performed by a training source.
+pub const STORAGE_REGIONS_READ: &str = "storage/regions_read";
+/// Bytes read by a training source.
+pub const STORAGE_BYTES_READ: &str = "storage/bytes_read";
+/// Training examples read by a training source.
+pub const STORAGE_EXAMPLES_READ: &str = "storage/examples_read";
+/// Region blocks written by a training writer.
+pub const STORAGE_REGIONS_WRITTEN: &str = "storage/regions_written";
+/// Bytes written by a training writer.
+pub const STORAGE_BYTES_WRITTEN: &str = "storage/bytes_written";
+
+/// Fact rows scanned by the CUBE pass (phase 1).
+pub const CUBE_PASS_ROWS_SCANNED: &str = "cube_pass/rows_scanned";
+/// Distinct base cells after phase-1 merging.
+pub const CUBE_PASS_BASE_CELLS: &str = "cube_pass/base_cells";
+/// Cell-state merge operations (phase 1b + phase 2).
+pub const CUBE_PASS_CELL_MERGES: &str = "cube_pass/cell_merges";
+/// Non-empty regions emitted by the rollup.
+pub const CUBE_PASS_REGIONS_EMITTED: &str = "cube_pass/regions_emitted";
+
+/// Candidate regions examined by the basic search.
+pub const SEARCH_REGIONS_EVALUATED: &str = "search/regions_evaluated";
+/// Regions that passed all constraints and fit a model.
+pub const SEARCH_REPORTS: &str = "search/reports";
+
+/// Nodes constructed by a bellwether tree builder.
+pub const TREE_NODES: &str = "tree/nodes";
+/// Cells emitted by a bellwether cube builder.
+pub const CUBE_CELLS: &str = "cube/cells_emitted";
+/// CV folds that produced a usable predictor in `evaluate_method`.
+pub const PREDICT_FOLDS: &str = "predict/folds";
+/// Individual item predictions scored by `evaluate_method`.
+pub const PREDICT_PREDICTIONS: &str = "predict/predictions";

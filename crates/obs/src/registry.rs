@@ -1,0 +1,296 @@
+//! Metric handles, the named registry and the `Recorder` sink trait.
+
+use crate::snapshot::{MetricsSnapshot, SpanStat};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A monotonic counter handle. Clones share the underlying atomic, so a
+/// handle can be hoisted out of hot loops and incremented without any
+/// name lookup or lock.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, detached counter (not registered anywhere).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge holding an `f64` (stored as bits in an
+/// atomic). Clones share the underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh, detached gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Per-path span aggregate.
+#[derive(Debug, Default, Clone)]
+struct SpanAgg {
+    calls: u64,
+    total_nanos: u64,
+}
+
+/// The dynamic metrics sink every instrumented algorithm writes to.
+///
+/// The contract that keeps instrumentation free when disabled: callers
+/// gate span timing (and any `format!` path construction) on
+/// [`Recorder::enabled`], and only publish counters at *phase*
+/// granularity — workers accumulate locally and add once. The no-op
+/// implementation therefore costs one branch per phase.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Whether this recorder keeps anything. `false` lets callers skip
+    /// timing and path formatting entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    fn add(&self, name: &str, delta: u64);
+
+    /// Set the named gauge.
+    fn set_gauge(&self, name: &str, value: f64);
+
+    /// Record one completed span occurrence of `nanos` under `path`
+    /// (hierarchical by `/` segments).
+    fn record_span(&self, path: &str, nanos: u64);
+}
+
+/// The default recorder: keeps nothing, reports `enabled() == false`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn add(&self, _name: &str, _delta: u64) {}
+
+    fn set_gauge(&self, _name: &str, _value: f64) {}
+
+    fn record_span(&self, _path: &str, _nanos: u64) {}
+}
+
+/// A small first-seen-ordered name → value store. Metric cardinality is
+/// tens of entries, so linear search beats a hash map here and the
+/// registration order doubles as a stable report order.
+#[derive(Debug, Default)]
+struct NamedMap<T>(Vec<(String, T)>);
+
+impl<T: Default> NamedMap<T> {
+    fn get_or_create(&mut self, name: &str) -> &mut T {
+        if let Some(i) = self.0.iter().position(|(n, _)| n == name) {
+            return &mut self.0[i].1;
+        }
+        self.0.push((name.to_string(), T::default()));
+        &mut self.0.last_mut().expect("just pushed").1
+    }
+}
+
+/// The named metrics store: counters, gauges and span aggregates, each
+/// in first-registration order. Cheap to share (`Arc`), thread-safe,
+/// and a [`Recorder`] in its own right.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<NamedMap<Counter>>,
+    gauges: Mutex<NamedMap<Gauge>>,
+    spans: Mutex<NamedMap<SpanAgg>>,
+}
+
+impl Registry {
+    /// A fresh registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A fresh registry behind an `Arc`, for sharing across sources,
+    /// kernels and configs.
+    pub fn shared() -> Arc<Registry> {
+        Arc::new(Registry::new())
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the named counter, returning a shared handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        Self::lock(&self.counters).get_or_create(name).clone()
+    }
+
+    /// Get or create the named gauge, returning a shared handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Self::lock(&self.gauges).get_or_create(name).clone()
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = Self::lock(&self.counters)
+            .0
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges = Self::lock(&self.gauges)
+            .0
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let spans = Self::lock(&self.spans)
+            .0
+            .iter()
+            .map(|(p, s)| SpanStat {
+                path: p.clone(),
+                calls: s.calls,
+                total_nanos: s.total_nanos,
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            spans,
+        }
+    }
+
+    /// Zero every counter and drop all span aggregates (between
+    /// experiment phases). Existing counter handles stay bound.
+    pub fn reset(&self) {
+        for (_, c) in &Self::lock(&self.counters).0 {
+            c.reset();
+        }
+        Self::lock(&self.spans).0.clear();
+    }
+}
+
+impl Recorder for Registry {
+    fn add(&self, name: &str, delta: u64) {
+        Self::lock(&self.counters).get_or_create(name).add(delta);
+    }
+
+    fn set_gauge(&self, name: &str, value: f64) {
+        Self::lock(&self.gauges).get_or_create(name).set(value);
+    }
+
+    fn record_span(&self, path: &str, nanos: u64) {
+        let mut spans = Self::lock(&self.spans);
+        let agg = spans.get_or_create(path);
+        agg.calls += 1;
+        agg.total_nanos += nanos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 4);
+        assert_eq!(reg.snapshot().counter("x"), Some(4));
+    }
+
+    #[test]
+    fn counter_atomic_under_scoped_fanout() {
+        let reg = Registry::shared();
+        let handle = reg.counter("fanout");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = handle.clone();
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        c.inc();
+                    }
+                    // half the traffic goes through the named path
+                    reg.add("fanout", 5_000);
+                });
+            }
+        });
+        assert_eq!(reg.counter("fanout").get(), 8 * 10_000);
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let reg = Registry::new();
+        reg.set_gauge("g", 1.5);
+        reg.set_gauge("g", -2.25);
+        assert_eq!(reg.gauge("g").get(), -2.25);
+        assert_eq!(reg.snapshot().gauge("g"), Some(-2.25));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_bindings() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        c.add(9);
+        reg.record_span("s", 100);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert!(reg.snapshot().spans.is_empty());
+        c.add(2); // handle still bound to the registry entry
+        assert_eq!(reg.snapshot().counter("c"), Some(2));
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled_and_silent() {
+        let n = NoopRecorder;
+        assert!(!n.enabled());
+        n.add("x", 1);
+        n.set_gauge("y", 2.0);
+        n.record_span("z", 3);
+    }
+
+    #[test]
+    fn registration_order_is_first_seen() {
+        let reg = Registry::new();
+        reg.add("b", 1);
+        reg.add("a", 1);
+        reg.add("b", 1);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Drop-guard span timer and the [`span!`] convenience macro.
+
+use crate::registry::Recorder;
+use std::time::Instant;
+
+/// A scope timer: records elapsed wall-clock nanos under its path when
+/// dropped. Construct via [`crate::span!`] (which skips timing entirely
+/// when the recorder is disabled) or [`Span::start`].
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    rec: &'a dyn Recorder,
+    path: String,
+    start: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Start timing a span that records under `path` on drop.
+    pub fn start(rec: &'a dyn Recorder, path: String) -> Span<'a> {
+        Span {
+            rec,
+            path,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// An inert span that records nothing (used when the recorder is
+    /// disabled so both `span!` arms have the same type).
+    pub fn disabled(rec: &'a dyn Recorder) -> Span<'a> {
+        Span {
+            rec,
+            path: String::new(),
+            start: None,
+        }
+    }
+
+    /// The path this span records under (empty for disabled spans).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(started) = self.start {
+            let nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.rec.record_span(&self.path, nanos);
+        }
+    }
+}
+
+/// Time the enclosing scope under a formatted path:
+///
+/// ```
+/// use bellwether_obs::{span, Registry};
+///
+/// let reg = Registry::shared();
+/// {
+///     let _guard = span!(reg, "tree/rainforest/level{}", 0);
+/// }
+/// assert_eq!(reg.snapshot().spans[0].path, "tree/rainforest/level0");
+/// ```
+///
+/// The first argument is anything that derefs to a [`Recorder`]
+/// (`&Registry`, `Arc<Registry>`, `&Arc<dyn Recorder>`, ...). When the
+/// recorder is disabled the path is never formatted and no clock is
+/// read — the whole macro is one branch.
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $($fmt:tt)+) => {{
+        let __rec: &dyn $crate::Recorder = &*$rec;
+        if __rec.enabled() {
+            $crate::Span::start(__rec, format!($($fmt)+))
+        } else {
+            $crate::Span::disabled(__rec)
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NoopRecorder, Recorder, Registry};
+
+    #[test]
+    fn span_records_on_drop_with_nesting_order() {
+        let reg = Registry::shared();
+        {
+            let _outer = span!(reg, "a");
+            {
+                let _inner = span!(reg, "a/b");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let snap = reg.snapshot();
+        // Inner scope exits first, so it registers first.
+        assert_eq!(snap.spans[0].path, "a/b");
+        assert_eq!(snap.spans[1].path, "a");
+        assert_eq!(snap.spans[0].calls, 1);
+        assert_eq!(snap.spans[1].calls, 1);
+        // The outer span strictly contains the inner one.
+        assert!(snap.spans[1].total_nanos >= snap.spans[0].total_nanos);
+        assert!(snap.spans[0].total_nanos > 0);
+    }
+
+    #[test]
+    fn repeated_spans_aggregate_calls() {
+        let reg = Registry::shared();
+        for i in 0..3 {
+            let _g = span!(reg, "loop/iter");
+            let _ = i;
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].calls, 3);
+    }
+
+    #[test]
+    fn disabled_recorder_skips_formatting_and_recording() {
+        // The format arguments must not be evaluated when disabled.
+        fn boom() -> String {
+            panic!("formatted while disabled")
+        }
+        let noop = NoopRecorder;
+        let g = span!(&noop, "never/{}", boom());
+        assert_eq!(g.path(), "");
+    }
+
+    #[test]
+    fn works_through_arc_dyn_recorder() {
+        let reg = Registry::shared();
+        let rec: std::sync::Arc<dyn Recorder> = reg.clone();
+        {
+            let _g = span!(rec, "dyn/path");
+        }
+        assert_eq!(reg.snapshot().spans[0].path, "dyn/path");
+    }
+}

@@ -15,7 +15,10 @@
 //!
 //! The [`IoStats`] counters record region reads, bytes and examples, so
 //! tests can assert the paper's scan-count lemmas (naive tree ≈ `l·m`
-//! scans, RF tree = `l`, single-scan cube = 1) exactly.
+//! scans, RF tree = `l`, single-scan cube = 1) exactly. Counts are read
+//! through [`TrainingSource::snapshot`] (a `bellwether_obs`
+//! `MetricsSnapshot`); constructing a source `with_registry` binds the
+//! counters into a shared observability registry instead.
 //!
 //! ```
 //! use bellwether_storage::{MemorySource, RegionBlock, TrainingSource};
@@ -25,7 +28,7 @@
 //! let src = MemorySource::new(vec![block]);
 //! let read = src.read_region(0).unwrap();
 //! assert_eq!(read.n(), 1);
-//! assert_eq!(src.stats().regions_read(), 1);
+//! assert_eq!(src.snapshot().regions_read(), 1);
 //! ```
 
 #![warn(missing_docs)]

@@ -4,16 +4,24 @@
 //! training data* (naive tree ≈ `l·m` scans, RF tree = `l`, single-scan
 //! cube = 1). These counters let integration tests assert the claims
 //! exactly, independent of wall-clock noise.
+//!
+//! Since the observability layer landed, [`IoStats`] and [`CubeStats`]
+//! are thin bundles of [`Counter`] handles. Constructed via
+//! [`IoStats::in_registry`] the handles are bound to the canonical
+//! [`names`] entries of a shared [`Registry`], so the legacy record
+//! paths and the workspace-wide metrics see the *same* atomics. Read
+//! values through [`MetricsSnapshot`] accessors; the per-field getters
+//! are deprecated shims.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use bellwether_obs::{names, Counter, MetricsSnapshot, Recorder, Registry};
 use std::sync::Arc;
 
 /// Shared, thread-safe IO counters.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    regions_read: AtomicU64,
-    bytes_read: AtomicU64,
-    examples_read: AtomicU64,
+    regions_read: Counter,
+    bytes_read: Counter,
+    examples_read: Counter,
 }
 
 impl IoStats {
@@ -22,43 +30,94 @@ impl IoStats {
         Arc::new(IoStats::default())
     }
 
+    /// Counters bound to the canonical `storage/*` entries of `reg`:
+    /// every read recorded here is visible in `reg.snapshot()` too.
+    pub fn in_registry(reg: &Registry) -> Arc<IoStats> {
+        Arc::new(IoStats {
+            regions_read: reg.counter(names::STORAGE_REGIONS_READ),
+            bytes_read: reg.counter(names::STORAGE_BYTES_READ),
+            examples_read: reg.counter(names::STORAGE_EXAMPLES_READ),
+        })
+    }
+
     /// Record one region read of `bytes` bytes and `examples` examples.
     pub fn record_region_read(&self, bytes: u64, examples: u64) {
-        self.regions_read.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
-        self.examples_read.fetch_add(examples, Ordering::Relaxed);
+        self.regions_read.inc();
+        self.bytes_read.add(bytes);
+        self.examples_read.add(examples);
+    }
+
+    /// Point-in-time copy of the counters under their canonical names.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                (names::STORAGE_REGIONS_READ.to_string(), self.regions_read.get()),
+                (names::STORAGE_BYTES_READ.to_string(), self.bytes_read.get()),
+                (
+                    names::STORAGE_EXAMPLES_READ.to_string(),
+                    self.examples_read.get(),
+                ),
+            ],
+            gauges: Vec::new(),
+            spans: Vec::new(),
+        }
     }
 
     /// Total region reads.
+    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::regions_read()")]
     pub fn regions_read(&self) -> u64 {
-        self.regions_read.load(Ordering::Relaxed)
+        self.regions_read.get()
     }
 
     /// Total bytes read.
+    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::bytes_read()")]
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read.load(Ordering::Relaxed)
+        self.bytes_read.get()
     }
 
     /// Total examples read.
+    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::examples_read()")]
     pub fn examples_read(&self) -> u64 {
-        self.examples_read.load(Ordering::Relaxed)
+        self.examples_read.get()
     }
 
     /// Reset all counters (between experiment phases).
     pub fn reset(&self) {
-        self.regions_read.store(0, Ordering::Relaxed);
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.examples_read.store(0, Ordering::Relaxed);
+        self.regions_read.reset();
+        self.bytes_read.reset();
+        self.examples_read.reset();
     }
 
     /// Equivalent number of full scans given the total region count —
     /// `regions_read / num_regions` as a float.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read via MetricsSnapshot::scan_equivalents()"
+    )]
     pub fn scan_equivalents(&self, num_regions: usize) -> f64 {
-        if num_regions == 0 {
-            return 0.0;
-        }
-        self.regions_read() as f64 / num_regions as f64
+        self.snapshot().scan_equivalents(num_regions)
     }
+}
+
+impl From<&IoStats> for MetricsSnapshot {
+    fn from(s: &IoStats) -> MetricsSnapshot {
+        s.snapshot()
+    }
+}
+
+impl Recorder for IoStats {
+    fn add(&self, name: &str, delta: u64) {
+        match name {
+            names::STORAGE_REGIONS_READ => self.regions_read.add(delta),
+            names::STORAGE_BYTES_READ => self.bytes_read.add(delta),
+            names::STORAGE_EXAMPLES_READ => self.examples_read.add(delta),
+            _ => {}
+        }
+    }
+
+    fn set_gauge(&self, _name: &str, _value: f64) {}
+
+    fn record_span(&self, _path: &str, _nanos: u64) {}
 }
 
 /// Shared, thread-safe counters for the CUBE-pass kernel.
@@ -66,12 +125,15 @@ impl IoStats {
 /// Same pattern as [`IoStats`]: relaxed atomics behind an `Arc`, cheap
 /// enough to leave enabled. Workers accumulate locally and publish once
 /// per phase, so the counters cost nothing in the per-row hot loop.
+/// `CubeStats` also implements [`Recorder`] (counters only — spans are
+/// dropped), so the kernel's legacy `Option<&CubeStats>` entry point and
+/// the traced one share a single instrumentation path.
 #[derive(Debug, Default)]
 pub struct CubeStats {
-    rows_scanned: AtomicU64,
-    base_cells: AtomicU64,
-    cell_merges: AtomicU64,
-    regions_emitted: AtomicU64,
+    rows_scanned: Counter,
+    base_cells: Counter,
+    cell_merges: Counter,
+    regions_emitted: Counter,
 }
 
 impl CubeStats {
@@ -80,54 +142,116 @@ impl CubeStats {
         Arc::new(CubeStats::default())
     }
 
+    /// Counters bound to the canonical `cube_pass/*` entries of `reg`.
+    pub fn in_registry(reg: &Registry) -> Arc<CubeStats> {
+        Arc::new(CubeStats {
+            rows_scanned: reg.counter(names::CUBE_PASS_ROWS_SCANNED),
+            base_cells: reg.counter(names::CUBE_PASS_BASE_CELLS),
+            cell_merges: reg.counter(names::CUBE_PASS_CELL_MERGES),
+            regions_emitted: reg.counter(names::CUBE_PASS_REGIONS_EMITTED),
+        })
+    }
+
     /// Record `n` fact rows scanned in phase 1.
     pub fn record_rows_scanned(&self, n: u64) {
-        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+        self.rows_scanned.add(n);
     }
 
     /// Record `n` distinct base cells after phase-1 merging.
     pub fn record_base_cells(&self, n: u64) {
-        self.base_cells.fetch_add(n, Ordering::Relaxed);
+        self.base_cells.add(n);
     }
 
     /// Record `n` cell-state merge operations (phase-1 chunk merging
     /// plus phase-2 rollup expansion).
     pub fn record_cell_merges(&self, n: u64) {
-        self.cell_merges.fetch_add(n, Ordering::Relaxed);
+        self.cell_merges.add(n);
     }
 
     /// Record `n` non-empty regions emitted by the rollup.
     pub fn record_regions_emitted(&self, n: u64) {
-        self.regions_emitted.fetch_add(n, Ordering::Relaxed);
+        self.regions_emitted.add(n);
+    }
+
+    /// Point-in-time copy of the counters under their canonical names.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                (
+                    names::CUBE_PASS_ROWS_SCANNED.to_string(),
+                    self.rows_scanned.get(),
+                ),
+                (names::CUBE_PASS_BASE_CELLS.to_string(), self.base_cells.get()),
+                (
+                    names::CUBE_PASS_CELL_MERGES.to_string(),
+                    self.cell_merges.get(),
+                ),
+                (
+                    names::CUBE_PASS_REGIONS_EMITTED.to_string(),
+                    self.regions_emitted.get(),
+                ),
+            ],
+            gauges: Vec::new(),
+            spans: Vec::new(),
+        }
     }
 
     /// Total fact rows scanned.
+    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::rows_scanned()")]
     pub fn rows_scanned(&self) -> u64 {
-        self.rows_scanned.load(Ordering::Relaxed)
+        self.rows_scanned.get()
     }
 
     /// Total distinct base cells produced by phase 1.
+    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::base_cells()")]
     pub fn base_cells(&self) -> u64 {
-        self.base_cells.load(Ordering::Relaxed)
+        self.base_cells.get()
     }
 
     /// Total cell-state merge operations.
+    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::cell_merges()")]
     pub fn cell_merges(&self) -> u64 {
-        self.cell_merges.load(Ordering::Relaxed)
+        self.cell_merges.get()
     }
 
     /// Total non-empty regions emitted.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read via MetricsSnapshot::regions_emitted()"
+    )]
     pub fn regions_emitted(&self) -> u64 {
-        self.regions_emitted.load(Ordering::Relaxed)
+        self.regions_emitted.get()
     }
 
     /// Reset all counters (between experiment phases).
     pub fn reset(&self) {
-        self.rows_scanned.store(0, Ordering::Relaxed);
-        self.base_cells.store(0, Ordering::Relaxed);
-        self.cell_merges.store(0, Ordering::Relaxed);
-        self.regions_emitted.store(0, Ordering::Relaxed);
+        self.rows_scanned.reset();
+        self.base_cells.reset();
+        self.cell_merges.reset();
+        self.regions_emitted.reset();
     }
+}
+
+impl From<&CubeStats> for MetricsSnapshot {
+    fn from(s: &CubeStats) -> MetricsSnapshot {
+        s.snapshot()
+    }
+}
+
+impl Recorder for CubeStats {
+    fn add(&self, name: &str, delta: u64) {
+        match name {
+            names::CUBE_PASS_ROWS_SCANNED => self.rows_scanned.add(delta),
+            names::CUBE_PASS_BASE_CELLS => self.base_cells.add(delta),
+            names::CUBE_PASS_CELL_MERGES => self.cell_merges.add(delta),
+            names::CUBE_PASS_REGIONS_EMITTED => self.regions_emitted.add(delta),
+            _ => {}
+        }
+    }
+
+    fn set_gauge(&self, _name: &str, _value: f64) {}
+
+    fn record_span(&self, _path: &str, _nanos: u64) {}
 }
 
 #[cfg(test)]
@@ -142,13 +266,15 @@ mod tests {
         s.record_cell_merges(25);
         s.record_regions_emitted(4);
         s.record_rows_scanned(50);
-        assert_eq!(s.rows_scanned(), 150);
-        assert_eq!(s.base_cells(), 10);
-        assert_eq!(s.cell_merges(), 25);
-        assert_eq!(s.regions_emitted(), 4);
+        let snap = s.snapshot();
+        assert_eq!(snap.rows_scanned(), 150);
+        assert_eq!(snap.base_cells(), 10);
+        assert_eq!(snap.cell_merges(), 25);
+        assert_eq!(snap.regions_emitted(), 4);
         s.reset();
-        assert_eq!(s.rows_scanned(), 0);
-        assert_eq!(s.cell_merges(), 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.rows_scanned(), 0);
+        assert_eq!(snap.cell_merges(), 0);
     }
 
     #[test]
@@ -156,13 +282,61 @@ mod tests {
         let s = IoStats::shared();
         s.record_region_read(100, 10);
         s.record_region_read(50, 5);
-        assert_eq!(s.regions_read(), 2);
-        assert_eq!(s.bytes_read(), 150);
-        assert_eq!(s.examples_read(), 15);
-        assert!((s.scan_equivalents(4) - 0.5).abs() < 1e-12);
+        let snap = s.snapshot();
+        assert_eq!(snap.regions_read(), 2);
+        assert_eq!(snap.bytes_read(), 150);
+        assert_eq!(snap.examples_read(), 15);
+        assert!((snap.scan_equivalents(4) - 0.5).abs() < 1e-12);
         s.reset();
-        assert_eq!(s.regions_read(), 0);
-        assert_eq!(s.scan_equivalents(0), 0.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.regions_read(), 0);
+        assert_eq!(snap.scan_equivalents(0), 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_getters_still_read_the_same_counters() {
+        let s = IoStats::shared();
+        s.record_region_read(8, 2);
+        assert_eq!(s.regions_read(), 1);
+        assert_eq!(s.bytes_read(), 8);
+        assert_eq!(s.examples_read(), 2);
+        assert!((s.scan_equivalents(2) - 0.5).abs() < 1e-12);
+        let c = CubeStats::shared();
+        c.record_rows_scanned(7);
+        assert_eq!(c.rows_scanned(), 7);
+    }
+
+    #[test]
+    fn registry_bound_stats_share_atomics() {
+        let reg = Registry::shared();
+        let io = IoStats::in_registry(&reg);
+        let cube = CubeStats::in_registry(&reg);
+        io.record_region_read(64, 4);
+        cube.record_rows_scanned(1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.regions_read(), 1);
+        assert_eq!(snap.bytes_read(), 64);
+        assert_eq!(snap.examples_read(), 4);
+        assert_eq!(snap.rows_scanned(), 1000);
+        // From<&_> conversions agree with the registry view.
+        assert_eq!(MetricsSnapshot::from(io.as_ref()).regions_read(), 1);
+        assert_eq!(MetricsSnapshot::from(cube.as_ref()).rows_scanned(), 1000);
+    }
+
+    #[test]
+    fn cube_stats_as_recorder_routes_canonical_names() {
+        use bellwether_obs::names;
+        let s = CubeStats::shared();
+        let rec: &dyn Recorder = s.as_ref();
+        assert!(rec.enabled());
+        rec.add(names::CUBE_PASS_ROWS_SCANNED, 12);
+        rec.add(names::CUBE_PASS_CELL_MERGES, 3);
+        rec.add("unrelated/counter", 99); // ignored
+        rec.record_span("cube_pass/phase1_scan", 5); // dropped
+        let snap = s.snapshot();
+        assert_eq!(snap.rows_scanned(), 12);
+        assert_eq!(snap.cell_merges(), 3);
     }
 
     #[test]
@@ -180,6 +354,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(s.regions_read(), 4000);
+        assert_eq!(s.snapshot().regions_read(), 4000);
     }
 }

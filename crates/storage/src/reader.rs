@@ -13,6 +13,7 @@ use crate::format::{
 };
 use crate::metrics::IoStats;
 use crate::source::TrainingSource;
+use bellwether_obs::{span, Registry};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io;
@@ -27,6 +28,7 @@ pub struct DiskSource {
     index: Vec<IndexEntry>,
     by_coords: HashMap<Vec<u32>, usize>,
     stats: Arc<IoStats>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl DiskSource {
@@ -65,7 +67,20 @@ impl DiskSource {
             index,
             by_coords,
             stats: IoStats::shared(),
+            registry: None,
         })
+    }
+
+    /// Like [`DiskSource::open`], but IO counters are bound to the
+    /// canonical `storage/*` entries of `reg` and each region read is
+    /// timed under the `storage/read_region` span. Disk reads are
+    /// IO-dominated, so the per-read span is an acceptable cost here
+    /// (the in-memory source records counters only).
+    pub fn open_with_registry(path: &Path, reg: &Arc<Registry>) -> io::Result<Self> {
+        let mut src = DiskSource::open(path)?;
+        src.stats = IoStats::in_registry(reg);
+        src.registry = Some(Arc::clone(reg));
+        Ok(src)
     }
 
     /// Size of the stored data region in bytes (excluding index/footer).
@@ -88,6 +103,10 @@ impl TrainingSource for DiskSource {
     }
 
     fn read_region(&self, idx: usize) -> io::Result<RegionBlock> {
+        let _timer = self
+            .registry
+            .as_ref()
+            .map(|reg| span!(reg.as_ref(), "storage/read_region"));
         let entry = &self.index[idx];
         let mut buf = vec![0u8; entry.len as usize];
         self.file.read_exact_at(&mut buf, entry.offset)?;
@@ -147,8 +166,31 @@ mod tests {
             let got = src.read_region(i).unwrap();
             assert_eq!(&got, expect);
         }
-        assert_eq!(src.stats().regions_read(), 5);
+        assert_eq!(src.snapshot().regions_read(), 5);
         assert_eq!(src.total_examples().unwrap(), 1 + 2 + 3 + 4 + 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn registry_bound_disk_source_counts_and_times_reads() {
+        let path = tmpfile("reg.bwtd");
+        let blocks = sample_blocks();
+        let mut w = TrainingWriter::create(&path, 3, 2).unwrap();
+        for b in &blocks {
+            w.write_region(b).unwrap();
+        }
+        w.finish().unwrap();
+
+        let reg = Registry::shared();
+        let src = DiskSource::open_with_registry(&path, &reg).unwrap();
+        for i in 0..src.num_regions() {
+            src.read_region(i).unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.regions_read(), 5);
+        assert_eq!(snap.examples_read(), 15);
+        let span = snap.span("storage/read_region").expect("read span recorded");
+        assert_eq!(span.calls, 5);
         std::fs::remove_file(&path).ok();
     }
 

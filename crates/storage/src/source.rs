@@ -5,6 +5,7 @@
 
 use crate::block::RegionBlock;
 use crate::metrics::IoStats;
+use bellwether_obs::{MetricsSnapshot, Registry};
 use std::io;
 use std::sync::Arc;
 
@@ -29,6 +30,13 @@ pub trait TrainingSource: Send + Sync {
 
     /// Shared IO counters.
     fn stats(&self) -> &Arc<IoStats>;
+
+    /// Point-in-time copy of this source's IO counters, addressed by the
+    /// canonical names in `bellwether_obs::names` — the non-deprecated
+    /// way to read scan counts.
+    fn snapshot(&self) -> MetricsSnapshot {
+        self.stats().as_ref().into()
+    }
 
     /// Index of the region with the given coordinates, if stored.
     fn find_region(&self, coords: &[u32]) -> Option<usize> {
@@ -67,6 +75,15 @@ impl MemorySource {
             p,
             stats: IoStats::shared(),
         }
+    }
+
+    /// Like [`MemorySource::new`], but IO counters are bound to the
+    /// canonical `storage/*` entries of `reg`, so every read shows up in
+    /// `reg.snapshot()` alongside the rest of the pipeline's metrics.
+    pub fn with_registry(blocks: Vec<RegionBlock>, reg: &Registry) -> Self {
+        let mut src = MemorySource::new(blocks);
+        src.stats = IoStats::in_registry(reg);
+        src
     }
 
     /// Direct (uncounted) access for construction-time bookkeeping.
@@ -120,8 +137,20 @@ mod tests {
         assert_eq!(src.feature_arity(), 2);
         let b = src.read_region(1).unwrap();
         assert_eq!(b.n(), 2);
-        assert_eq!(src.stats().regions_read(), 1);
-        assert_eq!(src.stats().examples_read(), 2);
+        assert_eq!(src.snapshot().regions_read(), 1);
+        assert_eq!(src.snapshot().examples_read(), 2);
+    }
+
+    #[test]
+    fn registry_bound_source_reports_into_registry() {
+        let reg = Registry::shared();
+        let src = MemorySource::with_registry(blocks(), &reg);
+        src.read_region(0).unwrap();
+        src.read_region(1).unwrap();
+        assert_eq!(reg.snapshot().regions_read(), 2);
+        assert_eq!(reg.snapshot().examples_read(), 3);
+        // The source's own view is the same atomics.
+        assert_eq!(src.snapshot().regions_read(), 2);
     }
 
     #[test]
@@ -135,7 +164,7 @@ mod tests {
     fn total_examples_scans() {
         let src = MemorySource::new(blocks());
         assert_eq!(src.total_examples().unwrap(), 3);
-        assert_eq!(src.stats().regions_read(), 2);
+        assert_eq!(src.snapshot().regions_read(), 2);
     }
 
     #[test]

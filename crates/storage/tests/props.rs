@@ -59,13 +59,14 @@ fn io_accounting_is_exact() {
             mem.read_region(i).unwrap();
             let _ = b;
         }
-        assert_eq!(mem.stats().regions_read(), blocks.len() as u64);
+        let snap = mem.snapshot();
+        assert_eq!(snap.regions_read(), blocks.len() as u64);
         assert_eq!(
-            mem.stats().examples_read(),
+            snap.examples_read(),
             blocks.iter().map(|b| b.n() as u64).sum::<u64>()
         );
         assert_eq!(
-            mem.stats().bytes_read(),
+            snap.bytes_read(),
             blocks.iter().map(|b| b.encoded_len() as u64).sum::<u64>()
         );
     });

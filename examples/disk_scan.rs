@@ -8,10 +8,6 @@
 //! Run with: `cargo run --release --example disk_scan`
 
 use bellwether::prelude::*;
-use bellwether_core::{
-    build_naive_cube, build_optimized_cube, build_single_scan_cube, BellwetherCube,
-    CubeConfig, ErrorMeasure,
-};
 
 fn main() {
     let cfg = ScaleConfig {
@@ -35,10 +31,12 @@ fn main() {
         src.data_bytes()
     );
 
-    let problem = BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(10)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     let cube_cfg = CubeConfig {
         min_subset_size: 25,
     };
@@ -95,11 +93,12 @@ fn main() {
         let start = std::time::Instant::now();
         let cube = build();
         let secs = start.elapsed().as_secs_f64();
+        let snap = src.snapshot();
         println!(
             "{name:<18} {:>6.2}s  {:>6} region reads  ({:.1} full scans)  {} cells",
             secs,
-            src.stats().regions_read(),
-            src.stats().scan_equivalents(regions),
+            snap.regions_read(),
+            snap.scan_equivalents(regions),
             cube.cells.len()
         );
     }

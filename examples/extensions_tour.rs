@@ -6,10 +6,6 @@
 //! Run with: `cargo run --release --example extensions_tour`
 
 use bellwether::prelude::*;
-use bellwether_core::{
-    auto_generate_queries, basic_search_linear, build_cube_input, build_optimized_cube_cv,
-    build_rainforest, greedy_combinatorial_search, prune_tree, LinearCriterion,
-};
 use std::collections::HashMap;
 
 fn main() {
@@ -34,10 +30,12 @@ fn main() {
 
     let cube_input = build_cube_input(&data.db, &data.space, &queries).unwrap();
     let cube = cube_pass(&data.space, &cube_input);
-    let problem = BellwetherConfig::new(25.0)
-        .with_min_coverage(0.5)
-        .with_min_examples(20)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let problem = BellwetherConfig::builder(25.0)
+        .min_coverage(0.5)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     // The linear-criterion sweep trades cost off explicitly, so it sees
     // every region; the tree/cube sections get only affordable regions
     // (the whole-period/whole-area region contains the target itself and

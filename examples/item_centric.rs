@@ -6,7 +6,6 @@
 //! Run with: `cargo run --release --example item_centric`
 
 use bellwether::prelude::*;
-use bellwether_core::build_cube_input;
 use std::collections::HashMap;
 
 fn main() {
@@ -42,10 +41,12 @@ fn main() {
     );
     let source = build_memory_source(&cube_result, &regions, &data.items, &targets);
 
-    let problem = BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(20)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
 
     // ---- a bellwether tree (RF algorithm) over the item features.
     let tree_cfg = TreeConfig {

@@ -6,7 +6,6 @@
 //! Run with: `cargo run --release --example mail_order_analysis`
 
 use bellwether::prelude::*;
-use bellwether_core::build_cube_input;
 use std::collections::HashMap;
 
 fn main() {
@@ -27,9 +26,11 @@ fn main() {
 
     println!("\n{:>8} {:>16} {:>12} {:>12} {:>8}", "budget", "bellwether", "Bel Err", "Avg Err", "95% ind");
     for budget in [15.0, 25.0, 35.0, 45.0, 55.0, 65.0, 75.0] {
-        let config = BellwetherConfig::new(budget)
-            .with_min_coverage(0.5)
-            .with_min_examples(20);
+        let config = BellwetherConfig::builder(budget)
+            .min_coverage(0.5)
+            .min_examples(20)
+            .build()
+            .unwrap();
         let result =
             basic_search(&source, &data.space, &data.cost, &config, data.items.len()).unwrap();
         match result.bellwether() {

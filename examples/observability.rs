@@ -1,0 +1,161 @@
+//! Observability tour: run the mail-order pipeline end to end with one
+//! metrics [`Registry`] attached to every layer — the CUBE pass, the
+//! disk storage reader/writer, the basic search, the RainForest tree
+//! builder (one span per level scan, the empirical Lemma 1 witness) and
+//! the optimized cube builder — then print the resulting span-tree
+//! profile and counters.
+//!
+//! The same run is repeated with the legacy `CubeStats`/`IoStats`
+//! bundles to show the counts agree exactly: the old stats structs are
+//! now views over the same counter machinery.
+//!
+//! Run with: `cargo run --release --example observability`
+
+use bellwether::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let reg = Registry::shared();
+
+    // ---- the retail workload (the quickstart's bigger sibling).
+    let mut cfg = RetailConfig::mail_order_heterogeneous(240, 7);
+    cfg.months = 8;
+    cfg.converge_month = 6;
+    println!("generating mail-order dataset ({} items)…", cfg.n_items);
+    let data = generate_retail(&cfg);
+    let targets: HashMap<i64, f64> =
+        global_target(&data.db, "profit", AggFunc::Sum).unwrap();
+    let cube_input =
+        build_cube_input(&data.db, &data.space, &data.feature_queries).unwrap();
+
+    // ---- CUBE pass, reporting phases + counters into the registry.
+    let cube_result =
+        cube_pass_traced(&data.space, &cube_input, Parallelism::default(), reg.as_ref());
+
+    // Legacy cross-check: the same pass through the old CubeStats API
+    // must count exactly the same work.
+    let legacy_cube = bellwether::storage::CubeStats::shared();
+    let _ = bellwether::cube::cube_pass_with(
+        &data.space,
+        &cube_input,
+        Parallelism::default(),
+        Some(&legacy_cube),
+    );
+    let snap = reg.snapshot();
+    let legacy_snap = legacy_cube.snapshot();
+    for name in [
+        "cube_pass/rows_scanned",
+        "cube_pass/base_cells",
+        "cube_pass/cell_merges",
+        "cube_pass/regions_emitted",
+    ] {
+        assert_eq!(
+            snap.counter(name),
+            legacy_snap.counter(name),
+            "registry and legacy CubeStats disagree on {name}"
+        );
+    }
+    println!(
+        "CUBE pass: {} rows scanned, {} regions emitted (matches legacy CubeStats)",
+        snap.rows_scanned(),
+        snap.regions_emitted()
+    );
+
+    // ---- entire training data on disk, written and read through the
+    // registry-bound storage layer.
+    let budget = 40.0;
+    let regions: Vec<RegionId> = data
+        .space
+        .all_regions()
+        .into_iter()
+        .filter(|r| data.cost.cost(&data.space, r) <= budget)
+        .collect();
+    let path = std::env::temp_dir().join("bellwether_observability.btd");
+    write_disk_source_in_registry(
+        &path,
+        &cube_result,
+        &regions,
+        &data.space,
+        &data.items,
+        &targets,
+        &reg,
+    )
+    .unwrap();
+    let source = DiskSource::open_with_registry(&path, &reg).unwrap();
+
+    let problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .recorder(reg.clone())
+        .build()
+        .unwrap();
+
+    // ---- basic search, tree and cube, all profiled.
+    let search =
+        basic_search(&source, &data.space, &data.cost, &problem, data.items.len()).unwrap();
+    println!(
+        "basic search: {} regions evaluated, bellwether {}",
+        search.reports.len(),
+        search.bellwether().map_or("-".into(), |b| b.label.clone())
+    );
+
+    let tree_cfg = TreeConfig {
+        min_node_items: 60,
+        max_numeric_splits: 8,
+        ..TreeConfig::default()
+    };
+    let tree =
+        build_rainforest(&source, &data.space, &data.items, None, &problem, &tree_cfg)
+            .unwrap();
+    println!("RF tree: {} nodes, depth {}", tree.nodes.len(), tree.depth());
+
+    let cube_cfg = CubeConfig {
+        min_subset_size: 30,
+    };
+    let cube = build_optimized_cube(
+        &source,
+        &data.space,
+        &data.item_space,
+        &data.item_coords,
+        &problem,
+        &cube_cfg,
+    )
+    .unwrap();
+    println!("optimized cube: {} cells", cube.cells.len());
+
+    // Legacy cross-check for storage I/O: replay the tree build on a
+    // plain DiskSource and compare its IoStats-backed snapshot against
+    // the registry's running counters.
+    let before = reg.snapshot().regions_read();
+    let _ = build_rainforest(&source, &data.space, &data.items, None, &problem, &tree_cfg)
+        .unwrap();
+    let tree_reads = reg.snapshot().regions_read() - before;
+    let plain = DiskSource::open(&path).unwrap();
+    let _ = build_rainforest(&plain, &data.space, &data.items, None, &problem, &tree_cfg)
+        .unwrap();
+    assert_eq!(
+        plain.snapshot().regions_read(),
+        tree_reads,
+        "registry and legacy IoStats disagree on regions read"
+    );
+    println!("tree build: {tree_reads} region reads (matches legacy IoStats)");
+
+    // ---- one span per RainForest level scan (Lemma 1, observed).
+    let snap = reg.snapshot();
+    for d in 0..=tree.depth() {
+        assert!(
+            snap.span(&format!("tree/rainforest/level{d}")).is_some(),
+            "missing level {d} scan span"
+        );
+    }
+
+    println!("\n==== span-tree profile ====");
+    print!("{}", snap.render_span_tree());
+    println!("\n==== counters ====");
+    for (name, value) in &snap.counters {
+        println!("{name:<32} {value}");
+    }
+
+    std::fs::remove_file(&path).ok();
+}

@@ -112,10 +112,12 @@ fn main() {
 
     // ---- the basic bellwether search under a budget.
     let cost = UniformCellCost { rate: 1.0 }; // 1 unit per (week, state) cell
-    let config = BellwetherConfig::new(3.0) // at most 3 cells
-        .with_min_coverage(0.9)
-        .with_min_examples(5)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let config = BellwetherConfig::builder(3.0) // at most 3 cells
+        .min_coverage(0.9)
+        .min_examples(5)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     let result = basic_search(&source, &space, &cost, &config, 8).unwrap();
 
     println!("feasible regions under budget 3.0:");

@@ -179,10 +179,12 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         ErrorMeasure::cv10()
     };
-    let config = BellwetherConfig::new(opts.budget)
-        .with_min_coverage(opts.min_coverage)
-        .with_min_examples(opts.min_examples)
-        .with_error_measure(measure);
+    let config = BellwetherConfig::builder(opts.budget)
+        .min_coverage(opts.min_coverage)
+        .min_examples(opts.min_examples)
+        .error_measure(measure)
+        .build()
+        .unwrap();
     let cost = UniformCellCost { rate: 1.0 };
     let result = basic_search(&source, &space, &cost, &config, items.len())?;
 

@@ -14,7 +14,10 @@
 //! * [`storage`] — region-partitioned entire-training-data storage;
 //! * [`datagen`] — deterministic synthetic workloads;
 //! * [`core`] — the paper's algorithms: basic search, bellwether trees
-//!   and bellwether cubes, plus item-centric prediction.
+//!   and bellwether cubes, plus item-centric prediction;
+//! * [`obs`] — zero-dependency metrics/span observability layer
+//!   (attach a [`prelude::Registry`] via
+//!   [`prelude::BellwetherConfig::builder`] to profile any run).
 //!
 //! ```
 //! use bellwether::prelude::*;
@@ -34,33 +37,54 @@
 //! let regions = data.space.all_regions();
 //! let source = build_memory_source(&result, &regions, &data.items, &targets);
 //!
-//! // … and find the bellwether under a budget.
-//! let config = BellwetherConfig::new(40.0).with_min_coverage(0.5);
+//! // … and find the bellwether under a budget, with metrics on.
+//! let registry = Registry::shared();
+//! let config = BellwetherConfig::builder(40.0)
+//!     .min_coverage(0.5)
+//!     .recorder(registry.clone())
+//!     .build()
+//!     .unwrap();
 //! let search = basic_search(&source, &data.space, &data.cost, &config, data.items.len()).unwrap();
 //! assert!(search.bellwether().is_some());
+//! assert!(registry.snapshot().counter("search/regions_evaluated").unwrap() > 0);
 //! ```
 
 pub use bellwether_core as core;
 pub use bellwether_cube as cube;
 pub use bellwether_datagen as datagen;
 pub use bellwether_linreg as linreg;
+pub use bellwether_obs as obs;
 pub use bellwether_storage as storage;
 pub use bellwether_table as table;
 
 /// Common imports for end-to-end use of the library.
+///
+/// Brings in the space/config types, the search/tree/cube builders,
+/// storage sources, the datagen workloads and the observability layer
+/// ([`Registry`](bellwether_obs::Registry),
+/// [`Recorder`](bellwether_obs::Recorder),
+/// [`MetricsSnapshot`](bellwether_obs::MetricsSnapshot) and the
+/// [`span!`](bellwether_obs::span) macro). Every example in
+/// `examples/` compiles from this module alone.
 pub mod prelude {
     pub use bellwether_core::{
-        basic_search, build_cube_input, build_memory_source, build_naive_cube,
-        build_naive_tree, build_optimized_cube, build_rainforest, build_single_scan_cube,
-        evaluate_method, global_target, render_cross_tab, sampling_baseline_error,
-        select_cell_for_item, BasicSearchResult, BellwetherConfig, BellwetherCube,
-        BellwetherTree, CubeConfig, ErrorMeasure, EvalContext, FeatureQuery, ItemCentricEval,
-        ItemTable, Method, StarDatabase, TreeConfig,
+        auto_generate_queries, basic_search, basic_search_linear, build_cube_input,
+        build_memory_source, build_naive_cube, build_naive_tree, build_optimized_cube,
+        build_optimized_cube_cv, build_rainforest, build_single_scan_cube, evaluate_method,
+        global_target, greedy_combinatorial_search, prune_tree, render_cross_tab,
+        sampling_baseline_error, select_cell_for_item, write_disk_source,
+        write_disk_source_in_registry, BasicSearchResult, BellwetherConfig,
+        BellwetherConfigBuilder, BellwetherCube, BellwetherTree, CubeConfig,
+        CubeConfigBuilder, ErrorMeasure, EvalContext, FeatureQuery, ItemCentricEval,
+        ItemTable, LinearCriterion, Method, SplitCriterion, StarDatabase, TreeConfig,
+        TreeConfigBuilder,
     };
     pub use bellwether_cube::{
-        cube_pass, feasible_regions, Constraints, CostModel, CubeInput, Dimension, Hierarchy,
-        ProductCost, RegionId, RegionSpace, UniformCellCost,
+        cube_pass, cube_pass_traced, feasible_regions, Constraints, CostModel, CubeInput,
+        Dimension, Hierarchy, Parallelism, ProductCost, RegionId, RegionSpace,
+        UniformCellCost,
     };
+    pub use bellwether_obs::{span, MetricsSnapshot, NoopRecorder, Recorder, Registry};
     pub use bellwether_datagen::{
         build_scale_workload, generate_retail, generate_simulation, RetailConfig, ScaleConfig,
         SimulationConfig,

@@ -38,9 +38,11 @@ fn pipeline(n_items: usize, seed: u64) -> Pipeline {
 #[test]
 fn planted_bellwether_is_recovered() {
     let p = pipeline(150, 11);
-    let config = BellwetherConfig::new(30.0)
-        .with_min_coverage(0.5)
-        .with_min_examples(20);
+    let config = BellwetherConfig::builder(30.0)
+        .min_coverage(0.5)
+        .min_examples(20)
+        .build()
+        .unwrap();
     let result = basic_search(&p.source, &p.data.space, &p.data.cost, &config, 150).unwrap();
     let best = result.bellwether().expect("bellwether exists");
     assert!(
@@ -56,9 +58,11 @@ fn planted_bellwether_is_recovered() {
 #[test]
 fn bellwether_beats_average_and_sampling() {
     let p = pipeline(150, 12);
-    let config = BellwetherConfig::new(30.0)
-        .with_min_coverage(0.5)
-        .with_min_examples(20);
+    let config = BellwetherConfig::builder(30.0)
+        .min_coverage(0.5)
+        .min_examples(20)
+        .build()
+        .unwrap();
     let result =
         basic_search(&p.source, &p.data.space, &p.data.cost, &config, 150).unwrap();
     let bel = result.bellwether().unwrap().error.value;
@@ -84,9 +88,11 @@ fn error_decreases_with_budget_until_convergence() {
     let p = pipeline(150, 13);
     let mut errors = Vec::new();
     for budget in [10.0, 20.0, 40.0, 80.0] {
-        let config = BellwetherConfig::new(budget)
-            .with_min_coverage(0.5)
-            .with_min_examples(20);
+        let config = BellwetherConfig::builder(budget)
+            .min_coverage(0.5)
+            .min_examples(20)
+            .build()
+            .unwrap();
         let result =
             basic_search(&p.source, &p.data.space, &p.data.cost, &config, 150).unwrap();
         errors.push(result.bellwether().map(|b| b.error.value));
@@ -107,9 +113,11 @@ fn error_decreases_with_budget_until_convergence() {
 fn indistinguishability_drops_once_signal_converges() {
     let p = pipeline(150, 14);
     let frac_at = |budget: f64| {
-        let config = BellwetherConfig::new(budget)
-            .with_min_coverage(0.5)
-            .with_min_examples(20);
+        let config = BellwetherConfig::builder(budget)
+            .min_coverage(0.5)
+            .min_examples(20)
+            .build()
+            .unwrap();
         basic_search(&p.source, &p.data.space, &p.data.cost, &config, 150)
             .unwrap()
             .indistinguishable_fraction(0.95)
@@ -123,13 +131,14 @@ fn indistinguishability_drops_once_signal_converges() {
 fn training_set_error_tracks_cv_error() {
     // The Fig. 7(a)-vs-(c) claim at pipeline level.
     let p = pipeline(150, 15);
-    let cv_cfg = BellwetherConfig::new(40.0)
-        .with_min_coverage(0.5)
-        .with_min_examples(20)
-        .with_error_measure(ErrorMeasure::cv10());
-    let tr_cfg = cv_cfg
-        .clone()
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let cv_cfg = BellwetherConfig::builder(40.0)
+        .min_coverage(0.5)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::cv10())
+        .build()
+        .unwrap();
+    let mut tr_cfg = cv_cfg.clone();
+    tr_cfg.error_measure = ErrorMeasure::TrainingSet;
     let cv = basic_search(&p.source, &p.data.space, &p.data.cost, &cv_cfg, 150).unwrap();
     let tr = basic_search(&p.source, &p.data.space, &p.data.cost, &tr_cfg, 150).unwrap();
     let (cb, tb) = (cv.bellwether().unwrap(), tr.bellwether().unwrap());
@@ -156,9 +165,11 @@ fn disk_backed_pipeline_matches_memory() {
     write_disk_source(&path, &cube, &regions, &data.space, &data.items, &targets).unwrap();
     let disk = DiskSource::open(&path).unwrap();
 
-    let config = BellwetherConfig::new(25.0)
-        .with_min_coverage(0.5)
-        .with_min_examples(10);
+    let config = BellwetherConfig::builder(25.0)
+        .min_coverage(0.5)
+        .min_examples(10)
+        .build()
+        .unwrap();
     let a = basic_search(&mem, &data.space, &data.cost, &config, 60).unwrap();
     let b = basic_search(&disk, &data.space, &data.cost, &config, 60).unwrap();
     assert_eq!(

@@ -40,10 +40,12 @@ fn auto_generated_queries_run_end_to_end() {
     let cube = cube_pass(&data.space, &input);
     let regions = data.space.all_regions();
     let source = build_memory_source(&cube, &regions, &data.items, &targets);
-    let config = BellwetherConfig::new(20.0)
-        .with_min_coverage(0.5)
-        .with_min_examples(20)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let config = BellwetherConfig::builder(20.0)
+        .min_coverage(0.5)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     let found =
         basic_search(&source, &data.space, &data.cost, &config, data.items.len()).unwrap();
     assert!(found.bellwether().is_some());
@@ -52,10 +54,12 @@ fn auto_generated_queries_run_end_to_end() {
 #[test]
 fn linear_criterion_prefers_cheap_regions_as_weight_grows() {
     let (data, _targets, _, source) = dataset();
-    let config = BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(20)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let config = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     let free = basic_search_linear(
         &source,
         &data.space,
@@ -94,10 +98,12 @@ fn linear_criterion_prefers_cheap_regions_as_weight_grows() {
 #[test]
 fn combinatorial_search_never_loses_to_single_region_choice() {
     let (data, targets, cube_input, source) = dataset();
-    let config = BellwetherConfig::new(12.0)
-        .with_min_coverage(0.0)
-        .with_min_examples(20)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let config = BellwetherConfig::builder(12.0)
+        .min_coverage(0.0)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     // Single-region bellwether under the same budget.
     let single =
         basic_search(&source, &data.space, &data.cost, &config, data.items.len()).unwrap();
@@ -129,10 +135,12 @@ fn combinatorial_search_never_loses_to_single_region_choice() {
 #[test]
 fn pruning_reduces_or_keeps_leaves_and_preserves_routing() {
     let (data, _targets, _, source) = dataset();
-    let problem = BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(15)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(15)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     let tree_cfg = TreeConfig {
         min_node_items: 20,
         max_numeric_splits: 8,
@@ -164,10 +172,12 @@ fn cv_cube_agrees_with_single_scan_on_winning_regions() {
     };
     // The CV cube's fold assignment differs from the CV measure's
     // shuffle, so compare *regions*, which are robust, not errors.
-    let ts_problem = BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(20)
-        .with_error_measure(ErrorMeasure::TrainingSet);
+    let ts_problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
     let single = build_single_scan_cube(
         &source,
         &data.space,

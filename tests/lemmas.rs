@@ -27,10 +27,12 @@ fn workload() -> (bellwether_datagen::ScaleWorkload, MemorySource) {
 }
 
 fn problem() -> BellwetherConfig {
-    BellwetherConfig::new(f64::INFINITY)
-        .with_min_coverage(0.0)
-        .with_min_examples(10)
-        .with_error_measure(ErrorMeasure::TrainingSet)
+    BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap()
 }
 
 fn tree_cfg() -> TreeConfig {
@@ -75,7 +77,7 @@ fn lemma_1_rf_scan_budget() {
     let nodes = rf.nodes.len() as u64;
     let regions = src.num_regions() as u64;
     assert_eq!(
-        src.stats().regions_read(),
+        src.snapshot().regions_read(),
         levels * regions + nodes,
         "RF must scan once per level plus one fit-read per node"
     );
@@ -169,7 +171,7 @@ fn scan_count_ordering_naive_vs_scan_based() {
         &cc,
     )
     .unwrap();
-    let single_reads = src.stats().regions_read();
+    let single_reads = src.snapshot().regions_read();
 
     src.stats().reset();
     build_naive_cube(
@@ -181,7 +183,7 @@ fn scan_count_ordering_naive_vs_scan_based() {
         &cc,
     )
     .unwrap();
-    let naive_reads = src.stats().regions_read();
+    let naive_reads = src.snapshot().regions_read();
     assert!(
         naive_reads > 3 * single_reads,
         "naive {naive_reads} vs single {single_reads}"

@@ -353,3 +353,143 @@ fn containment_is_a_partial_order() {
         }
     });
 }
+
+/// Enabling a live metrics recorder must not change a single bit of any
+/// search, tree or cube result — the observability layer only watches.
+#[test]
+fn recorder_does_not_change_results() {
+    check("recorder_does_not_change_results", 12, |rng| {
+        // Random single-dimension region space data: All/{ra, rb, rc}.
+        let region_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "L",
+            "All",
+            &["ra", "rb", "rc"],
+        ))]);
+        let n_items = rng.usize_in(8, 24) as i64;
+        let groups: Vec<&str> = (0..n_items)
+            .map(|_| *rng.choice(&["ga", "gb"]))
+            .collect();
+        let mut blocks = Vec::new();
+        for region in 0u32..4 {
+            let mut block = RegionBlock::new(vec![region], 2);
+            for id in 0..n_items {
+                if rng.flip(0.85) {
+                    block.push(id, &[1.0, rng.f64_in(-10.0, 10.0)], rng.f64_in(-50.0, 50.0));
+                }
+            }
+            blocks.push(block);
+        }
+        let source = MemorySource::new(blocks);
+        let items = ItemTable::from_table(
+            &Table::new(
+                Schema::from_pairs(&[("id", DataType::Int), ("g", DataType::Str)]).unwrap(),
+                vec![
+                    Column::from_ints((0..n_items).collect()),
+                    Column::from_strs(&groups),
+                ],
+            )
+            .unwrap(),
+            "id",
+            &[],
+            &["g"],
+        )
+        .unwrap();
+        let item_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "G",
+            "Any",
+            &["ga", "gb"],
+        ))]);
+        let item_coords: HashMap<i64, Vec<u32>> = (0..n_items)
+            .map(|id| (id, vec![if groups[id as usize] == "ga" { 1 } else { 2 }]))
+            .collect();
+
+        let base = BellwetherConfig::builder(1e9)
+            .min_coverage(0.0)
+            .min_examples(3)
+            .error_measure(ErrorMeasure::TrainingSet);
+        let off = base.clone().build().unwrap();
+        let reg = Registry::shared();
+        let on = base.recorder(reg.clone()).build().unwrap();
+
+        let cost = UniformCellCost { rate: 1.0 };
+        let tree_cfg = TreeConfig {
+            min_node_items: 4,
+            ..TreeConfig::default()
+        };
+        let cube_cfg = CubeConfig { min_subset_size: 3 };
+
+        // Basic search.
+        let s_off =
+            basic_search(&source, &region_space, &cost, &off, n_items as usize).unwrap();
+        let s_on =
+            basic_search(&source, &region_space, &cost, &on, n_items as usize).unwrap();
+        assert_eq!(format!("{s_off:?}"), format!("{s_on:?}"), "basic search diverged");
+
+        // RainForest tree. `SplitCriterion::Categorical` holds a HashMap
+        // whose Debug order is not deterministic, so canonicalize each
+        // node: sorted criterion pairs + everything else verbatim.
+        let canon_tree = |tree: &BellwetherTree| -> Vec<String> {
+            tree.nodes
+                .iter()
+                .map(|n| {
+                    let split = n.split.as_ref().map(|(c, children)| match c {
+                        SplitCriterion::Categorical { attr, code_children } => {
+                            let mut pairs: Vec<_> =
+                                code_children.iter().map(|(k, v)| (*k, *v)).collect();
+                            pairs.sort_unstable();
+                            format!("cat attr={attr} {pairs:?} -> {children:?}")
+                        }
+                        SplitCriterion::Numeric { attr, threshold } => {
+                            format!("num attr={attr} t={threshold:?} -> {children:?}")
+                        }
+                    });
+                    format!(
+                        "d{} rows{:?} info{:?} split{:?}",
+                        n.depth, n.item_rows, n.info, split
+                    )
+                })
+                .collect()
+        };
+        let t_off =
+            build_rainforest(&source, &region_space, &items, None, &off, &tree_cfg).unwrap();
+        let t_on =
+            build_rainforest(&source, &region_space, &items, None, &on, &tree_cfg).unwrap();
+        assert_eq!(canon_tree(&t_off), canon_tree(&t_on), "rainforest tree diverged");
+
+        // Optimized cube (HashMap order is not deterministic — compare
+        // cells keyed and sorted by subset).
+        let canon = |cube: &BellwetherCube| -> Vec<(RegionId, String)> {
+            let mut v: Vec<_> = cube
+                .cells
+                .iter()
+                .map(|(k, c)| (k.clone(), format!("{c:?}")))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let c_off = build_optimized_cube(
+            &source,
+            &region_space,
+            &item_space,
+            &item_coords,
+            &off,
+            &cube_cfg,
+        )
+        .unwrap();
+        let c_on = build_optimized_cube(
+            &source,
+            &region_space,
+            &item_space,
+            &item_coords,
+            &on,
+            &cube_cfg,
+        )
+        .unwrap();
+        assert_eq!(canon(&c_off), canon(&c_on), "optimized cube diverged");
+
+        // The recorder really was live: the traced runs left counters.
+        let snap = reg.snapshot();
+        assert!(snap.counter("search/regions_evaluated").is_some());
+        assert!(snap.counter("tree/nodes").is_some());
+    });
+}
