@@ -53,7 +53,7 @@ pub fn budget_filtered_source(prep: &PreparedRetail, budget: f64) -> MemorySourc
         })
         .map(|i| prep.source.blocks()[i].clone())
         .collect();
-    MemorySource::new(blocks)
+    MemorySource::from_shared(blocks)
 }
 
 #[cfg(test)]

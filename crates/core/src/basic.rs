@@ -4,19 +4,22 @@
 //! The search runs over an already-materialised [`TrainingSource`] (the
 //! entire training data), so a *budget sweep* — the x-axis of Figures 7
 //! and 9 — re-filters the same stored regions by cost instead of
-//! rebuilding training sets. Regions are evaluated in parallel with
-//! scoped threads under the config's [`Parallelism`] budget; each worker
-//! owns a contiguous slice of region indices and writes its own result
-//! slots, so the output is identical for every thread count and the
-//! minimum is resolved by (error, region index).
+//! rebuilding training sets. Regions are evaluated through the shared
+//! [`scan_regions_where`] engine under the config's
+//! [`bellwether_cube::Parallelism`] budget; each worker owns a
+//! contiguous slice of region indices and reports merge in scan order,
+//! so the output is identical for every thread count and the minimum is
+//! resolved by (error, region index). Over-budget regions are filtered
+//! *before* being read, so a tight budget still means little IO.
 
 use crate::error::Result;
 use crate::problem::BellwetherConfig;
+use crate::scan::{scan_regions_where, Concat};
 use crate::training::block_to_data;
 use bellwether_cube::{CostModel, RegionId, RegionSpace};
 use bellwether_linreg::{fit_wls, ErrorEstimate, LinearModel};
 use bellwether_obs::{names, span};
-use bellwether_storage::TrainingSource;
+use bellwether_storage::{RegionBlock, TrainingSource};
 
 /// The evaluation of one feasible region.
 #[derive(Debug, Clone)]
@@ -96,64 +99,42 @@ pub fn basic_search(
     let n = source.num_regions();
     let min_cov_items = (config.min_coverage * total_items as f64).ceil() as usize;
 
-    // Evaluate candidate regions in parallel chunks.
-    let evaluate = |idx: usize| -> Result<Option<RegionReport>> {
-        let region = RegionId(source.region_coords(idx).to_vec());
-        let cost = cost_model.cost(space, &region);
-        if cost > config.budget {
-            return Ok(None);
-        }
-        let block = source.read_region(idx)?;
+    // Evaluate a candidate region that already passed the budget filter.
+    let evaluate = |idx: usize, block: &RegionBlock| -> Option<RegionReport> {
         if block.n() < config.min_examples || block.n() < min_cov_items {
-            return Ok(None);
+            return None;
         }
-        let data = block_to_data(&block);
-        let Some(error) = config.error_measure.estimate(&data) else {
-            return Ok(None);
-        };
-        let Some(model) = fit_wls(&data) else {
-            return Ok(None);
-        };
-        Ok(Some(RegionReport {
+        let data = block_to_data(block);
+        let error = config.error_measure.estimate(&data)?;
+        let model = fit_wls(&data)?;
+        let region = RegionId(source.region_coords(idx).to_vec());
+        Some(RegionReport {
             source_index: idx,
             region: region.clone(),
             label: space.label(&region),
-            cost,
+            cost: cost_model.cost(space, &region),
             n_examples: block.n(),
             error,
             model,
-        }))
+        })
     };
 
-    let threads = config.parallelism.threads_for(n);
-    let mut slots: Vec<Result<Option<RegionReport>>> = Vec::with_capacity(n);
-    if threads <= 1 {
-        for idx in 0..n {
-            slots.push(evaluate(idx));
-        }
-    } else {
-        slots = std::thread::scope(|s| {
-            let chunk = n.div_ceil(threads);
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                let evaluate = &evaluate;
-                handles.push(s.spawn(move || (lo..hi).map(evaluate).collect::<Vec<_>>()));
+    let reports = scan_regions_where(
+        source,
+        config.parallelism,
+        |idx| {
+            let region = RegionId(source.region_coords(idx).to_vec());
+            cost_model.cost(space, &region) <= config.budget
+        },
+        Concat::default,
+        |acc: &mut Concat<RegionReport>, idx, block| {
+            if let Some(report) = evaluate(idx, block) {
+                acc.0.push(report);
             }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("search worker panicked"))
-                .collect()
-        });
-    }
-
-    let mut reports = Vec::new();
-    for slot in slots {
-        if let Some(report) = slot? {
-            reports.push(report);
-        }
-    }
+            Ok(())
+        },
+    )?
+    .0;
     // Bellwether = min error; ties broken by source order for determinism.
     let best = reports
         .iter()
@@ -410,7 +391,8 @@ mod tests {
         let seq = basic_search(&src, &space, &cost, &seq_cfg, 40).unwrap();
         for t in [2, 4, 8] {
             let mut par_cfg = config();
-            par_cfg.parallelism = Parallelism::fixed(t);
+            // min_chunk 1 so real worker threads engage on 3 regions.
+            par_cfg.parallelism = Parallelism::fixed(t).with_min_chunk(1);
             let par = basic_search(&src, &space, &cost, &par_cfg, 40).unwrap();
             assert_eq!(seq.best, par.best);
             assert_eq!(seq.reports.len(), par.reports.len());

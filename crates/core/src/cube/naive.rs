@@ -5,6 +5,7 @@
 use super::{BellwetherCube, CubeConfig, SubsetCell};
 use crate::error::Result;
 use crate::problem::BellwetherConfig;
+use crate::scan::{scan_regions, BestRegion};
 use crate::training::block_subset_data;
 use bellwether_cube::{RegionId, RegionSpace};
 use bellwether_linreg::fit_wls;
@@ -40,9 +41,10 @@ pub fn build_naive_cube(
     })
 }
 
-/// Solve the basic bellwether problem for one subset: scan every region,
-/// track the minimum error, then fit the winning model with a targeted
-/// read. Shared by the naive algorithm and by all finalisation passes.
+/// Solve the basic bellwether problem for one subset: scan every region
+/// (through the shared [`scan_regions`] engine), track the minimum
+/// error, then fit the winning model with a targeted read. Shared by
+/// the naive algorithm and by all finalisation passes.
 pub fn subset_cell(
     source: &dyn TrainingSource,
     region_space: &RegionSpace,
@@ -51,20 +53,22 @@ pub fn subset_cell(
     ids: &HashSet<i64>,
     problem: &BellwetherConfig,
 ) -> Result<Option<SubsetCell>> {
-    let mut best: Option<(usize, f64)> = None;
-    for idx in 0..source.num_regions() {
-        let block = source.read_region(idx)?;
-        let data = block_subset_data(&block, ids);
-        if data.n() < problem.min_examples.max(1) {
-            continue;
-        }
-        if let Some(e) = problem.error_measure.estimate(&data) {
-            if best.is_none_or(|(_, b)| e.value < b) {
-                best = Some((idx, e.value));
+    let best = scan_regions(
+        source,
+        problem.parallelism,
+        BestRegion::default,
+        |acc, idx, block| {
+            let data = block_subset_data(block, ids);
+            if data.n() < problem.min_examples.max(1) {
+                return Ok(());
             }
-        }
-    }
-    finalize_cell(source, region_space, item_space, subset, ids, problem, best)
+            if let Some(e) = problem.error_measure.estimate(&data) {
+                acc.observe(idx, e.value);
+            }
+            Ok(())
+        },
+    )?;
+    finalize_cell(source, region_space, item_space, subset, ids, problem, best.0)
 }
 
 /// Turn a winning `(region index, error value)` into a full cell with a

@@ -18,11 +18,55 @@ use super::naive::finalize_cell;
 use super::{BellwetherCube, CubeConfig};
 use crate::error::{BellwetherError, Result};
 use crate::problem::{BellwetherConfig, ErrorMeasure};
-use bellwether_cube::{rollup_lattice, RegionId, RegionSpace};
+use crate::scan::{scan_regions, MergeableAccumulator};
+use bellwether_cube::{rollup_lattice, Parallelism, RegionId, RegionSpace};
 use bellwether_linreg::RegSuffStats;
 use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// Best `(region index, error)` per subset. Merges per key with strict
+/// `<`, keeping the earlier chunk's winner on ties — exactly the
+/// sequential scan's `or_insert + strict-<` update over ascending
+/// region indices. The value carried per key is order-independent
+/// except for ties, and ties resolve to the lower region index because
+/// partials merge in ascending chunk order.
+struct BestMap<V>(HashMap<RegionId, V>);
+
+/// Error value a per-subset slot is ranked by.
+trait Ranked {
+    fn err(&self) -> f64;
+}
+
+impl Ranked for (usize, f64) {
+    fn err(&self) -> f64 {
+        self.1
+    }
+}
+
+impl Ranked for (usize, f64, Vec<f64>) {
+    fn err(&self) -> f64 {
+        self.1
+    }
+}
+
+impl<V: Ranked + Send> MergeableAccumulator for BestMap<V> {
+    fn merge(&mut self, later: Self) {
+        for (subset, slot) in later.0 {
+            match self.0.entry(subset) {
+                Entry::Occupied(mut o) => {
+                    if slot.err() < o.get().err() {
+                        o.insert(slot);
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert(slot);
+                }
+            }
+        }
+    }
+}
 
 /// Build a bellwether cube with the algebraic-rollup optimization.
 pub fn build_optimized_cube(
@@ -44,35 +88,39 @@ pub fn build_optimized_cube(
     let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
     let p = source.feature_arity();
 
-    let mut best: HashMap<RegionId, (usize, f64)> = HashMap::new();
-    for idx in 0..source.num_regions() {
-        let block = source.read_region(idx)?;
-
-        // Base aggregation: one suffstats update per example.
-        let mut base: HashMap<RegionId, RegSuffStats> = HashMap::new();
-        for (id, x, y) in block.iter() {
-            let Some(coords) = item_coords.get(&id) else { continue };
-            base.entry(RegionId(coords.clone()))
-                .or_insert_with(|| RegSuffStats::new(p))
-                .add(x, y, 1.0);
-        }
-
-        // Lattice rollup: merge statistics upward (Observation 1).
-        let rolled = rollup_lattice(item_space, base, |a, b| a.merge(b));
-
-        // Read each significant subset's error from its statistic.
-        for subset in &index.order {
-            let Some(stats) = rolled.get(subset) else { continue };
-            if stats.n() < problem.min_examples.max(1) {
-                continue;
+    let best = scan_regions(
+        source,
+        problem.parallelism,
+        || BestMap(HashMap::new()),
+        |acc: &mut BestMap<(usize, f64)>, idx, block| {
+            // Base aggregation: one suffstats update per example.
+            let mut base: HashMap<RegionId, RegSuffStats> = HashMap::new();
+            for (id, x, y) in block.iter() {
+                let Some(coords) = item_coords.get(&id) else { continue };
+                base.entry(RegionId(coords.clone()))
+                    .or_insert_with(|| RegSuffStats::new(p))
+                    .add(x, y, 1.0);
             }
-            let Some(err) = stats.rmse() else { continue };
-            let slot = best.entry(subset.clone()).or_insert((idx, f64::INFINITY));
-            if err < slot.1 {
-                *slot = (idx, err);
+
+            // Lattice rollup: merge statistics upward (Observation 1).
+            let rolled = rollup_lattice(item_space, base, |a, b| a.merge(b));
+
+            // Read each significant subset's error from its statistic.
+            for subset in &index.order {
+                let Some(stats) = rolled.get(subset) else { continue };
+                if stats.n() < problem.min_examples.max(1) {
+                    continue;
+                }
+                let Some(err) = stats.rmse() else { continue };
+                let slot = acc.0.entry(subset.clone()).or_insert((idx, f64::INFINITY));
+                if err < slot.1 {
+                    *slot = (idx, err);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    )?
+    .0;
 
     let mut cells = HashMap::new();
     for subset in &index.order {
@@ -135,63 +183,71 @@ pub fn build_optimized_cube_cv(
     let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
     let p = source.feature_arity();
 
-    // best[subset] = (region idx, cv error, fold rmses)
-    let mut best: HashMap<RegionId, (usize, f64, Vec<f64>)> = HashMap::new();
-    for idx in 0..source.num_regions() {
-        let block = source.read_region(idx)?;
-
-        // Base aggregation, one statistic per (base subset, fold).
-        let mut base: HashMap<RegionId, Vec<RegSuffStats>> = HashMap::new();
-        for (id, x, y) in block.iter() {
-            let Some(coords) = item_coords.get(&id) else { continue };
-            let fold = item_fold(id, folds, seed);
-            let stats = base
-                .entry(RegionId(coords.clone()))
-                .or_insert_with(|| (0..folds).map(|_| RegSuffStats::new(p)).collect());
-            stats[fold].add(x, y, 1.0);
-        }
-
-        // Rollup: merge fold vectors elementwise.
-        let rolled = rollup_lattice(item_space, base, |a, b| {
-            for (x, y) in a.iter_mut().zip(b) {
-                x.merge(y);
+    // best[subset] = (region idx, cv error, fold rmses). Runs through
+    // the shared scan engine for the one-idiom property, but pinned
+    // sequential: this extension pass is never on the benchmarked path
+    // and keeps the conservative configuration.
+    let best = scan_regions(
+        source,
+        Parallelism::sequential(),
+        || BestMap(HashMap::new()),
+        |acc: &mut BestMap<(usize, f64, Vec<f64>)>, idx, block| {
+            // Base aggregation, one statistic per (base subset, fold).
+            let mut base: HashMap<RegionId, Vec<RegSuffStats>> = HashMap::new();
+            for (id, x, y) in block.iter() {
+                let Some(coords) = item_coords.get(&id) else { continue };
+                let fold = item_fold(id, folds, seed);
+                let stats = base
+                    .entry(RegionId(coords.clone()))
+                    .or_insert_with(|| (0..folds).map(|_| RegSuffStats::new(p)).collect());
+                stats[fold].add(x, y, 1.0);
             }
-        });
 
-        for subset in &index.order {
-            let Some(fold_stats) = rolled.get(subset) else { continue };
-            let total_n: usize = fold_stats.iter().map(RegSuffStats::n).sum();
-            if total_n < problem.min_examples.max(1) {
-                continue;
-            }
-            // Algebraic k-fold CV.
-            let mut fold_rmses = Vec::with_capacity(folds);
-            for f in 0..folds {
-                if fold_stats[f].n() == 0 {
+            // Rollup: merge fold vectors elementwise.
+            let rolled = rollup_lattice(item_space, base, |a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    x.merge(y);
+                }
+            });
+
+            for subset in &index.order {
+                let Some(fold_stats) = rolled.get(subset) else { continue };
+                let total_n: usize = fold_stats.iter().map(RegSuffStats::n).sum();
+                if total_n < problem.min_examples.max(1) {
                     continue;
                 }
-                let mut train = RegSuffStats::new(p);
-                for (g, s) in fold_stats.iter().enumerate() {
-                    if g != f {
-                        train.merge(s);
+                // Algebraic k-fold CV.
+                let mut fold_rmses = Vec::with_capacity(folds);
+                for f in 0..folds {
+                    if fold_stats[f].n() == 0 {
+                        continue;
                     }
+                    let mut train = RegSuffStats::new(p);
+                    for (g, s) in fold_stats.iter().enumerate() {
+                        if g != f {
+                            train.merge(s);
+                        }
+                    }
+                    let Some(model) = train.fit() else { continue };
+                    let sse = fold_stats[f].sse_of_model(&model);
+                    fold_rmses.push((sse / fold_stats[f].n() as f64).sqrt());
                 }
-                let Some(model) = train.fit() else { continue };
-                let sse = fold_stats[f].sse_of_model(&model);
-                fold_rmses.push((sse / fold_stats[f].n() as f64).sqrt());
+                if fold_rmses.is_empty() {
+                    continue;
+                }
+                let est = ErrorEstimate::from_folds(&fold_rmses);
+                let slot = acc
+                    .0
+                    .entry(subset.clone())
+                    .or_insert((idx, f64::INFINITY, Vec::new()));
+                if est.value < slot.1 {
+                    *slot = (idx, est.value, fold_rmses);
+                }
             }
-            if fold_rmses.is_empty() {
-                continue;
-            }
-            let est = ErrorEstimate::from_folds(&fold_rmses);
-            let slot = best
-                .entry(subset.clone())
-                .or_insert((idx, f64::INFINITY, Vec::new()));
-            if est.value < slot.1 {
-                *slot = (idx, est.value, fold_rmses);
-            }
-        }
-    }
+            Ok(())
+        },
+    )?
+    .0;
 
     // Finalize: fit the winning models; the error estimate is the
     // algebraic CV estimate gathered during the scan.

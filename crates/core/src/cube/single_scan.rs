@@ -8,6 +8,7 @@ use super::naive::finalize_cell;
 use super::{BellwetherCube, CubeConfig};
 use crate::error::Result;
 use crate::problem::BellwetherConfig;
+use crate::scan::{scan_regions, BestRegion};
 use crate::tree::partition::PartitionSpec;
 use bellwether_cube::RegionSpace;
 use bellwether_obs::{names, span};
@@ -33,20 +34,25 @@ pub fn build_single_scan_cube(
         .map(|s| PartitionSpec::new(std::slice::from_ref(&index.members[s])))
         .collect();
 
-    // MinError[S] / BellwetherRegion[S], updated region by region.
-    let mut best: Vec<Option<(usize, f64)>> = vec![None; index.order.len()];
-    for idx in 0..source.num_regions() {
-        let block = source.read_region(idx)?;
-        // Build a model h_r for every significant subset from this block
-        // — the per-subset refits the optimized variant eliminates.
-        for (slot, spec) in subset_specs.iter().enumerate() {
-            if let Some(err) = spec.errors(&block, problem)[0] {
-                if best[slot].is_none_or(|(_, b)| err < b) {
-                    best[slot] = Some((idx, err));
+    // MinError[S] / BellwetherRegion[S], updated region by region via
+    // the shared scan engine (one BestRegion slot per subset; slots
+    // merge element-wise across worker chunks).
+    let best = scan_regions(
+        source,
+        problem.parallelism,
+        || vec![BestRegion::default(); index.order.len()],
+        |acc, idx, block| {
+            // Build a model h_r for every significant subset from this
+            // block — the per-subset refits the optimized variant
+            // eliminates.
+            for (slot, spec) in subset_specs.iter().enumerate() {
+                if let Some(err) = spec.errors(block, problem)[0] {
+                    acc[slot].observe(idx, err);
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    )?;
 
     let mut cells = HashMap::new();
     for (slot, subset) in index.order.iter().enumerate() {
@@ -57,7 +63,7 @@ pub fn build_single_scan_cube(
             subset,
             &index.members[subset],
             problem,
-            best[slot],
+            best[slot].0,
         )? {
             cells.insert(subset.clone(), cell);
         }

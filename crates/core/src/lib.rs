@@ -41,6 +41,7 @@ pub mod items;
 pub mod predict;
 pub mod problem;
 pub mod sampling;
+pub mod scan;
 pub mod training;
 pub mod tree;
 
@@ -70,6 +71,9 @@ pub use items::ItemTable;
 pub use predict::{evaluate_method, EvalContext, ItemCentricEval, Method};
 pub use problem::{BellwetherConfig, BellwetherConfigBuilder, ErrorMeasure};
 pub use sampling::sampling_baseline_error;
+pub use scan::{
+    scan_regions, scan_regions_where, BestRegion, Concat, MergeableAccumulator, MinSlots,
+};
 pub use training::{
     build_memory_source, build_memory_source_with, region_block, write_disk_source,
     write_disk_source_in_registry,

@@ -210,6 +210,11 @@ impl BellwetherConfigBuilder {
                 )));
             }
         }
+        if self.parallelism.min_chunk == 0 {
+            return Err(BellwetherError::Config(
+                "parallelism.min_chunk must be at least 1".to_string(),
+            ));
+        }
         Ok(BellwetherConfig {
             budget: self.budget,
             min_coverage: self.min_coverage,
@@ -304,6 +309,14 @@ mod tests {
         assert!(BellwetherConfig::builder(1.0).min_examples(0).build().is_err());
         assert!(BellwetherConfig::builder(1.0)
             .error_measure(ErrorMeasure::CrossValidation { folds: 1, seed: 0 })
+            .build()
+            .is_err());
+        // min_chunk == 0 cannot come from with_min_chunk (it panics) but
+        // can from direct field assignment; the builder rejects it too.
+        let mut zero = Parallelism::fixed(2);
+        zero.min_chunk = 0;
+        assert!(BellwetherConfig::builder(1.0)
+            .parallelism(zero)
             .build()
             .is_err());
     }

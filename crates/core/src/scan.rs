@@ -1,0 +1,346 @@
+//! The shared region-scan engine: one scan idiom for every algorithm
+//! that folds per-region statistics over the entire training data.
+//!
+//! Every builder in this crate — basic search, both bellwether trees,
+//! all three bellwether cubes — at its core runs
+//! `for idx in 0..source.num_regions() { fold(read_region(idx)) }`.
+//! The statistics those folds accumulate are *mergeable* in the sense
+//! of the paper's Lemma 1 / Theorem 1 and the RainForest framework:
+//! `MinError[v, c, p]` merges by `min`, best-region choices merge by
+//! keeping the smaller error, `RegSuffStats` merges by component-wise
+//! addition. [`scan_regions`] exploits that: it shards `0..num_regions`
+//! into contiguous per-worker chunks under a [`Parallelism`] budget,
+//! folds each chunk into its own accumulator on a scoped thread, then
+//! merges the partials **in ascending chunk order**.
+//!
+//! # Determinism
+//!
+//! The merge is exact, not approximate, and the thread count never
+//! changes output bits (the workspace-wide policy of
+//! `bellwether_cube::parallel`):
+//!
+//! * chunk boundaries depend only on `num_regions` and the thread
+//!   count chosen by [`Parallelism::threads_for`] — never on timing;
+//! * each worker folds its indices in ascending order, exactly as the
+//!   sequential loop would;
+//! * partials merge in ascending chunk order, so an accumulator whose
+//!   `merge` keeps `self` on ties (strict `<` comparisons) reproduces
+//!   the sequential scan's lowest-index-wins tie-breaking bit for bit.
+//!
+//! The sequential fallback ([`Parallelism::min_chunk`]) makes tiny
+//! inputs skip thread spawning entirely; the fallback runs the very
+//! same fold closure over the same indices in the same order.
+
+use crate::error::Result;
+use bellwether_cube::Parallelism;
+use bellwether_storage::{RegionBlock, TrainingSource};
+
+/// A per-scan statistic that can be merged across contiguous index
+/// ranges without changing the result of a sequential fold.
+///
+/// Implementations must satisfy: folding regions `lo..hi` into one
+/// accumulator equals folding `lo..mid` and `mid..hi` separately and
+/// then calling `self.merge(later)` on the earlier accumulator. For
+/// tie-broken statistics (best region by error), "equals" includes the
+/// tie-breaking: `merge` receives partials from strictly later region
+/// indices, so keeping `self` on ties preserves lowest-index-wins.
+pub trait MergeableAccumulator: Send {
+    /// Fold `later` — the accumulator of a strictly later contiguous
+    /// index range — into `self`.
+    fn merge(&mut self, later: Self);
+}
+
+/// Best region by error with the sequential scan's tie-breaking: the
+/// *earliest* index achieving the minimum wins (strict `<` updates).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BestRegion(pub Option<(usize, f64)>);
+
+impl BestRegion {
+    /// Consider `(idx, err)`; keeps the current winner on ties (strict
+    /// `<`, the sequential builders' update rule). Callers must observe
+    /// indices in ascending order (as `scan_regions`' fold does).
+    pub fn observe(&mut self, idx: usize, err: f64) {
+        match self.0 {
+            Some((_, best)) => {
+                if err < best {
+                    self.0 = Some((idx, err));
+                }
+            }
+            None => self.0 = Some((idx, err)),
+        }
+    }
+}
+
+impl MergeableAccumulator for BestRegion {
+    fn merge(&mut self, later: Self) {
+        if let Some((idx, err)) = later.0 {
+            match self.0 {
+                Some((_, best)) if err < best => self.0 = Some((idx, err)),
+                None => self.0 = Some((idx, err)),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Element-wise minimum over a fixed-width slot vector (e.g. per-
+/// partition SSE totals); slots start at `+inf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinSlots(pub Vec<f64>);
+
+impl MinSlots {
+    /// `len` slots, all `+inf`.
+    pub fn new(len: usize) -> Self {
+        MinSlots(vec![f64::INFINITY; len])
+    }
+
+    /// Lower slot `i` to `v` if strictly smaller (NaN never replaces).
+    pub fn observe(&mut self, i: usize, v: f64) {
+        if v < self.0[i] {
+            self.0[i] = v;
+        }
+    }
+}
+
+impl MergeableAccumulator for MinSlots {
+    fn merge(&mut self, later: Self) {
+        assert_eq!(self.0.len(), later.0.len(), "slot width mismatch");
+        for (s, l) in self.0.iter_mut().zip(later.0) {
+            if l < *s {
+                *s = l;
+            }
+        }
+    }
+}
+
+/// Concatenation accumulator: per-region rows collected in scan order.
+/// Valid because `scan_regions` merges partials in ascending chunk
+/// order, so the concatenated vector equals the sequential scan's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concat<T>(pub Vec<T>);
+
+impl<T> Default for Concat<T> {
+    fn default() -> Self {
+        Concat(Vec::new())
+    }
+}
+
+impl<T: Send> MergeableAccumulator for Concat<T> {
+    fn merge(&mut self, later: Self) {
+        self.0.extend(later.0);
+    }
+}
+
+impl<A: MergeableAccumulator> MergeableAccumulator for Vec<A> {
+    /// Element-wise merge of parallel per-slot accumulators (e.g. one
+    /// [`BestRegion`] per candidate subset). Lengths must match — every
+    /// worker builds its vector from the same shared problem structure.
+    fn merge(&mut self, later: Self) {
+        assert_eq!(self.len(), later.len(), "accumulator arity mismatch");
+        for (s, l) in self.iter_mut().zip(later) {
+            s.merge(l);
+        }
+    }
+}
+
+/// Scan every region of `source` once, folding into accumulators
+/// sharded by `par`, and return the in-order merge of the partials.
+///
+/// Equivalent to
+/// `let mut acc = init(); for idx in 0..n { fold(&mut acc, idx, &read(idx)?)? }`
+/// — bit for bit, at any thread count. `fold` observes each region
+/// index exactly once, in ascending order within its chunk.
+pub fn scan_regions<A, I, F>(
+    source: &dyn TrainingSource,
+    par: Parallelism,
+    init: I,
+    fold: F,
+) -> Result<A>
+where
+    A: MergeableAccumulator,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &RegionBlock) -> Result<()> + Sync,
+{
+    scan_regions_where(source, par, |_| true, init, fold)
+}
+
+/// [`scan_regions`] with a cheap pre-read filter: regions where
+/// `keep(idx)` is false are skipped *without being read*, preserving
+/// read counts (and disk IO) of callers that prune by cost before
+/// touching data, like the budget check in `basic_search`.
+pub fn scan_regions_where<A, K, I, F>(
+    source: &dyn TrainingSource,
+    par: Parallelism,
+    keep: K,
+    init: I,
+    fold: F,
+) -> Result<A>
+where
+    A: MergeableAccumulator,
+    K: Fn(usize) -> bool + Sync,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &RegionBlock) -> Result<()> + Sync,
+{
+    let n = source.num_regions();
+    let threads = par.threads_for(n);
+
+    let run_chunk = |lo: usize, hi: usize| -> Result<A> {
+        let mut acc = init();
+        for idx in lo..hi {
+            if !keep(idx) {
+                continue;
+            }
+            let block = source.read_region(idx)?;
+            fold(&mut acc, idx, &block)?;
+        }
+        Ok(acc)
+    };
+
+    if threads <= 1 {
+        return run_chunk(0, n);
+    }
+
+    let chunk = n.div_ceil(threads);
+    let partials: Vec<Result<A>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                let run_chunk = &run_chunk;
+                s.spawn(move || run_chunk(lo, hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("region-scan worker panicked"))
+            .collect()
+    });
+
+    // Merge in ascending chunk order. Errors also surface in chunk
+    // order, which is the sequential scan's first-error (the earliest
+    // failing chunk holds the lowest failing index).
+    let mut merged: Option<A> = None;
+    for partial in partials {
+        let acc = partial?;
+        match merged.as_mut() {
+            None => merged = Some(acc),
+            Some(m) => m.merge(acc),
+        }
+    }
+    Ok(merged.expect("threads_for returns at least 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bellwether_storage::MemorySource;
+
+    fn source(n: usize) -> MemorySource {
+        let blocks = (0..n as u32)
+            .map(|r| {
+                let mut b = RegionBlock::new(vec![r], 1);
+                b.push(r as i64, &[r as f64], (r as f64) * 2.0);
+                b
+            })
+            .collect();
+        MemorySource::new(blocks)
+    }
+
+    fn par(threads: usize) -> Parallelism {
+        Parallelism::fixed(threads).with_min_chunk(1)
+    }
+
+    #[test]
+    fn concat_preserves_scan_order_at_any_thread_count() {
+        let src = source(23);
+        let seq = scan_regions(&src, par(1), Concat::default, |acc, idx, b| {
+            acc.0.push((idx, b.region[0]));
+            Ok(())
+        })
+        .unwrap();
+        for threads in [2, 3, 4, 7, 23, 64] {
+            let got = scan_regions(&src, par(threads), Concat::default, |acc, idx, b| {
+                acc.0.push((idx, b.region[0]));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(got, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn best_region_ties_break_to_lowest_index() {
+        let src = source(10);
+        // Every region reports the same error: index 0 must win at any
+        // thread count (sequential strict-< semantics).
+        for threads in [1, 2, 4, 7] {
+            let best = scan_regions(&src, par(threads), BestRegion::default, |acc, idx, _| {
+                acc.observe(idx, 1.0);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(best.0, Some((0, 1.0)), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn min_slots_merge_matches_sequential() {
+        let src = source(17);
+        let fold = |acc: &mut MinSlots, idx: usize, _: &RegionBlock| {
+            acc.observe(idx % 3, (idx as f64 * 7.0) % 5.0);
+            Ok(())
+        };
+        let seq = scan_regions(&src, par(1), || MinSlots::new(3), fold).unwrap();
+        for threads in [2, 4, 7] {
+            let got = scan_regions(&src, par(threads), || MinSlots::new(3), fold).unwrap();
+            assert_eq!(got, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn filter_skips_reads() {
+        let src = source(10);
+        let kept = scan_regions_where(
+            &src,
+            par(4),
+            |idx| idx % 2 == 0,
+            Concat::default,
+            |acc, idx, _| {
+                acc.0.push(idx);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(kept.0, vec![0, 2, 4, 6, 8]);
+        // Odd regions were never read.
+        assert_eq!(src.snapshot().regions_read(), 5);
+    }
+
+    #[test]
+    fn errors_surface_in_scan_order() {
+        let src = source(12);
+        let fail_at = |bad: usize| {
+            scan_regions(&src, par(4), Concat::<usize>::default, move |acc, idx, _| {
+                if idx >= bad {
+                    return Err(crate::error::BellwetherError::NotFound(format!(
+                        "region {idx}"
+                    )));
+                }
+                acc.0.push(idx);
+                Ok(())
+            })
+        };
+        let err = fail_at(5).unwrap_err();
+        // The earliest failing index is reported even though later
+        // chunks also failed.
+        assert!(err.to_string().contains("region 5"), "got {err}");
+    }
+
+    #[test]
+    fn sequential_fallback_engages_below_min_chunk() {
+        // 10 regions at default min_chunk (16): one thread even at
+        // fixed(8); results unchanged either way.
+        let src = source(10);
+        assert_eq!(Parallelism::fixed(8).threads_for(src.num_regions()), 1);
+    }
+}

@@ -23,6 +23,7 @@ pub(crate) mod tests_support;
 use crate::error::{BellwetherError, Result};
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
+use crate::scan::{scan_regions, BestRegion};
 use crate::training::block_subset_data;
 use bellwether_cube::{RegionId, RegionSpace};
 use bellwether_linreg::{fit_wls, LinearModel};
@@ -451,23 +452,27 @@ pub fn block_subset_error(
 }
 
 /// Solve the basic bellwether problem for an item subset by scanning all
-/// stored regions once: returns the min-error region and its model.
+/// stored regions once (through the shared [`scan_regions`] engine, so
+/// the scan parallelises under `config.parallelism`): returns the
+/// min-error region and its model.
 pub fn subset_bellwether(
     source: &dyn TrainingSource,
     space: &RegionSpace,
     keep: &HashSet<i64>,
     config: &BellwetherConfig,
 ) -> Result<Option<NodeInfo>> {
-    let mut best: Option<(usize, f64)> = None;
-    for idx in 0..source.num_regions() {
-        let block = source.read_region(idx)?;
-        if let Some(err) = block_subset_error(&block, keep, config) {
-            if best.is_none_or(|(_, b)| err < b) {
-                best = Some((idx, err));
+    let best = scan_regions(
+        source,
+        config.parallelism,
+        BestRegion::default,
+        |acc, idx, block| {
+            if let Some(err) = block_subset_error(block, keep, config) {
+                acc.observe(idx, err);
             }
-        }
-    }
-    let Some((region_index, error)) = best else {
+            Ok(())
+        },
+    )?;
+    let Some((region_index, error)) = best.0 else {
         return Ok(None);
     };
     // One more read to fit the winning model (the search loop above only

@@ -6,6 +6,7 @@ use super::{candidate_splits, BellwetherTree, CandidateSplit, Node, TreeConfig};
 use crate::error::Result;
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
+use crate::scan::{scan_regions, MinSlots};
 use crate::tree::partition::{child_id_sets, PartitionSpec};
 use crate::tree::subset_bellwether;
 use bellwether_cube::RegionSpace;
@@ -71,18 +72,21 @@ fn split_node(
     let mut best: Option<(usize, f64, Vec<f64>)> = None; // (cand idx, goodness, child errs)
     for (ci, cand) in candidates.iter().enumerate() {
         let spec = PartitionSpec::new(&child_id_sets(items, &cand.partition));
-        let mut min_err = vec![f64::INFINITY; cand.partition.len()];
-        for idx in 0..source.num_regions() {
-            let block = source.read_region(idx)?;
-            let errs = spec.errors(&block, problem);
-            for (slot, e) in errs.into_iter().enumerate() {
-                if let Some(e) = e {
-                    if e < min_err[slot] {
-                        min_err[slot] = e;
+        let parts = cand.partition.len();
+        let min_err = scan_regions(
+            source,
+            problem.parallelism,
+            || MinSlots::new(parts),
+            |acc, _, block| {
+                for (slot, e) in spec.errors(block, problem).into_iter().enumerate() {
+                    if let Some(e) = e {
+                        acc.observe(slot, e);
                     }
                 }
-            }
-        }
+                Ok(())
+            },
+        )?
+        .0;
         if min_err.iter().any(|e| !e.is_finite()) {
             continue; // some child cannot be modelled anywhere
         }

@@ -17,6 +17,7 @@ use super::{
 use crate::error::Result;
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
+use crate::scan::{scan_regions, BestRegion, MergeableAccumulator};
 use crate::tree::naive::goodness_of;
 use crate::tree::partition::{child_id_sets, fit_node_model, PartitionSpec};
 use bellwether_cube::{RegionId, RegionSpace};
@@ -24,18 +25,64 @@ use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
 use std::collections::HashSet;
 
-/// Per-level bookkeeping for one node.
+/// Per-level bookkeeping for one node. Read-only during the level scan
+/// so workers can share it; the scan's mutable state lives in
+/// [`LevelAcc`].
 struct LevelEntry {
     node_id: usize,
     ids: HashSet<i64>,
     /// Candidates and their routing tables (empty when inactive).
     candidates: Vec<CandidateSplit>,
     specs: Vec<PartitionSpec>,
+    active: bool,
+}
+
+/// One node's share of the level statistic.
+struct EntryPartial {
+    /// Best (region index, error) for the node's own item set.
+    node_best: BestRegion,
     /// MinError[c][p].
     min_err: Vec<Vec<f64>>,
-    /// Best (region index, error) for the node's own item set.
-    node_best: Option<(usize, f64)>,
-    active: bool,
+}
+
+/// The level's sufficient statistic (Lemma 1): per active node, the
+/// `MinError[v, c, p]` table plus the node's own best region. Both
+/// merge exactly — `min` over disjoint region ranges is `min` over
+/// their union, and strict-`<` updates with in-order merging preserve
+/// the sequential scan's lowest-region-index tie-breaking.
+struct LevelAcc(Vec<EntryPartial>);
+
+impl LevelAcc {
+    fn for_entries(entries: &[LevelEntry]) -> Self {
+        LevelAcc(
+            entries
+                .iter()
+                .map(|e| EntryPartial {
+                    node_best: BestRegion::default(),
+                    min_err: e
+                        .candidates
+                        .iter()
+                        .map(|c| vec![f64::INFINITY; c.partition.len()])
+                        .collect(),
+                })
+                .collect(),
+        )
+    }
+}
+
+impl MergeableAccumulator for LevelAcc {
+    fn merge(&mut self, later: Self) {
+        for (ours, theirs) in self.0.iter_mut().zip(later.0) {
+            ours.node_best.merge(theirs.node_best);
+            for (oc, tc) in ours.min_err.iter_mut().zip(theirs.min_err) {
+                for (ov, tv) in oc.iter_mut().zip(tc) {
+                    if tv < *ov {
+                        *ov = tv;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Build a bellwether tree with the RF algorithm.
@@ -62,7 +109,7 @@ pub fn build_rainforest(
     while !level.is_empty() {
         // Prepare the level: termination decides which nodes are active,
         // active nodes enumerate their candidate criteria.
-        let mut entries: Vec<LevelEntry> = level
+        let entries: Vec<LevelEntry> = level
             .iter()
             .map(|&node_id| {
                 let node = &tree.nodes[node_id];
@@ -77,10 +124,6 @@ pub fn build_rainforest(
                     .iter()
                     .map(|c| PartitionSpec::new(&child_id_sets(items, &c.partition)))
                     .collect();
-                let min_err = candidates
-                    .iter()
-                    .map(|c| vec![f64::INFINITY; c.partition.len()])
-                    .collect();
                 let ids: HashSet<i64> =
                     node.item_rows.iter().map(|&r| items.ids()[r]).collect();
                 LevelEntry {
@@ -88,75 +131,78 @@ pub fn build_rainforest(
                     ids,
                     candidates,
                     specs,
-                    min_err,
-                    node_best: None,
                     active,
                 }
             })
             .collect();
 
-        // The level's single scan over the entire training data. For
-        // each block, gather each node's rows once, then evaluate the
-        // node's own error and all its candidates over just those rows
-        // — deep levels must not re-route the full block per criterion.
-        // One span per level scan — the empirical witness of Lemma 1's
+        // The level's single scan over the entire training data, run
+        // through the shared engine (parallel under
+        // `problem.parallelism`, merged in region order). For each
+        // block, gather each node's rows once, then evaluate the node's
+        // own error and all its candidates over just those rows — deep
+        // levels must not re-route the full block per criterion. One
+        // span per level scan — the empirical witness of Lemma 1's
         // "`l` scans over the entire training data" claim.
         let level_timer = span!(problem.recorder, "tree/rainforest/level{depth}");
         let p = source.feature_arity();
-        for idx in 0..source.num_regions() {
-            let block = source.read_region(idx)?;
-            for e in &mut entries {
-                let mut ids: Vec<i64> = Vec::new();
-                let mut data = bellwether_linreg::RegressionData::new(p);
-                for (id, x, y) in block.iter() {
-                    if e.ids.contains(&id) {
-                        ids.push(id);
-                        data.push(x, y);
-                    }
-                }
-                // Track the node's own bellwether in the same pass.
-                if data.n() >= problem.min_examples.max(1) {
-                    if let Some(est) = problem.error_measure.estimate(&data) {
-                        if e.node_best.is_none_or(|(_, b)| est.value < b) {
-                            e.node_best = Some((idx, est.value));
+        let acc = scan_regions(
+            source,
+            problem.parallelism,
+            || LevelAcc::for_entries(&entries),
+            |acc, idx, block| {
+                for (e, partial) in entries.iter().zip(acc.0.iter_mut()) {
+                    let mut ids: Vec<i64> = Vec::new();
+                    let mut data = bellwether_linreg::RegressionData::new(p);
+                    for (id, x, y) in block.iter() {
+                        if e.ids.contains(&id) {
+                            ids.push(id);
+                            data.push(x, y);
                         }
                     }
-                }
-                if !e.active {
-                    continue;
-                }
-                let rows = || {
-                    ids.iter()
-                        .enumerate()
-                        .map(|(i, &id)| (id, data.x(i), data.y(i)))
-                };
-                for (c, spec) in e.specs.iter().enumerate() {
-                    let errs = spec.errors_rows(p, rows(), problem);
-                    for (p_idx, err) in errs.into_iter().enumerate() {
-                        if let Some(err) = err {
-                            if err < e.min_err[c][p_idx] {
-                                e.min_err[c][p_idx] = err;
+                    // Track the node's own bellwether in the same pass.
+                    if data.n() >= problem.min_examples.max(1) {
+                        if let Some(est) = problem.error_measure.estimate(&data) {
+                            partial.node_best.observe(idx, est.value);
+                        }
+                    }
+                    if !e.active {
+                        continue;
+                    }
+                    let rows = || {
+                        ids.iter()
+                            .enumerate()
+                            .map(|(i, &id)| (id, data.x(i), data.y(i)))
+                    };
+                    for (c, spec) in e.specs.iter().enumerate() {
+                        let errs = spec.errors_rows(p, rows(), problem);
+                        for (p_idx, err) in errs.into_iter().enumerate() {
+                            if let Some(err) = err {
+                                if err < partial.min_err[c][p_idx] {
+                                    partial.min_err[c][p_idx] = err;
+                                }
                             }
                         }
                     }
                 }
-            }
-        }
+                Ok(())
+            },
+        )?;
 
         drop(level_timer); // the level span covers the scan loop only
 
         // Finalize the level: fit node models (targeted reads), pick
         // splits, spawn the next level.
         let mut next_level = Vec::new();
-        for e in entries.iter_mut() {
-            if let Some((ridx, err)) = e.node_best {
+        for (e, partial) in entries.iter().zip(acc.0) {
+            if let Some((ridx, err)) = partial.node_best.0 {
                 let block = source.read_region(ridx)?;
                 let region = RegionId(source.region_coords(ridx).to_vec());
                 let label = space.label(&region);
                 tree.nodes[e.node_id].info =
                     fit_node_model(&block, &e.ids, ridx, region, label, err);
             }
-            let Some((_, node_err)) = e.node_best else { continue };
+            let Some((_, node_err)) = partial.node_best.0 else { continue };
             if !e.active
                 || tree.nodes[e.node_id].info.is_none()
                 || node_err <= tree_cfg.perfect_error_tol
@@ -167,10 +213,10 @@ pub fn build_rainforest(
             let rows = tree.nodes[e.node_id].item_rows.clone();
             let mut best: Option<(usize, f64)> = None;
             for (ci, cand) in e.candidates.iter().enumerate() {
-                if e.min_err[ci].iter().any(|v| !v.is_finite()) {
+                if partial.min_err[ci].iter().any(|v| !v.is_finite()) {
                     continue;
                 }
-                let g = goodness_of(&rows, node_err, cand, &e.min_err[ci]);
+                let g = goodness_of(&rows, node_err, cand, &partial.min_err[ci]);
                 if best.is_none_or(|(_, bg)| g > bg) {
                     best = Some((ci, g));
                 }

@@ -49,7 +49,7 @@ pub use cube_pass::{
     aggregate_filtered, aggregate_filtered_traced, aggregate_filtered_with, cube_pass,
     cube_pass_reference, cube_pass_traced, cube_pass_with, CubeInput, CubeResult, Measure,
 };
-pub use parallel::Parallelism;
+pub use parallel::{Parallelism, DEFAULT_MIN_CHUNK};
 pub use dimension::{Dimension, HierNode, Hierarchy};
 pub use iceberg::{
     coarser_neighbours, cost_feasible_regions, feasible_regions, feasible_regions_naive,

@@ -15,6 +15,13 @@ pub const STORAGE_EXAMPLES_READ: &str = "storage/examples_read";
 pub const STORAGE_REGIONS_WRITTEN: &str = "storage/regions_written";
 /// Bytes written by a training writer.
 pub const STORAGE_BYTES_WRITTEN: &str = "storage/bytes_written";
+/// Region reads served from the decoded-block cache.
+pub const STORAGE_CACHE_HITS: &str = "storage/cache_hits";
+/// Region reads the decoded-block cache had to forward to its inner
+/// source.
+pub const STORAGE_CACHE_MISSES: &str = "storage/cache_misses";
+/// Decoded blocks evicted by the cache's byte budget.
+pub const STORAGE_CACHE_EVICTIONS: &str = "storage/cache_evictions";
 
 /// Fact rows scanned by the CUBE pass (phase 1).
 pub const CUBE_PASS_ROWS_SCANNED: &str = "cube_pass/rows_scanned";

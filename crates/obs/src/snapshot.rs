@@ -85,6 +85,35 @@ impl MetricsSnapshot {
         self.counter_or_zero(names::STORAGE_BYTES_WRITTEN)
     }
 
+    /// Region reads served from the decoded-block cache
+    /// ([`names::STORAGE_CACHE_HITS`]).
+    pub fn cache_hits(&self) -> u64 {
+        self.counter_or_zero(names::STORAGE_CACHE_HITS)
+    }
+
+    /// Region reads the cache forwarded to its inner source
+    /// ([`names::STORAGE_CACHE_MISSES`]).
+    pub fn cache_misses(&self) -> u64 {
+        self.counter_or_zero(names::STORAGE_CACHE_MISSES)
+    }
+
+    /// Decoded blocks evicted under the cache's byte budget
+    /// ([`names::STORAGE_CACHE_EVICTIONS`]).
+    pub fn cache_evictions(&self) -> u64 {
+        self.counter_or_zero(names::STORAGE_CACHE_EVICTIONS)
+    }
+
+    /// Fraction of cache lookups served from memory
+    /// (`hits / (hits + misses)`; `0.0` before any lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits();
+        let total = hits + self.cache_misses();
+        if total == 0 {
+            return 0.0;
+        }
+        hits as f64 / total as f64
+    }
+
     /// Fact rows scanned by the CUBE pass
     /// ([`names::CUBE_PASS_ROWS_SCANNED`]).
     pub fn rows_scanned(&self) -> u64 {

@@ -1,0 +1,477 @@
+//! A bounded decoded-block cache in front of any [`TrainingSource`].
+//!
+//! The multi-scan algorithms (naive tree ≈ `l·m` scans, RF tree = `l`
+//! scans) re-read the *same* regions on every pass. Against a
+//! [`crate::DiskSource`] each of those re-reads pays a positioned read
+//! plus a full block decode. [`CachedSource`] keeps recently decoded
+//! [`RegionBlock`]s in memory under a byte budget so repeat reads are an
+//! `Arc` refcount bump.
+//!
+//! Design points:
+//!
+//! * **Interior mutability.** Scan algorithms hold `&dyn TrainingSource`
+//!   and may share it across scoped worker threads, so the cache state
+//!   lives behind a [`Mutex`]. Misses read the inner source *outside*
+//!   the lock — parallel workers never serialize on disk IO, only on
+//!   the (cheap) map bookkeeping.
+//! * **Byte budget, LRU eviction.** Entries are charged their
+//!   [`RegionBlock::encoded_len`] and the least-recently-used entry is
+//!   evicted once the budget is exceeded. A block alone larger than the
+//!   whole budget is served but never cached.
+//! * **Honest IO accounting.** Cache hits do not touch the inner
+//!   source, so [`TrainingSource::stats`] keeps counting *real* reads
+//!   and the paper's scan-count lemmas stay assertable. Hits, misses
+//!   and evictions are counted separately in [`CacheStats`], bindable
+//!   to a shared `bellwether_obs` registry via
+//!   [`CachedSource::with_registry`].
+//! * **Bit identity.** A hit returns a shared handle to the very block
+//!   the inner source decoded, so cached and uncached scans see
+//!   identical data.
+
+use crate::block::RegionBlock;
+use crate::metrics::IoStats;
+use crate::source::TrainingSource;
+use bellwether_obs::{names, Counter, MetricsSnapshot, Recorder, Registry};
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Shared, thread-safe cache counters (same pattern as [`IoStats`]).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl CacheStats {
+    /// Fresh counters behind an `Arc` for sharing with caches.
+    pub fn shared() -> Arc<CacheStats> {
+        Arc::new(CacheStats::default())
+    }
+
+    /// Counters bound to the canonical `storage/cache_*` entries of
+    /// `reg`: every hit/miss recorded here is visible in
+    /// `reg.snapshot()` too.
+    pub fn in_registry(reg: &Registry) -> Arc<CacheStats> {
+        Arc::new(CacheStats {
+            hits: reg.counter(names::STORAGE_CACHE_HITS),
+            misses: reg.counter(names::STORAGE_CACHE_MISSES),
+            evictions: reg.counter(names::STORAGE_CACHE_EVICTIONS),
+        })
+    }
+
+    /// Record one read served from the cache.
+    pub fn record_hit(&self) {
+        self.hits.inc();
+    }
+
+    /// Record one read forwarded to the inner source.
+    pub fn record_miss(&self) {
+        self.misses.inc();
+    }
+
+    /// Record `n` blocks evicted under the byte budget.
+    pub fn record_evictions(&self, n: u64) {
+        self.evictions.add(n);
+    }
+
+    /// Point-in-time copy of the counters under their canonical names.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                (names::STORAGE_CACHE_HITS.to_string(), self.hits.get()),
+                (names::STORAGE_CACHE_MISSES.to_string(), self.misses.get()),
+                (
+                    names::STORAGE_CACHE_EVICTIONS.to_string(),
+                    self.evictions.get(),
+                ),
+            ],
+            gauges: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Reset all counters (between experiment phases).
+    pub fn reset(&self) {
+        self.hits.reset();
+        self.misses.reset();
+        self.evictions.reset();
+    }
+}
+
+impl From<&CacheStats> for MetricsSnapshot {
+    fn from(s: &CacheStats) -> MetricsSnapshot {
+        s.snapshot()
+    }
+}
+
+impl Recorder for CacheStats {
+    fn add(&self, name: &str, delta: u64) {
+        match name {
+            names::STORAGE_CACHE_HITS => self.hits.add(delta),
+            names::STORAGE_CACHE_MISSES => self.misses.add(delta),
+            names::STORAGE_CACHE_EVICTIONS => self.evictions.add(delta),
+            _ => {}
+        }
+    }
+
+    fn set_gauge(&self, _name: &str, _value: f64) {}
+
+    fn record_span(&self, _path: &str, _nanos: u64) {}
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    block: Arc<RegionBlock>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<usize, CacheEntry>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl CacheState {
+    /// Evict least-recently-used entries (never `keep`) until the byte
+    /// total fits `budget`. Returns the number of evictions.
+    fn evict_to(&mut self, budget: usize, keep: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget {
+            let Some(&victim) = self
+                .map
+                .iter()
+                .filter(|(&idx, _)| idx != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(idx, _)| idx)
+            else {
+                break;
+            };
+            let entry = self.map.remove(&victim).expect("victim chosen from map");
+            self.bytes -= entry.bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A byte-budgeted LRU cache of decoded [`RegionBlock`]s wrapping any
+/// inner [`TrainingSource`]. See the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct CachedSource<S> {
+    inner: S,
+    budget_bytes: usize,
+    state: Mutex<CacheState>,
+    cache_stats: Arc<CacheStats>,
+}
+
+impl<S: TrainingSource> CachedSource<S> {
+    /// Wrap `inner`, keeping at most `budget_bytes` of decoded blocks
+    /// (charged by [`RegionBlock::encoded_len`]).
+    pub fn new(inner: S, budget_bytes: usize) -> Self {
+        CachedSource {
+            inner,
+            budget_bytes,
+            state: Mutex::new(CacheState::default()),
+            cache_stats: CacheStats::shared(),
+        }
+    }
+
+    /// Like [`CachedSource::new`], but hit/miss/eviction counters are
+    /// bound to the canonical `storage/cache_*` entries of `reg`.
+    pub fn with_registry(inner: S, budget_bytes: usize, reg: &Registry) -> Self {
+        let mut src = CachedSource::new(inner, budget_bytes);
+        src.cache_stats = CacheStats::in_registry(reg);
+        src
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Shared hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> &Arc<CacheStats> {
+        &self.cache_stats
+    }
+
+    /// Number of blocks currently cached.
+    pub fn cached_blocks(&self) -> usize {
+        self.state.lock().unwrap().map.len()
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn cached_bytes(&self) -> usize {
+        self.state.lock().unwrap().bytes
+    }
+
+    /// Drop every cached block (counters are kept).
+    pub fn clear(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.map.clear();
+        state.bytes = 0;
+    }
+}
+
+impl<S: TrainingSource> TrainingSource for CachedSource<S> {
+    fn num_regions(&self) -> usize {
+        self.inner.num_regions()
+    }
+
+    fn feature_arity(&self) -> usize {
+        self.inner.feature_arity()
+    }
+
+    fn region_coords(&self, idx: usize) -> &[u32] {
+        self.inner.region_coords(idx)
+    }
+
+    fn read_region(&self, idx: usize) -> io::Result<Arc<RegionBlock>> {
+        {
+            let mut state = self.state.lock().unwrap();
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(entry) = state.map.get_mut(&idx) {
+                entry.last_used = tick;
+                let block = Arc::clone(&entry.block);
+                drop(state);
+                self.cache_stats.record_hit();
+                return Ok(block);
+            }
+        }
+        // Miss: read the inner source outside the lock so concurrent
+        // scan workers overlap their IO. Two workers missing the same
+        // index both read (and both count a miss); the second insert is
+        // a no-op.
+        let block = self.inner.read_region(idx)?;
+        self.cache_stats.record_miss();
+        let bytes = block.encoded_len();
+        if bytes <= self.budget_bytes {
+            let mut state = self.state.lock().unwrap();
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(entry) = state.map.get_mut(&idx) {
+                entry.last_used = tick;
+            } else {
+                state.bytes += bytes;
+                state.map.insert(
+                    idx,
+                    CacheEntry {
+                        block: Arc::clone(&block),
+                        bytes,
+                        last_used: tick,
+                    },
+                );
+                let evicted = state.evict_to(self.budget_bytes, idx);
+                if evicted > 0 {
+                    self.cache_stats.record_evictions(evicted);
+                }
+            }
+        }
+        Ok(block)
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        self.inner.stats()
+    }
+
+    /// Inner IO counters plus this cache's hit/miss/eviction counters in
+    /// one snapshot, so `snapshot().cache_hit_rate()` works directly.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.snapshot();
+        snap.counters.extend(self.cache_stats.snapshot().counters);
+        snap
+    }
+
+    fn find_region(&self, coords: &[u32]) -> Option<usize> {
+        self.inner.find_region(coords)
+    }
+
+    fn total_examples(&self) -> io::Result<u64> {
+        self.inner.total_examples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemorySource;
+
+    fn blocks(n: usize) -> Vec<RegionBlock> {
+        (0..n as u32)
+            .map(|r| {
+                let mut b = RegionBlock::new(vec![r], 1);
+                b.push(r as i64, &[r as f64], (r as f64) * 2.0);
+                b
+            })
+            .collect()
+    }
+
+    fn block_bytes() -> usize {
+        blocks(1)[0].encoded_len()
+    }
+
+    /// Budget holding exactly `n` of the uniform test blocks.
+    fn source(regions: usize, budget_blocks: usize) -> CachedSource<MemorySource> {
+        CachedSource::new(
+            MemorySource::new(blocks(regions)),
+            budget_blocks * block_bytes(),
+        )
+    }
+
+    #[test]
+    fn hits_skip_the_inner_source_and_return_identical_blocks() {
+        let src = source(4, 4);
+        let first = src.read_region(2).unwrap();
+        let second = src.read_region(2).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit shares the decoded block");
+        let snap = src.snapshot();
+        assert_eq!(snap.cache_misses(), 1);
+        assert_eq!(snap.cache_hits(), 1);
+        // The inner source saw exactly one real read — scan-count
+        // accounting stays honest under caching.
+        assert_eq!(snap.regions_read(), 1);
+        assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let src = source(3, 2);
+        src.read_region(0).unwrap();
+        src.read_region(1).unwrap();
+        assert_eq!(src.cached_blocks(), 2);
+        // Third block evicts the least recently used (region 0).
+        src.read_region(2).unwrap();
+        assert_eq!(src.cached_blocks(), 2);
+        assert_eq!(src.cached_bytes(), 2 * block_bytes());
+        assert_eq!(src.snapshot().cache_evictions(), 1);
+        // Region 1 is still cached, region 0 is gone.
+        src.read_region(1).unwrap();
+        src.read_region(0).unwrap();
+        let snap = src.snapshot();
+        assert_eq!(snap.cache_hits(), 1);
+        assert_eq!(snap.cache_misses(), 4);
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction() {
+        let src = source(3, 2);
+        src.read_region(0).unwrap();
+        src.read_region(1).unwrap();
+        src.read_region(0).unwrap(); // refresh 0 → 1 is now LRU
+        src.read_region(2).unwrap(); // evicts 1
+        src.read_region(0).unwrap();
+        assert_eq!(src.snapshot().cache_hits(), 2);
+        src.read_region(1).unwrap();
+        assert_eq!(src.snapshot().cache_misses(), 4);
+    }
+
+    #[test]
+    fn oversized_blocks_are_served_but_never_cached() {
+        let src = CachedSource::new(MemorySource::new(blocks(2)), block_bytes() - 1);
+        for _ in 0..3 {
+            assert_eq!(src.read_region(0).unwrap().n(), 1);
+        }
+        assert_eq!(src.cached_blocks(), 0);
+        assert_eq!(src.cached_bytes(), 0);
+        let snap = src.snapshot();
+        assert_eq!(snap.cache_misses(), 3);
+        assert_eq!(snap.cache_hits(), 0);
+        assert_eq!(snap.cache_evictions(), 0);
+    }
+
+    #[test]
+    fn zero_budget_cache_is_a_transparent_wrapper() {
+        let src = CachedSource::new(MemorySource::new(blocks(3)), 0);
+        for idx in 0..3 {
+            let got = src.read_region(idx).unwrap();
+            let direct = src.inner().read_region(idx).unwrap();
+            assert_eq!(got, direct);
+        }
+        assert_eq!(src.cached_blocks(), 0);
+    }
+
+    #[test]
+    fn clear_drops_blocks_but_keeps_counters() {
+        let src = source(2, 2);
+        src.read_region(0).unwrap();
+        src.read_region(0).unwrap();
+        src.clear();
+        assert_eq!(src.cached_blocks(), 0);
+        assert_eq!(src.cached_bytes(), 0);
+        src.read_region(0).unwrap();
+        let snap = src.snapshot();
+        assert_eq!(snap.cache_hits(), 1);
+        assert_eq!(snap.cache_misses(), 2);
+    }
+
+    #[test]
+    fn works_behind_a_trait_object() {
+        let src = source(4, 4);
+        let dyn_src: &dyn TrainingSource = &src;
+        assert_eq!(dyn_src.num_regions(), 4);
+        assert_eq!(dyn_src.feature_arity(), 1);
+        assert_eq!(dyn_src.region_coords(3), &[3]);
+        assert_eq!(dyn_src.find_region(&[2]), Some(2));
+        assert_eq!(dyn_src.total_examples().unwrap(), 4);
+        dyn_src.read_region(1).unwrap();
+        dyn_src.read_region(1).unwrap();
+        assert_eq!(dyn_src.snapshot().cache_hits(), 1);
+    }
+
+    #[test]
+    fn registry_bound_cache_reports_into_registry() {
+        let reg = Registry::shared();
+        let src = CachedSource::with_registry(MemorySource::new(blocks(2)), 1 << 20, &reg);
+        src.read_region(0).unwrap();
+        src.read_region(0).unwrap();
+        src.read_region(1).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.cache_hits(), 1);
+        assert_eq!(snap.cache_misses(), 2);
+        assert!((snap.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_readers_get_identical_blocks() {
+        let src = Arc::new(source(8, 8));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let src = Arc::clone(&src);
+                std::thread::spawn(move || {
+                    for idx in 0..src.num_regions() {
+                        let block = src.read_region(idx).unwrap();
+                        assert_eq!(block.region, vec![idx as u32]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = src.snapshot();
+        // Every lookup was counted exactly once. (Racing misses on one
+        // index may each count a miss, so only a lower bound on hits is
+        // portable — every index is missed at least once.)
+        assert_eq!(snap.cache_hits() + snap.cache_misses(), 4 * 8);
+        assert!(snap.cache_misses() >= 8);
+        assert_eq!(src.cached_blocks(), 8);
+    }
+
+    #[test]
+    fn cache_stats_as_recorder_routes_canonical_names() {
+        let s = CacheStats::shared();
+        let rec: &dyn Recorder = s.as_ref();
+        rec.add(names::STORAGE_CACHE_HITS, 5);
+        rec.add(names::STORAGE_CACHE_MISSES, 2);
+        rec.add("unrelated/counter", 9); // ignored
+        let snap = s.snapshot();
+        assert_eq!(snap.cache_hits(), 5);
+        assert_eq!(snap.cache_misses(), 2);
+        s.reset();
+        assert_eq!(s.snapshot().cache_hits(), 0);
+    }
+}

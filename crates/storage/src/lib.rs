@@ -20,6 +20,11 @@
 //! `MetricsSnapshot`); constructing a source `with_registry` binds the
 //! counters into a shared observability registry instead.
 //!
+//! [`CachedSource`] wraps any source with a byte-budgeted LRU cache of
+//! decoded blocks, so the multi-scan algorithms stop re-decoding the
+//! regions they revisit; cache hits bypass (and are not counted by) the
+//! inner source's [`IoStats`].
+//!
 //! ```
 //! use bellwether_storage::{MemorySource, RegionBlock, TrainingSource};
 //!
@@ -34,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod cache;
 pub mod format;
 pub mod metrics;
 pub mod reader;
@@ -41,6 +47,7 @@ pub mod source;
 pub mod writer;
 
 pub use block::RegionBlock;
+pub use cache::{CacheStats, CachedSource};
 pub use metrics::{CubeStats, IoStats};
 pub use reader::DiskSource;
 pub use source::{MemorySource, TrainingSource};

@@ -102,7 +102,7 @@ impl TrainingSource for DiskSource {
         &self.index[idx].coords
     }
 
-    fn read_region(&self, idx: usize) -> io::Result<RegionBlock> {
+    fn read_region(&self, idx: usize) -> io::Result<Arc<RegionBlock>> {
         let _timer = self
             .registry
             .as_ref()
@@ -113,7 +113,7 @@ impl TrainingSource for DiskSource {
         let block = decode_block(&buf)?;
         self.stats
             .record_region_read(entry.len, block.n() as u64);
-        Ok(block)
+        Ok(Arc::new(block))
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -164,7 +164,7 @@ mod tests {
         for (i, expect) in blocks.iter().enumerate() {
             assert_eq!(src.region_coords(i), expect.region.as_slice());
             let got = src.read_region(i).unwrap();
-            assert_eq!(&got, expect);
+            assert_eq!(got.as_ref(), expect);
         }
         assert_eq!(src.snapshot().regions_read(), 5);
         assert_eq!(src.total_examples().unwrap(), 1 + 2 + 3 + 4 + 5);
@@ -204,8 +204,8 @@ mod tests {
         }
         w.finish().unwrap();
         let src = DiskSource::open(&path).unwrap();
-        assert_eq!(src.read_region(3).unwrap(), blocks[3]);
-        assert_eq!(src.read_region(0).unwrap(), blocks[0]);
+        assert_eq!(*src.read_region(3).unwrap(), blocks[3]);
+        assert_eq!(*src.read_region(0).unwrap(), blocks[0]);
         assert_eq!(src.find_region(&[2, 12]), Some(2));
         assert_eq!(src.find_region(&[9, 9]), None);
         std::fs::remove_file(&path).ok();

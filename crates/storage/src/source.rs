@@ -26,7 +26,13 @@ pub trait TrainingSource: Send + Sync {
     fn region_coords(&self, idx: usize) -> &[u32];
 
     /// Read (and account) the training set of region `idx`.
-    fn read_region(&self, idx: usize) -> io::Result<RegionBlock>;
+    ///
+    /// Returns a shared handle so sources that already hold decoded
+    /// blocks (the in-memory source, the decoded-block cache) can serve
+    /// reads as a refcount bump instead of copying row data; `Arc<..>`
+    /// derefs to [`RegionBlock`], so call sites read it like a plain
+    /// block.
+    fn read_region(&self, idx: usize) -> io::Result<Arc<RegionBlock>>;
 
     /// Shared IO counters.
     fn stats(&self) -> &Arc<IoStats>;
@@ -54,11 +60,12 @@ pub trait TrainingSource: Send + Sync {
     }
 }
 
-/// In-memory training source. Reads are logical (cloned blocks) but still
-/// counted, so algorithm scan counts are comparable with the disk source.
+/// In-memory training source. Reads are logical (shared handles to the
+/// stored blocks — no row data is copied) but still counted, so
+/// algorithm scan counts are comparable with the disk source.
 #[derive(Debug)]
 pub struct MemorySource {
-    blocks: Vec<RegionBlock>,
+    blocks: Vec<Arc<RegionBlock>>,
     p: usize,
     stats: Arc<IoStats>,
 }
@@ -66,6 +73,13 @@ pub struct MemorySource {
 impl MemorySource {
     /// Wrap pre-built region blocks (all must share one feature arity).
     pub fn new(blocks: Vec<RegionBlock>) -> Self {
+        MemorySource::from_shared(blocks.into_iter().map(Arc::new).collect())
+    }
+
+    /// Wrap already-shared region blocks without re-allocating them —
+    /// the zero-copy path for sources derived from another source's
+    /// blocks (e.g. budget-filtered bench subsets).
+    pub fn from_shared(blocks: Vec<Arc<RegionBlock>>) -> Self {
         let p = blocks.first().map_or(0, |b| b.p as usize);
         for b in &blocks {
             assert_eq!(b.p as usize, p, "inconsistent feature arity");
@@ -87,7 +101,7 @@ impl MemorySource {
     }
 
     /// Direct (uncounted) access for construction-time bookkeeping.
-    pub fn blocks(&self) -> &[RegionBlock] {
+    pub fn blocks(&self) -> &[Arc<RegionBlock>] {
         &self.blocks
     }
 }
@@ -105,8 +119,8 @@ impl TrainingSource for MemorySource {
         &self.blocks[idx].region
     }
 
-    fn read_region(&self, idx: usize) -> io::Result<RegionBlock> {
-        let b = self.blocks[idx].clone();
+    fn read_region(&self, idx: usize) -> io::Result<Arc<RegionBlock>> {
+        let b = Arc::clone(&self.blocks[idx]);
         self.stats
             .record_region_read(b.encoded_len() as u64, b.n() as u64);
         Ok(b)

@@ -354,6 +354,45 @@ fn containment_is_a_partial_order() {
     });
 }
 
+/// Canonical, deterministic rendering of a bellwether tree.
+/// `SplitCriterion::Categorical` holds a HashMap whose Debug order is
+/// not deterministic, so each node renders sorted criterion pairs plus
+/// everything else verbatim.
+fn canon_tree(tree: &BellwetherTree) -> Vec<String> {
+    tree.nodes
+        .iter()
+        .map(|n| {
+            let split = n.split.as_ref().map(|(c, children)| match c {
+                SplitCriterion::Categorical { attr, code_children } => {
+                    let mut pairs: Vec<_> =
+                        code_children.iter().map(|(k, v)| (*k, *v)).collect();
+                    pairs.sort_unstable();
+                    format!("cat attr={attr} {pairs:?} -> {children:?}")
+                }
+                SplitCriterion::Numeric { attr, threshold } => {
+                    format!("num attr={attr} t={threshold:?} -> {children:?}")
+                }
+            });
+            format!(
+                "d{} rows{:?} info{:?} split{:?}",
+                n.depth, n.item_rows, n.info, split
+            )
+        })
+        .collect()
+}
+
+/// Canonical rendering of a bellwether cube (cell HashMap order is not
+/// deterministic — cells are keyed and sorted by subset).
+fn canon_cube(cube: &BellwetherCube) -> Vec<(RegionId, String)> {
+    let mut v: Vec<_> = cube
+        .cells
+        .iter()
+        .map(|(k, c)| (k.clone(), format!("{c:?}")))
+        .collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
 /// Enabling a live metrics recorder must not change a single bit of any
 /// search, tree or cube result — the observability layer only watches.
 #[test]
@@ -425,48 +464,14 @@ fn recorder_does_not_change_results() {
             basic_search(&source, &region_space, &cost, &on, n_items as usize).unwrap();
         assert_eq!(format!("{s_off:?}"), format!("{s_on:?}"), "basic search diverged");
 
-        // RainForest tree. `SplitCriterion::Categorical` holds a HashMap
-        // whose Debug order is not deterministic, so canonicalize each
-        // node: sorted criterion pairs + everything else verbatim.
-        let canon_tree = |tree: &BellwetherTree| -> Vec<String> {
-            tree.nodes
-                .iter()
-                .map(|n| {
-                    let split = n.split.as_ref().map(|(c, children)| match c {
-                        SplitCriterion::Categorical { attr, code_children } => {
-                            let mut pairs: Vec<_> =
-                                code_children.iter().map(|(k, v)| (*k, *v)).collect();
-                            pairs.sort_unstable();
-                            format!("cat attr={attr} {pairs:?} -> {children:?}")
-                        }
-                        SplitCriterion::Numeric { attr, threshold } => {
-                            format!("num attr={attr} t={threshold:?} -> {children:?}")
-                        }
-                    });
-                    format!(
-                        "d{} rows{:?} info{:?} split{:?}",
-                        n.depth, n.item_rows, n.info, split
-                    )
-                })
-                .collect()
-        };
+        // RainForest tree (canonicalized — see `canon_tree`).
         let t_off =
             build_rainforest(&source, &region_space, &items, None, &off, &tree_cfg).unwrap();
         let t_on =
             build_rainforest(&source, &region_space, &items, None, &on, &tree_cfg).unwrap();
         assert_eq!(canon_tree(&t_off), canon_tree(&t_on), "rainforest tree diverged");
 
-        // Optimized cube (HashMap order is not deterministic — compare
-        // cells keyed and sorted by subset).
-        let canon = |cube: &BellwetherCube| -> Vec<(RegionId, String)> {
-            let mut v: Vec<_> = cube
-                .cells
-                .iter()
-                .map(|(k, c)| (k.clone(), format!("{c:?}")))
-                .collect();
-            v.sort_by(|a, b| a.0.cmp(&b.0));
-            v
-        };
+        // Optimized cube (canonicalized — see `canon_cube`).
         let c_off = build_optimized_cube(
             &source,
             &region_space,
@@ -485,11 +490,151 @@ fn recorder_does_not_change_results() {
             &cube_cfg,
         )
         .unwrap();
-        assert_eq!(canon(&c_off), canon(&c_on), "optimized cube diverged");
+        assert_eq!(canon_cube(&c_off), canon_cube(&c_on), "optimized cube diverged");
 
         // The recorder really was live: the traced runs left counters.
         let snap = reg.snapshot();
         assert!(snap.counter("search/regions_evaluated").is_some());
         assert!(snap.counter("tree/nodes").is_some());
+    });
+}
+
+/// Lemma 1 / Theorem 1 in action: the scan engine's thread count and
+/// the decoded-block cache must not change a single bit of any
+/// builder's output. Every builder runs at threads ∈ {1, 2, 4, 7}
+/// (with `min_chunk` 1, so small fixtures really shard) × cache
+/// {off, generous, eviction-churning} and must reproduce the
+/// sequential, uncached result exactly.
+#[test]
+fn thread_count_and_cache_do_not_change_results() {
+    check("thread_count_and_cache_do_not_change_results", 6, |rng| {
+        // Random blocks over a 7-leaf flat hierarchy (8 regions, so a
+        // 7-thread scan gets more than one non-empty chunk).
+        let leaves = ["ra", "rb", "rc", "rd", "re", "rf", "rg"];
+        let region_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "L", "All", &leaves,
+        ))]);
+        let n_items = rng.usize_in(10, 24) as i64;
+        let groups: Vec<&str> = (0..n_items)
+            .map(|_| *rng.choice(&["ga", "gb"]))
+            .collect();
+        let mut blocks = Vec::new();
+        for region in 0u32..8 {
+            let mut block = RegionBlock::new(vec![region], 2);
+            for id in 0..n_items {
+                if rng.flip(0.8) {
+                    block.push(id, &[1.0, rng.f64_in(-10.0, 10.0)], rng.f64_in(-50.0, 50.0));
+                }
+            }
+            blocks.push(block);
+        }
+        let block_bytes: usize = blocks.iter().map(|b| b.encoded_len()).sum();
+        let items = ItemTable::from_table(
+            &Table::new(
+                Schema::from_pairs(&[("id", DataType::Int), ("g", DataType::Str)]).unwrap(),
+                vec![
+                    Column::from_ints((0..n_items).collect()),
+                    Column::from_strs(&groups),
+                ],
+            )
+            .unwrap(),
+            "id",
+            &[],
+            &["g"],
+        )
+        .unwrap();
+        let item_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "G",
+            "Any",
+            &["ga", "gb"],
+        ))]);
+        let item_coords: HashMap<i64, Vec<u32>> = (0..n_items)
+            .map(|id| (id, vec![if groups[id as usize] == "ga" { 1 } else { 2 }]))
+            .collect();
+
+        let config_for = |par: Parallelism| {
+            BellwetherConfig::builder(1e9)
+                .min_coverage(0.0)
+                .min_examples(3)
+                .error_measure(ErrorMeasure::TrainingSet)
+                .parallelism(par)
+                .build()
+                .unwrap()
+        };
+        let cost = UniformCellCost { rate: 1.0 };
+        let tree_cfg = TreeConfig {
+            min_node_items: 4,
+            ..TreeConfig::default()
+        };
+        let cube_cfg = CubeConfig { min_subset_size: 3 };
+
+        // One run of every builder against a given source and config,
+        // rendered canonically so HashMap iteration order cannot leak in.
+        let run_all = |source: &dyn TrainingSource, cfg: &BellwetherConfig| -> Vec<String> {
+            let search =
+                basic_search(source, &region_space, &cost, cfg, n_items as usize).unwrap();
+            let rf =
+                build_rainforest(source, &region_space, &items, None, cfg, &tree_cfg).unwrap();
+            let naive_tree =
+                build_naive_tree(source, &region_space, &items, None, cfg, &tree_cfg).unwrap();
+            let mut out = vec![
+                format!("{search:?}"),
+                format!("{:?}", canon_tree(&rf)),
+                format!("{:?}", canon_tree(&naive_tree)),
+            ];
+            for build in [build_naive_cube, build_single_scan_cube, build_optimized_cube] {
+                let cube = build(
+                    source,
+                    &region_space,
+                    &item_space,
+                    &item_coords,
+                    cfg,
+                    &cube_cfg,
+                )
+                .unwrap();
+                out.push(format!("{:?}", canon_cube(&cube)));
+            }
+            out
+        };
+
+        let baseline = run_all(
+            &MemorySource::new(blocks.clone()),
+            &config_for(Parallelism::sequential()),
+        );
+
+        for threads in [1usize, 2, 4, 7] {
+            let cfg = config_for(Parallelism::fixed(threads).with_min_chunk(1));
+            // Cache off.
+            let plain = MemorySource::new(blocks.clone());
+            assert_eq!(
+                run_all(&plain, &cfg),
+                baseline,
+                "threads={threads} uncached diverged"
+            );
+            // Generous cache: everything fits, repeat scans all hit.
+            let roomy = CachedSource::new(MemorySource::new(blocks.clone()), block_bytes);
+            assert_eq!(
+                run_all(&roomy, &cfg),
+                baseline,
+                "threads={threads} cached diverged"
+            );
+            let snap = roomy.snapshot();
+            assert!(
+                snap.cache_hits() > 0,
+                "multi-scan builders should hit a roomy cache"
+            );
+            // Tight cache (two regions' worth): constant eviction churn
+            // must not change results either.
+            let tight = CachedSource::new(
+                MemorySource::new(blocks.clone()),
+                blocks.iter().map(|b| b.encoded_len()).max().unwrap() * 2,
+            );
+            assert_eq!(
+                run_all(&tight, &cfg),
+                baseline,
+                "threads={threads} tight-cache diverged"
+            );
+            assert!(tight.snapshot().cache_evictions() > 0, "tight cache should evict");
+        }
     });
 }
