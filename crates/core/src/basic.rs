@@ -14,7 +14,7 @@
 
 use crate::error::Result;
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions_where, Concat};
+use crate::scan::{scan_regions_where_policy, Concat};
 use crate::training::block_to_data;
 use bellwether_cube::{CostModel, RegionId, RegionSpace};
 use bellwether_linreg::{fit_wls, ErrorEstimate, LinearModel};
@@ -48,6 +48,11 @@ pub struct BasicSearchResult {
     pub reports: Vec<RegionReport>,
     /// Index into `reports` of the bellwether (minimum error), if any.
     pub best: Option<usize>,
+    /// Ascending source indices of regions skipped as unreadable under a
+    /// `SkipUnreadable` scan policy (empty under `Strict`). A non-empty
+    /// list labels the result as degraded: those regions were never
+    /// evaluated.
+    pub skipped_regions: Vec<usize>,
 }
 
 impl BasicSearchResult {
@@ -119,9 +124,10 @@ pub fn basic_search(
         })
     };
 
-    let reports = scan_regions_where(
+    let scanned = scan_regions_where_policy(
         source,
         config.parallelism,
+        config.scan_policy,
         |idx| {
             let region = RegionId(source.region_coords(idx).to_vec());
             cost_model.cost(space, &region) <= config.budget
@@ -133,8 +139,9 @@ pub fn basic_search(
             }
             Ok(())
         },
-    )?
-    .0;
+    )?;
+    scanned.record_skipped(config.recorder.as_ref());
+    let reports = scanned.acc.0;
     // Bellwether = min error; ties broken by source order for determinism.
     let best = reports
         .iter()
@@ -148,7 +155,11 @@ pub fn basic_search(
         .map(|(i, _)| i);
     config.recorder.add(names::SEARCH_REGIONS_EVALUATED, n as u64);
     config.recorder.add(names::SEARCH_REPORTS, reports.len() as u64);
-    Ok(BasicSearchResult { reports, best })
+    Ok(BasicSearchResult {
+        reports,
+        best,
+        skipped_regions: scanned.skipped,
+    })
 }
 
 /// The *linear optimization criterion* of Definition 1: instead of hard
@@ -172,6 +183,9 @@ pub struct LinearSearchResult {
     pub scores: Vec<f64>,
     /// Index of the minimising report.
     pub best: Option<usize>,
+    /// Regions skipped as unreadable (see
+    /// [`BasicSearchResult::skipped_regions`]).
+    pub skipped_regions: Vec<usize>,
 }
 
 impl LinearSearchResult {
@@ -219,6 +233,7 @@ pub fn basic_search_linear(
         reports: base.reports,
         scores,
         best,
+        skipped_regions: base.skipped_regions,
     })
 }
 
@@ -411,6 +426,39 @@ mod tests {
         cfg.error_measure = ErrorMeasure::TrainingSet;
         let result = basic_search(&src, &space, &cost, &cfg, 40).unwrap();
         assert_eq!(result.bellwether().unwrap().label, "[good]");
+    }
+
+    #[test]
+    fn scan_policy_governs_unreadable_regions() {
+        use crate::error::BellwetherError;
+        use crate::scan::ScanPolicy;
+        use bellwether_storage::{FaultPlan, FaultySource};
+        let (src, space) = fixture();
+        // Every region is permanently corrupt.
+        let faulty = FaultySource::new(src, FaultPlan::new(21).corrupt_every(1));
+        let cost = UniformCellCost { rate: 1.0 };
+
+        // Strict (the default): the scan fails with the region index.
+        let err = basic_search(&faulty, &space, &cost, &config(), 40)
+            .expect_err("strict search must surface corruption");
+        match err {
+            BellwetherError::RegionRead { index, source } => {
+                assert_eq!(index, 0);
+                assert!(bellwether_storage::is_corrupt(&source), "{source}");
+            }
+            other => panic!("expected RegionRead, got {other}"),
+        }
+
+        // SkipUnreadable: the search completes, reports nothing, and
+        // accounts for every dropped region.
+        let reg = bellwether_obs::Registry::shared();
+        let mut cfg = config();
+        cfg.scan_policy = ScanPolicy::SkipUnreadable { max_skipped: 3 };
+        cfg.recorder = reg.clone();
+        let result = basic_search(&faulty, &space, &cost, &cfg, 40).unwrap();
+        assert!(result.reports.is_empty());
+        assert_eq!(result.skipped_regions, vec![0, 1, 2]);
+        assert_eq!(reg.snapshot().regions_skipped(), 3);
     }
 
     #[test]

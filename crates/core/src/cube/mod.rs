@@ -106,6 +106,11 @@ pub struct BellwetherCube {
     pub item_coords: HashMap<i64, Vec<u32>>,
     /// One cell per significant subset that could be modelled.
     pub cells: HashMap<RegionId, SubsetCell>,
+    /// Region indices skipped as unreadable during construction
+    /// (sorted, deduplicated across all scans). Empty under
+    /// [`crate::scan::ScanPolicy::Strict`]; non-empty marks the cube as
+    /// a degraded result built without those regions.
+    pub skipped_regions: Vec<usize>,
 }
 
 impl BellwetherCube {

@@ -3,9 +3,9 @@
 //! data, so IO grows with the number of subsets.
 
 use super::{BellwetherCube, CubeConfig, SubsetCell};
-use crate::error::Result;
+use crate::error::{BellwetherError, Result};
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions, BestRegion};
+use crate::scan::{merge_skipped, scan_regions_policy, BestRegion};
 use crate::training::block_subset_data;
 use bellwether_cube::{RegionId, RegionSpace};
 use bellwether_linreg::fit_wls;
@@ -25,11 +25,13 @@ pub fn build_naive_cube(
     let _timer = span!(problem.recorder, "cube/naive");
     let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
     let mut cells = HashMap::new();
+    let mut skipped_regions = Vec::new();
     for subset in &index.order {
         let ids = &index.members[subset];
-        if let Some(cell) =
-            subset_cell(source, region_space, item_space, subset, ids, problem)?
-        {
+        let (cell, skipped) =
+            subset_cell_scanned(source, region_space, item_space, subset, ids, problem)?;
+        merge_skipped(&mut skipped_regions, &skipped);
+        if let Some(cell) = cell {
             cells.insert(subset.clone(), cell);
         }
     }
@@ -38,13 +40,15 @@ pub fn build_naive_cube(
         item_space: item_space.clone(),
         item_coords: item_coords.clone(),
         cells,
+        skipped_regions,
     })
 }
 
 /// Solve the basic bellwether problem for one subset: scan every region
-/// (through the shared [`scan_regions`] engine), track the minimum
-/// error, then fit the winning model with a targeted read. Shared by
-/// the naive algorithm and by all finalisation passes.
+/// (through the shared [`crate::scan`] engine, honouring
+/// `problem.scan_policy`), track the minimum error, then fit the
+/// winning model with a targeted read. Shared by the naive algorithm
+/// and by all finalisation passes.
 pub fn subset_cell(
     source: &dyn TrainingSource,
     region_space: &RegionSpace,
@@ -53,9 +57,23 @@ pub fn subset_cell(
     ids: &HashSet<i64>,
     problem: &BellwetherConfig,
 ) -> Result<Option<SubsetCell>> {
-    let best = scan_regions(
+    Ok(subset_cell_scanned(source, region_space, item_space, subset, ids, problem)?.0)
+}
+
+/// [`subset_cell`] that also reports which region indices the scan
+/// skipped as unreadable, so cube builders can account for them.
+pub(crate) fn subset_cell_scanned(
+    source: &dyn TrainingSource,
+    region_space: &RegionSpace,
+    item_space: &RegionSpace,
+    subset: &RegionId,
+    ids: &HashSet<i64>,
+    problem: &BellwetherConfig,
+) -> Result<(Option<SubsetCell>, Vec<usize>)> {
+    let scanned = scan_regions_policy(
         source,
         problem.parallelism,
+        problem.scan_policy,
         BestRegion::default,
         |acc, idx, block| {
             let data = block_subset_data(block, ids);
@@ -68,7 +86,17 @@ pub fn subset_cell(
             Ok(())
         },
     )?;
-    finalize_cell(source, region_space, item_space, subset, ids, problem, best.0)
+    scanned.record_skipped(problem.recorder.as_ref());
+    let cell = finalize_cell(
+        source,
+        region_space,
+        item_space,
+        subset,
+        ids,
+        problem,
+        scanned.acc.0,
+    )?;
+    Ok((cell, scanned.skipped))
 }
 
 /// Turn a winning `(region index, error value)` into a full cell with a
@@ -85,7 +113,15 @@ pub fn finalize_cell(
     let Some((region_index, _)) = best else {
         return Ok(None);
     };
-    let block = source.read_region(region_index)?;
+    // The region was readable during the scan, but on a faulty source
+    // the targeted re-read can still fail — surface it with the region
+    // index attached.
+    let block = source
+        .read_region(region_index)
+        .map_err(|source| BellwetherError::RegionRead {
+            index: region_index,
+            source,
+        })?;
     let data = block_subset_data(&block, ids);
     let (Some(error), Some(model)) =
         (problem.error_measure.estimate(&data), fit_wls(&data))

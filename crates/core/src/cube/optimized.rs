@@ -18,7 +18,7 @@ use super::naive::finalize_cell;
 use super::{BellwetherCube, CubeConfig};
 use crate::error::{BellwetherError, Result};
 use crate::problem::{BellwetherConfig, ErrorMeasure};
-use crate::scan::{scan_regions, MergeableAccumulator};
+use crate::scan::{scan_regions_policy, MergeableAccumulator};
 use bellwether_cube::{rollup_lattice, Parallelism, RegionId, RegionSpace};
 use bellwether_linreg::RegSuffStats;
 use bellwether_obs::{names, span};
@@ -88,9 +88,10 @@ pub fn build_optimized_cube(
     let index = super::significant_subsets(item_space, item_coords, cube_cfg)?;
     let p = source.feature_arity();
 
-    let best = scan_regions(
+    let scanned = scan_regions_policy(
         source,
         problem.parallelism,
+        problem.scan_policy,
         || BestMap(HashMap::new()),
         |acc: &mut BestMap<(usize, f64)>, idx, block| {
             // Base aggregation: one suffstats update per example.
@@ -119,8 +120,9 @@ pub fn build_optimized_cube(
             }
             Ok(())
         },
-    )?
-    .0;
+    )?;
+    scanned.record_skipped(problem.recorder.as_ref());
+    let best = scanned.acc.0;
 
     let mut cells = HashMap::new();
     for subset in &index.order {
@@ -141,6 +143,7 @@ pub fn build_optimized_cube(
         item_space: item_space.clone(),
         item_coords: item_coords.clone(),
         cells,
+        skipped_regions: scanned.skipped,
     })
 }
 
@@ -187,9 +190,10 @@ pub fn build_optimized_cube_cv(
     // the shared scan engine for the one-idiom property, but pinned
     // sequential: this extension pass is never on the benchmarked path
     // and keeps the conservative configuration.
-    let best = scan_regions(
+    let scanned = scan_regions_policy(
         source,
         Parallelism::sequential(),
+        problem.scan_policy,
         || BestMap(HashMap::new()),
         |acc: &mut BestMap<(usize, f64, Vec<f64>)>, idx, block| {
             // Base aggregation, one statistic per (base subset, fold).
@@ -246,8 +250,9 @@ pub fn build_optimized_cube_cv(
             }
             Ok(())
         },
-    )?
-    .0;
+    )?;
+    scanned.record_skipped(problem.recorder.as_ref());
+    let best = scanned.acc.0;
 
     // Finalize: fit the winning models; the error estimate is the
     // algebraic CV estimate gathered during the scan.
@@ -255,7 +260,12 @@ pub fn build_optimized_cube_cv(
     for subset in &index.order {
         let Some((region_index, _, fold_rmses)) = best.get(subset) else { continue };
         let ids = &index.members[subset];
-        let block = source.read_region(*region_index)?;
+        let block = source
+            .read_region(*region_index)
+            .map_err(|source| BellwetherError::RegionRead {
+                index: *region_index,
+                source,
+            })?;
         let data = crate::training::block_subset_data(&block, ids);
         let Some(model) = bellwether_linreg::fit_wls(&data) else { continue };
         let region = RegionId(source.region_coords(*region_index).to_vec());
@@ -279,6 +289,7 @@ pub fn build_optimized_cube_cv(
         item_space: item_space.clone(),
         item_coords: item_coords.clone(),
         cells,
+        skipped_regions: scanned.skipped,
     })
 }
 

@@ -8,7 +8,7 @@ use super::naive::finalize_cell;
 use super::{BellwetherCube, CubeConfig};
 use crate::error::Result;
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions, BestRegion};
+use crate::scan::{scan_regions_policy, BestRegion};
 use crate::tree::partition::PartitionSpec;
 use bellwether_cube::RegionSpace;
 use bellwether_obs::{names, span};
@@ -37,9 +37,10 @@ pub fn build_single_scan_cube(
     // MinError[S] / BellwetherRegion[S], updated region by region via
     // the shared scan engine (one BestRegion slot per subset; slots
     // merge element-wise across worker chunks).
-    let best = scan_regions(
+    let scanned = scan_regions_policy(
         source,
         problem.parallelism,
+        problem.scan_policy,
         || vec![BestRegion::default(); index.order.len()],
         |acc, idx, block| {
             // Build a model h_r for every significant subset from this
@@ -53,6 +54,8 @@ pub fn build_single_scan_cube(
             Ok(())
         },
     )?;
+    scanned.record_skipped(problem.recorder.as_ref());
+    let best = scanned.acc;
 
     let mut cells = HashMap::new();
     for (slot, subset) in index.order.iter().enumerate() {
@@ -73,6 +76,7 @@ pub fn build_single_scan_cube(
         item_space: item_space.clone(),
         item_coords: item_coords.clone(),
         cells,
+        skipped_regions: scanned.skipped,
     })
 }
 

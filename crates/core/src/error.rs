@@ -15,6 +15,29 @@ pub enum BellwetherError {
     NotFound(String),
     /// No feasible region satisfied the constraints.
     NoFeasibleRegion,
+    /// Reading one region's training set failed; carries the failing
+    /// region index so operators know *which* block to inspect.
+    RegionRead {
+        /// Index of the region whose read failed.
+        index: usize,
+        /// The underlying storage error (corruption, truncation, IO).
+        source: std::io::Error,
+    },
+    /// A scan worker thread panicked. The panic is caught and isolated —
+    /// the process keeps running; only this computation fails.
+    WorkerPanic {
+        /// Index of the panicking worker (its chunk position).
+        worker: usize,
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
+    /// A `SkipUnreadable` scan exceeded its skip budget.
+    TooManyUnreadable {
+        /// Number of unreadable regions encountered.
+        skipped: usize,
+        /// The configured maximum.
+        max_skipped: usize,
+    },
 }
 
 impl fmt::Display for BellwetherError {
@@ -27,6 +50,21 @@ impl fmt::Display for BellwetherError {
             BellwetherError::NoFeasibleRegion => {
                 write!(f, "no feasible region satisfies the constraints")
             }
+            BellwetherError::RegionRead { index, source } => {
+                write!(f, "failed to read region {index}: {source}")
+            }
+            BellwetherError::WorkerPanic { worker, message } => {
+                write!(f, "scan worker {worker} panicked: {message}")
+            }
+            BellwetherError::TooManyUnreadable {
+                skipped,
+                max_skipped,
+            } => {
+                write!(
+                    f,
+                    "{skipped} unreadable regions exceed the skip budget of {max_skipped}"
+                )
+            }
         }
     }
 }
@@ -36,6 +74,7 @@ impl std::error::Error for BellwetherError {
         match self {
             BellwetherError::Table(e) => Some(e),
             BellwetherError::Io(e) => Some(e),
+            BellwetherError::RegionRead { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -69,5 +108,30 @@ mod tests {
         let e: BellwetherError =
             bellwether_table::TableError::UnknownColumn("x".into()).into();
         assert!(e.to_string().contains("unknown column"));
+    }
+
+    #[test]
+    fn fault_variants_carry_their_context() {
+        let e = BellwetherError::RegionRead {
+            index: 17,
+            source: std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt block"),
+        };
+        assert!(e.to_string().contains("region 17"));
+        assert!(e.to_string().contains("corrupt block"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = BellwetherError::WorkerPanic {
+            worker: 2,
+            message: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("worker 2"));
+        assert!(e.to_string().contains("index out of bounds"));
+
+        let e = BellwetherError::TooManyUnreadable {
+            skipped: 5,
+            max_skipped: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
     }
 }

@@ -72,7 +72,8 @@ pub use predict::{evaluate_method, EvalContext, ItemCentricEval, Method};
 pub use problem::{BellwetherConfig, BellwetherConfigBuilder, ErrorMeasure};
 pub use sampling::sampling_baseline_error;
 pub use scan::{
-    scan_regions, scan_regions_where, BestRegion, Concat, MergeableAccumulator, MinSlots,
+    scan_regions, scan_regions_policy, scan_regions_where, scan_regions_where_policy,
+    BestRegion, Concat, MergeableAccumulator, MinSlots, ScanPolicy, Scanned,
 };
 pub use training::{
     build_memory_source, build_memory_source_with, region_block, write_disk_source,

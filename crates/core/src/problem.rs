@@ -1,6 +1,7 @@
 //! The bellwether problem definition (Definitions 1 and 2).
 
 use crate::error::{BellwetherError, Result};
+use crate::scan::ScanPolicy;
 use bellwether_cube::Parallelism;
 use bellwether_linreg::{cross_val_estimate, training_set_estimate, ErrorEstimate, RegressionData};
 use bellwether_obs::{NoopRecorder, Recorder};
@@ -65,6 +66,12 @@ pub struct BellwetherConfig {
     /// default [`NoopRecorder`] costs one branch per phase; results are
     /// bit-identical whether or not recording is enabled.
     pub recorder: Arc<dyn Recorder>,
+    /// How builders react to unreadable regions (corrupt or failing
+    /// blocks): fail fast ([`ScanPolicy::Strict`], the default) or skip
+    /// up to a budget with exact accounting of what was dropped
+    /// ([`ScanPolicy::SkipUnreadable`]); skipped indices surface in each
+    /// builder's result and under the `scan/regions_skipped` counter.
+    pub scan_policy: ScanPolicy,
 }
 
 impl BellwetherConfig {
@@ -79,6 +86,7 @@ impl BellwetherConfig {
             min_examples: 10,
             parallelism: Parallelism::default(),
             recorder: Arc::new(NoopRecorder),
+            scan_policy: ScanPolicy::Strict,
         }
     }
 
@@ -93,6 +101,7 @@ impl BellwetherConfig {
             min_examples: 10,
             parallelism: Parallelism::default(),
             recorder: Arc::new(NoopRecorder),
+            scan_policy: ScanPolicy::Strict,
         }
     }
 
@@ -149,6 +158,7 @@ pub struct BellwetherConfigBuilder {
     min_examples: usize,
     parallelism: Parallelism,
     recorder: Arc<dyn Recorder>,
+    scan_policy: ScanPolicy,
 }
 
 impl BellwetherConfigBuilder {
@@ -179,6 +189,13 @@ impl BellwetherConfigBuilder {
     /// Metrics sink (e.g. a shared `bellwether_obs::Registry`).
     pub fn recorder(mut self, r: Arc<dyn Recorder>) -> Self {
         self.recorder = r;
+        self
+    }
+
+    /// Reaction to unreadable regions: fail fast (default) or skip up
+    /// to a budget with exact accounting.
+    pub fn scan_policy(mut self, p: ScanPolicy) -> Self {
+        self.scan_policy = p;
         self
     }
 
@@ -222,6 +239,7 @@ impl BellwetherConfigBuilder {
             min_examples: self.min_examples,
             parallelism: self.parallelism,
             recorder: self.recorder,
+            scan_policy: self.scan_policy,
         })
     }
 }
@@ -319,6 +337,17 @@ mod tests {
             .parallelism(zero)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn builder_sets_scan_policy() {
+        let c = BellwetherConfig::builder(1.0).build().unwrap();
+        assert_eq!(c.scan_policy, ScanPolicy::Strict);
+        let c = BellwetherConfig::builder(1.0)
+            .scan_policy(ScanPolicy::SkipUnreadable { max_skipped: 3 })
+            .build()
+            .unwrap();
+        assert_eq!(c.scan_policy, ScanPolicy::SkipUnreadable { max_skipped: 3 });
     }
 
     #[test]

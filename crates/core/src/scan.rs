@@ -31,9 +31,12 @@
 //! inputs skip thread spawning entirely; the fallback runs the very
 //! same fold closure over the same indices in the same order.
 
-use crate::error::Result;
+use crate::error::{BellwetherError, Result};
 use bellwether_cube::Parallelism;
+use bellwether_obs::{names, Recorder};
 use bellwether_storage::{RegionBlock, TrainingSource};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A per-scan statistic that can be merged across contiguous index
 /// ranges without changing the result of a sequential fold.
@@ -143,6 +146,72 @@ impl<A: MergeableAccumulator> MergeableAccumulator for Vec<A> {
     }
 }
 
+/// How a scan reacts to a region whose read fails (truncation,
+/// corruption, IO error). Fold-function errors are *never* skippable —
+/// only the read itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanPolicy {
+    /// Fail fast: the first unreadable region aborts the scan with a
+    /// [`BellwetherError::RegionRead`] naming the failing index.
+    #[default]
+    Strict,
+    /// Skip unreadable regions and keep scanning, up to `max_skipped`
+    /// of them; exceeding the budget aborts with
+    /// [`BellwetherError::TooManyUnreadable`]. Every skipped index is
+    /// reported exactly in [`Scanned::skipped`] — degraded results are
+    /// always labelled with *what* they are missing.
+    SkipUnreadable {
+        /// Maximum unreadable regions tolerated across the whole scan.
+        max_skipped: usize,
+    },
+}
+
+/// The outcome of a policy-aware scan: the merged accumulator plus the
+/// exact accounting of regions the policy dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scanned<A> {
+    /// The merged fold result over every region that was read.
+    pub acc: A,
+    /// Ascending indices of regions skipped as unreadable (always empty
+    /// under [`ScanPolicy::Strict`]).
+    pub skipped: Vec<usize>,
+}
+
+impl<A> Scanned<A> {
+    /// Record the skip count under the canonical `scan/regions_skipped`
+    /// counter.
+    pub fn record_skipped(&self, rec: &dyn Recorder) {
+        if !self.skipped.is_empty() {
+            rec.add(names::SCAN_REGIONS_SKIPPED, self.skipped.len() as u64);
+        }
+    }
+}
+
+/// Merge one scan's skipped-region list into a builder's running
+/// account, keeping it sorted and deduplicated (builders that scan more
+/// than once may skip the same region repeatedly).
+pub(crate) fn merge_skipped(into: &mut Vec<usize>, scan_skipped: &[usize]) {
+    if scan_skipped.is_empty() {
+        return;
+    }
+    into.extend_from_slice(scan_skipped);
+    into.sort_unstable();
+    into.dedup();
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or a formatted message covers practically all of std
+/// and this workspace).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Scan every region of `source` once, folding into accumulators
 /// sharded by `par`, and return the in-order merge of the partials.
 ///
@@ -150,6 +219,12 @@ impl<A: MergeableAccumulator> MergeableAccumulator for Vec<A> {
 /// `let mut acc = init(); for idx in 0..n { fold(&mut acc, idx, &read(idx)?)? }`
 /// — bit for bit, at any thread count. `fold` observes each region
 /// index exactly once, in ascending order within its chunk.
+///
+/// Read failures abort with [`BellwetherError::RegionRead`]
+/// ([`ScanPolicy::Strict`] semantics); use [`scan_regions_policy`] to
+/// skip unreadable regions instead. A panicking fold is isolated per
+/// worker and surfaces as [`BellwetherError::WorkerPanic`] — the
+/// process never aborts.
 pub fn scan_regions<A, I, F>(
     source: &dyn TrainingSource,
     par: Parallelism,
@@ -181,53 +256,158 @@ where
     I: Fn() -> A + Sync,
     F: Fn(&mut A, usize, &RegionBlock) -> Result<()> + Sync,
 {
+    let scanned = scan_regions_where_policy(source, par, ScanPolicy::Strict, keep, init, fold)?;
+    debug_assert!(scanned.skipped.is_empty(), "Strict never skips");
+    Ok(scanned.acc)
+}
+
+/// [`scan_regions`] under an explicit [`ScanPolicy`], reporting exactly
+/// which regions were dropped.
+pub fn scan_regions_policy<A, I, F>(
+    source: &dyn TrainingSource,
+    par: Parallelism,
+    policy: ScanPolicy,
+    init: I,
+    fold: F,
+) -> Result<Scanned<A>>
+where
+    A: MergeableAccumulator,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &RegionBlock) -> Result<()> + Sync,
+{
+    scan_regions_where_policy(source, par, policy, |_| true, init, fold)
+}
+
+/// The full engine: pre-read filter + fault policy + panic isolation.
+///
+/// Every other scan entry point delegates here, so the fault semantics
+/// are uniform and thread-count-invariant:
+///
+/// * a worker panic (sequential or parallel — `catch_unwind` wraps the
+///   chunk either way) surfaces as [`BellwetherError::WorkerPanic`]
+///   with the worker's index and panic message;
+/// * under [`ScanPolicy::Strict`], the lowest failing region index
+///   aborts the scan as [`BellwetherError::RegionRead`] (errors merge
+///   in ascending chunk order, and each chunk stops at its first
+///   failure);
+/// * under [`ScanPolicy::SkipUnreadable`], unreadable regions are
+///   recorded and skipped; if more than `max_skipped` accumulate the
+///   scan aborts with [`BellwetherError::TooManyUnreadable`] (a
+///   parallel abort may report a higher skip count than the sequential
+///   early-exit, but aborts in exactly the same situations);
+/// * fold errors always abort — the policy only covers *reads*.
+pub fn scan_regions_where_policy<A, K, I, F>(
+    source: &dyn TrainingSource,
+    par: Parallelism,
+    policy: ScanPolicy,
+    keep: K,
+    init: I,
+    fold: F,
+) -> Result<Scanned<A>>
+where
+    A: MergeableAccumulator,
+    K: Fn(usize) -> bool + Sync,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &RegionBlock) -> Result<()> + Sync,
+{
     let n = source.num_regions();
     let threads = par.threads_for(n);
 
-    let run_chunk = |lo: usize, hi: usize| -> Result<A> {
-        let mut acc = init();
-        for idx in lo..hi {
-            if !keep(idx) {
-                continue;
+    let run_chunk = |worker: usize, lo: usize, hi: usize| -> Result<Scanned<A>> {
+        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Scanned<A>> {
+            let mut acc = init();
+            let mut skipped = Vec::new();
+            for idx in lo..hi {
+                if !keep(idx) {
+                    continue;
+                }
+                match source.read_region(idx) {
+                    Ok(block) => fold(&mut acc, idx, &block)?,
+                    Err(source) => match policy {
+                        ScanPolicy::Strict => {
+                            return Err(BellwetherError::RegionRead { index: idx, source })
+                        }
+                        ScanPolicy::SkipUnreadable { max_skipped } => {
+                            skipped.push(idx);
+                            if skipped.len() > max_skipped {
+                                return Err(BellwetherError::TooManyUnreadable {
+                                    skipped: skipped.len(),
+                                    max_skipped,
+                                });
+                            }
+                        }
+                    },
+                }
             }
-            let block = source.read_region(idx)?;
-            fold(&mut acc, idx, &block)?;
-        }
-        Ok(acc)
+            Ok(Scanned { acc, skipped })
+        }));
+        caught.unwrap_or_else(|payload| {
+            Err(BellwetherError::WorkerPanic {
+                worker,
+                message: panic_message(payload.as_ref()),
+            })
+        })
     };
 
-    if threads <= 1 {
-        return run_chunk(0, n);
-    }
-
-    let chunk = n.div_ceil(threads);
-    let partials: Vec<Result<A>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                let run_chunk = &run_chunk;
-                s.spawn(move || run_chunk(lo, hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("region-scan worker panicked"))
-            .collect()
-    });
+    let partials: Vec<Result<Scanned<A>>> = if threads <= 1 {
+        vec![run_chunk(0, 0, n)]
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    let run_chunk = &run_chunk;
+                    s.spawn(move || run_chunk(t, lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(t, h)| {
+                    // catch_unwind already confines panics inside the
+                    // worker; a join error can only mean the payload
+                    // escaped some other way. Still isolate it.
+                    h.join().unwrap_or_else(|payload| {
+                        Err(BellwetherError::WorkerPanic {
+                            worker: t,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    })
+                })
+                .collect()
+        })
+    };
 
     // Merge in ascending chunk order. Errors also surface in chunk
     // order, which is the sequential scan's first-error (the earliest
-    // failing chunk holds the lowest failing index).
+    // failing chunk holds the lowest failing index). Skipped indices
+    // concatenate in the same order, so the list is ascending.
     let mut merged: Option<A> = None;
+    let mut skipped: Vec<usize> = Vec::new();
     for partial in partials {
-        let acc = partial?;
+        let part = partial?;
+        skipped.extend(part.skipped);
         match merged.as_mut() {
-            None => merged = Some(acc),
-            Some(m) => m.merge(acc),
+            None => merged = Some(part.acc),
+            Some(m) => m.merge(part.acc),
         }
     }
-    Ok(merged.expect("threads_for returns at least 1"))
+    if let ScanPolicy::SkipUnreadable { max_skipped } = policy {
+        // Chunks bound their local counts; the global budget is checked
+        // over the merged total.
+        if skipped.len() > max_skipped {
+            return Err(BellwetherError::TooManyUnreadable {
+                skipped: skipped.len(),
+                max_skipped,
+            });
+        }
+    }
+    Ok(Scanned {
+        acc: merged.expect("threads_for returns at least 1"),
+        skipped,
+    })
 }
 
 #[cfg(test)]
@@ -334,6 +514,187 @@ mod tests {
         // The earliest failing index is reported even though later
         // chunks also failed.
         assert!(err.to_string().contains("region 5"), "got {err}");
+    }
+
+    #[test]
+    fn worker_panics_are_isolated_at_any_thread_count() {
+        let src = source(16);
+        for threads in [1, 2, 4] {
+            let err = scan_regions(
+                &src,
+                par(threads),
+                Concat::<usize>::default,
+                |_, idx, _| {
+                    if idx == 9 {
+                        panic!("fold exploded on region {idx}");
+                    }
+                    Ok(())
+                },
+            )
+            .expect_err("panic must surface as an error");
+            match err {
+                BellwetherError::WorkerPanic { worker, message } => {
+                    assert!(message.contains("fold exploded on region 9"), "{message}");
+                    // Region 9 lives in the panicking worker's chunk.
+                    let chunk = 16usize.div_ceil(threads.max(1));
+                    if threads > 1 {
+                        assert_eq!(worker, 9 / chunk);
+                    } else {
+                        assert_eq!(worker, 0);
+                    }
+                }
+                other => panic!("expected WorkerPanic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strict_policy_names_the_lowest_failing_region() {
+        // Regions 5 and 11 are permanently unreadable.
+        let base = source(16);
+        let corrupt = [5usize, 11];
+        let faulty = FailOn::new(base, &corrupt);
+        for threads in [1, 2, 4] {
+            let err = scan_regions(&faulty, par(threads), Concat::<usize>::default, |a, i, _| {
+                a.0.push(i);
+                Ok(())
+            })
+            .expect_err("strict scan must fail");
+            match err {
+                BellwetherError::RegionRead { index, .. } => {
+                    assert_eq!(index, 5, "threads={threads}: lowest failing index")
+                }
+                other => panic!("expected RegionRead, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn skip_policy_accounts_for_every_dropped_region() {
+        let base = source(20);
+        let corrupt = [3usize, 8, 15];
+        let faulty = FailOn::new(base, &corrupt);
+        let seq = scan_regions_policy(
+            &faulty,
+            par(1),
+            ScanPolicy::SkipUnreadable { max_skipped: 5 },
+            Concat::default,
+            |a: &mut Concat<usize>, i, _| {
+                a.0.push(i);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.skipped, vec![3, 8, 15]);
+        assert_eq!(seq.acc.0.len(), 17);
+        assert!(!seq.acc.0.contains(&8));
+        for threads in [2, 4, 7] {
+            let got = scan_regions_policy(
+                &faulty,
+                par(threads),
+                ScanPolicy::SkipUnreadable { max_skipped: 5 },
+                Concat::default,
+                |a: &mut Concat<usize>, i, _| {
+                    a.0.push(i);
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert_eq!(got, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn skip_budget_overflow_aborts() {
+        let base = source(10);
+        let corrupt = [1usize, 4, 7];
+        let faulty = FailOn::new(base, &corrupt);
+        for threads in [1, 2, 4] {
+            let err = scan_regions_policy(
+                &faulty,
+                par(threads),
+                ScanPolicy::SkipUnreadable { max_skipped: 2 },
+                Concat::default,
+                |a: &mut Concat<usize>, i, _| {
+                    a.0.push(i);
+                    Ok(())
+                },
+            )
+            .expect_err("three failures exceed a budget of two");
+            match err {
+                BellwetherError::TooManyUnreadable {
+                    skipped,
+                    max_skipped,
+                } => {
+                    assert!(skipped > 2, "threads={threads}");
+                    assert_eq!(max_skipped, 2);
+                }
+                other => panic!("expected TooManyUnreadable, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fold_errors_are_never_skipped() {
+        let src = source(8);
+        let err = scan_regions_policy(
+            &src,
+            par(2),
+            ScanPolicy::SkipUnreadable { max_skipped: 100 },
+            Concat::<usize>::default,
+            |_, idx, _| {
+                if idx == 3 {
+                    return Err(crate::error::BellwetherError::NotFound("model".into()));
+                }
+                Ok(())
+            },
+        )
+        .expect_err("fold errors abort regardless of policy");
+        assert!(matches!(err, BellwetherError::NotFound(_)), "{err}");
+    }
+
+    /// Test-only source failing reads of chosen indices with a
+    /// transient-looking error.
+    struct FailOn {
+        inner: MemorySource,
+        bad: Vec<usize>,
+    }
+
+    impl FailOn {
+        fn new(inner: MemorySource, bad: &[usize]) -> Self {
+            FailOn {
+                inner,
+                bad: bad.to_vec(),
+            }
+        }
+    }
+
+    impl TrainingSource for FailOn {
+        fn num_regions(&self) -> usize {
+            self.inner.num_regions()
+        }
+
+        fn feature_arity(&self) -> usize {
+            self.inner.feature_arity()
+        }
+
+        fn region_coords(&self, idx: usize) -> &[u32] {
+            self.inner.region_coords(idx)
+        }
+
+        fn read_region(&self, idx: usize) -> std::io::Result<std::sync::Arc<RegionBlock>> {
+            if self.bad.contains(&idx) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unreadable region {idx}"),
+                ));
+            }
+            self.inner.read_region(idx)
+        }
+
+        fn stats(&self) -> &std::sync::Arc<bellwether_storage::IoStats> {
+            self.inner.stats()
+        }
     }
 
     #[test]

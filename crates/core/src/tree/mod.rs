@@ -23,7 +23,7 @@ pub(crate) mod tests_support;
 use crate::error::{BellwetherError, Result};
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions, BestRegion};
+use crate::scan::{scan_regions_policy, BestRegion};
 use crate::training::block_subset_data;
 use bellwether_cube::{RegionId, RegionSpace};
 use bellwether_linreg::{fit_wls, LinearModel};
@@ -314,6 +314,11 @@ pub struct Node {
 pub struct BellwetherTree {
     /// Nodes; index 0 is the root.
     pub nodes: Vec<Node>,
+    /// Region indices skipped as unreadable during construction
+    /// (sorted, deduplicated across all scans). Empty under
+    /// [`crate::scan::ScanPolicy::Strict`]; non-empty marks the tree as
+    /// a degraded result built without those regions.
+    pub skipped_regions: Vec<usize>,
 }
 
 impl BellwetherTree {
@@ -452,18 +457,30 @@ pub fn block_subset_error(
 }
 
 /// Solve the basic bellwether problem for an item subset by scanning all
-/// stored regions once (through the shared [`scan_regions`] engine, so
-/// the scan parallelises under `config.parallelism`): returns the
-/// min-error region and its model.
+/// stored regions once (through the shared [`crate::scan`] engine, so
+/// the scan parallelises under `config.parallelism` and honours
+/// `config.scan_policy`): returns the min-error region and its model.
 pub fn subset_bellwether(
     source: &dyn TrainingSource,
     space: &RegionSpace,
     keep: &HashSet<i64>,
     config: &BellwetherConfig,
 ) -> Result<Option<NodeInfo>> {
-    let best = scan_regions(
+    Ok(subset_bellwether_scanned(source, space, keep, config)?.0)
+}
+
+/// [`subset_bellwether`] that also reports which region indices the scan
+/// skipped as unreadable, so tree builders can account for them.
+pub(crate) fn subset_bellwether_scanned(
+    source: &dyn TrainingSource,
+    space: &RegionSpace,
+    keep: &HashSet<i64>,
+    config: &BellwetherConfig,
+) -> Result<(Option<NodeInfo>, Vec<usize>)> {
+    let scanned = scan_regions_policy(
         source,
         config.parallelism,
+        config.scan_policy,
         BestRegion::default,
         |acc, idx, block| {
             if let Some(err) = block_subset_error(block, keep, config) {
@@ -472,26 +489,40 @@ pub fn subset_bellwether(
             Ok(())
         },
     )?;
-    let Some((region_index, error)) = best.0 else {
-        return Ok(None);
+    scanned.record_skipped(config.recorder.as_ref());
+    let skipped = scanned.skipped;
+    let Some((region_index, error)) = scanned.acc.0 else {
+        return Ok((None, skipped));
     };
     // One more read to fit the winning model (the search loop above only
-    // kept the score).
-    let block = source.read_region(region_index)?;
+    // kept the score). The region was readable moments ago, but on a
+    // faulty source the targeted re-read can still fail — surface it
+    // with the region index attached.
+    let block = source
+        .read_region(region_index)
+        .map_err(|source| BellwetherError::RegionRead {
+            index: region_index,
+            source,
+        })?;
     let data = block_subset_data(&block, keep);
     let model = fit_wls(&data).ok_or_else(|| {
         BellwetherError::Config("winning region no longer fits a model".into())
     })?;
     let region = RegionId(source.region_coords(region_index).to_vec());
-    Ok(Some(NodeInfo {
-        region_index,
-        label: space.label(&region),
-        region,
-        error,
-        model,
-        n_examples: data.n(),
-    }))
+    Ok((
+        Some(NodeInfo {
+            region_index,
+            label: space.label(&region),
+            region,
+            error,
+            model,
+            n_examples: data.n(),
+        }),
+        skipped,
+    ))
 }
+
+pub(crate) use crate::scan::merge_skipped;
 
 #[cfg(test)]
 mod tests {

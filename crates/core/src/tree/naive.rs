@@ -6,9 +6,9 @@ use super::{candidate_splits, BellwetherTree, CandidateSplit, Node, TreeConfig};
 use crate::error::Result;
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions, MinSlots};
+use crate::scan::{scan_regions_policy, MinSlots};
 use crate::tree::partition::{child_id_sets, PartitionSpec};
-use crate::tree::subset_bellwether;
+use crate::tree::{merge_skipped, subset_bellwether_scanned};
 use bellwether_cube::RegionSpace;
 use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
@@ -25,7 +25,10 @@ pub fn build_naive(
 ) -> Result<BellwetherTree> {
     let _timer = span!(problem.recorder, "tree/naive");
     let rows = root_rows.unwrap_or_else(|| (0..items.len()).collect());
-    let mut tree = BellwetherTree { nodes: Vec::new() };
+    let mut tree = BellwetherTree {
+        nodes: Vec::new(),
+        skipped_regions: Vec::new(),
+    };
     tree.nodes.push(Node {
         depth: 0,
         item_rows: rows,
@@ -53,7 +56,8 @@ fn split_node(
     // Find the bellwether for this node's item subset (one full scan).
     let ids: std::collections::HashSet<i64> =
         rows.iter().map(|&r| items.ids()[r]).collect();
-    let info = subset_bellwether(source, space, &ids, problem)?;
+    let (info, skipped) = subset_bellwether_scanned(source, space, &ids, problem)?;
+    merge_skipped(&mut tree.skipped_regions, &skipped);
     let node_err = info.as_ref().map(|i| i.error);
     tree.nodes[node_id].info = info;
 
@@ -73,9 +77,10 @@ fn split_node(
     for (ci, cand) in candidates.iter().enumerate() {
         let spec = PartitionSpec::new(&child_id_sets(items, &cand.partition));
         let parts = cand.partition.len();
-        let min_err = scan_regions(
+        let scanned = scan_regions_policy(
             source,
             problem.parallelism,
+            problem.scan_policy,
             || MinSlots::new(parts),
             |acc, _, block| {
                 for (slot, e) in spec.errors(block, problem).into_iter().enumerate() {
@@ -85,8 +90,10 @@ fn split_node(
                 }
                 Ok(())
             },
-        )?
-        .0;
+        )?;
+        scanned.record_skipped(problem.recorder.as_ref());
+        merge_skipped(&mut tree.skipped_regions, &scanned.skipped);
+        let min_err = scanned.acc.0;
         if min_err.iter().any(|e| !e.is_finite()) {
             continue; // some child cannot be modelled anywhere
         }

@@ -12,12 +12,12 @@
 //! model).
 
 use super::{
-    candidate_splits, BellwetherTree, CandidateSplit, Node, TreeConfig,
+    candidate_splits, merge_skipped, BellwetherTree, CandidateSplit, Node, TreeConfig,
 };
-use crate::error::Result;
+use crate::error::{BellwetherError, Result};
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions, BestRegion, MergeableAccumulator};
+use crate::scan::{scan_regions_policy, BestRegion, MergeableAccumulator};
 use crate::tree::naive::goodness_of;
 use crate::tree::partition::{child_id_sets, fit_node_model, PartitionSpec};
 use bellwether_cube::{RegionId, RegionSpace};
@@ -96,7 +96,10 @@ pub fn build_rainforest(
 ) -> Result<BellwetherTree> {
     let _timer = span!(problem.recorder, "tree/rainforest");
     let rows = root_rows.unwrap_or_else(|| (0..items.len()).collect());
-    let mut tree = BellwetherTree { nodes: Vec::new() };
+    let mut tree = BellwetherTree {
+        nodes: Vec::new(),
+        skipped_regions: Vec::new(),
+    };
     tree.nodes.push(Node {
         depth: 0,
         item_rows: rows,
@@ -146,9 +149,10 @@ pub fn build_rainforest(
         // "`l` scans over the entire training data" claim.
         let level_timer = span!(problem.recorder, "tree/rainforest/level{depth}");
         let p = source.feature_arity();
-        let acc = scan_regions(
+        let scanned = scan_regions_policy(
             source,
             problem.parallelism,
+            problem.scan_policy,
             || LevelAcc::for_entries(&entries),
             |acc, idx, block| {
                 for (e, partial) in entries.iter().zip(acc.0.iter_mut()) {
@@ -190,13 +194,21 @@ pub fn build_rainforest(
         )?;
 
         drop(level_timer); // the level span covers the scan loop only
+        scanned.record_skipped(problem.recorder.as_ref());
+        merge_skipped(&mut tree.skipped_regions, &scanned.skipped);
+        let acc = scanned.acc;
 
         // Finalize the level: fit node models (targeted reads), pick
         // splits, spawn the next level.
         let mut next_level = Vec::new();
         for (e, partial) in entries.iter().zip(acc.0) {
             if let Some((ridx, err)) = partial.node_best.0 {
-                let block = source.read_region(ridx)?;
+                let block = source
+                    .read_region(ridx)
+                    .map_err(|source| BellwetherError::RegionRead {
+                        index: ridx,
+                        source,
+                    })?;
                 let region = RegionId(source.region_coords(ridx).to_vec());
                 let label = space.label(&region);
                 tree.nodes[e.node_id].info =

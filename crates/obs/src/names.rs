@@ -22,6 +22,16 @@ pub const STORAGE_CACHE_HITS: &str = "storage/cache_hits";
 pub const STORAGE_CACHE_MISSES: &str = "storage/cache_misses";
 /// Decoded blocks evicted by the cache's byte budget.
 pub const STORAGE_CACHE_EVICTIONS: &str = "storage/cache_evictions";
+/// Region reads retried after a transient failure.
+pub const STORAGE_RETRIES: &str = "storage/retries";
+/// Region blocks whose checksum (or structure) failed validation.
+pub const STORAGE_CORRUPT_BLOCKS: &str = "storage/corrupt_blocks";
+/// Faults injected by a `FaultySource` (transient errors, corruption,
+/// latency).
+pub const STORAGE_FAULTS_INJECTED: &str = "storage/faults_injected";
+
+/// Region indices dropped by a `SkipUnreadable` scan policy.
+pub const SCAN_REGIONS_SKIPPED: &str = "scan/regions_skipped";
 
 /// Fact rows scanned by the CUBE pass (phase 1).
 pub const CUBE_PASS_ROWS_SCANNED: &str = "cube_pass/rows_scanned";

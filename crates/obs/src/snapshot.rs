@@ -103,6 +103,30 @@ impl MetricsSnapshot {
         self.counter_or_zero(names::STORAGE_CACHE_EVICTIONS)
     }
 
+    /// Region reads retried after a transient failure
+    /// ([`names::STORAGE_RETRIES`]).
+    pub fn retries(&self) -> u64 {
+        self.counter_or_zero(names::STORAGE_RETRIES)
+    }
+
+    /// Region blocks that failed checksum or structural validation
+    /// ([`names::STORAGE_CORRUPT_BLOCKS`]).
+    pub fn corrupt_blocks(&self) -> u64 {
+        self.counter_or_zero(names::STORAGE_CORRUPT_BLOCKS)
+    }
+
+    /// Faults injected by a `FaultySource`
+    /// ([`names::STORAGE_FAULTS_INJECTED`]).
+    pub fn faults_injected(&self) -> u64 {
+        self.counter_or_zero(names::STORAGE_FAULTS_INJECTED)
+    }
+
+    /// Region indices dropped by a `SkipUnreadable` scan policy
+    /// ([`names::SCAN_REGIONS_SKIPPED`]).
+    pub fn regions_skipped(&self) -> u64 {
+        self.counter_or_zero(names::SCAN_REGIONS_SKIPPED)
+    }
+
     /// Fraction of cache lookups served from memory
     /// (`hits / (hits + misses)`; `0.0` before any lookup).
     pub fn cache_hit_rate(&self) -> f64 {

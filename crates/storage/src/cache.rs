@@ -34,7 +34,7 @@ use crate::source::TrainingSource;
 use bellwether_obs::{names, Counter, MetricsSnapshot, Recorder, Registry};
 use std::collections::HashMap;
 use std::io;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Shared, thread-safe cache counters (same pattern as [`IoStats`]).
 #[derive(Debug, Default)]
@@ -193,6 +193,25 @@ impl<S: TrainingSource> CachedSource<S> {
         &self.inner
     }
 
+    /// Lock the cache state, recovering from poison. A thread that
+    /// panicked while holding the lock may have left the bookkeeping
+    /// half-updated, so recovery drops every cached entry (correctness
+    /// never depends on cache contents — the inner source is re-read)
+    /// and un-poisons the mutex, instead of propagating the panic to
+    /// every subsequent reader forever.
+    fn lock_state(&self) -> MutexGuard<'_, CacheState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                guard.bytes = 0;
+                guard
+            }
+        }
+    }
+
     /// Shared hit/miss/eviction counters.
     pub fn cache_stats(&self) -> &Arc<CacheStats> {
         &self.cache_stats
@@ -200,17 +219,17 @@ impl<S: TrainingSource> CachedSource<S> {
 
     /// Number of blocks currently cached.
     pub fn cached_blocks(&self) -> usize {
-        self.state.lock().unwrap().map.len()
+        self.lock_state().map.len()
     }
 
     /// Bytes currently charged against the budget.
     pub fn cached_bytes(&self) -> usize {
-        self.state.lock().unwrap().bytes
+        self.lock_state().bytes
     }
 
     /// Drop every cached block (counters are kept).
     pub fn clear(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.lock_state();
         state.map.clear();
         state.bytes = 0;
     }
@@ -231,7 +250,7 @@ impl<S: TrainingSource> TrainingSource for CachedSource<S> {
 
     fn read_region(&self, idx: usize) -> io::Result<Arc<RegionBlock>> {
         {
-            let mut state = self.state.lock().unwrap();
+            let mut state = self.lock_state();
             state.tick += 1;
             let tick = state.tick;
             if let Some(entry) = state.map.get_mut(&idx) {
@@ -250,7 +269,7 @@ impl<S: TrainingSource> TrainingSource for CachedSource<S> {
         self.cache_stats.record_miss();
         let bytes = block.encoded_len();
         if bytes <= self.budget_bytes {
-            let mut state = self.state.lock().unwrap();
+            let mut state = self.lock_state();
             state.tick += 1;
             let tick = state.tick;
             if let Some(entry) = state.map.get_mut(&idx) {
@@ -459,6 +478,36 @@ mod tests {
         assert_eq!(snap.cache_hits() + snap.cache_misses(), 4 * 8);
         assert!(snap.cache_misses() >= 8);
         assert_eq!(src.cached_blocks(), 8);
+    }
+
+    #[test]
+    fn recovers_from_a_poisoned_lock() {
+        let src = Arc::new(source(4, 4));
+        src.read_region(0).unwrap();
+        src.read_region(1).unwrap();
+        assert_eq!(src.cached_blocks(), 2);
+
+        // Poison the state mutex: a panicking thread dies while holding
+        // the guard.
+        let poisoner = Arc::clone(&src);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("worker died holding the cache lock");
+        });
+        assert!(handle.join().is_err());
+        assert!(src.state.is_poisoned());
+
+        // Subsequent readers recover instead of panicking: the cache is
+        // cleared (its bookkeeping can no longer be trusted), the mutex
+        // is un-poisoned, and reads keep working.
+        assert_eq!(*src.read_region(0).unwrap(), blocks(4)[0]);
+        assert!(!src.state.is_poisoned());
+        src.read_region(0).unwrap();
+        let snap = src.snapshot();
+        // Read after recovery missed (entries dropped), then hit again.
+        assert!(snap.cache_misses() >= 3);
+        assert!(snap.cache_hits() >= 1);
+        assert!(src.cached_blocks() >= 1);
     }
 
     #[test]

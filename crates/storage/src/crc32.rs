@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant), implemented
+//! with a compile-time lookup table so the offline build environment
+//! needs no `crc32fast` dependency.
+//!
+//! Used by the v2 on-disk format to checksum every region block: CRC-32
+//! detects all single-bit and two-bit errors, any odd number of bit
+//! errors, and any burst shorter than 32 bits — which covers the
+//! realistic "a byte rotted on disk" failure mode exactly.
+
+/// 256-entry table for the reflected IEEE polynomial `0xEDB88320`.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (IEEE polynomial, `0xFFFFFFFF` init and final xor —
+/// byte-compatible with zlib's `crc32`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_the_crc() {
+        let data = b"bellwether region block payload".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -14,14 +14,33 @@
 //! All integers little-endian. The index lives at the end so the writer
 //! can stream blocks without knowing their sizes in advance; the reader
 //! loads the index once and then reads regions randomly or sequentially.
+//!
+//! # Versions
+//!
+//! * **v1** — blocks are the raw encoding of [`encode_block`].
+//! * **v2** (current) — every block carries a trailing CRC-32 of its
+//!   payload ([`crate::crc32`]), so a rotted or torn block surfaces as a
+//!   structured [`CorruptBlock`] error instead of silently decoding
+//!   garbage (or worse, plausible-looking wrong numbers). Readers accept
+//!   both versions; writers emit v2 unless asked otherwise.
+//!
+//! # Fault model
+//!
+//! Every decode path in this module is *total*: truncated, oversized or
+//! garbage input returns `io::Error`, never panics, whatever the byte
+//! length. The never-panics property is enforced by a test that decodes
+//! every truncation of a valid file.
 
 use crate::block::RegionBlock;
+use crate::crc32::crc32;
+use std::fmt;
 use std::io;
 
-/// Minimal little-endian cursor over a byte slice (stand-in for the
-/// `bytes` crate, which the offline build environment cannot fetch).
-/// Length checks are the callers' job — exactly as with `bytes::Buf`,
-/// reads past the end panic.
+/// Minimal checked little-endian cursor over a byte slice (stand-in for
+/// the `bytes` crate, which the offline build environment cannot fetch).
+/// Unlike `bytes::Buf`, every read is bounds-checked and reads past the
+/// end return `io::Error` — decode paths must be total over arbitrary
+/// input.
 struct Cursor<'a> {
     buf: &'a [u8],
 }
@@ -35,32 +54,39 @@ impl<'a> Cursor<'a> {
         self.buf.len()
     }
 
-    fn take<const N: usize>(&mut self) -> [u8; N] {
+    fn take<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        if self.buf.len() < N {
+            return Err(bad("unexpected end of input"));
+        }
         let (head, tail) = self.buf.split_at(N);
         self.buf = tail;
-        head.try_into().expect("split_at returned N bytes")
+        Ok(head.try_into().expect("split_at returned N bytes"))
     }
 
-    fn copy_to_slice(&mut self, out: &mut [u8]) {
+    fn copy_to_slice(&mut self, out: &mut [u8]) -> io::Result<()> {
+        if self.buf.len() < out.len() {
+            return Err(bad("unexpected end of input"));
+        }
         let (head, tail) = self.buf.split_at(out.len());
         out.copy_from_slice(head);
         self.buf = tail;
+        Ok(())
     }
 
-    fn get_u32_le(&mut self) -> u32 {
-        u32::from_le_bytes(self.take())
+    fn get_u32_le(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take()?))
     }
 
-    fn get_u64_le(&mut self) -> u64 {
-        u64::from_le_bytes(self.take())
+    fn get_u64_le(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take()?))
     }
 
-    fn get_i64_le(&mut self) -> i64 {
-        i64::from_le_bytes(self.take())
+    fn get_i64_le(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.take()?))
     }
 
-    fn get_f64_le(&mut self) -> f64 {
-        f64::from_le_bytes(self.take())
+    fn get_f64_le(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take()?))
     }
 }
 
@@ -97,12 +123,57 @@ impl PutLe for Vec<u8> {
 
 /// File magic.
 pub const MAGIC: &[u8; 4] = b"BWTD";
-/// Format version.
-pub const VERSION: u32 = 1;
+/// First format version: raw blocks, no checksums.
+pub const VERSION_V1: u32 = 1;
+/// Second format version: every block carries a trailing CRC-32.
+pub const VERSION_V2: u32 = 2;
+/// Current (default-written) format version.
+pub const VERSION: u32 = VERSION_V2;
+/// Trailing checksum length of a v2 block.
+pub const CHECKSUM_LEN: usize = 4;
+
+/// A region block failed its CRC-32 validation: the bytes on disk are
+/// not the bytes that were written. Carried as the inner error of an
+/// `io::Error` with kind `InvalidData`; use [`is_corrupt`] to classify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptBlock {
+    /// Checksum stored in the block trailer.
+    pub expected: u32,
+    /// Checksum computed over the payload actually read.
+    pub actual: u32,
+}
+
+impl fmt::Display for CorruptBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "corrupt block: stored checksum {:#010x}, computed {:#010x}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for CorruptBlock {}
+
+impl From<CorruptBlock> for io::Error {
+    fn from(c: CorruptBlock) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, c)
+    }
+}
+
+/// True when `err` wraps a [`CorruptBlock`] — a checksum mismatch, as
+/// opposed to truncation or structural garbage. Corruption is permanent
+/// (re-reading the same bytes reproduces it), so retry layers must not
+/// spend attempts on it.
+pub fn is_corrupt(err: &io::Error) -> bool {
+    err.get_ref().is_some_and(|e| e.is::<CorruptBlock>())
+}
 
 /// Fixed-size file header.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Header {
+    /// Format version the file's blocks are encoded with.
+    pub version: u32,
     /// Feature arity shared by all blocks.
     pub p: u32,
     /// Number of region coordinates per block.
@@ -114,7 +185,7 @@ pub struct Header {
 pub struct IndexEntry {
     /// Byte offset of the block.
     pub offset: u64,
-    /// Encoded length in bytes.
+    /// Encoded length in bytes (including the v2 checksum trailer).
     pub len: u64,
     /// Region coordinates (so the index alone answers "which regions").
     pub coords: Vec<u32>,
@@ -123,7 +194,7 @@ pub struct IndexEntry {
 /// Encode the header.
 pub fn encode_header(h: &Header, out: &mut Vec<u8>) {
     out.put_slice(MAGIC);
-    out.put_u32_le(VERSION);
+    out.put_u32_le(h.version);
     out.put_u32_le(h.p);
     out.put_u32_le(h.arity);
 }
@@ -131,28 +202,30 @@ pub fn encode_header(h: &Header, out: &mut Vec<u8>) {
 /// Header byte length.
 pub const HEADER_LEN: usize = 4 + 4 + 4 + 4;
 
-/// Decode and validate the header.
+/// Decode and validate the header. Accepts every known version.
 pub fn decode_header(buf: &[u8]) -> io::Result<Header> {
     if buf.len() < HEADER_LEN {
         return Err(bad("truncated header"));
     }
     let mut buf = Cursor::new(buf);
     let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    buf.copy_to_slice(&mut magic)?;
     if &magic != MAGIC {
         return Err(bad("bad magic"));
     }
-    let version = buf.get_u32_le();
-    if version != VERSION {
+    let version = buf.get_u32_le()?;
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(bad("unsupported version"));
     }
     Ok(Header {
-        p: buf.get_u32_le(),
-        arity: buf.get_u32_le(),
+        version,
+        p: buf.get_u32_le()?,
+        arity: buf.get_u32_le()?,
     })
 }
 
-/// Encode one region block.
+/// Encode one region block without a checksum (the v1 block encoding,
+/// and the payload part of a v2 block).
 pub fn encode_block(block: &RegionBlock, out: &mut Vec<u8>) {
     out.put_u32_le(block.region.len() as u32);
     for &c in &block.region {
@@ -171,26 +244,53 @@ pub fn encode_block(block: &RegionBlock, out: &mut Vec<u8>) {
     }
 }
 
-/// Decode one region block from its exact byte span.
+/// Encode one region block with the v2 trailing CRC-32 over the payload.
+pub fn encode_block_v2(block: &RegionBlock, out: &mut Vec<u8>) {
+    let start = out.len();
+    encode_block(block, out);
+    let sum = crc32(&out[start..]);
+    out.put_u32_le(sum);
+}
+
+/// Encode one region block for `version`.
+pub fn encode_block_versioned(block: &RegionBlock, version: u32, out: &mut Vec<u8>) {
+    match version {
+        VERSION_V1 => encode_block(block, out),
+        _ => encode_block_v2(block, out),
+    }
+}
+
+/// Decode one v1 (checksum-less) region block from its exact byte span.
 pub fn decode_block(buf: &[u8]) -> io::Result<RegionBlock> {
     let mut buf = Cursor::new(buf);
-    if buf.remaining() < 4 {
-        return Err(bad("truncated block"));
-    }
-    let arity = buf.get_u32_le() as usize;
-    if buf.remaining() < arity * 4 + 12 {
+    let arity = buf.get_u32_le()? as usize;
+    if buf.remaining() < arity.saturating_mul(4).saturating_add(12) {
         return Err(bad("truncated block header"));
     }
-    let region: Vec<u32> = (0..arity).map(|_| buf.get_u32_le()).collect();
-    let n = buf.get_u64_le() as usize;
-    let p = buf.get_u32_le();
-    let need = n * 8 + n * (p as usize) * 8 + n * 8;
-    if buf.remaining() < need {
-        return Err(bad("truncated block payload"));
+    let region = (0..arity)
+        .map(|_| buf.get_u32_le())
+        .collect::<io::Result<Vec<u32>>>()?;
+    let n = buf.get_u64_le()? as usize;
+    let p = buf.get_u32_le()?;
+    // Guard the size computation itself: a garbage n or p must not
+    // overflow usize before the remaining-length check can reject it.
+    let need = n
+        .checked_mul(16)
+        .and_then(|b| n.checked_mul(p as usize).map(|f| (b, f)))
+        .and_then(|(b, f)| f.checked_mul(8).and_then(|fb| fb.checked_add(b)));
+    match need {
+        Some(need) if buf.remaining() >= need => {}
+        _ => return Err(bad("truncated block payload")),
     }
-    let item_ids: Vec<i64> = (0..n).map(|_| buf.get_i64_le()).collect();
-    let features: Vec<f64> = (0..n * p as usize).map(|_| buf.get_f64_le()).collect();
-    let targets: Vec<f64> = (0..n).map(|_| buf.get_f64_le()).collect();
+    let item_ids = (0..n)
+        .map(|_| buf.get_i64_le())
+        .collect::<io::Result<Vec<i64>>>()?;
+    let features = (0..n * p as usize)
+        .map(|_| buf.get_f64_le())
+        .collect::<io::Result<Vec<f64>>>()?;
+    let targets = (0..n)
+        .map(|_| buf.get_f64_le())
+        .collect::<io::Result<Vec<f64>>>()?;
     Ok(RegionBlock {
         region,
         item_ids,
@@ -198,6 +298,40 @@ pub fn decode_block(buf: &[u8]) -> io::Result<RegionBlock> {
         targets,
         p,
     })
+}
+
+/// Decode one v2 region block: validate the trailing CRC-32 *before*
+/// touching the payload, then decode. A mismatch returns a
+/// [`CorruptBlock`] error (see [`is_corrupt`]).
+pub fn decode_block_v2(buf: &[u8]) -> io::Result<RegionBlock> {
+    if buf.len() < CHECKSUM_LEN {
+        return Err(bad("truncated block checksum"));
+    }
+    let (payload, trailer) = buf.split_at(buf.len() - CHECKSUM_LEN);
+    let expected = u32::from_le_bytes(trailer.try_into().expect("CHECKSUM_LEN bytes"));
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(CorruptBlock { expected, actual }.into());
+    }
+    decode_block(payload)
+}
+
+/// Decode one region block encoded with `version`.
+pub fn decode_block_versioned(buf: &[u8], version: u32) -> io::Result<RegionBlock> {
+    match version {
+        VERSION_V1 => decode_block(buf),
+        VERSION_V2 => decode_block_v2(buf),
+        _ => Err(bad("unsupported version")),
+    }
+}
+
+/// Encoded length of `block` under `version` (v1 = raw payload,
+/// v2 = payload + checksum trailer).
+pub fn encoded_block_len(block: &RegionBlock, version: u32) -> usize {
+    match version {
+        VERSION_V1 => block.encoded_len(),
+        _ => block.encoded_len() + CHECKSUM_LEN,
+    }
 }
 
 /// Encode the index + footer.
@@ -224,10 +358,10 @@ pub fn decode_footer(buf: &[u8]) -> io::Result<(u64, u64)> {
         return Err(bad("truncated footer"));
     }
     let mut buf = Cursor::new(buf);
-    let index_offset = buf.get_u64_le();
-    let count = buf.get_u64_le();
+    let index_offset = buf.get_u64_le()?;
+    let count = buf.get_u64_le()?;
     let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    buf.copy_to_slice(&mut magic)?;
     if &magic != MAGIC {
         return Err(bad("bad footer magic"));
     }
@@ -236,16 +370,20 @@ pub fn decode_footer(buf: &[u8]) -> io::Result<(u64, u64)> {
 
 /// Decode `count` index entries of the given arity.
 pub fn decode_index(buf: &[u8], count: u64, arity: u32) -> io::Result<Vec<IndexEntry>> {
-    let entry_len = 16 + arity as usize * 4;
-    if buf.len() < count as usize * entry_len {
-        return Err(bad("truncated index"));
+    let entry_len = 16usize.checked_add(arity as usize * 4);
+    let need = entry_len.and_then(|e| (count as usize).checked_mul(e));
+    match need {
+        Some(need) if buf.len() >= need => {}
+        _ => return Err(bad("truncated index")),
     }
     let mut buf = Cursor::new(buf);
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        let offset = buf.get_u64_le();
-        let len = buf.get_u64_le();
-        let coords = (0..arity).map(|_| buf.get_u32_le()).collect();
+        let offset = buf.get_u64_le()?;
+        let len = buf.get_u64_le()?;
+        let coords = (0..arity)
+            .map(|_| buf.get_u32_le())
+            .collect::<io::Result<Vec<u32>>>()?;
         out.push(IndexEntry {
             offset,
             len,
@@ -272,24 +410,46 @@ mod tests {
 
     #[test]
     fn header_round_trip() {
-        let h = Header { p: 5, arity: 2 };
-        let mut buf = Vec::new();
-        encode_header(&h, &mut buf);
-        assert_eq!(buf.len(), HEADER_LEN);
-        assert_eq!(decode_header(&buf).unwrap(), h);
+        for version in [VERSION_V1, VERSION_V2] {
+            let h = Header {
+                version,
+                p: 5,
+                arity: 2,
+            };
+            let mut buf = Vec::new();
+            encode_header(&h, &mut buf);
+            assert_eq!(buf.len(), HEADER_LEN);
+            assert_eq!(decode_header(&buf).unwrap(), h);
+        }
     }
 
     #[test]
     fn header_rejects_garbage() {
         assert!(decode_header(b"nope").is_err());
         let mut buf = Vec::new();
-        encode_header(&Header { p: 1, arity: 1 }, &mut buf);
+        let h = Header {
+            version: VERSION,
+            p: 1,
+            arity: 1,
+        };
+        encode_header(&h, &mut buf);
         buf[0] = b'X';
         assert!(decode_header(&buf).is_err());
+        // Unknown future version is rejected, not misparsed.
+        let mut future = Vec::new();
+        encode_header(
+            &Header {
+                version: 99,
+                p: 1,
+                arity: 1,
+            },
+            &mut future,
+        );
+        assert!(decode_header(&future).is_err());
     }
 
     #[test]
-    fn block_round_trip() {
+    fn block_round_trip_v1() {
         let b = block();
         let mut buf = Vec::new();
         encode_block(&b, &mut buf);
@@ -299,12 +459,106 @@ mod tests {
     }
 
     #[test]
+    fn block_round_trip_v2() {
+        let b = block();
+        let mut buf = Vec::new();
+        encode_block_v2(&b, &mut buf);
+        assert_eq!(buf.len(), encoded_block_len(&b, VERSION_V2));
+        assert_eq!(buf.len(), b.encoded_len() + CHECKSUM_LEN);
+        let back = decode_block_v2(&buf).unwrap();
+        assert_eq!(back, b);
+        // The versioned dispatcher agrees.
+        assert_eq!(decode_block_versioned(&buf, VERSION_V2).unwrap(), b);
+    }
+
+    #[test]
     fn truncated_block_rejected() {
         let b = block();
         let mut buf = Vec::new();
         encode_block(&b, &mut buf);
         assert!(decode_block(&buf[..buf.len() - 1]).is_err());
         assert!(decode_block(&buf[..3]).is_err());
+    }
+
+    #[test]
+    fn every_truncation_errors_instead_of_panicking() {
+        let b = block();
+        for version in [VERSION_V1, VERSION_V2] {
+            let mut buf = Vec::new();
+            encode_block_versioned(&b, version, &mut buf);
+            for len in 0..buf.len() {
+                let r = decode_block_versioned(&buf[..len], version);
+                assert!(r.is_err(), "version {version} truncation at {len} decoded");
+            }
+            assert!(decode_block_versioned(&buf, version).is_ok());
+        }
+        // Headers, footers and indexes are total over truncations too.
+        let mut hdr = Vec::new();
+        encode_header(
+            &Header {
+                version: VERSION,
+                p: 3,
+                arity: 2,
+            },
+            &mut hdr,
+        );
+        for len in 0..hdr.len() {
+            assert!(decode_header(&hdr[..len]).is_err());
+        }
+        let entries = vec![IndexEntry {
+            offset: 16,
+            len: 10,
+            coords: vec![1, 2],
+        }];
+        let mut idx = Vec::new();
+        encode_index(&entries, 2, 7, &mut idx);
+        for len in 0..idx.len() {
+            let _ = decode_footer(&idx[..len]);
+            let _ = decode_index(&idx[..len], 1, 2);
+        }
+    }
+
+    #[test]
+    fn garbage_counts_do_not_overflow() {
+        // A "block" claiming usize::MAX examples must be rejected by the
+        // length check, not crash the size arithmetic.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes()); // arity 0
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // n = huge
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // p = huge
+        assert!(decode_block(&buf).is_err());
+    }
+
+    #[test]
+    fn checksum_catches_single_byte_corruption() {
+        let b = block();
+        let mut buf = Vec::new();
+        encode_block_v2(&b, &mut buf);
+        for pos in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x41;
+            let err = decode_block_v2(&bad).expect_err("corruption undetected");
+            // Payload corruption and trailer corruption alike surface as
+            // CorruptBlock (the stored and computed sums disagree either
+            // way).
+            assert!(is_corrupt(&err), "pos {pos}: {err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_block_classifier_ignores_other_errors() {
+        assert!(!is_corrupt(&bad("truncated block")));
+        assert!(!is_corrupt(&io::Error::new(
+            io::ErrorKind::Interrupted,
+            "transient"
+        )));
+        let err: io::Error = CorruptBlock {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(is_corrupt(&err));
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -336,5 +590,8 @@ mod tests {
         let mut buf = Vec::new();
         encode_block(&b, &mut buf);
         assert_eq!(decode_block(&buf).unwrap(), b);
+        let mut buf2 = Vec::new();
+        encode_block_v2(&b, &mut buf2);
+        assert_eq!(decode_block_v2(&buf2).unwrap(), b);
     }
 }

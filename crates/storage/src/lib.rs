@@ -25,6 +25,18 @@
 //! regions they revisit; cache hits bypass (and are not counted by) the
 //! inner source's [`IoStats`].
 //!
+//! ## Fault tolerance
+//!
+//! The on-disk format checksums every block (CRC-32, format v2; v1 files
+//! still read), so rot surfaces as a structured
+//! [`CorruptBlock`](format::CorruptBlock) error instead of silently
+//! decoding garbage. [`RetryingSource`] retries transient read failures
+//! under a validated [`RetryPolicy`]; [`FaultySource`] injects
+//! deterministic, seeded faults (via [`FaultPlan`]) so every recovery
+//! path is testable without real hardware faults. The wrappers compose:
+//! `CachedSource<RetryingSource<FaultySource<DiskSource>>>` behaves like
+//! a flaky disk behind a retry layer behind a cache.
+//!
 //! ```
 //! use bellwether_storage::{MemorySource, RegionBlock, TrainingSource};
 //!
@@ -40,15 +52,21 @@
 
 pub mod block;
 pub mod cache;
+pub mod crc32;
+pub mod fault;
 pub mod format;
 pub mod metrics;
 pub mod reader;
+pub mod retry;
 pub mod source;
 pub mod writer;
 
 pub use block::RegionBlock;
 pub use cache::{CacheStats, CachedSource};
+pub use fault::{FaultPlan, FaultySource};
+pub use format::{is_corrupt, CorruptBlock};
 pub use metrics::{CubeStats, IoStats};
 pub use reader::DiskSource;
+pub use retry::{RetryPolicy, RetryPolicyBuilder, RetryingSource};
 pub use source::{MemorySource, TrainingSource};
 pub use writer::TrainingWriter;

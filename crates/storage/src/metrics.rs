@@ -22,6 +22,7 @@ pub struct IoStats {
     regions_read: Counter,
     bytes_read: Counter,
     examples_read: Counter,
+    corrupt_blocks: Counter,
 }
 
 impl IoStats {
@@ -37,6 +38,7 @@ impl IoStats {
             regions_read: reg.counter(names::STORAGE_REGIONS_READ),
             bytes_read: reg.counter(names::STORAGE_BYTES_READ),
             examples_read: reg.counter(names::STORAGE_EXAMPLES_READ),
+            corrupt_blocks: reg.counter(names::STORAGE_CORRUPT_BLOCKS),
         })
     }
 
@@ -45,6 +47,12 @@ impl IoStats {
         self.regions_read.inc();
         self.bytes_read.add(bytes);
         self.examples_read.add(examples);
+    }
+
+    /// Record one region block that failed checksum (or structural)
+    /// validation.
+    pub fn record_corrupt_block(&self) {
+        self.corrupt_blocks.inc();
     }
 
     /// Point-in-time copy of the counters under their canonical names.
@@ -56,6 +64,10 @@ impl IoStats {
                 (
                     names::STORAGE_EXAMPLES_READ.to_string(),
                     self.examples_read.get(),
+                ),
+                (
+                    names::STORAGE_CORRUPT_BLOCKS.to_string(),
+                    self.corrupt_blocks.get(),
                 ),
             ],
             gauges: Vec::new(),
@@ -86,6 +98,7 @@ impl IoStats {
         self.regions_read.reset();
         self.bytes_read.reset();
         self.examples_read.reset();
+        self.corrupt_blocks.reset();
     }
 
     /// Equivalent number of full scans given the total region count —
@@ -111,6 +124,7 @@ impl Recorder for IoStats {
             names::STORAGE_REGIONS_READ => self.regions_read.add(delta),
             names::STORAGE_BYTES_READ => self.bytes_read.add(delta),
             names::STORAGE_EXAMPLES_READ => self.examples_read.add(delta),
+            names::STORAGE_CORRUPT_BLOCKS => self.corrupt_blocks.add(delta),
             _ => {}
         }
     }

@@ -1,41 +1,77 @@
 //! Streaming writer for the on-disk entire-training-data file.
+//!
+//! Durability: blocks stream into a temporary file next to the target
+//! path; [`TrainingWriter::finish`] writes the index + footer, fsyncs,
+//! and atomically renames the temp file into place. A crash at any point
+//! before the rename leaves the target path untouched (either absent or
+//! holding the previous complete file) — never a half-valid file.
 
 use crate::block::RegionBlock;
 use crate::format::{
-    encode_block, encode_header, encode_index, Header, IndexEntry, HEADER_LEN,
+    encode_block_versioned, encode_header, encode_index, Header, IndexEntry, HEADER_LEN,
+    VERSION, VERSION_V1, VERSION_V2,
 };
 use bellwether_obs::{names, Counter, Registry};
-use std::fs::File;
+use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Writes region blocks sequentially and finishes with the index+footer.
 pub struct TrainingWriter {
     out: BufWriter<File>,
+    tmp_path: PathBuf,
+    final_path: PathBuf,
     entries: Vec<IndexEntry>,
     offset: u64,
     p: u32,
     arity: u32,
+    version: u32,
     buf: Vec<u8>,
     regions_counter: Counter,
     bytes_counter: Counter,
 }
 
+fn tmp_path_for(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 impl TrainingWriter {
-    /// Create (truncate) `path` for an entire-training-data file with
-    /// feature arity `p` and `arity` region coordinates.
+    /// Create a writer targeting `path` for an entire-training-data file
+    /// with feature arity `p` and `arity` region coordinates, in the
+    /// current (checksummed v2) format. Data streams into `path + ".tmp"`
+    /// until [`TrainingWriter::finish`] renames it into place; dropping
+    /// the writer without finishing leaves `path` untouched.
     pub fn create(path: &Path, p: u32, arity: u32) -> io::Result<Self> {
-        let file = File::create(path)?;
+        Self::create_versioned(path, p, arity, VERSION)
+    }
+
+    /// Like [`TrainingWriter::create`] but with an explicit format
+    /// `version` — v1 emits checksum-less blocks for compatibility
+    /// testing against old readers.
+    pub fn create_versioned(path: &Path, p: u32, arity: u32, version: u32) -> io::Result<Self> {
+        if version != VERSION_V1 && version != VERSION_V2 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "unsupported format version",
+            ));
+        }
+        let tmp_path = tmp_path_for(path);
+        let file = File::create(&tmp_path)?;
         let mut out = BufWriter::new(file);
         let mut buf = Vec::with_capacity(HEADER_LEN);
-        encode_header(&Header { p, arity }, &mut buf);
+        encode_header(&Header { version, p, arity }, &mut buf);
         out.write_all(&buf)?;
         Ok(TrainingWriter {
             out,
+            tmp_path,
+            final_path: path.to_path_buf(),
             entries: Vec::new(),
             offset: HEADER_LEN as u64,
             p,
             arity,
+            version,
             buf: Vec::new(),
             regions_counter: Counter::new(),
             bytes_counter: Counter::new(),
@@ -73,7 +109,7 @@ impl TrainingWriter {
             ));
         }
         self.buf.clear();
-        encode_block(block, &mut self.buf);
+        encode_block_versioned(block, self.version, &mut self.buf);
         self.out.write_all(&self.buf)?;
         self.entries.push(IndexEntry {
             offset: self.offset,
@@ -91,18 +127,31 @@ impl TrainingWriter {
         self.entries.len()
     }
 
-    /// Write the index and footer, flush, and close.
+    /// Write the index and footer, fsync the temp file, and atomically
+    /// rename it over the target path. Only after the rename returns can
+    /// a reader observe the new file — and then always in full.
     pub fn finish(mut self) -> io::Result<()> {
         self.buf.clear();
         encode_index(&self.entries, self.arity, self.offset, &mut self.buf);
         self.out.write_all(&self.buf)?;
-        self.out.flush()
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        fs::rename(&self.tmp_path, &self.final_path)?;
+        // Make the rename itself durable where possible; directory
+        // handles cannot be fsynced on every platform, so best-effort.
+        if let Some(parent) = self.final_path.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::TrainingSource;
 
     #[test]
     fn rejects_mismatched_blocks() {
@@ -122,6 +171,14 @@ mod tests {
     }
 
     #[test]
+    fn rejects_unknown_version() {
+        let dir = std::env::temp_dir().join("bw_writer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("badver.bwtd");
+        assert!(TrainingWriter::create_versioned(&path, 2, 2, 7).is_err());
+    }
+
+    #[test]
     fn registry_bound_writer_counts_writes() {
         let dir = std::env::temp_dir().join("bw_writer_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -136,6 +193,40 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.regions_written(), 2);
         assert!(snap.bytes_written() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unfinished_write_leaves_target_untouched() {
+        let dir = std::env::temp_dir().join("bw_writer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.bwtd");
+        std::fs::write(&path, b"previous complete file").unwrap();
+
+        // Simulated crash: writer dropped mid-stream without finish().
+        {
+            let mut w = TrainingWriter::create(&path, 2, 1).unwrap();
+            let mut b = RegionBlock::new(vec![0], 2);
+            b.push(1, &[1.0, 2.0], 3.0);
+            w.write_region(&b).unwrap();
+        }
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"previous complete file",
+            "target must not be clobbered before finish()"
+        );
+        assert!(tmp_path_for(&path).exists(), "data streamed to temp file");
+
+        // A finished write replaces the target atomically and removes
+        // the temp file.
+        let mut w = TrainingWriter::create(&path, 2, 1).unwrap();
+        let mut b = RegionBlock::new(vec![0], 2);
+        b.push(1, &[1.0, 2.0], 3.0);
+        w.write_region(&b).unwrap();
+        w.finish().unwrap();
+        assert!(!tmp_path_for(&path).exists());
+        let src = crate::reader::DiskSource::open(&path).unwrap();
+        assert_eq!(src.num_regions(), 1);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -9,6 +9,14 @@
 //! bundles to show the counts agree exactly: the old stats structs are
 //! now views over the same counter machinery.
 //!
+//! The registry also carries the fault-tolerance counters —
+//! `storage/retries` (transient reads absorbed by `RetryingSource`),
+//! `storage/corrupt_blocks` (CRC-32 mismatches on decode),
+//! `storage/faults_injected` (faults served by a test `FaultySource`)
+//! and `scan/regions_skipped` (regions dropped by a
+//! `ScanPolicy::SkipUnreadable` scan). They stay zero on this healthy
+//! run; `examples/fault_tolerance.rs` exercises all four.
+//!
 //! Run with: `cargo run --release --example observability`
 
 use bellwether::prelude::*;

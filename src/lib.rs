@@ -72,12 +72,13 @@ pub mod prelude {
         build_memory_source, build_naive_cube, build_naive_tree, build_optimized_cube,
         build_optimized_cube_cv, build_rainforest, build_single_scan_cube, evaluate_method,
         global_target, greedy_combinatorial_search, prune_tree, render_cross_tab,
-        sampling_baseline_error, scan_regions, scan_regions_where, select_cell_for_item,
-        write_disk_source, write_disk_source_in_registry, BasicSearchResult, BellwetherConfig,
-        BellwetherConfigBuilder, BellwetherCube, BellwetherTree, CubeConfig,
+        sampling_baseline_error, scan_regions, scan_regions_policy, scan_regions_where,
+        scan_regions_where_policy, select_cell_for_item, write_disk_source,
+        write_disk_source_in_registry, BasicSearchResult, BellwetherConfig,
+        BellwetherConfigBuilder, BellwetherCube, BellwetherError, BellwetherTree, CubeConfig,
         CubeConfigBuilder, ErrorMeasure, EvalContext, FeatureQuery, ItemCentricEval,
-        ItemTable, LinearCriterion, MergeableAccumulator, Method, SplitCriterion, StarDatabase,
-        TreeConfig, TreeConfigBuilder,
+        ItemTable, LinearCriterion, MergeableAccumulator, Method, ScanPolicy, Scanned,
+        SplitCriterion, StarDatabase, TreeConfig, TreeConfigBuilder,
     };
     pub use bellwether_cube::{
         cube_pass, cube_pass_traced, feasible_regions, Constraints, CostModel, CubeInput,
@@ -91,7 +92,9 @@ pub mod prelude {
     };
     pub use bellwether_linreg::{ErrorEstimate, LinearModel, RegSuffStats, RegressionData};
     pub use bellwether_storage::{
-        CacheStats, CachedSource, DiskSource, MemorySource, RegionBlock, TrainingSource,
+        is_corrupt, CacheStats, CachedSource, CorruptBlock, DiskSource, FaultPlan,
+        FaultySource, MemorySource, RegionBlock, RetryPolicy, RetryPolicyBuilder,
+        RetryingSource, TrainingSource,
     };
     pub use bellwether_table::ops::{AggExpr, AggFunc};
     pub use bellwether_table::{Column, DataType, Predicate, Schema, Table, Value};
