@@ -1,0 +1,296 @@
+//! The algebraic k-fold CV engine under the region-fitting hot loops:
+//! basic search, the RF tree and the naive cube on the retail workload,
+//! across a thread × folds matrix.
+//!
+//! The headline series pits the engine (one suffstats pass per region,
+//! k downdate-and-solve steps, zero per-fold dataset copies) against a
+//! *refit* baseline that cross-validates the classic way — k per-fold
+//! training-set copies and k Gram recomputations from raw rows — over
+//! the same regions. `results/BENCH_region_fit.json` records
+//! both; the CI smoke job asserts the algebraic engine wins at
+//! `threads=1` and does not regress at `threads=4`. A traced run dumps
+//! the engine's work counters (`linreg/*`) to
+//! `results/BENCH_region_fit_metrics.json`.
+
+use bellwether_bench::{emit_metrics_json, prepare_retail, results_dir, Harness};
+use bellwether_core::{
+    basic_search, build_naive_cube, build_rainforest, BellwetherConfig, CubeConfig,
+    ErrorMeasure, TreeConfig,
+};
+use bellwether_cube::{CostModel, Parallelism, RegionId, RegionSpace};
+use bellwether_datagen::RetailConfig;
+use bellwether_linreg::{fit_wls, fold_assignment, ErrorEstimate, RegressionData};
+use bellwether_obs::Registry;
+use bellwether_storage::TrainingSource;
+
+const SEED: u64 = 0xBE11;
+
+fn problem(threads: usize, folds: usize) -> BellwetherConfig {
+    BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::CrossValidation { folds, seed: SEED })
+        .parallelism(Parallelism::fixed(threads))
+        .build()
+        .unwrap()
+}
+
+/// Classic refit k-fold CV: for every fold, materialise the training
+/// complement as a fresh dataset copy and rebuild the Gram matrix from
+/// its raw rows — `O(k·n·p²)` plus `k` copies, against the engine's one
+/// statistics pass and `k` downdated `O(p³)` solves. Fold shuffling and
+/// held-out sweeps mirror the engine exactly, so the two agree to
+/// rounding.
+fn refit_cv_estimate(data: &RegressionData, k: usize, seed: u64) -> Option<ErrorEstimate> {
+    let n = data.n();
+    if n < 2 {
+        return None;
+    }
+    let p = data.p();
+    let assignment = fold_assignment(n, k, seed);
+    let k = assignment.iter().copied().max().map_or(1, |m| m + 1);
+    let mut fold_rmses = Vec::with_capacity(k);
+    for fold in 0..k {
+        let mut train = RegressionData::with_capacity(p, n);
+        for (i, (x, y, _)) in data.iter().enumerate() {
+            if assignment[i] != fold {
+                train.push(x, y);
+            }
+        }
+        let Some(model) = fit_wls(&train) else { continue };
+        let mut sse = 0.0;
+        let mut count = 0usize;
+        for (i, (x, y, _)) in data.iter().enumerate() {
+            if assignment[i] == fold {
+                let r = y - model.predict(x);
+                sse += r * r;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            fold_rmses.push((sse / count as f64).sqrt());
+        }
+    }
+    if fold_rmses.is_empty() {
+        None
+    } else {
+        Some(ErrorEstimate::from_folds(&fold_rmses))
+    }
+}
+
+/// The pre-engine basic search, reconstructed: per region, copy the
+/// block into a dataset, run [`refit_cv_estimate`], then fit the
+/// candidate model from raw rows and assemble the same report fields
+/// `basic_search` produces (label, cost, model). Returns the min-error
+/// (region index, value) with the same strict-< lowest-index
+/// tie-breaking.
+fn refit_basic_search(
+    source: &dyn TrainingSource,
+    space: &RegionSpace,
+    cost_model: &dyn CostModel,
+    min_examples: usize,
+    folds: usize,
+) -> Option<(usize, f64)> {
+    let p = source.feature_arity();
+    let mut reports: Vec<(usize, String, f64, f64)> = Vec::new();
+    for i in 0..source.num_regions() {
+        let block = source.read_region(i).expect("readable region");
+        if block.n() < min_examples {
+            continue;
+        }
+        let mut data = RegressionData::with_capacity(p, block.n());
+        for (_, x, y) in block.iter() {
+            data.push(x, y);
+        }
+        let Some(e) = refit_cv_estimate(&data, folds, SEED) else {
+            continue;
+        };
+        let Some(model) = fit_wls(&data) else {
+            continue;
+        };
+        let region = RegionId(source.region_coords(i).to_vec());
+        let label = space.label(&region);
+        let cost = cost_model.cost(space, &region);
+        std::hint::black_box(&model);
+        reports.push((i, label, cost, e.value));
+    }
+    reports
+        .iter()
+        .min_by(|a, b| a.3.total_cmp(&b.3).then(a.0.cmp(&b.0)))
+        .map(|r| (r.0, r.3))
+}
+
+fn main() {
+    let quick = bellwether_bench::quick_mode();
+    // Wide regions: per-region row counts are what separate the engine
+    // (one Gram pass) from the refit baseline (k Gram passes + k
+    // training-set copies), so this workload carries more items per
+    // region than the builder-scan bench.
+    let mut retail_cfg = RetailConfig::mail_order(if quick { 400 } else { 600 }, 99);
+    retail_cfg.months = if quick { 5 } else { 8 };
+    retail_cfg.converge_month = retail_cfg.months - 2;
+    retail_cfg.states = Some(vec![
+        "MD", "WI", "CA", "TX", "NY", "IL", "FL", "OH", "PA", "GA",
+    ]);
+    let retail = prepare_retail(&retail_cfg);
+    let total_items = retail.data.items.len();
+    eprintln!(
+        "retail workload: {} regions × {total_items} items",
+        retail.source.num_regions()
+    );
+
+    let mut h = Harness::new();
+
+    // --- Basic search: the engine across the thread × folds matrix,
+    // plus the refit baseline (inherently one dataset per fold) at
+    // threads=1 for the headline comparison.
+    for folds in [2usize, 5, 10] {
+        for threads in [1usize, 4] {
+            let pr = problem(threads, folds);
+            h.bench(
+                &format!("basic_search_retail/engine=algebraic/threads={threads}/folds={folds}"),
+                || {
+                    basic_search(
+                        &retail.source,
+                        &retail.data.space,
+                        &retail.data.cost,
+                        &pr,
+                        total_items,
+                    )
+                    .unwrap()
+                },
+            );
+        }
+        h.bench(
+            &format!("basic_search_retail/engine=refit/threads=1/folds={folds}"),
+            || {
+                refit_basic_search(
+                    &retail.source,
+                    &retail.data.space,
+                    &retail.data.cost,
+                    10,
+                    folds,
+                )
+            },
+        );
+    }
+
+    // The two paths must agree on the selected bellwether — a bench that
+    // speeds up the wrong answer is not a speedup.
+    for folds in [2usize, 5, 10] {
+        let pr = problem(1, folds);
+        let engine = basic_search(
+            &retail.source,
+            &retail.data.space,
+            &retail.data.cost,
+            &pr,
+            total_items,
+        )
+        .unwrap();
+        let engine_best = engine.bellwether().expect("engine found a bellwether");
+        let (refit_idx, refit_err) =
+            refit_basic_search(&retail.source, &retail.data.space, &retail.data.cost, 10, folds)
+                .expect("refit found a bellwether");
+        assert_eq!(
+            engine_best.source_index, refit_idx,
+            "engine and refit disagree on the bellwether at folds={folds}"
+        );
+        // Relative agreement, with an absolute floor: an exact-fit
+        // region's CV error is pure rounding noise in both paths.
+        let diff = (engine_best.error.value - refit_err).abs();
+        assert!(
+            diff < 1e-8 * refit_err.abs() || diff < 1e-9,
+            "engine and refit errors diverge at folds={folds}: {} vs {refit_err}",
+            engine_best.error.value
+        );
+    }
+
+    // --- RF tree and naive cube on the same CV measures.
+    let tc = TreeConfig {
+        max_depth: 2,
+        min_node_items: 30,
+        ..TreeConfig::default()
+    };
+    let cc = CubeConfig {
+        min_subset_size: 20,
+    };
+    for folds in [5usize, 10] {
+        for threads in [1usize, 4] {
+            let pr = problem(threads, folds);
+            h.bench(
+                &format!("tree_rainforest_retail_cv/threads={threads}/folds={folds}"),
+                || {
+                    build_rainforest(
+                        &retail.source,
+                        &retail.data.space,
+                        &retail.data.items,
+                        None,
+                        &pr,
+                        &tc,
+                    )
+                    .unwrap()
+                },
+            );
+            h.bench(
+                &format!("cube_naive_retail_cv/threads={threads}/folds={folds}"),
+                || {
+                    build_naive_cube(
+                        &retail.source,
+                        &retail.data.space,
+                        &retail.data.item_space,
+                        &retail.data.item_coords,
+                        &pr,
+                        &cc,
+                    )
+                    .unwrap()
+                },
+            );
+        }
+    }
+
+    // --- One traced run: the engine's work counters for a CV-10 search.
+    let registry = Registry::shared();
+    let mut traced_pr = problem(1, 10);
+    traced_pr.recorder = registry.clone();
+    basic_search(
+        &retail.source,
+        &retail.data.space,
+        &retail.data.cost,
+        &traced_pr,
+        total_items,
+    )
+    .unwrap();
+    let snap = registry.snapshot();
+    println!(
+        "engine counters (CV-10 search): {} fits, {} folds evaluated, {} ridge rescues, {} scratch reuses / {} grows",
+        snap.fits(),
+        snap.cv_folds_evaluated(),
+        snap.ridge_rescues(),
+        snap.counter(bellwether_obs::names::LINREG_SCRATCH_REUSES).unwrap_or(0),
+        snap.counter(bellwether_obs::names::LINREG_SCRATCH_GROWS).unwrap_or(0),
+    );
+    emit_metrics_json(&snap, &results_dir().join("BENCH_region_fit_metrics.json"));
+
+    // --- Headline comparisons.
+    let median = |name: &str| h.result(name).map(|r| r.median_secs());
+    if let (Some(alg), Some(refit)) = (
+        median("basic_search_retail/engine=algebraic/threads=1/folds=10"),
+        median("basic_search_retail/engine=refit/threads=1/folds=10"),
+    ) {
+        println!(
+            "CV-10 basic search, refit / algebraic (median, threads=1): {:.2}x",
+            refit / alg
+        );
+    }
+    if let (Some(t1), Some(t4)) = (
+        median("basic_search_retail/engine=algebraic/threads=1/folds=10"),
+        median("basic_search_retail/engine=algebraic/threads=4/folds=10"),
+    ) {
+        println!(
+            "CV-10 basic search, threads=4 / threads=1 (median): {:.2}x",
+            t4 / t1
+        );
+    }
+
+    h.emit_json(&results_dir().join("BENCH_region_fit.json"));
+}

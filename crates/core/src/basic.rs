@@ -13,11 +13,11 @@
 //! *before* being read, so a tight budget still means little IO.
 
 use crate::error::Result;
+use crate::eval::{record_eval_stats, RegionEvalScratch};
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions_where_policy, Concat};
-use crate::training::block_to_data;
+use crate::scan::{scan_regions_where_policy, Concat, WithScratch};
 use bellwether_cube::{CostModel, RegionId, RegionSpace};
-use bellwether_linreg::{fit_wls, ErrorEstimate, LinearModel};
+use bellwether_linreg::{ErrorEstimate, LinearModel};
 use bellwether_obs::{names, span};
 use bellwether_storage::{RegionBlock, TrainingSource};
 
@@ -104,25 +104,27 @@ pub fn basic_search(
     let n = source.num_regions();
     let min_cov_items = (config.min_coverage * total_items as f64).ceil() as usize;
 
-    // Evaluate a candidate region that already passed the budget filter.
-    let evaluate = |idx: usize, block: &RegionBlock| -> Option<RegionReport> {
-        if block.n() < config.min_examples || block.n() < min_cov_items {
-            return None;
-        }
-        let data = block_to_data(block);
-        let error = config.error_measure.estimate(&data)?;
-        let model = fit_wls(&data)?;
-        let region = RegionId(source.region_coords(idx).to_vec());
-        Some(RegionReport {
-            source_index: idx,
-            region: region.clone(),
-            label: space.label(&region),
-            cost: cost_model.cost(space, &region),
-            n_examples: block.n(),
-            error,
-            model,
-        })
-    };
+    // Evaluate a candidate region that already passed the budget filter,
+    // through the worker's reusable scratch (zero allocations once warm).
+    let evaluate =
+        |scratch: &mut RegionEvalScratch, idx: usize, block: &RegionBlock| -> Option<RegionReport> {
+            if block.n() < config.min_examples || block.n() < min_cov_items {
+                return None;
+            }
+            scratch.gather(block, None);
+            let error = scratch.estimate(config)?;
+            let model = scratch.fit_model()?;
+            let region = RegionId(source.region_coords(idx).to_vec());
+            Some(RegionReport {
+                source_index: idx,
+                region: region.clone(),
+                label: space.label(&region),
+                cost: cost_model.cost(space, &region),
+                n_examples: block.n(),
+                error,
+                model,
+            })
+        };
 
     let scanned = scan_regions_where_policy(
         source,
@@ -132,16 +134,21 @@ pub fn basic_search(
             let region = RegionId(source.region_coords(idx).to_vec());
             cost_model.cost(space, &region) <= config.budget
         },
-        Concat::default,
-        |acc: &mut Concat<RegionReport>, idx, block| {
-            if let Some(report) = evaluate(idx, block) {
-                acc.0.push(report);
+        || WithScratch {
+            acc: Concat::default(),
+            scratch: RegionEvalScratch::new(),
+        },
+        |ws: &mut WithScratch<Concat<RegionReport>, RegionEvalScratch>, idx, block| {
+            if let Some(report) = evaluate(&mut ws.scratch, idx, block) {
+                ws.acc.0.push(report);
             }
             Ok(())
         },
     )?;
     scanned.record_skipped(config.recorder.as_ref());
-    let reports = scanned.acc.0;
+    let WithScratch { acc, scratch } = scanned.acc;
+    record_eval_stats(config.recorder.as_ref(), &scratch.eval.stats);
+    let reports = acc.0;
     // Bellwether = min error; ties broken by source order for determinism.
     let best = reports
         .iter()
@@ -459,6 +466,34 @@ mod tests {
         assert!(result.reports.is_empty());
         assert_eq!(result.skipped_regions, vec![0, 1, 2]);
         assert_eq!(reg.snapshot().regions_skipped(), 3);
+    }
+
+    #[test]
+    fn scan_scratch_is_allocation_free_after_warm_up() {
+        // Sequential scan → one worker, one scratch. Evaluating a region
+        // touches the scratch three times (gather, estimate, model fit),
+        // each of which reports grew-vs-warm. The fixture evaluates two
+        // same-shaped regions (the tiny one is gated before gathering),
+        // so only the first region's touches may grow; the second
+        // region's must all be warm.
+        let (src, space) = fixture();
+        let cost = UniformCellCost { rate: 1.0 };
+        let reg = bellwether_obs::Registry::shared();
+        let mut cfg = config();
+        cfg.parallelism = Parallelism::sequential();
+        cfg.recorder = reg.clone();
+        basic_search(&src, &space, &cost, &cfg, 40).unwrap();
+        let snap = reg.snapshot();
+        let grows = snap
+            .counter(bellwether_obs::names::LINREG_SCRATCH_GROWS)
+            .unwrap_or(0);
+        let reuses = snap
+            .counter(bellwether_obs::names::LINREG_SCRATCH_REUSES)
+            .unwrap_or(0);
+        assert!(grows <= 3, "hot loop allocated after warm-up: {grows} grows");
+        assert!(reuses >= 3, "expected warm evaluations, got {reuses}");
+        assert!(snap.fits() > 0, "engine fits must be recorded");
+        assert!(snap.cv_folds_evaluated() >= 20, "2 regions x 10 folds");
     }
 
     #[test]

@@ -4,8 +4,9 @@
 
 use super::{BellwetherCube, CubeConfig, SubsetCell};
 use crate::error::{BellwetherError, Result};
+use crate::eval::{record_eval_stats, RegionEvalScratch};
 use crate::problem::BellwetherConfig;
-use crate::scan::{merge_skipped, scan_regions_policy, BestRegion};
+use crate::scan::{merge_skipped, scan_regions_policy, BestRegion, WithScratch};
 use crate::training::block_subset_data;
 use bellwether_cube::{RegionId, RegionSpace};
 use bellwether_linreg::fit_wls;
@@ -74,19 +75,24 @@ pub(crate) fn subset_cell_scanned(
         source,
         problem.parallelism,
         problem.scan_policy,
-        BestRegion::default,
-        |acc, idx, block| {
-            let data = block_subset_data(block, ids);
-            if data.n() < problem.min_examples.max(1) {
+        || WithScratch {
+            acc: BestRegion::default(),
+            scratch: RegionEvalScratch::new(),
+        },
+        |ws: &mut WithScratch<BestRegion, RegionEvalScratch>, idx, block| {
+            ws.scratch.gather(block, Some(ids));
+            if ws.scratch.data.n() < problem.min_examples.max(1) {
                 return Ok(());
             }
-            if let Some(e) = problem.error_measure.estimate(&data) {
-                acc.observe(idx, e.value);
+            if let Some(e) = ws.scratch.estimate(problem) {
+                ws.acc.observe(idx, e.value);
             }
             Ok(())
         },
     )?;
     scanned.record_skipped(problem.recorder.as_ref());
+    let WithScratch { acc, scratch } = scanned.acc;
+    record_eval_stats(problem.recorder.as_ref(), &scratch.eval.stats);
     let cell = finalize_cell(
         source,
         region_space,
@@ -94,7 +100,7 @@ pub(crate) fn subset_cell_scanned(
         subset,
         ids,
         problem,
-        scanned.acc.0,
+        acc.0,
     )?;
     Ok((cell, scanned.skipped))
 }

@@ -17,10 +17,12 @@
 use super::naive::finalize_cell;
 use super::{BellwetherCube, CubeConfig};
 use crate::error::{BellwetherError, Result};
+use crate::eval::{record_eval_stats, RegionEvalScratch};
 use crate::problem::{BellwetherConfig, ErrorMeasure};
-use crate::scan::{scan_regions_policy, MergeableAccumulator};
+use crate::scan::{scan_regions_policy, MergeableAccumulator, WithScratch};
+use crate::seeded::hash_fold;
 use bellwether_cube::{rollup_lattice, Parallelism, RegionId, RegionSpace};
-use bellwether_linreg::RegSuffStats;
+use bellwether_linreg::{FoldedSuffStats, RegSuffStats};
 use bellwether_obs::{names, span};
 use bellwether_storage::TrainingSource;
 use std::collections::hash_map::Entry;
@@ -147,23 +149,24 @@ pub fn build_optimized_cube(
     })
 }
 
-/// Deterministic fold of an item: a SplitMix64 hash of the id, so the
-/// assignment is stable across regions, subsets and machines.
-fn item_fold(item: i64, folds: usize, seed: u64) -> usize {
-    let mut h = bellwether_linreg::SplitMix64::new((item as u64) ^ seed);
-    (h.next_u64() % folds as u64) as usize
-}
+/// Per-worker state of the CV cube scan: best `(region idx, cv error,
+/// fold rmses)` per subset, plus the reusable evaluation scratch.
+type CvScanState = WithScratch<BestMap<(usize, f64, Vec<f64>)>, RegionEvalScratch>;
 
 /// **Extension beyond the paper**: a *cross-validated* optimized cube.
 ///
 /// Theorem 1 decomposes training-set SSE. The same statistic also
 /// yields k-fold cross-validation error without revisiting examples:
-/// keep one statistic per (base subset, fold); the model of fold `f` is
-/// fit from the merged complement, and its test SSE on fold `f` is
+/// keep a [`FoldedSuffStats`] per base subset (one [`RegSuffStats`] per
+/// fold plus the running total, built in a single pass); fold `f`'s
+/// model is fit by *downdating* the total via
+/// [`RegSuffStats::subtract`], and its test SSE on fold `f` is
 /// `Y'Y − 2β'X'Y + β'X'Xβ` — entirely from fold `f`'s statistic
-/// ([`bellwether_linreg::RegSuffStats::sse_of_model`]). The per-block
-/// cost gains a factor `k` in statistics but still avoids per-subset
-/// refits from raw rows.
+/// ([`RegSuffStats::sse_of_model`]). The k solves run through the
+/// shared [`bellwether_linreg::EvalScratch`] engine, so per-fold Gram
+/// buffers are reused across subsets and regions. The per-block cost
+/// gains a factor `k` in statistics but still avoids per-subset refits
+/// from raw rows.
 ///
 /// The resulting cell errors are genuine CV estimates (mean fold RMSE ±
 /// spread), so confidence-bound prediction works unchanged.
@@ -194,65 +197,54 @@ pub fn build_optimized_cube_cv(
         source,
         Parallelism::sequential(),
         problem.scan_policy,
-        || BestMap(HashMap::new()),
-        |acc: &mut BestMap<(usize, f64, Vec<f64>)>, idx, block| {
-            // Base aggregation, one statistic per (base subset, fold).
-            let mut base: HashMap<RegionId, Vec<RegSuffStats>> = HashMap::new();
+        || WithScratch {
+            acc: BestMap(HashMap::new()),
+            scratch: RegionEvalScratch::new(),
+        },
+        |ws: &mut CvScanState, idx, block| {
+            let WithScratch { acc, scratch } = ws;
+            // Base aggregation, one folded statistic per base subset.
+            let mut base: HashMap<RegionId, FoldedSuffStats> = HashMap::new();
             for (id, x, y) in block.iter() {
                 let Some(coords) = item_coords.get(&id) else { continue };
-                let fold = item_fold(id, folds, seed);
-                let stats = base
-                    .entry(RegionId(coords.clone()))
-                    .or_insert_with(|| (0..folds).map(|_| RegSuffStats::new(p)).collect());
-                stats[fold].add(x, y, 1.0);
+                base.entry(RegionId(coords.clone()))
+                    .or_insert_with(|| FoldedSuffStats::new(p, folds))
+                    .add(x, y, 1.0, hash_fold(id, folds, seed));
             }
 
-            // Rollup: merge fold vectors elementwise.
-            let rolled = rollup_lattice(item_space, base, |a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
-                    x.merge(y);
-                }
-            });
+            // Rollup: merge folded statistics (total + per-fold).
+            let rolled = rollup_lattice(item_space, base, |a, b| a.merge(b));
 
             for subset in &index.order {
-                let Some(fold_stats) = rolled.get(subset) else { continue };
-                let total_n: usize = fold_stats.iter().map(RegSuffStats::n).sum();
-                if total_n < problem.min_examples.max(1) {
+                let Some(stats) = rolled.get(subset) else { continue };
+                if stats.n() < problem.min_examples.max(1) {
                     continue;
                 }
-                // Algebraic k-fold CV.
-                let mut fold_rmses = Vec::with_capacity(folds);
-                for f in 0..folds {
-                    if fold_stats[f].n() == 0 {
-                        continue;
-                    }
-                    let mut train = RegSuffStats::new(p);
-                    for (g, s) in fold_stats.iter().enumerate() {
-                        if g != f {
-                            train.merge(s);
-                        }
-                    }
-                    let Some(model) = train.fit() else { continue };
-                    let sse = fold_stats[f].sse_of_model(&model);
-                    fold_rmses.push((sse / fold_stats[f].n() as f64).sqrt());
-                }
+                // Algebraic k-fold CV: k downdate-and-solve steps, no
+                // per-fold merging and no raw-row refits.
+                let fold_rmses = scratch.eval.algebraic_fold_rmses(stats);
                 if fold_rmses.is_empty() {
                     continue;
                 }
-                let est = ErrorEstimate::from_folds(&fold_rmses);
+                let est = ErrorEstimate::from_folds(fold_rmses);
                 let slot = acc
                     .0
                     .entry(subset.clone())
                     .or_insert((idx, f64::INFINITY, Vec::new()));
                 if est.value < slot.1 {
-                    *slot = (idx, est.value, fold_rmses);
+                    slot.0 = idx;
+                    slot.1 = est.value;
+                    slot.2.clear();
+                    slot.2.extend_from_slice(fold_rmses);
                 }
             }
             Ok(())
         },
     )?;
     scanned.record_skipped(problem.recorder.as_ref());
-    let best = scanned.acc.0;
+    let WithScratch { acc, scratch } = scanned.acc;
+    record_eval_stats(problem.recorder.as_ref(), &scratch.eval.stats);
+    let best = acc.0;
 
     // Finalize: fit the winning models; the error estimate is the
     // algebraic CV estimate gathered during the scan.
@@ -386,7 +378,7 @@ mod tests {
         let ids: std::collections::HashSet<i64> = (0..12).collect();
         let data = block_subset_data(&block, &ids);
         // Recompute per-fold: gather rows per fold by item id.
-        let fold_of = |id: i64| super::item_fold(id, folds, seed);
+        let fold_of = |id: i64| crate::seeded::hash_fold(id, folds, seed);
         let mut fold_rmses = Vec::new();
         for f in 0..folds {
             let mut train = bellwether_linreg::RegressionData::new(2);

@@ -7,8 +7,9 @@
 use super::naive::finalize_cell;
 use super::{BellwetherCube, CubeConfig};
 use crate::error::Result;
+use crate::eval::{record_eval_stats, PartitionScratch};
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions_policy, BestRegion};
+use crate::scan::{scan_regions_policy, BestRegion, WithScratch};
 use crate::tree::partition::PartitionSpec;
 use bellwether_cube::RegionSpace;
 use bellwether_obs::{names, span};
@@ -41,13 +42,17 @@ pub fn build_single_scan_cube(
         source,
         problem.parallelism,
         problem.scan_policy,
-        || vec![BestRegion::default(); index.order.len()],
-        |acc, idx, block| {
+        || WithScratch {
+            acc: vec![BestRegion::default(); index.order.len()],
+            scratch: PartitionScratch::new(),
+        },
+        |ws: &mut WithScratch<Vec<BestRegion>, PartitionScratch>, idx, block| {
             // Build a model h_r for every significant subset from this
             // block — the per-subset refits the optimized variant
             // eliminates.
+            let WithScratch { acc, scratch } = ws;
             for (slot, spec) in subset_specs.iter().enumerate() {
-                if let Some(err) = spec.errors(block, problem)[0] {
+                if let Some(err) = scratch.errors(spec, block, problem)[0] {
                     acc[slot].observe(idx, err);
                 }
             }
@@ -55,7 +60,8 @@ pub fn build_single_scan_cube(
         },
     )?;
     scanned.record_skipped(problem.recorder.as_ref());
-    let best = scanned.acc;
+    let WithScratch { acc: best, scratch } = scanned.acc;
+    record_eval_stats(problem.recorder.as_ref(), &scratch.eval.stats);
 
     let mut cells = HashMap::new();
     for (slot, subset) in index.order.iter().enumerate() {

@@ -1,0 +1,332 @@
+//! Per-worker evaluation scratch for region scans.
+//!
+//! Every builder's hot loop does the same thing per region block:
+//! gather some rows into a dataset, estimate a model's error, sometimes
+//! fit the model. Doing that with fresh allocations per region is what
+//! dominated profile before the algebraic engine; these scratch types
+//! carry every buffer the loop needs — the dataset, per-child datasets
+//! for partition scoring, and the [`EvalScratch`] of the algebraic
+//! error engine — so a warm worker evaluates regions with **zero heap
+//! allocations**. Both types implement [`ScanScratch`], so they ride
+//! along scan accumulators via [`crate::scan::WithScratch`] and their
+//! work counters merge deterministically across worker chunks.
+
+use crate::problem::BellwetherConfig;
+use crate::scan::ScanScratch;
+use crate::tree::partition::PartitionSpec;
+use bellwether_linreg::{ErrorEstimate, EvalScratch, EvalStats, LinearModel, RegressionData};
+use bellwether_obs::{names, Recorder};
+use bellwether_storage::RegionBlock;
+use std::collections::HashSet;
+
+/// Reusable per-worker scratch for single-subset region evaluation: a
+/// dataset buffer, the gathered item ids (for callers that replay rows,
+/// like the RF tree), and the algebraic error engine.
+#[derive(Debug)]
+pub struct RegionEvalScratch {
+    /// Reusable dataset buffer holding the most recent gather.
+    pub data: RegressionData,
+    /// Item ids of the gathered rows, parallel to `data`.
+    pub ids: Vec<i64>,
+    /// The algebraic error engine (owns the work counters).
+    pub eval: EvalScratch,
+}
+
+impl Default for RegionEvalScratch {
+    fn default() -> Self {
+        RegionEvalScratch::new()
+    }
+}
+
+impl RegionEvalScratch {
+    /// Fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        RegionEvalScratch {
+            data: RegressionData::new(0),
+            ids: Vec::new(),
+            eval: EvalScratch::new(),
+        }
+    }
+
+    /// Gather a block's rows — all of them, or only those whose item id
+    /// is in `keep` — into the reusable dataset buffer. Allocation-free
+    /// once the buffers have seen a block of this size.
+    pub fn gather(&mut self, block: &RegionBlock, keep: Option<&HashSet<i64>>) {
+        // The rows are about to change — a shape collision must not let
+        // the engine serve the previous region's cached totals.
+        self.eval.forget_data();
+        self.data.reset(block.p as usize);
+        let mut grew = self.data.ensure_capacity(block.n());
+        grew |= self.ids.capacity() < block.n();
+        self.ids.clear();
+        self.ids.reserve(block.n());
+        for (id, x, y) in block.iter() {
+            if keep.is_none_or(|k| k.contains(&id)) {
+                self.ids.push(id);
+                self.data.push(x, y);
+            }
+        }
+        if grew {
+            self.eval.stats.scratch_grows += 1;
+        } else {
+            self.eval.stats.scratch_reuses += 1;
+        }
+    }
+
+    /// Error estimate over the currently gathered rows under `config`'s
+    /// measure (no `min_examples` gate — callers apply their own).
+    pub fn estimate(&mut self, config: &BellwetherConfig) -> Option<ErrorEstimate> {
+        config.error_measure.estimate_with(&self.data, &mut self.eval)
+    }
+
+    /// Fit a WLS model over the currently gathered rows; coefficients
+    /// are bit-identical to [`bellwether_linreg::fit_wls`]. The only
+    /// allocation is the returned coefficient vector.
+    pub fn fit_model(&mut self) -> Option<LinearModel> {
+        self.eval.fit_model_cached(&self.data)
+    }
+}
+
+impl ScanScratch for RegionEvalScratch {
+    fn absorb(&mut self, later: Self) {
+        self.eval.stats.absorb(&later.eval.stats);
+    }
+}
+
+/// Reusable per-worker scratch for partition scoring: one dataset
+/// buffer per child slot plus the error engine, so
+/// [`PartitionSpec`]-routed evaluations allocate nothing when warm.
+#[derive(Debug, Default)]
+pub struct PartitionScratch {
+    datasets: Vec<RegressionData>,
+    errs: Vec<Option<f64>>,
+    /// The algebraic error engine (owns the work counters).
+    pub eval: EvalScratch,
+}
+
+impl PartitionScratch {
+    /// Fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        PartitionScratch::default()
+    }
+
+    /// Each child's model error for one region block — the reusable
+    /// form of [`PartitionSpec::errors`]. The returned slice has one
+    /// entry per child (`None` = too few examples / unfittable).
+    pub fn errors(
+        &mut self,
+        spec: &PartitionSpec,
+        block: &RegionBlock,
+        config: &BellwetherConfig,
+    ) -> &[Option<f64>] {
+        self.errors_rows(spec, block.p as usize, block.iter(), config)
+    }
+
+    /// As [`PartitionScratch::errors`], over an arbitrary row stream
+    /// (the RF tree pre-gathers each node's rows once per block).
+    pub fn errors_rows<'a>(
+        &mut self,
+        spec: &PartitionSpec,
+        p: usize,
+        rows: impl Iterator<Item = (i64, &'a [f64], f64)>,
+        config: &BellwetherConfig,
+    ) -> &[Option<f64>] {
+        let k = spec.n_children();
+        let grew = self.datasets.len() < k;
+        while self.datasets.len() < k {
+            self.datasets.push(RegressionData::new(p));
+        }
+        for d in &mut self.datasets[..k] {
+            d.reset(p);
+        }
+        if grew {
+            self.eval.stats.scratch_grows += 1;
+        } else {
+            self.eval.stats.scratch_reuses += 1;
+        }
+        for (id, x, y) in rows {
+            if let Some(slot) = spec.slot_of(id) {
+                self.datasets[slot].push(x, y);
+            }
+        }
+        self.errs.clear();
+        for d in &self.datasets[..k] {
+            let e = if d.n() < config.min_examples.max(1) {
+                None
+            } else {
+                config
+                    .error_measure
+                    .estimate_with(d, &mut self.eval)
+                    .map(|e| e.value)
+            };
+            self.errs.push(e);
+        }
+        &self.errs
+    }
+}
+
+impl ScanScratch for PartitionScratch {
+    fn absorb(&mut self, later: Self) {
+        self.eval.stats.absorb(&later.eval.stats);
+    }
+}
+
+/// Record an engine's work counters under the canonical
+/// `linreg/*` metric names (builders call this once per scan with the
+/// merged per-worker totals, which are thread-count invariant).
+pub fn record_eval_stats(rec: &dyn Recorder, stats: &EvalStats) {
+    if stats.fits > 0 {
+        rec.add(names::LINREG_FITS, stats.fits);
+    }
+    if stats.cv_folds_evaluated > 0 {
+        rec.add(names::LINREG_CV_FOLDS, stats.cv_folds_evaluated);
+    }
+    if stats.ridge_rescues > 0 {
+        rec.add(names::LINREG_RIDGE_RESCUES, stats.ridge_rescues);
+    }
+    if stats.scratch_reuses > 0 {
+        rec.add(names::LINREG_SCRATCH_REUSES, stats.scratch_reuses);
+    }
+    if stats.scratch_grows > 0 {
+        rec.add(names::LINREG_SCRATCH_GROWS, stats.scratch_grows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ErrorMeasure;
+
+    fn block() -> RegionBlock {
+        let mut b = RegionBlock::new(vec![0], 2);
+        for i in 0..20i64 {
+            let x = i as f64;
+            let y = if i < 10 { 2.0 * x } else { -3.0 * x };
+            b.push(i, &[1.0, x], y);
+        }
+        b
+    }
+
+    fn config() -> BellwetherConfig {
+        BellwetherConfig::builder(1.0)
+            .min_examples(3)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn gather_matches_block_to_data_and_subsets() {
+        let b = block();
+        let mut s = RegionEvalScratch::new();
+        s.gather(&b, None);
+        assert_eq!(s.data.n(), 20);
+        assert_eq!(s.ids.len(), 20);
+        let keep: HashSet<i64> = (0..10).collect();
+        s.gather(&b, Some(&keep));
+        assert_eq!(s.data.n(), 10);
+        assert_eq!(s.ids, (0..10).collect::<Vec<i64>>());
+        let direct = crate::training::block_subset_data(&b, &keep);
+        for i in 0..10 {
+            assert_eq!(s.data.x(i), direct.x(i));
+            assert_eq!(s.data.y(i), direct.y(i));
+        }
+    }
+
+    #[test]
+    fn estimate_and_fit_match_one_shot_path() {
+        let b = block();
+        let cfg = config();
+        let mut s = RegionEvalScratch::new();
+        let keep: HashSet<i64> = (0..10).collect();
+        s.gather(&b, Some(&keep));
+        let est = s.estimate(&cfg).unwrap();
+        let direct = cfg
+            .error_measure
+            .estimate(&crate::training::block_subset_data(&b, &keep))
+            .unwrap();
+        assert_eq!(est.value.to_bits(), direct.value.to_bits());
+        let m = s.fit_model().unwrap();
+        let direct_m =
+            bellwether_linreg::fit_wls(&crate::training::block_subset_data(&b, &keep)).unwrap();
+        for (a, b) in m.coefficients().iter().zip(direct_m.coefficients()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn partition_scratch_matches_partition_spec() {
+        let b = block();
+        let cfg = config();
+        let low: HashSet<i64> = (0..10).collect();
+        let high: HashSet<i64> = (10..20).collect();
+        let spec = PartitionSpec::new(&[low, high]);
+        let via_spec = spec.errors(&b, &cfg);
+        let mut scratch = PartitionScratch::new();
+        let via_scratch = scratch.errors(&spec, &b, &cfg).to_vec();
+        assert_eq!(via_spec, via_scratch);
+        assert!(via_scratch[0].unwrap() < 1e-6);
+        assert!(via_scratch[1].unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn warm_scratch_stops_growing() {
+        let b = block();
+        let cfg = config();
+        let mut s = RegionEvalScratch::new();
+        s.gather(&b, None);
+        s.estimate(&cfg).unwrap();
+        let grows = s.eval.stats.scratch_grows;
+        for _ in 0..10 {
+            s.gather(&b, None);
+            s.estimate(&cfg).unwrap();
+        }
+        assert_eq!(s.eval.stats.scratch_grows, grows, "warm gather must not grow");
+        assert!(s.eval.stats.scratch_reuses >= 20);
+
+        let low: HashSet<i64> = (0..10).collect();
+        let high: HashSet<i64> = (10..20).collect();
+        let spec = PartitionSpec::new(&[low, high]);
+        let mut ps = PartitionScratch::new();
+        ps.errors(&spec, &b, &cfg);
+        let grows = ps.eval.stats.scratch_grows;
+        for _ in 0..10 {
+            ps.errors(&spec, &b, &cfg);
+        }
+        assert_eq!(ps.eval.stats.scratch_grows, grows);
+    }
+
+    #[test]
+    fn absorb_sums_counters_across_workers() {
+        let b = block();
+        let cfg = config();
+        let mut a = RegionEvalScratch::new();
+        let mut c = RegionEvalScratch::new();
+        a.gather(&b, None);
+        a.estimate(&cfg).unwrap();
+        c.gather(&b, None);
+        c.estimate(&cfg).unwrap();
+        let fits = a.eval.stats.fits + c.eval.stats.fits;
+        a.absorb(c);
+        assert_eq!(a.eval.stats.fits, fits);
+    }
+
+    #[test]
+    fn record_eval_stats_reports_canonical_names() {
+        let reg = bellwether_obs::Registry::new();
+        let stats = EvalStats {
+            fits: 3,
+            cv_folds_evaluated: 30,
+            ridge_rescues: 1,
+            scratch_reuses: 5,
+            scratch_grows: 2,
+        };
+        record_eval_stats(&reg, &stats);
+        let snap = reg.snapshot();
+        assert_eq!(snap.fits(), 3);
+        assert_eq!(snap.cv_folds_evaluated(), 30);
+        assert_eq!(snap.ridge_rescues(), 1);
+        assert_eq!(snap.counter(names::LINREG_SCRATCH_REUSES), Some(5));
+        assert_eq!(snap.counter(names::LINREG_SCRATCH_GROWS), Some(2));
+    }
+}

@@ -36,12 +36,14 @@ pub mod basic;
 pub mod combinatorial;
 pub mod cube;
 pub mod error;
+pub mod eval;
 pub mod features;
 pub mod items;
 pub mod predict;
 pub mod problem;
 pub mod sampling;
 pub mod scan;
+pub mod seeded;
 pub mod training;
 pub mod tree;
 
@@ -59,6 +61,7 @@ pub use cube::predict::{
 pub use cube::single_scan::build_single_scan_cube;
 pub use cube::{BellwetherCube, CubeConfig, CubeConfigBuilder, SubsetCell};
 pub use error::{BellwetherError, Result};
+pub use eval::{record_eval_stats, PartitionScratch, RegionEvalScratch};
 pub use bellwether_cube::Parallelism;
 pub use bellwether_obs::{
     MetricsSnapshot, NoopRecorder, Recorder, Registry,
@@ -73,8 +76,10 @@ pub use problem::{BellwetherConfig, BellwetherConfigBuilder, ErrorMeasure};
 pub use sampling::sampling_baseline_error;
 pub use scan::{
     scan_regions, scan_regions_policy, scan_regions_where, scan_regions_where_policy,
-    BestRegion, Concat, MergeableAccumulator, MinSlots, ScanPolicy, Scanned,
+    BestRegion, Concat, MergeableAccumulator, MinSlots, ScanPolicy, ScanScratch, Scanned,
+    WithScratch,
 };
+pub use seeded::{hash_fold, seeded_rng};
 pub use training::{
     build_memory_source, build_memory_source_with, region_block, write_disk_source,
     write_disk_source_in_registry,

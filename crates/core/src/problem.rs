@@ -3,7 +3,7 @@
 use crate::error::{BellwetherError, Result};
 use crate::scan::ScanPolicy;
 use bellwether_cube::Parallelism;
-use bellwether_linreg::{cross_val_estimate, training_set_estimate, ErrorEstimate, RegressionData};
+use bellwether_linreg::{ErrorEstimate, EvalScratch, RegressionData};
 use bellwether_obs::{NoopRecorder, Recorder};
 use std::sync::Arc;
 
@@ -31,12 +31,30 @@ impl ErrorMeasure {
 
     /// Estimate the error of a WLS linear model on `data`. `None` when
     /// the data cannot support a model (too few examples).
+    ///
+    /// Convenience wrapper over [`ErrorMeasure::estimate_with`] that pays
+    /// for a fresh [`EvalScratch`] per call; hot loops should hold a
+    /// per-worker scratch and call `estimate_with` instead.
     pub fn estimate(&self, data: &RegressionData) -> Option<ErrorEstimate> {
+        self.estimate_with(data, &mut EvalScratch::new())
+    }
+
+    /// Estimate through the algebraic error engine using caller-owned
+    /// scratch: one statistics pass plus k downdated packed solves for
+    /// cross-validation, one fit for training-set error — no dataset
+    /// copies, and no heap allocation once `scratch` is warm. Values are
+    /// bit-identical to the refit path (`cross_val_estimate` /
+    /// `training_set_estimate`).
+    pub fn estimate_with(
+        &self,
+        data: &RegressionData,
+        scratch: &mut EvalScratch,
+    ) -> Option<ErrorEstimate> {
         match *self {
             ErrorMeasure::CrossValidation { folds, seed } => {
-                cross_val_estimate(data, folds, seed)
+                scratch.cv_estimate(data, folds, seed)
             }
-            ErrorMeasure::TrainingSet => training_set_estimate(data),
+            ErrorMeasure::TrainingSet => scratch.training_estimate(data),
         }
     }
 }
@@ -270,6 +288,27 @@ mod tests {
         let d = line(1);
         assert!(ErrorMeasure::cv10().estimate(&d).is_none());
         assert!(ErrorMeasure::TrainingSet.estimate(&d).is_none());
+    }
+
+    #[test]
+    fn engine_matches_refit_path_bitwise() {
+        use bellwether_linreg::{cross_val_estimate, training_set_estimate, SplitMix64};
+        let mut rng = SplitMix64::new(17);
+        let mut d = RegressionData::new(2);
+        for i in 0..120 {
+            let x = i as f64 / 10.0;
+            let e = (rng.next_u64() as f64 / u64::MAX as f64 - 0.5) * 2.0;
+            d.push(&[1.0, x], 1.0 + 2.0 * x + e);
+        }
+        let mut scratch = EvalScratch::new();
+        let cv = ErrorMeasure::cv10().estimate_with(&d, &mut scratch).unwrap();
+        let refit_cv = cross_val_estimate(&d, 10, 0xBE11).unwrap();
+        assert_eq!(cv.value.to_bits(), refit_cv.value.to_bits());
+        assert_eq!(cv.std_err.to_bits(), refit_cv.std_err.to_bits());
+        let tr = ErrorMeasure::TrainingSet.estimate_with(&d, &mut scratch).unwrap();
+        let refit_tr = training_set_estimate(&d).unwrap();
+        assert_eq!(tr.value.to_bits(), refit_tr.value.to_bits());
+        assert!(scratch.stats.fits >= 11);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 use crate::error::Result;
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
+use crate::seeded::seeded_rng;
 use bellwether_cube::{aggregate_filtered, CostModel, CubeInput, RegionId, RegionSpace};
-use bellwether_linreg::{RegressionData, SplitMix64};
+use bellwether_linreg::{EvalScratch, RegressionData};
 use std::collections::HashMap;
 
 /// Mean error of the random-collection baseline over `trials` draws.
@@ -28,8 +29,11 @@ pub fn sampling_baseline_error(
     seed: u64,
 ) -> Result<Option<f64>> {
     let all_regions = space.all_regions();
-    let mut rng = SplitMix64::new(seed);
+    let mut rng = seeded_rng(seed);
     let mut errors = Vec::new();
+    // One engine scratch across trials: the per-trial estimate reuses
+    // the fold/Gram buffers instead of reallocating them.
+    let mut scratch = EvalScratch::new();
 
     for _ in 0..trials {
         // Draw a random affordable collection of regions.
@@ -75,7 +79,7 @@ pub fn sampling_baseline_error(
         if data.n() < config.min_examples {
             continue;
         }
-        if let Some(e) = config.error_measure.estimate(&data) {
+        if let Some(e) = config.error_measure.estimate_with(&data, &mut scratch) {
             errors.push(e.value);
         }
     }

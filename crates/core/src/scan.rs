@@ -146,6 +146,44 @@ impl<A: MergeableAccumulator> MergeableAccumulator for Vec<A> {
     }
 }
 
+/// Per-worker scratch carried alongside a scan accumulator: reusable
+/// buffers whose contents never influence results, only their work
+/// counters survive the merge.
+pub trait ScanScratch: Send {
+    /// Absorb a later worker's counters (buffers are simply dropped).
+    fn absorb(&mut self, later: Self);
+}
+
+/// An accumulator bundled with per-worker [`ScanScratch`], so the fold
+/// closure gets reusable evaluation buffers (zero heap allocation per
+/// region after warm-up) without threading extra state through the scan
+/// engine. Merging merges the accumulator exactly as before and absorbs
+/// the scratch's counters in ascending chunk order — totals stay
+/// deterministic at any thread count.
+#[derive(Debug)]
+pub struct WithScratch<A, S> {
+    /// The real mergeable statistic.
+    pub acc: A,
+    /// Worker-local reusable buffers + work counters.
+    pub scratch: S,
+}
+
+impl<A: MergeableAccumulator, S: ScanScratch> MergeableAccumulator for WithScratch<A, S> {
+    fn merge(&mut self, later: Self) {
+        self.acc.merge(later.acc);
+        self.scratch.absorb(later.scratch);
+    }
+}
+
+impl<S1: ScanScratch, S2: ScanScratch> ScanScratch for (S1, S2) {
+    /// Pairs of scratches for scans that need both a whole-region buffer
+    /// and a partition buffer (the RainForest level scan).
+    fn absorb(&mut self, later: Self) {
+        self.0.absorb(later.0);
+        self.1.absorb(later.1);
+    }
+}
+
 /// How a scan reacts to a region whose read fails (truncation,
 /// corruption, IO error). Fold-function errors are *never* skippable —
 /// only the read itself.

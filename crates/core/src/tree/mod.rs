@@ -21,9 +21,10 @@ pub mod rainforest;
 pub(crate) mod tests_support;
 
 use crate::error::{BellwetherError, Result};
+use crate::eval::{record_eval_stats, RegionEvalScratch};
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions_policy, BestRegion};
+use crate::scan::{scan_regions_policy, BestRegion, WithScratch};
 use crate::training::block_subset_data;
 use bellwether_cube::{RegionId, RegionSpace};
 use bellwether_linreg::{fit_wls, LinearModel};
@@ -449,11 +450,22 @@ pub fn block_subset_error(
     keep: &HashSet<i64>,
     config: &BellwetherConfig,
 ) -> Option<f64> {
-    let data = block_subset_data(block, keep);
-    if data.n() < config.min_examples.max(1) {
+    block_subset_error_with(block, keep, config, &mut RegionEvalScratch::new())
+}
+
+/// [`block_subset_error`] through a caller-held [`RegionEvalScratch`],
+/// so scan hot loops reuse the gather/engine buffers across blocks.
+pub fn block_subset_error_with(
+    block: &RegionBlock,
+    keep: &HashSet<i64>,
+    config: &BellwetherConfig,
+    scratch: &mut RegionEvalScratch,
+) -> Option<f64> {
+    scratch.gather(block, Some(keep));
+    if scratch.data.n() < config.min_examples.max(1) {
         return None;
     }
-    config.error_measure.estimate(&data).map(|e| e.value)
+    scratch.estimate(config).map(|e| e.value)
 }
 
 /// Solve the basic bellwether problem for an item subset by scanning all
@@ -481,17 +493,22 @@ pub(crate) fn subset_bellwether_scanned(
         source,
         config.parallelism,
         config.scan_policy,
-        BestRegion::default,
-        |acc, idx, block| {
-            if let Some(err) = block_subset_error(block, keep, config) {
-                acc.observe(idx, err);
+        || WithScratch {
+            acc: BestRegion::default(),
+            scratch: RegionEvalScratch::new(),
+        },
+        |ws: &mut WithScratch<BestRegion, RegionEvalScratch>, idx, block| {
+            if let Some(err) = block_subset_error_with(block, keep, config, &mut ws.scratch) {
+                ws.acc.observe(idx, err);
             }
             Ok(())
         },
     )?;
     scanned.record_skipped(config.recorder.as_ref());
     let skipped = scanned.skipped;
-    let Some((region_index, error)) = scanned.acc.0 else {
+    let WithScratch { acc, scratch } = scanned.acc;
+    record_eval_stats(config.recorder.as_ref(), &scratch.eval.stats);
+    let Some((region_index, error)) = acc.0 else {
         return Ok((None, skipped));
     };
     // One more read to fit the winning model (the search loop above only

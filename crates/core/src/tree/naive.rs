@@ -4,9 +4,10 @@
 
 use super::{candidate_splits, BellwetherTree, CandidateSplit, Node, TreeConfig};
 use crate::error::Result;
+use crate::eval::{record_eval_stats, PartitionScratch};
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions_policy, MinSlots};
+use crate::scan::{scan_regions_policy, MinSlots, WithScratch};
 use crate::tree::partition::{child_id_sets, PartitionSpec};
 use crate::tree::{merge_skipped, subset_bellwether_scanned};
 use bellwether_cube::RegionSpace;
@@ -81,10 +82,14 @@ fn split_node(
             source,
             problem.parallelism,
             problem.scan_policy,
-            || MinSlots::new(parts),
-            |acc, _, block| {
-                for (slot, e) in spec.errors(block, problem).into_iter().enumerate() {
-                    if let Some(e) = e {
+            || WithScratch {
+                acc: MinSlots::new(parts),
+                scratch: PartitionScratch::new(),
+            },
+            |ws: &mut WithScratch<MinSlots, PartitionScratch>, _, block| {
+                let WithScratch { acc, scratch } = ws;
+                for (slot, e) in scratch.errors(&spec, block, problem).iter().enumerate() {
+                    if let Some(e) = *e {
                         acc.observe(slot, e);
                     }
                 }
@@ -93,7 +98,9 @@ fn split_node(
         )?;
         scanned.record_skipped(problem.recorder.as_ref());
         merge_skipped(&mut tree.skipped_regions, &scanned.skipped);
-        let min_err = scanned.acc.0;
+        let WithScratch { acc, scratch } = scanned.acc;
+        record_eval_stats(problem.recorder.as_ref(), &scratch.eval.stats);
+        let min_err = acc.0;
         if min_err.iter().any(|e| !e.is_finite()) {
             continue; // some child cannot be modelled anywhere
         }

@@ -9,7 +9,7 @@
 use super::NodeInfo;
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
-use bellwether_linreg::{fit_wls, RegressionData};
+use bellwether_linreg::fit_wls;
 use bellwether_storage::RegionBlock;
 use std::collections::{HashMap, HashSet};
 
@@ -52,6 +52,11 @@ impl PartitionSpec {
         self.n_children
     }
 
+    /// Child slot an item id routes to, if any.
+    pub fn slot_of(&self, id: i64) -> Option<usize> {
+        self.slot_of.get(&id).copied()
+    }
+
     /// For one region block, the error of the model built for each child
     /// subset (`None` = too few examples / unfittable). One pass over
     /// the block routes each example to at most one child, then each
@@ -64,28 +69,20 @@ impl PartitionSpec {
     /// The RF scan pre-gathers each node's rows once per block and
     /// feeds only those to its candidates, so deep levels don't re-route
     /// the whole block per criterion.
+    ///
+    /// One-shot convenience over
+    /// [`crate::eval::PartitionScratch::errors_rows`]; scan hot loops
+    /// should hold a `PartitionScratch` instead so the per-child
+    /// datasets are reused across blocks.
     pub fn errors_rows<'a>(
         &self,
         p: usize,
         rows: impl Iterator<Item = (i64, &'a [f64], f64)>,
         config: &BellwetherConfig,
     ) -> Vec<Option<f64>> {
-        let mut datasets: Vec<RegressionData> =
-            (0..self.n_children).map(|_| RegressionData::new(p)).collect();
-        for (id, x, y) in rows {
-            if let Some(&slot) = self.slot_of.get(&id) {
-                datasets[slot].push(x, y);
-            }
-        }
-        datasets
-            .into_iter()
-            .map(|d| {
-                if d.n() < config.min_examples.max(1) {
-                    return None;
-                }
-                config.error_measure.estimate(&d).map(|e| e.value)
-            })
-            .collect()
+        crate::eval::PartitionScratch::new()
+            .errors_rows(self, p, rows, config)
+            .to_vec()
     }
 }
 

@@ -15,9 +15,10 @@ use super::{
     candidate_splits, merge_skipped, BellwetherTree, CandidateSplit, Node, TreeConfig,
 };
 use crate::error::{BellwetherError, Result};
+use crate::eval::{record_eval_stats, PartitionScratch, RegionEvalScratch};
 use crate::items::ItemTable;
 use crate::problem::BellwetherConfig;
-use crate::scan::{scan_regions_policy, BestRegion, MergeableAccumulator};
+use crate::scan::{scan_regions_policy, BestRegion, MergeableAccumulator, WithScratch};
 use crate::tree::naive::goodness_of;
 use crate::tree::partition::{child_id_sets, fit_node_model, PartitionSpec};
 use bellwether_cube::{RegionId, RegionSpace};
@@ -153,35 +154,39 @@ pub fn build_rainforest(
             source,
             problem.parallelism,
             problem.scan_policy,
-            || LevelAcc::for_entries(&entries),
-            |acc, idx, block| {
-                for (e, partial) in entries.iter().zip(acc.0.iter_mut()) {
-                    let mut ids: Vec<i64> = Vec::new();
-                    let mut data = bellwether_linreg::RegressionData::new(p);
-                    for (id, x, y) in block.iter() {
-                        if e.ids.contains(&id) {
-                            ids.push(id);
-                            data.push(x, y);
-                        }
-                    }
+            || WithScratch {
+                acc: LevelAcc::for_entries(&entries),
+                scratch: (RegionEvalScratch::new(), PartitionScratch::new()),
+            },
+            |ws: &mut WithScratch<LevelAcc, (RegionEvalScratch, PartitionScratch)>,
+             idx,
+             block| {
+                let (region_scratch, part_scratch) = &mut ws.scratch;
+                for (e, partial) in entries.iter().zip(ws.acc.0.iter_mut()) {
+                    region_scratch.gather(block, Some(&e.ids));
                     // Track the node's own bellwether in the same pass.
-                    if data.n() >= problem.min_examples.max(1) {
-                        if let Some(est) = problem.error_measure.estimate(&data) {
+                    if region_scratch.data.n() >= problem.min_examples.max(1) {
+                        if let Some(est) = problem
+                            .error_measure
+                            .estimate_with(&region_scratch.data, &mut region_scratch.eval)
+                        {
                             partial.node_best.observe(idx, est.value);
                         }
                     }
                     if !e.active {
                         continue;
                     }
+                    let data = &region_scratch.data;
+                    let ids = &region_scratch.ids;
                     let rows = || {
                         ids.iter()
                             .enumerate()
                             .map(|(i, &id)| (id, data.x(i), data.y(i)))
                     };
                     for (c, spec) in e.specs.iter().enumerate() {
-                        let errs = spec.errors_rows(p, rows(), problem);
-                        for (p_idx, err) in errs.into_iter().enumerate() {
-                            if let Some(err) = err {
+                        let errs = part_scratch.errors_rows(spec, p, rows(), problem);
+                        for (p_idx, err) in errs.iter().enumerate() {
+                            if let Some(err) = *err {
                                 if err < partial.min_err[c][p_idx] {
                                     partial.min_err[c][p_idx] = err;
                                 }
@@ -196,7 +201,9 @@ pub fn build_rainforest(
         drop(level_timer); // the level span covers the scan loop only
         scanned.record_skipped(problem.recorder.as_ref());
         merge_skipped(&mut tree.skipped_regions, &scanned.skipped);
-        let acc = scanned.acc;
+        let WithScratch { acc, scratch } = scanned.acc;
+        record_eval_stats(problem.recorder.as_ref(), &scratch.0.eval.stats);
+        record_eval_stats(problem.recorder.as_ref(), &scratch.1.eval.stats);
 
         // Finalize the level: fit node models (targeted reads), pick
         // splits, spawn the next level.

@@ -93,31 +93,157 @@ impl Cholesky {
 /// Relative ridge magnitude used by [`solve_spd_ridged`].
 pub const RIDGE_EPS: f64 = 1e-9;
 
-/// Solve `A x = b` for symmetric positive semi-definite `A`, adding an
-/// escalating ridge `λ·(trace(A)/n)·I` (λ = 1e-9, 1e-6, 1e-3) when plain
-/// Cholesky fails. Returns `None` only for hopeless inputs (e.g. all-zero
-/// or non-finite matrices).
-pub fn solve_spd_ridged(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
-    if let Ok(f) = Cholesky::factor(a) {
-        return Some(f.solve(b));
+/// Diagnostics from a (possibly ridged) SPD solve.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FitDiagnostics {
+    /// Relative ridge level `λ` the solve settled on: `0.0` when plain
+    /// Cholesky succeeded, otherwise the multiplier of `trace(A)/n` that
+    /// was added to the diagonal to rescue the factorisation.
+    pub ridge_lambda: f64,
+}
+
+impl FitDiagnostics {
+    /// True if the solve needed a ridge to go through.
+    pub fn ridged(&self) -> bool {
+        self.ridge_lambda > 0.0
     }
-    let n = a.rows();
-    let mean_diag = a.trace() / n.max(1) as f64;
+}
+
+/// Number of entries in packed lower-triangular storage for `p` rows.
+pub const fn packed_len(p: usize) -> usize {
+    p * (p + 1) / 2
+}
+
+/// Index of entry `(i, j)` (`j ≤ i`) in packed lower-triangular
+/// row-major storage: row `i` occupies `i(i+1)/2 .. i(i+1)/2 + i + 1`.
+pub const fn packed_idx(i: usize, j: usize) -> usize {
+    i * (i + 1) / 2 + j
+}
+
+/// In-place Cholesky of a packed lower-triangular SPD matrix: on success
+/// `a` holds the packed factor `L` with `L·L' = A`. Loop order matches
+/// [`Cholesky::factor`] exactly, so both produce bit-identical factors.
+pub fn packed_cholesky_in_place(a: &mut [f64], p: usize) -> Result<(), NotPositiveDefinite> {
+    debug_assert_eq!(a.len(), packed_len(p), "packed length mismatch");
+    for i in 0..p {
+        let row_i = packed_idx(i, 0);
+        for j in 0..=i {
+            let row_j = packed_idx(j, 0);
+            let mut sum = a[row_i + j];
+            for k in 0..j {
+                sum -= a[row_i + k] * a[row_j + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(NotPositiveDefinite { pivot: i });
+                }
+                a[row_i + j] = sum.sqrt();
+            } else {
+                a[row_i + j] = sum / a[row_j + j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solve `L·L' x = b` from a packed factor, writing the solution into
+/// `x` (used as the only workspace — forward substitution fills it, back
+/// substitution overwrites it; the arithmetic matches
+/// [`Cholesky::solve`] bit for bit).
+pub fn packed_solve_in_place(l: &[f64], p: usize, b: &[f64], x: &mut [f64]) {
+    debug_assert_eq!(l.len(), packed_len(p), "packed length mismatch");
+    assert_eq!(b.len(), p, "rhs length mismatch");
+    assert_eq!(x.len(), p, "solution buffer length mismatch");
+    // Forward substitution: L y = b (y lands in x).
+    for i in 0..p {
+        let row_i = packed_idx(i, 0);
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[row_i + k] * x[k];
+        }
+        x[i] = sum / l[row_i + i];
+    }
+    // Back substitution: L' x = y. Entry (k, i) of L lives at row k.
+    for i in (0..p).rev() {
+        let mut sum = x[i];
+        for k in (i + 1)..p {
+            sum -= l[packed_idx(k, i)] * x[k];
+        }
+        x[i] = sum / l[packed_idx(i, i)];
+    }
+}
+
+/// Trace of a packed lower-triangular matrix.
+pub fn packed_trace(a: &[f64], p: usize) -> f64 {
+    (0..p).map(|i| a[packed_idx(i, i)]).sum()
+}
+
+/// Packed analogue of [`solve_spd_ridged`], reusing caller-provided
+/// buffers so the hot path performs no heap allocation once `factor` and
+/// `x` are warm: copies `a` into `factor`, factors in place (retrying
+/// with the escalating ridge λ·(trace(A)/p)·I, λ = 1e-9, 1e-6, 1e-3) and
+/// solves into `x`. Returns the settled ridge level, or `None` for
+/// hopeless inputs.
+pub fn packed_solve_spd_ridged(
+    a: &[f64],
+    p: usize,
+    b: &[f64],
+    factor: &mut Vec<f64>,
+    x: &mut Vec<f64>,
+) -> Option<FitDiagnostics> {
+    debug_assert_eq!(a.len(), packed_len(p), "packed length mismatch");
+    x.clear();
+    x.resize(p, 0.0);
+    factor.clear();
+    factor.extend_from_slice(a);
+    if packed_cholesky_in_place(factor, p).is_ok() {
+        packed_solve_in_place(factor, p, b, x);
+        return Some(FitDiagnostics { ridge_lambda: 0.0 });
+    }
+    let mean_diag = packed_trace(a, p) / p.max(1) as f64;
     let base = if mean_diag.abs() > 0.0 && mean_diag.is_finite() {
         mean_diag.abs()
     } else {
         1.0
     };
     for lambda in [RIDGE_EPS, 1e-6, 1e-3] {
-        let mut ridged = a.clone();
-        for i in 0..n {
-            ridged[(i, i)] += lambda * base;
+        factor.clear();
+        factor.extend_from_slice(a);
+        for i in 0..p {
+            factor[packed_idx(i, i)] += lambda * base;
         }
-        if let Ok(f) = Cholesky::factor(&ridged) {
-            return Some(f.solve(b));
+        if packed_cholesky_in_place(factor, p).is_ok() {
+            packed_solve_in_place(factor, p, b, x);
+            return Some(FitDiagnostics { ridge_lambda: lambda });
         }
     }
     None
+}
+
+/// [`solve_spd_ridged`] that also reports the ridge level it settled on
+/// (previously discarded), so degenerate regions are debuggable.
+pub fn solve_spd_ridged_diag(a: &Matrix, b: &[f64]) -> Option<(Vec<f64>, FitDiagnostics)> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "ridged solve of non-square matrix");
+    let mut packed = Vec::with_capacity(packed_len(n));
+    for i in 0..n {
+        for j in 0..=i {
+            packed.push(a[(i, j)]);
+        }
+    }
+    let mut factor = Vec::new();
+    let mut x = Vec::new();
+    let diag = packed_solve_spd_ridged(&packed, n, b, &mut factor, &mut x)?;
+    Some((x, diag))
+}
+
+/// Solve `A x = b` for symmetric positive semi-definite `A`, adding an
+/// escalating ridge `λ·(trace(A)/n)·I` (λ = 1e-9, 1e-6, 1e-3) when plain
+/// Cholesky fails. Returns `None` only for hopeless inputs (e.g. all-zero
+/// or non-finite matrices). See [`solve_spd_ridged_diag`] to learn which
+/// ridge level the solve settled on.
+pub fn solve_spd_ridged(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    solve_spd_ridged_diag(a, b).map(|(x, _)| x)
 }
 
 #[cfg(test)]
@@ -179,5 +305,90 @@ mod tests {
         let a = Matrix::from_rows(1, 1, vec![4.0]);
         let x = Cholesky::factor(&a).unwrap().solve(&[8.0]);
         assert_eq!(x, vec![2.0]);
+    }
+
+    fn pack(a: &Matrix) -> Vec<f64> {
+        let n = a.rows();
+        let mut p = Vec::with_capacity(packed_len(n));
+        for i in 0..n {
+            for j in 0..=i {
+                p.push(a[(i, j)]);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn packed_layout_indexing() {
+        assert_eq!(packed_len(0), 0);
+        assert_eq!(packed_len(3), 6);
+        assert_eq!(packed_idx(0, 0), 0);
+        assert_eq!(packed_idx(2, 1), 4);
+        assert_eq!(packed_idx(3, 0), 6);
+    }
+
+    #[test]
+    fn packed_factor_bit_identical_to_dense() {
+        let a = spd3();
+        let dense = Cholesky::factor(&a).unwrap();
+        let mut packed = pack(&a);
+        packed_cholesky_in_place(&mut packed, 3).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert_eq!(
+                    packed[packed_idx(i, j)].to_bits(),
+                    dense.l()[(i, j)].to_bits(),
+                    "factor entry ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_solve_bit_identical_to_dense() {
+        let a = spd3();
+        let b = [1.0, -2.0, 0.5];
+        let dense = Cholesky::factor(&a).unwrap().solve(&b);
+        let mut l = pack(&a);
+        packed_cholesky_in_place(&mut l, 3).unwrap();
+        let mut x = vec![0.0; 3];
+        packed_solve_in_place(&l, 3, &b, &mut x);
+        for (xi, di) in x.iter().zip(&dense) {
+            assert_eq!(xi.to_bits(), di.to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_ridged_reports_clean_solve() {
+        let a = spd3();
+        let (mut factor, mut x) = (Vec::new(), Vec::new());
+        let diag =
+            packed_solve_spd_ridged(&pack(&a), 3, &[1.0, 0.0, 2.0], &mut factor, &mut x).unwrap();
+        assert_eq!(diag.ridge_lambda, 0.0);
+        assert!(!diag.ridged());
+    }
+
+    #[test]
+    fn ridged_diag_reports_settled_lambda() {
+        // Rank-1 matrix: plain Cholesky fails, the first ridge rescues.
+        let a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let (x, diag) = solve_spd_ridged_diag(&a, &[2.0, 2.0]).unwrap();
+        assert_eq!(diag.ridge_lambda, RIDGE_EPS);
+        assert!(diag.ridged());
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn packed_ridged_reuses_buffers_without_realloc() {
+        let a = pack(&spd3());
+        let (mut factor, mut x) = (Vec::new(), Vec::new());
+        packed_solve_spd_ridged(&a, 3, &[1.0, 2.0, 3.0], &mut factor, &mut x).unwrap();
+        let (fc, xc) = (factor.capacity(), x.capacity());
+        let (fp, xp) = (factor.as_ptr(), x.as_ptr());
+        for _ in 0..10 {
+            packed_solve_spd_ridged(&a, 3, &[3.0, 2.0, 1.0], &mut factor, &mut x).unwrap();
+        }
+        assert_eq!((factor.capacity(), x.capacity()), (fc, xc));
+        assert_eq!((factor.as_ptr(), x.as_ptr()), (fp, xp));
     }
 }

@@ -15,14 +15,32 @@ use crate::suffstats::RegSuffStats;
 /// Assign each of `n` rows to one of `k` folds, shuffled by `seed`.
 /// Fold sizes differ by at most one. `k` is clamped to `n`.
 pub fn fold_assignment(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut order = Vec::new();
+    let mut folds = Vec::new();
+    fold_assignment_into(n, k, seed, &mut order, &mut folds);
+    folds
+}
+
+/// [`fold_assignment`] writing into caller-provided buffers (both are
+/// overwritten and end with length `n`; `order` is the shuffle
+/// workspace). No heap allocation once the buffers are warm — the
+/// algebraic CV engine calls this once per region.
+pub fn fold_assignment_into(
+    n: usize,
+    k: usize,
+    seed: u64,
+    order: &mut Vec<usize>,
+    folds: &mut Vec<usize>,
+) {
     let k = k.max(1).min(n.max(1));
-    let mut order: Vec<usize> = (0..n).collect();
-    SplitMix64::new(seed).shuffle(&mut order);
-    let mut folds = vec![0usize; n];
+    order.clear();
+    order.extend(0..n);
+    SplitMix64::new(seed).shuffle(order);
+    folds.clear();
+    folds.resize(n, 0);
     for (pos, &row) in order.iter().enumerate() {
         folds[row] = pos % k;
     }
-    folds
 }
 
 /// The result of a cross-validation run.

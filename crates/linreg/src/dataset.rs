@@ -52,6 +52,29 @@ impl RegressionData {
         self.ys.is_empty()
     }
 
+    /// Drop all examples and (re)set the feature width, keeping the
+    /// allocated buffers — the reuse hook for zero-allocation scan
+    /// scratch.
+    pub fn reset(&mut self, p: usize) {
+        self.p = p;
+        self.xs.clear();
+        self.ys.clear();
+        self.ws.clear();
+    }
+
+    /// Reserve room for `n` examples at the current width. Returns `true`
+    /// if any buffer had to grow (scratch-reuse accounting).
+    pub fn ensure_capacity(&mut self, n: usize) -> bool {
+        let grew = self.ys.capacity() < n
+            || self.ws.capacity() < n
+            || self.xs.capacity() < n * self.p;
+        let extra = n.saturating_sub(self.ys.len());
+        self.xs.reserve(extra * self.p);
+        self.ys.reserve(extra);
+        self.ws.reserve(extra);
+        grew
+    }
+
     /// Append an example with explicit weight. Panics if `x.len() != p`.
     pub fn push_weighted(&mut self, x: &[f64], y: f64, w: f64) {
         assert_eq!(x.len(), self.p, "feature vector length mismatch");

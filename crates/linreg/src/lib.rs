@@ -31,16 +31,22 @@ pub mod cholesky;
 pub mod confint;
 pub mod crossval;
 pub mod dataset;
+pub mod folded;
 pub mod matrix;
 pub mod model;
 pub mod stats;
 pub mod suffstats;
 
-pub use cholesky::{solve_spd_ridged, Cholesky};
+pub use cholesky::{
+    packed_idx, packed_len, packed_solve_spd_ridged, solve_spd_ridged, solve_spd_ridged_diag,
+    Cholesky, FitDiagnostics,
+};
 pub use confint::ErrorEstimate;
 pub use crossval::{
-    cross_val_estimate, cross_validate, fold_assignment, training_set_estimate, CvResult,
+    cross_val_estimate, cross_validate, fold_assignment, fold_assignment_into,
+    training_set_estimate, CvResult,
 };
+pub use folded::{EvalScratch, EvalStats, FoldedSuffStats};
 pub use dataset::RegressionData;
 pub use matrix::Matrix;
 pub use model::{fit_ols, fit_wls, LinearModel};

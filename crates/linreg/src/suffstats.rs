@@ -15,19 +15,24 @@
 //! to the optimized bellwether-cube algorithm: compute `g` once per base
 //! subset, then roll up the item-hierarchy lattice by merging.
 
-use crate::cholesky::solve_spd_ridged;
+use crate::cholesky::{packed_idx, packed_len, packed_solve_spd_ridged, FitDiagnostics};
 use crate::dataset::RegressionData;
-use crate::matrix::Matrix;
 use crate::model::LinearModel;
 
 /// Accumulated `⟨Y'WY, X'WX, X'WY, n, Σw⟩` for one example subset.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The Gram matrix `X'WX` is symmetric and stored packed (lower triangle,
+/// row-major, `p(p+1)/2` floats) — half the memory and accumulation work
+/// of a full matrix, factored by the in-place packed Cholesky whose
+/// arithmetic order matches the dense one bit for bit.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RegSuffStats {
     p: usize,
     n: usize,
     sum_w: f64,
     ytwy: f64,
-    xtwx: Matrix,
+    /// `X'WX`, packed lower-triangular (`crate::cholesky::packed_idx`).
+    gram: Vec<f64>,
     xtwy: Vec<f64>,
 }
 
@@ -39,9 +44,36 @@ impl RegSuffStats {
             n: 0,
             sum_w: 0.0,
             ytwy: 0.0,
-            xtwx: Matrix::zeros(p, p),
+            gram: vec![0.0; packed_len(p)],
             xtwy: vec![0.0; p],
         }
+    }
+
+    /// Zero the statistic (possibly changing its width) while reusing the
+    /// existing buffers. Returns `true` if a buffer had to grow — the
+    /// scratch-reuse accounting hook for zero-allocation hot loops.
+    pub fn reset(&mut self, p: usize) -> bool {
+        let grew = self.gram.capacity() < packed_len(p) || self.xtwy.capacity() < p;
+        self.p = p;
+        self.n = 0;
+        self.sum_w = 0.0;
+        self.ytwy = 0.0;
+        self.gram.clear();
+        self.gram.resize(packed_len(p), 0.0);
+        self.xtwy.clear();
+        self.xtwy.resize(p, 0.0);
+        grew
+    }
+
+    /// Overwrite `self` with a copy of `other`, reusing buffers (no
+    /// allocation when `self` already has `other`'s width).
+    pub fn copy_from(&mut self, other: &RegSuffStats) {
+        self.p = other.p;
+        self.n = other.n;
+        self.sum_w = other.sum_w;
+        self.ytwy = other.ytwy;
+        self.gram.clone_from(&other.gram);
+        self.xtwy.clone_from(&other.xtwy);
     }
 
     /// Number of features.
@@ -70,9 +102,10 @@ impl RegSuffStats {
         for i in 0..self.p {
             let wxi = w * x[i];
             self.xtwy[i] += wxi * y;
-            // X'WX is symmetric; fill the full matrix to keep solves simple.
-            for j in 0..self.p {
-                self.xtwx[(i, j)] += wxi * x[j];
+            // X'WX is symmetric; accumulate only the packed lower triangle.
+            let row = packed_idx(i, 0);
+            for j in 0..=i {
+                self.gram[row + j] += wxi * x[j];
             }
         }
     }
@@ -98,7 +131,9 @@ impl RegSuffStats {
         self.n += other.n;
         self.sum_w += other.sum_w;
         self.ytwy += other.ytwy;
-        self.xtwx += &other.xtwx;
+        for (a, b) in self.gram.iter_mut().zip(&other.gram) {
+            *a += *b;
+        }
         for (a, b) in self.xtwy.iter_mut().zip(&other.xtwy) {
             *a += *b;
         }
@@ -121,7 +156,9 @@ impl RegSuffStats {
         self.n -= other.n;
         self.sum_w -= other.sum_w;
         self.ytwy -= other.ytwy;
-        self.xtwx -= &other.xtwx;
+        for (a, b) in self.gram.iter_mut().zip(&other.gram) {
+            *a -= *b;
+        }
         for (a, b) in self.xtwy.iter_mut().zip(&other.xtwy) {
             *a -= *b;
         }
@@ -130,14 +167,31 @@ impl RegSuffStats {
     /// Fit the WLS model `β = (X'WX)⁻¹(X'WY)`. `None` if fewer examples
     /// than features or the Gram matrix is irreparably singular.
     pub fn fit(&self) -> Option<LinearModel> {
+        self.fit_diagnosed().map(|(m, _)| m)
+    }
+
+    /// [`RegSuffStats::fit`] that also reports which ridge level (if any)
+    /// the solve needed — the debuggability hook for degenerate regions.
+    pub fn fit_diagnosed(&self) -> Option<(LinearModel, FitDiagnostics)> {
+        let mut factor = Vec::new();
+        let mut beta = Vec::new();
+        let diag = self.fit_into(&mut factor, &mut beta)?;
+        Some((LinearModel::new(beta), diag))
+    }
+
+    /// Fit into caller-provided scratch: `factor` receives the packed
+    /// Cholesky workspace, `beta` the coefficients. No heap allocation
+    /// once both buffers are warm. Returns `None` if fewer examples than
+    /// features, the solve fails, or β is non-finite.
+    pub fn fit_into(&self, factor: &mut Vec<f64>, beta: &mut Vec<f64>) -> Option<FitDiagnostics> {
         if self.n < self.p {
             return None;
         }
-        let beta = solve_spd_ridged(&self.xtwx, &self.xtwy)?;
+        let diag = packed_solve_spd_ridged(&self.gram, self.p, &self.xtwy, factor, beta)?;
         if beta.iter().any(|b| !b.is_finite()) {
             return None;
         }
-        Some(LinearModel::new(beta))
+        Some(diag)
     }
 
     /// Weighted sum of squared errors of the fitted model on the
@@ -145,13 +199,17 @@ impl RegSuffStats {
     /// floating-point cancellation. `None` when no model can be fit.
     pub fn sse(&self) -> Option<f64> {
         let beta = self.fit()?;
-        let explained: f64 = self
-            .xtwy
-            .iter()
-            .zip(beta.coefficients())
-            .map(|(a, b)| a * b)
-            .sum();
-        Some((self.ytwy - explained).max(0.0))
+        Some(self.sse_given_fit(beta.coefficients()))
+    }
+
+    /// SSE of *this statistic's own least-squares solution* `β` via
+    /// `Y'WY − (X'WY)'β` (the one-dot-product shortcut, valid only for
+    /// coefficients fitted from this statistic — see
+    /// [`RegSuffStats::sse_of_coeffs`] for arbitrary models). Clamped at 0.
+    pub fn sse_given_fit(&self, beta: &[f64]) -> f64 {
+        assert_eq!(beta.len(), self.p, "model width mismatch");
+        let explained: f64 = self.xtwy.iter().zip(beta).map(|(a, b)| a * b).sum();
+        (self.ytwy - explained).max(0.0)
     }
 
     /// Weighted SSE of an *arbitrary* model β on the accumulated
@@ -165,18 +223,31 @@ impl RegSuffStats {
     /// under the complement's model needs only the fold's statistic —
     /// no examples are revisited. Clamped at 0 against cancellation.
     pub fn sse_of_model(&self, model: &LinearModel) -> f64 {
-        assert_eq!(model.p(), self.p, "model width mismatch");
-        let beta = model.coefficients();
-        let cross: f64 = self
-            .xtwy
-            .iter()
-            .zip(beta)
-            .map(|(a, b)| a * b)
-            .sum();
-        let quad: f64 = {
-            let xb = self.xtwx.matvec(beta);
-            xb.iter().zip(beta).map(|(a, b)| a * b).sum()
-        };
+        self.sse_of_coeffs(model.coefficients())
+    }
+
+    /// [`RegSuffStats::sse_of_model`] on a bare coefficient slice, so hot
+    /// loops can evaluate fold models without wrapping them in a
+    /// [`LinearModel`] (which owns its vector).
+    #[allow(clippy::needless_range_loop)] // symmetric i/j indexing
+    pub fn sse_of_coeffs(&self, beta: &[f64]) -> f64 {
+        assert_eq!(beta.len(), self.p, "model width mismatch");
+        let cross: f64 = self.xtwy.iter().zip(beta).map(|(a, b)| a * b).sum();
+        // β'(X'WX)β via the symmetric packed matvec: entry (i,j) with
+        // j > i reads the stored (j,i).
+        let mut quad = 0.0;
+        for i in 0..self.p {
+            let mut sum = 0.0;
+            for j in 0..self.p {
+                let e = if j <= i {
+                    self.gram[packed_idx(i, j)]
+                } else {
+                    self.gram[packed_idx(j, i)]
+                };
+                sum += e * beta[j];
+            }
+            quad += sum * beta[i];
+        }
         (self.ytwy - 2.0 * cross + quad).max(0.0)
     }
 
@@ -342,5 +413,58 @@ mod tests {
         let m = s.fit().expect("ridge fallback should fit");
         // Predictions are still right even though β is not unique.
         assert!((m.predict(&[3.0, 3.0]) - 6.0).abs() < 1e-3);
+        // And the diagnosed fit reports that a ridge was needed.
+        let (_, diag) = s.fit_diagnosed().unwrap();
+        assert!(diag.ridged());
+    }
+
+    #[test]
+    fn clean_fit_reports_no_ridge() {
+        let s = RegSuffStats::from_dataset(&exact_line());
+        let (_, diag) = s.fit_diagnosed().unwrap();
+        assert_eq!(diag.ridge_lambda, 0.0);
+    }
+
+    #[test]
+    fn reset_and_copy_reuse_buffers() {
+        let mut s = RegSuffStats::from_dataset(&exact_line());
+        let bulk = RegSuffStats::from_dataset(&exact_line());
+        assert!(!s.reset(2), "same width must not grow");
+        assert_eq!(s.n(), 0);
+        s.add_dataset(&exact_line());
+        assert_eq!(s, bulk);
+        let mut copy = RegSuffStats::new(2);
+        copy.copy_from(&bulk);
+        assert_eq!(copy, bulk);
+    }
+
+    #[test]
+    fn fit_into_matches_fit_bitwise() {
+        let mut d = RegressionData::new(2);
+        let ys = [1.0, 2.5, 2.0, 4.8, 5.1, 7.0];
+        for (i, &y) in ys.iter().enumerate() {
+            d.push_weighted(&[1.0, i as f64], y, 1.0 + 0.2 * i as f64);
+        }
+        let s = RegSuffStats::from_dataset(&d);
+        let via_fit = s.fit().unwrap();
+        let (mut factor, mut beta) = (Vec::new(), Vec::new());
+        s.fit_into(&mut factor, &mut beta).unwrap();
+        for (a, b) in beta.iter().zip(via_fit.coefficients()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sse_of_coeffs_matches_sse_of_model() {
+        let mut d = RegressionData::new(2);
+        for i in 0..6 {
+            d.push(&[1.0, i as f64], 0.5 + 1.5 * i as f64 + (i % 2) as f64);
+        }
+        let s = RegSuffStats::from_dataset(&d);
+        let model = LinearModel::new(vec![0.3, 1.1]);
+        assert_eq!(
+            s.sse_of_model(&model).to_bits(),
+            s.sse_of_coeffs(&[0.3, 1.1]).to_bits()
+        );
     }
 }

@@ -47,6 +47,19 @@ pub const SEARCH_REGIONS_EVALUATED: &str = "search/regions_evaluated";
 /// Regions that passed all constraints and fit a model.
 pub const SEARCH_REPORTS: &str = "search/reports";
 
+/// Linear-model fits performed by the algebraic error engine.
+pub const LINREG_FITS: &str = "linreg/fits";
+/// Cross-validation folds whose held-out RMSE was evaluated.
+pub const LINREG_CV_FOLDS: &str = "linreg/cv_folds_evaluated";
+/// Fits that needed a ridge to rescue a degenerate Gram matrix.
+pub const LINREG_RIDGE_RESCUES: &str = "linreg/ridge_rescues";
+/// Region evaluations served entirely from warm scratch buffers
+/// (no heap allocation).
+pub const LINREG_SCRATCH_REUSES: &str = "linreg/scratch_reuses";
+/// Region evaluations that had to grow a scratch buffer (allocation;
+/// expected only during warm-up).
+pub const LINREG_SCRATCH_GROWS: &str = "linreg/scratch_grows";
+
 /// Nodes constructed by a bellwether tree builder.
 pub const TREE_NODES: &str = "tree/nodes";
 /// Cells emitted by a bellwether cube builder.

@@ -138,6 +138,24 @@ impl MetricsSnapshot {
         hits as f64 / total as f64
     }
 
+    /// Linear-model fits performed by the algebraic error engine
+    /// ([`names::LINREG_FITS`]).
+    pub fn fits(&self) -> u64 {
+        self.counter_or_zero(names::LINREG_FITS)
+    }
+
+    /// Cross-validation folds whose held-out RMSE was evaluated
+    /// ([`names::LINREG_CV_FOLDS`]).
+    pub fn cv_folds_evaluated(&self) -> u64 {
+        self.counter_or_zero(names::LINREG_CV_FOLDS)
+    }
+
+    /// Fits that needed a ridge to rescue a degenerate Gram matrix
+    /// ([`names::LINREG_RIDGE_RESCUES`]).
+    pub fn ridge_rescues(&self) -> u64 {
+        self.counter_or_zero(names::LINREG_RIDGE_RESCUES)
+    }
+
     /// Fact rows scanned by the CUBE pass
     /// ([`names::CUBE_PASS_ROWS_SCANNED`]).
     pub fn rows_scanned(&self) -> u64 {
@@ -347,6 +365,19 @@ mod tests {
         assert_eq!(snap.regions_read(), 12);
         assert_eq!(snap.rows_scanned(), 4096);
         assert_eq!(snap.scan_equivalents(4), 3.0);
+    }
+
+    #[test]
+    fn linreg_engine_accessors() {
+        let reg = Registry::new();
+        reg.add(names::LINREG_FITS, 55);
+        reg.add(names::LINREG_CV_FOLDS, 50);
+        reg.add(names::LINREG_RIDGE_RESCUES, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.fits(), 55);
+        assert_eq!(snap.cv_folds_evaluated(), 50);
+        assert_eq!(snap.ridge_rescues(), 2);
+        assert_eq!(MetricsSnapshot::default().fits(), 0);
     }
 
     #[test]

@@ -108,6 +108,34 @@ fn main() {
         search.bellwether().map_or("-".into(), |b| b.label.clone())
     );
 
+    // ---- the algebraic CV engine's work counters: the same search
+    // under 10-fold cross-validation, read back through the snapshot
+    // accessors. Every fold is fit by downdating shared sufficient
+    // statistics, so `linreg/fits` counts Cholesky solves, not data
+    // passes — and a warm per-worker scratch means evaluations reuse
+    // buffers instead of allocating (`linreg/scratch_reuses`).
+    let cv_problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::cv10())
+        .recorder(reg.clone())
+        .build()
+        .unwrap();
+    let _ = basic_search(&source, &data.space, &data.cost, &cv_problem, data.items.len())
+        .unwrap();
+    let snap = reg.snapshot();
+    println!(
+        "CV-10 search: {} model fits, {} CV folds evaluated, {} ridge rescues",
+        snap.fits(),
+        snap.cv_folds_evaluated(),
+        snap.ridge_rescues(),
+    );
+    println!(
+        "engine scratch: {} reuses / {} grows (allocation-free once warm)",
+        snap.counter("linreg/scratch_reuses").unwrap_or(0),
+        snap.counter("linreg/scratch_grows").unwrap_or(0),
+    );
+
     let tree_cfg = TreeConfig {
         min_node_items: 60,
         max_numeric_splits: 8,

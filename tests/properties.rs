@@ -638,3 +638,253 @@ fn thread_count_and_cache_do_not_change_results() {
         }
     });
 }
+
+/// Classic per-fold refit CV, used as the reference for the algebraic
+/// engine: every fold trains on a fresh copy of its complement with the
+/// Gram matrix rebuilt from raw rows. Mirrors the engine's fold
+/// shuffling exactly.
+fn refit_cv(data: &RegressionData, k: usize, seed: u64) -> Option<f64> {
+    use bellwether::linreg::{fit_wls, fold_assignment};
+    let n = data.n();
+    if n < 2 {
+        return None;
+    }
+    let assignment = fold_assignment(n, k, seed);
+    let k = assignment.iter().copied().max().map_or(1, |m| m + 1);
+    let mut fold_rmses = Vec::new();
+    for fold in 0..k {
+        let mut train = RegressionData::new(data.p());
+        for (i, (x, y, _)) in data.iter().enumerate() {
+            if assignment[i] != fold {
+                train.push(x, y);
+            }
+        }
+        let Some(model) = fit_wls(&train) else { continue };
+        let (mut sse, mut count) = (0.0, 0usize);
+        for (i, (x, y, _)) in data.iter().enumerate() {
+            if assignment[i] == fold {
+                let r = y - model.predict(x);
+                sse += r * r;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            fold_rmses.push((sse / count as f64).sqrt());
+        }
+    }
+    if fold_rmses.is_empty() {
+        None
+    } else {
+        Some(ErrorEstimate::from_folds(&fold_rmses).value)
+    }
+}
+
+/// The algebraic CV engine (one statistics pass + k downdated solves,
+/// through reusable per-worker scratch) agrees with the classic
+/// per-fold refit within 1e-8 relative on well-conditioned data, for
+/// every reported region, across folds {2, 5, 10} × threads {1, 2, 4}.
+#[test]
+fn algebraic_cv_matches_refit_cv() {
+    check("algebraic_cv_matches_refit_cv", 6, |rng| {
+        let leaves = ["ra", "rb", "rc", "rd", "re", "rf", "rg"];
+        let region_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "L", "All", &leaves,
+        ))]);
+        // Well-conditioned regions: wide x spread, modest noise, enough
+        // rows that no fold complement is ever rank-deficient.
+        let mut blocks = Vec::new();
+        for region in 0u32..8 {
+            let mut block = RegionBlock::new(vec![region], 2);
+            let n = rng.usize_in(25, 60);
+            let (a, b) = (rng.f64_in(-5.0, 5.0), rng.f64_in(-3.0, 3.0));
+            for id in 0..n as i64 {
+                let x = rng.f64_in(-10.0, 10.0);
+                let y = a + b * x + rng.f64_in(-1.0, 1.0);
+                block.push(id, &[1.0, x], y);
+            }
+            blocks.push(block);
+        }
+        let source = MemorySource::new(blocks.clone());
+        let cost = UniformCellCost { rate: 1.0 };
+        let n_items = 60;
+
+        for folds in [2usize, 5, 10] {
+            // Reference errors, region by region, via classic refits.
+            let refit: Vec<Option<f64>> = blocks
+                .iter()
+                .map(|b| {
+                    let mut data = RegressionData::new(2);
+                    for (_, x, y) in b.iter() {
+                        data.push(x, y);
+                    }
+                    refit_cv(&data, folds, 0xBE11)
+                })
+                .collect();
+
+            for threads in [1usize, 2, 4] {
+                let cfg = BellwetherConfig::builder(1e9)
+                    .min_coverage(0.0)
+                    .min_examples(5)
+                    .error_measure(ErrorMeasure::CrossValidation {
+                        folds,
+                        seed: 0xBE11,
+                    })
+                    .parallelism(Parallelism::fixed(threads).with_min_chunk(1))
+                    .build()
+                    .unwrap();
+                let search =
+                    basic_search(&source, &region_space, &cost, &cfg, n_items).unwrap();
+                assert!(!search.reports.is_empty());
+                for report in &search.reports {
+                    let expect = refit[report.source_index]
+                        .expect("refit fits wherever the engine fit");
+                    let diff = (report.error.value - expect).abs();
+                    assert!(
+                        diff < 1e-8 * expect.abs() || diff < 1e-9,
+                        "folds={folds} threads={threads} region {}: \
+                         engine {} vs refit {expect}",
+                        report.source_index,
+                        report.error.value
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Every builder answers "which region is the bellwether for all
+/// items?" through the same algebraic error engine, so on one retail
+/// workload they must all select the same region with the same error
+/// (1e-8 relative): basic search, both trees and both row-level cubes
+/// under cross-validation and under training-set error, plus the
+/// training-set-only optimized cube and the item-fold CV cube (whose
+/// fold *partition* differs by design, so only its selection is
+/// compared).
+#[test]
+fn all_builders_agree_on_retail_bellwether() {
+    let mut retail_cfg = RetailConfig::mail_order(40, 5);
+    retail_cfg.months = 4;
+    retail_cfg.converge_month = 3;
+    retail_cfg.states = Some(vec!["MD", "WI", "CA", "NY"]);
+    let data = generate_retail(&retail_cfg);
+    let targets: HashMap<i64, f64> =
+        global_target(&data.db, "profit", AggFunc::Sum).unwrap();
+    let cube_input =
+        build_cube_input(&data.db, &data.space, &data.feature_queries).unwrap();
+    let cube = cube_pass(&data.space, &cube_input);
+    let regions = data.space.all_regions();
+    let source = build_memory_source(&cube, &regions, &data.items, &targets);
+    let n_items = data.items.len();
+    let root_subset = RegionId(vec![0]); // the item space's "Any" root
+
+    let tree_cfg = TreeConfig {
+        max_depth: 1,
+        min_node_items: 10,
+        ..TreeConfig::default()
+    };
+    let cube_cfg = CubeConfig {
+        min_subset_size: 5,
+    };
+
+    for measure in [ErrorMeasure::cv10(), ErrorMeasure::TrainingSet] {
+        let problem = BellwetherConfig::builder(f64::INFINITY)
+            .min_coverage(0.0)
+            .min_examples(10)
+            .error_measure(measure)
+            .build()
+            .unwrap();
+
+        // (builder name, selected source index, error) per builder.
+        let mut selections: Vec<(&str, usize, f64)> = Vec::new();
+
+        let search =
+            basic_search(&source, &data.space, &data.cost, &problem, n_items).unwrap();
+        let best = search.bellwether().expect("basic search finds a bellwether");
+        selections.push(("basic", best.source_index, best.error.value));
+
+        let rf = build_rainforest(&source, &data.space, &data.items, None, &problem, &tree_cfg)
+            .unwrap();
+        let info = rf.root().info.as_ref().expect("RF root bellwether");
+        selections.push(("rainforest", info.region_index, info.error));
+
+        let naive_tree =
+            build_naive_tree(&source, &data.space, &data.items, None, &problem, &tree_cfg)
+                .unwrap();
+        let info = naive_tree.root().info.as_ref().expect("naive-tree root bellwether");
+        selections.push(("naive_tree", info.region_index, info.error));
+
+        let ncube = build_naive_cube(
+            &source,
+            &data.space,
+            &data.item_space,
+            &data.item_coords,
+            &problem,
+            &cube_cfg,
+        )
+        .unwrap();
+        let cell = ncube.cell(&root_subset).expect("naive cube root cell");
+        selections.push(("naive_cube", cell.region_index, cell.error.value));
+
+        let scube = build_single_scan_cube(
+            &source,
+            &data.space,
+            &data.item_space,
+            &data.item_coords,
+            &problem,
+            &cube_cfg,
+        )
+        .unwrap();
+        let cell = scube.cell(&root_subset).expect("single-scan cube root cell");
+        selections.push(("single_scan_cube", cell.region_index, cell.error.value));
+
+        if measure == ErrorMeasure::TrainingSet {
+            let ocube = build_optimized_cube(
+                &source,
+                &data.space,
+                &data.item_space,
+                &data.item_coords,
+                &problem,
+                &cube_cfg,
+            )
+            .unwrap();
+            let cell = ocube.cell(&root_subset).expect("optimized cube root cell");
+            selections.push(("optimized_cube", cell.region_index, cell.error.value));
+        }
+
+        let (_, want_idx, want_err) = selections[0];
+        for (name, idx, err) in &selections {
+            assert_eq!(
+                *idx, want_idx,
+                "{name} selected region {idx}, basic search selected {want_idx} ({measure:?})"
+            );
+            let diff = (err - want_err).abs();
+            assert!(
+                diff < 1e-8 * want_err.abs() || diff < 1e-9,
+                "{name} error {err} vs basic {want_err} ({measure:?})"
+            );
+        }
+
+        // The item-fold CV cube partitions folds by item hash instead of
+        // row shuffle — numerically a different estimate, but it must
+        // still pick the same bellwether for the all-items subset.
+        if measure != ErrorMeasure::TrainingSet {
+            let cvcube = build_optimized_cube_cv(
+                &source,
+                &data.space,
+                &data.item_space,
+                &data.item_coords,
+                &problem,
+                &cube_cfg,
+                10,
+                0xBE11,
+            )
+            .unwrap();
+            let cell = cvcube.cell(&root_subset).expect("CV cube root cell");
+            assert_eq!(
+                cell.region_index, want_idx,
+                "item-fold CV cube selected region {}, others selected {want_idx}",
+                cell.region_index
+            );
+        }
+    }
+}
