@@ -1,0 +1,102 @@
+//! Microbenchmarks for the two hot kernels this repo vectorizes by
+//! hand: sufficient-statistic accumulation (scalar row-at-a-time
+//! [`RegSuffStats::add`] versus the batched columnar
+//! [`RegSuffStats::add_rows`]) and CRC-32 (the bytewise reference
+//! versus the slice-by-8 kernel fused into block decode). Results land
+//! in `results/BENCH_kernels.json`; the CI kernel-smoke job asserts the
+//! new kernels beat their scalar baselines on the largest configs.
+
+use bellwether_bench::{results_dir, Harness};
+use bellwether_linreg::{RegSuffStats, RegressionData, SplitMix64};
+use bellwether_storage::crc32::{crc32, crc32_bytewise};
+
+/// Deterministic dataset of `n` examples with `p` features, plus the
+/// same rows materialised row-major for the scalar kernel (so the AoS
+/// path is charged for its arithmetic, not for row extraction).
+fn dataset(n: usize, p: usize) -> (RegressionData, Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = SplitMix64::new(0x5EED ^ ((n as u64) << 8) ^ p as u64);
+    let mut data = RegressionData::new(p);
+    let mut rows = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..p)
+            .map(|_| rng.next_u64() as f64 / u64::MAX as f64 * 10.0 - 5.0)
+            .collect();
+        let y = x.iter().sum::<f64>() + rng.next_u64() as f64 / u64::MAX as f64;
+        data.push(&x, y);
+        rows.push(x);
+        ys.push(y);
+    }
+    (data, rows, ys)
+}
+
+fn main() {
+    let mut h = Harness::new();
+
+    // --- Sufficient-statistic accumulation, n × p matrix.
+    for &n in &[1024usize, 16384, 131072] {
+        for &p in &[2usize, 4, 8] {
+            let (data, rows, ys) = dataset(n, p);
+            h.bench(&format!("suffstats_accumulate/n={n}/p={p}/kernel=scalar"), || {
+                let mut s = RegSuffStats::new(p);
+                for (x, &y) in rows.iter().zip(&ys) {
+                    s.add(x, y, 1.0);
+                }
+                s
+            });
+            h.bench(&format!("suffstats_accumulate/n={n}/p={p}/kernel=batched"), || {
+                let mut s = RegSuffStats::new(p);
+                s.add_rows(&data);
+                s
+            });
+            // The two kernels sum in different canonical orders; they
+            // must agree to rounding (the property suite pins this —
+            // here it guards against benching a broken kernel).
+            let mut scalar = RegSuffStats::new(p);
+            for (x, &y) in rows.iter().zip(&ys) {
+                scalar.add(x, y, 1.0);
+            }
+            let mut batched = RegSuffStats::new(p);
+            batched.add_rows(&data);
+            let (a, b) = (scalar.sse().unwrap(), batched.sse().unwrap());
+            assert!(
+                (a - b).abs() <= 1e-7 * a.abs().max(1.0),
+                "kernels diverged at n={n} p={p}: {a} vs {b}"
+            );
+        }
+    }
+
+    // --- CRC-32 over block-sized payloads.
+    for &len in &[4096usize, 65536, 1 << 20] {
+        let mut rng = SplitMix64::new(len as u64);
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert_eq!(crc32(&data), crc32_bytewise(&data));
+        h.bench(&format!("crc32/len={len}/kernel=bytewise"), || {
+            crc32_bytewise(&data)
+        });
+        h.bench(&format!("crc32/len={len}/kernel=slice8"), || crc32(&data));
+    }
+
+    // --- Headline ratios.
+    let median = |name: &str| h.result(name).map(|r| r.median_secs());
+    if let (Some(scalar), Some(batched)) = (
+        median("suffstats_accumulate/n=131072/p=8/kernel=scalar"),
+        median("suffstats_accumulate/n=131072/p=8/kernel=batched"),
+    ) {
+        println!(
+            "suffstats accumulate n=131072 p=8, scalar / batched (median): {:.2}x",
+            scalar / batched
+        );
+    }
+    if let (Some(bytewise), Some(slice8)) = (
+        median("crc32/len=1048576/kernel=bytewise"),
+        median("crc32/len=1048576/kernel=slice8"),
+    ) {
+        println!(
+            "crc32 1 MiB, bytewise / slice-by-8 (median): {:.2}x",
+            bytewise / slice8
+        );
+    }
+
+    h.emit_json(&results_dir().join("BENCH_kernels.json"));
+}

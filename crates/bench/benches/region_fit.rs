@@ -52,17 +52,17 @@ fn refit_cv_estimate(data: &RegressionData, k: usize, seed: u64) -> Option<Error
     let mut fold_rmses = Vec::with_capacity(k);
     for fold in 0..k {
         let mut train = RegressionData::with_capacity(p, n);
-        for (i, (x, y, _)) in data.iter().enumerate() {
-            if assignment[i] != fold {
-                train.push(x, y);
+        for (i, &f) in assignment.iter().enumerate() {
+            if f != fold {
+                train.push(&data.row(i), data.y(i));
             }
         }
         let Some(model) = fit_wls(&train) else { continue };
         let mut sse = 0.0;
         let mut count = 0usize;
-        for (i, (x, y, _)) in data.iter().enumerate() {
-            if assignment[i] == fold {
-                let r = y - model.predict(x);
+        for (i, &f) in assignment.iter().enumerate() {
+            if f == fold {
+                let r = data.y(i) - data.predict_at(i, model.coefficients());
                 sse += r * r;
                 count += 1;
             }
@@ -99,9 +99,7 @@ fn refit_basic_search(
             continue;
         }
         let mut data = RegressionData::with_capacity(p, block.n());
-        for (_, x, y) in block.iter() {
-            data.push(x, y);
-        }
+        data.extend_from_cols(block.cols(), &block.targets);
         let Some(e) = refit_cv_estimate(&data, folds, SEED) else {
             continue;
         };

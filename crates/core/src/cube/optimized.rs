@@ -96,13 +96,14 @@ pub fn build_optimized_cube(
         problem.scan_policy,
         || BestMap(HashMap::new()),
         |acc: &mut BestMap<(usize, f64)>, idx, block| {
-            // Base aggregation: one suffstats update per example.
+            // Base aggregation: one suffstats update per example, read
+            // straight from the block's feature lanes.
             let mut base: HashMap<RegionId, RegSuffStats> = HashMap::new();
-            for (id, x, y) in block.iter() {
-                let Some(coords) = item_coords.get(&id) else { continue };
+            for (i, id) in block.item_ids.iter().enumerate() {
+                let Some(coords) = item_coords.get(id) else { continue };
                 base.entry(RegionId(coords.clone()))
                     .or_insert_with(|| RegSuffStats::new(p))
-                    .add(x, y, 1.0);
+                    .add_from_cols(block.cols(), i, block.targets[i], 1.0);
             }
 
             // Lattice rollup: merge statistics upward (Observation 1).
@@ -205,11 +206,11 @@ pub fn build_optimized_cube_cv(
             let WithScratch { acc, scratch } = ws;
             // Base aggregation, one folded statistic per base subset.
             let mut base: HashMap<RegionId, FoldedSuffStats> = HashMap::new();
-            for (id, x, y) in block.iter() {
+            for (i, &id) in block.item_ids.iter().enumerate() {
                 let Some(coords) = item_coords.get(&id) else { continue };
                 base.entry(RegionId(coords.clone()))
                     .or_insert_with(|| FoldedSuffStats::new(p, folds))
-                    .add(x, y, 1.0, hash_fold(id, folds, seed));
+                    .add_from_cols(block.cols(), i, block.targets[i], 1.0, hash_fold(id, folds, seed));
             }
 
             // Rollup: merge folded statistics (total + per-fold).
@@ -383,15 +384,14 @@ mod tests {
         for f in 0..folds {
             let mut train = bellwether_linreg::RegressionData::new(2);
             let mut test = bellwether_linreg::RegressionData::new(2);
-            for (row, (id, x, y)) in block.iter().enumerate() {
-                let _ = row;
+            for (row, &id) in block.item_ids.iter().enumerate() {
                 if !ids.contains(&id) {
                     continue;
                 }
                 if fold_of(id) == f {
-                    test.push(x, y);
+                    test.push(&block.row(row), block.y(row));
                 } else {
-                    train.push(x, y);
+                    train.push(&block.row(row), block.y(row));
                 }
             }
             if test.n() == 0 {

@@ -28,6 +28,8 @@ pub struct RegionEvalScratch {
     pub data: RegressionData,
     /// Item ids of the gathered rows, parallel to `data`.
     pub ids: Vec<i64>,
+    /// Row-index workspace for filtered gathers.
+    rows: Vec<usize>,
     /// The algebraic error engine (owns the work counters).
     pub eval: EvalScratch,
 }
@@ -44,13 +46,15 @@ impl RegionEvalScratch {
         RegionEvalScratch {
             data: RegressionData::new(0),
             ids: Vec::new(),
+            rows: Vec::new(),
             eval: EvalScratch::new(),
         }
     }
 
     /// Gather a block's rows — all of them, or only those whose item id
-    /// is in `keep` — into the reusable dataset buffer. Allocation-free
-    /// once the buffers have seen a block of this size.
+    /// is in `keep` — into the reusable dataset buffer as lane-by-lane
+    /// columnar copies. Allocation-free once the buffers have seen a
+    /// block of this size.
     pub fn gather(&mut self, block: &RegionBlock, keep: Option<&HashSet<i64>>) {
         // The rows are about to change — a shape collision must not let
         // the engine serve the previous region's cached totals.
@@ -60,10 +64,23 @@ impl RegionEvalScratch {
         grew |= self.ids.capacity() < block.n();
         self.ids.clear();
         self.ids.reserve(block.n());
-        for (id, x, y) in block.iter() {
-            if keep.is_none_or(|k| k.contains(&id)) {
-                self.ids.push(id);
-                self.data.push(x, y);
+        match keep {
+            None => {
+                self.ids.extend_from_slice(&block.item_ids);
+                self.data.extend_from_cols(block.cols(), &block.targets);
+            }
+            Some(k) => {
+                grew |= self.rows.capacity() < block.n();
+                self.rows.clear();
+                self.rows.reserve(block.n());
+                for (i, &id) in block.item_ids.iter().enumerate() {
+                    if k.contains(&id) {
+                        self.rows.push(i);
+                        self.ids.push(id);
+                    }
+                }
+                self.data
+                    .extend_from_cols_gather(block.cols(), &block.targets, &self.rows);
             }
         }
         if grew {
@@ -99,6 +116,8 @@ impl ScanScratch for RegionEvalScratch {
 #[derive(Debug, Default)]
 pub struct PartitionScratch {
     datasets: Vec<RegressionData>,
+    /// Per-child row-index lists, the routing pass's output.
+    rowsets: Vec<Vec<usize>>,
     errs: Vec<Option<f64>>,
     /// The algebraic error engine (owns the work counters).
     pub eval: EvalScratch,
@@ -119,35 +138,53 @@ impl PartitionScratch {
         block: &RegionBlock,
         config: &BellwetherConfig,
     ) -> &[Option<f64>] {
-        self.errors_rows(spec, block.p as usize, block.iter(), config)
+        self.errors_cols(
+            spec,
+            block.p as usize,
+            block.cols(),
+            &block.item_ids,
+            &block.targets,
+            config,
+        )
     }
 
-    /// As [`PartitionScratch::errors`], over an arbitrary row stream
-    /// (the RF tree pre-gathers each node's rows once per block).
-    pub fn errors_rows<'a>(
+    /// As [`PartitionScratch::errors`], over bare feature columns (the
+    /// RF tree pre-gathers each node's rows once per block and feeds
+    /// only those lanes to its candidates). Two passes: route each row's
+    /// id to its child slot, then gather each child's rows lane by lane.
+    pub fn errors_cols(
         &mut self,
         spec: &PartitionSpec,
         p: usize,
-        rows: impl Iterator<Item = (i64, &'a [f64], f64)>,
+        cols: &[Vec<f64>],
+        ids: &[i64],
+        ys: &[f64],
         config: &BellwetherConfig,
     ) -> &[Option<f64>] {
         let k = spec.n_children();
-        let grew = self.datasets.len() < k;
+        let grew = self.datasets.len() < k || self.rowsets.len() < k;
         while self.datasets.len() < k {
             self.datasets.push(RegressionData::new(p));
         }
+        self.rowsets.resize_with(k.max(self.rowsets.len()), Vec::new);
         for d in &mut self.datasets[..k] {
             d.reset(p);
+        }
+        for r in &mut self.rowsets[..k] {
+            r.clear();
         }
         if grew {
             self.eval.stats.scratch_grows += 1;
         } else {
             self.eval.stats.scratch_reuses += 1;
         }
-        for (id, x, y) in rows {
+        for (i, &id) in ids.iter().enumerate() {
             if let Some(slot) = spec.slot_of(id) {
-                self.datasets[slot].push(x, y);
+                self.rowsets[slot].push(i);
             }
+        }
+        for (d, rows) in self.datasets[..k].iter_mut().zip(&self.rowsets[..k]) {
+            d.extend_from_cols_gather(cols, ys, rows);
         }
         self.errs.clear();
         for d in &self.datasets[..k] {
@@ -228,7 +265,7 @@ mod tests {
         assert_eq!(s.ids, (0..10).collect::<Vec<i64>>());
         let direct = crate::training::block_subset_data(&b, &keep);
         for i in 0..10 {
-            assert_eq!(s.data.x(i), direct.x(i));
+            assert_eq!(s.data.row(i), direct.row(i));
             assert_eq!(s.data.y(i), direct.y(i));
         }
     }

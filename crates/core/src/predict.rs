@@ -106,8 +106,10 @@ impl<'s> FeatureCache<'s> {
         if !self.cached.contains_key(&idx) {
             let block = self.source.read_region(idx)?;
             let map = block
+                .item_ids
                 .iter()
-                .map(|(id, x, _)| (id, x.to_vec()))
+                .enumerate()
+                .map(|(i, &id)| (id, block.row(i)))
                 .collect::<HashMap<_, _>>();
             self.cached.insert(idx, map);
         }

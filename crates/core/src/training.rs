@@ -149,23 +149,21 @@ pub fn write_disk_source_in_registry(
     Ok(())
 }
 
-/// View a block as a regression dataset (weights 1).
+/// View a block as a regression dataset (weights 1). Lane-by-lane
+/// copies of the block's feature columns — no per-row work.
 pub fn block_to_data(block: &RegionBlock) -> RegressionData {
     let mut d = RegressionData::with_capacity(block.p as usize, block.n());
-    for (_, x, y) in block.iter() {
-        d.push(x, y);
-    }
+    d.extend_from_cols(block.cols(), &block.targets);
     d
 }
 
 /// View the subset of a block whose items are in `keep` as a dataset.
 pub fn block_subset_data(block: &RegionBlock, keep: &HashSet<i64>) -> RegressionData {
     let mut d = RegressionData::new(block.p as usize);
-    for (id, x, y) in block.iter() {
-        if keep.contains(&id) {
-            d.push(x, y);
-        }
-    }
+    let rows: Vec<usize> = (0..block.n())
+        .filter(|&i| keep.contains(&block.item_ids[i]))
+        .collect();
+    d.extend_from_cols_gather(block.cols(), &block.targets, &rows);
     d
 }
 
@@ -247,13 +245,13 @@ mod tests {
         assert_eq!(b.p, 3); // intercept + rd + profit
         assert_eq!(b.n(), 2);
         assert_eq!(b.item_ids, vec![1, 2]); // sorted
-        assert_eq!(b.x(0), &[1.0, 0.5, 10.0]); // item 1: profit 4+6
-        assert_eq!(b.x(1), &[1.0, 1.5, 8.0]);
+        assert_eq!(b.row(0), &[1.0, 0.5, 10.0]); // item 1: profit 4+6
+        assert_eq!(b.row(1), &[1.0, 1.5, 8.0]);
         assert_eq!(b.y(1), 200.0);
         // [1-1, a] covers only item 1.
         let b = region_block(&c, &RegionId(vec![0, 1]), &it, &t);
         assert_eq!(b.n(), 1);
-        assert_eq!(b.x(0), &[1.0, 0.5, 4.0]);
+        assert_eq!(b.row(0), &[1.0, 0.5, 4.0]);
     }
 
     #[test]

@@ -59,29 +59,17 @@ impl PartitionSpec {
 
     /// For one region block, the error of the model built for each child
     /// subset (`None` = too few examples / unfittable). One pass over
-    /// the block routes each example to at most one child, then each
-    /// child's dataset is estimated independently.
-    pub fn errors(&self, block: &RegionBlock, config: &BellwetherConfig) -> Vec<Option<f64>> {
-        self.errors_rows(block.p as usize, block.iter(), config)
-    }
-
-    /// As [`PartitionSpec::errors`], but over an arbitrary row stream.
-    /// The RF scan pre-gathers each node's rows once per block and
-    /// feeds only those to its candidates, so deep levels don't re-route
-    /// the whole block per criterion.
+    /// the block's id lane routes each example to at most one child,
+    /// then each child's dataset is gathered lane by lane and estimated
+    /// independently.
     ///
     /// One-shot convenience over
-    /// [`crate::eval::PartitionScratch::errors_rows`]; scan hot loops
-    /// should hold a `PartitionScratch` instead so the per-child
-    /// datasets are reused across blocks.
-    pub fn errors_rows<'a>(
-        &self,
-        p: usize,
-        rows: impl Iterator<Item = (i64, &'a [f64], f64)>,
-        config: &BellwetherConfig,
-    ) -> Vec<Option<f64>> {
+    /// [`crate::eval::PartitionScratch::errors`]; scan hot loops should
+    /// hold a `PartitionScratch` instead so the per-child datasets are
+    /// reused across blocks.
+    pub fn errors(&self, block: &RegionBlock, config: &BellwetherConfig) -> Vec<Option<f64>> {
         crate::eval::PartitionScratch::new()
-            .errors_rows(self, p, rows, config)
+            .errors(self, block, config)
             .to_vec()
     }
 }

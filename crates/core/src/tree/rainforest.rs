@@ -178,13 +178,9 @@ pub fn build_rainforest(
                     }
                     let data = &region_scratch.data;
                     let ids = &region_scratch.ids;
-                    let rows = || {
-                        ids.iter()
-                            .enumerate()
-                            .map(|(i, &id)| (id, data.x(i), data.y(i)))
-                    };
                     for (c, spec) in e.specs.iter().enumerate() {
-                        let errs = part_scratch.errors_rows(spec, p, rows(), problem);
+                        let errs =
+                            part_scratch.errors_cols(spec, p, data.cols(), ids, data.ys(), problem);
                         for (p_idx, err) in errs.iter().enumerate() {
                             if let Some(err) = *err {
                                 if err < partial.min_err[c][p_idx] {

@@ -18,28 +18,40 @@
 //!
 //! # Kernel layout
 //!
-//! The hot path is allocation-lean and parallel:
+//! The hot path is allocation-lean, columnar and parallel:
 //!
 //! * Coordinates and item id encode into one dense `u64` **cell key**
 //!   (per-dimension strides over `Dimension::num_values`, times a dense
 //!   item index), so phase 1 groups by a machine word instead of a
 //!   `(Vec<u32>, i64)` tuple.
+//! * Aggregation state lives in **structure-of-arrays tables**
+//!   ([`StateTable`]): one sorted key vector plus one [`StateCol`] per
+//!   measure, each a flat lane of primitive accumulators. Cells never
+//!   own per-cell state vectors, so folding and merging are branch-lean
+//!   slice walks (the measure-kind `match` is hoisted out of the
+//!   per-cell loop) with no per-cell heap allocation.
 //! * Fact rows are cut into fixed [`ROW_CHUNK`]-row chunks. Workers fold
-//!   chunks into small sorted tables (phase 1a), then own disjoint
-//!   contiguous key ranges and merge every chunk's slice of their range
-//!   **in chunk order** (phase 1b) — into a flat dense table when the
-//!   key space is small, a hash table otherwise.
+//!   chunks into small key-sorted tables (phase 1a) — one slot-assignment
+//!   pass over the rows, then one columnar update pass per measure —
+//!   then own disjoint contiguous key ranges and merge every chunk's
+//!   slice of their range **in chunk order** (phase 1b), into a flat
+//!   dense table when the key space is small, a hash-indexed one
+//!   otherwise.
 //! * Phase 2 rolls base cells up with precomputed per-dimension ancestor
 //!   key tables; workers own disjoint region-key ranges, so no locks and
-//!   no duplicated work, and each output cell accumulates contributions
-//!   in ascending base-key order.
+//!   no duplicated work. Each region accumulates into a dense
+//!   item-indexed [`RegionTable`] (the same columnar lanes), and each
+//!   output cell accumulates contributions in ascending base-key order.
 //!
 //! Because chunk boundaries and merge order are fixed properties of the
 //! *input* — never of the worker count — the result is **bit-identical
-//! for every thread count**, floating-point and all. (The retained
-//! [`cube_pass_reference`] kernel predates this guarantee: it merges in
-//! hash-iteration order, which is stable only for exactly-representable
-//! arithmetic.)
+//! for every thread count**, floating-point and all. Merging preserves
+//! copy-first semantics: the first contribution to a slot is written,
+//! not merged into a zero-initialised accumulator, so even signed-zero
+//! corner cases match the retained row-at-a-time oracle. (The
+//! [`cube_pass_reference`] kernel predates the determinism guarantee: it
+//! merges in hash-iteration order, which is stable only for
+//! exactly-representable arithmetic.)
 //!
 //! The result maps every region to its per-item feature vectors, plus
 //! coverage counts — everything basic bellwether search needs.
@@ -60,13 +72,16 @@ use std::ops::Range;
 pub const ROW_CHUNK: usize = 4096;
 
 /// Largest combined key space for which phase-1b merging uses a flat
-/// dense table (per-worker slice of a `Vec`) instead of a hash table.
+/// dense table (per-worker slice of a `Vec`) instead of a hash index.
 const DENSE_SLOTS_MAX: u64 = 1 << 20;
 
 /// Largest item domain for which phase-2 rollup keeps one dense
 /// item-indexed table per region (memory `O(regions × items)`); above
 /// this it falls back to a `(region, item)`-keyed hash table.
 const DENSE_ITEMS_MAX: u64 = 1 << 16;
+
+/// Slot marker for rows the key function filtered out.
+const NO_SLOT: u32 = u32::MAX;
 
 /// One measure (feature column) to compute per `(region, item)`.
 #[derive(Debug, Clone)]
@@ -127,7 +142,32 @@ pub struct CubeInput {
     pub measures: Vec<Measure>,
 }
 
-/// Mergeable per-cell state of one measure.
+/// Reduce the distinct-key map of one cell in key order, so the float
+/// result does not depend on hash-map iteration (part of the
+/// determinism policy). Shared by the columnar kernel and the
+/// row-at-a-time reference states.
+fn finish_distinct(func: AggFunc, keys: &FxMap<i64, f64>) -> Option<f64> {
+    if func == AggFunc::CountDistinct {
+        return Some(keys.len() as f64);
+    }
+    if keys.is_empty() {
+        return None;
+    }
+    let mut pairs: Vec<(i64, f64)> = keys.iter().map(|(&k, &v)| (k, v)).collect();
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+    let vals = pairs.iter().map(|&(_, v)| v);
+    Some(match func {
+        AggFunc::Sum => vals.sum(),
+        AggFunc::Avg => vals.sum::<f64>() / pairs.len() as f64,
+        AggFunc::Min => vals.fold(f64::INFINITY, f64::min),
+        AggFunc::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+        AggFunc::Count | AggFunc::CountDistinct => unreachable!(),
+    })
+}
+
+/// Mergeable per-cell state of one measure: the row-at-a-time (AoS)
+/// representation, retained for [`cube_pass_reference`] and as the
+/// per-entry form of the huge-item-domain rollup fallback.
 #[derive(Debug, Clone)]
 enum CellState {
     Sum { total: f64, seen: bool },
@@ -244,29 +284,499 @@ impl CellState {
             CellState::Count(c) => Some(*c as f64),
             CellState::Avg { total, count } => (*count > 0).then(|| total / *count as f64),
             CellState::Min(v) | CellState::Max(v) => *v,
-            CellState::Distinct { func, keys } => {
-                if *func == AggFunc::CountDistinct {
-                    return Some(keys.len() as f64);
-                }
-                if keys.is_empty() {
-                    return None;
-                }
-                // Reduce in key order so the float result does not depend
-                // on hash-map iteration (part of the determinism policy).
-                let mut pairs: Vec<(i64, f64)> = keys.iter().map(|(&k, &v)| (k, v)).collect();
-                pairs.sort_unstable_by_key(|&(k, _)| k);
-                let vals = pairs.iter().map(|&(_, v)| v);
-                Some(match func {
-                    AggFunc::Sum => vals.sum(),
-                    AggFunc::Avg => vals.sum::<f64>() / pairs.len() as f64,
-                    AggFunc::Min => vals.fold(f64::INFINITY, f64::min),
-                    AggFunc::Max => vals.fold(f64::NEG_INFINITY, f64::max),
-                    AggFunc::Count | AggFunc::CountDistinct => unreachable!(),
-                })
-            }
+            CellState::Distinct { func, keys } => finish_distinct(*func, keys),
         }
     }
 }
+
+/// One measure's aggregation state over a table of cells, structure-of-
+/// arrays: flat primitive lanes indexed by cell slot. Fold, merge and
+/// finish all hoist the measure-kind `match` out of the per-cell loop.
+///
+/// Every variant distinguishes "never contributed" from its accumulator
+/// value (`seen` lanes / counts), so merging can preserve **copy-first**
+/// semantics: the first contribution to a slot assigns, later ones
+/// merge. That keeps e.g. a `-0.0` sum bit-identical to the AoS oracle,
+/// which clones the first contribution instead of adding it to `0.0`.
+/// The distinct-FK lanes hold append-only `(key, value)` pair lists
+/// instead of hash maps: updates and merges are pushes, and the
+/// map-overwrite semantics ("last insert wins per key") are recovered by
+/// a stable sort-by-key + keep-last dedup, applied at fold/merge
+/// boundaries (to bound carried size) and again at finish.
+#[derive(Debug)]
+enum StateCol {
+    Sum { totals: Vec<f64>, seen: Vec<bool> },
+    Count(Vec<u64>),
+    Avg { totals: Vec<f64>, counts: Vec<u64> },
+    Min { vals: Vec<f64>, seen: Vec<bool> },
+    Max { vals: Vec<f64>, seen: Vec<bool> },
+    Distinct { func: AggFunc, pairs: Vec<Vec<(i64, f64)>> },
+}
+
+/// Stable-sort `pairs` by key and keep the **last** occurrence of each
+/// key (= hash-map insert order semantics). The result is key-sorted.
+fn dedup_pairs(pairs: &mut Vec<(i64, f64)>) {
+    if pairs.len() < 2 {
+        return;
+    }
+    // Stable sort by key; the lists are almost always tiny (one entry
+    // per contributing cell), where a hand-rolled insertion sort beats
+    // the general sort's dispatch overhead.
+    if pairs.len() <= 32 {
+        for i in 1..pairs.len() {
+            let mut j = i;
+            while j > 0 && pairs[j - 1].0 > pairs[j].0 {
+                pairs.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+    } else {
+        pairs.sort_by_key(|&(k, _)| k); // stable: preserves arrival order per key
+    }
+    let mut w = 0;
+    let mut i = 0;
+    while i < pairs.len() {
+        let k = pairs[i].0;
+        let mut j = i;
+        while j + 1 < pairs.len() && pairs[j + 1].0 == k {
+            j += 1;
+        }
+        pairs[w] = pairs[j];
+        w += 1;
+        i = j + 1;
+    }
+    pairs.truncate(w);
+}
+
+/// Reduce one cell's deduplicated, key-sorted distinct pairs — the
+/// columnar counterpart of [`finish_distinct`], bit-identical to it.
+fn finish_distinct_pairs(func: AggFunc, sorted: &[(i64, f64)]) -> Option<f64> {
+    if func == AggFunc::CountDistinct {
+        return Some(sorted.len() as f64);
+    }
+    if sorted.is_empty() {
+        return None;
+    }
+    let vals = sorted.iter().map(|&(_, v)| v);
+    Some(match func {
+        AggFunc::Sum => vals.sum(),
+        AggFunc::Avg => vals.sum::<f64>() / sorted.len() as f64,
+        AggFunc::Min => vals.fold(f64::INFINITY, f64::min),
+        AggFunc::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+        AggFunc::Count | AggFunc::CountDistinct => unreachable!(),
+    })
+}
+
+/// `idx.map(|i| v[i])` for `Copy` lanes.
+fn gather_copy<T: Copy>(v: &[T], idx: &[u32]) -> Vec<T> {
+    idx.iter().map(|&i| v[i as usize]).collect()
+}
+
+/// `idx.map(|i| take(v[i]))` for owned lanes (indices must be distinct).
+fn gather_take<T: Default>(v: &mut [T], idx: &[u32]) -> Vec<T> {
+    idx.iter()
+        .map(|&i| std::mem::take(&mut v[i as usize]))
+        .collect()
+}
+
+impl StateCol {
+    fn new(measure: &Measure, len: usize) -> StateCol {
+        match measure {
+            Measure::Numeric { func, .. } => match func {
+                AggFunc::Sum => StateCol::Sum {
+                    totals: vec![0.0; len],
+                    seen: vec![false; len],
+                },
+                AggFunc::Count => StateCol::Count(vec![0; len]),
+                AggFunc::Avg => StateCol::Avg {
+                    totals: vec![0.0; len],
+                    counts: vec![0; len],
+                },
+                AggFunc::Min => StateCol::Min {
+                    vals: vec![0.0; len],
+                    seen: vec![false; len],
+                },
+                AggFunc::Max => StateCol::Max {
+                    vals: vec![0.0; len],
+                    seen: vec![false; len],
+                },
+                AggFunc::CountDistinct => {
+                    panic!("CountDistinct requires Measure::DistinctKeyed")
+                }
+            },
+            Measure::DistinctKeyed { func, .. } => StateCol::Distinct {
+                func: *func,
+                pairs: vec![Vec::new(); len],
+            },
+        }
+    }
+
+    /// A fresh column of the same measure kind with `len` empty slots.
+    fn new_like(&self, len: usize) -> StateCol {
+        match self {
+            StateCol::Sum { .. } => StateCol::Sum {
+                totals: vec![0.0; len],
+                seen: vec![false; len],
+            },
+            StateCol::Count(_) => StateCol::Count(vec![0; len]),
+            StateCol::Avg { .. } => StateCol::Avg {
+                totals: vec![0.0; len],
+                counts: vec![0; len],
+            },
+            StateCol::Min { .. } => StateCol::Min {
+                vals: vec![0.0; len],
+                seen: vec![false; len],
+            },
+            StateCol::Max { .. } => StateCol::Max {
+                vals: vec![0.0; len],
+                seen: vec![false; len],
+            },
+            StateCol::Distinct { func, .. } => StateCol::Distinct {
+                func: *func,
+                pairs: vec![Vec::new(); len],
+            },
+        }
+    }
+
+    /// Grow to `len` slots (new slots empty).
+    fn resize_default(&mut self, len: usize) {
+        match self {
+            StateCol::Sum { totals, seen }
+            | StateCol::Min { vals: totals, seen }
+            | StateCol::Max { vals: totals, seen } => {
+                totals.resize(len, 0.0);
+                seen.resize(len, false);
+            }
+            StateCol::Count(c) => c.resize(len, 0),
+            StateCol::Avg { totals, counts } => {
+                totals.resize(len, 0.0);
+                counts.resize(len, 0);
+            }
+            StateCol::Distinct { pairs, .. } => pairs.resize_with(len, Vec::new),
+        }
+    }
+
+    /// Fold the rows of one chunk into this column: `slots[row - rows.start]`
+    /// is the row's cell slot ([`NO_SLOT`] = filtered out). One `match`,
+    /// then a single pass over the chunk's rows in row order.
+    fn update_rows(&mut self, measure: &Measure, rows: Range<usize>, slots: &[u32]) {
+        match (self, measure) {
+            (StateCol::Sum { totals, seen }, Measure::Numeric { values, .. }) => {
+                for (row, &slot) in rows.zip(slots) {
+                    if slot == NO_SLOT {
+                        continue;
+                    }
+                    if let Some(v) = values[row] {
+                        totals[slot as usize] += v;
+                        seen[slot as usize] = true;
+                    }
+                }
+            }
+            (StateCol::Count(counts), Measure::Numeric { values, .. }) => {
+                for (row, &slot) in rows.zip(slots) {
+                    if slot != NO_SLOT && values[row].is_some() {
+                        counts[slot as usize] += 1;
+                    }
+                }
+            }
+            (StateCol::Avg { totals, counts }, Measure::Numeric { values, .. }) => {
+                for (row, &slot) in rows.zip(slots) {
+                    if slot == NO_SLOT {
+                        continue;
+                    }
+                    if let Some(v) = values[row] {
+                        totals[slot as usize] += v;
+                        counts[slot as usize] += 1;
+                    }
+                }
+            }
+            (StateCol::Min { vals, seen }, Measure::Numeric { values, .. }) => {
+                for (row, &slot) in rows.zip(slots) {
+                    if slot == NO_SLOT {
+                        continue;
+                    }
+                    if let Some(v) = values[row] {
+                        let s = slot as usize;
+                        vals[s] = if seen[s] { vals[s].min(v) } else { v };
+                        seen[s] = true;
+                    }
+                }
+            }
+            (StateCol::Max { vals, seen }, Measure::Numeric { values, .. }) => {
+                for (row, &slot) in rows.zip(slots) {
+                    if slot == NO_SLOT {
+                        continue;
+                    }
+                    if let Some(v) = values[row] {
+                        let s = slot as usize;
+                        vals[s] = if seen[s] { vals[s].max(v) } else { v };
+                        seen[s] = true;
+                    }
+                }
+            }
+            (
+                StateCol::Distinct { pairs, .. },
+                Measure::DistinctKeyed { keys: ks, values, .. },
+            ) => {
+                for (row, &slot) in rows.zip(slots) {
+                    if slot == NO_SLOT {
+                        continue;
+                    }
+                    if let Some(k) = ks[row] {
+                        pairs[slot as usize].push((k, values[row]));
+                    }
+                }
+            }
+            _ => unreachable!("state/measure kind mismatch"),
+        }
+    }
+
+    /// Merge entries `range` of `src` into this column: entry `i` lands
+    /// in destination slot `dsts[i - range.start]`, with
+    /// `was[i - range.start]` saying whether that slot was occupied
+    /// before this source table's contribution (false ⇒ copy, true ⇒
+    /// merge). One `match`, then lock-step slice walks — the source
+    /// lanes, `dsts` and `was` are iterated zipped so the only indexed
+    /// (bounds-checked) accesses left are the destination-lane scatters.
+    fn merge_from(&mut self, src: &StateCol, range: Range<usize>, dsts: &[u32], was: &[bool]) {
+        debug_assert_eq!(dsts.len(), range.len());
+        debug_assert_eq!(was.len(), range.len());
+        match (self, src) {
+            (StateCol::Sum { totals, seen }, StateCol::Sum { totals: st, seen: ss }) => {
+                let lanes = st[range.clone()].iter().zip(&ss[range]);
+                for ((&v, &b), (&d, &w)) in lanes.zip(dsts.iter().zip(was)) {
+                    let d = d as usize;
+                    if w {
+                        totals[d] += v;
+                        seen[d] |= b;
+                    } else {
+                        totals[d] = v;
+                        seen[d] = b;
+                    }
+                }
+            }
+            (StateCol::Count(counts), StateCol::Count(sc)) => {
+                for (&c, (&d, &w)) in sc[range].iter().zip(dsts.iter().zip(was)) {
+                    let d = d as usize;
+                    if w {
+                        counts[d] += c;
+                    } else {
+                        counts[d] = c;
+                    }
+                }
+            }
+            (
+                StateCol::Avg { totals, counts },
+                StateCol::Avg {
+                    totals: st,
+                    counts: sc,
+                },
+            ) => {
+                let lanes = st[range.clone()].iter().zip(&sc[range]);
+                for ((&v, &c), (&d, &w)) in lanes.zip(dsts.iter().zip(was)) {
+                    let d = d as usize;
+                    if w {
+                        totals[d] += v;
+                        counts[d] += c;
+                    } else {
+                        totals[d] = v;
+                        counts[d] = c;
+                    }
+                }
+            }
+            (StateCol::Min { vals, seen }, StateCol::Min { vals: sv, seen: ss }) => {
+                let lanes = sv[range.clone()].iter().zip(&ss[range]);
+                for ((&v, &b), (&d, &w)) in lanes.zip(dsts.iter().zip(was)) {
+                    let d = d as usize;
+                    if !w {
+                        vals[d] = v;
+                        seen[d] = b;
+                    } else if b {
+                        vals[d] = if seen[d] { vals[d].min(v) } else { v };
+                        seen[d] = true;
+                    }
+                }
+            }
+            (StateCol::Max { vals, seen }, StateCol::Max { vals: sv, seen: ss }) => {
+                let lanes = sv[range.clone()].iter().zip(&ss[range]);
+                for ((&v, &b), (&d, &w)) in lanes.zip(dsts.iter().zip(was)) {
+                    let d = d as usize;
+                    if !w {
+                        vals[d] = v;
+                        seen[d] = b;
+                    } else if b {
+                        vals[d] = if seen[d] { vals[d].max(v) } else { v };
+                        seen[d] = true;
+                    }
+                }
+            }
+            (StateCol::Distinct { pairs, .. }, StateCol::Distinct { pairs: sp, .. }) => {
+                for (sl, (&d, &w)) in sp[range].iter().zip(dsts.iter().zip(was)) {
+                    let d = d as usize;
+                    if !w {
+                        pairs[d].clear();
+                        // A slot typically accumulates one pair per
+                        // contributing cell; skipping the doubling
+                        // ladder saves most of the reallocations.
+                        if pairs[d].capacity() < 8 {
+                            pairs[d].reserve(8);
+                        }
+                    }
+                    pairs[d].extend_from_slice(sl);
+                }
+            }
+            _ => unreachable!("merging mismatched state columns"),
+        }
+    }
+
+    /// Reorder into `idx` order (indices distinct), consuming the lanes.
+    fn gather(&mut self, idx: &[u32]) -> StateCol {
+        match self {
+            StateCol::Sum { totals, seen } => StateCol::Sum {
+                totals: gather_copy(totals, idx),
+                seen: gather_copy(seen, idx),
+            },
+            StateCol::Count(c) => StateCol::Count(gather_copy(c, idx)),
+            StateCol::Avg { totals, counts } => StateCol::Avg {
+                totals: gather_copy(totals, idx),
+                counts: gather_copy(counts, idx),
+            },
+            StateCol::Min { vals, seen } => StateCol::Min {
+                vals: gather_copy(vals, idx),
+                seen: gather_copy(seen, idx),
+            },
+            StateCol::Max { vals, seen } => StateCol::Max {
+                vals: gather_copy(vals, idx),
+                seen: gather_copy(seen, idx),
+            },
+            StateCol::Distinct { func, pairs } => StateCol::Distinct {
+                func: *func,
+                pairs: gather_take(pairs, idx),
+            },
+        }
+    }
+
+    /// Restore the per-slot "last insert wins, unique keys, key-sorted"
+    /// invariant on distinct lanes after a round of appends; no-op for
+    /// the numeric kinds. Must run before [`StateCol::finish_at`].
+    fn dedup_distinct(&mut self) {
+        if let StateCol::Distinct { pairs, .. } = self {
+            for list in pairs {
+                dedup_pairs(list);
+            }
+        }
+    }
+
+    /// Finalize slot `i` into the output value (`None` = SQL NULL).
+    /// Distinct lanes must have been deduplicated (see
+    /// [`StateCol::dedup_distinct`]).
+    fn finish_at(&self, i: usize) -> Option<f64> {
+        match self {
+            StateCol::Sum { totals, seen } => seen[i].then_some(totals[i]),
+            StateCol::Count(c) => Some(c[i] as f64),
+            StateCol::Avg { totals, counts } => {
+                (counts[i] > 0).then(|| totals[i] / counts[i] as f64)
+            }
+            StateCol::Min { vals, seen } | StateCol::Max { vals, seen } => {
+                seen[i].then_some(vals[i])
+            }
+            StateCol::Distinct { func, pairs } => finish_distinct_pairs(*func, &pairs[i]),
+        }
+    }
+
+    /// Slot `i` as a standalone AoS state (huge-item-domain fallback).
+    fn state_at(&self, i: usize) -> CellState {
+        match self {
+            StateCol::Sum { totals, seen } => CellState::Sum {
+                total: totals[i],
+                seen: seen[i],
+            },
+            StateCol::Count(c) => CellState::Count(c[i]),
+            StateCol::Avg { totals, counts } => CellState::Avg {
+                total: totals[i],
+                count: counts[i],
+            },
+            StateCol::Min { vals, seen } => CellState::Min(seen[i].then_some(vals[i])),
+            StateCol::Max { vals, seen } => CellState::Max(seen[i].then_some(vals[i])),
+            StateCol::Distinct { func, pairs } => {
+                let mut keys = FxMap::default();
+                for &(k, v) in &pairs[i] {
+                    keys.insert(k, v);
+                }
+                CellState::Distinct { func: *func, keys }
+            }
+        }
+    }
+
+    /// Merge slot `i` into an AoS state (huge-item-domain fallback).
+    fn merge_into_state(&self, i: usize, dst: &mut CellState) {
+        match (dst, self) {
+            (CellState::Sum { total, seen }, StateCol::Sum { totals, seen: ss }) => {
+                *total += totals[i];
+                *seen |= ss[i];
+            }
+            (CellState::Count(c), StateCol::Count(sc)) => *c += sc[i],
+            (CellState::Avg { total, count }, StateCol::Avg { totals, counts }) => {
+                *total += totals[i];
+                *count += counts[i];
+            }
+            (CellState::Min(best), StateCol::Min { vals, seen }) => {
+                if seen[i] {
+                    *best = Some(best.map_or(vals[i], |a| a.min(vals[i])));
+                }
+            }
+            (CellState::Max(best), StateCol::Max { vals, seen }) => {
+                if seen[i] {
+                    *best = Some(best.map_or(vals[i], |a| a.max(vals[i])));
+                }
+            }
+            (CellState::Distinct { keys, .. }, StateCol::Distinct { pairs: sp, .. }) => {
+                for &(k, v) in &sp[i] {
+                    keys.insert(k, v);
+                }
+            }
+            _ => unreachable!("merging mismatched states"),
+        }
+    }
+}
+
+/// A key-sorted table of cells in structure-of-arrays layout: `keys[i]`
+/// is cell `i`'s dense key, `cols[m]` holds measure `m`'s accumulator
+/// lanes for every cell.
+#[derive(Debug)]
+struct StateTable {
+    keys: Vec<u64>,
+    cols: Vec<StateCol>,
+}
+
+impl StateTable {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Index range of the keys in `[lo, hi)` (keys must be sorted).
+    fn range_of(&self, lo: u64, hi: u64) -> Range<usize> {
+        let a = self.keys.partition_point(|&k| k < lo);
+        let b = self.keys.partition_point(|&k| k < hi);
+        a..b
+    }
+
+    /// Sort by key via one permutation applied to every lane.
+    fn sort_by_key(&mut self) {
+        if self.keys.is_sorted() {
+            return;
+        }
+        let mut perm: Vec<u32> = (0..self.keys.len() as u32).collect();
+        perm.sort_unstable_by_key(|&i| self.keys[i as usize]);
+        self.keys = gather_copy(&self.keys, &perm);
+        for col in &mut self.cols {
+            *col = col.gather(&perm);
+        }
+    }
+}
+
+/// Per-item feature vectors of one region.
+type ItemFeatures = HashMap<i64, Vec<Option<f64>>>;
 
 /// Per-region, per-item aggregate vectors produced by [`cube_pass`].
 #[derive(Debug, Clone)]
@@ -375,12 +885,6 @@ impl KeySpace {
     }
 }
 
-/// Base cells of one row chunk, sorted by key.
-type ChunkTable = Vec<(u64, Vec<CellState>)>;
-
-/// Per-item feature vectors of one region.
-type ItemFeatures = HashMap<i64, Vec<Option<f64>>>;
-
 fn chunk_range(chunk: usize, n: usize) -> Range<usize> {
     chunk * ROW_CHUNK..((chunk + 1) * ROW_CHUNK).min(n)
 }
@@ -390,35 +894,51 @@ fn split_point(space: u64, w: usize, t: usize) -> u64 {
     ((space as u128 * w as u128) / t as u128) as u64
 }
 
-/// Phase 1a for one chunk: fold its rows into a key-sorted table.
-fn fold_chunk<K>(input: &CubeInput, arity: usize, rows: Range<usize>, key_of: &K) -> ChunkTable
+/// Phase 1a for one chunk: fold its rows into a key-sorted table. Pass
+/// one walks the rows assigning cell slots (first-seen order); pass two
+/// updates each measure column over the whole chunk with the measure
+/// kind matched once. Per (cell, measure) the update sequence is
+/// row-ascending either way, so every accumulated scalar is bit-equal
+/// to a row-at-a-time fold.
+fn fold_chunk<K>(input: &CubeInput, arity: usize, rows: Range<usize>, key_of: &K) -> StateTable
 where
     K: Fn(usize, &[u32]) -> Option<u64>,
 {
     let mut index: FxMap<u64, u32> = FxMap::default();
-    let mut table: ChunkTable = Vec::new();
-    for row in rows {
+    let mut keys: Vec<u64> = Vec::new();
+    let mut slots: Vec<u32> = Vec::with_capacity(rows.len());
+    for row in rows.clone() {
         let coords = &input.coords[row * arity..(row + 1) * arity];
-        let Some(key) = key_of(row, coords) else {
-            continue;
+        let slot = match key_of(row, coords) {
+            Some(key) => *index.entry(key).or_insert_with(|| {
+                keys.push(key);
+                (keys.len() - 1) as u32
+            }),
+            None => NO_SLOT,
         };
-        let slot = *index.entry(key).or_insert_with(|| {
-            table.push((key, input.measures.iter().map(CellState::new).collect()));
-            (table.len() - 1) as u32
-        });
-        let (_, states) = &mut table[slot as usize];
-        for (state, measure) in states.iter_mut().zip(&input.measures) {
-            state.update(measure, row);
-        }
+        slots.push(slot);
     }
-    table.sort_unstable_by_key(|&(k, _)| k);
+    let cols = input
+        .measures
+        .iter()
+        .map(|m| {
+            let mut col = StateCol::new(m, keys.len());
+            col.update_rows(m, rows.clone(), &slots);
+            col
+        })
+        .collect();
+    let mut table = StateTable { keys, cols };
+    for col in &mut table.cols {
+        col.dedup_distinct();
+    }
+    table.sort_by_key();
     table
 }
 
 /// Phase 1a: fold all rows chunk by chunk, sharding chunks over
 /// `threads` workers. The returned tables are in chunk order — the
 /// partition of chunks onto workers never shows in the output.
-fn scan_chunks<K>(input: &CubeInput, arity: usize, threads: usize, key_of: &K) -> Vec<ChunkTable>
+fn scan_chunks<K>(input: &CubeInput, arity: usize, threads: usize, key_of: &K) -> Vec<StateTable>
 where
     K: Fn(usize, &[u32]) -> Option<u64> + Sync,
 {
@@ -449,58 +969,99 @@ where
 }
 
 /// Phase 1b for one key range: merge every chunk's slice of `[lo, hi)`
-/// in chunk order. Returns the range's base cells sorted by key.
+/// in chunk order, column by column. Per source table the occupancy
+/// pre-state of every touched slot is captured first, so each column
+/// merge knows copy vs merge without re-deriving it. Returns the
+/// range's base cells sorted by key.
 fn merge_range(
-    tables: &[ChunkTable],
+    tables: &[StateTable],
     lo: u64,
     hi: u64,
     dense: bool,
     merges: &mut u64,
-) -> Vec<(u64, Vec<CellState>)> {
+) -> StateTable {
+    let mut was: Vec<bool> = Vec::new();
+    let mut dsts: Vec<u32> = Vec::new();
     if dense {
-        let mut slots: Vec<Option<Vec<CellState>>> = vec![None; (hi - lo) as usize];
+        let n_slots = (hi - lo) as usize;
+        let mut occupied = vec![false; n_slots];
+        let mut cols: Vec<StateCol> = tables
+            .first()
+            .map(|t| t.cols.iter().map(|c| c.new_like(n_slots)).collect())
+            .unwrap_or_default();
         for t in tables {
-            let a = t.partition_point(|&(k, _)| k < lo);
-            let b = t.partition_point(|&(k, _)| k < hi);
-            for (k, states) in &t[a..b] {
-                match &mut slots[(k - lo) as usize] {
-                    Some(existing) => {
-                        for (x, y) in existing.iter_mut().zip(states) {
-                            x.merge(y);
-                        }
-                        *merges += 1;
-                    }
-                    slot @ None => *slot = Some(states.clone()),
-                }
+            let r = t.range_of(lo, hi);
+            if r.is_empty() {
+                continue;
+            }
+            was.clear();
+            dsts.clear();
+            for &k in &t.keys[r.clone()] {
+                let s = (k - lo) as usize;
+                *merges += occupied[s] as u64;
+                was.push(occupied[s]);
+                dsts.push(s as u32);
+                occupied[s] = true;
+            }
+            for (dst, src) in cols.iter_mut().zip(&t.cols) {
+                dst.merge_from(src, r.clone(), &dsts, &was);
             }
         }
-        slots
-            .into_iter()
+        let idx: Vec<u32> = occupied
+            .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.map(|st| (lo + i as u64, st)))
-            .collect()
+            .filter_map(|(i, &o)| o.then_some(i as u32))
+            .collect();
+        let keys: Vec<u64> = idx.iter().map(|&i| lo + i as u64).collect();
+        for col in &mut cols {
+            *col = col.gather(&idx);
+            col.dedup_distinct();
+        }
+        StateTable { keys, cols }
     } else {
-        let mut map: FxMap<u64, Vec<CellState>> = FxMap::default();
+        let mut index: FxMap<u64, u32> = FxMap::default();
+        let mut keys: Vec<u64> = Vec::new();
+        let mut cols: Vec<StateCol> = tables
+            .first()
+            .map(|t| t.cols.iter().map(|c| c.new_like(0)).collect())
+            .unwrap_or_default();
+        let mut slots: Vec<u32> = Vec::new();
         for t in tables {
-            let a = t.partition_point(|&(k, _)| k < lo);
-            let b = t.partition_point(|&(k, _)| k < hi);
-            for (k, states) in &t[a..b] {
-                match map.entry(*k) {
-                    Entry::Occupied(mut e) => {
-                        for (x, y) in e.get_mut().iter_mut().zip(states) {
-                            x.merge(y);
-                        }
-                        *merges += 1;
+            let r = t.range_of(lo, hi);
+            if r.is_empty() {
+                continue;
+            }
+            slots.clear();
+            was.clear();
+            for &k in &t.keys[r.clone()] {
+                match index.entry(k) {
+                    Entry::Occupied(e) => {
+                        slots.push(*e.get());
+                        was.push(true);
                     }
                     Entry::Vacant(e) => {
-                        e.insert(states.clone());
+                        let s = keys.len() as u32;
+                        keys.push(k);
+                        e.insert(s);
+                        slots.push(s);
+                        was.push(false);
                     }
                 }
             }
+            *merges += was.iter().filter(|&&w| w).count() as u64; // sparse path: cold
+            for col in &mut cols {
+                col.resize_default(keys.len());
+            }
+            for (dst, src) in cols.iter_mut().zip(&t.cols) {
+                dst.merge_from(src, r.clone(), &slots, &was);
+            }
         }
-        let mut out: Vec<_> = map.into_iter().collect();
-        out.sort_unstable_by_key(|&(k, _)| k);
-        out
+        let mut table = StateTable { keys, cols };
+        for col in &mut table.cols {
+            col.dedup_distinct();
+        }
+        table.sort_by_key();
+        table
     }
 }
 
@@ -508,10 +1069,10 @@ fn merge_range(
 /// key ranges. Concatenating the shards in order yields all base cells
 /// sorted by key — for every worker count.
 fn merge_chunks(
-    tables: &[ChunkTable],
+    tables: &[StateTable],
     key_space: u64,
     threads: usize,
-) -> (Vec<ChunkTable>, u64) {
+) -> (Vec<StateTable>, u64) {
     let dense = key_space <= DENSE_SLOTS_MAX;
     if threads <= 1 {
         let mut merges = 0;
@@ -585,29 +1146,60 @@ fn expansion_keys(
     }
 }
 
-/// Merge one cell's run of `(item index, states)` contributions into
-/// the dense per-region item tables of every key in `expansion`. Runs
-/// arrive in ascending cell-key order, so each `(region, item)` output
-/// accumulates its contributions in the same order for any sharding.
+/// One region's dense item-indexed aggregation state: `occupied[i]` says
+/// whether item slot `i` has data; `cols[m]` holds measure `m`'s lanes
+/// over all item slots.
+struct RegionTable {
+    occupied: Vec<bool>,
+    cols: Vec<StateCol>,
+}
+
+/// Reusable per-run scratch for [`flush_run`].
+#[derive(Default)]
+struct RunScratch {
+    /// Dense item slot of each run entry — one `% n_items` per entry,
+    /// computed once and shared across every region key and column.
+    items: Vec<u32>,
+    /// Occupancy pre-state per entry for the current region table.
+    was: Vec<bool>,
+}
+
+/// Merge one cell's run of shard entries (`run`, a contiguous index
+/// range of `shard` sharing a cell key) into the region tables of every
+/// key in `expansion`. Runs arrive in ascending cell-key order, so each
+/// `(region, item)` output accumulates its contributions in the same
+/// order for any sharding — a run split at a shard boundary flushes as
+/// two segments, which preserves that per-output order.
 fn flush_run(
     expansion: &[u64],
-    run: &[(usize, &[CellState])],
-    n_items: usize,
-    out: &mut FxMap<u64, Vec<Option<Vec<CellState>>>>,
+    shard: &StateTable,
+    run: Range<usize>,
+    n_items: u64,
+    out: &mut FxMap<u64, RegionTable>,
+    scratch: &mut RunScratch,
     merges: &mut u64,
 ) {
+    let RunScratch { items, was } = scratch;
+    items.clear();
+    items.extend(shard.keys[run.clone()].iter().map(|&k| (k % n_items) as u32));
     for &rk in expansion {
-        let table = out.entry(rk).or_insert_with(|| vec![None; n_items]);
-        for &(item, states) in run {
-            match &mut table[item] {
-                Some(existing) => {
-                    for (a, b) in existing.iter_mut().zip(states) {
-                        a.merge(b);
-                    }
-                    *merges += 1;
-                }
-                slot @ None => *slot = Some(states.to_vec()),
-            }
+        let table = out.entry(rk).or_insert_with(|| RegionTable {
+            occupied: vec![false; n_items as usize],
+            cols: shard
+                .cols
+                .iter()
+                .map(|c| c.new_like(n_items as usize))
+                .collect(),
+        });
+        was.clear();
+        for &it in items.iter() {
+            let w = table.occupied[it as usize];
+            *merges += w as u64;
+            was.push(w);
+            table.occupied[it as usize] = true;
+        }
+        for (dst, src) in table.cols.iter_mut().zip(&shard.cols) {
+            dst.merge_from(src, run.clone(), items, was);
         }
     }
 }
@@ -619,7 +1211,7 @@ fn flush_run(
 fn expand_rollup(
     space: &RegionSpace,
     ks: &KeySpace,
-    shards: &[ChunkTable],
+    shards: &[StateTable],
     threads: usize,
 ) -> (HashMap<RegionId, ItemFeatures>, u64) {
     // Per-dimension ancestor tables: anc_keys[d][v] lists the key
@@ -644,40 +1236,55 @@ fn expand_rollup(
     let worker = |lo: u64, hi: u64| -> (Vec<(RegionId, ItemFeatures)>, u64) {
         // Base cells with the same coordinates are adjacent in key
         // order, so the expansion list is memoised per distinct cell
-        // and the cell's items are batched into one run, hashing each
-        // region key once per run instead of once per (region, item).
+        // and the cell's items are batched into one columnar run,
+        // hashing each region key once per run instead of once per
+        // (region, item).
         if ks.n_items <= DENSE_ITEMS_MAX {
-            let n_items = ks.n_items as usize;
-            let mut out: FxMap<u64, Vec<Option<Vec<CellState>>>> = FxMap::default();
+            let mut out: FxMap<u64, RegionTable> = FxMap::default();
             let mut merges = 0u64;
             let mut cur_cell = u64::MAX;
-            let mut run: Vec<(usize, &[CellState])> = Vec::new();
             let mut expansion: Vec<u64> = Vec::new();
+            let mut scratch = RunScratch::default();
             for shard in shards {
-                for (key, states) in shard {
-                    let cell_key = key / ks.n_items;
+                let mut i = 0;
+                while i < shard.len() {
+                    let cell_key = shard.keys[i] / ks.n_items;
+                    let mut j = i + 1;
+                    while j < shard.len() && shard.keys[j] / ks.n_items == cell_key {
+                        j += 1;
+                    }
                     if cell_key != cur_cell {
-                        flush_run(&expansion, &run, n_items, &mut out, &mut merges);
-                        run.clear();
                         cur_cell = cell_key;
                         expansion_keys(cell_key, ks, &anc_keys, lo, hi, &mut expansion);
                     }
-                    run.push(((key % ks.n_items) as usize, states.as_slice()));
+                    flush_run(
+                        &expansion,
+                        shard,
+                        i..j,
+                        ks.n_items,
+                        &mut out,
+                        &mut scratch,
+                        &mut merges,
+                    );
+                    i = j;
                 }
             }
-            flush_run(&expansion, &run, n_items, &mut out, &mut merges);
             let finished = out
                 .into_iter()
-                .map(|(rk, table)| {
-                    let items: ItemFeatures = table
-                        .into_iter()
-                        .enumerate()
-                        .filter_map(|(i, slot)| {
-                            slot.map(|states| {
-                                (ks.items[i], states.iter().map(CellState::finish).collect())
-                            })
-                        })
-                        .collect();
+                .map(|(rk, mut table)| {
+                    for col in &mut table.cols {
+                        col.dedup_distinct();
+                    }
+                    let n_occ = table.occupied.iter().filter(|&&o| o).count();
+                    let mut items: ItemFeatures = HashMap::with_capacity(n_occ);
+                    for (i, &occ) in table.occupied.iter().enumerate() {
+                        if occ {
+                            items.insert(
+                                ks.items[i],
+                                table.cols.iter().map(|c| c.finish_at(i)).collect(),
+                            );
+                        }
+                    }
                     (RegionId(ks.decode_region(rk)), items)
                 })
                 .collect();
@@ -685,13 +1292,14 @@ fn expand_rollup(
         }
 
         // Huge item domains: dense per-region item tables would cost
-        // O(regions × items) memory, so key the map by (region, item).
+        // O(regions × items) memory, so key the map by (region, item)
+        // and keep per-entry AoS states.
         let mut out: FxMap<u64, Vec<CellState>> = FxMap::default();
         let mut merges = 0u64;
         let mut cur_cell = u64::MAX;
         let mut expansion: Vec<u64> = Vec::new();
         for shard in shards {
-            for (key, states) in shard {
+            for (i, &key) in shard.keys.iter().enumerate() {
                 let cell_key = key / ks.n_items;
                 let item_part = key % ks.n_items;
                 if cell_key != cur_cell {
@@ -701,13 +1309,13 @@ fn expand_rollup(
                 for &rk in &expansion {
                     match out.entry(rk * ks.n_items + item_part) {
                         Entry::Occupied(mut e) => {
-                            for (a, b) in e.get_mut().iter_mut().zip(states) {
-                                a.merge(b);
+                            for (state, col) in e.get_mut().iter_mut().zip(&shard.cols) {
+                                col.merge_into_state(i, state);
                             }
                             merges += 1;
                         }
                         Entry::Vacant(e) => {
-                            e.insert(states.clone());
+                            e.insert(shard.cols.iter().map(|c| c.state_at(i)).collect());
                         }
                     }
                 }
@@ -988,16 +1596,16 @@ pub fn aggregate_filtered_traced(
     rec.add(names::CUBE_PASS_ROWS_SCANNED, n as u64);
     rec.add(names::CUBE_PASS_BASE_CELLS, base_cells);
     rec.add(names::CUBE_PASS_CELL_MERGES, merges);
-    shards
-        .into_iter()
-        .flatten()
-        .map(|(k, states)| {
-            (
+    let mut out = HashMap::new();
+    for t in &shards {
+        for (i, &k) in t.keys.iter().enumerate() {
+            out.insert(
                 items[k as usize],
-                states.iter().map(CellState::finish).collect(),
-            )
-        })
-        .collect()
+                t.cols.iter().map(|c| c.finish_at(i)).collect(),
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1225,6 +1833,75 @@ mod tests {
         let fast = cube_pass(&s, &inp);
         let reference = cube_pass_reference(&s, &inp);
         assert_results_identical(&fast, &reference);
+    }
+
+    #[test]
+    fn sparse_key_space_matches_reference() {
+        // Two interval dimensions whose combined key space exceeds
+        // DENSE_SLOTS_MAX force the hash-indexed phase-1b merge path.
+        // Coordinates sit near the top of each interval so every cell
+        // expands into only a few regions.
+        let max_t = 1200u32; // 1200 × 1200 × 2 items > 2^20 keys
+        let s = RegionSpace::new(vec![
+            Dimension::Interval {
+                name: "T1".into(),
+                max_t,
+            },
+            Dimension::Interval {
+                name: "T2".into(),
+                max_t,
+            },
+        ]);
+        let (a, b) = (max_t - 2, max_t - 1);
+        let inp = CubeInput {
+            item_ids: vec![1, 2, 1, 1],
+            coords: vec![a, b, a, a, b, b, a, b],
+            measures: vec![
+                Measure::Numeric {
+                    name: "s".into(),
+                    func: AggFunc::Sum,
+                    // Exactly representable sums in any order, so the
+                    // reference comparison is bitwise.
+                    values: vec![Some(0.5), Some(2.0), Some(4.0), Some(0.25)],
+                },
+                Measure::Numeric {
+                    name: "m".into(),
+                    func: AggFunc::Min,
+                    values: vec![Some(3.0), None, Some(1.0), Some(5.0)],
+                },
+            ],
+        };
+        let reference = cube_pass_reference(&s, &inp);
+        for t in 1..=4 {
+            let fast = cube_pass_with(&s, &inp, Parallelism::fixed(t), None);
+            assert_results_identical(&fast, &reference);
+        }
+    }
+
+    #[test]
+    fn huge_item_domain_matches_reference() {
+        // More distinct items than DENSE_ITEMS_MAX forces the
+        // (region, item)-keyed rollup fallback. One fact row per item,
+        // so every aggregate is exact and the reference is bitwise.
+        let n = (DENSE_ITEMS_MAX + 2) as usize;
+        let s = RegionSpace::new(vec![Dimension::Interval {
+            name: "Time".into(),
+            max_t: 2,
+        }]);
+        let inp = CubeInput {
+            item_ids: (0..n as i64).collect(),
+            coords: (0..n).map(|i| (i % 2) as u32).collect(),
+            measures: vec![Measure::Numeric {
+                name: "s".into(),
+                func: AggFunc::Sum,
+                values: (0..n).map(|i| Some(i as f64 * 0.5)).collect(),
+            }],
+        };
+        let reference = cube_pass_reference(&s, &inp);
+        for t in [1usize, 3] {
+            let fast = cube_pass_with(&s, &inp, Parallelism::fixed(t), None);
+            assert_results_identical(&fast, &reference);
+        }
     }
 
     #[test]

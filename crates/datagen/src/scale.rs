@@ -304,9 +304,7 @@ mod tests {
             .map(|r| {
                 let b = w.region_block(r);
                 let mut d = RegressionData::new(4);
-                for (_, x, y) in b.iter() {
-                    d.push(x, y);
-                }
+                d.extend_from_cols(b.cols(), &b.targets);
                 training_set_estimate(&d).unwrap().value
             })
             .collect();

@@ -78,8 +78,8 @@ pub fn cross_validate(data: &RegressionData, k: usize, seed: u64) -> Option<CvRe
     // a sum of per-example terms.
     let full = RegSuffStats::from_dataset(data);
     let mut fold_stats: Vec<RegSuffStats> = (0..k).map(|_| RegSuffStats::new(data.p())).collect();
-    for (i, (x, y, w)) in data.iter().enumerate() {
-        fold_stats[assignment[i]].add(x, y, w);
+    for (i, &f) in assignment.iter().enumerate() {
+        fold_stats[f].add_from_cols(data.cols(), i, data.y(i), data.w(i));
     }
 
     let mut fold_rmses = Vec::with_capacity(k);
@@ -89,11 +89,12 @@ pub fn cross_validate(data: &RegressionData, k: usize, seed: u64) -> Option<CvRe
         train.subtract(&fold_stats[fold]);
         let Some(model) = train.fit() else { continue };
         // Evaluate on the held-out fold.
+        let beta = model.coefficients();
         let mut sse = 0.0;
         let mut count = 0usize;
-        for (i, (x, y, _)) in data.iter().enumerate() {
-            if assignment[i] == fold {
-                let r = y - model.predict(x);
+        for (i, &f) in assignment.iter().enumerate() {
+            if f == fold {
+                let r = data.y(i) - data.predict_at(i, beta);
                 sse += r * r;
                 count += 1;
             }
@@ -123,10 +124,9 @@ pub fn training_set_estimate(data: &RegressionData) -> Option<ErrorEstimate> {
     // confidence-based analyses (Fig. 7b) remain usable in training-set
     // mode. Falls back to a point estimate for degenerate fits.
     let model = fit_wls(data)?;
-    let sq: Vec<f64> = data
-        .iter()
-        .map(|(x, y, _)| {
-            let r = y - model.predict(x);
+    let sq: Vec<f64> = (0..data.n())
+        .map(|i| {
+            let r = data.y(i) - data.predict_at(i, model.coefficients());
             r * r
         })
         .collect();

@@ -1,19 +1,26 @@
-//! Flat row-major regression datasets: the `(X, Y, W)` triples that
-//! region training sets reduce to once features are generated.
-
+//! Columnar regression datasets: the `(X, Y, W)` triples that region
+//! training sets reduce to once features are generated.
 
 /// A regression training set: `n` examples of `p` features each, with
 /// targets and per-example weights (all 1.0 for ordinary least squares).
 ///
-/// Rows are stored row-major in one flat buffer for cache-friendly scans;
-/// `p` includes the intercept column if the caller added one (see
-/// [`RegressionData::push_with_intercept`]).
+/// Features are stored in *structure-of-arrays* form — one contiguous
+/// `f64` lane per feature column — so the batched accumulation kernels
+/// ([`crate::suffstats::RegSuffStats::add_rows`]) stream whole columns
+/// instead of strided rows. `p` includes the intercept column if the
+/// caller added one (see [`RegressionData::push_with_intercept`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegressionData {
     p: usize,
-    xs: Vec<f64>,
+    /// `p` feature lanes of `n` values each.
+    cols: Vec<Vec<f64>>,
     ys: Vec<f64>,
     ws: Vec<f64>,
+    /// True while every stored weight is exactly 1.0 — lets the kernels
+    /// take the unweighted fast path. Conservative: a false flag only
+    /// costs multiplies by 1.0, which are bitwise identity, so the two
+    /// paths always agree bit for bit.
+    unit_w: bool,
 }
 
 impl RegressionData {
@@ -21,9 +28,10 @@ impl RegressionData {
     pub fn new(p: usize) -> Self {
         RegressionData {
             p,
-            xs: Vec::new(),
+            cols: vec![Vec::new(); p],
             ys: Vec::new(),
             ws: Vec::new(),
+            unit_w: true,
         }
     }
 
@@ -31,9 +39,10 @@ impl RegressionData {
     pub fn with_capacity(p: usize, n: usize) -> Self {
         RegressionData {
             p,
-            xs: Vec::with_capacity(p * n),
+            cols: (0..p).map(|_| Vec::with_capacity(n)).collect(),
             ys: Vec::with_capacity(n),
             ws: Vec::with_capacity(n),
+            unit_w: true,
         }
     }
 
@@ -52,24 +61,38 @@ impl RegressionData {
         self.ys.is_empty()
     }
 
+    /// True while every stored weight is exactly 1.0.
+    pub fn unit_weights(&self) -> bool {
+        self.unit_w
+    }
+
     /// Drop all examples and (re)set the feature width, keeping the
     /// allocated buffers — the reuse hook for zero-allocation scan
     /// scratch.
     pub fn reset(&mut self, p: usize) {
         self.p = p;
-        self.xs.clear();
+        if self.cols.len() != p {
+            self.cols.resize_with(p, Vec::new);
+        }
+        for c in &mut self.cols {
+            c.clear();
+        }
         self.ys.clear();
         self.ws.clear();
+        self.unit_w = true;
     }
 
     /// Reserve room for `n` examples at the current width. Returns `true`
     /// if any buffer had to grow (scratch-reuse accounting).
     pub fn ensure_capacity(&mut self, n: usize) -> bool {
-        let grew = self.ys.capacity() < n
-            || self.ws.capacity() < n
-            || self.xs.capacity() < n * self.p;
+        let mut grew = self.ys.capacity() < n || self.ws.capacity() < n;
+        for c in &self.cols {
+            grew |= c.capacity() < n;
+        }
         let extra = n.saturating_sub(self.ys.len());
-        self.xs.reserve(extra * self.p);
+        for c in &mut self.cols {
+            c.reserve(extra);
+        }
         self.ys.reserve(extra);
         self.ws.reserve(extra);
         grew
@@ -79,9 +102,12 @@ impl RegressionData {
     pub fn push_weighted(&mut self, x: &[f64], y: f64, w: f64) {
         assert_eq!(x.len(), self.p, "feature vector length mismatch");
         debug_assert!(w > 0.0, "weights must be positive");
-        self.xs.extend_from_slice(x);
+        for (col, &v) in self.cols.iter_mut().zip(x) {
+            col.push(v);
+        }
         self.ys.push(y);
         self.ws.push(w);
+        self.unit_w &= w == 1.0;
     }
 
     /// Append an example with weight 1.
@@ -93,15 +119,65 @@ impl RegressionData {
     /// stored row is `[1, x...]`. The dataset must have `p = x.len() + 1`.
     pub fn push_with_intercept(&mut self, x: &[f64], y: f64) {
         assert_eq!(x.len() + 1, self.p, "feature vector length mismatch");
-        self.xs.push(1.0);
-        self.xs.extend_from_slice(x);
+        self.cols[0].push(1.0);
+        for (col, &v) in self.cols[1..].iter_mut().zip(x) {
+            col.push(v);
+        }
         self.ys.push(y);
         self.ws.push(1.0);
     }
 
-    /// Feature row `i`.
-    pub fn x(&self, i: usize) -> &[f64] {
-        &self.xs[i * self.p..(i + 1) * self.p]
+    /// Bulk-append unit-weight examples given as feature columns (e.g. a
+    /// region block's lanes): lane-by-lane `memcpy`s, no per-row work.
+    pub fn extend_from_cols(&mut self, cols: &[Vec<f64>], ys: &[f64]) {
+        if ys.is_empty() {
+            return;
+        }
+        assert_eq!(cols.len(), self.p, "feature arity mismatch");
+        for (dst, src) in self.cols.iter_mut().zip(cols) {
+            assert_eq!(src.len(), ys.len(), "ragged feature lane");
+            dst.extend_from_slice(src);
+        }
+        self.ys.extend_from_slice(ys);
+        self.ws.resize(self.ws.len() + ys.len(), 1.0);
+    }
+
+    /// Bulk-append the unit-weight examples at `rows` (in order, duplicates
+    /// allowed) from feature columns — the filtered-gather counterpart of
+    /// [`RegressionData::extend_from_cols`].
+    pub fn extend_from_cols_gather(&mut self, cols: &[Vec<f64>], ys: &[f64], rows: &[usize]) {
+        if rows.is_empty() {
+            return;
+        }
+        assert_eq!(cols.len(), self.p, "feature arity mismatch");
+        for (dst, src) in self.cols.iter_mut().zip(cols) {
+            dst.extend(rows.iter().map(|&r| src[r]));
+        }
+        self.ys.extend(rows.iter().map(|&r| ys[r]));
+        self.ws.resize(self.ws.len() + rows.len(), 1.0);
+    }
+
+    /// Feature column `j` (all `n` values of feature `j`).
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.cols[j]
+    }
+
+    /// All feature columns.
+    pub fn cols(&self) -> &[Vec<f64>] {
+        &self.cols
+    }
+
+    /// Feature `j` of example `i`.
+    pub fn feature(&self, i: usize, j: usize) -> f64 {
+        self.cols[j][i]
+    }
+
+    /// Feature row `i`, gathered into a fresh vector (a strided read
+    /// across all lanes — convenience for tests and cold call sites,
+    /// not for hot loops).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.n(), "example index out of range");
+        self.cols.iter().map(|c| c[i]).collect()
     }
 
     /// Target `i`.
@@ -119,18 +195,35 @@ impl RegressionData {
         &self.ys
     }
 
+    /// All weights.
+    pub fn ws(&self) -> &[f64] {
+        &self.ws
+    }
+
+    /// `x_i · β` for example `i`: the model prediction, read straight
+    /// from the lanes in ascending feature order (single accumulator —
+    /// bitwise identical to the row-major `x.iter().zip(beta)` dot
+    /// product it replaces).
+    pub fn predict_at(&self, i: usize, beta: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (col, &b) in self.cols.iter().zip(beta) {
+            acc += col[i] * b;
+        }
+        acc
+    }
+
     /// New dataset with the rows at `indices` (duplicates allowed).
     pub fn subset(&self, indices: &[usize]) -> RegressionData {
         let mut out = RegressionData::with_capacity(self.p, indices.len());
         for &i in indices {
-            out.push_weighted(self.x(i), self.y(i), self.w(i));
+            for (dst, src) in out.cols.iter_mut().zip(&self.cols) {
+                dst.push(src[i]);
+            }
+            out.ys.push(self.ys[i]);
+            out.ws.push(self.ws[i]);
         }
+        out.unit_w = self.unit_w;
         out
-    }
-
-    /// Iterate `(x, y, w)` rows.
-    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64, f64)> + '_ {
-        (0..self.n()).map(move |i| (self.x(i), self.y(i), self.w(i)))
     }
 }
 
@@ -144,17 +237,23 @@ mod tests {
         d.push(&[1.0, 2.0], 3.0);
         d.push_weighted(&[4.0, 5.0], 6.0, 2.0);
         assert_eq!(d.n(), 2);
-        assert_eq!(d.x(1), &[4.0, 5.0]);
+        assert_eq!(d.row(1), &[4.0, 5.0]);
+        assert_eq!(d.col(0), &[1.0, 4.0]);
+        assert_eq!(d.col(1), &[2.0, 5.0]);
+        assert_eq!(d.feature(1, 0), 4.0);
         assert_eq!(d.y(0), 3.0);
         assert_eq!(d.w(1), 2.0);
         assert_eq!(d.ys(), &[3.0, 6.0]);
+        assert_eq!(d.ws(), &[1.0, 2.0]);
+        assert!(!d.unit_weights());
     }
 
     #[test]
     fn intercept_prefix() {
         let mut d = RegressionData::new(3);
         d.push_with_intercept(&[7.0, 8.0], 9.0);
-        assert_eq!(d.x(0), &[1.0, 7.0, 8.0]);
+        assert_eq!(d.row(0), &[1.0, 7.0, 8.0]);
+        assert!(d.unit_weights());
     }
 
     #[test]
@@ -168,6 +267,7 @@ mod tests {
         assert_eq!(s.y(0), 40.0);
         assert_eq!(s.y(1), 0.0);
         assert_eq!(s.y(2), 40.0);
+        assert_eq!(s.col(0), &[4.0, 0.0, 4.0]);
     }
 
     #[test]
@@ -178,10 +278,49 @@ mod tests {
     }
 
     #[test]
-    fn iter_yields_rows() {
-        let mut d = RegressionData::new(1);
-        d.push(&[1.0], 2.0);
-        let rows: Vec<_> = d.iter().collect();
-        assert_eq!(rows, vec![(&[1.0][..], 2.0, 1.0)]);
+    fn extend_from_cols_matches_pushes() {
+        let cols = vec![vec![1.0, 3.0, 5.0], vec![2.0, 4.0, 6.0]];
+        let ys = vec![10.0, 20.0, 30.0];
+        let mut bulk = RegressionData::new(2);
+        bulk.extend_from_cols(&cols, &ys);
+        let mut pushed = RegressionData::new(2);
+        for i in 0..3 {
+            pushed.push(&[cols[0][i], cols[1][i]], ys[i]);
+        }
+        assert_eq!(bulk, pushed);
+        assert!(bulk.unit_weights());
+    }
+
+    #[test]
+    fn extend_from_cols_gather_selects_rows() {
+        let cols = vec![vec![1.0, 3.0, 5.0], vec![2.0, 4.0, 6.0]];
+        let ys = vec![10.0, 20.0, 30.0];
+        let mut d = RegressionData::new(2);
+        d.extend_from_cols_gather(&cols, &ys, &[2, 0]);
+        assert_eq!(d.n(), 2);
+        assert_eq!(d.row(0), &[5.0, 6.0]);
+        assert_eq!(d.row(1), &[1.0, 2.0]);
+        assert_eq!(d.ys(), &[30.0, 10.0]);
+    }
+
+    #[test]
+    fn predict_at_matches_row_dot() {
+        let mut d = RegressionData::new(3);
+        d.push(&[1.0, 2.0, -3.0], 0.0);
+        let beta = [0.5, -1.5, 2.0];
+        let by_row: f64 = d.row(0).iter().zip(&beta).map(|(a, b)| a * b).sum();
+        assert_eq!(d.predict_at(0, &beta).to_bits(), by_row.to_bits());
+    }
+
+    #[test]
+    fn reset_reuses_lanes() {
+        let mut d = RegressionData::new(2);
+        d.push(&[1.0, 2.0], 3.0);
+        d.reset(2);
+        assert!(d.is_empty());
+        assert!(d.unit_weights());
+        assert!(!d.ensure_capacity(1), "warm buffers must not grow");
+        d.reset(4);
+        assert_eq!(d.cols().len(), 4);
     }
 }

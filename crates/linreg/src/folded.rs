@@ -100,6 +100,30 @@ impl FoldedSuffStats {
         self.folds[fold].add(x, y, w);
     }
 
+    /// Fold in one example read from SoA feature columns, assigned to
+    /// fold `fold` (the columnar counterpart of [`FoldedSuffStats::add`],
+    /// bit-identical to it).
+    pub fn add_from_cols(&mut self, cols: &[Vec<f64>], row: usize, y: f64, w: f64, fold: usize) {
+        assert!(fold < self.k, "fold index out of range");
+        self.total.add_from_cols(cols, row, y, w);
+        self.folds[fold].add_from_cols(cols, row, y, w);
+    }
+
+    /// Accumulate an entire dataset: the total via the batched
+    /// [`RegSuffStats::add_rows`] kernels (its canonical order matches
+    /// `RegSuffStats::from_dataset` bit for bit), each fold via the
+    /// scalar columnar fold in ascending row order (matching the refit
+    /// path's per-fold accumulation).
+    pub fn add_dataset(&mut self, data: &RegressionData, assignment: &[usize]) {
+        assert_eq!(assignment.len(), data.n(), "one fold per example");
+        self.total.add_rows(data);
+        let cols = data.cols();
+        for (i, &f) in assignment.iter().enumerate() {
+            assert!(f < self.k, "fold index out of range");
+            self.folds[f].add_from_cols(cols, i, data.y(i), data.w(i));
+        }
+    }
+
     /// Merge a disjoint subset's folded statistic fold-wise (both
     /// operands must share shape) — the lattice rollup of the optimized
     /// CV cube.
@@ -245,12 +269,10 @@ impl EvalScratch {
         grew |= ensure_buf(&mut self.beta_buf, p);
         self.note_shape(grew);
 
-        // Pass A: total + per-fold statistics in one sweep (same row
-        // order as `RegSuffStats::from_dataset`, so the total matches the
-        // refit path bit for bit).
-        for (i, (x, y, w)) in data.iter().enumerate() {
-            self.folded.add(x, y, w, self.assignment[i]);
-        }
+        // Pass A: total + per-fold statistics in one sweep (the total via
+        // the batched kernels, so it matches the refit path's
+        // `RegSuffStats::from_dataset` bit for bit).
+        self.folded.add_dataset(data, &self.assignment);
         // Pass A's total is exactly what a final full-data fit needs —
         // remember it so `fit_model_cached` can skip its own row pass.
         self.cached_total = CachedTotal::Folded { n, p };
@@ -281,12 +303,10 @@ impl EvalScratch {
         for s in &mut self.fold_sse[..k] {
             *s = 0.0;
         }
-        for (i, (x, y, _)) in data.iter().enumerate() {
-            let f = self.assignment[i];
+        for (i, &f) in self.assignment.iter().enumerate() {
             if self.beta_ok[f] {
                 let beta = &self.betas[f * p..(f + 1) * p];
-                let pred: f64 = x.iter().zip(beta).map(|(a, b)| a * b).sum();
-                let r = y - pred;
+                let r = data.y(i) - data.predict_at(i, beta);
                 self.fold_sse[f] += r * r;
             }
         }
@@ -334,9 +354,8 @@ impl EvalScratch {
         let rmse = (sse / (n - p) as f64).sqrt();
         // Delta-method standard error from the spread of squared
         // residuals, as in the refit path.
-        for (i, (x, y, _)) in data.iter().enumerate() {
-            let pred: f64 = x.iter().zip(&self.beta_buf).map(|(a, b)| a * b).sum();
-            let r = y - pred;
+        for i in 0..n {
+            let r = data.y(i) - data.predict_at(i, &self.beta_buf);
             self.sq[i] = r * r;
         }
         let std_err = if rmse > 0.0 && n > 1 {
@@ -617,12 +636,13 @@ mod tests {
         let mut bulk = FoldedSuffStats::new(2, 3);
         let mut left = FoldedSuffStats::new(2, 3);
         let mut right = FoldedSuffStats::new(2, 3);
-        for (i, (x, y, w)) in d.iter().enumerate() {
-            bulk.add(x, y, w, assign[i]);
+        for (i, &fold) in assign.iter().enumerate() {
+            let (x, y, w) = (d.row(i), d.y(i), d.w(i));
+            bulk.add(&x, y, w, fold);
             if i < 15 {
-                left.add(x, y, w, assign[i]);
+                left.add(&x, y, w, fold);
             } else {
-                right.add(x, y, w, assign[i]);
+                right.add(&x, y, w, fold);
             }
         }
         left.merge(&right);
@@ -650,9 +670,7 @@ mod tests {
 
         let assignment = crate::crossval::fold_assignment(d.n(), k, seed);
         let mut folded = FoldedSuffStats::new(d.p(), k);
-        for (i, (x, y, w)) in d.iter().enumerate() {
-            folded.add(x, y, w, assignment[i]);
-        }
+        folded.add_dataset(&d, &assignment);
         let mut scratch2 = EvalScratch::new();
         let alg = scratch2.algebraic_fold_rmses(&folded).to_vec();
         assert_eq!(alg.len(), row_rmses.len());

@@ -38,10 +38,9 @@ impl LinearModel {
         if data.is_empty() {
             return 0.0;
         }
-        let sse: f64 = data
-            .iter()
-            .map(|(x, y, _)| {
-                let r = y - self.predict(x);
+        let sse: f64 = (0..data.n())
+            .map(|i| {
+                let r = data.y(i) - data.predict_at(i, &self.beta);
                 r * r
             })
             .sum();
@@ -53,9 +52,7 @@ impl LinearModel {
 /// as 1, per the reduction noted in §6.4 of the paper).
 pub fn fit_ols(data: &RegressionData) -> Option<LinearModel> {
     let mut stats = RegSuffStats::new(data.p());
-    for (x, y, _) in data.iter() {
-        stats.add(x, y, 1.0);
-    }
+    stats.add_rows_unweighted(data);
     stats.fit()
 }
 

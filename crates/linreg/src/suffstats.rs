@@ -110,11 +110,102 @@ impl RegSuffStats {
         }
     }
 
-    /// Accumulate an entire dataset.
-    pub fn add_dataset(&mut self, data: &RegressionData) {
-        for (x, y, w) in data.iter() {
-            self.add(x, y, w);
+    /// Fold in one example read from SoA feature columns (lane `j`,
+    /// entry `row`). Same floating-point operations in the same order
+    /// as [`RegSuffStats::add`] — bitwise identical — for call sites
+    /// that must add single rows out of columnar storage.
+    #[allow(clippy::needless_range_loop)] // symmetric i/j indexing
+    pub fn add_from_cols(&mut self, cols: &[Vec<f64>], row: usize, y: f64, w: f64) {
+        assert_eq!(cols.len(), self.p, "feature vector length mismatch");
+        debug_assert!(w > 0.0, "weights must be positive");
+        self.n += 1;
+        self.sum_w += w;
+        self.ytwy += w * y * y;
+        for i in 0..self.p {
+            let wxi = w * cols[i][row];
+            self.xtwy[i] += wxi * y;
+            let start = packed_idx(i, 0);
+            for j in 0..=i {
+                self.gram[start + j] += wxi * cols[j][row];
+            }
         }
+    }
+
+    /// Accumulate an entire dataset with the batched columnar kernels.
+    ///
+    /// # Canonical summation order
+    ///
+    /// Every accumulated scalar (each packed Gram entry, each `X'WY`
+    /// entry, `Y'WY`, `Σw`) is an independent reduction over the `n`
+    /// examples, computed by [`dot4`]-family kernels: four partial
+    /// accumulators with example `r` folded into lane `r mod 4`, the
+    /// remainder (`n mod 4` examples) folded into lanes `0..n mod 4`,
+    /// and the lanes combined as `(s0 + s1) + (s2 + s3)`. This order is
+    /// a *fixed function of `n` alone* — independent of thread count,
+    /// block boundaries or batching — so results are reproducible
+    /// bit-for-bit anywhere the same rows are accumulated in the same
+    /// order. The scalar [`RegSuffStats::add`] fold remains the
+    /// reference oracle (property-tested to agree within 1e-12) and the
+    /// path for single-example updates.
+    ///
+    /// The unit-weight fast path skips the weight loads; since
+    /// `1.0 * x` is bitwise identity and summing `n` ones is exact, it
+    /// produces exactly the bits of the weighted path fed all-ones.
+    pub fn add_rows(&mut self, data: &RegressionData) {
+        if data.unit_weights() {
+            self.add_rows_unweighted(data);
+            return;
+        }
+        assert_eq!(data.p(), self.p, "feature vector length mismatch");
+        let n = data.n();
+        if n == 0 {
+            return;
+        }
+        self.n += n;
+        let cols = data.cols();
+        let ys = data.ys();
+        let ws = data.ws();
+        self.sum_w += sum4(ws);
+        self.ytwy += wdot4(ws, ys, ys);
+        for i in 0..self.p {
+            let xi = &cols[i];
+            self.xtwy[i] += wdot4(ws, xi, ys);
+            let start = packed_idx(i, 0);
+            for (j, g) in self.gram[start..start + i + 1].iter_mut().enumerate() {
+                *g += wdot4(ws, xi, &cols[j]);
+            }
+        }
+    }
+
+    /// Accumulate an entire dataset with the batched kernels, treating
+    /// every weight as exactly 1 regardless of the stored weights (the
+    /// OLS reduction of §6.4). On a unit-weight dataset this is the
+    /// path [`RegSuffStats::add_rows`] takes.
+    pub fn add_rows_unweighted(&mut self, data: &RegressionData) {
+        assert_eq!(data.p(), self.p, "feature vector length mismatch");
+        let n = data.n();
+        if n == 0 {
+            return;
+        }
+        self.n += n;
+        let cols = data.cols();
+        let ys = data.ys();
+        self.sum_w += n as f64;
+        self.ytwy += dot4(ys, ys);
+        for i in 0..self.p {
+            let xi = &cols[i];
+            self.xtwy[i] += dot4(xi, ys);
+            let start = packed_idx(i, 0);
+            for (j, g) in self.gram[start..start + i + 1].iter_mut().enumerate() {
+                *g += dot4(xi, &cols[j]);
+            }
+        }
+    }
+
+    /// Accumulate an entire dataset (batched; see
+    /// [`RegSuffStats::add_rows`] for the summation order).
+    pub fn add_dataset(&mut self, data: &RegressionData) {
+        self.add_rows(data);
     }
 
     /// Build the statistic for a dataset in one pass.
@@ -266,6 +357,91 @@ impl RegSuffStats {
     }
 }
 
+/// Canonical 4-lane dot product `Σ a[r]·b[r]`: element `r` folds into
+/// lane `r mod 4`, lanes combine as `(s0 + s1) + (s2 + s3)`. This is
+/// *the* canonical summation order for every batched reduction in this
+/// crate (see [`RegSuffStats::add_rows`]); the manual unroll gives the
+/// compiler four independent dependency chains to vectorize while
+/// keeping the order fixed and documentable.
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        s0 += ca[0] * cb[0];
+        s1 += ca[1] * cb[1];
+        s2 += ca[2] * cb[2];
+        s3 += ca[3] * cb[3];
+    }
+    let (ra, rb) = (ac.remainder(), bc.remainder());
+    if !ra.is_empty() {
+        s0 += ra[0] * rb[0];
+    }
+    if ra.len() > 1 {
+        s1 += ra[1] * rb[1];
+    }
+    if ra.len() > 2 {
+        s2 += ra[2] * rb[2];
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Weighted canonical dot product `Σ (w[r]·a[r])·b[r]` — the term shape
+/// matches the scalar fold's `(w * x_i) * x_j`, so a unit-weight input
+/// reproduces [`dot4`] bit for bit. Same lane order as [`dot4`].
+#[inline]
+fn wdot4(w: &[f64], a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), w.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut wc = w.chunks_exact(4);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for ((cw, ca), cb) in (&mut wc).zip(&mut ac).zip(&mut bc) {
+        s0 += (cw[0] * ca[0]) * cb[0];
+        s1 += (cw[1] * ca[1]) * cb[1];
+        s2 += (cw[2] * ca[2]) * cb[2];
+        s3 += (cw[3] * ca[3]) * cb[3];
+    }
+    let (rw, ra, rb) = (wc.remainder(), ac.remainder(), bc.remainder());
+    if !ra.is_empty() {
+        s0 += (rw[0] * ra[0]) * rb[0];
+    }
+    if ra.len() > 1 {
+        s1 += (rw[1] * ra[1]) * rb[1];
+    }
+    if ra.len() > 2 {
+        s2 += (rw[2] * ra[2]) * rb[2];
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Canonical 4-lane sum `Σ w[r]` (same lane order as [`dot4`]).
+#[inline]
+fn sum4(w: &[f64]) -> f64 {
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut wc = w.chunks_exact(4);
+    for cw in &mut wc {
+        s0 += cw[0];
+        s1 += cw[1];
+        s2 += cw[2];
+        s3 += cw[3];
+    }
+    let rw = wc.remainder();
+    if !rw.is_empty() {
+        s0 += rw[0];
+    }
+    if rw.len() > 1 {
+        s1 += rw[1];
+    }
+    if rw.len() > 2 {
+        s2 += rw[2];
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,11 +493,10 @@ mod tests {
         }
         let s = RegSuffStats::from_dataset(&d);
         let m = s.fit().unwrap();
-        let direct: f64 = d
-            .iter()
-            .map(|(x, y, w)| {
-                let r = y - m.predict(x);
-                w * r * r
+        let direct: f64 = (0..d.n())
+            .map(|i| {
+                let r = d.y(i) - d.predict_at(i, m.coefficients());
+                d.w(i) * r * r
             })
             .sum();
         assert!((s.sse().unwrap() - direct).abs() < 1e-9);
@@ -366,11 +541,10 @@ mod tests {
         let stats = RegSuffStats::from_dataset(&d);
         // An arbitrary (not fitted) model.
         let model = LinearModel::new(vec![0.3, 1.1]);
-        let direct: f64 = d
-            .iter()
-            .map(|(x, y, w)| {
-                let r = y - model.predict(x);
-                w * r * r
+        let direct: f64 = (0..d.n())
+            .map(|i| {
+                let r = d.y(i) - d.predict_at(i, model.coefficients());
+                d.w(i) * r * r
             })
             .sum();
         assert!((stats.sse_of_model(&model) - direct).abs() < 1e-9);
@@ -395,7 +569,7 @@ mod tests {
         let direct: f64 = fold
             .iter()
             .map(|&i| {
-                let r = all.y(i) - model.predict(all.x(i));
+                let r = all.y(i) - all.predict_at(i, model.coefficients());
                 r * r
             })
             .sum();
@@ -452,6 +626,113 @@ mod tests {
         for (a, b) in beta.iter().zip(via_fit.coefficients()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// Random dataset whose size sweeps every `n mod 4` remainder class.
+    fn random_data(rng: &mut bellwether_prop::Rng, unit_weights: bool) -> RegressionData {
+        let p = rng.usize_in(1, 6);
+        let n = rng.usize_in(0, 23); // covers all chunk tails n % 4 ∈ {0,1,2,3}
+        let mut d = RegressionData::new(p);
+        for _ in 0..n {
+            let x: Vec<f64> = (0..p).map(|_| rng.f64_in(-10.0, 10.0)).collect();
+            let w = if unit_weights { 1.0 } else { rng.f64_in(0.1, 5.0) };
+            d.push_weighted(&x, rng.f64_in(-5.0, 5.0), w);
+        }
+        d
+    }
+
+    fn assert_stats_close(a: &RegSuffStats, b: &RegSuffStats, tol: f64) {
+        assert_eq!(a.n(), b.n());
+        let rel = |x: f64, y: f64| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs()));
+        assert!(rel(a.sum_w, b.sum_w), "sum_w {} vs {}", a.sum_w, b.sum_w);
+        assert!(rel(a.ytwy, b.ytwy), "ytwy {} vs {}", a.ytwy, b.ytwy);
+        for (i, (x, y)) in a.gram.iter().zip(&b.gram).enumerate() {
+            assert!(rel(*x, *y), "gram[{i}] {x} vs {y}");
+        }
+        for (i, (x, y)) in a.xtwy.iter().zip(&b.xtwy).enumerate() {
+            assert!(rel(*x, *y), "xtwy[{i}] {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn add_rows_matches_scalar_oracle_within_1e12() {
+        use bellwether_prop::check;
+        check("suffstats/add_rows_vs_scalar_add", 400, |rng| {
+            let unit = rng.flip(0.5);
+            let d = random_data(rng, unit);
+            let mut batched = RegSuffStats::new(d.p());
+            batched.add_rows(&d);
+            // The scalar fold is the reference oracle.
+            let mut scalar = RegSuffStats::new(d.p());
+            for i in 0..d.n() {
+                let x = d.row(i);
+                scalar.add(&x, d.y(i), d.w(i));
+            }
+            assert_stats_close(&batched, &scalar, 1e-12);
+        });
+    }
+
+    #[test]
+    fn add_rows_is_deterministic_and_batch_invariant_bits() {
+        // The canonical order depends only on the rows themselves: the
+        // same dataset accumulated twice, or into a reused scratch,
+        // gives the same bits.
+        use bellwether_prop::check;
+        check("suffstats/add_rows_bit_determinism", 200, |rng| {
+            let unit = rng.flip(0.5);
+            let d = random_data(rng, unit);
+            let mut a = RegSuffStats::new(d.p());
+            a.add_rows(&d);
+            let mut b = RegSuffStats::new(d.p());
+            b.add_rows(&d);
+            assert_eq!(a, b);
+            let mut reused = RegSuffStats::new(d.p() + 1);
+            reused.reset(d.p());
+            reused.add_rows(&d);
+            assert_eq!(a, reused);
+        });
+    }
+
+    #[test]
+    fn unit_weight_path_bitwise_equals_weighted_all_ones() {
+        // `1.0 * x` is bitwise identity and summing n ones is exact, so
+        // the unit fast path must reproduce the weighted kernels fed
+        // all-ones weights bit for bit.
+        use bellwether_prop::check;
+        check("suffstats/unit_vs_all_ones_weights", 200, |rng| {
+            let d = random_data(rng, true);
+            let cols = d.cols();
+            let ones = vec![1.0; d.n()];
+            for i in 0..d.p() {
+                assert_eq!(
+                    dot4(&cols[i], d.ys()).to_bits(),
+                    wdot4(&ones, &cols[i], d.ys()).to_bits()
+                );
+                for j in 0..=i {
+                    assert_eq!(
+                        dot4(&cols[i], &cols[j]).to_bits(),
+                        wdot4(&ones, &cols[i], &cols[j]).to_bits()
+                    );
+                }
+            }
+            assert_eq!(sum4(&ones).to_bits(), (d.n() as f64).to_bits());
+        });
+    }
+
+    #[test]
+    fn add_from_cols_bitwise_equals_scalar_add() {
+        use bellwether_prop::check;
+        check("suffstats/add_from_cols_vs_add", 200, |rng| {
+            let unit = rng.flip(0.5);
+            let d = random_data(rng, unit);
+            let mut by_cols = RegSuffStats::new(d.p());
+            let mut by_rows = RegSuffStats::new(d.p());
+            for i in 0..d.n() {
+                by_cols.add_from_cols(d.cols(), i, d.y(i), d.w(i));
+                by_rows.add(&d.row(i), d.y(i), d.w(i));
+            }
+            assert_eq!(by_cols, by_rows, "scalar folds must agree bitwise");
+        });
     }
 
     #[test]

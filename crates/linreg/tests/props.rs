@@ -48,10 +48,10 @@ fn ols_residuals_are_orthogonal_to_features() {
         let Some(model) = fit_ols(&d) else { return };
         let mut g0 = 0.0;
         let mut g1 = 0.0;
-        for (x, y, _) in d.iter() {
-            let r = y - model.predict(x);
-            g0 += r * x[0];
-            g1 += r * x[1];
+        for i in 0..d.n() {
+            let r = d.y(i) - d.predict_at(i, model.coefficients());
+            g0 += r * d.feature(i, 0);
+            g1 += r * d.feature(i, 1);
         }
         let scale = rows.len() as f64 * 100.0;
         assert!(g0.abs() < 1e-6 * scale, "intercept gradient {g0}");

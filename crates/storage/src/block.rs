@@ -1,24 +1,36 @@
 //! The unit of training-data storage: one region's training set.
 
-
 /// The training set of one feasible region: for each item with data in
 /// the region, its query-generated feature vector and target value.
 ///
 /// All regions of one entire-training-data store share the feature arity
 /// `p` (the same feature queries are issued per region). Coordinates are
 /// the region's dimension-value ids, opaque to this crate.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// # In-memory layout
+///
+/// Decoded blocks hold features in *structure-of-arrays* form: one
+/// contiguous `f64` lane per feature column, plus the target and item-id
+/// lanes. The accumulation kernels ([`bellwether-linreg`]'s
+/// `RegSuffStats::add_rows` and the cube phase-1 scan) stream whole
+/// columns instead of strided rows, which is what lets them vectorize.
+/// The *on-disk* encoding is unchanged row-major (see
+/// [`crate::format`]); the transpose happens at encode/decode time.
+#[derive(Debug, Clone)]
 pub struct RegionBlock {
     /// Region coordinates (one dimension-value id per dimension).
     pub region: Vec<u32>,
     /// Item ids, one per example.
     pub item_ids: Vec<i64>,
-    /// Row-major `n × p` feature values.
-    pub features: Vec<f64>,
     /// Targets, one per example.
     pub targets: Vec<f64>,
     /// Feature arity `p`.
     pub p: u32,
+    /// Feature columns: `p` lanes of `n` values each. Lazily
+    /// initialised — an empty block may hold no lanes at all (decoding
+    /// `n = 0` must not allocate `p` empty vectors for a garbage `p`),
+    /// so readers go through [`RegionBlock::col`]/[`RegionBlock::cols`].
+    cols: Vec<Vec<f64>>,
 }
 
 impl RegionBlock {
@@ -27,9 +39,40 @@ impl RegionBlock {
         RegionBlock {
             region,
             item_ids: Vec::new(),
-            features: Vec::new(),
             targets: Vec::new(),
             p,
+            cols: Vec::new(),
+        }
+    }
+
+    /// Assemble a block directly from feature columns (the decode path;
+    /// also handy for tests). `cols` must either be empty (only legal
+    /// when there are no examples) or hold exactly `p` lanes of
+    /// `item_ids.len()` values each.
+    pub fn from_columns(
+        region: Vec<u32>,
+        p: u32,
+        item_ids: Vec<i64>,
+        cols: Vec<Vec<f64>>,
+        targets: Vec<f64>,
+    ) -> Self {
+        assert_eq!(item_ids.len(), targets.len(), "targets per example");
+        if cols.len() == p as usize {
+            for c in &cols {
+                assert_eq!(c.len(), item_ids.len(), "ragged feature lane");
+            }
+        } else {
+            assert!(
+                cols.is_empty() && item_ids.is_empty(),
+                "examples need feature lanes"
+            );
+        }
+        RegionBlock {
+            region,
+            item_ids,
+            targets,
+            p,
+            cols,
         }
     }
 
@@ -46,15 +89,40 @@ impl RegionBlock {
     /// Append one example. Panics if `x.len() != p`.
     pub fn push(&mut self, item: i64, x: &[f64], y: f64) {
         assert_eq!(x.len(), self.p as usize, "feature arity mismatch");
+        if self.cols.len() != self.p as usize {
+            self.cols.resize_with(self.p as usize, Vec::new);
+        }
         self.item_ids.push(item);
-        self.features.extend_from_slice(x);
+        for (col, &v) in self.cols.iter_mut().zip(x) {
+            col.push(v);
+        }
         self.targets.push(y);
     }
 
-    /// Feature row of example `i`.
-    pub fn x(&self, i: usize) -> &[f64] {
-        let p = self.p as usize;
-        &self.features[i * p..(i + 1) * p]
+    /// Feature column `j` (all `n` values of feature `j`). Empty when
+    /// the block holds no examples.
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.p as usize, "feature index out of range");
+        self.cols.get(j).map_or(&[][..], Vec::as_slice)
+    }
+
+    /// All feature columns. May be empty (rather than `p` empty lanes)
+    /// when the block holds no examples.
+    pub fn cols(&self) -> &[Vec<f64>] {
+        &self.cols
+    }
+
+    /// Feature `j` of example `i`.
+    pub fn feature(&self, i: usize, j: usize) -> f64 {
+        self.cols[j][i]
+    }
+
+    /// Feature row of example `i`, gathered into a fresh vector (a
+    /// strided read across all lanes — convenience for tests and
+    /// row-oriented call sites, not for hot loops).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.n(), "example index out of range");
+        self.cols.iter().map(|c| c[i]).collect()
     }
 
     /// Target of example `i`.
@@ -62,20 +130,22 @@ impl RegionBlock {
         self.targets[i]
     }
 
-    /// Serialized size in bytes (used for IO accounting).
+    /// Serialized size in bytes (used for IO accounting). Delegates to
+    /// the format module, which owns the header/payload arithmetic.
     pub fn encoded_len(&self) -> usize {
-        // header: region-arity u32 + coords + n u64 + p u32, then payload
-        4 + self.region.len() * 4
-            + 8
-            + 4
-            + self.item_ids.len() * 8
-            + self.features.len() * 8
-            + self.targets.len() * 8
+        crate::format::encoded_payload_len(self.region.len(), self.n(), self.p as usize)
     }
+}
 
-    /// Iterate `(item, x, y)` examples.
-    pub fn iter(&self) -> impl Iterator<Item = (i64, &[f64], f64)> + '_ {
-        (0..self.n()).map(move |i| (self.item_ids[i], self.x(i), self.y(i)))
+impl PartialEq for RegionBlock {
+    fn eq(&self, other: &Self) -> bool {
+        // `cols` is lazily initialised, so an empty block may hold
+        // either zero lanes or `p` empty lanes; both compare equal.
+        self.region == other.region
+            && self.p == other.p
+            && self.item_ids == other.item_ids
+            && self.targets == other.targets
+            && (self.is_empty() || self.cols == other.cols)
     }
 }
 
@@ -89,10 +159,12 @@ mod tests {
         b.push(7, &[1.0, 2.0], 3.0);
         b.push(8, &[4.0, 5.0], 6.0);
         assert_eq!(b.n(), 2);
-        assert_eq!(b.x(1), &[4.0, 5.0]);
+        assert_eq!(b.row(1), &[4.0, 5.0]);
         assert_eq!(b.y(0), 3.0);
-        let rows: Vec<_> = b.iter().collect();
-        assert_eq!(rows[0], (7, &[1.0, 2.0][..], 3.0));
+        assert_eq!(b.col(0), &[1.0, 4.0]);
+        assert_eq!(b.col(1), &[2.0, 5.0]);
+        assert_eq!(b.feature(1, 0), 4.0);
+        assert_eq!(b.cols().len(), 2);
     }
 
     #[test]
@@ -108,5 +180,35 @@ mod tests {
         let empty = b.encoded_len();
         b.push(1, &[2.0], 3.0);
         assert_eq!(b.encoded_len(), empty + 8 + 8 + 8);
+    }
+
+    #[test]
+    fn empty_blocks_compare_equal_regardless_of_lane_representation() {
+        let fresh = RegionBlock::new(vec![1], 3);
+        let lanes =
+            RegionBlock::from_columns(vec![1], 3, vec![], vec![vec![], vec![], vec![]], vec![]);
+        assert_eq!(fresh, lanes);
+        assert_eq!(fresh.col(2), &[] as &[f64]);
+    }
+
+    #[test]
+    fn from_columns_matches_pushes() {
+        let mut pushed = RegionBlock::new(vec![9], 2);
+        pushed.push(1, &[1.0, 2.0], 5.0);
+        pushed.push(2, &[3.0, 4.0], 6.0);
+        let built = RegionBlock::from_columns(
+            vec![9],
+            2,
+            vec![1, 2],
+            vec![vec![1.0, 3.0], vec![2.0, 4.0]],
+            vec![5.0, 6.0],
+        );
+        assert_eq!(pushed, built);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged feature lane")]
+    fn from_columns_rejects_ragged_lanes() {
+        RegionBlock::from_columns(vec![0], 2, vec![1], vec![vec![1.0], vec![]], vec![2.0]);
     }
 }

@@ -1,17 +1,37 @@
 //! CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant), implemented
-//! with a compile-time lookup table so the offline build environment
+//! with compile-time lookup tables so the offline build environment
 //! needs no `crc32fast` dependency.
 //!
 //! Used by the v2 on-disk format to checksum every region block: CRC-32
 //! detects all single-bit and two-bit errors, any odd number of bit
 //! errors, and any burst shorter than 32 bits — which covers the
 //! realistic "a byte rotted on disk" failure mode exactly.
+//!
+//! Two implementations live here:
+//!
+//! * [`crc32`] / [`crc32_update`] — *slice-by-8*: eight 256-entry
+//!   tables let the inner loop fold 8 input bytes per iteration with
+//!   eight independent table lookups, roughly 4-6x the bytewise
+//!   throughput. This is the production path, and [`crc32_update`] is
+//!   incremental so [`crate::format`] can fuse checksum computation
+//!   into block decoding (one touch per block instead of two).
+//! * [`crc32_bytewise`] — the original one-table-lookup-per-byte
+//!   implementation, kept as the reference oracle: a property test
+//!   checks the slice-by-8 path agrees with it on random lengths and
+//!   alignments.
 
-/// 256-entry table for the reflected IEEE polynomial `0xEDB88320`.
-const TABLE: [u32; 256] = build_table();
+/// Raw CRC register initial value (all ones, per the IEEE spec).
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Eight 256-entry tables for the reflected IEEE polynomial
+/// `0xEDB88320`. `TABLES[0]` is the classic bytewise table;
+/// `TABLES[k][b]` is the CRC contribution of byte `b` seen `k` bytes
+/// before the current fold point, so eight lookups advance the
+/// register by eight input bytes at once.
+const TABLES: [[u32; 256]; 8] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -24,25 +44,84 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        t[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// Advance a raw CRC register by exactly eight bytes (one slice-by-8
+/// fold). Exposed to the format module so decode loops that already
+/// walk the payload in 8-byte values can checksum each value in the
+/// same pass.
+#[inline]
+pub(crate) fn crc32_step8(crc: u32, chunk: &[u8; 8]) -> u32 {
+    let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+    let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+    TABLES[7][(lo & 0xFF) as usize]
+        ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+        ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+        ^ TABLES[4][(lo >> 24) as usize]
+        ^ TABLES[3][(hi & 0xFF) as usize]
+        ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+        ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+        ^ TABLES[0][(hi >> 24) as usize]
+}
+
+/// Advance a raw CRC register (pre-init, pre-xor — start from
+/// [`CRC_INIT`]) over `data` using slice-by-8, returning the new
+/// register value. Feed sections in order and finish with
+/// [`crc32_finish`] to get the same digest as [`crc32`] over their
+/// concatenation.
+#[inline]
+pub fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        crc = crc32_step8(crc, chunk.try_into().expect("chunks_exact yields 8 bytes"));
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Final xor turning a raw register into the published CRC-32 digest.
+#[inline]
+pub fn crc32_finish(crc: u32) -> u32 {
+    crc ^ 0xFFFF_FFFF
 }
 
 /// CRC-32 of `data` (IEEE polynomial, `0xFFFFFFFF` init and final xor —
-/// byte-compatible with zlib's `crc32`).
+/// byte-compatible with zlib's `crc32`). Slice-by-8 fast path.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
+    crc32_finish(crc32_update(CRC_INIT, data))
+}
+
+/// Reference bytewise CRC-32 (the original implementation). Identical
+/// output to [`crc32`], one table lookup per byte. Kept as the oracle
+/// for the slice-by-8 path and for the kernel microbenchmarks.
+pub fn crc32_bytewise(data: &[u8]) -> u32 {
+    let mut crc = CRC_INIT;
     for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
-    crc ^ 0xFFFF_FFFF
+    crc32_finish(crc)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bellwether_prop::{check, Rng};
 
     #[test]
     fn known_vectors() {
@@ -50,6 +129,9 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        // The oracle agrees on the same vectors.
+        assert_eq!(crc32_bytewise(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_bytewise(b""), 0);
     }
 
     #[test]
@@ -62,6 +144,32 @@ mod tests {
                 flipped[byte] ^= 1 << bit;
                 assert_ne!(crc32(&flipped), clean, "byte {byte} bit {bit}");
             }
+        }
+    }
+
+    #[test]
+    fn slice_by_8_matches_bytewise_on_random_inputs() {
+        // Lengths straddle the 8-byte fold boundary (0..=40 covers every
+        // remainder class several times), and a random start offset
+        // exercises unaligned slices.
+        check("crc32/slice_by_8_equivalence", 500, |rng: &mut Rng| {
+            let len = rng.usize_in(0, 40) + [0, 64, 1024][rng.usize_in(0, 2)];
+            let offset = rng.usize_in(0, 7);
+            let bytes: Vec<u8> =
+                (0..offset + len).map(|_| rng.u32_in(0, 255) as u8).collect();
+            let slice = &bytes[offset..];
+            assert_eq!(crc32(slice), crc32_bytewise(slice));
+        });
+    }
+
+    #[test]
+    fn incremental_update_matches_one_shot_at_any_split() {
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 7 + 3) as u8).collect();
+        let whole = crc32(&data);
+        for split in 0..=data.len() {
+            let crc = crc32_update(CRC_INIT, &data[..split]);
+            let crc = crc32_update(crc, &data[split..]);
+            assert_eq!(crc32_finish(crc), whole, "split {split}");
         }
     }
 }

@@ -32,7 +32,7 @@
 //! every truncation of a valid file.
 
 use crate::block::RegionBlock;
-use crate::crc32::crc32;
+use crate::crc32::{crc32, crc32_finish, crc32_step8, crc32_update, CRC_INIT};
 use std::fmt;
 use std::io;
 
@@ -63,6 +63,22 @@ impl<'a> Cursor<'a> {
         Ok(head.try_into().expect("split_at returned N bytes"))
     }
 
+    /// Borrow the next `len` bytes without copying (section-at-a-time
+    /// decoding).
+    fn take_span(&mut self, len: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() < len {
+            return Err(bad("unexpected end of input"));
+        }
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Everything not yet consumed.
+    fn rest(&self) -> &'a [u8] {
+        self.buf
+    }
+
     fn copy_to_slice(&mut self, out: &mut [u8]) -> io::Result<()> {
         if self.buf.len() < out.len() {
             return Err(bad("unexpected end of input"));
@@ -80,13 +96,36 @@ impl<'a> Cursor<'a> {
     fn get_u64_le(&mut self) -> io::Result<u64> {
         Ok(u64::from_le_bytes(self.take()?))
     }
+}
 
-    fn get_i64_le(&mut self) -> io::Result<i64> {
-        Ok(i64::from_le_bytes(self.take()?))
+/// Observer of decoded bytes, in payload order. The v2 path plugs a
+/// running CRC in here so the checksum is computed *while* the payload
+/// decodes (one touch per block); the v1 path plugs a no-op and the
+/// whole mechanism monomorphizes away.
+trait CrcSink {
+    fn consume(&mut self, bytes: &[u8]);
+    fn consume8(&mut self, chunk: &[u8; 8]);
+}
+
+struct NoCrc;
+
+impl CrcSink for NoCrc {
+    #[inline]
+    fn consume(&mut self, _: &[u8]) {}
+    #[inline]
+    fn consume8(&mut self, _: &[u8; 8]) {}
+}
+
+struct WithCrc(u32);
+
+impl CrcSink for WithCrc {
+    #[inline]
+    fn consume(&mut self, bytes: &[u8]) {
+        self.0 = crc32_update(self.0, bytes);
     }
-
-    fn get_f64_le(&mut self) -> io::Result<f64> {
-        Ok(f64::from_le_bytes(self.take()?))
+    #[inline]
+    fn consume8(&mut self, chunk: &[u8; 8]) {
+        self.0 = crc32_step8(self.0, chunk);
     }
 }
 
@@ -236,8 +275,13 @@ pub fn encode_block(block: &RegionBlock, out: &mut Vec<u8>) {
     for &id in &block.item_ids {
         out.put_i64_le(id);
     }
-    for &f in &block.features {
-        out.put_f64_le(f);
+    // The disk layout is row-major: gather each row across the block's
+    // SoA feature lanes (the transpose happens here, not on disk).
+    let cols = block.cols();
+    for i in 0..block.n() {
+        for col in cols {
+            out.put_f64_le(col[i]);
+        }
     }
     for &t in &block.targets {
         out.put_f64_le(t);
@@ -260,18 +304,28 @@ pub fn encode_block_versioned(block: &RegionBlock, version: u32, out: &mut Vec<u
     }
 }
 
-/// Decode one v1 (checksum-less) region block from its exact byte span.
-pub fn decode_block(buf: &[u8]) -> io::Result<RegionBlock> {
-    let mut buf = Cursor::new(buf);
-    let arity = buf.get_u32_le()? as usize;
-    if buf.remaining() < arity.saturating_mul(4).saturating_add(12) {
+/// Structural block parse shared by the v1 and v2 paths. Every byte it
+/// consumes is fed to `sink` in payload order, so the v2 caller can
+/// fold the CRC into the same pass that decodes values into columns.
+fn parse_block<C: CrcSink>(cur: &mut Cursor<'_>, sink: &mut C) -> io::Result<RegionBlock> {
+    let arity_bytes = cur.take::<4>()?;
+    sink.consume(&arity_bytes);
+    let arity = u32::from_le_bytes(arity_bytes) as usize;
+    if cur.remaining() < arity.saturating_mul(4).saturating_add(12) {
         return Err(bad("truncated block header"));
     }
-    let region = (0..arity)
-        .map(|_| buf.get_u32_le())
-        .collect::<io::Result<Vec<u32>>>()?;
-    let n = buf.get_u64_le()? as usize;
-    let p = buf.get_u32_le()?;
+    let coord_bytes = cur.take_span(arity * 4)?;
+    sink.consume(coord_bytes);
+    let region = coord_bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunks")))
+        .collect::<Vec<u32>>();
+    let n_bytes = cur.take::<8>()?;
+    sink.consume(&n_bytes);
+    let n = u64::from_le_bytes(n_bytes) as usize;
+    let p_bytes = cur.take::<4>()?;
+    sink.consume(&p_bytes);
+    let p = u32::from_le_bytes(p_bytes);
     // Guard the size computation itself: a garbage n or p must not
     // overflow usize before the remaining-length check can reject it.
     let need = n
@@ -279,41 +333,76 @@ pub fn decode_block(buf: &[u8]) -> io::Result<RegionBlock> {
         .and_then(|b| n.checked_mul(p as usize).map(|f| (b, f)))
         .and_then(|(b, f)| f.checked_mul(8).and_then(|fb| fb.checked_add(b)));
     match need {
-        Some(need) if buf.remaining() >= need => {}
+        Some(need) if cur.remaining() >= need => {}
         _ => return Err(bad("truncated block payload")),
     }
-    let item_ids = (0..n)
-        .map(|_| buf.get_i64_le())
-        .collect::<io::Result<Vec<i64>>>()?;
-    let features = (0..n * p as usize)
-        .map(|_| buf.get_f64_le())
-        .collect::<io::Result<Vec<f64>>>()?;
-    let targets = (0..n)
-        .map(|_| buf.get_f64_le())
-        .collect::<io::Result<Vec<f64>>>()?;
-    Ok(RegionBlock {
-        region,
-        item_ids,
-        features,
-        targets,
-        p,
-    })
+    let id_bytes = cur.take_span(n * 8)?;
+    let mut item_ids = Vec::with_capacity(n);
+    for chunk in id_bytes.chunks_exact(8) {
+        let c: &[u8; 8] = chunk.try_into().expect("8-byte chunks");
+        sink.consume8(c);
+        item_ids.push(i64::from_le_bytes(*c));
+    }
+    // Features decode straight into SoA lanes, one checksum fold per
+    // value in the same pass. An empty block gets no lanes at all —
+    // `p` is untrusted here and must not size an allocation on its own.
+    let feat_bytes = cur.take_span(n * p as usize * 8)?;
+    let mut cols: Vec<Vec<f64>> = if n == 0 {
+        Vec::new()
+    } else {
+        (0..p).map(|_| Vec::with_capacity(n)).collect()
+    };
+    let mut chunks = feat_bytes.chunks_exact(8);
+    for _ in 0..n {
+        for col in cols.iter_mut() {
+            let c: &[u8; 8] = chunks
+                .next()
+                .expect("span length checked")
+                .try_into()
+                .expect("8-byte chunks");
+            sink.consume8(c);
+            col.push(f64::from_le_bytes(*c));
+        }
+    }
+    let target_bytes = cur.take_span(n * 8)?;
+    let mut targets = Vec::with_capacity(n);
+    for chunk in target_bytes.chunks_exact(8) {
+        let c: &[u8; 8] = chunk.try_into().expect("8-byte chunks");
+        sink.consume8(c);
+        targets.push(f64::from_le_bytes(*c));
+    }
+    Ok(RegionBlock::from_columns(region, p, item_ids, cols, targets))
 }
 
-/// Decode one v2 region block: validate the trailing CRC-32 *before*
-/// touching the payload, then decode. A mismatch returns a
-/// [`CorruptBlock`] error (see [`is_corrupt`]).
+/// Decode one v1 (checksum-less) region block from its exact byte span.
+pub fn decode_block(buf: &[u8]) -> io::Result<RegionBlock> {
+    parse_block(&mut Cursor::new(buf), &mut NoCrc)
+}
+
+/// Decode one v2 region block, computing the payload CRC-32 *while*
+/// decoding (fused: one touch per block) and validating it against the
+/// trailer. A mismatch returns a [`CorruptBlock`] error (see
+/// [`is_corrupt`]) and takes priority over structural errors — corrupt
+/// bytes routinely garble the structure too, and the checksum verdict
+/// is the more actionable one.
 pub fn decode_block_v2(buf: &[u8]) -> io::Result<RegionBlock> {
     if buf.len() < CHECKSUM_LEN {
         return Err(bad("truncated block checksum"));
     }
     let (payload, trailer) = buf.split_at(buf.len() - CHECKSUM_LEN);
     let expected = u32::from_le_bytes(trailer.try_into().expect("CHECKSUM_LEN bytes"));
-    let actual = crc32(payload);
+    let mut cur = Cursor::new(payload);
+    let mut sink = WithCrc(CRC_INIT);
+    let parsed = parse_block(&mut cur, &mut sink);
+    // Cover whatever the parse did not consume (trailing slack on
+    // success, the unparsed tail after a structural error) so `actual`
+    // is always the digest of the full payload.
+    sink.consume(cur.rest());
+    let actual = crc32_finish(sink.0);
     if actual != expected {
         return Err(CorruptBlock { expected, actual }.into());
     }
-    decode_block(payload)
+    parsed
 }
 
 /// Decode one region block encoded with `version`.
@@ -323,6 +412,14 @@ pub fn decode_block_versioned(buf: &[u8], version: u32) -> io::Result<RegionBloc
         VERSION_V2 => decode_block_v2(buf),
         _ => Err(bad("unsupported version")),
     }
+}
+
+/// Byte length of a raw (v1 / pre-checksum) block payload. This is the
+/// single owner of the block size arithmetic: `RegionBlock::encoded_len`
+/// delegates here, so the encoder and the accounting can't drift.
+pub fn encoded_payload_len(region_arity: usize, n: usize, p: usize) -> usize {
+    // arity u32 + coords + n u64 + p u32, then ids + features + targets
+    4 + region_arity * 4 + 8 + 4 + n * 8 + n * p * 8 + n * 8
 }
 
 /// Encoded length of `block` under `version` (v1 = raw payload,
@@ -593,5 +690,161 @@ mod tests {
         let mut buf2 = Vec::new();
         encode_block_v2(&b, &mut buf2);
         assert_eq!(decode_block_v2(&buf2).unwrap(), b);
+    }
+
+    /// `RegionBlock::encoded_len` is derived from
+    /// [`encoded_payload_len`]; this pins the derivation to the actual
+    /// encoder output for blocks of every arity/size combination.
+    #[test]
+    fn encoded_len_agrees_with_encoder_for_every_shape() {
+        for arity in 0..4usize {
+            for p in 0..4u32 {
+                for n in 0..5usize {
+                    let mut b = RegionBlock::new((0..arity as u32).collect(), p);
+                    for i in 0..n {
+                        let x: Vec<f64> = (0..p).map(|j| (i * 10 + j as usize) as f64).collect();
+                        b.push(i as i64, &x, i as f64);
+                    }
+                    let mut v1 = Vec::new();
+                    encode_block(&b, &mut v1);
+                    assert_eq!(v1.len(), b.encoded_len(), "arity {arity} p {p} n {n}");
+                    assert_eq!(v1.len(), encoded_block_len(&b, VERSION_V1));
+                    assert_eq!(
+                        v1.len(),
+                        encoded_payload_len(arity, n, p as usize),
+                        "arity {arity} p {p} n {n}"
+                    );
+                    let mut v2 = Vec::new();
+                    encode_block_v2(&b, &mut v2);
+                    assert_eq!(v2.len(), encoded_block_len(&b, VERSION_V2));
+                }
+            }
+        }
+    }
+
+    /// The original row-major (AoS) decoder, kept verbatim as the
+    /// oracle for the fused SoA decode paths.
+    #[allow(clippy::type_complexity)]
+    /// `(region coords, item ids, row-major features, targets, p)` as
+    /// decoded by the original row-major (AoS) reader.
+    type AosBlock = (Vec<u32>, Vec<i64>, Vec<f64>, Vec<f64>, u32);
+
+    fn decode_block_aos(buf: &[u8]) -> io::Result<AosBlock> {
+        let mut cur = Cursor::new(buf);
+        let arity = cur.get_u32_le()? as usize;
+        if cur.remaining() < arity.saturating_mul(4).saturating_add(12) {
+            return Err(bad("truncated block header"));
+        }
+        let region = (0..arity)
+            .map(|_| cur.get_u32_le())
+            .collect::<io::Result<Vec<u32>>>()?;
+        let n = cur.get_u64_le()? as usize;
+        let p = u32::from_le_bytes(cur.take()?);
+        let need = n
+            .checked_mul(16)
+            .and_then(|b| n.checked_mul(p as usize).map(|f| (b, f)))
+            .and_then(|(b, f)| f.checked_mul(8).and_then(|fb| fb.checked_add(b)));
+        match need {
+            Some(need) if cur.remaining() >= need => {}
+            _ => return Err(bad("truncated block payload")),
+        }
+        let item_ids = (0..n)
+            .map(|_| cur.take().map(i64::from_le_bytes))
+            .collect::<io::Result<Vec<i64>>>()?;
+        let features = (0..n * p as usize)
+            .map(|_| cur.take().map(f64::from_le_bytes))
+            .collect::<io::Result<Vec<f64>>>()?;
+        let targets = (0..n)
+            .map(|_| cur.take().map(f64::from_le_bytes))
+            .collect::<io::Result<Vec<f64>>>()?;
+        Ok((region, item_ids, features, targets, p))
+    }
+
+    fn decode_block_aos_v2(buf: &[u8]) -> io::Result<AosBlock> {
+        if buf.len() < CHECKSUM_LEN {
+            return Err(bad("truncated block checksum"));
+        }
+        let (payload, trailer) = buf.split_at(buf.len() - CHECKSUM_LEN);
+        let expected = u32::from_le_bytes(trailer.try_into().unwrap());
+        let actual = crc32(payload);
+        if actual != expected {
+            return Err(CorruptBlock { expected, actual }.into());
+        }
+        decode_block_aos(payload)
+    }
+
+    #[test]
+    fn soa_decode_matches_aos_reference() {
+        use bellwether_prop::{check, Rng};
+        check("format/soa_decode_vs_aos", 300, |rng: &mut Rng| {
+            let arity = rng.usize_in(0, 3);
+            let p = rng.usize_in(0, 5);
+            let n = rng.usize_in(0, 30);
+            let mut b = RegionBlock::new(
+                (0..arity).map(|_| rng.u32_in(0, 100)).collect(),
+                p as u32,
+            );
+            for _ in 0..n {
+                let x: Vec<f64> = (0..p).map(|_| rng.f64_in(-100.0, 100.0)).collect();
+                b.push(rng.i64_in(-1000, 1000), &x, rng.f64_in(-10.0, 10.0));
+            }
+            for version in [VERSION_V1, VERSION_V2] {
+                let mut buf = Vec::new();
+                encode_block_versioned(&b, version, &mut buf);
+                // Clean decode agrees field-for-field with the AoS oracle.
+                let soa = decode_block_versioned(&buf, version).unwrap();
+                let aos = match version {
+                    VERSION_V1 => decode_block_aos(&buf).unwrap(),
+                    _ => decode_block_aos_v2(&buf).unwrap(),
+                };
+                assert_eq!(soa.region, aos.0);
+                assert_eq!(soa.item_ids, aos.1);
+                assert_eq!(soa.targets, aos.3);
+                assert_eq!(soa.p, aos.4);
+                for i in 0..n {
+                    assert_eq!(soa.row(i), &aos.2[i * p..(i + 1) * p], "row {i}");
+                }
+                assert_eq!(soa, b);
+                // Every truncation errors on both decoders.
+                if !buf.is_empty() {
+                    let cut = rng.usize_in(0, buf.len() - 1);
+                    let soa_err = decode_block_versioned(&buf[..cut], version);
+                    let aos_err = match version {
+                        VERSION_V1 => decode_block_aos(&buf[..cut]).map(|_| ()),
+                        _ => decode_block_aos_v2(&buf[..cut]).map(|_| ()),
+                    };
+                    assert!(soa_err.is_err(), "truncation at {cut} decoded");
+                    assert!(aos_err.is_err(), "oracle accepted truncation at {cut}");
+                }
+                // Single-byte corruption classifies identically (v2
+                // flags CorruptBlock; v1 may decode garbled values —
+                // then both decoders must garble identically).
+                if !buf.is_empty() {
+                    let pos = rng.usize_in(0, buf.len() - 1);
+                    let mut bad_buf = buf.clone();
+                    bad_buf[pos] ^= 0x41;
+                    let soa_res = decode_block_versioned(&bad_buf, version);
+                    match version {
+                        VERSION_V1 => match (soa_res, decode_block_aos(&bad_buf)) {
+                            (Ok(s), Ok(a)) => {
+                                assert_eq!(s.item_ids, a.1);
+                                assert_eq!(s.targets, a.3);
+                            }
+                            (Err(_), Err(_)) => {}
+                            (s, a) => {
+                                panic!("divergent verdicts: soa {s:?} vs aos ok={}", a.is_ok())
+                            }
+                        },
+                        _ => {
+                            let err = soa_res.expect_err("corruption undetected");
+                            assert!(is_corrupt(&err), "pos {pos}: {err}");
+                            let aos_err =
+                                decode_block_aos_v2(&bad_buf).expect_err("oracle undetected");
+                            assert!(is_corrupt(&aos_err));
+                        }
+                    }
+                }
+            }
+        });
     }
 }

@@ -639,6 +639,62 @@ fn thread_count_and_cache_do_not_change_results() {
     });
 }
 
+/// The batched suffstat kernels pin a canonical summation order that is
+/// a function of `n` alone: four lanes, example `r` in lane `r mod 4`,
+/// lanes combined `(s0 + s1) + (s2 + s3)`. This test drives the full
+/// scan + algebraic-CV pipeline over blocks whose row counts cover every
+/// `n mod 4` tail, across thread counts, and demands bit-identical
+/// search output (`f64`'s `Debug` repr round-trips bits, so string
+/// equality is bit equality).
+#[test]
+fn scan_suffstats_bit_identical_across_threads_and_tails() {
+    check("scan_suffstats_threads_tails", 8, |rng| {
+        let leaves = ["ra", "rb", "rc", "rd", "re", "rf", "rg"];
+        let region_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+            "L", "All", &leaves,
+        ))]);
+        // Region r gets 4k + (r mod 4) rows: every dot4 tail length
+        // occurs in every generated case, in leaf regions and in the
+        // unions the rollup regions see.
+        let mut blocks = Vec::new();
+        let mut n_items = 0i64;
+        for region in 0u32..8 {
+            let n_rows = 4 * rng.usize_in(2, 6) + region as usize % 4;
+            let mut block = RegionBlock::new(vec![region], 2);
+            for _ in 0..n_rows {
+                block.push(
+                    n_items,
+                    &[1.0, rng.f64_in(-10.0, 10.0)],
+                    rng.f64_in(-50.0, 50.0),
+                );
+                n_items += 1;
+            }
+            blocks.push(block);
+        }
+        let cost = UniformCellCost { rate: 1.0 };
+        let config_for = |threads: usize| {
+            BellwetherConfig::builder(1e9)
+                .min_coverage(0.0)
+                .min_examples(6)
+                .error_measure(ErrorMeasure::CrossValidation { folds: 3, seed: 7 })
+                .parallelism(Parallelism::fixed(threads).with_min_chunk(1))
+                .build()
+                .unwrap()
+        };
+        let run = |threads: usize| -> String {
+            let source = MemorySource::new(blocks.clone());
+            let search =
+                basic_search(&source, &region_space, &cost, &config_for(threads), n_items as usize)
+                    .unwrap();
+            format!("{search:?}")
+        };
+        let baseline = run(1);
+        for threads in [2usize, 4, 7] {
+            assert_eq!(run(threads), baseline, "threads={threads} diverged");
+        }
+    });
+}
+
 /// Classic per-fold refit CV, used as the reference for the algebraic
 /// engine: every fold trains on a fresh copy of its complement with the
 /// Gram matrix rebuilt from raw rows. Mirrors the engine's fold
@@ -654,16 +710,16 @@ fn refit_cv(data: &RegressionData, k: usize, seed: u64) -> Option<f64> {
     let mut fold_rmses = Vec::new();
     for fold in 0..k {
         let mut train = RegressionData::new(data.p());
-        for (i, (x, y, _)) in data.iter().enumerate() {
-            if assignment[i] != fold {
-                train.push(x, y);
+        for (i, &f) in assignment.iter().enumerate() {
+            if f != fold {
+                train.push(&data.row(i), data.y(i));
             }
         }
         let Some(model) = fit_wls(&train) else { continue };
         let (mut sse, mut count) = (0.0, 0usize);
-        for (i, (x, y, _)) in data.iter().enumerate() {
-            if assignment[i] == fold {
-                let r = y - model.predict(x);
+        for (i, &f) in assignment.iter().enumerate() {
+            if f == fold {
+                let r = data.y(i) - data.predict_at(i, model.coefficients());
                 sse += r * r;
                 count += 1;
             }
@@ -714,9 +770,7 @@ fn algebraic_cv_matches_refit_cv() {
                 .iter()
                 .map(|b| {
                     let mut data = RegressionData::new(2);
-                    for (_, x, y) in b.iter() {
-                        data.push(x, y);
-                    }
+                    data.extend_from_cols(b.cols(), &b.targets);
                     refit_cv(&data, folds, 0xBE11)
                 })
                 .collect();
