@@ -1,0 +1,274 @@
+//! The serving layer under load: concurrent clients × batch sizes
+//! against a real `bellwether-serve` TCP server.
+//!
+//! Train-once / predict-many is the paper's amortisation argument; this
+//! bench measures the predict-many side. One model (basic + tree +
+//! cube) is trained on the mail-order workload, snapshotted, loaded
+//! back, and served; then each (clients, batch) combination drives a
+//! fixed number of keep-alive `POST /predict` requests per client and
+//! reports client-observed throughput and latency:
+//!
+//! * `qps` — completed requests per second across all clients;
+//! * `predictions_per_sec` — `qps × batch`;
+//! * `p50_us` / `p99_us` — client-side request latency percentiles.
+//!
+//! Results land in `results/BENCH_serve.json`. `BW_QUICK=1` shrinks the
+//! workload and request counts for smoke runs; `BW_BENCH_SAMPLES`
+//! scales requests-per-client (`requests = 250 × samples`, quick mode
+//! `50 × samples`).
+
+use bellwether_bench::report::{json_f64, results_dir};
+use bellwether_bench::{prepare_retail, quick_mode};
+use bellwether_core::{
+    basic_search, build_rainforest, build_single_scan_cube, BellwetherConfig, BellwetherModel,
+    CubeConfig, ErrorMeasure, ModelBuilder, TreeConfig,
+};
+use bellwether_datagen::RetailConfig;
+use bellwether_obs::Registry;
+use bellwether_serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn train_model(quick: bool) -> (Arc<BellwetherModel>, Vec<i64>) {
+    let mut cfg = RetailConfig::mail_order_heterogeneous(if quick { 80 } else { 160 }, 7);
+    cfg.months = 6;
+    cfg.converge_month = 4;
+    cfg.states = Some(vec!["MD", "WI", "CA", "TX", "NY", "IL"]);
+    let prep = prepare_retail(&cfg);
+    let problem = BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(20)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .build()
+        .unwrap();
+    let search = basic_search(
+        &prep.source,
+        &prep.data.space,
+        &prep.data.cost,
+        &problem,
+        prep.data.items.len(),
+    )
+    .unwrap();
+    let tree = build_rainforest(
+        &prep.source,
+        &prep.data.space,
+        &prep.data.items,
+        None,
+        &problem,
+        &TreeConfig {
+            max_depth: 2,
+            min_node_items: 30,
+            ..TreeConfig::default()
+        },
+    )
+    .unwrap();
+    let cube = build_single_scan_cube(
+        &prep.source,
+        &prep.data.space,
+        &prep.data.item_space,
+        &prep.data.item_coords,
+        &problem,
+        &CubeConfig {
+            min_subset_size: 20,
+        },
+    )
+    .unwrap();
+    let ids = prep.data.items.ids().to_vec();
+    let model = ModelBuilder::new(&prep.source, prep.data.items)
+        .basic(search.report().expect("a bellwether exists"))
+        .tree(tree)
+        .cube(cube, 0.95)
+        .build()
+        .unwrap();
+
+    // Round-trip through the snapshot: the served model is the loaded
+    // artifact, exactly as in production.
+    let path = std::env::temp_dir().join("bw_bench_serve.bwsn");
+    model.save(&path).expect("snapshot save");
+    let loaded = BellwetherModel::load(&path).expect("snapshot load");
+    let _ = std::fs::remove_file(&path);
+    (loaded, ids)
+}
+
+/// One keep-alive client: `requests` POSTs of `batch` ids, returning
+/// each request's client-observed latency in microseconds.
+fn client_run(
+    addr: std::net::SocketAddr,
+    ids: &[i64],
+    batch: usize,
+    requests: usize,
+) -> Vec<u64> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).ok();
+    let mut latencies = Vec::with_capacity(requests);
+    let mut cursor = 0usize;
+    for _ in 0..requests {
+        let mut id_list = String::new();
+        for k in 0..batch {
+            if k > 0 {
+                id_list.push(',');
+            }
+            id_list.push_str(&ids[(cursor + k) % ids.len()].to_string());
+        }
+        cursor = (cursor + batch) % ids.len();
+        let body = format!("{{\"method\":\"basic\",\"ids\":[{id_list}]}}");
+        let started = Instant::now();
+        write!(
+            conn,
+            "POST /predict HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        read_response(&mut conn);
+        latencies.push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+    latencies
+}
+
+fn read_response(conn: &mut TcpStream) {
+    let mut reader = BufReader::new(conn);
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    assert!(status.contains("200"), "unexpected status: {status}");
+    let mut len = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            len = v;
+        }
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+}
+
+struct Combo {
+    clients: usize,
+    batch: usize,
+    requests: usize,
+    qps: f64,
+    predictions_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let quick = quick_mode();
+    let samples: usize = std::env::var("BW_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 3 } else { 10 });
+    let per_client_base = if quick { 50 } else { 250 };
+    let requests_per_client = per_client_base * samples.max(1);
+
+    let (model, ids) = train_model(quick);
+    eprintln!(
+        "model ready: {} methods, {} items",
+        model.methods().len(),
+        ids.len()
+    );
+
+    let registry = Registry::shared();
+    let config = ServeConfig::builder()
+        .workers(4)
+        .request_timeout(Duration::from_secs(10))
+        .registry(registry.clone())
+        .build()
+        .unwrap();
+    let handle = Server::bind("127.0.0.1:0", model, config).unwrap();
+    let addr = handle.local_addr();
+
+    let mut combos = Vec::new();
+    for clients in [1usize, 2, 4] {
+        for batch in [1usize, 16] {
+            // Warm-up burst to stabilise worker caches and allocator.
+            client_run(addr, &ids, batch, 20);
+
+            let started = Instant::now();
+            let threads: Vec<_> = (0..clients)
+                .map(|_| {
+                    let ids = ids.clone();
+                    std::thread::spawn(move || {
+                        client_run(addr, &ids, batch, requests_per_client)
+                    })
+                })
+                .collect();
+            let mut latencies: Vec<u64> = Vec::new();
+            for t in threads {
+                latencies.extend(t.join().expect("client thread"));
+            }
+            let wall = started.elapsed().as_secs_f64();
+            latencies.sort_unstable();
+            let total = (clients * requests_per_client) as f64;
+            let combo = Combo {
+                clients,
+                batch,
+                requests: clients * requests_per_client,
+                qps: total / wall,
+                predictions_per_sec: total * batch as f64 / wall,
+                p50_us: percentile(&latencies, 0.50),
+                p99_us: percentile(&latencies, 0.99),
+            };
+            println!(
+                "clients={:<2} batch={:<3} {:>9.0} req/s {:>11.0} pred/s  p50 {:>6}us  p99 {:>6}us",
+                combo.clients,
+                combo.batch,
+                combo.qps,
+                combo.predictions_per_sec,
+                combo.p50_us,
+                combo.p99_us
+            );
+            combos.push(combo);
+        }
+    }
+
+    // The server's own accounting must agree with the client count.
+    let snap = registry.snapshot();
+    let served = snap.counter("serve/requests").unwrap_or(0);
+    let expected: u64 = combos.iter().map(|c| c.requests as u64).sum();
+    assert!(
+        served >= expected,
+        "server counted {served} requests, clients sent at least {expected}"
+    );
+    handle.shutdown();
+
+    let mut out = String::from("{\n  \"benchmarks\": [");
+    for (i, c) in combos.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\n      \"name\": \"serve/clients={}/batch={}\",\n      \"clients\": {},\n      \"batch\": {},\n      \"requests\": {},\n      \"qps\": {},\n      \"predictions_per_sec\": {},\n      \"p50_us\": {},\n      \"p99_us\": {}\n    }}",
+            c.clients,
+            c.batch,
+            c.clients,
+            c.batch,
+            c.requests,
+            json_f64(c.qps),
+            json_f64(c.predictions_per_sec),
+            c.p50_us,
+            c.p99_us
+        ));
+    }
+    out.push_str("\n  ]\n}");
+    let path = results_dir().join("BENCH_serve.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&path, out).expect("write BENCH_serve.json");
+    println!("(wrote {})", path.display());
+}

@@ -130,6 +130,53 @@ impl ItemTable {
         })
     }
 
+    /// Reassemble an item table from its parts — the model-snapshot
+    /// decode path. Validates what [`ItemTable::from_table`] would have:
+    /// unique ids and one attribute value per item.
+    pub fn from_parts(
+        ids: Vec<i64>,
+        numeric: Vec<NumericAttr>,
+        categorical: Vec<CategoricalAttr>,
+    ) -> Result<Self> {
+        let n = ids.len();
+        let mut index = HashMap::with_capacity(n);
+        for (row, &id) in ids.iter().enumerate() {
+            if index.insert(id, row).is_some() {
+                return Err(BellwetherError::Config(format!("duplicate item id {id}")));
+            }
+        }
+        for a in &numeric {
+            if a.values.len() != n {
+                return Err(BellwetherError::Config(format!(
+                    "item attribute {} has {} values for {n} items",
+                    a.name,
+                    a.values.len()
+                )));
+            }
+        }
+        for a in &categorical {
+            if a.codes.len() != n {
+                return Err(BellwetherError::Config(format!(
+                    "item attribute {} has {} codes for {n} items",
+                    a.name,
+                    a.codes.len()
+                )));
+            }
+            if let Some(&code) = a.codes.iter().find(|&&c| c as usize >= a.labels.len()) {
+                return Err(BellwetherError::Config(format!(
+                    "item attribute {} has code {code} outside its dictionary",
+                    a.name
+                )));
+            }
+        }
+        Ok(ItemTable {
+            ids,
+            index,
+            numeric,
+            categorical,
+        })
+    }
+
     /// Number of items.
     pub fn len(&self) -> usize {
         self.ids.len()

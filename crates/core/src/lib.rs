@@ -39,8 +39,10 @@ pub mod error;
 pub mod eval;
 pub mod features;
 pub mod items;
+pub mod model;
 pub mod predict;
 pub mod problem;
+pub mod report;
 pub mod sampling;
 pub mod scan;
 pub mod seeded;
@@ -71,8 +73,10 @@ pub use features::{
     StarDatabase,
 };
 pub use items::ItemTable;
+pub use model::{BellwetherModel, MethodKind, ModelBuilder};
 pub use predict::{evaluate_method, EvalContext, ItemCentricEval, Method};
 pub use problem::{BellwetherConfig, BellwetherConfigBuilder, ErrorMeasure};
+pub use report::BellwetherReport;
 pub use sampling::sampling_baseline_error;
 pub use scan::{
     scan_regions, scan_regions_policy, scan_regions_where, scan_regions_where_policy,

@@ -108,60 +108,6 @@ impl BellwetherConfig {
         }
     }
 
-    /// Defaults: coverage ≥ 0.5, 10-fold CV, at least 10 examples,
-    /// hardware parallelism (`BW_THREADS` overridable).
-    #[deprecated(since = "0.1.0", note = "use BellwetherConfig::builder(budget)")]
-    pub fn new(budget: f64) -> Self {
-        BellwetherConfig {
-            budget,
-            min_coverage: 0.5,
-            error_measure: ErrorMeasure::cv10(),
-            min_examples: 10,
-            parallelism: Parallelism::default(),
-            recorder: Arc::new(NoopRecorder),
-            scan_policy: ScanPolicy::Strict,
-        }
-    }
-
-    /// Builder-style coverage threshold.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BellwetherConfig::builder(..).min_coverage(..)"
-    )]
-    pub fn with_min_coverage(mut self, c: f64) -> Self {
-        self.min_coverage = c;
-        self
-    }
-
-    /// Builder-style error measure.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BellwetherConfig::builder(..).error_measure(..)"
-    )]
-    pub fn with_error_measure(mut self, m: ErrorMeasure) -> Self {
-        self.error_measure = m;
-        self
-    }
-
-    /// Builder-style minimum example count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BellwetherConfig::builder(..).min_examples(..)"
-    )]
-    pub fn with_min_examples(mut self, n: usize) -> Self {
-        self.min_examples = n;
-        self
-    }
-
-    /// Builder-style thread budget.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BellwetherConfig::builder(..).parallelism(..)"
-    )]
-    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
-        self.parallelism = p;
-        self
-    }
 }
 
 /// Builder for [`BellwetherConfig`] with typed validation: invalid knob
@@ -312,21 +258,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn config_builder() {
-        let c = BellwetherConfig::new(50.0)
-            .with_min_coverage(0.8)
-            .with_error_measure(ErrorMeasure::TrainingSet)
-            .with_min_examples(5)
-            .with_parallelism(Parallelism::fixed(3));
-        assert_eq!(c.budget, 50.0);
-        assert_eq!(c.min_coverage, 0.8);
-        assert_eq!(c.error_measure, ErrorMeasure::TrainingSet);
-        assert_eq!(c.min_examples, 5);
-        assert_eq!(c.parallelism, Parallelism::fixed(3));
-    }
-
-    #[test]
     fn typed_builder_validates_and_builds() {
         let c = BellwetherConfig::builder(50.0)
             .min_coverage(0.8)
@@ -342,14 +273,12 @@ mod tests {
         assert_eq!(c.parallelism, Parallelism::fixed(3));
         assert!(!c.recorder.enabled()); // default is the no-op recorder
 
-        // Unconstrained budget is legal; matches the deprecated shim.
-        #[allow(deprecated)]
-        let legacy = BellwetherConfig::new(f64::INFINITY);
+        // Unconstrained budget is legal, and defaults are the paper's.
         let built = BellwetherConfig::builder(f64::INFINITY).build().unwrap();
-        assert_eq!(built.budget, legacy.budget);
-        assert_eq!(built.min_coverage, legacy.min_coverage);
-        assert_eq!(built.error_measure, legacy.error_measure);
-        assert_eq!(built.min_examples, legacy.min_examples);
+        assert_eq!(built.budget, f64::INFINITY);
+        assert_eq!(built.min_coverage, 0.5);
+        assert_eq!(built.error_measure, ErrorMeasure::cv10());
+        assert_eq!(built.min_examples, 10);
     }
 
     #[test]

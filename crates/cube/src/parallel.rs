@@ -87,12 +87,6 @@ impl Parallelism {
         self
     }
 
-    /// Deprecated name for [`Parallelism::with_min_chunk`].
-    #[deprecated(since = "0.3.0", note = "renamed to with_min_chunk")]
-    pub fn with_min_work_per_thread(self, n: usize) -> Self {
-        self.with_min_chunk(n.max(1))
-    }
-
     /// The number of worker threads to use for `work_items` independent
     /// pieces of work: capped by hardware, by `max_threads`, and by the
     /// work available (`work_items / min_chunk`). Always at least 1.
@@ -147,12 +141,5 @@ mod tests {
     #[should_panic(expected = "min_chunk must be >= 1")]
     fn zero_min_chunk_rejected() {
         let _ = Parallelism::fixed(2).with_min_chunk(0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_works() {
-        let p = Parallelism::fixed(8).with_min_work_per_thread(100);
-        assert_eq!(p.threads_for(250), 2);
     }
 }

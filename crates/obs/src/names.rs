@@ -68,3 +68,19 @@ pub const CUBE_CELLS: &str = "cube/cells_emitted";
 pub const PREDICT_FOLDS: &str = "predict/folds";
 /// Individual item predictions scored by `evaluate_method`.
 pub const PREDICT_PREDICTIONS: &str = "predict/predictions";
+
+/// HTTP requests handled by a prediction server (all endpoints).
+pub const SERVE_REQUESTS: &str = "serve/requests";
+/// Prediction batches (one `/predict` request = one batch).
+pub const SERVE_BATCHES: &str = "serve/batches";
+/// Individual predictions answered by `/predict` batches.
+pub const SERVE_PREDICTIONS: &str = "serve/predictions";
+/// Requests answered with an error status (4xx/5xx), plus connections
+/// dropped mid-request.
+pub const SERVE_ERRORS: &str = "serve/errors";
+/// TCP connections accepted by a prediction server.
+pub const SERVE_CONNECTIONS: &str = "serve/connections";
+/// Gauge: p50 request latency in microseconds (set on `/metrics`).
+pub const SERVE_LATENCY_P50_US: &str = "serve/latency_p50_us";
+/// Gauge: p99 request latency in microseconds (set on `/metrics`).
+pub const SERVE_LATENCY_P99_US: &str = "serve/latency_p99_us";

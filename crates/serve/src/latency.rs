@@ -1,0 +1,131 @@
+//! Lock-free log-bucketed latency histogram.
+//!
+//! The obs crate's span accounting keeps only call count + total time,
+//! which cannot answer "what is p99?". This histogram buckets request
+//! latencies by power of two (microseconds), so concurrent workers
+//! record with one relaxed atomic increment and `/metrics` reads
+//! quantiles without coordination. Resolution is a factor of two —
+//! coarse, but tail *orders of magnitude* are what a serving dashboard
+//! watches, and the trade buys zero contention on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets: covers 1 µs … ~2⁶² µs.
+const BUCKETS: usize = 63;
+
+/// Concurrent latency histogram over microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts observations with `floor(log2(µs)) == i`
+    /// (bucket 0 also takes 0 µs).
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation of `micros` microseconds.
+    pub fn observe(&self, micros: u64) {
+        let idx = if micros == 0 {
+            0
+        } else {
+            (micros.ilog2() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, resolved to the
+    /// upper edge of its bucket (a conservative latency bound). `None`
+    /// when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper edge of bucket i: 2^(i+1) − 1 µs.
+                return Some(if i + 1 >= 64 { u64::MAX } else { (1 << (i + 1)) - 1 });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_edges() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.observe(10); // bucket 3 → upper edge 15
+        }
+        h.observe(1000); // bucket 9 → upper edge 1023
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), Some(15));
+        assert_eq!(h.quantile(0.99), Some(15));
+        assert_eq!(h.quantile(1.0), Some(1023));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn zero_and_huge_observations_stay_in_range() {
+        let h = LatencyHistogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.25), Some(1));
+        assert!(h.quantile(1.0).unwrap() > 1 << 62);
+    }
+
+    #[test]
+    fn concurrent_observers_lose_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.observe(t * 100 + i % 50);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

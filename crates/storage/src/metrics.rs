@@ -10,8 +10,7 @@
 //! [`IoStats::in_registry`] the handles are bound to the canonical
 //! [`names`] entries of a shared [`Registry`], so the legacy record
 //! paths and the workspace-wide metrics see the *same* atomics. Read
-//! values through [`MetricsSnapshot`] accessors; the per-field getters
-//! are deprecated shims.
+//! values through [`MetricsSnapshot`] accessors.
 
 use bellwether_obs::{names, Counter, MetricsSnapshot, Recorder, Registry};
 use std::sync::Arc;
@@ -75,40 +74,12 @@ impl IoStats {
         }
     }
 
-    /// Total region reads.
-    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::regions_read()")]
-    pub fn regions_read(&self) -> u64 {
-        self.regions_read.get()
-    }
-
-    /// Total bytes read.
-    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::bytes_read()")]
-    pub fn bytes_read(&self) -> u64 {
-        self.bytes_read.get()
-    }
-
-    /// Total examples read.
-    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::examples_read()")]
-    pub fn examples_read(&self) -> u64 {
-        self.examples_read.get()
-    }
-
     /// Reset all counters (between experiment phases).
     pub fn reset(&self) {
         self.regions_read.reset();
         self.bytes_read.reset();
         self.examples_read.reset();
         self.corrupt_blocks.reset();
-    }
-
-    /// Equivalent number of full scans given the total region count —
-    /// `regions_read / num_regions` as a float.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read via MetricsSnapshot::scan_equivalents()"
-    )]
-    pub fn scan_equivalents(&self, num_regions: usize) -> f64 {
-        self.snapshot().scan_equivalents(num_regions)
     }
 }
 
@@ -210,33 +181,6 @@ impl CubeStats {
         }
     }
 
-    /// Total fact rows scanned.
-    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::rows_scanned()")]
-    pub fn rows_scanned(&self) -> u64 {
-        self.rows_scanned.get()
-    }
-
-    /// Total distinct base cells produced by phase 1.
-    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::base_cells()")]
-    pub fn base_cells(&self) -> u64 {
-        self.base_cells.get()
-    }
-
-    /// Total cell-state merge operations.
-    #[deprecated(since = "0.1.0", note = "read via MetricsSnapshot::cell_merges()")]
-    pub fn cell_merges(&self) -> u64 {
-        self.cell_merges.get()
-    }
-
-    /// Total non-empty regions emitted.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read via MetricsSnapshot::regions_emitted()"
-    )]
-    pub fn regions_emitted(&self) -> u64 {
-        self.regions_emitted.get()
-    }
-
     /// Reset all counters (between experiment phases).
     pub fn reset(&self) {
         self.rows_scanned.reset();
@@ -305,20 +249,6 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.regions_read(), 0);
         assert_eq!(snap.scan_equivalents(0), 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_getters_still_read_the_same_counters() {
-        let s = IoStats::shared();
-        s.record_region_read(8, 2);
-        assert_eq!(s.regions_read(), 1);
-        assert_eq!(s.bytes_read(), 8);
-        assert_eq!(s.examples_read(), 2);
-        assert!((s.scan_equivalents(2) - 0.5).abs() < 1e-12);
-        let c = CubeStats::shared();
-        c.record_rows_scanned(7);
-        assert_eq!(c.rows_scanned(), 7);
     }
 
     #[test]

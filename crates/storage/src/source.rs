@@ -38,8 +38,8 @@ pub trait TrainingSource: Send + Sync {
     fn stats(&self) -> &Arc<IoStats>;
 
     /// Point-in-time copy of this source's IO counters, addressed by the
-    /// canonical names in `bellwether_obs::names` — the non-deprecated
-    /// way to read scan counts.
+    /// canonical names in `bellwether_obs::names` — the one way to read
+    /// scan counts.
     fn snapshot(&self) -> MetricsSnapshot {
         self.stats().as_ref().into()
     }

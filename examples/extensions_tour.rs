@@ -66,10 +66,10 @@ fn main() {
             },
         )
         .unwrap();
-        if let Some((report, score)) = found.bellwether() {
+        if let Some(report) = found.report() {
             println!(
-                "  w1={w1:<4} → {:<14} cost {:>5.1} err {:>8.1} score {score:.1}",
-                report.label, report.cost, report.error.value
+                "  w1={w1:<4} → {:<14} err {:>8.1} score {:.1}",
+                report.label, report.error, report.score
             );
         }
     }
@@ -109,8 +109,8 @@ fn main() {
     )
     .unwrap();
     let before = tree.num_leaves();
-    let root_info = tree.root().info.clone().unwrap();
-    let penalty = 0.05 * root_info.error * tree.root().item_rows.len() as f64;
+    let root_report = tree.report().unwrap();
+    let penalty = 0.05 * root_report.error * tree.root().item_rows.len() as f64;
     let removed = prune_tree(&mut tree, penalty);
     println!(
         "\ntree pruning: {before} leaves → {} (removed {removed} splits at 5% penalty)",

@@ -77,7 +77,7 @@ fn main() {
     println!(
         "clean search: {} regions evaluated, bellwether {}",
         baseline.reports.len(),
-        baseline.bellwether().map_or("-".into(), |b| b.label.clone())
+        baseline.report().map_or("-".into(), |r| r.label)
     );
 
     // ---- seeded transient faults, absorbed by retries: every region
@@ -150,7 +150,7 @@ fn main() {
         "skip-unreadable scan: {} regions evaluated, skipped {:?}, bellwether {}",
         degraded.reports.len(),
         degraded.skipped_regions,
-        degraded.bellwether().map_or("-".into(), |b| b.label.clone())
+        degraded.report().map_or("-".into(), |r| r.label)
     );
     assert_eq!(degraded.skipped_regions.len(), 1);
 

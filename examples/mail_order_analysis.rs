@@ -33,11 +33,11 @@ fn main() {
             .unwrap();
         let result =
             basic_search(&source, &data.space, &data.cost, &config, data.items.len()).unwrap();
-        match result.bellwether() {
+        match result.report() {
             Some(best) => println!(
                 "{budget:>8} {:>16} {:>12.1} {:>12.1} {:>8.3}",
                 best.label,
-                best.error.value,
+                best.error,
                 result.average_error().unwrap_or(f64::NAN),
                 result.indistinguishable_fraction(0.95).unwrap_or(f64::NAN),
             ),

@@ -105,7 +105,7 @@ fn main() {
     println!(
         "basic search: {} regions evaluated, bellwether {}",
         search.reports.len(),
-        search.bellwether().map_or("-".into(), |b| b.label.clone())
+        search.report().map_or("-".into(), |r| r.label)
     );
 
     // ---- the algebraic CV engine's work counters: the same search

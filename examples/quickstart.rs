@@ -127,11 +127,11 @@ fn main() {
             report.label, report.cost, report.error.value
         );
     }
-    let best = result.bellwether().expect("a bellwether exists");
-    println!("\nbellwether region: {} (rmse {:.4})", best.label, best.error.value);
+    let report = result.report().expect("a bellwether exists");
+    println!("\n{}", report.summary());
     println!(
         "model coefficients (intercept, regional_profit, max_ad_size): {:?}",
-        best.model.coefficients()
+        report.model.coefficients()
     );
-    assert!(best.label.contains("WI"), "the planted bellwether is in WI");
+    assert!(report.label.contains("WI"), "the planted bellwether is in WI");
 }

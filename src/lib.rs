@@ -17,7 +17,10 @@
 //!   and bellwether cubes, plus item-centric prediction;
 //! * [`obs`] — zero-dependency metrics/span observability layer
 //!   (attach a [`prelude::Registry`] via
-//!   [`prelude::BellwetherConfig::builder`] to profile any run).
+//!   [`prelude::BellwetherConfig::builder`] to profile any run);
+//! * [`serve`] — versioned model snapshots served over HTTP: train
+//!   once, [`prelude::ModelBuilder`] + `save`, then answer predictions
+//!   at QPS from an immutable [`prelude::BellwetherModel`].
 //!
 //! ```
 //! use bellwether::prelude::*;
@@ -45,7 +48,8 @@
 //!     .build()
 //!     .unwrap();
 //! let search = basic_search(&source, &data.space, &data.cost, &config, data.items.len()).unwrap();
-//! assert!(search.bellwether().is_some());
+//! let report = search.report().expect("a bellwether exists");
+//! assert!(report.n_examples > 0);
 //! assert!(registry.snapshot().counter("search/regions_evaluated").unwrap() > 0);
 //! ```
 
@@ -54,6 +58,7 @@ pub use bellwether_cube as cube;
 pub use bellwether_datagen as datagen;
 pub use bellwether_linreg as linreg;
 pub use bellwether_obs as obs;
+pub use bellwether_serve as serve;
 pub use bellwether_storage as storage;
 pub use bellwether_table as table;
 
@@ -77,8 +82,9 @@ pub mod prelude {
         write_disk_source_in_registry, BasicSearchResult, BellwetherConfig,
         BellwetherConfigBuilder, BellwetherCube, BellwetherError, BellwetherTree, CubeConfig,
         CubeConfigBuilder, ErrorMeasure, EvalContext, FeatureQuery, ItemCentricEval,
-        ItemTable, LinearCriterion, MergeableAccumulator, Method, ScanPolicy, Scanned,
-        SplitCriterion, StarDatabase, TreeConfig, TreeConfigBuilder,
+        BellwetherModel, BellwetherReport, ItemTable, LinearCriterion, MergeableAccumulator,
+        Method, MethodKind, ModelBuilder, ScanPolicy, Scanned, SplitCriterion, StarDatabase,
+        TreeConfig, TreeConfigBuilder,
     };
     pub use bellwether_cube::{
         cube_pass, cube_pass_traced, feasible_regions, Constraints, CostModel, CubeInput,
@@ -86,6 +92,7 @@ pub mod prelude {
         UniformCellCost,
     };
     pub use bellwether_obs::{span, MetricsSnapshot, NoopRecorder, Recorder, Registry};
+    pub use bellwether_serve::{ServeConfig, ServeConfigBuilder, Server, ServerHandle};
     pub use bellwether_datagen::{
         build_scale_workload, generate_retail, generate_simulation, RetailConfig, ScaleConfig,
         SimulationConfig,

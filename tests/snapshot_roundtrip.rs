@@ -1,0 +1,333 @@
+//! Snapshot round-trip properties for the serving layer:
+//!
+//! * build → snapshot → load → predict is *bit-identical* to predicting
+//!   from the in-memory model, for every one of the seven builders
+//!   (basic, linear-criterion, naive tree, RF tree, naive cube,
+//!   single-scan cube, optimized cube) at threads ∈ {1, 2, 4};
+//! * the snapshot bytes themselves are identical across thread counts —
+//!   the serialization is deterministic and the builders are
+//!   scan-order deterministic;
+//! * any single-bit flip of a saved snapshot surfaces from
+//!   `BellwetherModel::load` as a structured error — a classified
+//!   `CorruptBlock` when the flip lands in a checksummed frame, an
+//!   `InvalidData` container error otherwise — and never a panic.
+
+use bellwether::prelude::*;
+use bellwether_prop::{check, Rng};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Random region blocks over an 8-region flat hierarchy, plus the item
+/// table and item space the tree/cube builders need.
+#[allow(clippy::type_complexity)]
+fn random_fixture(
+    rng: &mut Rng,
+) -> (
+    MemorySource,
+    RegionSpace,
+    ItemTable,
+    RegionSpace,
+    HashMap<i64, Vec<u32>>,
+    usize,
+) {
+    let leaves = ["ra", "rb", "rc", "rd", "re", "rf", "rg"];
+    let region_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+        "L", "All", &leaves,
+    ))]);
+    let n_items = rng.usize_in(10, 24);
+    let groups: Vec<&str> = (0..n_items).map(|_| *rng.choice(&["ga", "gb"])).collect();
+    let mut blocks = Vec::new();
+    for region in 0u32..8 {
+        let mut block = RegionBlock::new(vec![region], 2);
+        for id in 0..n_items as i64 {
+            if rng.flip(0.8) {
+                block.push(id, &[1.0, rng.f64_in(-10.0, 10.0)], rng.f64_in(-50.0, 50.0));
+            }
+        }
+        blocks.push(block);
+    }
+    let items = ItemTable::from_table(
+        &Table::new(
+            Schema::from_pairs(&[("id", DataType::Int), ("g", DataType::Str)]).unwrap(),
+            vec![
+                Column::from_ints((0..n_items as i64).collect()),
+                Column::from_strs(&groups),
+            ],
+        )
+        .unwrap(),
+        "id",
+        &[],
+        &["g"],
+    )
+    .unwrap();
+    let item_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+        "G",
+        "Any",
+        &["ga", "gb"],
+    ))]);
+    let item_coords: HashMap<i64, Vec<u32>> = (0..n_items as i64)
+        .map(|id| (id, vec![if groups[id as usize] == "ga" { 1 } else { 2 }]))
+        .collect();
+    (
+        MemorySource::new(blocks),
+        region_space,
+        items,
+        item_space,
+        item_coords,
+        n_items,
+    )
+}
+
+fn config_for(threads: usize) -> BellwetherConfig {
+    BellwetherConfig::builder(1e9)
+        .min_coverage(0.0)
+        .min_examples(3)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .parallelism(Parallelism::fixed(threads).with_min_chunk(1))
+        .build()
+        .unwrap()
+}
+
+const BUILDERS: [&str; 7] = [
+    "basic",
+    "basic_linear",
+    "tree_naive",
+    "tree_rainforest",
+    "cube_naive",
+    "cube_single_scan",
+    "cube_optimized",
+];
+
+/// Run one named builder and package its output as a one-method model.
+#[allow(clippy::too_many_arguments)]
+fn build_model(
+    builder: &str,
+    src: &MemorySource,
+    region_space: &RegionSpace,
+    items: &ItemTable,
+    item_space: &RegionSpace,
+    item_coords: &HashMap<i64, Vec<u32>>,
+    n_items: usize,
+    config: &BellwetherConfig,
+) -> Option<(BellwetherModel, MethodKind)> {
+    let cost = UniformCellCost { rate: 1.0 };
+    let tc = TreeConfig {
+        min_node_items: 4,
+        ..TreeConfig::default()
+    };
+    let cc = CubeConfig {
+        min_subset_size: 3,
+    };
+    let mb = ModelBuilder::new(src, items.clone());
+    let (mb, method) = match builder {
+        "basic" => {
+            let report = basic_search(src, region_space, &cost, config, n_items)
+                .unwrap()
+                .report()?;
+            (mb.basic(report), MethodKind::Basic)
+        }
+        "basic_linear" => {
+            let report = basic_search_linear(
+                src,
+                region_space,
+                &cost,
+                config,
+                n_items,
+                LinearCriterion {
+                    cost_weight: 1.0,
+                    coverage_weight: 10.0,
+                },
+            )
+            .unwrap()
+            .report()?;
+            (mb.basic(report), MethodKind::Basic)
+        }
+        "tree_naive" => {
+            let tree =
+                build_naive_tree(src, region_space, items, None, config, &tc).unwrap();
+            (mb.tree(tree), MethodKind::Tree)
+        }
+        "tree_rainforest" => {
+            let tree = build_rainforest(src, region_space, items, None, config, &tc).unwrap();
+            (mb.tree(tree), MethodKind::Tree)
+        }
+        "cube_naive" => {
+            let cube =
+                build_naive_cube(src, region_space, item_space, item_coords, config, &cc)
+                    .unwrap();
+            (mb.cube(cube, 0.95), MethodKind::Cube)
+        }
+        "cube_single_scan" => {
+            let cube = build_single_scan_cube(
+                src,
+                region_space,
+                item_space,
+                item_coords,
+                config,
+                &cc,
+            )
+            .unwrap();
+            (mb.cube(cube, 0.95), MethodKind::Cube)
+        }
+        "cube_optimized" => {
+            let cube =
+                build_optimized_cube(src, region_space, item_space, item_coords, config, &cc)
+                    .unwrap();
+            (mb.cube(cube, 0.95), MethodKind::Cube)
+        }
+        other => panic!("unknown builder {other}"),
+    };
+    Some((mb.build().unwrap(), method))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("bw_snapshot_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Predictions as bits, so NaN-safe exact comparison works.
+fn predictions(model: &BellwetherModel, method: MethodKind, ids: &[i64]) -> Vec<Option<u64>> {
+    ids.iter()
+        .map(|&id| model.predict(method, id).map(f64::to_bits))
+        .collect()
+}
+
+/// The acceptance property of the snapshot layer: for all seven
+/// builders at every thread count, save → load changes nothing — the
+/// loaded model's predictions are bit-identical — and the snapshot
+/// bytes are identical across thread counts.
+#[test]
+fn roundtrip_is_bit_identical_for_all_builders_and_threads() {
+    check("snapshot_roundtrip_bit_identical", 3, |rng| {
+        let (src, region_space, items, item_space, item_coords, n_items) =
+            random_fixture(rng);
+        // All item ids plus ids unknown to the table.
+        let mut probe: Vec<i64> = (0..n_items as i64).collect();
+        probe.extend([-1, 9_999]);
+
+        let mut built = 0usize;
+        for builder in BUILDERS {
+            let mut bytes_at_threads: Vec<Vec<u8>> = Vec::new();
+            let mut preds_at_threads: Vec<Vec<Option<u64>>> = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let config = config_for(threads);
+                let Some((model, method)) = build_model(
+                    builder,
+                    &src,
+                    &region_space,
+                    &items,
+                    &item_space,
+                    &item_coords,
+                    n_items,
+                    &config,
+                ) else {
+                    // A random fixture may fail the coverage floor for
+                    // the searches; nothing to round-trip then.
+                    continue;
+                };
+                let path = tmp(&format!("{builder}_{threads}.bwsn"));
+                model.save(&path).unwrap();
+                let loaded = BellwetherModel::load(&path).unwrap();
+                assert_eq!(loaded.methods(), vec![method], "{builder}");
+
+                let before = predictions(&model, method, &probe);
+                let after = predictions(&loaded, method, &probe);
+                assert_eq!(before, after, "{builder} threads={threads} round-trip");
+
+                bytes_at_threads.push(std::fs::read(&path).unwrap());
+                preds_at_threads.push(after);
+                built += 1;
+                std::fs::remove_file(&path).ok();
+            }
+            for (i, (bytes, preds)) in bytes_at_threads
+                .iter()
+                .zip(&preds_at_threads)
+                .enumerate()
+                .skip(1)
+            {
+                assert_eq!(
+                    bytes, &bytes_at_threads[0],
+                    "{builder}: snapshot bytes differ between thread runs 0 and {i}"
+                );
+                assert_eq!(
+                    preds, &preds_at_threads[0],
+                    "{builder}: predictions differ between thread runs 0 and {i}"
+                );
+            }
+        }
+        // With an unbounded budget and no coverage floor, every builder
+        // must actually produce a model — no vacuous pass.
+        assert_eq!(
+            built,
+            BUILDERS.len() * 3,
+            "some builder produced no model to round-trip"
+        );
+    });
+}
+
+/// Any single-bit flip anywhere in a saved snapshot must surface as a
+/// structured load error — never a panic, never a silently-wrong model.
+#[test]
+fn single_bit_flip_is_detected_never_panics() {
+    check("snapshot_bit_flip_detected", 6, |rng| {
+        let (src, region_space, items, item_space, item_coords, n_items) =
+            random_fixture(rng);
+        let config = config_for(1);
+        let (model, method) = build_model(
+            "tree_rainforest",
+            &src,
+            &region_space,
+            &items,
+            &item_space,
+            &item_coords,
+            n_items,
+            &config,
+        )
+        .expect("tree build succeeds");
+        let path = tmp(&format!("flip_{}.bwsn", rng.next_u64()));
+        model.save(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let baseline = predictions(&model, method, &[0, 1]);
+
+        for _ in 0..12 {
+            let byte = rng.usize_in(0, clean.len() - 1);
+            let bit = rng.usize_in(0, 7) as u8;
+            let mut corrupted = clean.clone();
+            corrupted[byte] ^= 1 << bit;
+            std::fs::write(&path, &corrupted).unwrap();
+            match BellwetherModel::load(&path) {
+                Err(err) => {
+                    // A flip inside a CRC frame classifies as a
+                    // CorruptBlock; one in the container framing
+                    // (magic, version, section count, footer) is an
+                    // InvalidData structural error. Anything else is
+                    // an unstructured escape.
+                    match &err {
+                        BellwetherError::Io(e) => {
+                            assert!(
+                                is_corrupt(e)
+                                    || e.kind() == std::io::ErrorKind::InvalidData,
+                                "byte {byte} bit {bit}: unstructured error {e:?}"
+                            );
+                        }
+                        other => {
+                            panic!("byte {byte} bit {bit}: unexpected error {other}")
+                        }
+                    }
+                }
+                Ok(loaded) => {
+                    // Every byte is covered by the magic, the version,
+                    // the section count or a section CRC, so no flip
+                    // may load successfully.
+                    let after = predictions(&loaded, method, &[0, 1]);
+                    panic!(
+                        "byte {byte} bit {bit}: corrupted snapshot loaded \
+                         (predictions before {baseline:?} after {after:?})"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    });
+}
