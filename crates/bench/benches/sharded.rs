@@ -1,0 +1,444 @@
+//! Out-of-core sharded training at scale: the two-level deterministic
+//! merge and the memory-budgeted external CUBE pass.
+//!
+//! Emits `results/BENCH_sharded.json` with four sections:
+//!
+//! * `config` — generated rows, regions, dataset bytes on disk;
+//! * `curves` — rows × shards × threads scaling cells for a full
+//!   basic-bellwether training scan over a `ShardedSource`, each with
+//!   wall-clock stats and the peak resident set of the timed samples
+//!   (the out-of-core evidence: peak RSS stays far below the dataset);
+//! * `bit_identity` — all seven builders trained over sharded layouts
+//!   with shards ∈ {1,2,4} × threads ∈ {1,2,4}; a builder passes when
+//!   every combination serializes to byte-identical model snapshots;
+//! * `external_cube` — the external CUBE pass with spilling forced by a
+//!   tiny budget vs unlimited, bit-compared, plus the `shard/*` spill
+//!   counters from the forced run.
+//!
+//! `BW_SHARDED_ROWS` overrides the curve dataset size (default 10M
+//! fact rows, `BW_QUICK=1` drops to 200k); `BW_SHARDED_CUBE_ROWS`
+//! overrides the external-CUBE row count.
+
+use bellwether_bench::{peak_rss_bytes, reset_peak_rss, results_dir, Harness};
+use bellwether_bench::report::{json_escape, json_f64};
+use bellwether_core::{
+    basic_search, basic_search_linear, build_naive_cube, build_naive_tree,
+    build_optimized_cube, build_rainforest, build_single_scan_cube, BellwetherConfig,
+    CubeConfig, ErrorMeasure, LinearCriterion, ModelBuilder, TreeConfig,
+};
+use bellwether_cube::cube_pass::{CubeInput, Measure};
+use bellwether_cube::{
+    cube_pass_external, Parallelism, UniformCellCost, UNLIMITED_BUDGET,
+};
+use bellwether_datagen::{build_scale_workload, ScaleConfig, ScaleWorkload};
+use bellwether_obs::{names, NoopRecorder, Registry};
+use bellwether_storage::{ShardedSource, TrainingSource};
+use bellwether_table::ops::AggFunc;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn env_rows(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn config_for(threads: usize) -> BellwetherConfig {
+    BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .parallelism(Parallelism::fixed(threads))
+        .build()
+        .unwrap()
+}
+
+/// Write the workload sharded under a temp dir; returns (dir, bytes).
+fn emit_sharded(w: &ScaleWorkload, tag: &str, shards: usize) -> (PathBuf, u64) {
+    let dir = std::env::temp_dir().join(format!("bw_bench_sharded_{tag}_{shards}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create shard dir");
+    let manifest = w.write_sharded(&dir, shards).expect("write sharded");
+    let bytes = manifest.shards.iter().map(|s| s.bytes).sum();
+    (dir, bytes)
+}
+
+/// Train one named builder over `src` and return the serialized model
+/// snapshot bytes (deterministic, so byte equality == model equality).
+fn snapshot_bytes(
+    builder: &str,
+    src: &dyn TrainingSource,
+    w: &ScaleWorkload,
+    threads: usize,
+) -> Vec<u8> {
+    let config = config_for(threads);
+    let cost = UniformCellCost { rate: 1.0 };
+    let tc = TreeConfig {
+        max_depth: 2,
+        min_node_items: 30,
+        max_numeric_splits: 4,
+        ..TreeConfig::default()
+    };
+    let cc = CubeConfig {
+        min_subset_size: 10,
+    };
+    let n_items = w.items.len();
+    let mb = ModelBuilder::new(src, w.items.clone());
+    let mb = match builder {
+        "basic" => mb.basic(
+            basic_search(src, &w.region_space, &cost, &config, n_items)
+                .unwrap()
+                .report()
+                .expect("basic search found a region"),
+        ),
+        "basic_linear" => mb.basic(
+            basic_search_linear(
+                src,
+                &w.region_space,
+                &cost,
+                &config,
+                n_items,
+                LinearCriterion {
+                    cost_weight: 1.0,
+                    coverage_weight: 10.0,
+                },
+            )
+            .unwrap()
+            .report()
+            .expect("linear search found a region"),
+        ),
+        "tree_naive" => mb.tree(
+            build_naive_tree(src, &w.region_space, &w.items, None, &config, &tc).unwrap(),
+        ),
+        "tree_rainforest" => mb.tree(
+            build_rainforest(src, &w.region_space, &w.items, None, &config, &tc).unwrap(),
+        ),
+        "cube_naive" => mb.cube(
+            build_naive_cube(
+                src,
+                &w.region_space,
+                &w.item_space,
+                &w.item_coords,
+                &config,
+                &cc,
+            )
+            .unwrap(),
+            0.95,
+        ),
+        "cube_single_scan" => mb.cube(
+            build_single_scan_cube(
+                src,
+                &w.region_space,
+                &w.item_space,
+                &w.item_coords,
+                &config,
+                &cc,
+            )
+            .unwrap(),
+            0.95,
+        ),
+        "cube_optimized" => mb.cube(
+            build_optimized_cube(
+                src,
+                &w.region_space,
+                &w.item_space,
+                &w.item_coords,
+                &config,
+                &cc,
+            )
+            .unwrap(),
+            0.95,
+        ),
+        other => panic!("unknown builder {other}"),
+    };
+    let model = mb.build().unwrap();
+    let path = std::env::temp_dir().join(format!("bw_bench_sharded_{builder}.bwsn"));
+    model.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Fact inputs for the external CUBE pass: one `CubeInput` per shard of
+/// regions, `Sum(y)` + `Avg(y)` per (region-cell, item).
+fn cube_inputs(w: &ScaleWorkload, regions: usize, shards: usize) -> Vec<CubeInput> {
+    let per = regions.div_ceil(shards);
+    (0..shards)
+        .map(|s| {
+            let lo = s * per;
+            let hi = ((s + 1) * per).min(regions);
+            let mut item_ids = Vec::new();
+            let mut coords = Vec::new();
+            let mut ys = Vec::new();
+            for r in lo..hi {
+                let block = w.region_block(r);
+                for row in 0..block.n() {
+                    item_ids.push(block.item_ids[row]);
+                    coords.extend_from_slice(&w.regions[r].0);
+                    ys.push(Some(block.targets[row]));
+                }
+            }
+            CubeInput {
+                item_ids,
+                coords,
+                measures: vec![
+                    Measure::Numeric {
+                        name: "sum_y".into(),
+                        func: AggFunc::Sum,
+                        values: ys.clone(),
+                    },
+                    Measure::Numeric {
+                        name: "avg_y".into(),
+                        func: AggFunc::Avg,
+                        values: ys,
+                    },
+                ],
+            }
+        })
+        .collect()
+}
+
+fn cube_result_digest(r: &bellwether_cube::cube_pass::CubeResult) -> BTreeMap<String, u64> {
+    // Order-independent exact digest: per region, fold the bit patterns
+    // of every (item, measure) slot with a position-sensitive hash.
+    let mut out = BTreeMap::new();
+    for (region, items) in &r.regions {
+        let mut entries: Vec<(i64, u64)> = items
+            .iter()
+            .map(|(&id, vals)| {
+                let mut h = 0xcbf29ce484222325u64;
+                for v in vals {
+                    let bits = v.map_or(u64::MAX, f64::to_bits);
+                    h = (h ^ bits).wrapping_mul(0x100000001b3);
+                }
+                (id, h)
+            })
+            .collect();
+        entries.sort_unstable();
+        let mut h = 0xcbf29ce484222325u64;
+        for (id, eh) in entries {
+            h = (h ^ id as u64).wrapping_mul(0x100000001b3);
+            h = (h ^ eh).wrapping_mul(0x100000001b3);
+        }
+        out.insert(format!("{region:?}"), h);
+    }
+    out
+}
+
+struct CurveCell {
+    rows: usize,
+    shards: usize,
+    threads: usize,
+    min_secs: f64,
+    median_secs: f64,
+    mean_secs: f64,
+    peak_rss_bytes: Option<u64>,
+}
+
+fn main() {
+    let quick = bellwether_bench::quick_mode();
+    let rows = env_rows("BW_SHARDED_ROWS", if quick { 200_000 } else { 10_000_000 });
+    let cube_rows = env_rows("BW_SHARDED_CUBE_ROWS", if quick { 100_000 } else { 2_000_000 });
+
+    // --- Curve dataset: a ≥10M-row scale workload, streamed to sharded
+    // layouts on disk (never materialized in RAM).
+    let cfg = ScaleConfig::sized_for(rows, 20260808);
+    let w = build_scale_workload(&cfg);
+    let total_rows = w.total_examples();
+    eprintln!(
+        "curve workload: {} regions × {} items = {} examples",
+        w.regions.len(),
+        cfg.n_items,
+        total_rows
+    );
+
+    let shard_counts = [1usize, 2, 4];
+    let mut layouts: Vec<(usize, PathBuf, u64)> = Vec::new();
+    for &s in &shard_counts {
+        let (t, dir_bytes) = bellwether_bench::time_secs(|| emit_sharded(&w, "curve", s));
+        let (dir, bytes) = t;
+        eprintln!(
+            "emitted shards={s}: {bytes} bytes in {:.2}s ({})",
+            dir_bytes,
+            dir.display()
+        );
+        layouts.push((s, dir, bytes));
+    }
+    let dataset_bytes = layouts[0].2;
+
+    // --- Scaling curves: full basic training scan per (shards, threads)
+    // cell, timed with per-cell peak RSS.
+    let mut h = Harness::new();
+    if !quick && std::env::var("BW_BENCH_SAMPLES").is_err() {
+        h.sample_size = 3; // full passes over ≥10M rows; 3 samples suffice
+        h.warmup_iters = 1;
+    }
+    let cost = UniformCellCost { rate: 1.0 };
+    let mut curves: Vec<CurveCell> = Vec::new();
+    for &(s, ref dir, _) in &layouts {
+        for threads in [1usize, 2, 4] {
+            let src = ShardedSource::open(dir).expect("open sharded");
+            let config = config_for(threads);
+            let name = format!("basic_scan/shards={s}/threads={threads}");
+            let r = h.bench(&name, || {
+                basic_search(&src, &w.region_space, &cost, &config, cfg.n_items).unwrap()
+            });
+            curves.push(CurveCell {
+                rows: total_rows,
+                shards: s,
+                threads,
+                min_secs: r.min_secs(),
+                median_secs: r.median_secs(),
+                mean_secs: r.mean_secs(),
+                peak_rss_bytes: r.peak_rss_bytes,
+            });
+        }
+    }
+
+    // --- Bit identity: every builder × shards × threads serializes to
+    // the same snapshot bytes. A moderate workload keeps the naive
+    // (rescan-per-subset) builders tractable while still crossing shard
+    // boundaries many times.
+    let bi_cfg = ScaleConfig {
+        n_items: if quick { 80 } else { 200 },
+        fact_dim_leaves: [5, 5],
+        item_hierarchy_leaves: [3, 3, 3],
+        n_numeric_attrs: 3,
+        regional_features: 4,
+        bellwether_noise: 0.05,
+        seed: 4242,
+    };
+    let bw = build_scale_workload(&bi_cfg);
+    let bi_layouts: Vec<(usize, PathBuf)> = shard_counts
+        .iter()
+        .map(|&s| (s, emit_sharded(&bw, "bitid", s).0))
+        .collect();
+    const BUILDERS: [&str; 7] = [
+        "basic",
+        "basic_linear",
+        "tree_naive",
+        "tree_rainforest",
+        "cube_naive",
+        "cube_single_scan",
+        "cube_optimized",
+    ];
+    let mut bit_identity: Vec<(String, bool)> = Vec::new();
+    for builder in BUILDERS {
+        let mut reference: Option<Vec<u8>> = None;
+        let mut identical = true;
+        for &(s, ref dir) in &bi_layouts {
+            for threads in [1usize, 2, 4] {
+                let src = ShardedSource::open(dir).expect("open sharded");
+                let bytes = snapshot_bytes(builder, &src, &bw, threads);
+                match &reference {
+                    None => reference = Some(bytes),
+                    Some(want) => {
+                        if *want != bytes {
+                            identical = false;
+                            eprintln!(
+                                "MISMATCH {builder}: shards={s} threads={threads} diverges"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "bit_identity {builder:<18} shards x threads {}",
+            if identical { "IDENTICAL" } else { "DIVERGED" }
+        );
+        bit_identity.push((builder.to_string(), identical));
+    }
+
+    // --- External CUBE: spilling forced by a tiny budget must be
+    // bit-identical to the unlimited-budget pass over the same inputs.
+    let cube_regions = cube_rows
+        .div_ceil(cfg.n_items)
+        .clamp(1, w.regions.len());
+    let inputs = cube_inputs(&w, cube_regions, 4);
+    let actual_cube_rows: usize = inputs.iter().map(|i| i.item_ids.len()).sum();
+    eprintln!("external cube: {actual_cube_rows} rows across {} inputs", inputs.len());
+    // 8 MiB of resident state forces spills at the full row count; CI
+    // smoke runs shrink it further (`BW_SHARDED_BUDGET`) so even a tiny
+    // dataset exercises the spill path.
+    let budget = env_rows("BW_SHARDED_BUDGET", 8 << 20);
+    let reg = Registry::shared();
+    let par = Parallelism::fixed(4);
+    let (spilled, spilled_secs) = bellwether_bench::time_secs(|| {
+        cube_pass_external(&w.region_space, &inputs, par, budget, reg.as_ref()).unwrap()
+    });
+    let (unlimited, unlimited_secs) = bellwether_bench::time_secs(|| {
+        cube_pass_external(&w.region_space, &inputs, par, UNLIMITED_BUDGET, &NoopRecorder)
+            .unwrap()
+    });
+    let identical = cube_result_digest(&spilled) == cube_result_digest(&unlimited);
+    let snap = reg.snapshot();
+    let spills = snap.counter(names::SHARD_SPILLS).unwrap_or(0);
+    let spill_bytes = snap.counter(names::SHARD_SPILL_BYTES).unwrap_or(0);
+    let runs_merged = snap.counter(names::SHARD_RUNS_MERGED).unwrap_or(0);
+    println!(
+        "external cube: budget {budget} -> {spills} spills ({spill_bytes} bytes, {runs_merged} runs merged), \
+         {spilled_secs:.2}s vs unlimited {unlimited_secs:.2}s, {}",
+        if identical { "IDENTICAL" } else { "DIVERGED" }
+    );
+
+    // --- Emit the combined report.
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"rows\": {total_rows}, \"regions\": {}, \"items\": {}, \"dataset_bytes\": {dataset_bytes}}},\n",
+        w.regions.len(),
+        bi_cfg.n_items.max(cfg.n_items)
+    ));
+    out.push_str("  \"curves\": [");
+    for (i, c) in curves.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"shards\": {}, \"threads\": {}, \"min_secs\": {}, \"median_secs\": {}, \"mean_secs\": {}, \"peak_rss_bytes\": {}}}",
+            c.rows,
+            c.shards,
+            c.threads,
+            json_f64(c.min_secs),
+            json_f64(c.median_secs),
+            json_f64(c.mean_secs),
+            c.peak_rss_bytes
+                .map_or_else(|| "null".to_string(), |b| b.to_string())
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"bit_identity\": {");
+    for (i, (b, ok)) in bit_identity.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{}\": {}", json_escape(b), ok));
+    }
+    out.push_str("\n  },\n");
+    out.push_str(&format!(
+        "  \"external_cube\": {{\"rows\": {actual_cube_rows}, \"budget_bytes\": {budget}, \"spills\": {spills}, \"spill_bytes\": {spill_bytes}, \"runs_merged\": {runs_merged}, \"spilled_secs\": {}, \"unlimited_secs\": {}, \"identical\": {identical}}}\n",
+        json_f64(spilled_secs),
+        json_f64(unlimited_secs)
+    ));
+    out.push_str("}\n");
+
+    let path = results_dir().join("BENCH_sharded.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&path, &out).expect("write BENCH_sharded.json");
+    println!("(wrote {})", path.display());
+
+    // Out-of-core evidence on stdout too.
+    if let Some(peak) = peak_rss_bytes() {
+        println!(
+            "dataset {dataset_bytes} bytes on disk; process peak RSS {peak} bytes"
+        );
+    }
+    let _ = reset_peak_rss();
+
+    for (_, dir, _) in layouts {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    for (_, dir) in bi_layouts {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -20,6 +20,10 @@ pub struct BenchResult {
     /// Per-sample wall-clock seconds (each sample may batch several
     /// iterations; values are per-iteration).
     pub samples: Vec<f64>,
+    /// Peak resident set across the timed samples, when the platform
+    /// exposes it (see [`crate::rss`]). The high-water mark is reset
+    /// after warm-up, so this is per-benchmark, not per-process.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl BenchResult {
@@ -87,6 +91,9 @@ impl Harness {
         for _ in 0..self.warmup_iters {
             black_box(f());
         }
+        // Reset the RSS high-water mark after warm-up so the reported
+        // peak covers only the timed samples of *this* benchmark.
+        crate::rss::reset_peak_rss();
         let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let start = Instant::now();
@@ -96,9 +103,14 @@ impl Harness {
         let result = BenchResult {
             name: name.to_string(),
             samples,
+            peak_rss_bytes: crate::rss::peak_rss_bytes(),
+        };
+        let rss = match result.peak_rss_bytes {
+            Some(b) => format!("{:>7.1} MiB", b as f64 / (1024.0 * 1024.0)),
+            None => "     n/a".to_string(),
         };
         println!(
-            "{:<44} min {:>10.6}s  median {:>10.6}s  mean {:>10.6}s  ({} samples)",
+            "{:<44} min {:>10.6}s  median {:>10.6}s  mean {:>10.6}s  peak-rss {rss}  ({} samples)",
             result.name,
             result.min_secs(),
             result.median_secs(),
@@ -131,6 +143,11 @@ impl Harness {
             out.push_str(&format!(
                 "      \"mean_secs\": {},\n",
                 json_f64(r.mean_secs())
+            ));
+            out.push_str(&format!(
+                "      \"peak_rss_bytes\": {},\n",
+                r.peak_rss_bytes
+                    .map_or_else(|| "null".to_string(), |b| b.to_string())
             ));
             let samples: Vec<String> = r.samples.iter().map(|s| json_f64(*s)).collect();
             out.push_str(&format!(

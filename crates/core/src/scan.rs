@@ -30,6 +30,22 @@
 //! The sequential fallback ([`Parallelism::min_chunk`]) makes tiny
 //! inputs skip thread spawning entirely; the fallback runs the very
 //! same fold closure over the same indices in the same order.
+//!
+//! # Sharded sources: the two-level merge
+//!
+//! When the source is shard-partitioned
+//! ([`TrainingSource::shard_starts`] returns the contiguous shard
+//! boundaries, e.g. `bellwether_storage::ShardedSource`), the engine
+//! aligns its chunks to those boundaries: shards are scanned one after
+//! another in ascending order, each shard's regions are chunked across
+//! the worker budget, and every partial — within-shard chunks first,
+//! then whole shards — merges in ascending index order. A chunk never
+//! spans a shard boundary, so each worker's reads stay inside one shard
+//! file (one page-cache/fault domain at a time), while the merge is the
+//! very same ascending-contiguous-range discipline as the flat scan.
+//! By the [`MergeableAccumulator`] contract the result is therefore
+//! bit-identical at **any shard × thread combination**, including the
+//! unsharded scan of the same regions.
 
 use crate::error::{BellwetherError, Result};
 use bellwether_cube::Parallelism;
@@ -237,6 +253,34 @@ pub(crate) fn merge_skipped(into: &mut Vec<usize>, scan_skipped: &[usize]) {
     into.dedup();
 }
 
+/// The contiguous `[lo, hi)` segments a scan processes one after
+/// another: the source's shard ranges when it is shard-partitioned, a
+/// single whole-range segment otherwise. Empty shards are dropped; a
+/// malformed `shard_starts` (not starting at 0, descending, or past the
+/// region count) falls back to the flat single segment rather than
+/// corrupting the scan.
+fn shard_segments(starts: Option<Vec<usize>>, n: usize) -> Vec<(usize, usize)> {
+    if let Some(starts) = starts {
+        let valid = !starts.is_empty()
+            && starts[0] == 0
+            && starts.windows(2).all(|w| w[0] <= w[1])
+            && *starts.last().expect("non-empty") <= n;
+        if valid {
+            let mut segments = Vec::with_capacity(starts.len());
+            for (i, &lo) in starts.iter().enumerate() {
+                let hi = starts.get(i + 1).copied().unwrap_or(n);
+                if lo < hi {
+                    segments.push((lo, hi));
+                }
+            }
+            if !segments.is_empty() {
+                return segments;
+            }
+        }
+    }
+    vec![(0, n)]
+}
+
 /// Best-effort extraction of a panic payload's message (`panic!` with a
 /// string literal or a formatted message covers practically all of std
 /// and this workspace).
@@ -349,7 +393,7 @@ where
     F: Fn(&mut A, usize, &RegionBlock) -> Result<()> + Sync,
 {
     let n = source.num_regions();
-    let threads = par.threads_for(n);
+    let segments = shard_segments(source.shard_starts(), n);
 
     let run_chunk = |worker: usize, lo: usize, hi: usize| -> Result<Scanned<A>> {
         let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Scanned<A>> {
@@ -387,63 +431,71 @@ where
         })
     };
 
-    let partials: Vec<Result<Scanned<A>>> = if threads <= 1 {
-        vec![run_chunk(0, 0, n)]
-    } else {
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    let run_chunk = &run_chunk;
-                    s.spawn(move || run_chunk(t, lo, hi))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(t, h)| {
-                    // catch_unwind already confines panics inside the
-                    // worker; a join error can only mean the payload
-                    // escaped some other way. Still isolate it.
-                    h.join().unwrap_or_else(|payload| {
-                        Err(BellwetherError::WorkerPanic {
-                            worker: t,
-                            message: panic_message(payload.as_ref()),
-                        })
-                    })
-                })
-                .collect()
-        })
-    };
-
-    // Merge in ascending chunk order. Errors also surface in chunk
-    // order, which is the sequential scan's first-error (the earliest
-    // failing chunk holds the lowest failing index). Skipped indices
-    // concatenate in the same order, so the list is ascending.
+    // Two-level merge: segments (shards, or the single whole range) are
+    // scanned sequentially in ascending order; each segment's regions
+    // are chunked across the worker budget and its partials merge in
+    // ascending chunk order. Errors surface in the same order — the
+    // earliest failing chunk of the earliest failing shard holds the
+    // lowest failing index, exactly the sequential scan's first error.
+    // Skipped indices concatenate ascending for the same reason.
     let mut merged: Option<A> = None;
     let mut skipped: Vec<usize> = Vec::new();
-    for partial in partials {
-        let part = partial?;
-        skipped.extend(part.skipped);
-        match merged.as_mut() {
-            None => merged = Some(part.acc),
-            Some(m) => m.merge(part.acc),
+    for (seg_lo, seg_hi) in segments {
+        let len = seg_hi - seg_lo;
+        let threads = par.threads_for(len);
+        let partials: Vec<Result<Scanned<A>>> = if threads <= 1 {
+            vec![run_chunk(0, seg_lo, seg_hi)]
+        } else {
+            let chunk = len.div_ceil(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = seg_lo + t * chunk;
+                        let hi = (seg_lo + (t + 1) * chunk).min(seg_hi);
+                        let run_chunk = &run_chunk;
+                        s.spawn(move || run_chunk(t, lo, hi))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(t, h)| {
+                        // catch_unwind already confines panics inside
+                        // the worker; a join error can only mean the
+                        // payload escaped some other way. Still
+                        // isolate it.
+                        h.join().unwrap_or_else(|payload| {
+                            Err(BellwetherError::WorkerPanic {
+                                worker: t,
+                                message: panic_message(payload.as_ref()),
+                            })
+                        })
+                    })
+                    .collect()
+            })
+        };
+        for partial in partials {
+            let part = partial?;
+            skipped.extend(part.skipped);
+            match merged.as_mut() {
+                None => merged = Some(part.acc),
+                Some(m) => m.merge(part.acc),
+            }
         }
-    }
-    if let ScanPolicy::SkipUnreadable { max_skipped } = policy {
-        // Chunks bound their local counts; the global budget is checked
-        // over the merged total.
-        if skipped.len() > max_skipped {
-            return Err(BellwetherError::TooManyUnreadable {
-                skipped: skipped.len(),
-                max_skipped,
-            });
+        if let ScanPolicy::SkipUnreadable { max_skipped } = policy {
+            // Chunks bound their local counts; the running global
+            // budget is checked after each shard, so an out-of-core
+            // scan stops paying IO as soon as the budget is blown.
+            if skipped.len() > max_skipped {
+                return Err(BellwetherError::TooManyUnreadable {
+                    skipped: skipped.len(),
+                    max_skipped,
+                });
+            }
         }
     }
     Ok(Scanned {
-        acc: merged.expect("threads_for returns at least 1"),
+        acc: merged.expect("shard_segments returns at least one segment"),
         skipped,
     })
 }
@@ -694,14 +746,14 @@ mod tests {
     /// Test-only source failing reads of chosen indices with a
     /// transient-looking error.
     struct FailOn {
-        inner: MemorySource,
+        inner: Box<dyn TrainingSource>,
         bad: Vec<usize>,
     }
 
     impl FailOn {
-        fn new(inner: MemorySource, bad: &[usize]) -> Self {
+        fn new(inner: impl TrainingSource + 'static, bad: &[usize]) -> Self {
             FailOn {
-                inner,
+                inner: Box::new(inner),
                 bad: bad.to_vec(),
             }
         }
@@ -733,6 +785,111 @@ mod tests {
         fn stats(&self) -> &std::sync::Arc<bellwether_storage::IoStats> {
             self.inner.stats()
         }
+
+        fn shard_starts(&self) -> Option<Vec<usize>> {
+            self.inner.shard_starts()
+        }
+    }
+
+    /// Build the regions of `source(n)` split into `shards` contiguous
+    /// [`MemorySource`]s behind one [`ShardedSource`].
+    fn sharded_source(n: usize, shards: usize) -> bellwether_storage::ShardedSource {
+        let blocks: Vec<RegionBlock> = (0..n as u32)
+            .map(|r| {
+                let mut b = RegionBlock::new(vec![r], 1);
+                b.push(r as i64, &[r as f64], (r as f64) * 2.0);
+                b
+            })
+            .collect();
+        let mut parts: Vec<Box<dyn TrainingSource>> = Vec::new();
+        let base = n / shards;
+        let rem = n % shards;
+        let mut it = blocks.into_iter();
+        for s in 0..shards {
+            let take = base + usize::from(s < rem);
+            parts.push(Box::new(MemorySource::new(
+                (&mut it).take(take).collect(),
+            )));
+        }
+        bellwether_storage::ShardedSource::from_sources(parts).unwrap()
+    }
+
+    #[test]
+    fn sharded_scan_is_bit_identical_to_flat_at_any_shard_thread_combo() {
+        let flat = source(23);
+        let fold = |acc: &mut Concat<(usize, u32)>, idx: usize, b: &RegionBlock| {
+            acc.0.push((idx, b.region[0]));
+            Ok(())
+        };
+        let expect = scan_regions(&flat, par(1), Concat::default, fold).unwrap();
+        for shards in [1usize, 2, 3, 4, 7] {
+            let src = sharded_source(23, shards);
+            assert_eq!(src.num_regions(), 23);
+            for threads in [1usize, 2, 4] {
+                let got = scan_regions(&src, par(threads), Concat::default, fold).unwrap();
+                assert_eq!(got, expect, "shards={shards} threads={threads}");
+                let best =
+                    scan_regions(&src, par(threads), BestRegion::default, |acc, idx, _| {
+                        acc.observe(idx, 1.0);
+                        Ok(())
+                    })
+                    .unwrap();
+                assert_eq!(best.0, Some((0, 1.0)), "tie-break across shards");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_policy_accounts_identically_across_shards() {
+        let corrupt = [3usize, 8, 15];
+        let seq = {
+            let faulty = FailOn::new(source(20), &corrupt);
+            scan_regions_policy(
+                &faulty,
+                par(1),
+                ScanPolicy::SkipUnreadable { max_skipped: 5 },
+                Concat::default,
+                |a: &mut Concat<usize>, i, _| {
+                    a.0.push(i);
+                    Ok(())
+                },
+            )
+            .unwrap()
+        };
+        for shards in [2usize, 4] {
+            for threads in [1usize, 2, 4] {
+                // The fault wrapper sits *outside* the sharded view, so
+                // the same global indices fail.
+                let faulty = FailOn::new(sharded_source(20, shards), &corrupt);
+                let got = scan_regions_policy(
+                    &faulty,
+                    par(threads),
+                    ScanPolicy::SkipUnreadable { max_skipped: 5 },
+                    Concat::default,
+                    |a: &mut Concat<usize>, i, _| {
+                        a.0.push(i);
+                        Ok(())
+                    },
+                )
+                .unwrap();
+                assert_eq!(got, seq, "shards={shards} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_shard_starts_falls_back_to_flat() {
+        assert_eq!(shard_segments(None, 10), vec![(0, 10)]);
+        assert_eq!(shard_segments(Some(vec![0, 4, 8]), 10), vec![(0, 4), (4, 8), (8, 10)]);
+        // Zero-width shards drop out.
+        assert_eq!(shard_segments(Some(vec![0, 0, 5, 5]), 5), vec![(0, 5)]);
+        // Malformed: doesn't start at 0 / descending / past n / empty.
+        assert_eq!(shard_segments(Some(vec![1, 5]), 10), vec![(0, 10)]);
+        assert_eq!(shard_segments(Some(vec![0, 6, 4]), 10), vec![(0, 10)]);
+        assert_eq!(shard_segments(Some(vec![0, 11]), 10), vec![(0, 10)]);
+        assert_eq!(shard_segments(Some(vec![]), 10), vec![(0, 10)]);
+        // Empty source still yields one (empty) segment.
+        assert_eq!(shard_segments(Some(vec![0]), 0), vec![(0, 0)]);
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl Measure {
         }
     }
 
-    fn check_len(&self, n: usize) {
+    pub(crate) fn check_len(&self, n: usize) {
         let len = match self {
             Measure::Numeric { values, .. } => values.len(),
             Measure::DistinctKeyed { keys, .. } => keys.len(),
@@ -304,7 +304,7 @@ impl CellState {
 /// a stable sort-by-key + keep-last dedup, applied at fold/merge
 /// boundaries (to bound carried size) and again at finish.
 #[derive(Debug)]
-enum StateCol {
+pub(crate) enum StateCol {
     Sum { totals: Vec<f64>, seen: Vec<bool> },
     Count(Vec<u64>),
     Avg { totals: Vec<f64>, counts: Vec<u64> },
@@ -315,7 +315,7 @@ enum StateCol {
 
 /// Stable-sort `pairs` by key and keep the **last** occurrence of each
 /// key (= hash-map insert order semantics). The result is key-sorted.
-fn dedup_pairs(pairs: &mut Vec<(i64, f64)>) {
+pub(crate) fn dedup_pairs(pairs: &mut Vec<(i64, f64)>) {
     if pairs.len() < 2 {
         return;
     }
@@ -412,7 +412,7 @@ impl StateCol {
     }
 
     /// A fresh column of the same measure kind with `len` empty slots.
-    fn new_like(&self, len: usize) -> StateCol {
+    pub(crate) fn new_like(&self, len: usize) -> StateCol {
         match self {
             StateCol::Sum { .. } => StateCol::Sum {
                 totals: vec![0.0; len],
@@ -439,7 +439,7 @@ impl StateCol {
     }
 
     /// Grow to `len` slots (new slots empty).
-    fn resize_default(&mut self, len: usize) {
+    pub(crate) fn resize_default(&mut self, len: usize) {
         match self {
             StateCol::Sum { totals, seen }
             | StateCol::Min { vals: totals, seen }
@@ -659,7 +659,7 @@ impl StateCol {
     /// Restore the per-slot "last insert wins, unique keys, key-sorted"
     /// invariant on distinct lanes after a round of appends; no-op for
     /// the numeric kinds. Must run before [`StateCol::finish_at`].
-    fn dedup_distinct(&mut self) {
+    pub(crate) fn dedup_distinct(&mut self) {
         if let StateCol::Distinct { pairs, .. } = self {
             for list in pairs {
                 dedup_pairs(list);
@@ -744,13 +744,13 @@ impl StateCol {
 /// is cell `i`'s dense key, `cols[m]` holds measure `m`'s accumulator
 /// lanes for every cell.
 #[derive(Debug)]
-struct StateTable {
-    keys: Vec<u64>,
-    cols: Vec<StateCol>,
+pub(crate) struct StateTable {
+    pub(crate) keys: Vec<u64>,
+    pub(crate) cols: Vec<StateCol>,
 }
 
 impl StateTable {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.keys.len()
     }
 
@@ -776,7 +776,7 @@ impl StateTable {
 }
 
 /// Per-item feature vectors of one region.
-type ItemFeatures = HashMap<i64, Vec<Option<f64>>>;
+pub(crate) type ItemFeatures = HashMap<i64, Vec<Option<f64>>>;
 
 /// Per-region, per-item aggregate vectors produced by [`cube_pass`].
 #[derive(Debug, Clone)]
@@ -815,18 +815,18 @@ impl CubeResult {
 /// the item id maps through a dense index over the distinct ids. `build`
 /// returns `None` when the combined key space cannot fit a `u64` with
 /// headroom — callers then fall back to [`cube_pass_reference`].
-struct KeySpace {
-    strides: Vec<u64>,
-    num_values: Vec<u64>,
-    cell_space: u64,
+pub(crate) struct KeySpace {
+    pub(crate) strides: Vec<u64>,
+    pub(crate) num_values: Vec<u64>,
+    pub(crate) cell_space: u64,
     /// Dense item index → item id, sorted ascending.
-    items: Vec<i64>,
-    item_index: FxMap<i64, u32>,
-    n_items: u64,
+    pub(crate) items: Vec<i64>,
+    pub(crate) item_index: FxMap<i64, u32>,
+    pub(crate) n_items: u64,
 }
 
 impl KeySpace {
-    fn build(space: &RegionSpace, item_ids: &[i64]) -> Option<KeySpace> {
+    pub(crate) fn build(space: &RegionSpace, item_ids: &[i64]) -> Option<KeySpace> {
         let num_values: Vec<u64> = space
             .dims()
             .iter()
@@ -864,7 +864,7 @@ impl KeySpace {
     }
 
     #[inline]
-    fn cell_key(&self, coords: &[u32]) -> u64 {
+    pub(crate) fn cell_key(&self, coords: &[u32]) -> u64 {
         coords
             .iter()
             .zip(&self.strides)
@@ -885,7 +885,7 @@ impl KeySpace {
     }
 }
 
-fn chunk_range(chunk: usize, n: usize) -> Range<usize> {
+pub(crate) fn chunk_range(chunk: usize, n: usize) -> Range<usize> {
     chunk * ROW_CHUNK..((chunk + 1) * ROW_CHUNK).min(n)
 }
 
@@ -900,7 +900,7 @@ fn split_point(space: u64, w: usize, t: usize) -> u64 {
 /// kind matched once. Per (cell, measure) the update sequence is
 /// row-ascending either way, so every accumulated scalar is bit-equal
 /// to a row-at-a-time fold.
-fn fold_chunk<K>(input: &CubeInput, arity: usize, rows: Range<usize>, key_of: &K) -> StateTable
+pub(crate) fn fold_chunk<K>(input: &CubeInput, arity: usize, rows: Range<usize>, key_of: &K) -> StateTable
 where
     K: Fn(usize, &[u32]) -> Option<u64>,
 {
@@ -1068,7 +1068,7 @@ fn merge_range(
 /// Phase 1b: merge chunk tables into per-worker shards of contiguous
 /// key ranges. Concatenating the shards in order yields all base cells
 /// sorted by key — for every worker count.
-fn merge_chunks(
+pub(crate) fn merge_chunks(
     tables: &[StateTable],
     key_space: u64,
     threads: usize,
@@ -1208,7 +1208,7 @@ fn flush_run(
 /// disjoint region-key ranges; every worker walks all base cells in key
 /// order, so each output cell accumulates its contributions in a fixed
 /// order and no two workers ever touch the same output cell.
-fn expand_rollup(
+pub(crate) fn expand_rollup(
     space: &RegionSpace,
     ks: &KeySpace,
     shards: &[StateTable],

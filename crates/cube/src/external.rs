@@ -1,0 +1,1177 @@
+//! Memory-budgeted external CUBE pass: the `cube_pass` kernel for fact
+//! tables whose phase-1 state does not fit in RAM.
+//!
+//! # Run discipline
+//!
+//! Fact rows are folded in the usual fixed [`ROW_CHUNK`] chunks, but
+//! instead of keeping every chunk table alive until one global merge,
+//! chunks are grouped into **runs** of a fixed [`RUN_CHUNKS`] chunks
+//! (the last run may be short). Each completed run is merged with the
+//! in-memory kernel's own `merge_chunks` into a key-sorted state run.
+//! The byte budget then decides only *where* completed runs live: when
+//! the resident runs exceed the budget, the oldest ones are serialized
+//! to temp files (a `shard/spills` counter per run, `shard/spill_bytes`
+//! for volume) until the budget holds again. Finally all runs — spilled
+//! and resident alike, in formation order — are k-way merged by key
+//! into sorted output segments and rolled up by the ordinary
+//! `expand_rollup`.
+//!
+//! # Determinism
+//!
+//! Run boundaries are a function of the input alone ([`RUN_CHUNKS`]
+//! chunks each), never of the budget or thread count. The budget picks
+//! between two bit-exact representations of the same run — the
+//! in-memory [`StateTable`]s or their serialized form, which round-trips
+//! every accumulator exactly (`f64` bits, integer counts, the
+//! key-sorted distinct pair lists) — so the k-way merge consumes
+//! identical per-run state sequences either way. Per output key the
+//! merge folds contributions in ascending run order (copy the first,
+//! merge the rest), the same copy-first, earlier-chunks-first order the
+//! in-memory kernel uses, and distinct lanes restore their keep-last
+//! dedup invariant per closed segment. Hence the acceptance property:
+//! **a spill-forced pass (tiny budget) and an unlimited-budget pass are
+//! bit-identical**, at any thread count.
+//!
+//! The budget bounds the *aggregation state* (completed runs). Two
+//! allocations are intentionally outside it: the transient chunk tables
+//! of the run being folded (at most `RUN_CHUNKS × ROW_CHUNK` rows of
+//! state — the floor any streaming pass pays) and the final merged
+//! base-cell table handed to the rollup, whose size is bounded by
+//! `#finest-cells × #items` — the aggregate itself, which must fit to
+//! be useful, independent of how many fact rows collapsed into it.
+
+use crate::cube_pass::{
+    chunk_range, cube_pass_reference, expand_rollup, fold_chunk, merge_chunks, CubeInput,
+    CubeResult, KeySpace, Measure, StateCol, StateTable, ROW_CHUNK,
+};
+use crate::parallel::Parallelism;
+use crate::region::RegionSpace;
+use bellwether_obs::{names, span, Recorder};
+use bellwether_table::ops::AggFunc;
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Chunks per run. Fixed — never derived from the budget or thread
+/// count — so every budget produces the same run structure and the
+/// spill-vs-resident choice cannot change a single output bit.
+pub const RUN_CHUNKS: usize = 64;
+
+/// Cells per serialized spill frame.
+const FRAME_CELLS: usize = 4096;
+
+/// Cells per output segment of the final k-way merge (the rollup
+/// tolerates any ascending segmentation).
+const SEGMENT_CELLS: usize = 1 << 16;
+
+/// Pass with no byte budget: nothing ever spills.
+pub const UNLIMITED_BUDGET: usize = usize::MAX;
+
+fn invalid<T>(msg: String) -> io::Result<T> {
+    Err(io::Error::new(io::ErrorKind::InvalidData, msg))
+}
+
+// ---------------------------------------------------------------------
+// Spill-file format (temp scratch, process-private):
+//   header:  u32 n_cols, then per column u8 kind tag + u8 func tag
+//   frames:  u32 cell count (0 terminates), count × u64 keys, then per
+//            column its lanes for those cells
+// All integers and floats little-endian; `f64` via `to_bits`, so the
+// round trip is bit-exact.
+// ---------------------------------------------------------------------
+
+fn func_tag(f: AggFunc) -> u8 {
+    match f {
+        AggFunc::Sum => 0,
+        AggFunc::Min => 1,
+        AggFunc::Max => 2,
+        AggFunc::Avg => 3,
+        AggFunc::Count => 4,
+        AggFunc::CountDistinct => 5,
+    }
+}
+
+fn func_from(tag: u8) -> io::Result<AggFunc> {
+    Ok(match tag {
+        0 => AggFunc::Sum,
+        1 => AggFunc::Min,
+        2 => AggFunc::Max,
+        3 => AggFunc::Avg,
+        4 => AggFunc::Count,
+        5 => AggFunc::CountDistinct,
+        other => return invalid(format!("bad func tag {other} in spill run")),
+    })
+}
+
+fn col_tags(c: &StateCol) -> (u8, u8) {
+    match c {
+        StateCol::Sum { .. } => (0, 0),
+        StateCol::Count(_) => (1, 0),
+        StateCol::Avg { .. } => (2, 0),
+        StateCol::Min { .. } => (3, 0),
+        StateCol::Max { .. } => (4, 0),
+        StateCol::Distinct { func, .. } => (5, func_tag(*func)),
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append one column's lanes for cells `lo..hi` to the frame buffer.
+fn encode_lanes(col: &StateCol, lo: usize, hi: usize, out: &mut Vec<u8>) {
+    match col {
+        StateCol::Sum { totals, seen }
+        | StateCol::Min { vals: totals, seen }
+        | StateCol::Max { vals: totals, seen } => {
+            for &v in &totals[lo..hi] {
+                put_f64(out, v);
+            }
+            out.extend(seen[lo..hi].iter().map(|&b| b as u8));
+        }
+        StateCol::Count(c) => {
+            for &v in &c[lo..hi] {
+                put_u64(out, v);
+            }
+        }
+        StateCol::Avg { totals, counts } => {
+            for &v in &totals[lo..hi] {
+                put_f64(out, v);
+            }
+            for &v in &counts[lo..hi] {
+                put_u64(out, v);
+            }
+        }
+        StateCol::Distinct { pairs, .. } => {
+            for list in &pairs[lo..hi] {
+                put_u32(out, list.len() as u32);
+                for &(k, v) in list {
+                    put_i64(out, k);
+                    put_f64(out, v);
+                }
+            }
+        }
+    }
+}
+
+/// Serialize a run (tables with ascending disjoint key ranges) to
+/// `path`; returns bytes written.
+fn write_run(path: &PathBuf, shards: &[StateTable]) -> io::Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut bytes = 0u64;
+    let mut buf = Vec::new();
+
+    let cols = shards.first().map(|t| t.cols.as_slice()).unwrap_or(&[]);
+    put_u32(&mut buf, cols.len() as u32);
+    for c in cols {
+        let (kind, func) = col_tags(c);
+        buf.push(kind);
+        buf.push(func);
+    }
+    w.write_all(&buf)?;
+    bytes += buf.len() as u64;
+
+    for table in shards {
+        let mut lo = 0;
+        while lo < table.len() {
+            let hi = (lo + FRAME_CELLS).min(table.len());
+            buf.clear();
+            put_u32(&mut buf, (hi - lo) as u32);
+            for &k in &table.keys[lo..hi] {
+                put_u64(&mut buf, k);
+            }
+            for col in &table.cols {
+                encode_lanes(col, lo, hi, &mut buf);
+            }
+            w.write_all(&buf)?;
+            bytes += buf.len() as u64;
+            lo = hi;
+        }
+    }
+    buf.clear();
+    put_u32(&mut buf, 0);
+    w.write_all(&buf)?;
+    bytes += buf.len() as u64;
+    w.flush()?;
+    Ok(bytes)
+}
+
+struct FrameReader {
+    r: BufReader<File>,
+    schema: Vec<(u8, u8)>,
+}
+
+impl FrameReader {
+    fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.r.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn bytes(&mut self, n: usize) -> io::Result<Vec<u8>> {
+        let mut v = vec![0u8; n];
+        self.r.read_exact(&mut v)?;
+        Ok(v)
+    }
+
+    fn u64s(&mut self, n: usize) -> io::Result<Vec<u64>> {
+        let raw = self.bytes(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    fn f64s(&mut self, n: usize) -> io::Result<Vec<f64>> {
+        Ok(self.u64s(n)?.into_iter().map(f64::from_bits).collect())
+    }
+
+    fn bools(&mut self, n: usize) -> io::Result<Vec<bool>> {
+        Ok(self.bytes(n)?.into_iter().map(|b| b != 0).collect())
+    }
+
+    fn open(path: &PathBuf) -> io::Result<FrameReader> {
+        let mut fr = FrameReader {
+            r: BufReader::new(File::open(path)?),
+            schema: Vec::new(),
+        };
+        let n_cols = fr.u32()? as usize;
+        let raw = fr.bytes(n_cols * 2)?;
+        fr.schema = raw.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        Ok(fr)
+    }
+
+    /// Read the next frame as a small [`StateTable`]; `None` at the
+    /// terminator.
+    fn next_frame(&mut self) -> io::Result<Option<StateTable>> {
+        let n = self.u32()? as usize;
+        if n == 0 {
+            return Ok(None);
+        }
+        let keys = self.u64s(n)?;
+        let schema = self.schema.clone();
+        let mut cols = Vec::with_capacity(schema.len());
+        for &(kind, func) in &schema {
+            let col = match kind {
+                0 | 3 | 4 => {
+                    let vals = self.f64s(n)?;
+                    let seen = self.bools(n)?;
+                    match kind {
+                        0 => StateCol::Sum { totals: vals, seen },
+                        3 => StateCol::Min { vals, seen },
+                        _ => StateCol::Max { vals, seen },
+                    }
+                }
+                1 => StateCol::Count(self.u64s(n)?),
+                2 => StateCol::Avg {
+                    totals: self.f64s(n)?,
+                    counts: self.u64s(n)?,
+                },
+                5 => {
+                    let mut pairs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let len = self.u32()? as usize;
+                        let raw = self.bytes(len * 16)?;
+                        pairs.push(
+                            raw.chunks_exact(16)
+                                .map(|c| {
+                                    (
+                                        i64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
+                                        f64::from_bits(u64::from_le_bytes(
+                                            c[8..].try_into().expect("8 bytes"),
+                                        )),
+                                    )
+                                })
+                                .collect(),
+                        );
+                    }
+                    StateCol::Distinct {
+                        func: func_from(func)?,
+                        pairs,
+                    }
+                }
+                other => return invalid(format!("bad column tag {other} in spill run")),
+            };
+            cols.push(col);
+        }
+        Ok(Some(StateTable { keys, cols }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runs and cursors
+// ---------------------------------------------------------------------
+
+/// One completed run: merged, key-sorted state, either in memory or in
+/// a spill file.
+enum Run {
+    Resident { shards: Vec<StateTable>, bytes: usize },
+    Spilled { path: PathBuf },
+}
+
+/// Approximate resident size of one table (budget accounting).
+fn table_bytes(t: &StateTable) -> usize {
+    let n = t.len();
+    let mut b = n * 8;
+    for col in &t.cols {
+        b += match col {
+            StateCol::Sum { .. } | StateCol::Min { .. } | StateCol::Max { .. } => n * 9,
+            StateCol::Count(_) => n * 8,
+            StateCol::Avg { .. } => n * 16,
+            StateCol::Distinct { pairs, .. } => {
+                n * 24 + pairs.iter().map(|p| p.capacity() * 16).sum::<usize>()
+            }
+        }
+    }
+    b
+}
+
+/// Temp directory for this pass's spill files; removed on drop.
+struct SpillDir {
+    dir: Option<PathBuf>,
+    seq: usize,
+}
+
+impl SpillDir {
+    fn new() -> SpillDir {
+        SpillDir { dir: None, seq: 0 }
+    }
+
+    fn next_path(&mut self) -> io::Result<PathBuf> {
+        if self.dir.is_none() {
+            static PASS_SEQ: AtomicU64 = AtomicU64::new(0);
+            let d = std::env::temp_dir().join(format!(
+                "bw_spill_{}_{}",
+                std::process::id(),
+                PASS_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&d)?;
+            self.dir = Some(d);
+        }
+        let path = self
+            .dir
+            .as_ref()
+            .expect("created above")
+            .join(format!("run-{:04}.bwrun", self.seq));
+        self.seq += 1;
+        Ok(path)
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.dir {
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// Streaming view of one run's cells in ascending key order, uniform
+/// over resident and spilled runs.
+struct RunCursor {
+    source: CursorSource,
+    frame: Option<StateTable>,
+    pos: usize,
+}
+
+enum CursorSource {
+    Resident(std::vec::IntoIter<StateTable>),
+    Spilled(FrameReader),
+}
+
+impl RunCursor {
+    fn open(run: Run) -> io::Result<RunCursor> {
+        let source = match run {
+            Run::Resident { shards, .. } => CursorSource::Resident(shards.into_iter()),
+            Run::Spilled { path } => CursorSource::Spilled(FrameReader::open(&path)?),
+        };
+        let mut cur = RunCursor {
+            source,
+            frame: None,
+            pos: 0,
+        };
+        cur.load_frame()?;
+        Ok(cur)
+    }
+
+    /// Pull frames until one is non-empty or the run is exhausted.
+    fn load_frame(&mut self) -> io::Result<()> {
+        self.pos = 0;
+        loop {
+            let next = match &mut self.source {
+                CursorSource::Resident(it) => it.next(),
+                CursorSource::Spilled(r) => r.next_frame()?,
+            };
+            match next {
+                Some(t) if t.len() == 0 => continue,
+                other => {
+                    self.frame = other;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u64> {
+        self.frame.as_ref().map(|t| t.keys[self.pos])
+    }
+
+    fn advance(&mut self) -> io::Result<()> {
+        self.pos += 1;
+        if let Some(t) = &self.frame {
+            if self.pos >= t.len() {
+                self.load_frame()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Append cell `i` of `src` as a fresh last slot of `dst` (the
+/// copy-first contribution).
+fn push_slot(dst: &mut StateCol, src: &StateCol, i: usize) {
+    match (dst, src) {
+        (StateCol::Sum { totals, seen }, StateCol::Sum { totals: st, seen: ss })
+        | (StateCol::Min { vals: totals, seen }, StateCol::Min { vals: st, seen: ss })
+        | (StateCol::Max { vals: totals, seen }, StateCol::Max { vals: st, seen: ss }) => {
+            totals.push(st[i]);
+            seen.push(ss[i]);
+        }
+        (StateCol::Count(c), StateCol::Count(sc)) => c.push(sc[i]),
+        (StateCol::Avg { totals, counts }, StateCol::Avg { totals: st, counts: sc }) => {
+            totals.push(st[i]);
+            counts.push(sc[i]);
+        }
+        (StateCol::Distinct { pairs, .. }, StateCol::Distinct { pairs: sp, .. }) => {
+            pairs.push(sp[i].clone());
+        }
+        _ => unreachable!("runs disagree on column kinds"),
+    }
+}
+
+/// Merge cell `i` of `src` into the last slot of `dst` (a later run's
+/// contribution to the same key).
+fn merge_slot_into_last(dst: &mut StateCol, src: &StateCol, i: usize) {
+    match (dst, src) {
+        (StateCol::Sum { totals, seen }, StateCol::Sum { totals: st, seen: ss }) => {
+            *totals.last_mut().expect("slot pushed") += st[i];
+            let s = seen.last_mut().expect("slot pushed");
+            *s |= ss[i];
+        }
+        (StateCol::Count(c), StateCol::Count(sc)) => {
+            *c.last_mut().expect("slot pushed") += sc[i];
+        }
+        (StateCol::Avg { totals, counts }, StateCol::Avg { totals: st, counts: sc }) => {
+            *totals.last_mut().expect("slot pushed") += st[i];
+            *counts.last_mut().expect("slot pushed") += sc[i];
+        }
+        (StateCol::Min { vals, seen }, StateCol::Min { vals: sv, seen: ss }) => {
+            if ss[i] {
+                let v = vals.last_mut().expect("slot pushed");
+                let s = seen.last_mut().expect("slot pushed");
+                *v = if *s { v.min(sv[i]) } else { sv[i] };
+                *s = true;
+            }
+        }
+        (StateCol::Max { vals, seen }, StateCol::Max { vals: sv, seen: ss }) => {
+            if ss[i] {
+                let v = vals.last_mut().expect("slot pushed");
+                let s = seen.last_mut().expect("slot pushed");
+                *v = if *s { v.max(sv[i]) } else { sv[i] };
+                *s = true;
+            }
+        }
+        (StateCol::Distinct { pairs, .. }, StateCol::Distinct { pairs: sp, .. }) => {
+            pairs.last_mut().expect("slot pushed").extend_from_slice(&sp[i]);
+        }
+        _ => unreachable!("runs disagree on column kinds"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Input validation and fallback
+// ---------------------------------------------------------------------
+
+/// The (name, kind, func) shape of a measure, for schema equality.
+fn measure_shape(m: &Measure) -> (&str, u8, AggFunc) {
+    match m {
+        Measure::Numeric { name, func, .. } => (name, 0, *func),
+        Measure::DistinctKeyed { name, func, .. } => (name, 1, *func),
+    }
+}
+
+/// Concatenate fact inputs row-wise (the reference-kernel fallback; not
+/// out-of-core).
+fn concat_inputs(inputs: &[CubeInput]) -> CubeInput {
+    let mut out = CubeInput {
+        item_ids: Vec::new(),
+        coords: Vec::new(),
+        measures: inputs[0]
+            .measures
+            .iter()
+            .map(|m| match m {
+                Measure::Numeric { name, func, .. } => Measure::Numeric {
+                    name: name.clone(),
+                    func: *func,
+                    values: Vec::new(),
+                },
+                Measure::DistinctKeyed { name, func, .. } => Measure::DistinctKeyed {
+                    name: name.clone(),
+                    func: *func,
+                    keys: Vec::new(),
+                    values: Vec::new(),
+                },
+            })
+            .collect(),
+    };
+    for input in inputs {
+        out.item_ids.extend_from_slice(&input.item_ids);
+        out.coords.extend_from_slice(&input.coords);
+        for (dst, src) in out.measures.iter_mut().zip(&input.measures) {
+            match (dst, src) {
+                (
+                    Measure::Numeric { values, .. },
+                    Measure::Numeric { values: sv, .. },
+                ) => values.extend_from_slice(sv),
+                (
+                    Measure::DistinctKeyed { keys, values, .. },
+                    Measure::DistinctKeyed {
+                        keys: sk,
+                        values: sv,
+                        ..
+                    },
+                ) => {
+                    keys.extend_from_slice(sk);
+                    values.extend_from_slice(sv);
+                }
+                _ => unreachable!("schema checked by caller"),
+            }
+        }
+    }
+    out
+}
+
+/// Fold chunks `chunks` of `input` in parallel; tables return in chunk
+/// order (identical to a sequential fold).
+fn fold_chunks_range<K>(
+    input: &CubeInput,
+    arity: usize,
+    chunks: std::ops::Range<usize>,
+    threads: usize,
+    key_of: &K,
+) -> Vec<StateTable>
+where
+    K: Fn(usize, &[u32]) -> Option<u64> + Sync,
+{
+    let n = input.item_ids.len();
+    if threads <= 1 || chunks.len() <= 1 {
+        return chunks
+            .map(|c| fold_chunk(input, arity, chunk_range(c, n), key_of))
+            .collect();
+    }
+    let lo = chunks.start;
+    let count = chunks.len();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let a = lo + count * w / threads;
+                let b = lo + count * (w + 1) / threads;
+                s.spawn(move || {
+                    (a..b)
+                        .map(|c| fold_chunk(input, arity, chunk_range(c, n), key_of))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("external cube fold worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------
+// The pass
+// ---------------------------------------------------------------------
+
+/// Run the CUBE pass over one or more fact inputs under a byte budget
+/// for resident aggregation state, spilling completed runs to temp
+/// files when the budget is exceeded. `budget_bytes == usize::MAX`
+/// ([`UNLIMITED_BUDGET`]) never spills.
+///
+/// For a fixed input partition the result is bit-identical at any
+/// budget × thread combination (see the module docs for the argument).
+/// Different partitions of the same rows may differ in float grouping —
+/// compare like with like.
+///
+/// Inputs must share one measure schema (names, kinds, functions, in
+/// order). When the dense key encoding overflows (`KeySpace` fails) the
+/// pass falls back to the tuple-keyed reference kernel over the
+/// concatenated input, which is *not* out-of-core — callers at scale
+/// should keep their key spaces within `u64` (the normal case).
+pub fn cube_pass_external(
+    space: &RegionSpace,
+    inputs: &[CubeInput],
+    par: Parallelism,
+    budget_bytes: usize,
+    rec: &dyn Recorder,
+) -> io::Result<CubeResult> {
+    cube_pass_external_opts(space, inputs, par, budget_bytes, RUN_CHUNKS, rec)
+}
+
+/// [`cube_pass_external`] with an explicit run length (chunks per run).
+/// Production uses [`RUN_CHUNKS`]; tests shrink it to exercise
+/// multi-run merges on small inputs. Results are comparable only across
+/// passes with the *same* run length.
+pub(crate) fn cube_pass_external_opts(
+    space: &RegionSpace,
+    inputs: &[CubeInput],
+    par: Parallelism,
+    budget_bytes: usize,
+    run_chunks: usize,
+    rec: &dyn Recorder,
+) -> io::Result<CubeResult> {
+    assert!(run_chunks > 0, "run_chunks must be positive");
+    let arity = space.arity();
+    let Some(first) = inputs.first() else {
+        return Ok(CubeResult {
+            measure_names: Vec::new(),
+            regions: HashMap::new(),
+        });
+    };
+    let shape: Vec<(&str, u8, AggFunc)> = first.measures.iter().map(measure_shape).collect();
+    let mut total_rows = 0usize;
+    for (idx, input) in inputs.iter().enumerate() {
+        let n = input.item_ids.len();
+        assert_eq!(
+            input.coords.len(),
+            n * arity,
+            "input {idx}: coords length mismatch"
+        );
+        for m in &input.measures {
+            m.check_len(n);
+        }
+        let got: Vec<(&str, u8, AggFunc)> = input.measures.iter().map(measure_shape).collect();
+        assert_eq!(got, shape, "input {idx}: measure schema mismatch");
+        total_rows += n;
+    }
+    let measure_names: Vec<String> = first.measures.iter().map(|m| m.name().to_string()).collect();
+    if total_rows == 0 {
+        return Ok(CubeResult {
+            measure_names,
+            regions: HashMap::new(),
+        });
+    }
+
+    // Item domain over all inputs, deduplicated incrementally so the
+    // working set stays `O(#distinct items)`, not `O(rows)`.
+    let mut uniq: Vec<i64> = Vec::new();
+    for input in inputs {
+        uniq.extend_from_slice(&input.item_ids);
+        uniq.sort_unstable();
+        uniq.dedup();
+    }
+    let Some(ks) = KeySpace::build(space, &uniq) else {
+        return Ok(cube_pass_reference(space, &concat_inputs(inputs)));
+    };
+    drop(uniq);
+    let key_space = ks.cell_space * ks.n_items;
+    let threads = par.threads_for(total_rows.div_ceil(ROW_CHUNK));
+
+    // Phase 1: fold chunks into fixed-size runs, spilling the oldest
+    // resident runs whenever the budget is exceeded.
+    let mut spill_dir = SpillDir::new();
+    let mut runs: Vec<Run> = Vec::new();
+    let mut resident_bytes = 0usize;
+    let mut run_merges = 0u64;
+    {
+        let _t = span!(rec, "cube_pass/external_phase1");
+        let mut pending: Vec<StateTable> = Vec::new();
+        let mut close_run = |pending: &mut Vec<StateTable>,
+                             runs: &mut Vec<Run>,
+                             resident_bytes: &mut usize,
+                             run_merges: &mut u64|
+         -> io::Result<()> {
+            let (shards, merges) = merge_chunks(pending, key_space, threads);
+            pending.clear();
+            *run_merges += merges;
+            let bytes = shards.iter().map(table_bytes).sum::<usize>();
+            runs.push(Run::Resident { shards, bytes });
+            *resident_bytes += bytes;
+            if *resident_bytes > budget_bytes {
+                for run in runs.iter_mut() {
+                    if *resident_bytes <= budget_bytes {
+                        break;
+                    }
+                    if let Run::Resident { shards, bytes } = run {
+                        let path = spill_dir.next_path()?;
+                        let written = write_run(&path, shards)?;
+                        rec.add(names::SHARD_SPILLS, 1);
+                        rec.add(names::SHARD_SPILL_BYTES, written);
+                        *resident_bytes -= *bytes;
+                        *run = Run::Spilled { path };
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        for input in inputs {
+            let n = input.item_ids.len();
+            let key_of = |row: usize, coords: &[u32]| -> Option<u64> {
+                for (d, (&c, &nv)) in coords.iter().zip(&ks.num_values).enumerate() {
+                    assert!(
+                        (c as u64) < nv,
+                        "coordinate {c} out of range on dimension {d}"
+                    );
+                }
+                let item_idx = ks.item_index[&input.item_ids[row]];
+                Some(ks.cell_key(coords) * ks.n_items + item_idx as u64)
+            };
+            let n_chunks = n.div_ceil(ROW_CHUNK);
+            let mut c = 0;
+            while c < n_chunks {
+                let take = (run_chunks - pending.len()).min(n_chunks - c);
+                let mut tables = fold_chunks_range(input, arity, c..c + take, threads, &key_of);
+                pending.append(&mut tables);
+                c += take;
+                if pending.len() == run_chunks {
+                    close_run(&mut pending, &mut runs, &mut resident_bytes, &mut run_merges)?;
+                }
+            }
+        }
+        if !pending.is_empty() {
+            close_run(&mut pending, &mut runs, &mut resident_bytes, &mut run_merges)?;
+        }
+    }
+
+    // Final merge: one sorted base-cell table from all runs, in run
+    // formation order. A single resident run needs no merge at all —
+    // it *is* the in-memory kernel's phase-1 output.
+    let mut final_merges = 0u64;
+    let shards: Vec<StateTable> = if runs.len() == 1
+        && matches!(runs[0], Run::Resident { .. })
+    {
+        match runs.pop().expect("one run") {
+            Run::Resident { shards, .. } => shards,
+            Run::Spilled { .. } => unreachable!("matched resident above"),
+        }
+    } else {
+        let _t = span!(rec, "cube_pass/external_merge");
+        rec.add(names::SHARD_RUNS_MERGED, runs.len() as u64);
+        let mut cursors = runs
+            .drain(..)
+            .map(RunCursor::open)
+            .collect::<io::Result<Vec<_>>>()?;
+        let template: Vec<StateCol> = cursors
+            .iter()
+            .find_map(|c| c.frame.as_ref())
+            .map(|t| t.cols.iter().map(|col| col.new_like(0)).collect())
+            .unwrap_or_default();
+        let fresh = |template: &[StateCol]| StateTable {
+            keys: Vec::new(),
+            cols: template.iter().map(|c| c.new_like(0)).collect(),
+        };
+        let mut segments: Vec<StateTable> = Vec::new();
+        let mut cur = fresh(&template);
+        loop {
+            let mut min: Option<u64> = None;
+            for c in &cursors {
+                if let Some(k) = c.peek() {
+                    min = Some(min.map_or(k, |m| m.min(k)));
+                }
+            }
+            let Some(key) = min else { break };
+            let mut first = true;
+            for c in cursors.iter_mut() {
+                while c.peek() == Some(key) {
+                    {
+                        let t = c.frame.as_ref().expect("peek returned Some");
+                        if first {
+                            cur.keys.push(key);
+                            for (dst, src) in cur.cols.iter_mut().zip(&t.cols) {
+                                push_slot(dst, src, c.pos);
+                            }
+                            first = false;
+                        } else {
+                            final_merges += 1;
+                            for (dst, src) in cur.cols.iter_mut().zip(&t.cols) {
+                                merge_slot_into_last(dst, src, c.pos);
+                            }
+                        }
+                    }
+                    c.advance()?;
+                }
+            }
+            if cur.len() >= SEGMENT_CELLS {
+                for col in &mut cur.cols {
+                    col.dedup_distinct();
+                }
+                segments.push(std::mem::replace(&mut cur, fresh(&template)));
+            }
+        }
+        if cur.len() > 0 {
+            for col in &mut cur.cols {
+                col.dedup_distinct();
+            }
+            segments.push(cur);
+        }
+        segments
+    };
+    let base_cells: u64 = shards.iter().map(|s| s.len() as u64).sum();
+
+    // Phase 2: the ordinary rollup (segmentation-tolerant).
+    let (regions, merges_2) = {
+        let _t = span!(rec, "cube_pass/phase2_rollup");
+        expand_rollup(space, &ks, &shards, threads)
+    };
+
+    rec.add(names::CUBE_PASS_ROWS_SCANNED, total_rows as u64);
+    rec.add(names::CUBE_PASS_BASE_CELLS, base_cells);
+    rec.add(
+        names::CUBE_PASS_CELL_MERGES,
+        run_merges + final_merges + merges_2,
+    );
+    rec.add(names::CUBE_PASS_REGIONS_EMITTED, regions.len() as u64);
+    Ok(CubeResult {
+        measure_names,
+        regions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube_pass::cube_pass_with;
+    use crate::dimension::{Dimension, Hierarchy};
+    use bellwether_obs::{NoopRecorder, Registry};
+
+    /// Tiny deterministic generator (xorshift) for fact rows.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        fn f64(&mut self) -> f64 {
+            // Awkward floats on purpose: sums must not be exactly
+            // representable, so any merge-order deviation shows.
+            (self.next() as f64 / u64::MAX as f64) * 10.0 - 5.0 + 1.0 / 3.0
+        }
+    }
+
+    fn space() -> RegionSpace {
+        let mut loc = Hierarchy::new("L", "All");
+        let a = loc.add_child(0, "A");
+        loc.add_child(a, "A1");
+        loc.add_child(a, "A2");
+        let b = loc.add_child(0, "B");
+        loc.add_child(b, "B1");
+        RegionSpace::new(vec![
+            Dimension::Interval {
+                name: "T".into(),
+                max_t: 4,
+            },
+            Dimension::Hierarchy(loc),
+        ])
+    }
+
+    /// `rows` fact rows over the space's leaves with every measure kind.
+    fn input(rows: usize, seed: u64) -> CubeInput {
+        let leaves = [2u32, 3, 5];
+        let mut g = Lcg(seed | 1);
+        let mut item_ids = Vec::with_capacity(rows);
+        let mut coords = Vec::with_capacity(rows * 2);
+        let mut sums = Vec::with_capacity(rows);
+        let mut mins = Vec::with_capacity(rows);
+        let mut avgs = Vec::with_capacity(rows);
+        let mut fks = Vec::with_capacity(rows);
+        let mut fkv = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            item_ids.push(g.below(7) as i64 * 3);
+            coords.push(g.below(4) as u32);
+            coords.push(leaves[g.below(3) as usize]);
+            sums.push((g.below(10) > 0).then(|| g.f64()));
+            mins.push((g.below(10) > 1).then(|| g.f64()));
+            avgs.push(Some(g.f64()));
+            fks.push((g.below(4) > 0).then(|| g.below(5) as i64));
+            fkv.push(g.f64());
+        }
+        CubeInput {
+            item_ids,
+            coords,
+            measures: vec![
+                Measure::Numeric {
+                    name: "s".into(),
+                    func: AggFunc::Sum,
+                    values: sums,
+                },
+                Measure::Numeric {
+                    name: "m".into(),
+                    func: AggFunc::Min,
+                    values: mins,
+                },
+                Measure::Numeric {
+                    name: "a".into(),
+                    func: AggFunc::Avg,
+                    values: avgs.clone(),
+                },
+                Measure::Numeric {
+                    name: "c".into(),
+                    func: AggFunc::Count,
+                    values: avgs,
+                },
+                Measure::DistinctKeyed {
+                    name: "d".into(),
+                    func: AggFunc::Sum,
+                    keys: fks.clone(),
+                    values: fkv.clone(),
+                },
+                Measure::DistinctKeyed {
+                    name: "cd".into(),
+                    func: AggFunc::CountDistinct,
+                    keys: fks,
+                    values: fkv,
+                },
+            ],
+        }
+    }
+
+    /// Bit-level comparison of two results (NaN-safe).
+    fn assert_bit_identical(a: &CubeResult, b: &CubeResult, what: &str) {
+        assert_eq!(a.measure_names, b.measure_names, "{what}: names");
+        assert_eq!(a.regions.len(), b.regions.len(), "{what}: region count");
+        for (r, items) in &a.regions {
+            let other = b.regions.get(r).unwrap_or_else(|| {
+                panic!("{what}: region {r:?} missing")
+            });
+            assert_eq!(items.len(), other.len(), "{what}: {r:?} item count");
+            for (id, vals) in items {
+                let ovals = &other[id];
+                let bits: Vec<Option<u64>> =
+                    vals.iter().map(|v| v.map(f64::to_bits)).collect();
+                let obits: Vec<Option<u64>> =
+                    ovals.iter().map(|v| v.map(f64::to_bits)).collect();
+                assert_eq!(bits, obits, "{what}: {r:?} item {id}");
+            }
+        }
+    }
+
+    fn par(threads: usize) -> Parallelism {
+        Parallelism::fixed(threads).with_min_chunk(1)
+    }
+
+    #[test]
+    fn single_run_matches_in_memory_kernel_exactly() {
+        let sp = space();
+        let inp = input(3000, 42);
+        let expect = cube_pass_with(&sp, &inp, par(1), None);
+        for threads in [1, 2, 4] {
+            let got = cube_pass_external(
+                &sp,
+                std::slice::from_ref(&inp),
+                par(threads),
+                UNLIMITED_BUDGET,
+                &NoopRecorder,
+            )
+            .unwrap();
+            assert_bit_identical(&got, &expect, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn forced_spill_is_bit_identical_to_unlimited() {
+        let sp = space();
+        // Three inputs of 9000 rows at run_chunks=2: the 9 chunks form
+        // 5 runs, so budget 0 spills several runs and the final pass is
+        // a genuine multi-run k-way merge on both sides.
+        let inputs: Vec<CubeInput> = (0..3).map(|i| input(9000, 7 + i)).collect();
+        let reg = Registry::shared();
+        let unlimited = cube_pass_external_opts(
+            &sp,
+            &inputs,
+            par(2),
+            UNLIMITED_BUDGET,
+            2,
+            &NoopRecorder,
+        )
+        .unwrap();
+        let spilled =
+            cube_pass_external_opts(&sp, &inputs, par(4), 0, 2, reg.as_ref()).unwrap();
+        assert_bit_identical(&spilled, &unlimited, "spilled vs unlimited");
+        let snap = reg.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert!(get(names::SHARD_SPILLS) > 0, "budget 0 must spill");
+        assert!(get(names::SHARD_SPILL_BYTES) > 0);
+        assert!(get(names::SHARD_RUNS_MERGED) > 0);
+        assert_eq!(get(names::CUBE_PASS_ROWS_SCANNED), 27000);
+    }
+
+    #[test]
+    fn multi_input_partition_is_stable_across_threads_and_budgets() {
+        let sp = space();
+        let inputs: Vec<CubeInput> = (0..2).map(|i| input(5000, 100 + i)).collect();
+        let base = cube_pass_external_opts(
+            &sp,
+            &inputs,
+            par(1),
+            UNLIMITED_BUDGET,
+            3,
+            &NoopRecorder,
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            for budget in [0usize, 1 << 20, UNLIMITED_BUDGET] {
+                let got = cube_pass_external_opts(
+                    &sp,
+                    &inputs,
+                    par(threads),
+                    budget,
+                    3,
+                    &NoopRecorder,
+                )
+                .unwrap();
+                assert_bit_identical(
+                    &got,
+                    &base,
+                    &format!("threads={threads} budget={budget}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integer_sums_match_the_reference_kernel() {
+        // Exactly-representable arithmetic: external, in-memory and
+        // reference kernels must all agree regardless of grouping.
+        let sp = space();
+        let mut inp = input(4000, 9);
+        for m in &mut inp.measures {
+            if let Measure::Numeric { values, .. } = m {
+                for v in values.iter_mut().flatten() {
+                    *v = v.round();
+                }
+            }
+            // T.A is functional per key (the join contract); the
+            // reference kernel's hash-order merge relies on it.
+            if let Measure::DistinctKeyed { keys, values, .. } = m {
+                for (v, k) in values.iter_mut().zip(keys) {
+                    *v = k.map_or(0.0, |k| (k * 3) as f64);
+                }
+            }
+        }
+        let reference = cube_pass_reference(&sp, &inp);
+        let external =
+            cube_pass_external(&sp, std::slice::from_ref(&inp), par(2), 0, &NoopRecorder)
+                .unwrap();
+        assert_bit_identical(&external, &reference, "external vs reference");
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_results() {
+        let sp = space();
+        let got = cube_pass_external(&sp, &[], par(1), 0, &NoopRecorder).unwrap();
+        assert!(got.regions.is_empty());
+        assert!(got.measure_names.is_empty());
+        let empty = CubeInput {
+            item_ids: vec![],
+            coords: vec![],
+            measures: vec![Measure::Numeric {
+                name: "s".into(),
+                func: AggFunc::Sum,
+                values: vec![],
+            }],
+        };
+        let got = cube_pass_external(&sp, &[empty], par(1), 0, &NoopRecorder).unwrap();
+        assert!(got.regions.is_empty());
+        assert_eq!(got.measure_names, vec!["s".to_string()]);
+    }
+
+    #[test]
+    fn run_roundtrip_is_bit_exact() {
+        // Serialize + reload one run and compare every lane.
+        let sp = space();
+        let inp = input(2000, 77);
+        let ks = KeySpace::build(&sp, &inp.item_ids).unwrap();
+        let key_of = |row: usize, coords: &[u32]| -> Option<u64> {
+            Some(ks.cell_key(coords) * ks.n_items + ks.item_index[&inp.item_ids[row]] as u64)
+        };
+        let tables: Vec<StateTable> = (0..inp.item_ids.len().div_ceil(ROW_CHUNK))
+            .map(|c| {
+                fold_chunk(&inp, 2, chunk_range(c, inp.item_ids.len()), &key_of)
+            })
+            .collect();
+        let (shards, _) = merge_chunks(&tables, ks.cell_space * ks.n_items, 2);
+        let dir = std::env::temp_dir().join(format!("bw_run_rt_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.bwrun");
+        write_run(&path, &shards).unwrap();
+
+        let mut from_disk =
+            RunCursor::open(Run::Spilled { path: path.clone() }).unwrap();
+        let mut from_mem = RunCursor::open(Run::Resident {
+            shards,
+            bytes: 0,
+        })
+        .unwrap();
+        let mut cells = 0usize;
+        loop {
+            match (from_mem.peek(), from_disk.peek()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a, b, "key order diverged at cell {cells}");
+                    let ta = from_mem.frame.as_ref().unwrap();
+                    let tb = from_disk.frame.as_ref().unwrap();
+                    for (ca, cb) in ta.cols.iter().zip(&tb.cols) {
+                        assert_eq!(col_tags(ca), col_tags(cb), "column kinds diverged");
+                        let mut probe_a = ca.new_like(0);
+                        let mut probe_b = cb.new_like(0);
+                        push_slot(&mut probe_a, ca, from_mem.pos);
+                        push_slot(&mut probe_b, cb, from_disk.pos);
+                        assert_eq!(
+                            format!("{probe_a:?}"),
+                            format!("{probe_b:?}"),
+                            "cell {cells} state diverged"
+                        );
+                    }
+                    from_mem.advance().unwrap();
+                    from_disk.advance().unwrap();
+                    cells += 1;
+                }
+                other => panic!("cursor lengths diverged at {cells}: {other:?}"),
+            }
+        }
+        assert!(cells > 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

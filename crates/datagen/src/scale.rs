@@ -16,7 +16,9 @@
 use crate::rng::Gen;
 use bellwether_core::items::ItemTable;
 use bellwether_cube::{Dimension, Hierarchy, RegionSpace};
-use bellwether_storage::{MemorySource, RegionBlock, TrainingWriter};
+use bellwether_storage::{
+    even_shard_plan, MemorySource, RegionBlock, ShardManifest, ShardedWriter, TrainingWriter,
+};
 use bellwether_table::{Column, DataType, Schema, Table};
 use std::collections::HashMap;
 use std::path::Path;
@@ -266,6 +268,32 @@ impl ScaleWorkload {
         }
         writer.finish()
     }
+
+    /// Stream the training data into a region-partitioned sharded
+    /// layout under `dir`: `n_shards` block files plus a checksummed
+    /// manifest ([`bellwether_storage::MANIFEST_NAME`]). Regions are
+    /// split evenly and contiguously in scan order, so a
+    /// [`bellwether_storage::ShardedSource`] over the result reads
+    /// region `r` from exactly the same bytes `write_to_disk` would
+    /// have produced for it — one region block at a time, never holding
+    /// a shard in memory.
+    pub fn write_sharded(
+        &self,
+        dir: &Path,
+        n_shards: usize,
+    ) -> std::io::Result<ShardManifest> {
+        let plan = even_shard_plan(self.regions.len(), n_shards);
+        let mut writer = ShardedWriter::create(
+            dir,
+            self.feature_arity() as u32,
+            self.region_space.arity() as u32,
+            plan,
+        )?;
+        for r in 0..self.regions.len() {
+            writer.write_region(&self.region_block(r))?;
+        }
+        writer.finish()
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +360,28 @@ mod tests {
             assert_eq!(disk.read_region(r).unwrap(), mem.read_region(r).unwrap());
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_and_flat_layouts_agree_region_by_region() {
+        use bellwether_storage::ShardedSource;
+        let w = build_scale_workload(&small());
+        let mem = w.memory_source();
+        for shards in [1, 3, 5] {
+            let dir = std::env::temp_dir().join(format!("bw_scale_sharded_{shards}"));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            let manifest = w.write_sharded(&dir, shards).unwrap();
+            assert_eq!(manifest.shards.len(), shards);
+            assert_eq!(manifest.total_regions(), w.regions.len() as u64);
+            assert_eq!(manifest.total_examples(), w.total_examples() as u64);
+            let src = ShardedSource::open(&dir).unwrap();
+            assert_eq!(src.num_regions(), mem.num_regions());
+            for r in 0..src.num_regions() {
+                assert_eq!(src.read_region(r).unwrap(), mem.read_region(r).unwrap());
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

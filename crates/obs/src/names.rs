@@ -33,6 +33,17 @@ pub const STORAGE_FAULTS_INJECTED: &str = "storage/faults_injected";
 /// Region indices dropped by a `SkipUnreadable` scan policy.
 pub const SCAN_REGIONS_SKIPPED: &str = "scan/regions_skipped";
 
+/// Shard files opened through a sharded manifest.
+pub const SHARD_SHARDS_OPENED: &str = "shard/shards_opened";
+/// Region reads routed through a sharded source to one of its shards.
+pub const SHARD_READS: &str = "shard/reads";
+/// Sorted state runs the external CUBE pass spilled to temp files.
+pub const SHARD_SPILLS: &str = "shard/spills";
+/// Bytes written to external-CUBE spill files.
+pub const SHARD_SPILL_BYTES: &str = "shard/spill_bytes";
+/// Runs (spilled + resident) k-way-merged by the external CUBE pass.
+pub const SHARD_RUNS_MERGED: &str = "shard/runs_merged";
+
 /// Fact rows scanned by the CUBE pass (phase 1).
 pub const CUBE_PASS_ROWS_SCANNED: &str = "cube_pass/rows_scanned";
 /// Distinct base cells after phase-1 merging.
@@ -84,3 +95,9 @@ pub const SERVE_CONNECTIONS: &str = "serve/connections";
 pub const SERVE_LATENCY_P50_US: &str = "serve/latency_p50_us";
 /// Gauge: p99 request latency in microseconds (set on `/metrics`).
 pub const SERVE_LATENCY_P99_US: &str = "serve/latency_p99_us";
+/// Gauge: connections queued for a worker right now.
+pub const SERVE_QUEUE_DEPTH: &str = "serve/queue_depth";
+/// Connections rejected with 503 because the worker queue was full.
+pub const SERVE_REJECTED_BUSY: &str = "serve/rejected_busy";
+/// Model snapshots hot-swapped into a live server via `POST /reload`.
+pub const SERVE_RELOADS: &str = "serve/reloads";

@@ -22,10 +22,30 @@
 //! * `GET /metrics` — the shared registry's `MetricsSnapshot` as JSON;
 //!   `serve/latency_p50_us` / `serve/latency_p99_us` gauges are
 //!   refreshed from a lock-free latency histogram on every call.
+//! * `POST /reload` — re-load the model snapshot from the configured
+//!   [`ServeConfigBuilder::model_path`] and swap it in atomically; 409
+//!   when no path is configured, 500 (old model keeps serving) when the
+//!   snapshot fails to load. In-process swaps go through
+//!   [`ServerHandle::swap_model`]. Every request resolves the current
+//!   model through one shared [`RwLock`]'d `Arc` handle, so a swap is
+//!   one pointer exchange: in-flight batches finish on the snapshot
+//!   they started with and the next request sees the new one, with no
+//!   drop in service.
+//!
+//! ## Backpressure
+//!
+//! The acceptor never blocks on a full worker queue: accepted
+//! connections are `try_send`-ed to the pool, the instantaneous depth
+//! lands on the `serve/queue_depth` gauge, and when the bounded queue
+//! (capacity [`ServeConfigBuilder::queue_capacity`]) is full the
+//! connection is answered `503 Service Unavailable` on the spot and
+//! counted on `serve/rejected_busy` — loaded clients get a fast, honest
+//! retry signal instead of an unbounded backlog.
 //!
 //! Counters: `serve/requests`, `serve/batches`, `serve/predictions`,
-//! `serve/errors`, `serve/connections`; per-request wall time also
-//! lands on the `serve/request` span.
+//! `serve/errors`, `serve/connections`, `serve/rejected_busy`,
+//! `serve/reloads`; per-request wall time also lands on the
+//! `serve/request` span.
 //!
 //! Connections are keep-alive with per-request read timeouts; shutdown
 //! is graceful — in-flight requests finish, then workers exit.
@@ -43,9 +63,10 @@ use bellwether_obs::{names, Recorder, Registry};
 use http::{read_request, write_response, ReadOutcome, Request};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -60,6 +81,12 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Maximum ids per `/predict` batch.
     pub max_batch: usize,
+    /// Accepted connections waiting for a worker before the acceptor
+    /// answers 503.
+    pub queue_capacity: usize,
+    /// Snapshot path `POST /reload` re-loads the model from; without
+    /// one the endpoint answers 409.
+    pub model_path: Option<PathBuf>,
     /// Registry receiving `serve/*` counters, gauges and spans.
     pub registry: Arc<Registry>,
 }
@@ -71,6 +98,8 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(5),
             max_body_bytes: 1 << 20,
             max_batch: 10_000,
+            queue_capacity: 8,
+            model_path: None,
             registry: Registry::shared(),
         }
     }
@@ -113,6 +142,19 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Connections allowed to wait for a worker (≥ 1); beyond this the
+    /// acceptor answers 503 instead of queueing.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.0.queue_capacity = n;
+        self
+    }
+
+    /// Snapshot path for `POST /reload`.
+    pub fn model_path(mut self, p: impl Into<PathBuf>) -> Self {
+        self.0.model_path = Some(p.into());
+        self
+    }
+
     /// Metrics registry to bind the `serve/*` instruments into.
     pub fn registry(mut self, r: Arc<Registry>) -> Self {
         self.0.registry = r;
@@ -130,6 +172,9 @@ impl ServeConfigBuilder {
         }
         if c.max_body_bytes == 0 || c.max_batch == 0 {
             return Err(bad_config("size limits must be at least 1"));
+        }
+        if c.queue_capacity == 0 {
+            return Err(bad_config("queue_capacity must be at least 1"));
         }
         Ok(c)
     }
@@ -156,6 +201,13 @@ struct ServeMetrics {
     predictions: bellwether_obs::Counter,
     errors: bellwether_obs::Counter,
     connections: bellwether_obs::Counter,
+    rejected_busy: bellwether_obs::Counter,
+    reloads: bellwether_obs::Counter,
+    queue_depth: bellwether_obs::Gauge,
+    /// Instantaneous queued-connection count backing the gauge. Signed:
+    /// a worker's pop can race ahead of the acceptor's push, so the
+    /// count may dip below zero transiently.
+    queued: AtomicI64,
     latency: LatencyHistogram,
 }
 
@@ -167,9 +219,38 @@ impl ServeMetrics {
             predictions: registry.counter(names::SERVE_PREDICTIONS),
             errors: registry.counter(names::SERVE_ERRORS),
             connections: registry.counter(names::SERVE_CONNECTIONS),
+            rejected_busy: registry.counter(names::SERVE_REJECTED_BUSY),
+            reloads: registry.counter(names::SERVE_RELOADS),
+            queue_depth: registry.gauge(names::SERVE_QUEUE_DEPTH),
+            queued: AtomicI64::new(0),
             latency: LatencyHistogram::new(),
             registry,
         }
+    }
+
+    fn queue_push(&self) {
+        let d = self.queued.fetch_add(1, Ordering::SeqCst) + 1;
+        self.queue_depth.set(d.max(0) as f64);
+    }
+
+    fn queue_pop(&self) {
+        let d = self.queued.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.queue_depth.set(d.max(0) as f64);
+    }
+}
+
+/// The swappable model slot all workers resolve per request: reads are
+/// one `RwLock` read plus an `Arc` clone, swaps are one pointer
+/// exchange. In-flight batches keep the snapshot they started with.
+struct ModelSlot(RwLock<Arc<BellwetherModel>>);
+
+impl ModelSlot {
+    fn current(&self) -> Arc<BellwetherModel> {
+        Arc::clone(&self.0.read().expect("model slot poisoned"))
+    }
+
+    fn swap(&self, model: Arc<BellwetherModel>) {
+        *self.0.write().expect("model slot poisoned") = model;
     }
 }
 
@@ -188,21 +269,22 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServeMetrics::new(config.registry.clone()));
+        let slot = Arc::new(ModelSlot(RwLock::new(model)));
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.workers * 2);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
 
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
             let rx = Arc::clone(&rx);
-            let model = Arc::clone(&model);
+            let slot = Arc::clone(&slot);
             let metrics = Arc::clone(&metrics);
             let config = config.clone();
             let shutdown = Arc::clone(&shutdown);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("bw-serve-{i}"))
-                    .spawn(move || worker_loop(&rx, &model, &config, &metrics, &shutdown))?,
+                    .spawn(move || worker_loop(&rx, &slot, &config, &metrics, &shutdown))?,
             );
         }
 
@@ -221,6 +303,7 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             registry: config.registry,
+            slot,
         })
     }
 }
@@ -232,6 +315,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     registry: Arc<Registry>,
+    slot: Arc<ModelSlot>,
 }
 
 impl ServerHandle {
@@ -243,6 +327,16 @@ impl ServerHandle {
     /// The registry the server reports into.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// Swap the served model in-process; the next request sees it.
+    pub fn swap_model(&self, model: Arc<BellwetherModel>) {
+        self.slot.swap(model);
+    }
+
+    /// The currently served model snapshot.
+    pub fn model(&self) -> Arc<BellwetherModel> {
+        self.slot.current()
     }
 
     /// Stop accepting, let in-flight requests finish, join every
@@ -298,15 +392,28 @@ fn accept_loop(
         metrics.connections.inc();
         let _ = conn.set_read_timeout(Some(timeout));
         let _ = conn.set_nodelay(true);
-        if tx.send(conn).is_err() {
-            return;
+        match tx.try_send(conn) {
+            Ok(()) => metrics.queue_push(),
+            Err(TrySendError::Full(mut conn)) => {
+                // Shed load at the door: a fast 503 beats an unbounded
+                // backlog, and the acceptor never blocks.
+                metrics.rejected_busy.inc();
+                let _ = write_response(
+                    &mut conn,
+                    503,
+                    "Service Unavailable",
+                    "{\"error\":\"server busy, retry later\"}",
+                    true,
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => return,
         }
     }
 }
 
 fn worker_loop(
     rx: &Mutex<Receiver<TcpStream>>,
-    model: &BellwetherModel,
+    slot: &ModelSlot,
     config: &ServeConfig,
     metrics: &ServeMetrics,
     shutdown: &AtomicBool,
@@ -323,13 +430,14 @@ fn worker_loop(
                 Err(_) => return, // acceptor gone: shutdown
             }
         };
-        handle_connection(conn, model, config, metrics, shutdown, &mut scratch);
+        metrics.queue_pop();
+        handle_connection(conn, slot, config, metrics, shutdown, &mut scratch);
     }
 }
 
 fn handle_connection(
     mut conn: TcpStream,
-    model: &BellwetherModel,
+    slot: &ModelSlot,
     config: &ServeConfig,
     metrics: &ServeMetrics,
     shutdown: &AtomicBool,
@@ -375,7 +483,10 @@ fn handle_connection(
 
         let started = Instant::now();
         metrics.requests.inc();
-        let (status, reason) = dispatch(&request, model, config, metrics, scratch);
+        // Resolve the model per request so reloads land between
+        // requests, never inside a batch.
+        let model = slot.current();
+        let (status, reason) = dispatch(&request, &model, slot, config, metrics, scratch);
         let close = request.close || shutdown.load(Ordering::SeqCst);
         if status >= 400 {
             metrics.errors.inc();
@@ -396,6 +507,7 @@ fn handle_connection(
 fn dispatch(
     request: &Request,
     model: &BellwetherModel,
+    slot: &ModelSlot,
     config: &ServeConfig,
     metrics: &ServeMetrics,
     scratch: &mut ServeScratch,
@@ -403,6 +515,7 @@ fn dispatch(
     let path = request.path.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("POST", "/predict") => predict(request, model, config, metrics, scratch),
+        ("POST", "/reload") => reload(slot, config, metrics, scratch),
         ("GET" | "HEAD", "/health") => {
             scratch.body_out.clear();
             scratch.body_out.push_str("{\"status\":\"ok\",\"methods\":[");
@@ -436,7 +549,7 @@ fn dispatch(
             scratch.body_out.push_str(&metrics.registry.snapshot().to_json());
             (200, "OK")
         }
-        (_, "/predict" | "/health" | "/metrics") => {
+        (_, "/predict" | "/health" | "/metrics" | "/reload") => {
             scratch.body_out.clear();
             scratch
                 .body_out
@@ -447,6 +560,49 @@ fn dispatch(
             scratch.body_out.clear();
             scratch.body_out.push_str("{\"error\":\"not found\"}");
             (404, "Not Found")
+        }
+    }
+}
+
+/// `POST /reload`: load the configured snapshot and swap it in. The old
+/// model keeps serving on any failure.
+fn reload(
+    slot: &ModelSlot,
+    config: &ServeConfig,
+    metrics: &ServeMetrics,
+    scratch: &mut ServeScratch,
+) -> (u16, &'static str) {
+    scratch.body_out.clear();
+    let Some(path) = &config.model_path else {
+        scratch
+            .body_out
+            .push_str("{\"error\":\"no model_path configured\"}");
+        return (409, "Conflict");
+    };
+    match BellwetherModel::load(path) {
+        Ok(model) => {
+            slot.swap(model);
+            metrics.reloads.inc();
+            let model = slot.current();
+            scratch
+                .body_out
+                .push_str("{\"status\":\"reloaded\",\"methods\":[");
+            for (i, m) in model.methods().iter().enumerate() {
+                if i > 0 {
+                    scratch.body_out.push(',');
+                }
+                scratch.body_out.push('"');
+                scratch.body_out.push_str(m.name());
+                scratch.body_out.push('"');
+            }
+            scratch.body_out.push_str("]}");
+            (200, "OK")
+        }
+        Err(e) => {
+            scratch.body_out.push_str("{\"error\":\"reload failed: ");
+            json::escape_into(&mut scratch.body_out, &e.to_string());
+            scratch.body_out.push_str("\"}");
+            (500, "Internal Server Error")
         }
     }
 }
@@ -540,14 +696,14 @@ mod tests {
     use std::io::{BufRead, BufReader, Read as _, Write as _};
 
     /// A tiny basic-method model: 8 items with data in the bellwether
-    /// region fitted by y = 3 + 2x, plus item 99 known to the table but
-    /// without region data (falls back to the intercept), plus unknown
-    /// ids answering null.
-    fn fixture_model() -> Arc<BellwetherModel> {
+    /// region fitted by y = intercept + slope·x, plus item 99 known to
+    /// the table but without region data (falls back to the intercept),
+    /// plus unknown ids answering null.
+    fn fixture_model_with(intercept: f64, slope: f64) -> Arc<BellwetherModel> {
         let ids: Vec<i64> = (1..=8).collect();
         let xs: Vec<f64> = ids.iter().map(|&i| i as f64).collect();
         let ones = vec![1.0; ids.len()];
-        let targets: Vec<f64> = xs.iter().map(|&x| 3.0 + 2.0 * x).collect();
+        let targets: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
         let block =
             RegionBlock::from_columns(vec![0], 2, ids.clone(), vec![ones, xs], targets);
         let src = MemorySource::new(vec![block]);
@@ -560,7 +716,7 @@ mod tests {
             score: 0.0,
             error: 0.0,
             error_bounds: None,
-            model: LinearModel::new(vec![3.0, 2.0]),
+            model: LinearModel::new(vec![intercept, slope]),
             n_examples: ids.len(),
             skipped_regions: Vec::new(),
         };
@@ -570,6 +726,10 @@ mod tests {
                 .build()
                 .unwrap(),
         )
+    }
+
+    fn fixture_model() -> Arc<BellwetherModel> {
+        fixture_model_with(3.0, 2.0)
     }
 
     fn start(config: ServeConfig) -> ServerHandle {
@@ -793,11 +953,135 @@ mod tests {
     fn config_validation_rejects_degenerate_values() {
         assert!(ServeConfig::builder().workers(0).build().is_err());
         assert!(ServeConfig::builder().max_batch(0).build().is_err());
+        assert!(ServeConfig::builder().queue_capacity(0).build().is_err());
         assert!(ServeConfig::builder()
             .request_timeout(Duration::ZERO)
             .build()
             .is_err());
         assert!(ServeConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn reload_swaps_the_snapshot_without_restarting() {
+        let dir = std::env::temp_dir().join("bw_serve_reload");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bwsn");
+        fixture_model().save(&path).unwrap();
+        let config = ServeConfig::builder()
+            .workers(2)
+            .request_timeout(Duration::from_millis(500))
+            .model_path(&path)
+            .registry(Arc::new(Registry::default()))
+            .build()
+            .unwrap();
+        let handle = Server::bind("127.0.0.1:0", fixture_model(), config).unwrap();
+        let mut conn = connect(&handle);
+        let (status, body) =
+            roundtrip(&mut conn, "POST", "/predict", r#"{"method":"basic","ids":[1]}"#);
+        assert_eq!(status, 200);
+        assert!(body.contains("[5.0]"), "{body}");
+
+        // Publish a new snapshot (y = 1 + x) and reload — the same
+        // keep-alive connection sees the new coefficients.
+        fixture_model_with(1.0, 1.0).save(&path).unwrap();
+        let (status, body) = roundtrip(&mut conn, "POST", "/reload", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("reloaded"), "{body}");
+        let (status, body) =
+            roundtrip(&mut conn, "POST", "/predict", r#"{"method":"basic","ids":[1]}"#);
+        assert_eq!(status, 200);
+        assert!(body.contains("[2.0]"), "{body}");
+
+        // In-process swap through the handle works too.
+        handle.swap_model(fixture_model());
+        let (status, body) =
+            roundtrip(&mut conn, "POST", "/predict", r#"{"method":"basic","ids":[1]}"#);
+        assert_eq!(status, 200);
+        assert!(body.contains("[5.0]"), "{body}");
+
+        let snap = handle.registry().snapshot();
+        assert_eq!(snap.counter(names::SERVE_RELOADS), Some(1));
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_without_model_path_answers_409() {
+        let handle = start(quick_config());
+        let mut conn = connect(&handle);
+        let (status, body) = roundtrip(&mut conn, "POST", "/reload", "");
+        assert_eq!(status, 409, "{body}");
+        assert!(body.contains("no model_path"), "{body}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn failed_reload_keeps_the_old_model_serving() {
+        let dir = std::env::temp_dir().join("bw_serve_reload_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bwsn");
+        std::fs::write(&path, b"not a snapshot").unwrap();
+        let config = ServeConfig::builder()
+            .workers(1)
+            .request_timeout(Duration::from_millis(500))
+            .model_path(&path)
+            .registry(Arc::new(Registry::default()))
+            .build()
+            .unwrap();
+        let handle = Server::bind("127.0.0.1:0", fixture_model(), config).unwrap();
+        let mut conn = connect(&handle);
+        let (status, _) = roundtrip(&mut conn, "POST", "/reload", "");
+        assert_eq!(status, 500);
+        let (status, body) =
+            roundtrip(&mut conn, "POST", "/predict", r#"{"method":"basic","ids":[1]}"#);
+        assert_eq!(status, 200);
+        assert!(body.contains("[5.0]"), "{body}");
+        assert_eq!(
+            handle.registry().snapshot().counter(names::SERVE_RELOADS),
+            Some(0)
+        );
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overloaded_server_answers_503_instead_of_queueing() {
+        let config = ServeConfig::builder()
+            .workers(1)
+            .queue_capacity(1)
+            .request_timeout(Duration::from_millis(800))
+            .registry(Arc::new(Registry::default()))
+            .build()
+            .unwrap();
+        let handle = start(config);
+
+        // Park the only worker: a half-written request holds it in
+        // read() until the request timeout.
+        let mut parked = connect(&handle);
+        parked
+            .write_all(b"POST /predict HTTP/1.1\r\ncontent-length: 5\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+
+        // Fill the one queue slot; this connection just waits.
+        let mut queued = connect(&handle);
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The next connection must be shed with a 503 by the acceptor.
+        let mut shed = connect(&handle);
+        let (status, body) = read_response(&mut shed);
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("busy"), "{body}");
+
+        let snap = handle.registry().snapshot();
+        assert_eq!(snap.counter(names::SERVE_REJECTED_BUSY), Some(1));
+        assert!(snap.gauge(names::SERVE_QUEUE_DEPTH).unwrap_or(0.0) >= 1.0);
+
+        // Un-park the worker; the queued connection still gets served.
+        parked.write_all(b"xxxxx").unwrap();
+        let (status, body) = roundtrip(&mut queued, "GET", "/health", "");
+        assert_eq!(status, 200, "{body}");
+        handle.shutdown();
     }
 
     #[test]

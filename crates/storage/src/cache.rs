@@ -312,6 +312,10 @@ impl<S: TrainingSource> TrainingSource for CachedSource<S> {
     fn total_examples(&self) -> io::Result<u64> {
         self.inner.total_examples()
     }
+
+    fn shard_starts(&self) -> Option<Vec<usize>> {
+        self.inner.shard_starts()
+    }
 }
 
 #[cfg(test)]

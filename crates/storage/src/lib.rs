@@ -58,6 +58,7 @@ pub mod format;
 pub mod metrics;
 pub mod reader;
 pub mod retry;
+pub mod shard;
 pub mod snapshot;
 pub mod source;
 pub mod writer;
@@ -69,6 +70,10 @@ pub use format::{is_corrupt, CorruptBlock};
 pub use metrics::{CubeStats, IoStats};
 pub use reader::DiskSource;
 pub use retry::{RetryPolicy, RetryPolicyBuilder, RetryingSource};
+pub use shard::{
+    even_shard_plan, shard_file_name, ShardManifest, ShardMeta, ShardedSource, ShardedWriter,
+    MANIFEST_NAME,
+};
 pub use snapshot::{Section, SnapshotFile, SnapshotWriter, SNAPSHOT_VERSION};
 pub use source::{MemorySource, TrainingSource};
 pub use writer::TrainingWriter;

@@ -259,6 +259,10 @@ impl<S: TrainingSource> TrainingSource for RetryingSource<S> {
     fn find_region(&self, coords: &[u32]) -> Option<usize> {
         self.inner.find_region(coords)
     }
+
+    fn shard_starts(&self) -> Option<Vec<usize>> {
+        self.inner.shard_starts()
+    }
 }
 
 #[cfg(test)]

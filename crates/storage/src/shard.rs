@@ -1,0 +1,769 @@
+//! Sharded on-disk layout for out-of-core training data.
+//!
+//! A sharded dataset is a directory holding one v2 block file
+//! (`shard-NNNN.bwtd`, written by [`crate::TrainingWriter`]) per shard
+//! plus a small CRC-32-checksummed manifest (`manifest.bwsm`). Shards
+//! partition the global region order into **contiguous ranges**: shard
+//! `s` holds regions `[starts[s], starts[s+1])` of the single-file scan
+//! order. Concatenating the shards ascending therefore reproduces the
+//! exact region sequence a single `.bwtd` file would serve — which is
+//! what makes the two-level scan merge (per-shard accumulators merged in
+//! ascending shard order) bit-identical to a flat scan.
+//!
+//! Every shard file is a complete, self-describing training-data file,
+//! so the whole PR-4 fault stack applies *per shard*:
+//! [`ShardedSource::open_layered`] lets callers wrap each shard's
+//! [`DiskSource`] in any combination of
+//! `RetryingSource`/`FaultySource`/`CachedSource` before the sharded
+//! view is assembled.
+
+use crate::block::RegionBlock;
+use crate::crc32::crc32;
+use crate::metrics::IoStats;
+use crate::reader::DiskSource;
+use crate::source::TrainingSource;
+use crate::writer::TrainingWriter;
+use bellwether_obs::{names, Counter, MetricsSnapshot, Registry};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of the manifest inside a sharded dataset directory.
+pub const MANIFEST_NAME: &str = "manifest.bwsm";
+
+/// Magic bytes opening a manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"BWSM";
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One shard's entry in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Shard file name, relative to the manifest's directory.
+    pub file: String,
+    /// Regions stored in this shard.
+    pub regions: u64,
+    /// Training examples stored in this shard.
+    pub examples: u64,
+    /// Size of the shard file in bytes (cheap integrity check at open).
+    pub bytes: u64,
+}
+
+/// The checksummed description of a sharded dataset: shared feature and
+/// region arity plus per-shard entries in ascending global-region order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Feature arity shared by every shard.
+    pub p: u32,
+    /// Region-coordinate arity shared by every shard.
+    pub arity: u32,
+    /// Shards, ascending: shard `s` holds the next `shards[s].regions`
+    /// regions of the global scan order.
+    pub shards: Vec<ShardMeta>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "sharded manifest truncated",
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl ShardManifest {
+    /// Total regions across all shards.
+    pub fn total_regions(&self) -> u64 {
+        self.shards.iter().map(|s| s.regions).sum()
+    }
+
+    /// Total training examples across all shards.
+    pub fn total_examples(&self) -> u64 {
+        self.shards.iter().map(|s| s.examples).sum()
+    }
+
+    /// Global start index of each shard (ascending, first is 0).
+    pub fn shard_starts(&self) -> Vec<usize> {
+        let mut starts = Vec::with_capacity(self.shards.len());
+        let mut acc = 0usize;
+        for s in &self.shards {
+            starts.push(acc);
+            acc += s.regions as usize;
+        }
+        starts
+    }
+
+    /// Serialize: magic, version, arities, shard entries, CRC-32 trailer
+    /// over everything preceding it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        put_u32(&mut out, MANIFEST_VERSION);
+        put_u32(&mut out, self.p);
+        put_u32(&mut out, self.arity);
+        put_u32(&mut out, self.shards.len() as u32);
+        for s in &self.shards {
+            put_u32(&mut out, s.file.len() as u32);
+            out.extend_from_slice(s.file.as_bytes());
+            put_u64(&mut out, s.regions);
+            put_u64(&mut out, s.examples);
+            put_u64(&mut out, s.bytes);
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Decode and checksum-validate a manifest.
+    pub fn decode(bytes: &[u8]) -> io::Result<ShardManifest> {
+        if bytes.len() < 4 + 4 + 4 + 4 + 4 + 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "sharded manifest too short",
+            ));
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+        if crc32(payload) != stored {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "sharded manifest checksum mismatch",
+            ));
+        }
+        let mut cur = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        if cur.take(4)? != MANIFEST_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a sharded manifest (bad magic)",
+            ));
+        }
+        let version = cur.u32()?;
+        if version != MANIFEST_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported manifest version {version}"),
+            ));
+        }
+        let p = cur.u32()?;
+        let arity = cur.u32()?;
+        let n = cur.u32()? as usize;
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name_len = cur.u32()? as usize;
+            let file = std::str::from_utf8(cur.take(name_len)?)
+                .map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "shard name not utf-8")
+                })?
+                .to_string();
+            let regions = cur.u64()?;
+            let examples = cur.u64()?;
+            let bytes = cur.u64()?;
+            shards.push(ShardMeta {
+                file,
+                regions,
+                examples,
+                bytes,
+            });
+        }
+        if cur.pos != payload.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after sharded manifest",
+            ));
+        }
+        Ok(ShardManifest { p, arity, shards })
+    }
+
+    /// Write atomically (temp + fsync + rename), same discipline as
+    /// [`TrainingWriter::finish`].
+    pub fn write_atomic(&self, path: &Path) -> io::Result<()> {
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut f = File::create(&tmp)?;
+        f.write_all(&self.encode())?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Read and validate the manifest at `path`.
+    pub fn read(path: &Path) -> io::Result<ShardManifest> {
+        ShardManifest::decode(&fs::read(path)?)
+    }
+}
+
+/// Canonical shard file name for shard `s`.
+pub fn shard_file_name(s: usize) -> String {
+    format!("shard-{s:04}.bwtd")
+}
+
+/// Split `total` regions into `shards` contiguous even ranges (earlier
+/// shards take the remainder), the default partition plan.
+pub fn even_shard_plan(total: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    let base = total / shards;
+    let rem = total % shards;
+    (0..shards)
+        .map(|s| base + usize::from(s < rem))
+        .collect()
+}
+
+/// Streams region blocks into per-shard [`TrainingWriter`]s according to
+/// a fixed partition plan, then writes the checksummed manifest. Only
+/// one shard's writer is open at a time and blocks are encoded as they
+/// arrive — nothing is ever materialised beyond the block being written.
+pub struct ShardedWriter {
+    dir: PathBuf,
+    p: u32,
+    arity: u32,
+    plan: Vec<usize>,
+    shard: usize,
+    written_in_shard: usize,
+    examples_in_shard: u64,
+    current: Option<TrainingWriter>,
+    metas: Vec<ShardMeta>,
+}
+
+impl ShardedWriter {
+    /// Create a sharded dataset under `dir` (created if absent). `plan`
+    /// gives the number of regions per shard in ascending global order;
+    /// [`even_shard_plan`] is the usual choice. Blocks must then arrive
+    /// via [`ShardedWriter::write_region`] in global scan order.
+    pub fn create(dir: &Path, p: u32, arity: u32, plan: Vec<usize>) -> io::Result<Self> {
+        if plan.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "shard plan must name at least one shard",
+            ));
+        }
+        fs::create_dir_all(dir)?;
+        Ok(ShardedWriter {
+            dir: dir.to_path_buf(),
+            p,
+            arity,
+            plan,
+            shard: 0,
+            written_in_shard: 0,
+            examples_in_shard: 0,
+            current: None,
+            metas: Vec::new(),
+        })
+    }
+
+    fn shard_path(&self, s: usize) -> PathBuf {
+        self.dir.join(shard_file_name(s))
+    }
+
+    /// Close the current shard file and record its manifest entry.
+    fn close_shard(&mut self) -> io::Result<()> {
+        let path = self.shard_path(self.shard);
+        let writer = match self.current.take() {
+            Some(w) => w,
+            // A zero-region shard still gets a (valid, empty) file so
+            // the manifest never points at a missing path.
+            None => TrainingWriter::create(&path, self.p, self.arity)?,
+        };
+        writer.finish()?;
+        let bytes = fs::metadata(&path)?.len();
+        self.metas.push(ShardMeta {
+            file: shard_file_name(self.shard),
+            regions: self.written_in_shard as u64,
+            examples: self.examples_in_shard,
+            bytes,
+        });
+        self.shard += 1;
+        self.written_in_shard = 0;
+        self.examples_in_shard = 0;
+        Ok(())
+    }
+
+    /// Append the next region of the global scan order; shard files
+    /// advance automatically at the plan's boundaries.
+    pub fn write_region(&mut self, block: &RegionBlock) -> io::Result<()> {
+        // Skip over zero-region shards in the plan.
+        while self.shard < self.plan.len() && self.written_in_shard == self.plan[self.shard] {
+            self.close_shard()?;
+        }
+        if self.shard >= self.plan.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "more regions written than the shard plan holds",
+            ));
+        }
+        if self.current.is_none() {
+            self.current = Some(TrainingWriter::create(
+                &self.shard_path(self.shard),
+                self.p,
+                self.arity,
+            )?);
+        }
+        self.current
+            .as_mut()
+            .expect("writer opened above")
+            .write_region(block)?;
+        self.written_in_shard += 1;
+        self.examples_in_shard += block.n() as u64;
+        Ok(())
+    }
+
+    /// Regions written so far (across all shards).
+    pub fn regions_written(&self) -> usize {
+        self.metas.iter().map(|m| m.regions as usize).sum::<usize>() + self.written_in_shard
+    }
+
+    /// Finish every remaining shard and write the manifest atomically.
+    /// Fails if fewer regions arrived than the plan promised.
+    pub fn finish(mut self) -> io::Result<ShardManifest> {
+        while self.shard < self.plan.len() {
+            if self.written_in_shard != self.plan[self.shard] {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "shard {} received {} of {} planned regions",
+                        self.shard, self.written_in_shard, self.plan[self.shard]
+                    ),
+                ));
+            }
+            self.close_shard()?;
+        }
+        let manifest = ShardManifest {
+            p: self.p,
+            arity: self.arity,
+            shards: self.metas,
+        };
+        manifest.write_atomic(&self.dir.join(MANIFEST_NAME))?;
+        Ok(manifest)
+    }
+}
+
+/// A [`TrainingSource`] over the shards of a manifest: global region
+/// index `i` maps to `(shard s, local index i - starts[s])` by binary
+/// search over the cumulative shard starts. Reads are counted in this
+/// source's own [`IoStats`] (the per-shard inner sources keep their own
+/// books), and [`TrainingSource::shard_starts`] exposes the partition so
+/// the scan engine can run its two-level shard-aligned merge.
+pub struct ShardedSource {
+    shards: Vec<Box<dyn TrainingSource>>,
+    starts: Vec<usize>,
+    total: usize,
+    p: usize,
+    stats: Arc<IoStats>,
+    manifest: Option<ShardManifest>,
+    reads: Counter,
+}
+
+impl ShardedSource {
+    /// Open a sharded dataset directory: validate the manifest and open
+    /// each shard as a plain [`DiskSource`].
+    pub fn open(dir: &Path) -> io::Result<ShardedSource> {
+        Self::open_layered(dir, |disk| Box::new(disk))
+    }
+
+    /// Like [`ShardedSource::open`], but read counters (and the
+    /// `shard/*` counters) are bound to `reg`.
+    pub fn open_with_registry(dir: &Path, reg: &Registry) -> io::Result<ShardedSource> {
+        let mut src = Self::open_layered(dir, |disk| Box::new(disk))?;
+        src.stats = IoStats::in_registry(reg);
+        src.reads = reg.counter(names::SHARD_READS);
+        reg.counter(names::SHARD_SHARDS_OPENED)
+            .add(src.shards.len() as u64);
+        Ok(src)
+    }
+
+    /// Open a sharded dataset wrapping every shard's [`DiskSource`]
+    /// through `layer` — the hook that applies the
+    /// `CachedSource`/`FaultySource`/`RetryingSource` stack *per shard*.
+    pub fn open_layered(
+        dir: &Path,
+        mut layer: impl FnMut(DiskSource) -> Box<dyn TrainingSource>,
+    ) -> io::Result<ShardedSource> {
+        let manifest = ShardManifest::read(&dir.join(MANIFEST_NAME))?;
+        let mut shards: Vec<Box<dyn TrainingSource>> = Vec::with_capacity(manifest.shards.len());
+        for meta in &manifest.shards {
+            let path = dir.join(&meta.file);
+            let actual = fs::metadata(&path)?.len();
+            if actual != meta.bytes {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shard {} is {actual} bytes, manifest says {}",
+                        meta.file, meta.bytes
+                    ),
+                ));
+            }
+            let disk = DiskSource::open(&path)?;
+            if disk.num_regions() as u64 != meta.regions {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shard {} holds {} regions, manifest says {}",
+                        meta.file,
+                        disk.num_regions(),
+                        meta.regions
+                    ),
+                ));
+            }
+            shards.push(layer(disk));
+        }
+        let mut src = ShardedSource::from_sources(shards)?;
+        src.manifest = Some(manifest);
+        Ok(src)
+    }
+
+    /// Assemble a sharded view over arbitrary per-shard sources (their
+    /// region ranges concatenate in the given order). All shards must
+    /// agree on feature arity.
+    pub fn from_sources(shards: Vec<Box<dyn TrainingSource>>) -> io::Result<ShardedSource> {
+        if shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a sharded source needs at least one shard",
+            ));
+        }
+        let p = shards[0].feature_arity();
+        let mut starts = Vec::with_capacity(shards.len());
+        let mut total = 0usize;
+        for s in &shards {
+            if s.feature_arity() != p {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "shards disagree on feature arity",
+                ));
+            }
+            starts.push(total);
+            total += s.num_regions();
+        }
+        Ok(ShardedSource {
+            shards,
+            starts,
+            total,
+            p,
+            stats: IoStats::shared(),
+            manifest: None,
+            reads: Counter::new(),
+        })
+    }
+
+    /// The manifest this source was opened from, if any.
+    pub fn manifest(&self) -> Option<&ShardManifest> {
+        self.manifest.as_ref()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `s` source.
+    pub fn shard(&self, s: usize) -> &dyn TrainingSource {
+        self.shards[s].as_ref()
+    }
+
+    /// Map a global region index to `(shard, local index)`.
+    pub fn locate(&self, idx: usize) -> (usize, usize) {
+        debug_assert!(idx < self.total);
+        let s = self.starts.partition_point(|&start| start <= idx) - 1;
+        (s, idx - self.starts[s])
+    }
+}
+
+impl TrainingSource for ShardedSource {
+    fn num_regions(&self) -> usize {
+        self.total
+    }
+
+    fn feature_arity(&self) -> usize {
+        self.p
+    }
+
+    fn region_coords(&self, idx: usize) -> &[u32] {
+        let (s, local) = self.locate(idx);
+        self.shards[s].region_coords(local)
+    }
+
+    fn read_region(&self, idx: usize) -> io::Result<Arc<RegionBlock>> {
+        let (s, local) = self.locate(idx);
+        let block = self.shards[s].read_region(local)?;
+        self.reads.inc();
+        self.stats
+            .record_region_read(block.encoded_len() as u64, block.n() as u64);
+        Ok(block)
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// This source's own read counters plus every shard's inner
+    /// counters, concatenated (same-name entries from different shards
+    /// are summed by `MetricsSnapshot` accessors reading the first
+    /// match; shard-level detail stays available via
+    /// [`ShardedSource::shard`]).
+    fn snapshot(&self) -> MetricsSnapshot {
+        self.stats.as_ref().into()
+    }
+
+    fn total_examples(&self) -> io::Result<u64> {
+        match &self.manifest {
+            Some(m) => Ok(m.total_examples()),
+            None => {
+                let mut total = 0;
+                for i in 0..self.num_regions() {
+                    total += self.read_region(i)?.n() as u64;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    fn shard_starts(&self) -> Option<Vec<usize>> {
+        Some(self.starts.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedSource;
+    use crate::source::MemorySource;
+
+    fn block(region: u32, rows: usize) -> RegionBlock {
+        let mut b = RegionBlock::new(vec![region], 2);
+        for i in 0..rows {
+            b.push(i as i64, &[1.0, region as f64 + i as f64], i as f64);
+        }
+        b
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("bw_shard_test").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_sharded(dir: &Path, regions: usize, shards: usize) -> ShardManifest {
+        let mut w =
+            ShardedWriter::create(dir, 2, 1, even_shard_plan(regions, shards)).unwrap();
+        for r in 0..regions {
+            w.write_region(&block(r as u32, 1 + r % 3)).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_checksum() {
+        let m = ShardManifest {
+            p: 5,
+            arity: 2,
+            shards: vec![
+                ShardMeta {
+                    file: "shard-0000.bwtd".into(),
+                    regions: 10,
+                    examples: 100,
+                    bytes: 4096,
+                },
+                ShardMeta {
+                    file: "shard-0001.bwtd".into(),
+                    regions: 7,
+                    examples: 70,
+                    bytes: 2048,
+                },
+            ],
+        };
+        let bytes = m.encode();
+        assert_eq!(ShardManifest::decode(&bytes).unwrap(), m);
+        assert_eq!(m.total_regions(), 17);
+        assert_eq!(m.total_examples(), 170);
+        assert_eq!(m.shard_starts(), vec![0, 10]);
+        // Any single-byte corruption is detected.
+        for i in [0, 4, 12, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(ShardManifest::decode(&bad).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn even_plan_covers_total() {
+        assert_eq!(even_shard_plan(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(even_shard_plan(3, 4), vec![1, 1, 1, 0]);
+        assert_eq!(even_shard_plan(0, 2), vec![0, 0]);
+        assert_eq!(even_shard_plan(5, 1), vec![5]);
+    }
+
+    #[test]
+    fn sharded_write_read_matches_flat() {
+        let dir = tmp_dir("rw");
+        let regions = 11;
+        let manifest = write_sharded(&dir, regions, 3);
+        assert_eq!(manifest.total_regions(), 11);
+        assert_eq!(manifest.shards.len(), 3);
+
+        let src = ShardedSource::open(&dir).unwrap();
+        assert_eq!(src.num_regions(), regions);
+        assert_eq!(src.num_shards(), 3);
+        assert_eq!(src.shard_starts(), Some(vec![0, 4, 8]));
+        for r in 0..regions {
+            let b = src.read_region(r).unwrap();
+            assert_eq!(*b, block(r as u32, 1 + r % 3), "region {r}");
+            assert_eq!(src.region_coords(r), &[r as u32]);
+        }
+        assert_eq!(src.snapshot().regions_read(), regions as u64);
+        // Manifest-backed total_examples reads nothing further.
+        let before = src.snapshot().regions_read();
+        assert_eq!(
+            src.total_examples().unwrap(),
+            (0..regions).map(|r| 1 + r as u64 % 3).sum::<u64>()
+        );
+        assert_eq!(src.snapshot().regions_read(), before);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_tampered_manifest_and_resized_shard() {
+        let dir = tmp_dir("tamper");
+        write_sharded(&dir, 6, 2);
+        // Corrupt the manifest.
+        let mpath = dir.join(MANIFEST_NAME);
+        let mut bytes = fs::read(&mpath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&mpath, &bytes).unwrap();
+        assert!(ShardedSource::open(&dir).is_err());
+
+        // Restore, then truncate a shard file.
+        write_sharded(&dir, 6, 2);
+        let shard0 = dir.join(shard_file_name(0));
+        let data = fs::read(&shard0).unwrap();
+        fs::write(&shard0, &data[..data.len() - 1]).unwrap();
+        let err = ShardedSource::open(&dir).err().expect("resized shard rejected");
+        assert!(err.to_string().contains("bytes"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_enforces_the_plan() {
+        let dir = tmp_dir("plan");
+        let mut w = ShardedWriter::create(&dir, 2, 1, vec![1, 1]).unwrap();
+        w.write_region(&block(0, 1)).unwrap();
+        w.write_region(&block(1, 1)).unwrap();
+        assert!(w.write_region(&block(2, 1)).is_err(), "plan exhausted");
+
+        let mut w = ShardedWriter::create(&dir, 2, 1, vec![2, 1]).unwrap();
+        w.write_region(&block(0, 1)).unwrap();
+        assert!(w.finish().is_err(), "short write rejected");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_region_shards_get_valid_empty_files() {
+        let dir = tmp_dir("zero");
+        let mut w = ShardedWriter::create(&dir, 2, 1, vec![0, 2, 0]).unwrap();
+        w.write_region(&block(0, 1)).unwrap();
+        w.write_region(&block(1, 1)).unwrap();
+        let manifest = w.finish().unwrap();
+        assert_eq!(manifest.shards.len(), 3);
+        assert_eq!(manifest.shards[0].regions, 0);
+        assert_eq!(manifest.shards[2].regions, 0);
+        let src = ShardedSource::open(&dir).unwrap();
+        assert_eq!(src.num_regions(), 2);
+        assert_eq!(src.read_region(1).unwrap().region, vec![1]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn layered_open_wraps_each_shard() {
+        let dir = tmp_dir("layered");
+        write_sharded(&dir, 8, 4);
+        let src = ShardedSource::open_layered(&dir, |disk| {
+            Box::new(CachedSource::new(disk, 1 << 20))
+        })
+        .unwrap();
+        assert_eq!(src.num_shards(), 4);
+        for r in 0..8 {
+            src.read_region(r).unwrap();
+            src.read_region(r).unwrap();
+        }
+        // The sharded view counts every routed read; the per-shard
+        // caches served half of them without touching disk.
+        assert_eq!(src.snapshot().regions_read(), 16);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_sources_concatenates_memory_shards() {
+        let a = MemorySource::new(vec![block(0, 1), block(1, 1)]);
+        let b = MemorySource::new(vec![block(2, 1)]);
+        let src = ShardedSource::from_sources(vec![Box::new(a), Box::new(b)]).unwrap();
+        assert_eq!(src.num_regions(), 3);
+        assert_eq!(src.locate(0), (0, 0));
+        assert_eq!(src.locate(1), (0, 1));
+        assert_eq!(src.locate(2), (1, 0));
+        assert_eq!(src.find_region(&[2]), Some(2));
+        assert_eq!(src.region_coords(2), &[2]);
+    }
+
+    #[test]
+    fn registry_bound_source_reports_shard_counters() {
+        let dir = tmp_dir("registry");
+        write_sharded(&dir, 6, 3);
+        let reg = Registry::shared();
+        let src = ShardedSource::open_with_registry(&dir, &reg).unwrap();
+        for r in 0..6 {
+            src.read_region(r).unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.regions_read(), 6);
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get(names::SHARD_SHARDS_OPENED), 3);
+        assert_eq!(get(names::SHARD_READS), 6);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

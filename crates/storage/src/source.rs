@@ -58,6 +58,17 @@ pub trait TrainingSource: Send + Sync {
         }
         Ok(total)
     }
+
+    /// Global start index of each contiguous shard of the region order,
+    /// if this source is shard-partitioned (`None` for flat sources).
+    /// When present: non-empty, `starts[0] == 0`, strictly ascending
+    /// entries below `num_regions()`. The scan engine aligns its
+    /// two-level merge to these boundaries so per-shard accumulators
+    /// merge in ascending shard order — wrappers must forward this so a
+    /// cached/faulty/retrying sharded source still schedules shard-wise.
+    fn shard_starts(&self) -> Option<Vec<usize>> {
+        None
+    }
 }
 
 /// In-memory training source. Reads are logical (shared handles to the

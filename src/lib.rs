@@ -99,9 +99,9 @@ pub mod prelude {
     };
     pub use bellwether_linreg::{ErrorEstimate, LinearModel, RegSuffStats, RegressionData};
     pub use bellwether_storage::{
-        is_corrupt, CacheStats, CachedSource, CorruptBlock, DiskSource, FaultPlan,
-        FaultySource, MemorySource, RegionBlock, RetryPolicy, RetryPolicyBuilder,
-        RetryingSource, TrainingSource,
+        even_shard_plan, is_corrupt, CacheStats, CachedSource, CorruptBlock, DiskSource,
+        FaultPlan, FaultySource, MemorySource, RegionBlock, RetryPolicy, RetryPolicyBuilder,
+        RetryingSource, ShardManifest, ShardedSource, ShardedWriter, TrainingSource,
     };
     pub use bellwether_table::ops::{AggExpr, AggFunc};
     pub use bellwether_table::{Column, DataType, Predicate, Schema, Table, Value};

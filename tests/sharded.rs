@@ -1,0 +1,329 @@
+//! Out-of-core sharded-layout properties, spanning storage, the scan
+//! engine, and every builder:
+//!
+//! * a sharded dataset read through the **full layered stack** — each
+//!   shard's `DiskSource` wrapped as
+//!   `RetryingSource(FaultySource(CachedSource(disk)))` with transient
+//!   faults injected on every region — trains every one of the seven
+//!   builders to a snapshot *byte-identical* to a clean in-memory run,
+//!   for shards ∈ {1, 2, 3} × threads ∈ {1, 2, 4};
+//! * the injected transients really happen (fault and retry counters
+//!   are non-zero), so the equivalence is exercised, not vacuous;
+//! * a truncated shard file and a doctored manifest byte count are both
+//!   rejected at open time with structured errors, never a panic.
+
+use bellwether::prelude::*;
+use bellwether_prop::{check, Rng};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Absorbs the injected transient depth without sleeping.
+fn absorbing_policy() -> RetryPolicy {
+    RetryPolicy::builder()
+        .max_attempts(4)
+        .base_backoff(Duration::ZERO)
+        .max_backoff(Duration::ZERO)
+        .build()
+        .unwrap()
+}
+
+/// Random region blocks over an 8-region flat hierarchy, plus the item
+/// table and item space the tree/cube builders need.
+#[allow(clippy::type_complexity)]
+fn random_fixture(
+    rng: &mut Rng,
+) -> (
+    Vec<RegionBlock>,
+    RegionSpace,
+    ItemTable,
+    RegionSpace,
+    HashMap<i64, Vec<u32>>,
+    usize,
+) {
+    let leaves = ["ra", "rb", "rc", "rd", "re", "rf", "rg"];
+    let region_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+        "L", "All", &leaves,
+    ))]);
+    let n_items = rng.usize_in(10, 24);
+    let groups: Vec<&str> = (0..n_items).map(|_| *rng.choice(&["ga", "gb"])).collect();
+    let mut blocks = Vec::new();
+    for region in 0u32..8 {
+        let mut block = RegionBlock::new(vec![region], 2);
+        for id in 0..n_items as i64 {
+            if rng.flip(0.8) {
+                block.push(id, &[1.0, rng.f64_in(-10.0, 10.0)], rng.f64_in(-50.0, 50.0));
+            }
+        }
+        blocks.push(block);
+    }
+    let items = ItemTable::from_table(
+        &Table::new(
+            Schema::from_pairs(&[("id", DataType::Int), ("g", DataType::Str)]).unwrap(),
+            vec![
+                Column::from_ints((0..n_items as i64).collect()),
+                Column::from_strs(&groups),
+            ],
+        )
+        .unwrap(),
+        "id",
+        &[],
+        &["g"],
+    )
+    .unwrap();
+    let item_space = RegionSpace::new(vec![Dimension::Hierarchy(Hierarchy::flat(
+        "G",
+        "Any",
+        &["ga", "gb"],
+    ))]);
+    let item_coords: HashMap<i64, Vec<u32>> = (0..n_items as i64)
+        .map(|id| (id, vec![if groups[id as usize] == "ga" { 1 } else { 2 }]))
+        .collect();
+    (blocks, region_space, items, item_space, item_coords, n_items)
+}
+
+fn config_for(threads: usize) -> BellwetherConfig {
+    BellwetherConfig::builder(1e9)
+        .min_coverage(0.0)
+        .min_examples(3)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .parallelism(Parallelism::fixed(threads).with_min_chunk(1))
+        .build()
+        .unwrap()
+}
+
+const BUILDERS: [&str; 7] = [
+    "basic",
+    "basic_linear",
+    "tree_naive",
+    "tree_rainforest",
+    "cube_naive",
+    "cube_single_scan",
+    "cube_optimized",
+];
+
+/// Run one named builder over any training source and return its
+/// snapshot bytes (the serialization is deterministic, so byte equality
+/// is model equality). `None` when the search finds no viable region.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_bytes(
+    builder: &str,
+    src: &dyn TrainingSource,
+    region_space: &RegionSpace,
+    items: &ItemTable,
+    item_space: &RegionSpace,
+    item_coords: &HashMap<i64, Vec<u32>>,
+    n_items: usize,
+    config: &BellwetherConfig,
+    tag: &str,
+) -> Option<Vec<u8>> {
+    let cost = UniformCellCost { rate: 1.0 };
+    let tc = TreeConfig {
+        min_node_items: 4,
+        ..TreeConfig::default()
+    };
+    let cc = CubeConfig { min_subset_size: 3 };
+    let mb = ModelBuilder::new(src, items.clone());
+    let mb = match builder {
+        "basic" => mb.basic(
+            basic_search(src, region_space, &cost, config, n_items)
+                .unwrap()
+                .report()?,
+        ),
+        "basic_linear" => mb.basic(
+            basic_search_linear(
+                src,
+                region_space,
+                &cost,
+                config,
+                n_items,
+                LinearCriterion {
+                    cost_weight: 1.0,
+                    coverage_weight: 10.0,
+                },
+            )
+            .unwrap()
+            .report()?,
+        ),
+        "tree_naive" => {
+            mb.tree(build_naive_tree(src, region_space, items, None, config, &tc).unwrap())
+        }
+        "tree_rainforest" => {
+            mb.tree(build_rainforest(src, region_space, items, None, config, &tc).unwrap())
+        }
+        "cube_naive" => mb.cube(
+            build_naive_cube(src, region_space, item_space, item_coords, config, &cc).unwrap(),
+            0.95,
+        ),
+        "cube_single_scan" => mb.cube(
+            build_single_scan_cube(src, region_space, item_space, item_coords, config, &cc)
+                .unwrap(),
+            0.95,
+        ),
+        "cube_optimized" => mb.cube(
+            build_optimized_cube(src, region_space, item_space, item_coords, config, &cc)
+                .unwrap(),
+            0.95,
+        ),
+        other => panic!("unknown builder {other}"),
+    };
+    let model = mb.build().unwrap();
+    let path = tmp(&format!("{tag}_{builder}.bwsn"));
+    model.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    Some(bytes)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bw_sharded_prop_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn write_shards(blocks: &[RegionBlock], shards: usize, tag: &str) -> PathBuf {
+    let dir = tmp(&format!("{tag}_s{shards}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut w =
+        ShardedWriter::create(&dir, 2, 1, even_shard_plan(blocks.len(), shards)).unwrap();
+    for b in blocks {
+        w.write_region(b).unwrap();
+    }
+    w.finish().unwrap();
+    dir
+}
+
+/// The acceptance property of the sharded layout: the layered stack
+/// `RetryingSource(FaultySource(CachedSource(disk)))` per shard, with
+/// transients injected on every region, trains every builder to the
+/// same bytes as a clean single-`MemorySource` run, at every shard and
+/// thread count.
+#[test]
+fn layered_sharded_stack_matches_clean_run_for_all_builders() {
+    check("sharded_layered_stack_bit_identical", 2, |rng| {
+        let (blocks, region_space, items, item_space, item_coords, n_items) =
+            random_fixture(rng);
+        let clean = MemorySource::new(blocks.clone());
+        let fault_seed = rng.next_u64();
+
+        // Clean reference bytes per builder, from the flat in-memory
+        // source at one thread.
+        let reference: Vec<Option<Vec<u8>>> = BUILDERS
+            .iter()
+            .map(|b| {
+                snapshot_bytes(
+                    b,
+                    &clean,
+                    &region_space,
+                    &items,
+                    &item_space,
+                    &item_coords,
+                    n_items,
+                    &config_for(1),
+                    "clean",
+                )
+            })
+            .collect();
+
+        for shards in [1usize, 2, 3] {
+            let dir = write_shards(&blocks, shards, "layered");
+            for threads in [1usize, 2, 4] {
+                let reg = Registry::shared();
+                let layered = ShardedSource::open_layered(&dir, |disk| {
+                    let cached = CachedSource::with_registry(disk, 1 << 16, &reg);
+                    let plan = FaultPlan::new(fault_seed).transient_every(1, 2);
+                    let faulty = FaultySource::with_registry(cached, plan, &reg);
+                    Box::new(RetryingSource::with_registry(
+                        faulty,
+                        absorbing_policy(),
+                        &reg,
+                    ))
+                })
+                .unwrap();
+
+                for (b, want) in BUILDERS.iter().zip(&reference) {
+                    let got = snapshot_bytes(
+                        b,
+                        &layered,
+                        &region_space,
+                        &items,
+                        &item_space,
+                        &item_coords,
+                        n_items,
+                        &config_for(threads),
+                        "layered",
+                    );
+                    assert_eq!(
+                        got.as_ref().map(Vec::len),
+                        want.as_ref().map(Vec::len),
+                        "{b}: snapshot size diverged at shards={shards} threads={threads}"
+                    );
+                    assert!(
+                        got == *want,
+                        "{b}: snapshot bytes diverged at shards={shards} threads={threads}"
+                    );
+                }
+
+                // The equivalence must not be vacuous: transients were
+                // injected and absorbed.
+                let snap = reg.snapshot();
+                assert!(
+                    snap.faults_injected() > 0,
+                    "no faults injected at shards={shards} threads={threads}"
+                );
+                assert!(
+                    snap.retries() > 0,
+                    "no retries recorded at shards={shards} threads={threads}"
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    });
+}
+
+/// Opening a sharded dataset whose shard file was truncated, or whose
+/// manifest byte count was doctored, fails with a structured IO error.
+#[test]
+fn damaged_sharded_layouts_are_rejected_at_open() {
+    let mut rng = Rng::new(11);
+    let (blocks, ..) = random_fixture(&mut rng);
+
+    // Truncated shard file.
+    let dir = write_shards(&blocks, 2, "trunc");
+    let shard0 = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "bwtd"))
+        .expect("a shard file exists");
+    let bytes = std::fs::read(&shard0).unwrap();
+    std::fs::write(&shard0, &bytes[..bytes.len() - 7]).unwrap();
+    let err = match ShardedSource::open(&dir) {
+        Ok(_) => panic!("truncated shard must not open"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("bytes"),
+        "error names the size mismatch: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Doctored manifest (flip one byte in the shard-size field region).
+    let dir = write_shards(&blocks, 2, "doctor");
+    let manifest_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.file_name().is_some_and(|n| n.to_string_lossy().contains("manifest")))
+        .expect("a manifest exists");
+    let mut bytes = std::fs::read(&manifest_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&manifest_path, &bytes).unwrap();
+    assert!(
+        ShardedSource::open(&dir).is_err(),
+        "doctored manifest must not open"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
