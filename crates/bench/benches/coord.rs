@@ -1,0 +1,253 @@
+//! Multi-process coordinator overhead vs. in-process sharded training.
+//!
+//! Emits `results/BENCH_coord.json` with four sections:
+//!
+//! * `config` — generated rows, regions, shard count, dataset bytes;
+//! * `cells` — a full basic-bellwether training scan per
+//!   (mode ∈ {inprocess, coordinator}) × threads, with wall-clock stats
+//!   and the coordinator-process peak RSS of the timed samples; the
+//!   coordinator rows pay one framed request/response round trip per
+//!   region read against real worker OS processes;
+//! * `workers` — per-worker spawn counts and the peak RSS each worker
+//!   process reported in its graceful-shutdown `Bye` frame;
+//! * `faulted` — the same scan under a seeded crash + hang +
+//!   corrupt-frame campaign with a bounded restart budget: wall clock,
+//!   the `coord/*` incident counters, and an `identical` flag checking
+//!   the model snapshot bit-matches the in-process baseline.
+//!
+//! `BW_COORD_ROWS` overrides the dataset size (default 2M fact rows,
+//! `BW_QUICK=1` drops to 100k). This bench re-invokes its own binary in
+//! `--worker` mode to serve shards.
+
+use bellwether_bench::report::json_f64;
+use bellwether_bench::{results_dir, Harness};
+use bellwether_coord::{Coordinator, CoordinatorConfig, WorkerFaultPlan};
+use bellwether_core::{
+    basic_search, BellwetherConfig, ErrorMeasure, ModelBuilder, RetryPolicy,
+};
+use bellwether_cube::{Parallelism, UniformCellCost};
+use bellwether_datagen::{build_scale_workload, ScaleConfig, ScaleWorkload};
+use bellwether_obs::Registry;
+use bellwether_storage::{ShardedSource, TrainingSource};
+use std::time::Duration;
+
+fn env_rows(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn config_for(threads: usize) -> BellwetherConfig {
+    BellwetherConfig::builder(f64::INFINITY)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .parallelism(Parallelism::fixed(threads))
+        .build()
+        .unwrap()
+}
+
+/// Serialized basic-model snapshot over `src` — deterministic bytes, so
+/// equality is model equality.
+fn basic_snapshot(src: &dyn TrainingSource, w: &ScaleWorkload, threads: usize) -> Vec<u8> {
+    let cost = UniformCellCost { rate: 1.0 };
+    let report = basic_search(src, &w.region_space, &cost, &config_for(threads), w.items.len())
+        .unwrap()
+        .report()
+        .expect("basic search found a region");
+    let model = ModelBuilder::new(src, w.items.clone())
+        .basic(report)
+        .build()
+        .unwrap();
+    let path = std::env::temp_dir().join("bw_bench_coord_basic.bwsn");
+    model.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+struct Cell {
+    mode: &'static str,
+    threads: usize,
+    min_secs: f64,
+    median_secs: f64,
+    mean_secs: f64,
+    peak_rss_bytes: Option<u64>,
+}
+
+fn main() {
+    // The coordinator spawns this same binary per shard.
+    bellwether_coord::maybe_run_worker();
+
+    let quick = bellwether_bench::quick_mode();
+    let rows = env_rows("BW_COORD_ROWS", if quick { 100_000 } else { 2_000_000 });
+    let shards = 4usize;
+
+    let cfg = ScaleConfig::sized_for(rows, 20260808);
+    let w = build_scale_workload(&cfg);
+    let dir = std::env::temp_dir().join("bw_bench_coord_data");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create shard dir");
+    let manifest = w.write_sharded(&dir, shards).expect("write sharded");
+    let dataset_bytes: u64 = manifest.shards.iter().map(|s| s.bytes).sum();
+    eprintln!(
+        "workload: {} regions × {} items = {} examples, {} bytes over {shards} shards",
+        w.regions.len(),
+        cfg.n_items,
+        w.total_examples(),
+        dataset_bytes
+    );
+    let bin = std::env::current_exe().expect("own binary");
+    let cost = UniformCellCost { rate: 1.0 };
+
+    let mut h = Harness::new();
+    if !quick && std::env::var("BW_BENCH_SAMPLES").is_err() {
+        h.sample_size = 3;
+        h.warmup_iters = 1;
+    }
+
+    // --- Timed cells: in-process vs. process coordinator, clean plans.
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut workers_json = String::new();
+    for threads in [1usize, 4] {
+        let config = config_for(threads);
+
+        let src = ShardedSource::open(&dir).expect("open sharded");
+        let r = h.bench(&format!("inprocess/threads={threads}"), || {
+            basic_search(&src, &w.region_space, &cost, &config, cfg.n_items).unwrap()
+        });
+        cells.push(Cell {
+            mode: "inprocess",
+            threads,
+            min_secs: r.min_secs(),
+            median_secs: r.median_secs(),
+            mean_secs: r.mean_secs(),
+            peak_rss_bytes: r.peak_rss_bytes,
+        });
+
+        let coord = Coordinator::spawn_processes(
+            &dir,
+            &bin,
+            WorkerFaultPlan::none(),
+            CoordinatorConfig::new(),
+        )
+        .expect("spawn fleet");
+        let r = h.bench(&format!("coordinator/threads={threads}"), || {
+            basic_search(&coord, &w.region_space, &cost, &config, cfg.n_items).unwrap()
+        });
+        cells.push(Cell {
+            mode: "coordinator",
+            threads,
+            min_secs: r.min_secs(),
+            median_secs: r.median_secs(),
+            mean_secs: r.mean_secs(),
+            peak_rss_bytes: r.peak_rss_bytes,
+        });
+        if threads == 4 {
+            // Per-worker peak RSS from the graceful shutdown of the
+            // fleet that just served the timed samples.
+            let exits = coord.shutdown();
+            for (i, e) in exits.iter().enumerate() {
+                workers_json.push_str(if i == 0 { "\n" } else { ",\n" });
+                workers_json.push_str(&format!(
+                    "    {{\"worker\": {}, \"spawns\": {}, \"peak_rss_bytes\": {}}}",
+                    e.worker,
+                    e.spawns,
+                    e.peak_rss_bytes
+                        .map_or_else(|| "null".to_string(), |b| b.to_string())
+                ));
+            }
+        }
+    }
+
+    // --- Faulted campaign: crashes + hangs + corrupt frames absorbed
+    // by the restart budget; the model must still bit-match the
+    // in-process baseline.
+    let baseline = basic_snapshot(&ShardedSource::open(&dir).unwrap(), &w, 4);
+    let plan = WorkerFaultPlan::new(2026).with_crashes(1).with_hangs(1).with_corrupts(1);
+    let coord_cfg = CoordinatorConfig::new()
+        .deadline(Duration::from_millis(500))
+        .expect("nonzero deadline")
+        .restart_policy(
+            RetryPolicy::builder()
+                .max_attempts(8)
+                .base_backoff(Duration::from_millis(1))
+                .jitter_seed(2026)
+                .build()
+                .unwrap(),
+        );
+    let reg = Registry::new();
+    let coord = Coordinator::spawn_processes_with_registry(&dir, &bin, plan, coord_cfg, &reg)
+        .expect("spawn faulted fleet");
+    let (faulted_bytes, faulted_secs) =
+        bellwether_bench::time_secs(|| basic_snapshot(&coord, &w, 4));
+    let identical = faulted_bytes == baseline;
+    coord.shutdown();
+    let snap = reg.snapshot();
+    let n = |name: &str| snap.counter(name).unwrap_or(0);
+    let restarts = n("coord/worker_restarts");
+    println!(
+        "faulted campaign: {restarts} restarts ({} crashes, {} timeouts, {} corrupt frames) \
+         in {faulted_secs:.2}s, {}",
+        n("coord/worker_crashes"),
+        n("coord/worker_timeouts"),
+        n("coord/corrupt_frames"),
+        if identical { "IDENTICAL" } else { "DIVERGED" }
+    );
+
+    // --- Emit the report.
+    let median = |mode: &str, threads: usize| {
+        cells
+            .iter()
+            .find(|c| c.mode == mode && c.threads == threads)
+            .map(|c| c.median_secs)
+            .unwrap_or(f64::NAN)
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"rows\": {}, \"regions\": {}, \"items\": {}, \"shards\": {shards}, \"dataset_bytes\": {dataset_bytes}}},\n",
+        w.total_examples(),
+        w.regions.len(),
+        cfg.n_items
+    ));
+    out.push_str("  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"min_secs\": {}, \"median_secs\": {}, \"mean_secs\": {}, \"peak_rss_bytes\": {}}}",
+            c.mode,
+            c.threads,
+            json_f64(c.min_secs),
+            json_f64(c.median_secs),
+            json_f64(c.mean_secs),
+            c.peak_rss_bytes
+                .map_or_else(|| "null".to_string(), |b| b.to_string())
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"overhead\": {{\"threads_1\": {}, \"threads_4\": {}}},\n",
+        json_f64(median("coordinator", 1) / median("inprocess", 1)),
+        json_f64(median("coordinator", 4) / median("inprocess", 4))
+    ));
+    out.push_str(&format!("  \"workers\": [{workers_json}\n  ],\n"));
+    out.push_str(&format!(
+        "  \"faulted\": {{\"secs\": {}, \"worker_restarts\": {restarts}, \"worker_crashes\": {}, \"worker_timeouts\": {}, \"corrupt_frames\": {}, \"identical\": {identical}}}\n",
+        json_f64(faulted_secs),
+        n("coord/worker_crashes"),
+        n("coord/worker_timeouts"),
+        n("coord/corrupt_frames")
+    ));
+    out.push_str("}\n");
+
+    let path = results_dir().join("BENCH_coord.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&path, &out).expect("write BENCH_coord.json");
+    println!("(wrote {})", path.display());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

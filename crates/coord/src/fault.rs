@@ -1,0 +1,335 @@
+//! Seeded process-level fault plans for the worker lifecycle.
+//!
+//! Mirrors the region-level `FaultPlan` idiom in `bellwether-storage`:
+//! a small copyable plan plus a SplitMix64-style mixer makes every
+//! fault decision a pure function of `(seed, worker, incarnation,
+//! frame)`. The same plan therefore produces the same fault sequence in
+//! the real-process transport and the simulated one, and tests can
+//! compute *exactly* which incarnations fail and assert counter values
+//! instead of inequalities.
+//!
+//! ## Incarnation bands
+//!
+//! Faults are organized in **bands over worker incarnations** so that a
+//! plan with a sufficient restart budget is guaranteed to converge:
+//!
+//! * incarnations `0 .. crashes` exit abruptly mid-protocol,
+//! * the next `hangs` incarnations wedge (stop replying) at a frame,
+//! * the next `corrupts` incarnations corrupt one reply frame,
+//! * every later incarnation is clean.
+//!
+//! Within a faulty incarnation the trigger frame is drawn
+//! deterministically from `0..FAULT_WINDOW`, so frame 0 — the `Hello`
+//! handshake — is hit by some seeds: crash-before-first-frame is part
+//! of the campaign, not a separate mode. A `poisoned` worker instead
+//! crashes on *every* read in *every* incarnation (but answers the
+//! handshake), which is how tests exhaust a retry budget and exercise
+//! `SkipUnreadable` degradation.
+
+use std::time::Duration;
+
+/// Trigger frames are drawn from `0..FAULT_WINDOW` within an
+/// incarnation; keep it small so short request streams still fire.
+pub const FAULT_WINDOW: u64 = 4;
+
+/// A fault decision for one protocol frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Exit the process abruptly (simulated: mark the channel dead).
+    Crash,
+    /// Stop replying; the coordinator's deadline must fire.
+    Hang,
+    /// Reply, but flip one bit of the response frame.
+    CorruptFrame,
+    /// Reply after an injected delay (latency, not an error).
+    Slow(Duration),
+}
+
+/// Deterministic fault schedule for a worker fleet. `Copy` so the
+/// coordinator, spawner, and CLI spec can all carry it by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerFaultPlan {
+    /// Seed mixed into every decision.
+    pub seed: u64,
+    /// Incarnations per worker that crash abruptly.
+    pub crashes: u32,
+    /// Incarnations per worker (after the crash band) that hang.
+    pub hangs: u32,
+    /// Incarnations per worker (after the hang band) that corrupt one
+    /// reply frame.
+    pub corrupts: u32,
+    /// Every `slow_every`-th read is delayed by [`Self::slow`]
+    /// (0 disables).
+    pub slow_every: u64,
+    /// Injected delay for slow replies.
+    pub slow: Duration,
+    /// A worker whose reads *always* crash, in every incarnation; the
+    /// handshake still succeeds. Used to exhaust restart budgets.
+    pub poisoned: Option<usize>,
+}
+
+/// SplitMix64 finalizer; same mixing idiom as `storage`'s fault plan.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl WorkerFaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// A clean plan carrying only a seed; add faults with the
+    /// `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        WorkerFaultPlan {
+            seed,
+            crashes: 0,
+            hangs: 0,
+            corrupts: 0,
+            slow_every: 0,
+            slow: Duration::ZERO,
+            poisoned: None,
+        }
+    }
+
+    /// First `n` incarnations of every worker crash.
+    pub fn with_crashes(mut self, n: u32) -> Self {
+        self.crashes = n;
+        self
+    }
+
+    /// Next `n` incarnations of every worker hang.
+    pub fn with_hangs(mut self, n: u32) -> Self {
+        self.hangs = n;
+        self
+    }
+
+    /// Next `n` incarnations of every worker corrupt one reply frame.
+    pub fn with_corrupts(mut self, n: u32) -> Self {
+        self.corrupts = n;
+        self
+    }
+
+    /// Delay every `period`-th read by `delay`.
+    pub fn with_slow(mut self, period: u64, delay: Duration) -> Self {
+        self.slow_every = period;
+        self.slow = delay;
+        self
+    }
+
+    /// Mark one worker as permanently poisoned (reads always crash).
+    pub fn with_poisoned(mut self, worker: usize) -> Self {
+        self.poisoned = Some(worker);
+        self
+    }
+
+    /// True if the plan injects any error-class fault (latency alone
+    /// does not count).
+    pub fn is_faulty(&self) -> bool {
+        self.crashes > 0 || self.hangs > 0 || self.corrupts > 0 || self.poisoned.is_some()
+    }
+
+    /// Incarnations a worker needs before it runs clean; a restart
+    /// budget strictly larger than this converges.
+    pub fn faulty_incarnations(&self) -> u32 {
+        self.crashes + self.hangs + self.corrupts
+    }
+
+    /// Deterministic mixer over the full decision coordinates.
+    fn h(&self, worker: usize, incarnation: u32, salt: u64) -> u64 {
+        mix(self
+            .seed
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add((worker as u64) << 32)
+            .wrapping_add(incarnation as u64)
+            .wrapping_add(salt.wrapping_mul(0xA24B_AED4_963E_E407)))
+    }
+
+    /// The frame index (0-based count of requests processed in this
+    /// incarnation) at which this incarnation's band fault fires.
+    pub fn trigger_frame(&self, worker: usize, incarnation: u32) -> u64 {
+        self.h(worker, incarnation, 1) % FAULT_WINDOW
+    }
+
+    /// The fault (if any) to inject for request number `frame` of
+    /// `(worker, incarnation)`. `is_read` is true for `Read` requests —
+    /// poisoned workers only fault on reads so the handshake can
+    /// succeed.
+    pub fn fault_for(
+        &self,
+        worker: usize,
+        incarnation: u32,
+        frame: u64,
+        is_read: bool,
+    ) -> Option<WorkerFault> {
+        if self.poisoned == Some(worker) {
+            return if is_read { Some(WorkerFault::Crash) } else { None };
+        }
+        let band = incarnation;
+        let banded = if band < self.crashes {
+            Some(WorkerFault::Crash)
+        } else if band < self.crashes + self.hangs {
+            Some(WorkerFault::Hang)
+        } else if band < self.faulty_incarnations() {
+            Some(WorkerFault::CorruptFrame)
+        } else {
+            None
+        };
+        if let Some(fault) = banded {
+            if frame == self.trigger_frame(worker, incarnation) {
+                return Some(fault);
+            }
+        }
+        if self.slow_every > 0
+            && is_read
+            && self
+                .h(worker, incarnation, frame.wrapping_add(2))
+                .is_multiple_of(self.slow_every)
+        {
+            return Some(WorkerFault::Slow(self.slow));
+        }
+        None
+    }
+
+    /// Hash used to pick which bit a corrupt-frame fault flips.
+    pub fn corruption_hash(&self, worker: usize, incarnation: u32, frame: u64) -> u64 {
+        self.h(worker, incarnation, frame.wrapping_add(3))
+    }
+
+    /// Serialize for the `--fault` worker CLI flag.
+    pub fn to_spec(&self) -> String {
+        let poisoned = match self.poisoned {
+            Some(w) => w.to_string(),
+            None => "none".into(),
+        };
+        format!(
+            "seed={},crashes={},hangs={},corrupts={},slow_every={},slow_us={},poisoned={}",
+            self.seed,
+            self.crashes,
+            self.hangs,
+            self.corrupts,
+            self.slow_every,
+            self.slow.as_micros(),
+            poisoned
+        )
+    }
+
+    /// Parse a [`Self::to_spec`] string; `None` on any malformed field.
+    pub fn from_spec(spec: &str) -> Option<Self> {
+        let mut plan = WorkerFaultPlan::none();
+        for part in spec.split(',') {
+            let (key, value) = part.split_once('=')?;
+            match key {
+                "seed" => plan.seed = value.parse().ok()?,
+                "crashes" => plan.crashes = value.parse().ok()?,
+                "hangs" => plan.hangs = value.parse().ok()?,
+                "corrupts" => plan.corrupts = value.parse().ok()?,
+                "slow_every" => plan.slow_every = value.parse().ok()?,
+                "slow_us" => plan.slow = Duration::from_micros(value.parse().ok()?),
+                "poisoned" => {
+                    plan.poisoned = if value == "none" {
+                        None
+                    } else {
+                        Some(value.parse().ok()?)
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = WorkerFaultPlan::new(42).with_crashes(1).with_hangs(1).with_corrupts(1);
+        for worker in 0..4 {
+            for incarnation in 0..5 {
+                for frame in 0..8 {
+                    let a = plan.fault_for(worker, incarnation, frame, true);
+                    let b = plan.fault_for(worker, incarnation, frame, true);
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bands_fire_exactly_once_then_go_clean() {
+        let plan = WorkerFaultPlan::new(7).with_crashes(2).with_hangs(1).with_corrupts(1);
+        for worker in 0..3 {
+            for incarnation in 0..plan.faulty_incarnations() {
+                let expected = if incarnation < 2 {
+                    WorkerFault::Crash
+                } else if incarnation < 3 {
+                    WorkerFault::Hang
+                } else {
+                    WorkerFault::CorruptFrame
+                };
+                let fired: Vec<u64> = (0..FAULT_WINDOW)
+                    .filter(|&f| plan.fault_for(worker, incarnation, f, true) == Some(expected))
+                    .collect();
+                assert_eq!(fired.len(), 1, "band fault fires exactly once");
+                assert_eq!(fired[0], plan.trigger_frame(worker, incarnation));
+            }
+            // Past the bands, no error-class fault ever fires.
+            for incarnation in plan.faulty_incarnations()..plan.faulty_incarnations() + 3 {
+                for frame in 0..16 {
+                    assert_eq!(plan.fault_for(worker, incarnation, frame, true), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trigger_frames_cover_the_handshake_for_some_seed() {
+        // Some (worker, incarnation, seed) hits frame 0 = Hello, so
+        // crash-before-first-frame is exercised by campaigns.
+        let hit = (0..64u64).any(|seed| {
+            WorkerFaultPlan::new(seed).with_crashes(1).trigger_frame(0, 0) == 0
+        });
+        assert!(hit);
+    }
+
+    #[test]
+    fn poisoned_worker_crashes_reads_only() {
+        let plan = WorkerFaultPlan::new(1).with_poisoned(2);
+        for incarnation in 0..6 {
+            assert_eq!(plan.fault_for(2, incarnation, 0, false), None, "hello survives");
+            for frame in 0..8 {
+                assert_eq!(
+                    plan.fault_for(2, incarnation, frame, true),
+                    Some(WorkerFault::Crash)
+                );
+            }
+        }
+        assert_eq!(plan.fault_for(1, 0, 0, true), None, "other workers clean");
+    }
+
+    #[test]
+    fn spec_roundtrips() {
+        let plans = [
+            WorkerFaultPlan::none(),
+            WorkerFaultPlan::new(99)
+                .with_crashes(1)
+                .with_hangs(2)
+                .with_corrupts(3)
+                .with_slow(5, Duration::from_micros(250))
+                .with_poisoned(1),
+        ];
+        for plan in plans {
+            assert_eq!(WorkerFaultPlan::from_spec(&plan.to_spec()), Some(plan));
+        }
+        assert_eq!(WorkerFaultPlan::from_spec("seed=x"), None);
+        assert_eq!(WorkerFaultPlan::from_spec("bogus=1"), None);
+        assert_eq!(WorkerFaultPlan::from_spec("seed"), None);
+    }
+}

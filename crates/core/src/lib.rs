@@ -43,6 +43,7 @@ pub mod model;
 pub mod predict;
 pub mod problem;
 pub mod report;
+pub mod retry;
 pub mod sampling;
 pub mod scan;
 pub mod seeded;
@@ -77,6 +78,7 @@ pub use model::{BellwetherModel, MethodKind, ModelBuilder};
 pub use predict::{evaluate_method, EvalContext, ItemCentricEval, Method};
 pub use problem::{BellwetherConfig, BellwetherConfigBuilder, ErrorMeasure};
 pub use report::BellwetherReport;
+pub use retry::{RetryPolicy, RetryPolicyBuilder, RetryingSource};
 pub use sampling::sampling_baseline_error;
 pub use scan::{
     scan_regions, scan_regions_policy, scan_regions_where, scan_regions_where_policy,

@@ -1,0 +1,75 @@
+//! Shared retry/backoff policy, re-exported for every retry path in
+//! the workspace.
+//!
+//! There is exactly one implementation of bounded-attempt retry with
+//! exponential backoff and deterministic jitter:
+//! [`bellwether_storage::retry::RetryPolicy`]. It started life as the
+//! storage layer's region-read retry and is now also the shard
+//! coordinator's worker-restart budget (`bellwether-coord`), which is
+//! the point — the two retry paths share one policy type and one
+//! backoff formula, so their semantics *cannot* drift apart.
+//!
+//! This module is the canonical import path for algorithm-level code
+//! (`core` and above): `bellwether_core::retry::RetryPolicy`. It lives
+//! in `core` as a documented façade rather than as the implementation
+//! because the crate graph points the other way (`core` depends on
+//! `storage`, and `coord` deliberately depends only on
+//! `storage` + `obs`); hoisting the code itself into `core` would give
+//! the coordinator a dependency on every algorithm in this crate.
+//! Re-exporting keeps the type *identical* — a policy built through
+//! this path configures storage sources and coordinators alike.
+//!
+//! ```
+//! use bellwether_core::retry::RetryPolicy;
+//! use std::time::Duration;
+//!
+//! let policy = RetryPolicy::builder()
+//!     .max_attempts(5)
+//!     .base_backoff(Duration::from_millis(2))
+//!     .jitter_seed(42)
+//!     .build()
+//!     .unwrap();
+//! // Same policy type drives storage-read retries and coordinator
+//! // worker restarts; backoff_for(slot, attempt) is the one schedule.
+//! assert!(policy.backoff_for(0, 1) <= policy.backoff_for(0, 4));
+//! ```
+
+pub use bellwether_storage::retry::{RetryPolicy, RetryPolicyBuilder, RetryingSource};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// The façade must stay type-identical to the storage
+    /// implementation — a function taking the storage type accepts a
+    /// policy built through `core::retry` with no conversion.
+    #[test]
+    fn facade_is_type_identical_to_storage() {
+        fn takes_storage_policy(p: bellwether_storage::RetryPolicy) -> u32 {
+            p.max_attempts()
+        }
+        let p = RetryPolicy::builder().max_attempts(7).build().unwrap();
+        assert_eq!(takes_storage_policy(p), 7);
+    }
+
+    #[test]
+    fn one_backoff_formula_for_all_paths() {
+        let build = || {
+            RetryPolicy::builder()
+                .max_attempts(4)
+                .base_backoff(Duration::from_millis(1))
+                .max_backoff(Duration::from_millis(64))
+                .jitter_seed(9)
+                .build()
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+        for slot in 0..4 {
+            for attempt in 1..4 {
+                assert_eq!(a.backoff_for(slot, attempt), b.backoff_for(slot, attempt));
+            }
+        }
+    }
+}

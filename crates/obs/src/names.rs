@@ -101,3 +101,28 @@ pub const SERVE_QUEUE_DEPTH: &str = "serve/queue_depth";
 pub const SERVE_REJECTED_BUSY: &str = "serve/rejected_busy";
 /// Model snapshots hot-swapped into a live server via `POST /reload`.
 pub const SERVE_RELOADS: &str = "serve/reloads";
+/// Gauge: seconds since the server started (set on `/metrics`).
+pub const SERVE_UPTIME_SECONDS: &str = "serve/uptime_seconds";
+
+/// Worker processes (or simulated workers) spawned by a coordinator,
+/// including restarts.
+pub const COORD_WORKERS_SPAWNED: &str = "coord/workers_spawned";
+/// Workers respawned after a transport incident (crash, timeout,
+/// corrupt frame).
+pub const COORD_WORKER_RESTARTS: &str = "coord/worker_restarts";
+/// Transport incidents classified as worker death (closed stream).
+pub const COORD_WORKER_CRASHES: &str = "coord/worker_crashes";
+/// Transport incidents classified as missed reply deadlines.
+pub const COORD_WORKER_TIMEOUTS: &str = "coord/worker_timeouts";
+/// Frames rejected by the coordinator's checksum/structure validation.
+pub const COORD_CORRUPT_FRAMES: &str = "coord/corrupt_frames";
+/// Request frames sent to workers.
+pub const COORD_FRAMES_SENT: &str = "coord/frames_sent";
+/// Response frames received and validated from workers.
+pub const COORD_FRAMES_RECEIVED: &str = "coord/frames_received";
+/// Region reads served through the coordinator.
+pub const COORD_READS: &str = "coord/reads";
+/// Shards declared dead after their restart budget was exhausted.
+pub const COORD_SHARDS_DEAD: &str = "coord/shards_dead";
+/// Heartbeat pings acknowledged by workers.
+pub const COORD_HEARTBEATS: &str = "coord/heartbeats";

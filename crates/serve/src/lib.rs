@@ -204,11 +204,13 @@ struct ServeMetrics {
     rejected_busy: bellwether_obs::Counter,
     reloads: bellwether_obs::Counter,
     queue_depth: bellwether_obs::Gauge,
+    uptime_seconds: bellwether_obs::Gauge,
     /// Instantaneous queued-connection count backing the gauge. Signed:
     /// a worker's pop can race ahead of the acceptor's push, so the
     /// count may dip below zero transiently.
     queued: AtomicI64,
     latency: LatencyHistogram,
+    started: Instant,
 }
 
 impl ServeMetrics {
@@ -222,8 +224,10 @@ impl ServeMetrics {
             rejected_busy: registry.counter(names::SERVE_REJECTED_BUSY),
             reloads: registry.counter(names::SERVE_RELOADS),
             queue_depth: registry.gauge(names::SERVE_QUEUE_DEPTH),
+            uptime_seconds: registry.gauge(names::SERVE_UPTIME_SECONDS),
             queued: AtomicI64::new(0),
             latency: LatencyHistogram::new(),
+            started: Instant::now(),
             registry,
         }
     }
@@ -545,6 +549,9 @@ fn dispatch(
                     .gauge(names::SERVE_LATENCY_P99_US)
                     .set(p99 as f64);
             }
+            metrics
+                .uptime_seconds
+                .set(metrics.started.elapsed().as_secs_f64());
             scratch.body_out.clear();
             scratch.body_out.push_str(&metrics.registry.snapshot().to_json());
             (200, "OK")
@@ -841,6 +848,11 @@ mod tests {
         assert_eq!(snap.counter(names::SERVE_PREDICTIONS), Some(2));
         assert!(body.contains("serve/requests"), "{body}");
         assert!(body.contains("serve/latency_p50_us"), "{body}");
+        assert!(body.contains("serve/uptime_seconds"), "{body}");
+        assert!(
+            snap.gauge(names::SERVE_UPTIME_SECONDS).unwrap_or(-1.0) >= 0.0,
+            "uptime gauge set on scrape"
+        );
         handle.shutdown();
     }
 

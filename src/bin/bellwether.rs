@@ -214,6 +214,9 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
+    // Re-invoked as `bellwether --worker ...` by the shard coordinator:
+    // serve one shard over stdin/stdout and exit.
+    bellwether::coord::maybe_run_worker();
     let opts = match parse_args(std::env::args()) {
         Ok(o) => o,
         Err(msg) => {

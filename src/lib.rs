@@ -20,7 +20,11 @@
 //!   [`prelude::BellwetherConfig::builder`] to profile any run);
 //! * [`serve`] — versioned model snapshots served over HTTP: train
 //!   once, [`prelude::ModelBuilder`] + `save`, then answer predictions
-//!   at QPS from an immutable [`prelude::BellwetherModel`].
+//!   at QPS from an immutable [`prelude::BellwetherModel`];
+//! * [`coord`] — deterministic multi-process shard coordinator: one
+//!   worker process per shard behind a CRC-framed protocol, with a
+//!   seeded fault-injected lifecycle (crash/hang/corrupt/slow),
+//!   bounded restarts, and a replayable simulated transport.
 //!
 //! ```
 //! use bellwether::prelude::*;
@@ -53,6 +57,7 @@
 //! assert!(registry.snapshot().counter("search/regions_evaluated").unwrap() > 0);
 //! ```
 
+pub use bellwether_coord as coord;
 pub use bellwether_core as core;
 pub use bellwether_cube as cube;
 pub use bellwether_datagen as datagen;
@@ -90,6 +95,9 @@ pub mod prelude {
         cube_pass, cube_pass_traced, feasible_regions, Constraints, CostModel, CubeInput,
         Dimension, Hierarchy, Parallelism, ProductCost, RegionId, RegionSpace,
         UniformCellCost,
+    };
+    pub use bellwether_coord::{
+        Coordinator, CoordinatorConfig, WorkerExit, WorkerFault, WorkerFaultPlan,
     };
     pub use bellwether_obs::{span, MetricsSnapshot, NoopRecorder, Recorder, Registry};
     pub use bellwether_serve::{ServeConfig, ServeConfigBuilder, Server, ServerHandle};
