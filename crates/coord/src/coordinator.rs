@@ -224,6 +224,19 @@ impl Coordinator {
         config: CoordinatorConfig,
         reg: &Registry,
     ) -> io::Result<Coordinator> {
+        if manifest.generation > 0 || !manifest.overlays.is_empty() {
+            // Workers read base shard files directly and know nothing of
+            // overlay redirects; serving an appended-over layout here
+            // would silently resurrect the replaced blocks.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "coordinator does not serve appended-over layouts \
+                     (manifest generation {}); run a compaction first",
+                    manifest.generation
+                ),
+            ));
+        }
         let c = CoordCounters::in_registry(reg);
         let stats = IoStats::in_registry(reg);
         let starts = manifest.shard_starts();

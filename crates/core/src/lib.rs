@@ -47,6 +47,7 @@ pub mod retry;
 pub mod sampling;
 pub mod scan;
 pub mod seeded;
+pub mod stream;
 pub mod training;
 pub mod tree;
 
@@ -86,6 +87,7 @@ pub use scan::{
     WithScratch,
 };
 pub use seeded::{hash_fold, seeded_rng};
+pub use stream::{AppendOutcome, DriftEvent, StreamingBellwether};
 pub use training::{
     build_memory_source, build_memory_source_with, region_block, write_disk_source,
     write_disk_source_in_registry,

@@ -1,0 +1,432 @@
+//! End-to-end bit-identity and drift properties of the incremental
+//! maintenance engine ([`StreamingBellwether`]).
+//!
+//! The contract under test: *stream-then-update is indistinguishable,
+//! bit for bit, from a cold rebuild over the concatenated input* — for
+//! the search state after every single append, for the on-disk blocks,
+//! and for every model builder at every shards × threads combination.
+
+use bellwether_core::basic::BasicSearchResult;
+use bellwether_core::training::region_block;
+use bellwether_core::{
+    basic_search, basic_search_linear, build_naive_cube, build_naive_tree,
+    build_optimized_cube, build_rainforest, build_single_scan_cube, BellwetherConfig,
+    CubeConfig, ErrorMeasure, LinearCriterion, ModelBuilder, Parallelism, Recorder, Registry,
+    StreamingBellwether, TreeConfig,
+};
+use bellwether_cube::{cube_pass, CostModel, UniformCellCost};
+use bellwether_datagen::{build_stream_workload, StreamConfig, StreamWorkload};
+use bellwether_storage::{even_shard_plan, ShardedSource, ShardedWriter, TrainingSource};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bw_stream_test_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config_for(threads: usize, budget: f64) -> BellwetherConfig {
+    BellwetherConfig::builder(budget)
+        .min_coverage(0.0)
+        .min_examples(10)
+        .error_measure(ErrorMeasure::TrainingSet)
+        .parallelism(Parallelism::fixed(threads))
+        .build()
+        .unwrap()
+}
+
+/// Cold rebuild: one CUBE pass over weeks `[0, upto)`, blocks written
+/// to a fresh sharded layout, in the workload's canonical region order.
+fn cold_layout(wl: &StreamWorkload, upto: u32, shards: usize, tag: &str) -> PathBuf {
+    let input = wl.input_range(0, upto);
+    let cube = cube_pass(&wl.region_space, &input);
+    let targets = wl.target_map();
+    let p = (1 + wl.items.numeric_attrs().len() + cube.measure_names.len()) as u32;
+    let dir = tmp_dir(tag);
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan = even_shard_plan(wl.regions.len(), shards);
+    let mut writer =
+        ShardedWriter::create(&dir, p, wl.region_space.arity() as u32, plan).unwrap();
+    for region in &wl.regions {
+        writer
+            .write_region(&region_block(&cube, region, &wl.items, &targets))
+            .unwrap();
+    }
+    writer.finish().unwrap();
+    dir
+}
+
+/// Bit-level equality of two search results: every report field,
+/// including float bits of cost / error / coefficients.
+fn assert_same_result(got: &BasicSearchResult, want: &BasicSearchResult, ctx: &str) {
+    assert_eq!(got.reports.len(), want.reports.len(), "{ctx}: report count");
+    for (g, w) in got.reports.iter().zip(&want.reports) {
+        assert_eq!(g.source_index, w.source_index, "{ctx}: source index");
+        assert_eq!(g.region, w.region, "{ctx}: region");
+        assert_eq!(g.label, w.label, "{ctx}: label");
+        assert_eq!(g.cost.to_bits(), w.cost.to_bits(), "{ctx}: cost bits");
+        assert_eq!(g.n_examples, w.n_examples, "{ctx}: n_examples");
+        assert_eq!(
+            g.error.value.to_bits(),
+            w.error.value.to_bits(),
+            "{ctx}: error bits ({})",
+            g.label
+        );
+        assert_eq!(
+            g.error.std_err.to_bits(),
+            w.error.std_err.to_bits(),
+            "{ctx}: std_err bits"
+        );
+        let (gc, wc) = (g.model.coefficients(), w.model.coefficients());
+        assert_eq!(gc.len(), wc.len(), "{ctx}: model arity");
+        for (a, b) in gc.iter().zip(wc) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: coefficient bits");
+        }
+    }
+    assert_eq!(got.best, want.best, "{ctx}: best index");
+    assert_eq!(got.skipped_regions, want.skipped_regions, "{ctx}: skipped");
+}
+
+fn build_engine(
+    wl: &StreamWorkload,
+    base_weeks: u32,
+    threads: usize,
+    budget: f64,
+    shards: usize,
+    tag: &str,
+) -> StreamingBellwether {
+    StreamingBellwether::create(
+        &tmp_dir(tag),
+        &wl.region_space,
+        &wl.input_range(0, base_weeks),
+        &wl.item_universe(),
+        wl.items.clone(),
+        wl.target_map(),
+        wl.regions.clone(),
+        Arc::new(UniformCellCost { rate: 1.0 }),
+        config_for(threads, budget),
+        wl.items.len(),
+        shards,
+        1 << 20,
+    )
+    .unwrap()
+}
+
+/// Tentpole property: after *every* append, the engine's search state
+/// and its on-disk blocks are bit-identical to a cold rebuild over the
+/// concatenated input — across shard counts and an uneven append
+/// schedule (single weeks and multi-week batches).
+#[test]
+fn every_append_matches_cold_rebuild_bit_for_bit() {
+    let wl = build_stream_workload(&StreamConfig::default());
+    let weeks = wl.config().weeks;
+    let schedule: [u32; 5] = [1, 3, 4, 9, weeks]; // uneven batch ends
+    for shards in [1usize, 2, 4] {
+        let tag = format!("engine_{shards}");
+        let mut engine = build_engine(&wl, 1, 2, f64::INFINITY, shards, &tag);
+        let mut done = 1u32;
+        for &upto in &schedule[1..] {
+            engine.append(&wl.input_range(done, upto)).unwrap();
+            done = upto;
+
+            let cold_dir = cold_layout(&wl, upto, shards, &format!("cold_{shards}_{upto}"));
+            let cold_src = ShardedSource::open(&cold_dir).unwrap();
+            let cold = basic_search(
+                &cold_src,
+                &wl.region_space,
+                &UniformCellCost { rate: 1.0 },
+                &config_for(2, f64::INFINITY),
+                wl.items.len(),
+            )
+            .unwrap();
+            let ctx = format!("shards={shards} upto={upto}");
+            assert_same_result(&engine.search_result(), &cold, &ctx);
+
+            // On-disk blocks (through the overlay redirects) match the
+            // cold layout region by region.
+            for idx in 0..wl.regions.len() {
+                let streamed = engine.source().read_region(idx).unwrap();
+                let cold_block = cold_src.read_region(idx).unwrap();
+                assert_eq!(*streamed, *cold_block, "{ctx}: block {idx}");
+            }
+            std::fs::remove_dir_all(&cold_dir).ok();
+        }
+        assert_eq!(done, weeks);
+        assert!(engine.generation() > 0, "appends created generations");
+        std::fs::remove_dir_all(engine.dir()).ok();
+    }
+}
+
+/// The budget prefilter must behave identically incrementally: an
+/// over-budget region is never read or evaluated, so it never gains a
+/// report no matter how often it is dirtied.
+#[test]
+fn budget_prefilter_matches_cold_search() {
+    let wl = build_stream_workload(&StreamConfig::default());
+    let cost = UniformCellCost { rate: 1.0 };
+    // Pick a budget that splits the candidates into both camps.
+    let costs: Vec<f64> = wl
+        .regions
+        .iter()
+        .map(|r| cost.cost(&wl.region_space, r))
+        .collect();
+    let mut sorted = costs.clone();
+    sorted.sort_by(f64::total_cmp);
+    let budget = sorted[sorted.len() / 2];
+    assert!(costs.iter().any(|&c| c > budget), "some regions over budget");
+
+    let mut engine = build_engine(&wl, 2, 1, budget, 2, "budget");
+    for week in 2..wl.config().weeks {
+        engine.append(&wl.input_range(week, week + 1)).unwrap();
+    }
+    let cold_dir = cold_layout(&wl, wl.config().weeks, 2, "budget_cold");
+    let cold_src = ShardedSource::open(&cold_dir).unwrap();
+    let cold = basic_search(
+        &cold_src,
+        &wl.region_space,
+        &cost,
+        &config_for(1, budget),
+        wl.items.len(),
+    )
+    .unwrap();
+    assert_same_result(&engine.search_result(), &cold, "budget");
+    std::fs::remove_dir_all(engine.dir()).ok();
+    std::fs::remove_dir_all(&cold_dir).ok();
+}
+
+/// Train one named builder over `src`; deterministic snapshot bytes.
+fn snapshot_bytes(
+    builder: &str,
+    src: &dyn TrainingSource,
+    wl: &StreamWorkload,
+    threads: usize,
+) -> Vec<u8> {
+    let config = config_for(threads, f64::INFINITY);
+    let cost = UniformCellCost { rate: 1.0 };
+    let tc = TreeConfig {
+        max_depth: 2,
+        min_node_items: 20,
+        max_numeric_splits: 4,
+        ..TreeConfig::default()
+    };
+    let cc = CubeConfig { min_subset_size: 10 };
+    let n_items = wl.items.len();
+    let mb = ModelBuilder::new(src, wl.items.clone());
+    let mb = match builder {
+        "basic" => mb.basic(
+            basic_search(src, &wl.region_space, &cost, &config, n_items)
+                .unwrap()
+                .report()
+                .expect("basic search found a region"),
+        ),
+        "basic_linear" => mb.basic(
+            basic_search_linear(
+                src,
+                &wl.region_space,
+                &cost,
+                &config,
+                n_items,
+                LinearCriterion {
+                    cost_weight: 1.0,
+                    coverage_weight: 10.0,
+                },
+            )
+            .unwrap()
+            .report()
+            .expect("linear search found a region"),
+        ),
+        "tree_naive" => mb.tree(
+            build_naive_tree(src, &wl.region_space, &wl.items, None, &config, &tc).unwrap(),
+        ),
+        "tree_rainforest" => mb.tree(
+            build_rainforest(src, &wl.region_space, &wl.items, None, &config, &tc).unwrap(),
+        ),
+        "cube_naive" => mb.cube(
+            build_naive_cube(
+                src,
+                &wl.region_space,
+                &wl.item_space,
+                &wl.item_coords,
+                &config,
+                &cc,
+            )
+            .unwrap(),
+            0.95,
+        ),
+        "cube_single_scan" => mb.cube(
+            build_single_scan_cube(
+                src,
+                &wl.region_space,
+                &wl.item_space,
+                &wl.item_coords,
+                &config,
+                &cc,
+            )
+            .unwrap(),
+            0.95,
+        ),
+        "cube_optimized" => mb.cube(
+            build_optimized_cube(
+                src,
+                &wl.region_space,
+                &wl.item_space,
+                &wl.item_coords,
+                &config,
+                &cc,
+            )
+            .unwrap(),
+            0.95,
+        ),
+        other => panic!("unknown builder {other}"),
+    };
+    let model = mb.build().unwrap();
+    let path = std::env::temp_dir().join(format!("bw_stream_snap_{builder}_{threads}.bwsn"));
+    model.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Satellite property: every one of the seven model builders produces
+/// byte-identical snapshots from the streamed layout and from a cold
+/// rebuild, at shards {1,2,4} × threads {1,2,4}.
+#[test]
+fn all_seven_builders_match_cold_rebuild() {
+    const BUILDERS: [&str; 7] = [
+        "basic",
+        "basic_linear",
+        "tree_naive",
+        "tree_rainforest",
+        "cube_naive",
+        "cube_single_scan",
+        "cube_optimized",
+    ];
+    let wl = build_stream_workload(&StreamConfig::default());
+    let weeks = wl.config().weeks;
+    for shards in [1usize, 2, 4] {
+        let tag = format!("builders_{shards}");
+        let mut engine = build_engine(&wl, 3, 1, f64::INFINITY, shards, &tag);
+        for week in 3..weeks {
+            engine.append(&wl.input_range(week, week + 1)).unwrap();
+        }
+        let streamed = ShardedSource::open(engine.dir()).unwrap();
+        let cold_dir = cold_layout(&wl, weeks, shards, &format!("builders_cold_{shards}"));
+        let cold = ShardedSource::open(&cold_dir).unwrap();
+        for builder in BUILDERS {
+            for threads in [1usize, 2, 4] {
+                let a = snapshot_bytes(builder, &streamed, &wl, threads);
+                let b = snapshot_bytes(builder, &cold, &wl, threads);
+                assert_eq!(
+                    a, b,
+                    "snapshot mismatch: builder={builder} shards={shards} threads={threads}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(engine.dir()).ok();
+        std::fs::remove_dir_all(&cold_dir).ok();
+    }
+}
+
+/// Satellite property: the drift report is deterministic — same seed
+/// and append sequence produce the same flip events and the same
+/// counter totals — and the planted late bellwether actually flips the
+/// argmin when its week opens.
+#[test]
+fn drift_report_is_deterministic() {
+    let cfg = StreamConfig::default();
+    let run = |tag: &str| {
+        let wl = build_stream_workload(&cfg);
+        let registry = Arc::new(Registry::new());
+        let config = BellwetherConfig::builder(f64::INFINITY)
+            .min_coverage(0.0)
+            .min_examples(10)
+            .error_measure(ErrorMeasure::TrainingSet)
+            .parallelism(Parallelism::fixed(2))
+            .recorder(registry.clone() as Arc<dyn Recorder>)
+            .build()
+            .unwrap();
+        let mut engine = StreamingBellwether::create(
+            &tmp_dir(tag),
+            &wl.region_space,
+            &wl.input_range(0, 1),
+            &wl.item_universe(),
+            wl.items.clone(),
+            wl.target_map(),
+            wl.regions.clone(),
+            Arc::new(UniformCellCost { rate: 1.0 }),
+            config,
+            wl.items.len(),
+            2,
+            1 << 20,
+        )
+        .unwrap();
+        for week in 1..cfg.weeks {
+            engine.append(&wl.input_range(week, week + 1)).unwrap();
+        }
+        let drift = engine.drift_log().to_vec();
+        let snap = registry.snapshot();
+        let mut counters = snap.counters;
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        std::fs::remove_dir_all(engine.dir()).ok();
+        (drift, counters)
+    };
+    let (drift_a, counters_a) = run("drift_a");
+    let (drift_b, counters_b) = run("drift_b");
+    assert_eq!(drift_a, drift_b, "drift log must be deterministic");
+    assert_eq!(counters_a, counters_b, "counter totals must be deterministic");
+
+    // The planted flip: a leaf-1 ("L1") region takes over once its
+    // opening week enters the stream.
+    assert!(!drift_a.is_empty(), "expected at least one drift event");
+    let flip = drift_a
+        .iter()
+        .find(|e| e.to_label.as_deref().is_some_and(|l| l.contains("L1")))
+        .expect("late bellwether must win the argmin");
+    assert_eq!(
+        flip.append_seq,
+        cfg.open_week as u64,
+        "flip lands on the append that opens the late bellwether"
+    );
+    let appends = counters_a
+        .iter()
+        .find(|(n, _)| n == "stream/appends")
+        .map(|(_, v)| *v);
+    assert_eq!(appends, Some((cfg.weeks - 1) as u64));
+    let flips = counters_a
+        .iter()
+        .find(|(n, _)| n == "stream/drift_events")
+        .map(|(_, v)| *v);
+    assert_eq!(flips, Some(drift_a.len() as u64));
+    assert!(
+        counters_a.iter().any(|(n, v)| n == "stream/regions_rescored" && *v > 0),
+        "re-scoring must be counted"
+    );
+    assert!(
+        counters_a
+            .iter()
+            .any(|(n, v)| n == "storage/cache_invalidations" && *v > 0),
+        "cache invalidations must be counted"
+    );
+}
+
+/// A failed append (shape mismatch) leaves every layer untouched.
+#[test]
+fn failed_appends_leave_the_engine_unchanged() {
+    let wl = build_stream_workload(&StreamConfig::default());
+    let mut engine = build_engine(&wl, 4, 1, f64::INFINITY, 2, "failfast");
+    let before = engine.search_result();
+    let gen = engine.generation();
+
+    let mut bad = wl.input_range(4, 5);
+    bad.measures.truncate(1); // wrong measure count
+    assert!(engine.append(&bad).is_err());
+    assert_eq!(engine.appends(), 0, "failed append not counted");
+    assert_eq!(engine.generation(), gen);
+    assert_same_result(&engine.search_result(), &before, "after failed append");
+
+    // The stream still works after the rejection.
+    engine.append(&wl.input_range(4, 5)).unwrap();
+    assert_eq!(engine.appends(), 1);
+    std::fs::remove_dir_all(engine.dir()).ok();
+}

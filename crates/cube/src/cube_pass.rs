@@ -303,7 +303,7 @@ impl CellState {
 /// map-overwrite semantics ("last insert wins per key") are recovered by
 /// a stable sort-by-key + keep-last dedup, applied at fold/merge
 /// boundaries (to bound carried size) and again at finish.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum StateCol {
     Sum { totals: Vec<f64>, seen: Vec<bool> },
     Count(Vec<u64>),
@@ -538,7 +538,7 @@ impl StateCol {
     /// merge). One `match`, then lock-step slice walks — the source
     /// lanes, `dsts` and `was` are iterated zipped so the only indexed
     /// (bounds-checked) accesses left are the destination-lane scatters.
-    fn merge_from(&mut self, src: &StateCol, range: Range<usize>, dsts: &[u32], was: &[bool]) {
+    pub(crate) fn merge_from(&mut self, src: &StateCol, range: Range<usize>, dsts: &[u32], was: &[bool]) {
         debug_assert_eq!(dsts.len(), range.len());
         debug_assert_eq!(was.len(), range.len());
         match (self, src) {
@@ -670,7 +670,7 @@ impl StateCol {
     /// Finalize slot `i` into the output value (`None` = SQL NULL).
     /// Distinct lanes must have been deduplicated (see
     /// [`StateCol::dedup_distinct`]).
-    fn finish_at(&self, i: usize) -> Option<f64> {
+    pub(crate) fn finish_at(&self, i: usize) -> Option<f64> {
         match self {
             StateCol::Sum { totals, seen } => seen[i].then_some(totals[i]),
             StateCol::Count(c) => Some(c[i] as f64),
@@ -743,7 +743,7 @@ impl StateCol {
 /// A key-sorted table of cells in structure-of-arrays layout: `keys[i]`
 /// is cell `i`'s dense key, `cols[m]` holds measure `m`'s accumulator
 /// lanes for every cell.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct StateTable {
     pub(crate) keys: Vec<u64>,
     pub(crate) cols: Vec<StateCol>,
@@ -755,14 +755,14 @@ impl StateTable {
     }
 
     /// Index range of the keys in `[lo, hi)` (keys must be sorted).
-    fn range_of(&self, lo: u64, hi: u64) -> Range<usize> {
+    pub(crate) fn range_of(&self, lo: u64, hi: u64) -> Range<usize> {
         let a = self.keys.partition_point(|&k| k < lo);
         let b = self.keys.partition_point(|&k| k < hi);
         a..b
     }
 
     /// Sort by key via one permutation applied to every lane.
-    fn sort_by_key(&mut self) {
+    pub(crate) fn sort_by_key(&mut self) {
         if self.keys.is_sorted() {
             return;
         }
@@ -815,6 +815,7 @@ impl CubeResult {
 /// the item id maps through a dense index over the distinct ids. `build`
 /// returns `None` when the combined key space cannot fit a `u64` with
 /// headroom — callers then fall back to [`cube_pass_reference`].
+#[derive(Clone)]
 pub(crate) struct KeySpace {
     pub(crate) strides: Vec<u64>,
     pub(crate) num_values: Vec<u64>,
@@ -872,7 +873,7 @@ impl KeySpace {
             .sum()
     }
 
-    fn decode_region(&self, key: u64) -> Vec<u32> {
+    pub(crate) fn decode_region(&self, key: u64) -> Vec<u32> {
         let mut rem = key;
         self.strides
             .iter()
@@ -1105,7 +1106,7 @@ pub(crate) fn merge_chunks(
 /// The region keys containing `cell_key` that fall in `[lo, hi)`,
 /// written into `out`: an odometer over the per-dimension ancestor key
 /// contributions, maintaining the key sum incrementally.
-fn expansion_keys(
+pub(crate) fn expansion_keys(
     cell_key: u64,
     ks: &KeySpace,
     anc_keys: &[Vec<Vec<u64>>],
@@ -1179,6 +1180,11 @@ fn flush_run(
     scratch: &mut RunScratch,
     merges: &mut u64,
 ) {
+    if expansion.is_empty() {
+        // Filtered rollups prune most cells; don't pay the per-entry
+        // item decode for a run no region will consume.
+        return;
+    }
     let RunScratch { items, was } = scratch;
     items.clear();
     items.extend(shard.keys[run.clone()].iter().map(|&k| (k % n_items) as u32));
@@ -1204,20 +1210,11 @@ fn flush_run(
     }
 }
 
-/// Phase 2: roll base cells up into every containing region. Workers own
-/// disjoint region-key ranges; every worker walks all base cells in key
-/// order, so each output cell accumulates its contributions in a fixed
-/// order and no two workers ever touch the same output cell.
-pub(crate) fn expand_rollup(
-    space: &RegionSpace,
-    ks: &KeySpace,
-    shards: &[StateTable],
-    threads: usize,
-) -> (HashMap<RegionId, ItemFeatures>, u64) {
-    // Per-dimension ancestor tables: anc_keys[d][v] lists the key
-    // contribution (ancestor value × stride) of every value containing
-    // v, replacing the per-cell `containing_regions` materialisation.
-    let anc_keys: Vec<Vec<Vec<u64>>> = space
+/// Per-dimension ancestor tables: `anc_keys[d][v]` lists the key
+/// contribution (ancestor value × stride) of every value containing
+/// `v`, replacing the per-cell `containing_regions` materialisation.
+pub(crate) fn ancestor_key_tables(space: &RegionSpace, ks: &KeySpace) -> Vec<Vec<Vec<u64>>> {
+    space
         .dims()
         .iter()
         .enumerate()
@@ -1231,7 +1228,27 @@ pub(crate) fn expand_rollup(
                 })
                 .collect()
         })
-        .collect();
+        .collect()
+}
+
+/// Phase 2: roll base cells up into every containing region. Workers own
+/// disjoint region-key ranges; every worker walks all base cells in key
+/// order, so each output cell accumulates its contributions in a fixed
+/// order and no two workers ever touch the same output cell.
+///
+/// When `filter` is given (a **sorted** list of region keys), only those
+/// regions are expanded and emitted — the delta pass uses this to roll
+/// up just its dirty set. Because each kept region still accumulates
+/// every base cell in full key order, a filtered region's value is
+/// bit-identical to the same region in an unfiltered rollup.
+pub(crate) fn expand_rollup(
+    space: &RegionSpace,
+    ks: &KeySpace,
+    shards: &[StateTable],
+    threads: usize,
+    filter: Option<&[u64]>,
+) -> (HashMap<RegionId, ItemFeatures>, u64) {
+    let anc_keys = ancestor_key_tables(space, ks);
 
     let worker = |lo: u64, hi: u64| -> (Vec<(RegionId, ItemFeatures)>, u64) {
         // Base cells with the same coordinates are adjacent in key
@@ -1256,6 +1273,9 @@ pub(crate) fn expand_rollup(
                     if cell_key != cur_cell {
                         cur_cell = cell_key;
                         expansion_keys(cell_key, ks, &anc_keys, lo, hi, &mut expansion);
+                        if let Some(keep) = filter {
+                            expansion.retain(|k| keep.binary_search(k).is_ok());
+                        }
                     }
                     flush_run(
                         &expansion,
@@ -1305,6 +1325,9 @@ pub(crate) fn expand_rollup(
                 if cell_key != cur_cell {
                     cur_cell = cell_key;
                     expansion_keys(cell_key, ks, &anc_keys, lo, hi, &mut expansion);
+                    if let Some(keep) = filter {
+                        expansion.retain(|k| keep.binary_search(k).is_ok());
+                    }
                 }
                 for &rk in &expansion {
                     match out.entry(rk * ks.n_items + item_part) {
@@ -1443,7 +1466,7 @@ pub fn cube_pass_traced(
     // Phase 2: rollup expansion.
     let (regions, merges_2) = {
         let _t = span!(rec, "cube_pass/phase2_rollup");
-        expand_rollup(space, &ks, &shards, threads)
+        expand_rollup(space, &ks, &shards, threads, None)
     };
 
     rec.add(names::CUBE_PASS_ROWS_SCANNED, n as u64);

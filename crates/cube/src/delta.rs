@@ -1,0 +1,666 @@
+//! Incremental (delta) CUBE maintenance: `O(Δ)` appends instead of
+//! full rebuilds.
+//!
+//! [`StreamingCube`] retains the phase-1 base-cell state of the
+//! in-memory kernel ([`crate::cube_pass`]) between batches of fact
+//! rows. An append folds **only the new rows** into chunk tables,
+//! merges them into the retained state in the kernel's own
+//! deterministic chunk order, and re-rolls up **only the regions whose
+//! sufficient statistics changed** (the *dirty set*) through the
+//! region-key-filtered phase 2.
+//!
+//! # Delta algebra
+//!
+//! Theorem 1's sufficient statistic is mergeable, and the kernel's
+//! accumulators are exactly that statistic in columnar form. The
+//! retained `complete` table is the left fold of every *completed*
+//! [`ROW_CHUNK`]-row chunk of the concatenated stream, merged in
+//! ascending chunk order with the same copy-first semantics as the
+//! cold `merge_chunks`; rows past the last chunk boundary wait in a
+//! `pending` tail (< one chunk) and are folded as the partial final
+//! chunk of each rollup. Per `(cell, item)` slot the update sequence is
+//! therefore *identical* to a cold pass over the concatenated data —
+//! which is what makes stream-then-update **bit-identical** to a cold
+//! rebuild, not merely close.
+//!
+//! # Dirty-set semantics
+//!
+//! A base cell is dirty iff a row of the current append touched it;
+//! a region is dirty iff it contains a dirty cell. Cells that merely
+//! *move* from the pending tail into `complete` when a chunk boundary
+//! is crossed re-fold to bit-equal values (same rows, same order), so
+//! they are not dirty and their regions keep their previous values
+//! verbatim. The filtered rollup walks all base cells in full key
+//! order, so a dirty region's recomputed value is bit-identical to the
+//! same region in an unfiltered rollup.
+//!
+//! # Pinned item universe
+//!
+//! The dense key encoding needs the item domain up front, so the
+//! universe of item ids is pinned at construction (a superset of the
+//! base input's items is fine). A superset universe never changes the
+//! output: keys order by `(cell, item-rank)` either way, and items
+//! without data are never emitted. Appending a row whose item is
+//! outside the universe is an error.
+
+use crate::cube_pass::{
+    ancestor_key_tables, chunk_range, dedup_pairs, expand_rollup, expansion_keys, fold_chunk,
+    CubeInput, CubeResult, KeySpace, Measure, StateCol, StateTable, ROW_CHUNK,
+};
+use crate::parallel::Parallelism;
+use crate::region::{RegionId, RegionSpace};
+use std::collections::HashMap;
+
+/// Merge every entry of the key-sorted `src` table into `dst` in one
+/// pass: existing keys merge in place (binary search against the
+/// pre-merge key array), new keys append. Copy-first semantics match
+/// the cold merge exactly, and only the touched distinct slots are
+/// re-deduplicated, so the work is `O(src + log dst)` per entry.
+fn merge_delta_into(dst: &mut StateTable, src: &StateTable) {
+    if src.len() == 0 {
+        return;
+    }
+    if dst.cols.is_empty() && dst.keys.is_empty() {
+        dst.cols = src.cols.iter().map(|c| c.new_like(0)).collect();
+    }
+    let old_len = dst.keys.len();
+    let mut dsts: Vec<u32> = Vec::with_capacity(src.len());
+    let mut was: Vec<bool> = Vec::with_capacity(src.len());
+    for &k in &src.keys {
+        match dst.keys[..old_len].binary_search(&k) {
+            Ok(i) => {
+                dsts.push(i as u32);
+                was.push(true);
+            }
+            Err(_) => {
+                dsts.push(dst.keys.len() as u32);
+                dst.keys.push(k);
+                was.push(false);
+            }
+        }
+    }
+    let new_len = dst.keys.len();
+    for (col, src_col) in dst.cols.iter_mut().zip(&src.cols) {
+        col.resize_default(new_len);
+        col.merge_from(src_col, 0..src.len(), &dsts, &was);
+        if let StateCol::Distinct { pairs, .. } = col {
+            // Keep-last dedup composes: dedup(dedup(a) ++ b) ==
+            // dedup(a ++ b), so restoring the invariant per append is
+            // bit-equal to the cold single dedup at the end.
+            for &d in &dsts {
+                dedup_pairs(&mut pairs[d as usize]);
+            }
+        }
+    }
+    // New keys interleave with old ones only when an append back-fills
+    // an earlier part of the key space; `sort_by_key` is an O(n)
+    // is-sorted check in the common append-at-the-end case.
+    dst.sort_by_key();
+}
+
+/// Append every row of `src` onto `dst` (same arity, same measure
+/// shape — validated by the caller).
+fn extend_input(dst: &mut CubeInput, src: &CubeInput) {
+    dst.item_ids.extend_from_slice(&src.item_ids);
+    dst.coords.extend_from_slice(&src.coords);
+    for (dm, sm) in dst.measures.iter_mut().zip(&src.measures) {
+        match (dm, sm) {
+            (Measure::Numeric { values, .. }, Measure::Numeric { values: sv, .. }) => {
+                values.extend_from_slice(sv);
+            }
+            (
+                Measure::DistinctKeyed { keys, values, .. },
+                Measure::DistinctKeyed {
+                    keys: sk,
+                    values: sv,
+                    ..
+                },
+            ) => {
+                keys.extend_from_slice(sk);
+                values.extend_from_slice(sv);
+            }
+            _ => unreachable!("measure shapes validated before extend"),
+        }
+    }
+}
+
+/// Drop the first `rows` rows of `input` in place.
+fn drain_rows(input: &mut CubeInput, rows: usize, arity: usize) {
+    input.item_ids.drain(..rows);
+    input.coords.drain(..rows * arity);
+    for m in &mut input.measures {
+        match m {
+            Measure::Numeric { values, .. } => {
+                values.drain(..rows);
+            }
+            Measure::DistinctKeyed { keys, values, .. } => {
+                keys.drain(..rows);
+                values.drain(..rows);
+            }
+        }
+    }
+}
+
+/// An empty input with the same arity and measure shape as `like`.
+fn empty_like(like: &CubeInput) -> CubeInput {
+    CubeInput {
+        item_ids: Vec::new(),
+        coords: Vec::new(),
+        measures: like
+            .measures
+            .iter()
+            .map(|m| match m {
+                Measure::Numeric { name, func, .. } => Measure::Numeric {
+                    name: name.clone(),
+                    func: *func,
+                    values: Vec::new(),
+                },
+                Measure::DistinctKeyed { name, func, .. } => Measure::DistinctKeyed {
+                    name: name.clone(),
+                    func: *func,
+                    keys: Vec::new(),
+                    values: Vec::new(),
+                },
+            })
+            .collect(),
+    }
+}
+
+/// `Err` with a shape description unless `delta`'s measures line up
+/// with `base`'s (same count, names, kinds and functions).
+fn check_measure_shape(base: &CubeInput, delta: &CubeInput) -> Result<(), String> {
+    if base.measures.len() != delta.measures.len() {
+        return Err(format!(
+            "append has {} measures, stream has {}",
+            delta.measures.len(),
+            base.measures.len()
+        ));
+    }
+    for (b, d) in base.measures.iter().zip(&delta.measures) {
+        let ok = match (b, d) {
+            (
+                Measure::Numeric { name, func, .. },
+                Measure::Numeric {
+                    name: dn, func: df, ..
+                },
+            ) => name == dn && func == df,
+            (
+                Measure::DistinctKeyed { name, func, .. },
+                Measure::DistinctKeyed {
+                    name: dn, func: df, ..
+                },
+            ) => name == dn && func == df,
+            _ => false,
+        };
+        if !ok {
+            return Err(format!("measure {:?} does not match the stream", d.name()));
+        }
+    }
+    Ok(())
+}
+
+/// The outcome of one [`StreamingCube::append`]: which regions changed.
+#[derive(Debug, Clone)]
+pub struct DeltaUpdate {
+    /// The dirty regions, ascending by dense region key. Every region
+    /// whose aggregates changed is listed; listed regions whose value
+    /// happens to be unchanged are possible (a row can merge a value
+    /// identical to the old one) but the kernel does not chase that.
+    pub dirty_regions: Vec<RegionId>,
+    /// Rows in the append.
+    pub rows_appended: usize,
+    /// Distinct base cells the append touched.
+    pub cells_dirtied: usize,
+}
+
+/// Incrementally maintained CUBE state — see the [module docs](self).
+///
+/// ```
+/// use bellwether_cube::{CubeInput, Dimension, Measure, Parallelism, RegionSpace, StreamingCube};
+/// use bellwether_table::ops::AggFunc;
+///
+/// let space = RegionSpace::new(vec![Dimension::Interval { name: "T".into(), max_t: 4 }]);
+/// let input = CubeInput {
+///     item_ids: vec![1, 2],
+///     coords: vec![0, 1],
+///     measures: vec![Measure::Numeric {
+///         name: "sales".into(),
+///         func: AggFunc::Sum,
+///         values: vec![Some(10.0), Some(20.0)],
+///     }],
+/// };
+/// let mut stream =
+///     StreamingCube::new(&space, &input, &[1, 2, 3], Parallelism::default()).unwrap();
+/// let mut delta = input.clone();
+/// delta.item_ids = vec![3];
+/// delta.coords = vec![2];
+/// delta.measures = vec![Measure::Numeric {
+///     name: "sales".into(),
+///     func: AggFunc::Sum,
+///     values: vec![Some(5.0)],
+/// }];
+/// let update = stream.append(&delta).unwrap();
+/// assert_eq!(update.rows_appended, 1);
+/// assert!(!update.dirty_regions.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct StreamingCube {
+    space: RegionSpace,
+    ks: KeySpace,
+    anc_keys: Vec<Vec<Vec<u64>>>,
+    /// Merged state of every completed chunk, key-sorted.
+    complete: StateTable,
+    /// Rows past the last chunk boundary (always < [`ROW_CHUNK`]).
+    pending: CubeInput,
+    rows_total: usize,
+    par: Parallelism,
+    result: CubeResult,
+}
+
+impl StreamingCube {
+    /// Build the stream from its base input and a pinned item
+    /// universe (must contain every item id the stream will ever see;
+    /// a superset never changes any output bit). Returns `None` when
+    /// the dense key encoding cannot cover `space` × universe — the
+    /// caller then stays on cold rebuilds.
+    pub fn new(
+        space: &RegionSpace,
+        input: &CubeInput,
+        item_universe: &[i64],
+        par: Parallelism,
+    ) -> Option<StreamingCube> {
+        let ks = KeySpace::build(space, item_universe)?;
+        let anc_keys = ancestor_key_tables(space, &ks);
+        let measure_names = input.measures.iter().map(|m| m.name().to_string()).collect();
+        let mut stream = StreamingCube {
+            space: space.clone(),
+            ks,
+            anc_keys,
+            complete: StateTable {
+                keys: Vec::new(),
+                cols: Vec::new(),
+            },
+            pending: empty_like(input),
+            rows_total: 0,
+            par,
+            result: CubeResult {
+                measure_names,
+                regions: HashMap::new(),
+            },
+        };
+        stream.ingest(input).ok()?;
+        if !input.item_ids.is_empty() {
+            let table = stream.rollup_table();
+            let (regions, _) = expand_rollup(
+                &stream.space,
+                &stream.ks,
+                std::slice::from_ref(&table),
+                stream.threads(),
+                None,
+            );
+            stream.result.regions = regions;
+        }
+        Some(stream)
+    }
+
+    /// Append a batch of fact rows and patch the retained result.
+    /// `O(Δ)` in the new rows plus the dirty regions' rollup — never a
+    /// rescan of old chunks. Errors (shape mismatch, unknown item,
+    /// out-of-range coordinate) leave the stream unchanged.
+    pub fn append(&mut self, delta: &CubeInput) -> Result<DeltaUpdate, String> {
+        let rows = delta.item_ids.len();
+        let dirty_cells = self.validate(delta)?;
+        if rows == 0 {
+            return Ok(DeltaUpdate {
+                dirty_regions: Vec::new(),
+                rows_appended: 0,
+                cells_dirtied: 0,
+            });
+        }
+        self.ingest(delta).map_err(|e| e.to_string())?;
+
+        // Expand dirty cells to dirty region keys.
+        let mut dirty_keys: Vec<u64> = Vec::new();
+        let mut expansion: Vec<u64> = Vec::new();
+        for &cell in &dirty_cells {
+            expansion_keys(
+                cell,
+                &self.ks,
+                &self.anc_keys,
+                0,
+                self.ks.cell_space,
+                &mut expansion,
+            );
+            dirty_keys.extend_from_slice(&expansion);
+        }
+        dirty_keys.sort_unstable();
+        dirty_keys.dedup();
+
+        let table = self.rollup_table();
+        let (mut patched, _) = expand_rollup(
+            &self.space,
+            &self.ks,
+            std::slice::from_ref(&table),
+            self.threads(),
+            Some(&dirty_keys),
+        );
+        let mut dirty_regions = Vec::with_capacity(dirty_keys.len());
+        for &rk in &dirty_keys {
+            let id = RegionId(self.ks.decode_region(rk));
+            match patched.remove(&id) {
+                Some(items) => {
+                    self.result.regions.insert(id.clone(), items);
+                }
+                None => {
+                    self.result.regions.remove(&id);
+                }
+            }
+            dirty_regions.push(id);
+        }
+        Ok(DeltaUpdate {
+            dirty_regions,
+            rows_appended: rows,
+            cells_dirtied: dirty_cells.len(),
+        })
+    }
+
+    /// The current result — bit-identical to [`crate::cube_pass`] over
+    /// the concatenation of the base input and every appended batch.
+    pub fn result(&self) -> &CubeResult {
+        &self.result
+    }
+
+    /// Total fact rows folded so far (base + appends).
+    pub fn rows(&self) -> usize {
+        self.rows_total
+    }
+
+    /// The pinned item universe, ascending.
+    pub fn item_universe(&self) -> &[i64] {
+        &self.ks.items
+    }
+
+    fn threads(&self) -> usize {
+        self.par.threads_for(self.rows_total.div_ceil(ROW_CHUNK).max(1))
+    }
+
+    /// Validate a batch and return its distinct dirty cell keys.
+    fn validate(&self, delta: &CubeInput) -> Result<Vec<u64>, String> {
+        let arity = self.space.arity();
+        let rows = delta.item_ids.len();
+        if delta.coords.len() != rows * arity {
+            return Err("append coords length mismatch".to_string());
+        }
+        check_measure_shape(&self.pending, delta)?;
+        for m in &delta.measures {
+            m.check_len(rows);
+        }
+        let mut cells: Vec<u64> = Vec::with_capacity(rows);
+        for row in 0..rows {
+            let id = delta.item_ids[row];
+            if !self.ks.item_index.contains_key(&id) {
+                return Err(format!("item {id} is outside the pinned item universe"));
+            }
+            let coords = &delta.coords[row * arity..(row + 1) * arity];
+            for (d, (&c, &nv)) in coords.iter().zip(&self.ks.num_values).enumerate() {
+                if c as u64 >= nv {
+                    return Err(format!("coordinate {c} out of range on dimension {d}"));
+                }
+            }
+            cells.push(self.ks.cell_key(coords));
+        }
+        cells.sort_unstable();
+        cells.dedup();
+        Ok(cells)
+    }
+
+    /// Fold `delta` into the stream: extend the pending tail, then
+    /// extract every completed chunk into `complete` in chunk order.
+    fn ingest(&mut self, delta: &CubeInput) -> Result<(), String> {
+        extend_input(&mut self.pending, delta);
+        self.rows_total += delta.item_ids.len();
+        let arity = self.space.arity();
+        while self.pending.item_ids.len() >= ROW_CHUNK {
+            let chunk = self.fold_pending(chunk_range(0, ROW_CHUNK));
+            merge_delta_into(&mut self.complete, &chunk);
+            drain_rows(&mut self.pending, ROW_CHUNK, arity);
+        }
+        Ok(())
+    }
+
+    /// Fold a row range of the pending tail into a chunk table.
+    fn fold_pending(&self, rows: std::ops::Range<usize>) -> StateTable {
+        let ks = &self.ks;
+        let pending = &self.pending;
+        let key_of = |row: usize, coords: &[u32]| -> Option<u64> {
+            let item_idx = ks.item_index[&pending.item_ids[row]];
+            Some(ks.cell_key(coords) * ks.n_items + item_idx as u64)
+        };
+        fold_chunk(pending, self.space.arity(), rows, &key_of)
+    }
+
+    /// The base-cell table to roll up: `complete` plus the pending
+    /// tail folded as the partial final chunk — exactly the chunk
+    /// sequence a cold pass over the concatenated data merges.
+    fn rollup_table(&self) -> StateTable {
+        if self.pending.item_ids.is_empty() {
+            return self.complete.clone();
+        }
+        let tail = self.fold_pending(0..self.pending.item_ids.len());
+        let mut table = self.complete.clone();
+        merge_delta_into(&mut table, &tail);
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube_pass::cube_pass_with;
+    use crate::dimension::{Dimension, Hierarchy};
+    use bellwether_table::ops::AggFunc;
+
+    fn space() -> RegionSpace {
+        let mut loc = Hierarchy::new("Loc", "All");
+        let us = loc.add_child(0, "US");
+        loc.add_child(us, "WI");
+        loc.add_child(us, "CA");
+        RegionSpace::new(vec![
+            Dimension::Interval {
+                name: "T".into(),
+                max_t: 6,
+            },
+            Dimension::Hierarchy(loc),
+        ])
+    }
+
+    /// Deterministic pseudo-random input: `rows` facts over the leaf
+    /// cells of [`space`], with every measure kind represented.
+    fn gen_input(seed: u64, rows: usize, items: &[i64]) -> CubeInput {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut item_ids = Vec::with_capacity(rows);
+        let mut coords = Vec::with_capacity(rows * 2);
+        let mut sales = Vec::with_capacity(rows);
+        let mut temps = Vec::with_capacity(rows);
+        let mut fks = Vec::with_capacity(rows);
+        let mut fkv = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            item_ids.push(items[(next() % items.len() as u64) as usize]);
+            coords.push((next() % 6) as u32);
+            coords.push(2 + (next() % 2) as u32); // leaves WI/CA
+            sales.push((next() % 7 != 0).then(|| (next() % 1000) as f64 / 8.0));
+            temps.push(Some((next() % 500) as f64 / 16.0 - 10.0));
+            fks.push((next() % 5 != 0).then(|| (next() % 40) as i64));
+            fkv.push((next() % 300) as f64 / 4.0);
+        }
+        CubeInput {
+            item_ids,
+            coords,
+            measures: vec![
+                Measure::Numeric {
+                    name: "sum_sales".into(),
+                    func: AggFunc::Sum,
+                    values: sales.clone(),
+                },
+                Measure::Numeric {
+                    name: "avg_temp".into(),
+                    func: AggFunc::Avg,
+                    values: temps,
+                },
+                Measure::Numeric {
+                    name: "min_sales".into(),
+                    func: AggFunc::Min,
+                    values: sales,
+                },
+                Measure::DistinctKeyed {
+                    name: "distinct_stores".into(),
+                    func: AggFunc::CountDistinct,
+                    keys: fks.clone(),
+                    values: fkv.clone(),
+                },
+                Measure::DistinctKeyed {
+                    name: "sum_store_size".into(),
+                    func: AggFunc::Sum,
+                    keys: fks,
+                    values: fkv,
+                },
+            ],
+        }
+    }
+
+    fn assert_same(a: &CubeResult, b: &CubeResult) {
+        assert_eq!(a.measure_names, b.measure_names);
+        assert_eq!(a.regions.len(), b.regions.len(), "region count differs");
+        for (r, items) in &a.regions {
+            let other = b.regions.get(r).unwrap_or_else(|| panic!("missing {r:?}"));
+            assert_eq!(items.len(), other.len(), "item count differs in {r:?}");
+            for (item, feats) in items {
+                let of = &other[item];
+                assert_eq!(feats.len(), of.len());
+                for (x, y) in feats.iter().zip(of) {
+                    // Bit-level comparison, not approximate.
+                    assert_eq!(
+                        x.map(f64::to_bits),
+                        y.map(f64::to_bits),
+                        "feature bits differ for {r:?}/{item}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn appends_match_cold_rebuild_bit_for_bit() {
+        let space = space();
+        let items: Vec<i64> = (0..48).map(|i| i * 3 + 1).collect();
+        let base = gen_input(7, 700, &items);
+        for threads in [1usize, 2, 4] {
+            let par = Parallelism::fixed(threads);
+            let mut stream = StreamingCube::new(&space, &base, &items, par).unwrap();
+            let mut concat = base.clone();
+            // Uneven batches that straddle the 4096-row chunk boundary
+            // several times.
+            for (i, rows) in [900usize, 3000, 1, 650, 4096, 77].iter().enumerate() {
+                let delta = gen_input(100 + i as u64, *rows, &items);
+                let update = stream.append(&delta).unwrap();
+                assert_eq!(update.rows_appended, *rows);
+                extend_input(&mut concat, &delta);
+                let cold = cube_pass_with(&space, &concat, par, None);
+                assert_same(stream.result(), &cold);
+            }
+            assert_eq!(stream.rows(), 700 + 900 + 3000 + 1 + 650 + 4096 + 77);
+        }
+    }
+
+    #[test]
+    fn superset_universe_never_changes_bits() {
+        let space = space();
+        let items: Vec<i64> = (0..20).collect();
+        let universe: Vec<i64> = (-5..40).collect(); // strict superset
+        let base = gen_input(3, 300, &items);
+        let par = Parallelism::fixed(1);
+        let mut stream = StreamingCube::new(&space, &base, &universe, par).unwrap();
+        let cold = cube_pass_with(&space, &base, par, None);
+        assert_same(stream.result(), &cold);
+        let delta = gen_input(4, 500, &items);
+        stream.append(&delta).unwrap();
+        let mut concat = base.clone();
+        extend_input(&mut concat, &delta);
+        assert_same(stream.result(), &cube_pass_with(&space, &concat, par, None));
+    }
+
+    #[test]
+    fn dirty_set_is_exactly_the_touched_regions() {
+        let space = space();
+        let items: Vec<i64> = (0..8).collect();
+        let base = gen_input(11, 200, &items);
+        let mut stream =
+            StreamingCube::new(&space, &base, &items, Parallelism::fixed(1)).unwrap();
+        // One row in week 2 at leaf WI (coords [2, 2]): dirty regions
+        // are exactly (intervals containing week 2) × {WI, US, All}.
+        let mut delta = empty_like(&base);
+        delta.item_ids.push(3);
+        delta.coords.extend_from_slice(&[2, 2]);
+        for m in &mut delta.measures {
+            match m {
+                Measure::Numeric { values, .. } => values.push(Some(1.0)),
+                Measure::DistinctKeyed { keys, values, .. } => {
+                    keys.push(Some(1));
+                    values.push(2.0);
+                }
+            }
+        }
+        let update = stream.append(&delta).unwrap();
+        assert_eq!(update.cells_dirtied, 1);
+        let containing_intervals = space.dims()[0].containing_values(2).len();
+        assert_eq!(update.dirty_regions.len(), containing_intervals * 3);
+        for r in &update.dirty_regions {
+            assert!(space.dims()[0].containing_values(2).contains(&r.0[0]));
+            assert!([0, 1, 2].contains(&r.0[1]));
+        }
+    }
+
+    #[test]
+    fn appends_are_validated_and_leave_state_unchanged() {
+        let space = space();
+        let items: Vec<i64> = (0..8).collect();
+        let base = gen_input(13, 100, &items);
+        let mut stream =
+            StreamingCube::new(&space, &base, &items, Parallelism::fixed(1)).unwrap();
+        let before = stream.result().regions.len();
+
+        let mut bad = gen_input(14, 5, &items);
+        bad.item_ids[0] = 999; // outside the universe
+        assert!(stream.append(&bad).unwrap_err().contains("universe"));
+
+        let mut bad = gen_input(14, 5, &items);
+        bad.coords[0] = 6; // out of range on T
+        assert!(stream.append(&bad).unwrap_err().contains("out of range"));
+
+        let mut bad = gen_input(14, 5, &items);
+        bad.measures.pop();
+        assert!(stream.append(&bad).unwrap_err().contains("measures"));
+
+        assert_eq!(stream.result().regions.len(), before);
+        assert_eq!(stream.rows(), 100);
+    }
+
+    #[test]
+    fn empty_base_then_appends() {
+        let space = space();
+        let items: Vec<i64> = (0..8).collect();
+        let empty = empty_like(&gen_input(0, 1, &items));
+        let par = Parallelism::fixed(2);
+        let mut stream = StreamingCube::new(&space, &empty, &items, par).unwrap();
+        assert!(stream.result().regions.is_empty());
+        let delta = gen_input(21, 450, &items);
+        stream.append(&delta).unwrap();
+        assert_same(stream.result(), &cube_pass_with(&space, &delta, par, None));
+    }
+}

@@ -837,7 +837,7 @@ pub(crate) fn cube_pass_external_opts(
     // Phase 2: the ordinary rollup (segmentation-tolerant).
     let (regions, merges_2) = {
         let _t = span!(rec, "cube_pass/phase2_rollup");
-        expand_rollup(space, &ks, &shards, threads)
+        expand_rollup(space, &ks, &shards, threads, None)
     };
 
     rec.add(names::CUBE_PASS_ROWS_SCANNED, total_rows as u64);

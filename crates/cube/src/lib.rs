@@ -35,6 +35,7 @@
 
 pub mod cost;
 pub mod cube_pass;
+pub mod delta;
 pub mod dimension;
 pub mod external;
 mod fxhash;
@@ -50,6 +51,7 @@ pub use cube_pass::{
     aggregate_filtered, aggregate_filtered_traced, aggregate_filtered_with, cube_pass,
     cube_pass_reference, cube_pass_traced, cube_pass_with, CubeInput, CubeResult, Measure,
 };
+pub use delta::{DeltaUpdate, StreamingCube};
 pub use external::{cube_pass_external, RUN_CHUNKS, UNLIMITED_BUDGET};
 pub use parallel::{Parallelism, DEFAULT_MIN_CHUNK};
 pub use dimension::{Dimension, HierNode, Hierarchy};

@@ -21,8 +21,10 @@ pub mod retail;
 pub mod rng;
 pub mod scale;
 pub mod simulation;
+pub mod stream;
 
 pub use retail::{generate_retail, RetailConfig, RetailDataset, US_CENSUS};
 pub use rng::Gen;
 pub use scale::{build_scale_workload, ScaleConfig, ScaleWorkload};
 pub use simulation::{generate_simulation, Simulation, SimulationConfig};
+pub use stream::{build_stream_workload, StreamConfig, StreamWorkload};

@@ -22,6 +22,9 @@ pub const STORAGE_CACHE_HITS: &str = "storage/cache_hits";
 pub const STORAGE_CACHE_MISSES: &str = "storage/cache_misses";
 /// Decoded blocks evicted by the cache's byte budget.
 pub const STORAGE_CACHE_EVICTIONS: &str = "storage/cache_evictions";
+/// Cached blocks dropped by an explicit `invalidate_regions` call
+/// (dirty-region invalidation after an append).
+pub const STORAGE_CACHE_INVALIDATIONS: &str = "storage/cache_invalidations";
 /// Region reads retried after a transient failure.
 pub const STORAGE_RETRIES: &str = "storage/retries";
 /// Region blocks whose checksum (or structure) failed validation.
@@ -103,6 +106,18 @@ pub const SERVE_REJECTED_BUSY: &str = "serve/rejected_busy";
 pub const SERVE_RELOADS: &str = "serve/reloads";
 /// Gauge: seconds since the server started (set on `/metrics`).
 pub const SERVE_UPTIME_SECONDS: &str = "serve/uptime_seconds";
+
+/// Fact-row append batches applied to a streaming engine.
+pub const STREAM_APPENDS: &str = "stream/appends";
+/// Candidate regions whose sufficient statistics changed under an
+/// append (the dirty set).
+pub const STREAM_REGIONS_DIRTIED: &str = "stream/regions_dirtied";
+/// Dirty regions actually re-scored after an append (dirty minus the
+/// over-budget candidates the search would never read).
+pub const STREAM_REGIONS_RESCORED: &str = "stream/regions_rescored";
+/// Bellwether drift events: appends after which the argmin region
+/// flipped.
+pub const STREAM_DRIFT_EVENTS: &str = "stream/drift_events";
 
 /// Worker processes (or simulated workers) spawned by a coordinator,
 /// including restarts.

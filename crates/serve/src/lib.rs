@@ -334,8 +334,11 @@ impl ServerHandle {
     }
 
     /// Swap the served model in-process; the next request sees it.
+    /// Counted under `serve/reloads` alongside HTTP-triggered reloads,
+    /// so a dashboard sees drift-driven swaps too.
     pub fn swap_model(&self, model: Arc<BellwetherModel>) {
         self.slot.swap(model);
+        self.registry.counter(names::SERVE_RELOADS).inc();
     }
 
     /// The currently served model snapshot.
@@ -1011,8 +1014,9 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("[5.0]"), "{body}");
 
+        // Both the HTTP reload and the in-process swap are counted.
         let snap = handle.registry().snapshot();
-        assert_eq!(snap.counter(names::SERVE_RELOADS), Some(1));
+        assert_eq!(snap.counter(names::SERVE_RELOADS), Some(2));
         handle.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -1094,6 +1098,79 @@ mod tests {
         let (status, body) = roundtrip(&mut queued, "GET", "/health", "");
         assert_eq!(status, 200, "{body}");
         handle.shutdown();
+    }
+
+    /// End-to-end drift wiring: a [`StreamingBellwether`] feeds the
+    /// server — every argmin flip rebuilds the model from the live
+    /// search state and hot-swaps it into the slot, counted under
+    /// `serve/reloads` exactly like HTTP-triggered reloads.
+    #[test]
+    fn drift_events_hot_swap_the_served_model() {
+        use bellwether_core::StreamingBellwether;
+        use bellwether_cube::{Parallelism, UniformCellCost};
+        use bellwether_datagen::{build_stream_workload, StreamConfig};
+
+        let cfg = StreamConfig::default();
+        let wl = build_stream_workload(&cfg);
+        let dir = std::env::temp_dir().join("bw_serve_stream_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let search_config = bellwether_core::BellwetherConfig::builder(f64::INFINITY)
+            .min_coverage(0.0)
+            .min_examples(10)
+            .error_measure(bellwether_core::ErrorMeasure::TrainingSet)
+            .parallelism(Parallelism::fixed(1))
+            .build()
+            .unwrap();
+        let mut engine = StreamingBellwether::create(
+            &dir,
+            &wl.region_space,
+            &wl.input_range(0, 1),
+            &wl.item_universe(),
+            wl.items.clone(),
+            wl.target_map(),
+            wl.regions.clone(),
+            Arc::new(UniformCellCost { rate: 1.0 }),
+            search_config,
+            wl.items.len(),
+            2,
+            1 << 20,
+        )
+        .unwrap();
+
+        let build_model = |engine: &StreamingBellwether| {
+            let report = engine.search_result().report().expect("bellwether");
+            Arc::new(
+                ModelBuilder::new(engine.source(), wl.items.clone())
+                    .basic(report)
+                    .build()
+                    .unwrap(),
+            )
+        };
+
+        let handle =
+            Server::bind("127.0.0.1:0", build_model(&engine), quick_config()).unwrap();
+        let before = handle.model();
+        let mut swaps = 0u64;
+        for week in 1..cfg.weeks {
+            let outcome = engine.append(&wl.input_range(week, week + 1)).unwrap();
+            if outcome.drift.is_some() {
+                handle.swap_model(build_model(&engine));
+                swaps += 1;
+            }
+        }
+        assert!(swaps >= 1, "planted drift must trigger a swap");
+        assert!(
+            !Arc::ptr_eq(&before, &handle.model()),
+            "slot must serve the post-drift snapshot"
+        );
+        // The served model now predicts from the late bellwether.
+        let mut conn = connect(&handle);
+        let (status, body) = roundtrip(&mut conn, "POST", "/predict", r#"{"method":"basic","ids":[0]}"#);
+        assert_eq!(status, 200, "{body}");
+        let snap = handle.registry().snapshot();
+        assert_eq!(snap.counter(names::SERVE_RELOADS), Some(swaps));
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

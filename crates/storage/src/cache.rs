@@ -34,6 +34,7 @@ use crate::source::TrainingSource;
 use bellwether_obs::{names, Counter, MetricsSnapshot, Recorder, Registry};
 use std::collections::HashMap;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Shared, thread-safe cache counters (same pattern as [`IoStats`]).
@@ -42,6 +43,7 @@ pub struct CacheStats {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    invalidations: Counter,
 }
 
 impl CacheStats {
@@ -58,6 +60,7 @@ impl CacheStats {
             hits: reg.counter(names::STORAGE_CACHE_HITS),
             misses: reg.counter(names::STORAGE_CACHE_MISSES),
             evictions: reg.counter(names::STORAGE_CACHE_EVICTIONS),
+            invalidations: reg.counter(names::STORAGE_CACHE_INVALIDATIONS),
         })
     }
 
@@ -76,6 +79,11 @@ impl CacheStats {
         self.evictions.add(n);
     }
 
+    /// Record `n` blocks dropped by an explicit invalidation.
+    pub fn record_invalidations(&self, n: u64) {
+        self.invalidations.add(n);
+    }
+
     /// Point-in-time copy of the counters under their canonical names.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -85,6 +93,10 @@ impl CacheStats {
                 (
                     names::STORAGE_CACHE_EVICTIONS.to_string(),
                     self.evictions.get(),
+                ),
+                (
+                    names::STORAGE_CACHE_INVALIDATIONS.to_string(),
+                    self.invalidations.get(),
                 ),
             ],
             gauges: Vec::new(),
@@ -97,6 +109,7 @@ impl CacheStats {
         self.hits.reset();
         self.misses.reset();
         self.evictions.reset();
+        self.invalidations.reset();
     }
 }
 
@@ -112,6 +125,7 @@ impl Recorder for CacheStats {
             names::STORAGE_CACHE_HITS => self.hits.add(delta),
             names::STORAGE_CACHE_MISSES => self.misses.add(delta),
             names::STORAGE_CACHE_EVICTIONS => self.evictions.add(delta),
+            names::STORAGE_CACHE_INVALIDATIONS => self.invalidations.add(delta),
             _ => {}
         }
     }
@@ -166,6 +180,7 @@ pub struct CachedSource<S> {
     budget_bytes: usize,
     state: Mutex<CacheState>,
     cache_stats: Arc<CacheStats>,
+    generation: AtomicU64,
 }
 
 impl<S: TrainingSource> CachedSource<S> {
@@ -177,6 +192,7 @@ impl<S: TrainingSource> CachedSource<S> {
             budget_bytes,
             state: Mutex::new(CacheState::default()),
             cache_stats: CacheStats::shared(),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -232,6 +248,40 @@ impl<S: TrainingSource> CachedSource<S> {
         let mut state = self.lock_state();
         state.map.clear();
         state.bytes = 0;
+    }
+
+    /// Drop exactly the cached blocks of `indices` (a no-op for indices
+    /// not currently cached) and bump the cache generation. This is the
+    /// dirty-region hook of the streaming append path: after new fact
+    /// rows change a region's sufficient statistics, the stale decoded
+    /// block must leave the cache while every clean region keeps its
+    /// warm entry. Counts dropped entries under
+    /// `storage/cache_invalidations` and returns that count.
+    pub fn invalidate_regions(&self, indices: &[usize]) -> u64 {
+        let mut dropped = 0u64;
+        {
+            let mut state = self.lock_state();
+            for &idx in indices {
+                if let Some(entry) = state.map.remove(&idx) {
+                    state.bytes -= entry.bytes;
+                    dropped += 1;
+                }
+            }
+        }
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        if dropped > 0 {
+            self.cache_stats.record_invalidations(dropped);
+        }
+        dropped
+    }
+
+    /// Monotonic generation, bumped once per [`invalidate_regions`]
+    /// call. Readers that captured blocks earlier can compare
+    /// generations to learn their view may be stale.
+    ///
+    /// [`invalidate_regions`]: CachedSource::invalidate_regions
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 }
 
@@ -429,6 +479,53 @@ mod tests {
         let snap = src.snapshot();
         assert_eq!(snap.cache_hits(), 1);
         assert_eq!(snap.cache_misses(), 2);
+    }
+
+    #[test]
+    fn invalidation_drops_exactly_the_named_regions() {
+        let src = source(4, 4);
+        for idx in 0..4 {
+            src.read_region(idx).unwrap();
+        }
+        assert_eq!(src.cached_blocks(), 4);
+        assert_eq!(src.generation(), 0);
+
+        // Invalidate two cached regions plus one that is not cached.
+        let dropped = src.invalidate_regions(&[1, 3, 17]);
+        assert_eq!(dropped, 2);
+        assert_eq!(src.cached_blocks(), 2);
+        assert_eq!(src.cached_bytes(), 2 * block_bytes());
+        assert_eq!(src.generation(), 1);
+        assert_eq!(src.snapshot().counter(
+            names::STORAGE_CACHE_INVALIDATIONS).unwrap(), 2);
+
+        // Clean regions still hit; invalidated regions re-read.
+        src.read_region(0).unwrap();
+        src.read_region(1).unwrap();
+        let snap = src.snapshot();
+        assert_eq!(snap.cache_hits(), 1);
+        assert_eq!(snap.cache_misses(), 5);
+
+        // An all-miss invalidation still bumps the generation but
+        // counts nothing.
+        assert_eq!(src.invalidate_regions(&[40, 41]), 0);
+        assert_eq!(src.generation(), 2);
+        assert_eq!(src.snapshot().counter(
+            names::STORAGE_CACHE_INVALIDATIONS).unwrap(), 2);
+    }
+
+    #[test]
+    fn registry_bound_invalidations_reach_the_registry() {
+        let reg = Registry::shared();
+        let src = CachedSource::with_registry(MemorySource::new(blocks(3)), 1 << 20, &reg);
+        for idx in 0..3 {
+            src.read_region(idx).unwrap();
+        }
+        src.invalidate_regions(&[0, 2]);
+        assert_eq!(
+            reg.snapshot().counter(names::STORAGE_CACHE_INVALIDATIONS),
+            Some(2)
+        );
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub use metrics::{CubeStats, IoStats};
 pub use reader::DiskSource;
 pub use retry::{RetryPolicy, RetryPolicyBuilder, RetryingSource};
 pub use shard::{
-    even_shard_plan, shard_file_name, ShardManifest, ShardMeta, ShardedSource, ShardedWriter,
-    MANIFEST_NAME,
+    even_shard_plan, overlay_file_name, shard_file_name, OverlayMeta, ShardAppender, ShardManifest,
+    ShardMeta, ShardedSource, ShardedWriter, MANIFEST_NAME,
 };
 pub use snapshot::{Section, SnapshotFile, SnapshotWriter, SNAPSHOT_VERSION};
 pub use source::{MemorySource, TrainingSource};

@@ -16,6 +16,23 @@
 //! [`DiskSource`] in any combination of
 //! `RetryingSource`/`FaultySource`/`CachedSource` before the sharded
 //! view is assembled.
+//!
+//! # Appends and generations
+//!
+//! A sharded layout is never rewritten in place. An append (new fact
+//! rows changing some regions' training blocks) lands as an **overlay
+//! file** — one more complete `.bwtd` file holding only the replaced
+//! blocks in ascending global-region order — plus an atomically
+//! swapped manifest whose **generation** is bumped and whose overlay
+//! list says which global region index now resolves to which overlay
+//! entry ([`ShardAppender`]). Readers that opened the old manifest keep
+//! serving a consistent pre-append snapshot (their files still exist,
+//! untouched); [`ShardedSource::refresh`] adopts the new generation in
+//! place. A manifest with appends is written as format **version 2**;
+//! a reader that only knows version 1 rejects it structurally
+//! ("unsupported manifest version") instead of ever seeing torn state.
+//! Generation-0 layouts keep writing byte-identical version-1
+//! manifests, so old readers and old fixtures stay valid.
 
 use crate::block::RegionBlock;
 use crate::crc32::crc32;
@@ -24,10 +41,11 @@ use crate::reader::DiskSource;
 use crate::source::TrainingSource;
 use crate::writer::TrainingWriter;
 use bellwether_obs::{names, Counter, MetricsSnapshot, Registry};
+use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// File name of the manifest inside a sharded dataset directory.
 pub const MANIFEST_NAME: &str = "manifest.bwsm";
@@ -35,8 +53,13 @@ pub const MANIFEST_NAME: &str = "manifest.bwsm";
 /// Magic bytes opening a manifest.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"BWSM";
 
-/// Manifest format version.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Manifest format version written for generation-0 layouts (no
+/// overlays) — and the only version pre-append readers understand.
+pub const MANIFEST_VERSION_V1: u32 = 1;
+
+/// Manifest format version written once a layout has been appended
+/// over (carries the generation and the overlay table).
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// One shard's entry in the manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,17 +74,40 @@ pub struct ShardMeta {
     pub bytes: u64,
 }
 
+/// One overlay file's entry in the manifest: a complete `.bwtd` file of
+/// replacement blocks written by one append, later overlays shadowing
+/// earlier ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlayMeta {
+    /// Overlay file name, relative to the manifest's directory.
+    pub file: String,
+    /// Size of the overlay file in bytes (integrity check at open).
+    pub bytes: u64,
+    /// Ascending global region indices replaced by this overlay; the
+    /// block for `regions[i]` is the overlay file's local region `i`.
+    pub regions: Vec<u64>,
+}
+
 /// The checksummed description of a sharded dataset: shared feature and
-/// region arity plus per-shard entries in ascending global-region order.
+/// region arity plus per-shard entries in ascending global-region order,
+/// and — once appended over — the generation counter and overlay table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardManifest {
     /// Feature arity shared by every shard.
     pub p: u32,
     /// Region-coordinate arity shared by every shard.
     pub arity: u32,
+    /// Append generation: 0 for a freshly written layout, bumped once
+    /// per [`ShardAppender::finish`].
+    pub generation: u64,
+    /// Total training examples across the dataset as currently visible
+    /// (shard totals corrected for replaced blocks).
+    pub examples: u64,
     /// Shards, ascending: shard `s` holds the next `shards[s].regions`
     /// regions of the global scan order.
     pub shards: Vec<ShardMeta>,
+    /// Overlay files in append order (ascending generation).
+    pub overlays: Vec<OverlayMeta>,
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -105,9 +151,10 @@ impl ShardManifest {
         self.shards.iter().map(|s| s.regions).sum()
     }
 
-    /// Total training examples across all shards.
+    /// Total training examples currently visible (tracks block
+    /// replacements across appends).
     pub fn total_examples(&self) -> u64 {
-        self.shards.iter().map(|s| s.examples).sum()
+        self.examples
     }
 
     /// Global start index of each shard (ascending, first is 0).
@@ -122,13 +169,24 @@ impl ShardManifest {
     }
 
     /// Serialize: magic, version, arities, shard entries, CRC-32 trailer
-    /// over everything preceding it.
+    /// over everything preceding it. A generation-0 manifest without
+    /// overlays encodes as byte-identical version 1 (old readers keep
+    /// working); any appended-over layout encodes as version 2, which a
+    /// version-1-only reader rejects structurally instead of serving a
+    /// stale region view.
     pub fn encode(&self) -> Vec<u8> {
+        let v1 = self.generation == 0
+            && self.overlays.is_empty()
+            && self.examples == self.shards.iter().map(|s| s.examples).sum::<u64>();
         let mut out = Vec::new();
         out.extend_from_slice(&MANIFEST_MAGIC);
-        put_u32(&mut out, MANIFEST_VERSION);
+        put_u32(&mut out, if v1 { MANIFEST_VERSION_V1 } else { MANIFEST_VERSION });
         put_u32(&mut out, self.p);
         put_u32(&mut out, self.arity);
+        if !v1 {
+            put_u64(&mut out, self.generation);
+            put_u64(&mut out, self.examples);
+        }
         put_u32(&mut out, self.shards.len() as u32);
         for s in &self.shards {
             put_u32(&mut out, s.file.len() as u32);
@@ -136,6 +194,18 @@ impl ShardManifest {
             put_u64(&mut out, s.regions);
             put_u64(&mut out, s.examples);
             put_u64(&mut out, s.bytes);
+        }
+        if !v1 {
+            put_u32(&mut out, self.overlays.len() as u32);
+            for o in &self.overlays {
+                put_u32(&mut out, o.file.len() as u32);
+                out.extend_from_slice(o.file.as_bytes());
+                put_u64(&mut out, o.bytes);
+                put_u64(&mut out, o.regions.len() as u64);
+                for &r in &o.regions {
+                    put_u64(&mut out, r);
+                }
+            }
         }
         let crc = crc32(&out);
         put_u32(&mut out, crc);
@@ -169,7 +239,7 @@ impl ShardManifest {
             ));
         }
         let version = cur.u32()?;
-        if version != MANIFEST_VERSION {
+        if version != MANIFEST_VERSION_V1 && version != MANIFEST_VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported manifest version {version}"),
@@ -177,15 +247,26 @@ impl ShardManifest {
         }
         let p = cur.u32()?;
         let arity = cur.u32()?;
+        let (generation, examples) = if version >= MANIFEST_VERSION {
+            (cur.u64()?, Some(cur.u64()?))
+        } else {
+            (0, None)
+        };
+        let take_name = |cur: &mut Cursor<'_>, what: &str| -> io::Result<String> {
+            let len = cur.u32()? as usize;
+            Ok(std::str::from_utf8(cur.take(len)?)
+                .map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{what} name not utf-8"),
+                    )
+                })?
+                .to_string())
+        };
         let n = cur.u32()? as usize;
         let mut shards = Vec::with_capacity(n);
         for _ in 0..n {
-            let name_len = cur.u32()? as usize;
-            let file = std::str::from_utf8(cur.take(name_len)?)
-                .map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "shard name not utf-8")
-                })?
-                .to_string();
+            let file = take_name(&mut cur, "shard")?;
             let regions = cur.u64()?;
             let examples = cur.u64()?;
             let bytes = cur.u64()?;
@@ -196,13 +277,47 @@ impl ShardManifest {
                 bytes,
             });
         }
+        let mut overlays = Vec::new();
+        if version >= MANIFEST_VERSION {
+            let total: u64 = shards.iter().map(|s| s.regions).sum();
+            let n = cur.u32()? as usize;
+            for _ in 0..n {
+                let file = take_name(&mut cur, "overlay")?;
+                let bytes = cur.u64()?;
+                let count = cur.u64()? as usize;
+                let mut regions = Vec::with_capacity(count);
+                for _ in 0..count {
+                    regions.push(cur.u64()?);
+                }
+                let ascending = regions.windows(2).all(|w| w[0] < w[1]);
+                if !ascending || regions.last().is_some_and(|&r| r >= total) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("overlay {file} region list invalid"),
+                    ));
+                }
+                overlays.push(OverlayMeta {
+                    file,
+                    bytes,
+                    regions,
+                });
+            }
+        }
         if cur.pos != payload.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "trailing bytes after sharded manifest",
             ));
         }
-        Ok(ShardManifest { p, arity, shards })
+        let examples = examples.unwrap_or_else(|| shards.iter().map(|s| s.examples).sum());
+        Ok(ShardManifest {
+            p,
+            arity,
+            generation,
+            examples,
+            shards,
+            overlays,
+        })
     }
 
     /// Write atomically (temp + fsync + rename), same discipline as
@@ -235,6 +350,11 @@ impl ShardManifest {
 /// Canonical shard file name for shard `s`.
 pub fn shard_file_name(s: usize) -> String {
     format!("shard-{s:04}.bwtd")
+}
+
+/// Canonical overlay file name for the append creating generation `g`.
+pub fn overlay_file_name(g: u64) -> String {
+    format!("overlay-{g:04}.bwtd")
 }
 
 /// Split `total` regions into `shards` contiguous even ranges (earlier
@@ -369,8 +489,106 @@ impl ShardedWriter {
         let manifest = ShardManifest {
             p: self.p,
             arity: self.arity,
+            generation: 0,
+            examples: self.metas.iter().map(|m| m.examples).sum(),
             shards: self.metas,
+            overlays: Vec::new(),
         };
+        manifest.write_atomic(&self.dir.join(MANIFEST_NAME))?;
+        Ok(manifest)
+    }
+}
+
+/// Appends replacement blocks to an existing sharded layout as one
+/// overlay file plus an atomically bumped manifest generation. Blocks
+/// must arrive in ascending global-region order; nothing already on
+/// disk is touched, so readers of the previous generation keep a
+/// consistent snapshot and [`ShardedSource::refresh`] adopts the new
+/// one.
+pub struct ShardAppender {
+    dir: PathBuf,
+    manifest: ShardManifest,
+    writer: Option<TrainingWriter>,
+    file: String,
+    regions: Vec<u64>,
+    examples_written: u64,
+}
+
+impl ShardAppender {
+    /// Open `dir`'s manifest and start the overlay file for the next
+    /// generation.
+    pub fn open(dir: &Path) -> io::Result<ShardAppender> {
+        let manifest = ShardManifest::read(&dir.join(MANIFEST_NAME))?;
+        let file = overlay_file_name(manifest.generation + 1);
+        let writer = TrainingWriter::create(&dir.join(&file), manifest.p, manifest.arity)?;
+        Ok(ShardAppender {
+            dir: dir.to_path_buf(),
+            manifest,
+            writer: Some(writer),
+            file,
+            regions: Vec::new(),
+            examples_written: 0,
+        })
+    }
+
+    /// The generation this append supersedes.
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// Write the replacement block of global region `idx`. Indices must
+    /// be strictly ascending and in range.
+    pub fn write_region(&mut self, idx: usize, block: &RegionBlock) -> io::Result<()> {
+        let idx = idx as u64;
+        if idx >= self.manifest.total_regions() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("region {idx} outside the sharded layout"),
+            ));
+        }
+        if self.regions.last().is_some_and(|&last| idx <= last) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "overlay regions must be written in ascending order",
+            ));
+        }
+        self.writer
+            .as_mut()
+            .expect("writer lives until finish")
+            .write_region(block)?;
+        self.regions.push(idx);
+        self.examples_written += block.n() as u64;
+        Ok(())
+    }
+
+    /// Finish the overlay file, correct the visible example total, and
+    /// atomically publish the next-generation manifest. An append that
+    /// replaced nothing still bumps the generation (the overlay file is
+    /// discarded). Returns the published manifest.
+    pub fn finish(mut self) -> io::Result<ShardManifest> {
+        let writer = self.writer.take().expect("writer lives until finish");
+        writer.finish()?;
+        let path = self.dir.join(&self.file);
+        let mut manifest = self.manifest;
+        if self.regions.is_empty() {
+            fs::remove_file(&path)?;
+        } else {
+            // The example total changes by (new − old) per replaced
+            // block; old counts come from the pre-append view, which the
+            // still-unchanged manifest on disk resolves.
+            let old_view = ShardedSource::open(&self.dir)?;
+            let mut old_examples = 0u64;
+            for &r in &self.regions {
+                old_examples += old_view.read_region(r as usize)?.n() as u64;
+            }
+            manifest.examples = manifest.examples - old_examples + self.examples_written;
+            manifest.overlays.push(OverlayMeta {
+                file: self.file.clone(),
+                bytes: fs::metadata(&path)?.len(),
+                regions: std::mem::take(&mut self.regions),
+            });
+        }
+        manifest.generation += 1;
         manifest.write_atomic(&self.dir.join(MANIFEST_NAME))?;
         Ok(manifest)
     }
@@ -388,8 +606,60 @@ pub struct ShardedSource {
     total: usize,
     p: usize,
     stats: Arc<IoStats>,
-    manifest: Option<ShardManifest>,
+    dir: Option<PathBuf>,
+    view: RwLock<Option<ManifestView>>,
     reads: Counter,
+}
+
+/// The generation-specific part of a sharded view: the manifest plus
+/// the opened overlay files and the global-index redirect table they
+/// induce (later overlays shadow earlier ones). Swapped wholesale by
+/// [`ShardedSource::refresh`].
+struct ManifestView {
+    manifest: ShardManifest,
+    overlays: Vec<DiskSource>,
+    redirect: HashMap<usize, (u32, u32)>,
+}
+
+impl ManifestView {
+    fn build(dir: &Path, manifest: ShardManifest) -> io::Result<ManifestView> {
+        let mut overlays = Vec::with_capacity(manifest.overlays.len());
+        let mut redirect = HashMap::new();
+        for (o, meta) in manifest.overlays.iter().enumerate() {
+            let path = dir.join(&meta.file);
+            let actual = fs::metadata(&path)?.len();
+            if actual != meta.bytes {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "overlay {} is {actual} bytes, manifest says {}",
+                        meta.file, meta.bytes
+                    ),
+                ));
+            }
+            let disk = DiskSource::open(&path)?;
+            if disk.num_regions() != meta.regions.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "overlay {} holds {} regions, manifest says {}",
+                        meta.file,
+                        disk.num_regions(),
+                        meta.regions.len()
+                    ),
+                ));
+            }
+            for (local, &global) in meta.regions.iter().enumerate() {
+                redirect.insert(global as usize, (o as u32, local as u32));
+            }
+            overlays.push(disk);
+        }
+        Ok(ManifestView {
+            manifest,
+            overlays,
+            redirect,
+        })
+    }
 }
 
 impl ShardedSource {
@@ -445,8 +715,10 @@ impl ShardedSource {
             }
             shards.push(layer(disk));
         }
+        let view = ManifestView::build(dir, manifest)?;
         let mut src = ShardedSource::from_sources(shards)?;
-        src.manifest = Some(manifest);
+        src.dir = Some(dir.to_path_buf());
+        src.view = RwLock::new(Some(view));
         Ok(src)
     }
 
@@ -479,14 +751,52 @@ impl ShardedSource {
             total,
             p,
             stats: IoStats::shared(),
-            manifest: None,
+            dir: None,
+            view: RwLock::new(None),
             reads: Counter::new(),
         })
     }
 
-    /// The manifest this source was opened from, if any.
-    pub fn manifest(&self) -> Option<&ShardManifest> {
-        self.manifest.as_ref()
+    fn view(&self) -> std::sync::RwLockReadGuard<'_, Option<ManifestView>> {
+        self.view.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The manifest this source currently serves, if it was opened from
+    /// a directory (refreshes replace it).
+    pub fn manifest(&self) -> Option<ShardManifest> {
+        self.view().as_ref().map(|v| v.manifest.clone())
+    }
+
+    /// The append generation currently served (0 when opened from
+    /// in-memory sources).
+    pub fn generation(&self) -> u64 {
+        self.view().as_ref().map_or(0, |v| v.manifest.generation)
+    }
+
+    /// Re-read the manifest and adopt any newer generation in place:
+    /// newly appended overlay files are opened and the redirect table
+    /// swapped atomically, while the base shard sources (and whatever
+    /// cache/fault layers wrap them) stay untouched. Returns the
+    /// generation now served. No-op for in-memory sources and for an
+    /// unchanged manifest.
+    pub fn refresh(&self) -> io::Result<u64> {
+        let Some(dir) = &self.dir else {
+            return Ok(self.generation());
+        };
+        let manifest = ShardManifest::read(&dir.join(MANIFEST_NAME))?;
+        if manifest.generation == self.generation() {
+            return Ok(manifest.generation);
+        }
+        if manifest.total_regions() as usize != self.total {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "refreshed manifest changed the region count",
+            ));
+        }
+        let view = ManifestView::build(dir, manifest)?;
+        let generation = view.manifest.generation;
+        *self.view.write().unwrap_or_else(|e| e.into_inner()) = Some(view);
+        Ok(generation)
     }
 
     /// Number of shards.
@@ -522,8 +832,22 @@ impl TrainingSource for ShardedSource {
     }
 
     fn read_region(&self, idx: usize) -> io::Result<Arc<RegionBlock>> {
-        let (s, local) = self.locate(idx);
-        let block = self.shards[s].read_region(local)?;
+        // Appended-over regions resolve through the overlay redirect
+        // table; everything else routes to its base shard.
+        let block = {
+            let view = self.view();
+            match view.as_ref().and_then(|v| v.redirect.get(&idx).copied()) {
+                Some((o, local)) => {
+                    let v = view.as_ref().expect("redirect implies a view");
+                    v.overlays[o as usize].read_region(local as usize)?
+                }
+                None => {
+                    drop(view);
+                    let (s, local) = self.locate(idx);
+                    self.shards[s].read_region(local)?
+                }
+            }
+        };
         self.reads.inc();
         self.stats
             .record_region_read(block.encoded_len() as u64, block.n() as u64);
@@ -544,16 +868,14 @@ impl TrainingSource for ShardedSource {
     }
 
     fn total_examples(&self) -> io::Result<u64> {
-        match &self.manifest {
-            Some(m) => Ok(m.total_examples()),
-            None => {
-                let mut total = 0;
-                for i in 0..self.num_regions() {
-                    total += self.read_region(i)?.n() as u64;
-                }
-                Ok(total)
-            }
+        if let Some(v) = self.view().as_ref() {
+            return Ok(v.manifest.total_examples());
         }
+        let mut total = 0;
+        for i in 0..self.num_regions() {
+            total += self.read_region(i)?.n() as u64;
+        }
+        Ok(total)
     }
 
     fn shard_starts(&self) -> Option<Vec<usize>> {
@@ -591,11 +913,12 @@ mod tests {
         w.finish().unwrap()
     }
 
-    #[test]
-    fn manifest_roundtrip_and_checksum() {
-        let m = ShardManifest {
+    fn base_manifest() -> ShardManifest {
+        ShardManifest {
             p: 5,
             arity: 2,
+            generation: 0,
+            examples: 170,
             shards: vec![
                 ShardMeta {
                     file: "shard-0000.bwtd".into(),
@@ -610,7 +933,13 @@ mod tests {
                     bytes: 2048,
                 },
             ],
-        };
+            overlays: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_checksum() {
+        let m = base_manifest();
         let bytes = m.encode();
         assert_eq!(ShardManifest::decode(&bytes).unwrap(), m);
         assert_eq!(m.total_regions(), 17);
@@ -622,6 +951,73 @@ mod tests {
             bad[i] ^= 0x40;
             assert!(ShardManifest::decode(&bad).is_err(), "byte {i}");
         }
+    }
+
+    #[test]
+    fn generation_zero_manifests_stay_version_1() {
+        // Pre-append layouts keep the original byte format, so readers
+        // that only know version 1 can still open them.
+        let m = base_manifest();
+        let bytes = m.encode();
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            MANIFEST_VERSION_V1
+        );
+    }
+
+    #[test]
+    fn appended_manifests_roundtrip_as_version_2() {
+        let mut m = base_manifest();
+        m.generation = 3;
+        m.examples = 190;
+        m.overlays = vec![
+            OverlayMeta {
+                file: "overlay-0001.bwtd".into(),
+                bytes: 512,
+                regions: vec![2, 9, 11],
+            },
+            OverlayMeta {
+                file: "overlay-0003.bwtd".into(),
+                bytes: 256,
+                regions: vec![9],
+            },
+        ];
+        let bytes = m.encode();
+        // A version-1-only reader sees the bumped version field and
+        // rejects the layout structurally instead of reading a stale
+        // region view.
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            MANIFEST_VERSION
+        );
+        assert_eq!(ShardManifest::decode(&bytes).unwrap(), m);
+        for i in [5, 13, 21, bytes.len() - 9, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x11;
+            assert!(ShardManifest::decode(&bad).is_err(), "byte {i}");
+        }
+        // Unknown future versions are rejected with a version error.
+        let mut future = m.encode();
+        future[4] = 9;
+        let patched = crc32(&future[..future.len() - 4]);
+        let n = future.len();
+        future[n - 4..].copy_from_slice(&patched.to_le_bytes());
+        let err = ShardManifest::decode(&future).unwrap_err();
+        assert!(err.to_string().contains("unsupported manifest version"), "{err}");
+    }
+
+    #[test]
+    fn overlay_region_lists_must_be_ascending_and_in_range() {
+        let mut m = base_manifest();
+        m.generation = 1;
+        m.overlays = vec![OverlayMeta {
+            file: "overlay-0001.bwtd".into(),
+            bytes: 64,
+            regions: vec![5, 5],
+        }];
+        assert!(ShardManifest::decode(&m.encode()).is_err(), "duplicate index");
+        m.overlays[0].regions = vec![3, 17];
+        assert!(ShardManifest::decode(&m.encode()).is_err(), "out of range");
     }
 
     #[test]
@@ -742,6 +1138,87 @@ mod tests {
         assert_eq!(src.locate(2), (1, 0));
         assert_eq!(src.find_region(&[2]), Some(2));
         assert_eq!(src.region_coords(2), &[2]);
+    }
+
+    #[test]
+    fn append_replaces_blocks_under_a_new_generation() {
+        let dir = tmp_dir("append");
+        write_sharded(&dir, 6, 2);
+
+        let mut app = ShardAppender::open(&dir).unwrap();
+        assert_eq!(app.generation(), 0);
+        app.write_region(1, &block(100, 4)).unwrap();
+        app.write_region(4, &block(200, 5)).unwrap();
+        let manifest = app.finish().unwrap();
+        assert_eq!(manifest.generation, 1);
+        assert_eq!(manifest.overlays.len(), 1);
+        assert_eq!(manifest.overlays[0].regions, vec![1, 4]);
+        // Old blocks had 1 + r % 3 rows: region 1 had 2, region 4 had 2.
+        let old_total: u64 = (0..6).map(|r| 1 + r as u64 % 3).sum();
+        assert_eq!(manifest.examples, old_total - 2 - 2 + 4 + 5);
+
+        // A fresh open resolves replaced regions through the overlay and
+        // leaves clean regions untouched.
+        let src = ShardedSource::open(&dir).unwrap();
+        assert_eq!(src.generation(), 1);
+        assert_eq!(*src.read_region(1).unwrap(), block(100, 4));
+        assert_eq!(*src.read_region(4).unwrap(), block(200, 5));
+        assert_eq!(*src.read_region(0).unwrap(), block(0, 1));
+        assert_eq!(src.total_examples().unwrap(), manifest.examples);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refresh_adopts_new_generations_in_place() {
+        let dir = tmp_dir("refresh");
+        write_sharded(&dir, 6, 3);
+        let src = ShardedSource::open(&dir).unwrap();
+        assert_eq!(*src.read_region(2).unwrap(), block(2, 3));
+        assert_eq!(src.refresh().unwrap(), 0, "unchanged manifest is a no-op");
+
+        let mut app = ShardAppender::open(&dir).unwrap();
+        app.write_region(2, &block(42, 1)).unwrap();
+        app.finish().unwrap();
+
+        // The open source still serves its consistent old snapshot...
+        assert_eq!(*src.read_region(2).unwrap(), block(2, 3));
+        // ...until it refreshes.
+        assert_eq!(src.refresh().unwrap(), 1);
+        assert_eq!(*src.read_region(2).unwrap(), block(42, 1));
+
+        // Chained appends: the latest overlay shadows earlier ones.
+        let mut app = ShardAppender::open(&dir).unwrap();
+        app.write_region(2, &block(43, 2)).unwrap();
+        app.write_region(5, &block(44, 2)).unwrap();
+        app.finish().unwrap();
+        assert_eq!(src.refresh().unwrap(), 2);
+        assert_eq!(*src.read_region(2).unwrap(), block(43, 2));
+        assert_eq!(*src.read_region(5).unwrap(), block(44, 2));
+        assert_eq!(*src.read_region(0).unwrap(), block(0, 1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appender_enforces_order_range_and_empty_appends() {
+        let dir = tmp_dir("append_guard");
+        write_sharded(&dir, 4, 2);
+        let mut app = ShardAppender::open(&dir).unwrap();
+        app.write_region(2, &block(9, 1)).unwrap();
+        assert!(app.write_region(2, &block(9, 1)).is_err(), "not ascending");
+        assert!(app.write_region(1, &block(9, 1)).is_err(), "not ascending");
+        assert!(app.write_region(4, &block(9, 1)).is_err(), "out of range");
+        drop(app);
+
+        // An append that replaced nothing still bumps the generation and
+        // leaves no orphan overlay file behind.
+        let app = ShardAppender::open(&dir).unwrap();
+        let overlay = dir.join(overlay_file_name(1));
+        let manifest = app.finish().unwrap();
+        assert_eq!(manifest.generation, 1);
+        assert!(manifest.overlays.is_empty());
+        assert!(!overlay.exists());
+        assert!(ShardedSource::open(&dir).is_ok());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
